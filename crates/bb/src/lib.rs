@@ -1,0 +1,17 @@
+//! # ddemos-bb
+//!
+//! The replicated Bulletin Board subsystem (§III-G): `Nb ≥ 2fb+1` isolated
+//! nodes that publish election data and verify every authenticated write —
+//! vote sets (`fv+1` identical copies), EA-signed `msk` shares checked
+//! against `H_msk`, and trustee posts (openings, distributed ZK final
+//! moves, tally-opening shares), culminating in the published result.
+//! Readers use [`reader::MajorityReader`], the library form of the paper's
+//! majority-comparing browser extension (§V).
+
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod reader;
+
+pub use node::{trustee_post_digest, BbNode, BbSnapshot, WriteError};
+pub use reader::MajorityReader;

@@ -1,0 +1,605 @@
+//! A Bulletin Board node (§III-G).
+//!
+//! BB nodes are deliberately simple: isolated repositories that never talk
+//! to each other. Reads are public; writes are authenticated and verified —
+//! vote sets against the `fv+1` identical-copy threshold, `msk` shares
+//! against the EA's signatures and `H_msk`, trustee posts against trustee
+//! keys, EA opening-bundle signatures, and reconstruct-then-verify for the
+//! distributed ZK responses and the tally opening. The robustness of the
+//! subsystem comes entirely from this write-side verification plus
+//! read-side majority (see [`crate::reader`]).
+
+use ddemos_crypto::elgamal::{self, Ciphertext};
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::shamir::{self, Share};
+use ddemos_crypto::votecode::{self, VoteCode};
+use ddemos_crypto::vss::{DealerVss, SignedShare};
+use ddemos_crypto::zkp;
+use ddemos_protocol::initdata::{
+    msk_share_context, opening_bundle_message, voteset_message, BbInit,
+};
+use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
+use ddemos_protocol::wire::Writer;
+use ddemos_protocol::{PartId, SerialNo};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Errors returned on rejected writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// The writer's signature (or the EA's, on relayed data) is invalid.
+    BadSignature,
+    /// The writer index is unknown.
+    UnknownWriter,
+    /// The submitted data contradicts already-verified state.
+    Inconsistent,
+    /// The node is not yet in the phase this write belongs to.
+    WrongPhase,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WriteError::BadSignature => "signature verification failed",
+            WriteError::UnknownWriter => "unknown writer",
+            WriteError::Inconsistent => "data inconsistent with verified state",
+            WriteError::WrongPhase => "write arrived in the wrong phase",
+        };
+        write!(f, "{msg}")
+    }
+}
+impl std::error::Error for WriteError {}
+
+/// Everything a BB node currently publishes (public read snapshot).
+#[derive(Clone, Debug, Default)]
+pub struct BbSnapshot {
+    /// The accepted final vote set (after `fv+1` identical submissions).
+    pub vote_set: Option<VoteSet>,
+    /// Decrypted vote codes per ballot part row, once `msk` reconstructed:
+    /// `(serial, part) → codes in row order`.
+    pub decrypted_codes: BTreeMap<(SerialNo, u8), Vec<VoteCode>>,
+    /// Openings of unused/unvoted part rows that verified:
+    /// `(serial, part) → per-row per-ciphertext (bit, randomness)`.
+    pub openings: BTreeMap<(SerialNo, u8), Vec<Vec<(Scalar, Scalar)>>>,
+    /// Reconstructed-and-verified ZK final moves for used parts:
+    /// `(serial, part) → per-row (per-ciphertext OR responses, sum
+    /// response)`. Publishing the responses lets auditors re-verify the
+    /// proofs independently.
+    pub zk_responses: BTreeMap<(SerialNo, u8), Vec<(Vec<zkp::OrResponse>, Scalar)>>,
+    /// The voter-coin challenge, once derivable.
+    pub challenge: Option<Scalar>,
+    /// The reconstructed opening of the homomorphic tally total, one
+    /// `(message, randomness)` pair per option (lets auditors verify the
+    /// result against the summed commitments).
+    pub tally_opening: Option<Vec<(Scalar, Scalar)>>,
+    /// The published result.
+    pub result: Option<ElectionResult>,
+}
+
+impl BbSnapshot {
+    /// A digest readers can majority-compare.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut w = Writer::tagged("ddemos/bb-snapshot/v1");
+        match &self.vote_set {
+            Some(vs) => w.put_u8(1).put_array(&vs.digest()),
+            None => w.put_u8(0),
+        };
+        w.put_u64(self.decrypted_codes.len() as u64);
+        for ((serial, part), codes) in &self.decrypted_codes {
+            w.put_u64(serial.0).put_u8(*part);
+            for code in codes {
+                w.put_array(&code.0);
+            }
+        }
+        w.put_u64(self.openings.len() as u64);
+        for ((serial, part), rows) in &self.openings {
+            w.put_u64(serial.0).put_u8(*part).put_u32(rows.len() as u32);
+        }
+        match &self.result {
+            Some(r) => w.put_u8(1).put_array(&r.digest()),
+            None => w.put_u8(0),
+        };
+        w.digest()
+    }
+}
+
+struct BbState {
+    vote_set_submissions: HashMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
+    vote_sets: HashMap<[u8; 32], VoteSet>,
+    msk_shares: Vec<SignedShare>,
+    msk: Option<[u8; 16]>,
+    trustee_posts: HashMap<u32, Arc<TrusteePost>>,
+    snapshot: BbSnapshot,
+}
+
+/// One Bulletin Board node.
+pub struct BbNode {
+    init: BbInit,
+    state: RwLock<BbState>,
+}
+
+/// Digest of a trustee post, for write authentication.
+pub fn trustee_post_digest(post: &TrusteePost) -> [u8; 32] {
+    let mut w = Writer::tagged("ddemos/trustee-post/v1");
+    w.put_u32(post.trustee_index);
+    w.put_u64(post.openings.len() as u64);
+    for o in &post.openings {
+        w.put_u64(o.serial.0).put_u8(o.part.index() as u8);
+        for row in &o.rows {
+            for (b, r) in row {
+                w.put_array(&b.to_bytes()).put_array(&r.to_bytes());
+            }
+        }
+        w.put_array(&o.opening_sig.to_bytes());
+    }
+    w.put_u64(post.zk.len() as u64);
+    for z in &post.zk {
+        w.put_u64(z.serial.0).put_u8(z.part.index() as u8);
+        for row in &z.rows {
+            for ct in row {
+                for s in ct {
+                    w.put_array(&s.to_bytes());
+                }
+            }
+        }
+        for s in &z.sum_responses {
+            w.put_array(&s.to_bytes());
+        }
+    }
+    for (m, r) in &post.tally.per_option {
+        w.put_array(&m.to_bytes()).put_array(&r.to_bytes());
+    }
+    w.digest()
+}
+
+impl BbNode {
+    /// Creates a node from its initialization data (which it publishes
+    /// immediately, per §III-D).
+    pub fn new(init: BbInit) -> BbNode {
+        BbNode {
+            init,
+            state: RwLock::new(BbState {
+                vote_set_submissions: HashMap::new(),
+                vote_sets: HashMap::new(),
+                msk_shares: Vec::new(),
+                msk: None,
+                trustee_posts: HashMap::new(),
+                snapshot: BbSnapshot::default(),
+            }),
+        }
+    }
+
+    /// The published initialization data (public).
+    pub fn init_data(&self) -> &BbInit {
+        &self.init
+    }
+
+    /// Public read: the node's current snapshot.
+    pub fn read(&self) -> BbSnapshot {
+        self.state.read().snapshot.clone()
+    }
+
+    /// A VC node submits its final vote set (authenticated write).
+    ///
+    /// # Errors
+    /// Rejects unknown writers and bad signatures; accepts duplicates
+    /// idempotently.
+    pub fn submit_vote_set(
+        &self,
+        from_vc: u32,
+        set: &VoteSet,
+        sig: &Signature,
+    ) -> Result<(), WriteError> {
+        let vk = self
+            .init
+            .vc_keys
+            .get(from_vc as usize)
+            .ok_or(WriteError::UnknownWriter)?;
+        let digest = set.digest();
+        if !vk.verify(&voteset_message(&self.init.params.election_id, &digest), sig) {
+            return Err(WriteError::BadSignature);
+        }
+        let mut state = self.state.write();
+        let submitters = state.vote_set_submissions.entry(digest).or_default();
+        if !submitters.contains(&from_vc) {
+            submitters.push(from_vc);
+        }
+        let enough = submitters.len() >= self.init.params.vc_faults() + 1;
+        state.vote_sets.entry(digest).or_insert_with(|| set.clone());
+        if enough && state.snapshot.vote_set.is_none() {
+            state.snapshot.vote_set = Some(set.clone());
+            self.after_phase_change(&mut state);
+        }
+        Ok(())
+    }
+
+    /// A VC node submits its `msk` share (authenticated by the EA's
+    /// signature on the share itself).
+    ///
+    /// # Errors
+    /// Rejects shares whose EA signature fails.
+    pub fn submit_msk_share(&self, share: &SignedShare) -> Result<(), WriteError> {
+        let ctx = msk_share_context(&self.init.params.election_id);
+        if !DealerVss::verify(&self.init.ea_key, &ctx, share) {
+            return Err(WriteError::BadSignature);
+        }
+        let mut state = self.state.write();
+        if state.msk.is_some() {
+            return Ok(());
+        }
+        if !state.msk_shares.iter().any(|s| s.share.index == share.share.index) {
+            state.msk_shares.push(*share);
+        }
+        let k = self.init.params.vc_quorum();
+        if state.msk_shares.len() >= k {
+            if let Ok(secret) = DealerVss::reconstruct(&state.msk_shares, k) {
+                let bytes = secret.to_bytes();
+                let mut msk = [0u8; 16];
+                msk.copy_from_slice(&bytes[16..]);
+                // Authenticate against H_msk before trusting it.
+                if self.init.msk_commitment.matches(&msk) {
+                    state.msk = Some(msk);
+                    self.after_phase_change(&mut state);
+                } else {
+                    state.msk_shares.clear();
+                    return Err(WriteError::Inconsistent);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A trustee submits its post (authenticated write).
+    ///
+    /// # Errors
+    /// Rejects unknown trustees, bad signatures, and posts whose EA-signed
+    /// opening bundles fail verification.
+    pub fn submit_trustee_post(
+        &self,
+        post: Arc<TrusteePost>,
+        sig: &Signature,
+    ) -> Result<(), WriteError> {
+        let vk = self
+            .init
+            .trustee_keys
+            .get(post.trustee_index as usize)
+            .ok_or(WriteError::UnknownWriter)?;
+        if !vk.verify(&trustee_post_digest(&post), sig) {
+            return Err(WriteError::BadSignature);
+        }
+        // Verify the EA signatures on every opening bundle up front.
+        for opening in &post.openings {
+            let msg = opening_bundle_message(
+                &self.init.params.election_id,
+                opening.serial,
+                opening.part,
+                post.trustee_index,
+                &opening.rows,
+            );
+            if !self.init.ea_key.verify(&msg, &opening.opening_sig) {
+                return Err(WriteError::BadSignature);
+            }
+        }
+        let mut state = self.state.write();
+        if state.snapshot.vote_set.is_none() || state.msk.is_none() {
+            return Err(WriteError::WrongPhase);
+        }
+        state.trustee_posts.insert(post.trustee_index, post);
+        if state.trustee_posts.len() >= self.init.params.trustee_threshold
+            && state.snapshot.result.is_none()
+        {
+            self.try_publish_result(&mut state);
+        }
+        Ok(())
+    }
+
+    /// Called whenever the vote set or msk lands: decrypt codes, compute
+    /// the challenge.
+    fn after_phase_change(&self, state: &mut BbState) {
+        let (Some(msk), Some(vote_set)) = (state.msk, state.snapshot.vote_set.clone()) else {
+            return;
+        };
+        if !state.snapshot.decrypted_codes.is_empty() {
+            return;
+        }
+        // Decrypt every stored vote code (§III-G: "decrypts all the
+        // encrypted vote codes in its initialization data, and publishes
+        // them").
+        for (serial, ballot) in self.init.ballots.iter() {
+            for part in PartId::BOTH {
+                let codes: Vec<VoteCode> = ballot.parts[part.index()]
+                    .iter()
+                    .filter_map(|row| votecode::decrypt_vote_code(&msk, &row.enc_code).ok())
+                    .collect();
+                state
+                    .snapshot
+                    .decrypted_codes
+                    .insert((*serial, part.index() as u8), codes);
+            }
+        }
+        // Voter coins: the A/B choice of every voted ballot, in serial
+        // order (§III-B). A=0, B=1.
+        let mut coins = Vec::with_capacity(vote_set.len());
+        for (serial, code) in &vote_set.entries {
+            if let Some((part, _row)) = self.locate_cast_row(state, *serial, code) {
+                coins.push(part.coin());
+            }
+        }
+        let mut ctx = Vec::new();
+        ctx.extend_from_slice(&self.init.params.election_id.0);
+        state.snapshot.challenge = Some(zkp::challenge_from_coins(&ctx, &coins));
+    }
+
+    /// Finds (part, row) of a cast vote code using the decrypted codes.
+    fn locate_cast_row(
+        &self,
+        state: &BbState,
+        serial: SerialNo,
+        code: &VoteCode,
+    ) -> Option<(PartId, usize)> {
+        for part in PartId::BOTH {
+            if let Some(codes) = state.snapshot.decrypted_codes.get(&(serial, part.index() as u8))
+            {
+                if let Some(row) = codes.iter().position(|c| c == code) {
+                    return Some((part, row));
+                }
+            }
+        }
+        None
+    }
+
+    /// With ≥ h_t trustee posts verified, reconstruct openings, verify ZK
+    /// proofs, open the homomorphic tally, and publish the result (§III-H).
+    fn try_publish_result(&self, state: &mut BbState) {
+        let ht = self.init.params.trustee_threshold;
+        let vote_set = state.snapshot.vote_set.clone().expect("phase checked");
+        let challenge = state.snapshot.challenge.expect("challenge derived");
+        let posts: Vec<Arc<TrusteePost>> = state.trustee_posts.values().cloned().collect();
+        let m = self.init.params.num_options;
+
+        // --- unused/unvoted part openings -------------------------------
+        // Group opening posts by (serial, part).
+        let mut openings_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &Vec<Vec<(Scalar, Scalar)>>)>> =
+            HashMap::new();
+        for post in &posts {
+            for o in &post.openings {
+                openings_by_key
+                    .entry((o.serial, o.part))
+                    .or_default()
+                    .push((post.trustee_index, &o.rows));
+            }
+        }
+        for ((serial, part), shares) in &openings_by_key {
+            if shares.len() < ht {
+                continue;
+            }
+            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let rows = &ballot.parts[part.index()];
+            let mut opened_rows: Vec<Vec<(Scalar, Scalar)>> = Vec::with_capacity(rows.len());
+            let mut all_ok = true;
+            for (row_idx, row) in rows.iter().enumerate() {
+                let mut opened_cts = Vec::with_capacity(row.commitment.len());
+                for (ct_idx, ct) in row.commitment.iter().enumerate() {
+                    let bit_shares: Vec<Share> = shares
+                        .iter()
+                        .take(ht)
+                        .map(|(t, rows)| Share { index: t + 1, value: rows[row_idx][ct_idx].0 })
+                        .collect();
+                    let rand_shares: Vec<Share> = shares
+                        .iter()
+                        .take(ht)
+                        .map(|(t, rows)| Share { index: t + 1, value: rows[row_idx][ct_idx].1 })
+                        .collect();
+                    let (Ok(bit), Ok(rand)) = (
+                        shamir::reconstruct(&bit_shares, ht),
+                        shamir::reconstruct(&rand_shares, ht),
+                    ) else {
+                        all_ok = false;
+                        break;
+                    };
+                    if !elgamal::verify_opening(&self.init.elgamal_pk, ct, &bit, &rand) {
+                        all_ok = false;
+                        break;
+                    }
+                    opened_cts.push((bit, rand));
+                }
+                if !all_ok {
+                    break;
+                }
+                opened_rows.push(opened_cts);
+            }
+            if all_ok {
+                state
+                    .snapshot
+                    .openings
+                    .insert((*serial, part.index() as u8), opened_rows);
+            }
+        }
+
+        // --- used-part ZK verification -----------------------------------
+        let mut zk_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &ddemos_protocol::posts::PartZkPost)>> =
+            HashMap::new();
+        for post in &posts {
+            for z in &post.zk {
+                zk_by_key.entry((z.serial, z.part)).or_default().push((post.trustee_index, z));
+            }
+        }
+        for ((serial, part), posts_for_part) in &zk_by_key {
+            if posts_for_part.len() < ht {
+                continue;
+            }
+            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let rows = &ballot.parts[part.index()];
+            let mut ok = true;
+            let mut verified_rows: Vec<(Vec<zkp::OrResponse>, Scalar)> = Vec::new();
+            'rows: for (row_idx, row) in rows.iter().enumerate() {
+                let mut row_responses = Vec::with_capacity(row.commitment.len());
+                for (ct_idx, ct) in row.commitment.iter().enumerate() {
+                    let mut comps = [Scalar::ZERO; 4];
+                    for (slot, comp) in comps.iter_mut().enumerate() {
+                        let shares: Vec<Share> = posts_for_part
+                            .iter()
+                            .take(ht)
+                            .map(|(t, z)| Share {
+                                index: t + 1,
+                                value: z.rows[row_idx][ct_idx][slot],
+                            })
+                            .collect();
+                        match shamir::reconstruct(&shares, ht) {
+                            Ok(v) => *comp = v,
+                            Err(_) => {
+                                ok = false;
+                                break 'rows;
+                            }
+                        }
+                    }
+                    let resp = zkp::OrResponse {
+                        c0: comps[0],
+                        z0: comps[1],
+                        c1: comps[2],
+                        z1: comps[3],
+                    };
+                    if !zkp::or_verify(
+                        &self.init.elgamal_pk,
+                        ct,
+                        &row.or_first[ct_idx],
+                        &resp,
+                        &challenge,
+                    ) {
+                        ok = false;
+                        break 'rows;
+                    }
+                    row_responses.push(resp);
+                }
+                let sum_shares: Vec<Share> = posts_for_part
+                    .iter()
+                    .take(ht)
+                    .map(|(t, z)| Share { index: t + 1, value: z.sum_responses[row_idx] })
+                    .collect();
+                let Ok(z) = shamir::reconstruct(&sum_shares, ht) else {
+                    ok = false;
+                    break;
+                };
+                if !zkp::sum_verify(
+                    &self.init.elgamal_pk,
+                    &row.commitment,
+                    &row.sum_first,
+                    &challenge,
+                    &z,
+                ) {
+                    ok = false;
+                    break;
+                }
+                verified_rows.push((row_responses, z));
+            }
+            if ok {
+                state
+                    .snapshot
+                    .zk_responses
+                    .insert((*serial, part.index() as u8), verified_rows);
+            }
+        }
+
+        // --- homomorphic tally --------------------------------------------
+        // E_tally: the cast row's commitment vector of every voted ballot.
+        let mut sums = vec![Ciphertext::IDENTITY; m];
+        let mut counted = 0u64;
+        for (serial, code) in &vote_set.entries {
+            let Some((part, row_idx)) = self.locate_cast_row(state, *serial, code) else {
+                continue;
+            };
+            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let row = &ballot.parts[part.index()][row_idx];
+            for (j, ct) in row.commitment.iter().enumerate() {
+                sums[j] = sums[j].add(ct);
+            }
+            counted += 1;
+        }
+        // Reconstruct the opening of each option total from trustee tally
+        // shares; identify bad shares by reconstruct-then-verify over
+        // subsets (the commitments are perfectly binding, so a verified
+        // opening is *the* opening).
+        let tally_posts: Vec<(u32, &ddemos_protocol::posts::TallySharePost)> =
+            posts.iter().map(|p| (p.trustee_index, &p.tally)).collect();
+        let mut tally = Vec::with_capacity(m);
+        let mut opening = Vec::with_capacity(m);
+        for (j, sum_ct) in sums.iter().enumerate() {
+            let mut found = None;
+            for subset in subsets_of(&tally_posts, ht) {
+                let m_shares: Vec<Share> = subset
+                    .iter()
+                    .map(|(t, p)| Share { index: t + 1, value: p.per_option[j].0 })
+                    .collect();
+                let r_shares: Vec<Share> = subset
+                    .iter()
+                    .map(|(t, p)| Share { index: t + 1, value: p.per_option[j].1 })
+                    .collect();
+                let (Ok(msg), Ok(rand)) =
+                    (shamir::reconstruct(&m_shares, ht), shamir::reconstruct(&r_shares, ht))
+                else {
+                    continue;
+                };
+                if elgamal::verify_opening(&self.init.elgamal_pk, sum_ct, &msg, &rand) {
+                    found = msg.to_u64();
+                    opening.push((msg, rand));
+                    break;
+                }
+            }
+            match found {
+                Some(v) => tally.push(v),
+                None => return, // need more trustee posts
+            }
+        }
+        state.snapshot.tally_opening = Some(opening);
+        state.snapshot.result = Some(ElectionResult { tally, ballots_counted: counted });
+    }
+}
+
+/// All `k`-subsets of `items` (small inputs only: `C(Nt, ht)`).
+fn subsets_of<'a, T>(items: &'a [T], k: usize) -> Vec<Vec<&'a T>> {
+    let mut out = Vec::new();
+    let n = items.len();
+    if k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| &items[i]).collect());
+        // advance combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        if idx[i] == i + n - k {
+            return out;
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_enumerate_combinations() {
+        let items = [1, 2, 3, 4];
+        let subs = subsets_of(&items, 2);
+        assert_eq!(subs.len(), 6);
+        let subs3 = subsets_of(&items, 3);
+        assert_eq!(subs3.len(), 4);
+        assert_eq!(subsets_of(&items, 5).len(), 0);
+        assert_eq!(subsets_of(&items, 4).len(), 1);
+    }
+}

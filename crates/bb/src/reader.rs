@@ -1,0 +1,85 @@
+//! Majority reader over the replicated Bulletin Board.
+//!
+//! The paper ships a Firefox extension that issues every read to all BB
+//! nodes, compares the responses in binary form, and forwards the one a
+//! majority agrees on (§V "Web browser replicated service reader"). This is
+//! that component's library equivalent: readers never see a minority
+//! answer, and divergent nodes are simply outvoted.
+
+use crate::node::{BbNode, BbSnapshot};
+use ddemos_protocol::posts::{ElectionResult, VoteSet};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A read client holding the URLs (here: handles) of all BB nodes.
+#[derive(Clone)]
+pub struct MajorityReader {
+    nodes: Vec<Arc<BbNode>>,
+}
+
+impl MajorityReader {
+    /// Creates a reader over the given replicas.
+    pub fn new(nodes: Vec<Arc<BbNode>>) -> MajorityReader {
+        MajorityReader { nodes }
+    }
+
+    /// The number of identical replies a read requires (`fb + 1`).
+    pub fn required_majority(&self) -> usize {
+        self.nodes.len() / 2 + usize::from(self.nodes.len() % 2 == 0)
+    }
+
+    fn majority_needed(&self) -> usize {
+        // fb = (Nb-1)/2, majority = fb + 1
+        (self.nodes.len() - 1) / 2 + 1
+    }
+
+    /// Reads all nodes and returns the snapshot backed by a majority, if
+    /// one exists (readers retry on transient divergence, per §III-G).
+    pub fn read_snapshot(&self) -> Option<BbSnapshot> {
+        let mut counts: HashMap<[u8; 32], (usize, BbSnapshot)> = HashMap::new();
+        for node in &self.nodes {
+            let snap = node.read();
+            let entry = counts.entry(snap.digest()).or_insert((0, snap));
+            entry.0 += 1;
+        }
+        counts
+            .into_values()
+            .find(|(count, _)| *count >= self.majority_needed())
+            .map(|(_, snap)| snap)
+    }
+
+    /// Reads with retries until a majority-backed snapshot satisfying
+    /// `pred` appears or `timeout` elapses.
+    pub fn read_until<F>(&self, timeout: std::time::Duration, pred: F) -> Option<BbSnapshot>
+    where
+        F: Fn(&BbSnapshot) -> bool,
+    {
+        let start = std::time::Instant::now();
+        loop {
+            if let Some(snap) = self.read_snapshot() {
+                if pred(&snap) {
+                    return Some(snap);
+                }
+            }
+            if start.elapsed() > timeout {
+                return None;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Majority-read of the final vote set.
+    pub fn vote_set(&self) -> Option<VoteSet> {
+        self.read_snapshot()?.vote_set
+    }
+
+    /// Majority-read of the published result.
+    pub fn result(&self) -> Option<ElectionResult> {
+        self.read_snapshot()?.result
+    }
+
+    /// The underlying replicas (for writers that must contact every node).
+    pub fn nodes(&self) -> &[Arc<BbNode>] {
+        &self.nodes
+    }
+}

@@ -1,0 +1,143 @@
+//! Bulletin Board subsystem tests: write verification thresholds, msk
+//! authentication against `H_msk`, and majority reads over divergent
+//! replicas.
+
+use ddemos_bb::{BbNode, MajorityReader};
+use ddemos_crypto::schnorr::SigningKey;
+use ddemos_crypto::votecode::VoteCode;
+use ddemos_ea::{ElectionAuthority, SetupProfile};
+use ddemos_protocol::initdata::voteset_message;
+use ddemos_protocol::posts::VoteSet;
+use ddemos_protocol::{ElectionParams, SerialNo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn setup() -> (ddemos_ea::SetupOutput, ElectionParams) {
+    let params = ElectionParams::new("bb-test", 2, 2, 4, 3, 5, 3, 0, 1000).unwrap();
+    let ea = ElectionAuthority::new(params.clone(), 31);
+    (ea.setup(SetupProfile::Full), params)
+}
+
+fn signed_set(
+    setup: &ddemos_ea::SetupOutput,
+    node: usize,
+    set: &VoteSet,
+) -> ddemos_crypto::schnorr::Signature {
+    let msg = voteset_message(&setup.params.election_id, &set.digest());
+    setup.vc_inits[node].signing_key.sign(&msg)
+}
+
+#[test]
+fn vote_set_needs_fv_plus_one_identical_copies() {
+    let (out, params) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    let mut set = VoteSet::default();
+    set.entries.insert(SerialNo(0), out.ballots[0].parts[0].lines[0].vote_code);
+    // fv = 1 → needs 2 identical submissions.
+    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set)).unwrap();
+    assert!(bb.read().vote_set.is_none(), "one copy is not enough");
+    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set)).unwrap();
+    assert_eq!(bb.read().vote_set, Some(set.clone()));
+    let _ = params;
+}
+
+#[test]
+fn duplicate_submitter_does_not_count_twice() {
+    let (out, _) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    let set = VoteSet::default();
+    let sig = signed_set(&out, 0, &set);
+    bb.submit_vote_set(0, &set, &sig).unwrap();
+    bb.submit_vote_set(0, &set, &sig).unwrap();
+    assert!(bb.read().vote_set.is_none(), "same node twice is one copy");
+}
+
+#[test]
+fn forged_vote_set_signature_rejected() {
+    let (out, _) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    let set = VoteSet::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let forger = SigningKey::generate(&mut rng);
+    let msg = voteset_message(&out.params.election_id, &set.digest());
+    let bad = forger.sign(&msg);
+    assert!(bb.submit_vote_set(0, &set, &bad).is_err());
+    assert!(bb.submit_vote_set(99, &set, &bad).is_err(), "unknown writer");
+}
+
+#[test]
+fn msk_reconstruction_requires_quorum_and_matches_commitment() {
+    let (out, params) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    // First publish a vote set so decryption can proceed afterwards.
+    let set = VoteSet::default();
+    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set)).unwrap();
+    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set)).unwrap();
+
+    let quorum = params.vc_quorum();
+    for (i, init) in out.vc_inits.iter().enumerate().take(quorum - 1) {
+        bb.submit_msk_share(&init.msk_share).unwrap();
+        let _ = i;
+    }
+    assert!(bb.read().decrypted_codes.is_empty(), "below quorum: no decryption");
+    bb.submit_msk_share(&out.vc_inits[quorum - 1].msk_share).unwrap();
+    let snap = bb.read();
+    assert!(!snap.decrypted_codes.is_empty(), "codes decrypted after quorum");
+    assert!(snap.challenge.is_some());
+    // Decrypted codes match the printed ballots.
+    let printed: Vec<VoteCode> =
+        out.ballots[0].parts[0].lines.iter().map(|l| l.vote_code).collect();
+    let published = &snap.decrypted_codes[&(SerialNo(0), 0)];
+    for code in published {
+        assert!(printed.contains(code));
+    }
+}
+
+#[test]
+fn tampered_msk_share_rejected() {
+    let (out, _) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    let mut share = out.vc_inits[0].msk_share;
+    share.share.value = share.share.value + ddemos_crypto::field::Scalar::ONE;
+    assert!(bb.submit_msk_share(&share).is_err(), "EA signature must fail");
+}
+
+#[test]
+fn majority_reader_outvotes_divergent_replica() {
+    let (out, _) = setup();
+    let nodes: Vec<Arc<BbNode>> =
+        (0..3).map(|_| Arc::new(BbNode::new(out.bb_init.clone()))).collect();
+    let reader = MajorityReader::new(nodes.clone());
+    // All empty: majority snapshot exists and is empty.
+    let snap = reader.read_snapshot().expect("unanimous empty state");
+    assert!(snap.vote_set.is_none());
+
+    // Write the vote set to only two of three replicas — still a majority.
+    let mut set = VoteSet::default();
+    set.entries.insert(SerialNo(1), out.ballots[1].parts[1].lines[0].vote_code);
+    for bb in nodes.iter().take(2) {
+        bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set)).unwrap();
+        bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set)).unwrap();
+    }
+    let snap = reader.read_snapshot().expect("2-of-3 majority");
+    assert_eq!(snap.vote_set, Some(set));
+
+    // A different set on the third node cannot win a majority read.
+    let mut other = VoteSet::default();
+    other.entries.insert(SerialNo(0), out.ballots[0].parts[0].lines[1].vote_code);
+    nodes[2].submit_vote_set(2, &other, &signed_set(&out, 2, &other)).unwrap();
+    nodes[2].submit_vote_set(3, &other, &signed_set(&out, 3, &other)).unwrap();
+    let snap = reader.read_snapshot().expect("majority still holds");
+    assert_ne!(snap.vote_set, Some(other));
+}
+
+#[test]
+fn trustee_post_requires_phase_and_signature() {
+    let (out, _) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    let trustee = ddemos_trustee::Trustee::new(out.trustee_inits[0].clone());
+    // Producing a post requires BB state; before the vote set, it errors.
+    let empty = bb.read();
+    assert!(trustee.produce_post(&empty).is_err());
+}

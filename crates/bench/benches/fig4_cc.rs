@@ -1,0 +1,38 @@
+//! Figures 4c + 4f: vote-collection throughput versus the number of
+//! concurrent clients, for each cluster size, on LAN and WAN.
+//!
+//! Expected shape: near-constant throughput in cc for a fixed Nv
+//! (saturation), with curves ordered 4VC > 7VC > 10VC > 13VC > 16VC.
+
+use ddemos_bench::{run_point, votes_per_point, VC_SIZES};
+use ddemos_net::NetworkProfile;
+use ddemos_sim::VcClusterExperiment;
+
+fn main() {
+    let votes = votes_per_point(160, 5_000);
+    let scale = if ddemos_bench::full_scale() { 1 } else { 10 };
+    let cc_levels: Vec<usize> =
+        [400usize, 1200, 2000].iter().map(|c| (c / scale).max(1)).collect();
+    for (name, profile) in
+        [("fig4c[LAN]", NetworkProfile::lan()), ("fig4f[WAN]", NetworkProfile::wan())]
+    {
+        println!("# {name} — throughput vs #concurrent clients, m=4");
+        for nv in VC_SIZES {
+            for &cc in &cc_levels {
+                let exp = VcClusterExperiment {
+                    num_vc: nv,
+                    num_options: 4,
+                    num_ballots: votes * 2,
+                    concurrency: cc,
+                    votes,
+                    network: profile.clone(),
+                    storage: None,
+                    virtual_store: true,
+                    seed: 0x4A43 + nv as u64 + cc as u64,
+                };
+                run_point(name, &exp);
+            }
+            println!();
+        }
+    }
+}

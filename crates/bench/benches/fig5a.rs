@@ -1,0 +1,40 @@
+//! Figure 5a: vote-collection throughput versus total electorate size
+//! `n` ∈ {50M … 250M}, disk-backed ballot store (the 2012 US voting
+//! population was 235M).
+//!
+//! Paper setting: referendum (m = 2), 4 VC nodes, 400 concurrent clients,
+//! 200 000 ballots cast. Ballots here come from the PRF-derived virtual
+//! store behind the calibrated index/cache latency model (DESIGN.md §2);
+//! expected shape: slow throughput decline as n grows five-fold.
+
+use ddemos_bench::{run_point, votes_per_point};
+use ddemos_net::NetworkProfile;
+use ddemos_sim::VcClusterExperiment;
+use ddemos_vc::StorageModel;
+
+fn main() {
+    let votes = votes_per_point(150, 200_000);
+    let cc = if ddemos_bench::full_scale() { 400 } else { 40 };
+    println!("# Fig 5a — throughput vs electorate size n (disk model), m=2, 4 VC, cc={cc}");
+    let model = StorageModel::default();
+    for n_millions in [50u64, 100, 150, 200, 250] {
+        let n = n_millions * 1_000_000;
+        println!(
+            "# modelled lookup latency at n={}M: {:?}",
+            n_millions,
+            model.lookup_latency(n)
+        );
+        let exp = VcClusterExperiment {
+            num_vc: 4,
+            num_options: 2,
+            num_ballots: n,
+            concurrency: cc,
+            votes,
+            network: NetworkProfile::lan(),
+            storage: Some(model),
+            virtual_store: true,
+            seed: 0x5A + n_millions,
+        };
+        run_point("fig5a", &exp);
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 5b: vote-collection throughput versus the number of election
+//! options `m` ∈ {2 … 10}.
+//!
+//! Paper setting: n = 200 000 ballots, 400 concurrent clients, 4 VC nodes.
+//! Expected shape: approximately flat — the only extra per-vote work as m
+//! grows is hash checks during vote-code validation.
+
+use ddemos_bench::{run_point, votes_per_point};
+use ddemos_net::NetworkProfile;
+use ddemos_sim::VcClusterExperiment;
+
+fn main() {
+    let votes = votes_per_point(200, 10_000);
+    let cc = if ddemos_bench::full_scale() { 400 } else { 40 };
+    println!("# Fig 5b — throughput vs #options m, 4 VC, cc={cc}");
+    for m in [2usize, 4, 6, 8, 10] {
+        let exp = VcClusterExperiment {
+            num_vc: 4,
+            num_options: m,
+            num_ballots: votes * 2,
+            concurrency: cc,
+            votes,
+            network: NetworkProfile::lan(),
+            storage: None,
+            virtual_store: true,
+            seed: 0x5B + m as u64,
+        };
+        let result = run_point(&format!("fig5b m={m:2}"), &exp);
+        let _ = result;
+    }
+}

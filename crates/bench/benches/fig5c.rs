@@ -1,0 +1,62 @@
+//! Figure 5c: duration of every system phase versus the number of ballots
+//! cast — vote collection, vote-set consensus, push-to-BB + encrypted
+//! tally, and result publication.
+//!
+//! Paper setting: 4 VC nodes, n = 200 000, m = 4, casting 50k…200k
+//! ballots. Expected shape: vote collection dominates; consensus next;
+//! the two BB phases grow linearly but stay comparatively small.
+
+use ddemos::election::{finish_election, Election, ElectionConfig};
+use ddemos_bench::votes_per_point;
+use ddemos_ea::SetupProfile;
+use ddemos_net::NetworkProfile;
+use ddemos_protocol::ElectionParams;
+use ddemos_sim::Workload;
+use std::time::Duration;
+
+fn main() {
+    let base = votes_per_point(150, 50_000);
+    let steps: Vec<u64> = (1..=4).map(|i| base * i).collect();
+    println!("# Fig 5c — phase durations vs ballots cast (4 VC, m=4, full pipeline)");
+    println!(
+        "# {:>8} {:>14} {:>18} {:>22} {:>16}",
+        "cast", "collection(s)", "vote-set-cons(s)", "push-BB+enc-tally(s)", "publish(s)"
+    );
+    for &cast in &steps {
+        // The election window closes right after the workload finishes; all
+        // n ballots are cast.
+        let params =
+            ElectionParams::new(&format!("fig5c-{cast}"), cast, 4, 4, 3, 5, 3, 0, 3_600_000)
+                .expect("params");
+        let mut config = ElectionConfig::honest(params, 0x5C + cast, SetupProfile::Full);
+        config.network = NetworkProfile::lan();
+        let election = Election::start(config);
+        let workload = Workload {
+            concurrency: 40,
+            total_votes: cast,
+            first_ballot: 0,
+            patience: Duration::from_secs(30),
+            seed: 0x5C,
+        };
+        let stats = workload.run(&election.net, &election.setup.params, &election.setup.ballots);
+        election.close_polls();
+        let (result, timings) = finish_after(&election, stats.duration);
+        assert_eq!(result.ballots_counted, cast);
+        println!(
+            "  {:>8} {:>14.2} {:>18.2} {:>22.2} {:>16.2}",
+            cast,
+            timings.vote_collection.as_secs_f64(),
+            timings.vote_set_consensus.as_secs_f64(),
+            timings.push_to_bb_and_tally.as_secs_f64(),
+            timings.publish_result.as_secs_f64(),
+        );
+        election.shutdown();
+    }
+}
+
+fn finish_after(
+    election: &Election,
+    collection: Duration,
+) -> (ddemos_protocol::posts::ElectionResult, ddemos::election::PhaseTimings) {
+    finish_election(election, collection).expect("pipeline completes")
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the cryptographic and consensus
+//! substrates (supporting data, not a paper figure): curve ops, hashing,
+//! AES, signatures, secret sharing, ZK proofs, and one full endorsement
+//! round's worth of crypto.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddemos_crypto::curve::Point;
+use ddemos_crypto::elgamal;
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::schnorr::SigningKey;
+use ddemos_crypto::sha256::sha256;
+use ddemos_crypto::shamir;
+use ddemos_crypto::zkp;
+use ddemos_crypto::{aes, vss};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_curve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let k = Scalar::random(&mut rng);
+    let p = Point::mul_generator(&Scalar::random(&mut rng));
+    c.bench_function("curve/mul_generator (comb)", |b| {
+        b.iter(|| Point::mul_generator(std::hint::black_box(&k)))
+    });
+    c.bench_function("curve/mul_varpoint", |b| b.iter(|| p.mul(std::hint::black_box(&k))));
+    let a2 = Scalar::random(&mut rng);
+    c.bench_function("curve/double_mul (Shamir trick)", |b| {
+        b.iter(|| Point::double_mul(&k, &Point::generator(), &a2, &p))
+    });
+}
+
+fn bench_hash_aes(c: &mut Criterion) {
+    let data = vec![7u8; 1024];
+    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    let key = [1u8; 16];
+    c.bench_function("aes128-cbc/encrypt 64B", |b| {
+        b.iter(|| aes::cbc_encrypt(&key, [2u8; 16], std::hint::black_box(&data[..64])))
+    });
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let sk = SigningKey::generate(&mut rng);
+    let sig = sk.sign(b"endorsement");
+    c.bench_function("schnorr/sign", |b| b.iter(|| sk.sign(std::hint::black_box(b"endorsement"))));
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| sk.verifying_key().verify(b"endorsement", std::hint::black_box(&sig)))
+    });
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let secret = Scalar::random(&mut rng);
+    c.bench_function("shamir/split 3-of-4", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(4),
+            |mut r| shamir::split(secret, 3, 4, &mut r).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let shares = shamir::split(secret, 3, 4, &mut rng).unwrap();
+    c.bench_function("shamir/reconstruct 3-of-4", |b| {
+        b.iter(|| shamir::reconstruct(std::hint::black_box(&shares[..3]), 3).unwrap())
+    });
+    let dealer = SigningKey::generate(&mut rng);
+    c.bench_function("dealer-vss/deal+sign 3-of-4", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut r| vss::DealerVss::deal(&dealer, b"ctx", secret, 3, 4, &mut r).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_zkp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let (_, pk) = elgamal::keygen(&mut rng);
+    let r = Scalar::random(&mut rng);
+    let ct = elgamal::encrypt_with(&pk, &Scalar::ONE, &r);
+    c.bench_function("zkp/or_prove (first move)", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rg| zkp::or_prove(&pk, &ct, 1, &r, &mut rg),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let (first, secrets) = zkp::or_prove(&pk, &ct, 1, &r, &mut rng);
+    let challenge = zkp::challenge_from_coins(b"bench", &[true, false]);
+    let resp = secrets.respond(&challenge);
+    c.bench_function("zkp/or_verify", |b| {
+        b.iter(|| zkp::or_verify(&pk, &ct, &first, std::hint::black_box(&resp), &challenge))
+    });
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench_curve, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Shared helpers for the figure-regeneration benchmarks.
+//!
+//! Every bench target prints the same series the corresponding paper
+//! figure plots. Default parameters are scaled to a small CI box; set
+//! `DD_FULL=1` to run at paper scale, or override individual knobs
+//! (`DD_VOTES`, `DD_CC_SCALE`).
+
+use ddemos_sim::{VcClusterExperiment, VcClusterResult};
+
+/// True when paper-scale parameters were requested.
+pub fn full_scale() -> bool {
+    std::env::var("DD_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Votes cast per experiment point.
+pub fn votes_per_point(default_small: u64, full: u64) -> u64 {
+    if let Ok(v) = std::env::var("DD_VOTES") {
+        if let Ok(v) = v.parse() {
+            return v;
+        }
+    }
+    if full_scale() {
+        full
+    } else {
+        default_small
+    }
+}
+
+/// The paper's concurrency levels, scaled (÷10 by default).
+pub fn concurrency_levels() -> Vec<usize> {
+    let scale: usize = std::env::var("DD_CC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full_scale() { 1 } else { 10 });
+    [500usize, 1000, 1500, 2000]
+        .iter()
+        .map(|cc| (cc / scale).max(1))
+        .collect()
+}
+
+/// The VC cluster sizes of Fig 4.
+pub const VC_SIZES: [usize; 5] = [4, 7, 10, 13, 16];
+
+/// Runs one point and prints a paper-style row.
+pub fn run_point(label: &str, exp: &VcClusterExperiment) -> VcClusterResult {
+    let result = exp.run();
+    println!(
+        "{label} nv={:2} cc={:4} votes={:5} -> throughput {:8.1} ops/s, mean latency {:7.2} ms, p95 {:7.2} ms, msgs {}",
+        exp.num_vc,
+        exp.concurrency,
+        result.stats.votes_cast,
+        result.stats.throughput(),
+        result.stats.mean_latency.as_secs_f64() * 1e3,
+        result.stats.p95_latency.as_secs_f64() * 1e3,
+        result.messages,
+    );
+    result
+}

@@ -1,0 +1,646 @@
+//! Batched binary Byzantine consensus.
+//!
+//! The paper's prototype "implement[s] Bracha's Binary Consensus directly on
+//! top of the ACS … [and] introduce[s] a version of Binary Consensus that
+//! operates in batches of arbitrary size" (§V). This module is that batched
+//! consensus. For the agreement core we use the Mostéfaoui–Moumen–Raynal
+//! (PODC 2014) signature-free protocol rather than Bracha's original: it has
+//! the same model (asynchronous, `n ≥ 3f+1`, authenticated point-to-point
+//! channels) and the same interface, but its `BVAL` relay step subsumes
+//! Bracha's message-justification machinery — a value enters the counted
+//! set only after `2f+1` distinct senders back it, which Byzantine nodes
+//! alone (`≤ f`) can never achieve — and it pairs naturally with the common
+//! coin. The substitution is recorded in DESIGN.md.
+//!
+//! ## Protocol (per round `r`, every ballot slot in lockstep)
+//!
+//! * **BVAL** — broadcast `BVAL(r, est)`. On receiving `BVAL(r, w)` from
+//!   `f+1` distinct senders, relay `BVAL(r, w)` (once). On `2f+1` distinct
+//!   senders, add `w` to `bin_values[slot]`.
+//! * **AUX** — once `bin_values[slot]` is non-empty for every slot,
+//!   broadcast one `AUX(r, w)` vector with `w ∈ bin_values[slot]`.
+//! * **Decide** — wait until, for every slot, at least `n−f` received `AUX`
+//!   values lie in `bin_values[slot]` (revalidated as `bin_values` grows).
+//!   Let `V` be the set of those valid values: if `V = {w}`, set
+//!   `est = w` and **decide** `w` when the round's common coin equals `w`;
+//!   otherwise `est = coin`.
+//!
+//! Validity: if all honest nodes propose `v`, then `¬v` never reaches
+//! `2f+1` `BVAL` backers, so `bin_values = {v}` everywhere, every valid
+//! `AUX` carries `v`, and the first round whose coin is `v` decides (the
+//! value can never flip in the meantime). Agreement: two `n−f` valid-`AUX`
+//! sets intersect in an honest sender, so if one node decides `w` with
+//! `V = {w}`, every other node has `w ∈ V` and adopts `w` (singleton) or
+//! the coin — which equals `w` on a deciding round. Termination: expected
+//! O(1) rounds with the common coin.
+//!
+//! ## Coin
+//!
+//! A deterministic common coin `coin(round, slot)` derived from a beacon
+//! seed dealt by the EA at setup (SplitMix64 of `(beacon, round, slot)`).
+//! Bracha's paper uses private local coins, which are expected-exponential
+//! on adversarially mixed inputs; the shared beacon keeps batched instances
+//! with thousands of slots responsive. An adversary with full knowledge of
+//! the beacon and adaptive scheduling could stall liveness (a known
+//! limitation of predictable coins) but can never affect safety.
+
+use ddemos_protocol::messages::{ConsensusMsg, ConsensusPayload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hard cap on rounds, as a runaway guard (tests never approach it).
+pub const MAX_ROUNDS: u32 = 10_000;
+
+/// Message step tag: BVAL broadcast.
+pub const STEP_BVAL: u8 = 1;
+/// Message step tag: AUX broadcast.
+pub const STEP_AUX: u8 = 2;
+
+/// SplitMix64 finalizer — the common-coin PRF.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shared coin for `(round, slot)` under a beacon seed.
+pub fn common_coin(beacon: u64, round: u32, slot: usize) -> bool {
+    mix(beacon ^ (u64::from(round) << 32) ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 1
+        == 1
+}
+
+/// Sender bitmask (supports up to 64 VC nodes; the paper evaluates ≤ 16).
+type SenderMask = u64;
+
+/// Per-round per-slot state.
+#[derive(Clone, Default)]
+struct SlotRound {
+    /// Distinct `BVAL` senders per value: `[false, true]`.
+    bval_senders: [SenderMask; 2],
+    /// Which values we have ourselves broadcast `BVAL` for.
+    bval_sent: [bool; 2],
+    /// Values backed by `2f+1` senders.
+    bin_values: [bool; 2],
+    /// `AUX` senders per value.
+    aux_senders: [SenderMask; 2],
+}
+
+/// Per-round state: slot counters plus our own broadcast flags.
+struct RoundState {
+    slots: Vec<SlotRound>,
+    bval_sent_initial: bool,
+    aux_sent: bool,
+}
+
+impl RoundState {
+    fn new(num_slots: usize) -> RoundState {
+        RoundState {
+            slots: vec![SlotRound::default(); num_slots],
+            bval_sent_initial: false,
+            aux_sent: false,
+        }
+    }
+}
+
+/// Batched binary consensus state machine for one node.
+///
+/// Nodes participate *reactively* in every round a peer shows activity in
+/// (relaying BVALs and contributing AUX votes, even for rounds they have
+/// themselves moved past), but *evaluate* rounds strictly in order and
+/// *initiate* a new round only while some slot is undecided. This keeps
+/// laggards live — helpers never abandon a round a peer still needs — while
+/// guaranteeing quiescence once every node has decided.
+pub struct BatchConsensus {
+    n: usize,
+    f: usize,
+    round: u32,
+    estimates: Vec<bool>,
+    decided: Vec<Option<bool>>,
+    undecided: usize,
+    rounds: HashMap<u32, RoundState>,
+    beacon: u64,
+}
+
+impl BatchConsensus {
+    /// Creates an instance for node `me` of `n` (tolerating `f` faults)
+    /// with the given initial opinion vector and common-coin beacon seed
+    /// (all nodes must use the same `beacon`). Returns the state machine
+    /// and initial broadcasts, which the caller must deliver to **all** VC
+    /// nodes including itself.
+    pub fn new(
+        n: usize,
+        f: usize,
+        me: u32,
+        initial: Vec<bool>,
+        beacon: u64,
+    ) -> (BatchConsensus, Vec<ConsensusMsg>) {
+        assert!(n <= 64, "sender bitmask supports up to 64 nodes");
+        let _ = me; // identity comes from the authenticated envelope
+        let num_slots = initial.len();
+        let mut bc = BatchConsensus {
+            n,
+            f,
+            round: 0,
+            decided: vec![None; num_slots],
+            undecided: num_slots,
+            estimates: initial,
+            rounds: HashMap::new(),
+            beacon,
+        };
+        let mut out = Vec::new();
+        bc.ensure_bval(0, &mut out);
+        (bc, out)
+    }
+
+    /// Current evaluation round (diagnostics).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The decision vector once every slot has decided.
+    pub fn decision(&self) -> Option<Vec<bool>> {
+        if self.undecided == 0 {
+            Some(self.decided.iter().map(|d| d.unwrap()).collect())
+        } else {
+            None
+        }
+    }
+
+    /// True once every slot has decided locally.
+    pub fn is_done(&self) -> bool {
+        self.undecided == 0
+    }
+
+    /// Broadcasts our initial BVAL for `round` if not done yet (estimates
+    /// as of now; `bval_sent` per value keeps later re-sends deduplicated).
+    fn ensure_bval(&mut self, round: u32, out: &mut Vec<ConsensusMsg>) {
+        let estimates = self.estimates.clone();
+        let state = self
+            .rounds
+            .entry(round)
+            .or_insert_with(|| RoundState::new(estimates.len()));
+        if state.bval_sent_initial {
+            return;
+        }
+        state.bval_sent_initial = true;
+        let values: Vec<Option<bool>> = estimates
+            .iter()
+            .enumerate()
+            .map(|(slot, &v)| {
+                if state.slots[slot].bval_sent[usize::from(v)] {
+                    None
+                } else {
+                    state.slots[slot].bval_sent[usize::from(v)] = true;
+                    Some(v)
+                }
+            })
+            .collect();
+        out.push(ConsensusMsg {
+            payload: Arc::new(ConsensusPayload { round, step: STEP_BVAL, values }),
+        });
+    }
+
+    /// Handles a consensus message from authenticated VC index `from`.
+    /// Returns broadcasts the caller must fan out to all VC nodes
+    /// (including itself).
+    pub fn handle(&mut self, from: u32, msg: &ConsensusMsg) -> Vec<ConsensusMsg> {
+        let mut out = Vec::new();
+        let round = msg.payload.round;
+        if msg.payload.values.len() != self.estimates.len()
+            || from as usize >= self.n
+            || round >= MAX_ROUNDS
+            || round < self.round
+            || round > self.round.saturating_add(64)
+        {
+            // Stale rounds can no longer matter (we only evaluate a round
+            // after contributing to it), and far-future rounds are capped to
+            // stop a Byzantine sender from forcing unbounded allocations.
+            return out;
+        }
+        // State for the message's round accumulates even while we are
+        // evaluating an earlier round; our *own-estimate* broadcasts
+        // (initial BVAL, AUX) are only ever issued for `self.round`, because
+        // a stale-estimate BVAL for a future round would let an adversary
+        // reopen a value the decide-lock argument assumes closed. Relays
+        // below are safe at any round: they are grounded in `f+1` senders,
+        // at least one honest.
+        self.rounds
+            .entry(round)
+            .or_insert_with(|| RoundState::new(self.estimates.len()));
+        let bit = 1u64 << from;
+        let state = self.rounds.get_mut(&round).expect("created above");
+        match msg.payload.step {
+            STEP_BVAL => {
+                let mut relay: Vec<Option<bool>> = vec![None; msg.payload.values.len()];
+                let mut any_relay = false;
+                for (slot, value) in msg.payload.values.iter().enumerate() {
+                    let Some(v) = *value else { continue };
+                    let vi = usize::from(v);
+                    let s = &mut state.slots[slot];
+                    s.bval_senders[vi] |= bit;
+                    let count = s.bval_senders[vi].count_ones() as usize;
+                    if count >= self.f + 1 && !s.bval_sent[vi] {
+                        s.bval_sent[vi] = true;
+                        relay[slot] = Some(v);
+                        any_relay = true;
+                    }
+                    if count >= 2 * self.f + 1 {
+                        s.bin_values[vi] = true;
+                    }
+                }
+                if any_relay {
+                    out.push(ConsensusMsg {
+                        payload: Arc::new(ConsensusPayload {
+                            round,
+                            step: STEP_BVAL,
+                            values: relay,
+                        }),
+                    });
+                }
+            }
+            STEP_AUX => {
+                for (slot, value) in msg.payload.values.iter().enumerate() {
+                    let Some(v) = *value else { continue };
+                    let s = &mut state.slots[slot];
+                    // First AUX per sender per slot counts.
+                    if (s.aux_senders[0] | s.aux_senders[1]) & bit == 0 {
+                        s.aux_senders[usize::from(v)] |= bit;
+                    }
+                }
+            }
+            _ => return out,
+        }
+        if round == self.round {
+            // Join our current round if a peer is driving it and we had
+            // stopped initiating (post-decision helper path). Estimates are
+            // current at self.round, so this is always safe.
+            self.ensure_bval(round, &mut out);
+            self.maybe_aux(round, &mut out);
+        }
+        self.try_eval(&mut out);
+        out
+    }
+
+    /// Sends this node's AUX for `round` once every slot has a bin value.
+    fn maybe_aux(&mut self, round: u32, out: &mut Vec<ConsensusMsg>) {
+        let estimates = self.estimates.clone();
+        let Some(state) = self.rounds.get_mut(&round) else { return };
+        if state.aux_sent || !state.bval_sent_initial {
+            return;
+        }
+        if !state.slots.iter().all(|s| s.bin_values[0] || s.bin_values[1]) {
+            return;
+        }
+        let values: Vec<Option<bool>> = state
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(slot, s)| {
+                let est = estimates[slot];
+                if s.bin_values[usize::from(est)] {
+                    Some(est)
+                } else {
+                    Some(!est)
+                }
+            })
+            .collect();
+        state.aux_sent = true;
+        out.push(ConsensusMsg {
+            payload: Arc::new(ConsensusPayload { round, step: STEP_AUX, values }),
+        });
+    }
+
+    /// Evaluates rounds in order while their quorums are complete.
+    fn try_eval(&mut self, out: &mut Vec<ConsensusMsg>) {
+        loop {
+            let quorum = (self.n - self.f) as u32;
+            let ready = match self.rounds.get(&self.round) {
+                Some(state) => {
+                    state.aux_sent
+                        && state.slots.iter().all(|s| {
+                            let mut valid = 0u32;
+                            for v in 0..2 {
+                                if s.bin_values[v] {
+                                    valid += s.aux_senders[v].count_ones();
+                                }
+                            }
+                            valid >= quorum
+                        })
+                }
+                None => false,
+            };
+            if !ready {
+                return;
+            }
+            let coin_round = self.round;
+            let state = self.rounds.get(&self.round).expect("checked");
+            for slot in 0..self.estimates.len() {
+                let s = &state.slots[slot];
+                let mut v_set = [false; 2];
+                for v in 0..2 {
+                    if s.bin_values[v] && s.aux_senders[v] != 0 {
+                        v_set[v] = true;
+                    }
+                }
+                let coin = common_coin(self.beacon, coin_round, slot);
+                match (v_set[0], v_set[1]) {
+                    (true, false) | (false, true) => {
+                        let w = v_set[1];
+                        self.estimates[slot] = w;
+                        if w == coin && self.decided[slot].is_none() {
+                            self.decided[slot] = Some(w);
+                            self.undecided -= 1;
+                        }
+                    }
+                    _ => {
+                        // Mixed (or degenerate) view: adopt the coin.
+                        if self.decided[slot].is_none() {
+                            self.estimates[slot] = coin;
+                        }
+                    }
+                }
+                // Decided slots pin their estimate forever.
+                if let Some(w) = self.decided[slot] {
+                    self.estimates[slot] = w;
+                }
+            }
+            self.rounds.remove(&self.round);
+            self.round += 1;
+            assert!(self.round < MAX_ROUNDS, "consensus runaway");
+            // Initiate the next round while work remains, or march along if
+            // some peer has already shown activity at or past it (a decided
+            // node must keep contributing so laggards can fill quorums; once
+            // everyone has decided, no one initiates and the protocol goes
+            // quiescent).
+            let next = self.round;
+            let peer_activity = self.rounds.keys().any(|&r| r >= next);
+            if self.undecided > 0 || peer_activity {
+                self.ensure_bval(next, out);
+                self.maybe_aux(next, out);
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives honest nodes (plus optional Byzantine message sources) to
+    /// quiescence with a seeded random schedule; returns their decisions.
+    fn run(
+        n: usize,
+        f: usize,
+        inputs: Vec<Vec<bool>>,
+        byzantine: &[u32],
+        schedule_seed: u64,
+    ) -> Vec<Vec<bool>> {
+        let honest: Vec<u32> = (0..n as u32).filter(|i| !byzantine.contains(i)).collect();
+        let mut nodes: HashMap<u32, BatchConsensus> = HashMap::new();
+        let mut queue: Vec<(u32, u32, ConsensusMsg)> = Vec::new();
+        for &i in &honest {
+            let (bc, msgs) = BatchConsensus::new(n, f, i, inputs[i as usize].clone(), 42);
+            for m in msgs {
+                for to in 0..n as u32 {
+                    queue.push((i, to, m.clone()));
+                }
+            }
+            nodes.insert(i, bc);
+        }
+        // Byzantine nodes spray adversarial BVAL/AUX vectors for several
+        // rounds.
+        let num_slots = inputs[0].len();
+        for &b in byzantine {
+            for round in 0..4u32 {
+                for step in [STEP_BVAL, STEP_AUX] {
+                    let values: Vec<Option<bool>> = (0..num_slots)
+                        .map(|s| Some((s + b as usize + round as usize) % 2 == 0))
+                        .collect();
+                    let payload = Arc::new(ConsensusPayload { round, step, values });
+                    let msg = ConsensusMsg { payload };
+                    for to in 0..n as u32 {
+                        queue.push((b, to, msg.clone()));
+                    }
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(schedule_seed);
+        let mut steps = 0u64;
+        while !queue.is_empty() {
+            steps += 1;
+            assert!(steps < 5_000_000, "schedule did not terminate");
+            let idx = rng.gen_range(0..queue.len());
+            let (from, to, msg) = queue.swap_remove(idx);
+            if byzantine.contains(&to) {
+                continue;
+            }
+            let Some(node) = nodes.get_mut(&to) else { continue };
+            let outs = node.handle(from, &msg);
+            for m in outs {
+                for dest in 0..n as u32 {
+                    queue.push((to, dest, m.clone()));
+                }
+            }
+        }
+        let mut decisions = Vec::new();
+        for &i in &honest {
+            decisions.push(nodes[&i].decision().unwrap_or_else(|| {
+                panic!("node {i} undecided after quiescence (round {})", nodes[&i].round())
+            }));
+        }
+        decisions
+    }
+
+    #[test]
+    fn unanimous_input_decides_that_value() {
+        for value in [false, true] {
+            let inputs = vec![vec![value; 5]; 4];
+            let decisions = run(4, 1, inputs, &[], 1);
+            for d in &decisions {
+                assert_eq!(d, &vec![value; 5]);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        let inputs = vec![
+            vec![true, false, true, false],
+            vec![false, false, true, true],
+            vec![true, true, false, false],
+            vec![false, true, true, false],
+        ];
+        for seed in 0..5 {
+            let decisions = run(4, 1, inputs.clone(), &[], seed);
+            for d in &decisions[1..] {
+                assert_eq!(d, &decisions[0], "agreement violated (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_slots_keep_their_value() {
+        let inputs = vec![vec![true, false]; 4];
+        for seed in 0..5 {
+            let decisions = run(4, 1, inputs.clone(), &[], seed);
+            for d in &decisions {
+                assert_eq!(d, &vec![true, false]);
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_node_cannot_break_agreement_or_validity() {
+        // Nodes 0-2 honest and unanimous; node 3 byzantine.
+        let inputs = vec![vec![true, false, true]; 4];
+        for seed in 0..8 {
+            let decisions = run(4, 1, inputs.clone(), &[3], seed);
+            assert_eq!(decisions.len(), 3);
+            for d in &decisions {
+                assert_eq!(d, &vec![true, false, true], "validity under byzantine (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_with_mixed_honest_inputs_agree() {
+        let inputs = vec![
+            vec![true, false, false, true],
+            vec![false, true, false, true],
+            vec![true, true, false, false],
+            vec![true, true, true, true], // byzantine; input unused
+        ];
+        for seed in 0..8 {
+            let decisions = run(4, 1, inputs.clone(), &[3], seed);
+            for d in &decisions[1..] {
+                assert_eq!(d, &decisions[0], "agreement under byzantine (seed {seed})");
+            }
+            // Slot 2: all honest proposed false -> must decide false.
+            assert!(!decisions[0][2], "validity on unanimous slot (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn crash_fault_still_terminates() {
+        // Node 3 never sends anything (crash). 3 honest of 4, f=1.
+        let inputs =
+            vec![vec![true, true], vec![true, false], vec![false, true], vec![true, true]];
+        let decisions = {
+            let mut nodes: HashMap<u32, BatchConsensus> = HashMap::new();
+            let mut queue: Vec<(u32, u32, ConsensusMsg)> = Vec::new();
+            for i in 0..3u32 {
+                let (bc, msgs) = BatchConsensus::new(4, 1, i, inputs[i as usize].clone(), 7);
+                for m in msgs {
+                    for to in 0..3u32 {
+                        queue.push((i, to, m.clone()));
+                    }
+                }
+                nodes.insert(i, bc);
+            }
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut steps = 0u64;
+            while !queue.is_empty() {
+                steps += 1;
+                assert!(steps < 2_000_000);
+                let idx = rng.gen_range(0..queue.len());
+                let (from, to, msg) = queue.swap_remove(idx);
+                let outs = nodes.get_mut(&to).unwrap().handle(from, &msg);
+                for m in outs {
+                    for dest in 0..3u32 {
+                        queue.push((to, dest, m.clone()));
+                    }
+                }
+            }
+            (0..3u32).map(|i| nodes[&i].decision().expect("decided")).collect::<Vec<_>>()
+        };
+        for d in &decisions[1..] {
+            assert_eq!(d, &decisions[0]);
+        }
+    }
+
+    #[test]
+    fn large_batch_many_nodes() {
+        let num_slots = 500;
+        let n = 7;
+        let inputs: Vec<Vec<bool>> = (0..n)
+            .map(|i| (0..num_slots).map(|s| (s + i) % 3 != 0).collect())
+            .collect();
+        let decisions = run(n, 2, inputs, &[], 5);
+        for d in &decisions[1..] {
+            assert_eq!(d, &decisions[0]);
+        }
+    }
+
+    #[test]
+    fn sixteen_nodes_with_five_byzantine() {
+        // Nv = 16 tolerates fv = 5 (largest configuration in Fig. 4).
+        let n = 16;
+        let byz: Vec<u32> = (11..16).collect();
+        let inputs: Vec<Vec<bool>> = (0..n).map(|_| vec![true, false, true, true]).collect();
+        let decisions = run(n, 5, inputs, &byz, 3);
+        for d in &decisions {
+            assert_eq!(d, &vec![true, false, true, true]);
+        }
+    }
+
+    #[test]
+    fn single_node_trivial() {
+        let (mut bc, msgs) = BatchConsensus::new(1, 0, 0, vec![true, false], 1);
+        let mut queue: Vec<ConsensusMsg> = msgs;
+        let mut guard = 0;
+        while let Some(m) = queue.pop() {
+            guard += 1;
+            assert!(guard < 1000);
+            queue.extend(bc.handle(0, &m));
+        }
+        assert_eq!(bc.decision().unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn common_coin_is_shared_and_balanced() {
+        let mut ones = 0;
+        for slot in 0..1000 {
+            assert_eq!(common_coin(9, 3, slot), common_coin(9, 3, slot));
+            if common_coin(9, 3, slot) {
+                ones += 1;
+            }
+        }
+        assert!(ones > 350 && ones < 650, "coin heavily biased: {ones}");
+        assert_ne!(
+            (0..64).map(|s| common_coin(1, 0, s)).collect::<Vec<_>>(),
+            (0..64).map(|s| common_coin(2, 0, s)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_messages() {
+        let (mut bc, _) = BatchConsensus::new(4, 1, 0, vec![true; 3], 1);
+        // Wrong vector size.
+        let bad = ConsensusMsg {
+            payload: Arc::new(ConsensusPayload {
+                round: 0,
+                step: STEP_BVAL,
+                values: vec![Some(true); 99],
+            }),
+        };
+        assert!(bc.handle(1, &bad).is_empty());
+        // Out-of-range sender.
+        let ok_payload = ConsensusMsg {
+            payload: Arc::new(ConsensusPayload {
+                round: 0,
+                step: STEP_BVAL,
+                values: vec![Some(true); 3],
+            }),
+        };
+        assert!(bc.handle(99, &ok_payload).is_empty());
+        // Unknown step ignored.
+        let weird = ConsensusMsg {
+            payload: Arc::new(ConsensusPayload { round: 0, step: 9, values: vec![Some(true); 3] }),
+        };
+        assert!(bc.handle(1, &weird).is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Bracha reliable broadcast.
+//!
+//! Every step message of the binary consensus is disseminated through this
+//! primitive, which gives the two properties the consensus safety argument
+//! leans on (§III-E):
+//!
+//! * **Consistency** — no two honest nodes deliver different payloads for
+//!   the same `(origin, round, step)` instance, even when the origin is
+//!   Byzantine (echo quorums of size `⌈(n+f+1)/2⌉` intersect in an honest
+//!   node).
+//! * **Totality** — if any honest node delivers, every honest node
+//!   eventually delivers (the `f+1 → 2f+1` ready amplification).
+//!
+//! The implementation is sans-IO: [`RbcState::handle`] consumes a message
+//! and returns messages to broadcast plus an optional delivery.
+
+use ddemos_protocol::messages::{ConsensusPayload, RbcMsg, RbcPhase};
+use ddemos_protocol::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+type InstanceKey = (u32, u32, u8); // (origin index, round, step)
+
+#[derive(Default)]
+struct Instance {
+    echoed: bool,
+    readied: bool,
+    delivered: bool,
+    echoes: HashMap<[u8; 32], HashSet<u32>>,
+    readies: HashMap<[u8; 32], HashSet<u32>>,
+    payloads: HashMap<[u8; 32], Arc<ConsensusPayload>>,
+}
+
+/// A delivered broadcast: the origin's index and its payload.
+#[derive(Clone, Debug)]
+pub struct RbcDelivery {
+    /// VC index of the broadcast's origin.
+    pub origin: u32,
+    /// The consistent payload.
+    pub payload: Arc<ConsensusPayload>,
+}
+
+/// Reliable-broadcast state for one node across all instances.
+pub struct RbcState {
+    n: usize,
+    f: usize,
+    me: u32,
+    instances: HashMap<InstanceKey, Instance>,
+}
+
+impl RbcState {
+    /// Creates the RBC layer for a cluster of `n` nodes tolerating `f`
+    /// faults (requires `n ≥ 3f + 1` for the stated guarantees).
+    pub fn new(n: usize, f: usize, me: u32) -> RbcState {
+        RbcState { n, f, me, instances: HashMap::new() }
+    }
+
+    fn echo_threshold(&self) -> usize {
+        (self.n + self.f) / 2 + 1
+    }
+
+    fn ready_amplify_threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    fn deliver_threshold(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Initiates a broadcast of `payload` from this node. The returned
+    /// message must be sent to **all** nodes including the sender itself
+    /// (self-delivery flows through [`RbcState::handle`] like any other).
+    pub fn broadcast(&mut self, payload: Arc<ConsensusPayload>) -> RbcMsg {
+        RbcMsg { origin: NodeId::vc(self.me), payload, phase: RbcPhase::Send }
+    }
+
+    /// Processes a message from authenticated sender index `from`.
+    ///
+    /// Returns messages this node must broadcast to everyone (echo/ready
+    /// transitions) and, at most once per instance, a delivery.
+    pub fn handle(
+        &mut self,
+        from: u32,
+        msg: &RbcMsg,
+        out: &mut Vec<RbcMsg>,
+    ) -> Option<RbcDelivery> {
+        let origin = msg.origin.index;
+        let key: InstanceKey = (origin, msg.payload.round, msg.payload.step);
+        let digest = msg.payload.digest();
+        let echo_thr = self.echo_threshold();
+        let ready_amp = self.ready_amplify_threshold();
+        let deliver_thr = self.deliver_threshold();
+        let inst = self.instances.entry(key).or_default();
+
+        match msg.phase {
+            RbcPhase::Send => {
+                // Only the origin may initiate, and we echo at most once.
+                if from != origin || inst.echoed {
+                    return None;
+                }
+                inst.echoed = true;
+                inst.payloads.entry(digest).or_insert_with(|| msg.payload.clone());
+                out.push(RbcMsg {
+                    origin: msg.origin,
+                    payload: msg.payload.clone(),
+                    phase: RbcPhase::Echo,
+                });
+                None
+            }
+            RbcPhase::Echo => {
+                inst.payloads.entry(digest).or_insert_with(|| msg.payload.clone());
+                let count = {
+                    let set = inst.echoes.entry(digest).or_default();
+                    set.insert(from);
+                    set.len()
+                };
+                if count >= echo_thr && !inst.readied {
+                    inst.readied = true;
+                    out.push(RbcMsg {
+                        origin: msg.origin,
+                        payload: msg.payload.clone(),
+                        phase: RbcPhase::Ready,
+                    });
+                }
+                None
+            }
+            RbcPhase::Ready => {
+                inst.payloads.entry(digest).or_insert_with(|| msg.payload.clone());
+                let count = {
+                    let set = inst.readies.entry(digest).or_default();
+                    set.insert(from);
+                    set.len()
+                };
+                if count >= ready_amp && !inst.readied {
+                    inst.readied = true;
+                    out.push(RbcMsg {
+                        origin: msg.origin,
+                        payload: msg.payload.clone(),
+                        phase: RbcPhase::Ready,
+                    });
+                }
+                if count >= deliver_thr && !inst.delivered {
+                    inst.delivered = true;
+                    let payload = inst.payloads.get(&digest).cloned().expect("payload stored");
+                    return Some(RbcDelivery { origin, payload });
+                }
+                None
+            }
+        }
+    }
+
+    /// Drops state for rounds `< round` (memory reclamation between
+    /// consensus rounds).
+    pub fn prune_below(&mut self, round: u32) {
+        self.instances.retain(|key, _| key.1 >= round);
+    }
+
+    /// Number of live instances (for tests / introspection).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(v: bool) -> Arc<ConsensusPayload> {
+        Arc::new(ConsensusPayload { round: 0, step: 1, values: vec![Some(v)] })
+    }
+
+    /// Runs a full message pump among honest nodes, returning deliveries.
+    fn pump(states: &mut [RbcState], initial: Vec<(u32, RbcMsg)>) -> Vec<(u32, RbcDelivery)> {
+        let n = states.len();
+        let mut queue: Vec<(u32, u32, RbcMsg)> = Vec::new(); // (from, to, msg)
+        for (from, msg) in initial {
+            for to in 0..n as u32 {
+                queue.push((from, to, msg.clone()));
+            }
+        }
+        let mut deliveries = Vec::new();
+        while let Some((from, to, msg)) = queue.pop() {
+            let mut out = Vec::new();
+            if let Some(d) = states[to as usize].handle(from, &msg, &mut out) {
+                deliveries.push((to, d));
+            }
+            for m in out {
+                for dest in 0..n as u32 {
+                    queue.push((to, dest, m.clone()));
+                }
+            }
+        }
+        deliveries
+    }
+
+    #[test]
+    fn all_honest_deliver_same() {
+        let n = 4;
+        let mut states: Vec<RbcState> = (0..n).map(|i| RbcState::new(n as usize, 1, i)).collect();
+        let msg = states[0].broadcast(payload(true));
+        let deliveries = pump(&mut states, vec![(0, msg)]);
+        assert_eq!(deliveries.len(), 4);
+        for (_, d) in &deliveries {
+            assert_eq!(d.origin, 0);
+            assert_eq!(d.payload.values, vec![Some(true)]);
+        }
+    }
+
+    #[test]
+    fn equivocating_origin_cannot_split_delivery() {
+        // Byzantine node 3 sends payload A to nodes {0,1} and B to {2}.
+        // Consistency: whatever is delivered must be identical everywhere.
+        let n = 4;
+        let mut states: Vec<RbcState> = (0..n).map(|i| RbcState::new(n as usize, 1, i)).collect();
+        let pa = payload(true);
+        let pb = payload(false);
+        let msg_a = RbcMsg { origin: NodeId::vc(3), payload: pa, phase: RbcPhase::Send };
+        let msg_b = RbcMsg { origin: NodeId::vc(3), payload: pb, phase: RbcPhase::Send };
+
+        let mut queue: Vec<(u32, u32, RbcMsg)> = vec![
+            (3, 0, msg_a.clone()),
+            (3, 1, msg_a),
+            (3, 2, msg_b),
+        ];
+        let mut deliveries: Vec<(u32, RbcDelivery)> = Vec::new();
+        while let Some((from, to, msg)) = queue.pop() {
+            if to == 3 {
+                continue; // byzantine node's own state irrelevant
+            }
+            let mut out = Vec::new();
+            if let Some(d) = states[to as usize].handle(from, &msg, &mut out) {
+                deliveries.push((to, d));
+            }
+            for m in out {
+                for dest in 0..4u32 {
+                    queue.push((to, dest, m.clone()));
+                }
+            }
+        }
+        // With a 4-node cluster, echo threshold is 3; the split 2/1 echoes
+        // can produce at most one side reaching it.
+        let digests: std::collections::HashSet<[u8; 32]> =
+            deliveries.iter().map(|(_, d)| d.payload.digest()).collect();
+        assert!(digests.len() <= 1, "conflicting deliveries");
+    }
+
+    #[test]
+    fn non_origin_cannot_forge_send() {
+        let n = 4;
+        let mut states: Vec<RbcState> = (0..n).map(|i| RbcState::new(n as usize, 1, i)).collect();
+        // Node 2 claims to relay a Send from origin 0.
+        let forged = RbcMsg { origin: NodeId::vc(0), payload: payload(true), phase: RbcPhase::Send };
+        let mut out = Vec::new();
+        let d = states[1].handle(2, &forged, &mut out);
+        assert!(d.is_none());
+        assert!(out.is_empty(), "no echo for forged send");
+    }
+
+    #[test]
+    fn single_node_cluster_delivers_itself() {
+        let mut states = vec![RbcState::new(1, 0, 0)];
+        let msg = states[0].broadcast(payload(true));
+        let deliveries = pump(&mut states, vec![(0, msg)]);
+        assert_eq!(deliveries.len(), 1);
+    }
+
+    #[test]
+    fn prune_reclaims_instances() {
+        let n = 4;
+        let mut states: Vec<RbcState> = (0..n).map(|i| RbcState::new(n as usize, 1, i)).collect();
+        let msg = states[0].broadcast(payload(true));
+        pump(&mut states, vec![(0, msg)]);
+        assert!(states[1].instance_count() > 0);
+        states[1].prune_below(1);
+        assert_eq!(states[1].instance_count(), 0);
+    }
+}

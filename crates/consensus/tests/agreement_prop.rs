@@ -1,0 +1,113 @@
+//! Property tests: batched binary consensus keeps agreement and per-slot
+//! validity across randomized delivery schedules, input mixes, cluster
+//! sizes and crash subsets.
+
+use ddemos_consensus::binary::BatchConsensus;
+use ddemos_protocol::messages::ConsensusMsg;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Drives `alive` honest nodes to quiescence under a seeded random
+/// schedule; crashed nodes never send. Returns per-node decisions.
+fn drive(
+    n: usize,
+    f: usize,
+    inputs: &[Vec<bool>],
+    crashed: &[u32],
+    schedule_seed: u64,
+) -> Vec<Vec<bool>> {
+    let alive: Vec<u32> = (0..n as u32).filter(|i| !crashed.contains(i)).collect();
+    let mut nodes: HashMap<u32, BatchConsensus> = HashMap::new();
+    let mut queue: Vec<(u32, u32, ConsensusMsg)> = Vec::new();
+    for &i in &alive {
+        let (bc, msgs) = BatchConsensus::new(n, f, i, inputs[i as usize].clone(), 1234);
+        for m in msgs {
+            for &to in &alive {
+                queue.push((i, to, m.clone()));
+            }
+        }
+        nodes.insert(i, bc);
+    }
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut steps = 0u64;
+    while !queue.is_empty() {
+        steps += 1;
+        assert!(steps < 3_000_000, "no quiescence");
+        let idx = rng.gen_range(0..queue.len());
+        let (from, to, msg) = queue.swap_remove(idx);
+        let outs = nodes.get_mut(&to).unwrap().handle(from, &msg);
+        for m in outs {
+            for &dest in &alive {
+                queue.push((to, dest, m.clone()));
+            }
+        }
+    }
+    alive
+        .iter()
+        .map(|i| nodes[i].decision().expect("decided at quiescence"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn agreement_and_validity_random_inputs(
+        seed in any::<u64>(),
+        slots in 1usize..12,
+        inputs_seed in any::<u64>(),
+    ) {
+        let n = 4;
+        let f = 1;
+        let mut irng = StdRng::seed_from_u64(inputs_seed);
+        let inputs: Vec<Vec<bool>> =
+            (0..n).map(|_| (0..slots).map(|_| irng.gen()).collect()).collect();
+        let decisions = drive(n, f, &inputs, &[], seed);
+        // Agreement.
+        for d in &decisions[1..] {
+            prop_assert_eq!(d, &decisions[0]);
+        }
+        // Per-slot validity: unanimous slots keep their value.
+        for slot in 0..slots {
+            let vals: Vec<bool> = inputs.iter().map(|i| i[slot]).collect();
+            if vals.iter().all(|&v| v) {
+                prop_assert!(decisions[0][slot]);
+            }
+            if vals.iter().all(|&v| !v) {
+                prop_assert!(!decisions[0][slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_with_one_crash(seed in any::<u64>(), crash in 0u32..4) {
+        let n = 4;
+        let f = 1;
+        let inputs: Vec<Vec<bool>> = (0..n)
+            .map(|i| vec![i % 2 == 0, true, false])
+            .collect();
+        let decisions = drive(n, f, &inputs, &[crash], seed);
+        prop_assert_eq!(decisions.len(), 3);
+        for d in &decisions[1..] {
+            prop_assert_eq!(d, &decisions[0]);
+        }
+        // Slots 1 and 2 are unanimous among all nodes (hence among the
+        // alive ones too).
+        prop_assert!(decisions[0][1]);
+        prop_assert!(!decisions[0][2]);
+    }
+
+    #[test]
+    fn seven_nodes_two_crashes(seed in any::<u64>()) {
+        let n = 7;
+        let f = 2;
+        let inputs: Vec<Vec<bool>> =
+            (0..n).map(|i| vec![i < 4, i % 3 == 0]).collect();
+        let decisions = drive(n, f, &inputs, &[5, 6], seed);
+        for d in &decisions[1..] {
+            prop_assert_eq!(d, &decisions[0]);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Auditors (§III-I): anyone can verify the complete election process from
+//! the Bulletin Board, and voters can delegate their private checks
+//! without revealing how they voted.
+//!
+//! Checks implemented (lettered as in the paper):
+//! (a) within each opened ballot no two vote codes are equal;
+//! (b) at most one submitted vote code per ballot part;
+//! (c) at most one part used per ballot;
+//! (d) all published commitment openings are valid *and* encode unit
+//!     vectors;
+//! (e) the zero-knowledge proofs of the used ballot parts are complete and
+//!     valid under the voter-coin challenge;
+//! (f) [delegated] submitted vote codes match what voters report;
+//! (g) [delegated] unused-part openings match the voters' printed ballots.
+//!
+//! Plus the global checks: challenge recomputation from the voters' coins
+//! and verification of the homomorphic tally opening against the result.
+
+use ddemos_bb::BbSnapshot;
+use ddemos_crypto::elgamal::{self, Ciphertext};
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::zkp;
+use ddemos_protocol::ballot::AuditInfo;
+use ddemos_protocol::initdata::BbInit;
+use ddemos_protocol::{PartId, SerialNo};
+
+/// Outcome of an audit.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Human-readable failures; empty means the election verifies.
+    pub failures: Vec<String>,
+    /// Number of individual checks that ran.
+    pub checks_run: usize,
+}
+
+impl AuditReport {
+    /// True iff no check failed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        self.checks_run += 1;
+        if !ok {
+            self.failures.push(msg());
+        }
+    }
+}
+
+/// The public auditor.
+pub struct Auditor<'a> {
+    init: &'a BbInit,
+    snapshot: &'a BbSnapshot,
+}
+
+impl<'a> Auditor<'a> {
+    /// Creates an auditor over the published init data and a majority-read
+    /// snapshot.
+    pub fn new(init: &'a BbInit, snapshot: &'a BbSnapshot) -> Auditor<'a> {
+        Auditor { init, snapshot }
+    }
+
+    fn locate_cast_row(&self, serial: SerialNo, code: &ddemos_crypto::votecode::VoteCode) -> Vec<(PartId, usize)> {
+        let mut hits = Vec::new();
+        for part in PartId::BOTH {
+            if let Some(codes) = self.snapshot.decrypted_codes.get(&(serial, part.index() as u8)) {
+                for (row, c) in codes.iter().enumerate() {
+                    if c == code {
+                        hits.push((part, row));
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Runs the public checks (a)–(e) plus challenge and tally
+    /// verification.
+    pub fn verify_public(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        let Some(vote_set) = &self.snapshot.vote_set else {
+            report.check(false, || "no final vote set published".into());
+            return report;
+        };
+
+        // (a) opened codes unique within each ballot.
+        for (serial, _) in self.init.ballots.iter() {
+            let mut codes = Vec::new();
+            for part in PartId::BOTH {
+                if let Some(c) = self.snapshot.decrypted_codes.get(&(*serial, part.index() as u8))
+                {
+                    codes.extend(c.iter().copied());
+                }
+            }
+            let total = codes.len();
+            codes.sort();
+            codes.dedup();
+            report.check(codes.len() == total, || {
+                format!("(a) duplicate vote codes within ballot {serial}")
+            });
+        }
+
+        // (b)/(c) every cast code appears in exactly one row of one part.
+        for (serial, code) in &vote_set.entries {
+            let hits = self.locate_cast_row(*serial, code);
+            report.check(hits.len() == 1, || {
+                format!("(b/c) cast code of {serial} located {} times", hits.len())
+            });
+        }
+
+        // Challenge recomputation from the voters' coins.
+        let mut coins = Vec::new();
+        for (serial, code) in &vote_set.entries {
+            if let Some((part, _)) = self.locate_cast_row(*serial, code).first() {
+                coins.push(part.coin());
+            }
+        }
+        let mut ctx = Vec::new();
+        ctx.extend_from_slice(&self.init.params.election_id.0);
+        let challenge = zkp::challenge_from_coins(&ctx, &coins);
+        report.check(self.snapshot.challenge == Some(challenge), || {
+            "challenge does not match the voters' coins".into()
+        });
+
+        // (d) openings valid and unit-vector shaped; coverage: unused part
+        // of voted ballots, both parts of unvoted ballots.
+        for (serial, ballot) in self.init.ballots.iter() {
+            let voted_part = vote_set
+                .entries
+                .get(serial)
+                .and_then(|code| self.locate_cast_row(*serial, code).first().copied())
+                .map(|(p, _)| p);
+            for part in PartId::BOTH {
+                let must_open = match voted_part {
+                    Some(used) => part == used.other(),
+                    None => true,
+                };
+                if !must_open {
+                    continue;
+                }
+                let Some(opened) = self.snapshot.openings.get(&(*serial, part.index() as u8))
+                else {
+                    report.check(false, || {
+                        format!("(d) missing openings for {serial} part {part:?}")
+                    });
+                    continue;
+                };
+                let rows = &ballot.parts[part.index()];
+                report.check(opened.len() == rows.len(), || {
+                    format!("(d) row count mismatch for {serial} part {part:?}")
+                });
+                for (row_idx, (opened_row, row)) in opened.iter().zip(rows).enumerate() {
+                    let mut ones = 0;
+                    for (ct, (bit, rand)) in row.commitment.iter().zip(opened_row) {
+                        report.check(
+                            elgamal::verify_opening(&self.init.elgamal_pk, ct, bit, rand),
+                            || format!("(d) invalid opening {serial} {part:?} row {row_idx}"),
+                        );
+                        match bit.to_u64() {
+                            Some(0) => {}
+                            Some(1) => ones += 1,
+                            _ => report.check(false, || {
+                                format!("(d) non-bit plaintext {serial} {part:?} row {row_idx}")
+                            }),
+                        }
+                    }
+                    report.check(ones == 1, || {
+                        format!("(d) row is not a unit vector {serial} {part:?} row {row_idx}")
+                    });
+                }
+            }
+        }
+
+        // (e) used-part ZK proofs complete and valid.
+        for (serial, code) in &vote_set.entries {
+            let Some((part, _)) = self.locate_cast_row(*serial, code).first().copied() else {
+                continue;
+            };
+            let Some(rows) = self.snapshot.zk_responses.get(&(*serial, part.index() as u8))
+            else {
+                report.check(false, || {
+                    format!("(e) missing ZK responses for {serial} used part {part:?}")
+                });
+                continue;
+            };
+            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let bb_rows = &ballot.parts[part.index()];
+            report.check(rows.len() == bb_rows.len(), || {
+                format!("(e) ZK row count mismatch for {serial}")
+            });
+            for (row_idx, ((responses, sum_z), row)) in rows.iter().zip(bb_rows).enumerate() {
+                for ((resp, ct), first) in
+                    responses.iter().zip(&row.commitment).zip(&row.or_first)
+                {
+                    report.check(
+                        zkp::or_verify(&self.init.elgamal_pk, ct, first, resp, &challenge),
+                        || format!("(e) OR proof failed {serial} {part:?} row {row_idx}"),
+                    );
+                }
+                report.check(
+                    zkp::sum_verify(
+                        &self.init.elgamal_pk,
+                        &row.commitment,
+                        &row.sum_first,
+                        &challenge,
+                        sum_z,
+                    ),
+                    || format!("(e) sum proof failed {serial} {part:?} row {row_idx}"),
+                );
+            }
+        }
+
+        // Tally: recompute the homomorphic total and verify its opening.
+        let m = self.init.params.num_options;
+        let mut sums = vec![Ciphertext::IDENTITY; m];
+        for (serial, code) in &vote_set.entries {
+            let Some((part, row)) = self.locate_cast_row(*serial, code).first().copied() else {
+                continue;
+            };
+            if let Some(ballot) = self.init.ballots.get(serial) {
+                for (j, ct) in ballot.parts[part.index()][row].commitment.iter().enumerate() {
+                    sums[j] = sums[j].add(ct);
+                }
+            }
+        }
+        match (&self.snapshot.tally_opening, &self.snapshot.result) {
+            (Some(opening), Some(result)) => {
+                report.check(opening.len() == m && result.tally.len() == m, || {
+                    "tally arity mismatch".into()
+                });
+                for (j, ((msg, rand), count)) in
+                    opening.iter().zip(&result.tally).enumerate()
+                {
+                    report.check(
+                        elgamal::verify_opening(&self.init.elgamal_pk, &sums[j], msg, rand),
+                        || format!("tally opening invalid for option {j}"),
+                    );
+                    report.check(msg.to_u64() == Some(*count), || {
+                        format!("published count mismatch for option {j}")
+                    });
+                }
+            }
+            _ => report.check(false, || "tally opening or result missing".into()),
+        }
+        report
+    }
+
+    /// Runs the delegated checks (f)–(g) for voters who handed over their
+    /// audit information, on top of the public checks.
+    pub fn verify_delegated(&self, audits: &[AuditInfo]) -> AuditReport {
+        let mut report = self.verify_public();
+        let Some(vote_set) = &self.snapshot.vote_set else { return report };
+        for audit in audits {
+            // (f) the submitted code matches the voter's record.
+            report.check(
+                vote_set.entries.get(&audit.serial) == Some(&audit.cast_code),
+                || format!("(f) cast code of {} not in the tally set", audit.serial),
+            );
+            // (g) the opened unused part matches the printed ballot.
+            let unused = audit.used_part.other();
+            let Some(codes) = self
+                .snapshot
+                .decrypted_codes
+                .get(&(audit.serial, unused.index() as u8))
+            else {
+                report.check(false, || {
+                    format!("(g) no decrypted codes for {} unused part", audit.serial)
+                });
+                continue;
+            };
+            let Some(opened) =
+                self.snapshot.openings.get(&(audit.serial, unused.index() as u8))
+            else {
+                report.check(false, || {
+                    format!("(g) no openings for {} unused part", audit.serial)
+                });
+                continue;
+            };
+            for line in &audit.unused_part.lines {
+                let Some(row) = codes.iter().position(|c| *c == line.vote_code) else {
+                    report.check(false, || {
+                        format!(
+                            "(g) printed code for option {} of {} missing from BB",
+                            line.option_index, audit.serial
+                        )
+                    });
+                    continue;
+                };
+                // The opened row must encode exactly this option.
+                let opened_row = &opened[row];
+                let encoded = opened_row
+                    .iter()
+                    .position(|(bit, _)| bit.to_u64() == Some(1));
+                report.check(encoded == Some(line.option_index), || {
+                    format!(
+                        "(g) ballot {} option {} maps to {:?} on the BB",
+                        audit.serial, line.option_index, encoded
+                    )
+                });
+            }
+        }
+        report
+    }
+}
+
+/// Verifies a single voter's vote was recorded (check a voter can run
+/// herself from any terminal): her code is in the tally set.
+pub fn verify_vote_included(snapshot: &BbSnapshot, audit: &AuditInfo) -> bool {
+    snapshot
+        .vote_set
+        .as_ref()
+        .map(|vs| vs.entries.get(&audit.serial) == Some(&audit.cast_code))
+        .unwrap_or(false)
+}
+
+/// The Scalar type re-exported for doc-link convenience.
+pub type TallyOpening = Vec<(Scalar, Scalar)>;

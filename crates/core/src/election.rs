@@ -1,0 +1,285 @@
+//! End-to-end election orchestration: EA setup, VC cluster + BB replicas,
+//! the voting window, vote-set consensus, BB uploads, trustee posts, and
+//! result publication — with per-phase timings (the Fig 5c breakdown).
+
+use crossbeam_channel::{unbounded, Receiver};
+use ddemos_bb::{BbNode, MajorityReader};
+use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
+use ddemos_net::{Endpoint, NetworkProfile, SimNet};
+use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::posts::ElectionResult;
+use ddemos_protocol::{ElectionParams, NodeId};
+use ddemos_trustee::Trustee;
+use ddemos_vc::{FinalizedVoteSet, MemoryStore, VcBehavior, VcHandle, VcNode, VcNodeConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Orchestration errors.
+#[derive(Debug)]
+pub enum ElectionError {
+    /// Not enough VC nodes finalized a vote set in time.
+    VoteSetTimeout,
+    /// The BB majority never published the expected artifact.
+    BbTimeout(&'static str),
+    /// A trustee failed to produce its post.
+    Trustee(ddemos_trustee::TrusteeError),
+}
+
+impl std::fmt::Display for ElectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElectionError::VoteSetTimeout => write!(f, "vote-set consensus did not finish"),
+            ElectionError::BbTimeout(what) => write!(f, "bulletin board never published {what}"),
+            ElectionError::Trustee(e) => write!(f, "trustee failure: {e}"),
+        }
+    }
+}
+impl std::error::Error for ElectionError {}
+
+/// Configuration of a running election.
+#[derive(Clone)]
+pub struct ElectionConfig {
+    /// Election parameters.
+    pub params: ElectionParams,
+    /// Master seed for the EA.
+    pub seed: u64,
+    /// Setup profile (VC-only for vote-collection benchmarks).
+    pub profile: SetupProfile,
+    /// Network latency/loss profile.
+    pub network: NetworkProfile,
+    /// Per-VC-node behaviours (defaults to all honest; padded if short).
+    pub vc_behaviors: Vec<VcBehavior>,
+    /// Per-VC-node clock drifts in milliseconds (defaults to zero).
+    pub clock_drifts_ms: Vec<i64>,
+}
+
+impl ElectionConfig {
+    /// An all-honest configuration on a LAN profile.
+    pub fn honest(params: ElectionParams, seed: u64, profile: SetupProfile) -> ElectionConfig {
+        ElectionConfig {
+            params,
+            seed,
+            profile,
+            network: NetworkProfile::lan(),
+            vc_behaviors: Vec::new(),
+            clock_drifts_ms: Vec::new(),
+        }
+    }
+}
+
+/// Wall-clock durations of each post-setup phase (Fig 5c's series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Casting all votes (driven by the caller's workload).
+    pub vote_collection: Duration,
+    /// ANNOUNCE + batched binary consensus + RECOVER.
+    pub vote_set_consensus: Duration,
+    /// VC→BB uploads, msk reconstruction, code decryption, encrypted tally.
+    pub push_to_bb_and_tally: Duration,
+    /// Trustee posts and result publication.
+    pub publish_result: Duration,
+}
+
+/// A running election: spawned VC cluster, BB replicas, trustees-in-waiting.
+pub struct Election {
+    /// The EA's setup output (ballots retained for voters/auditors).
+    pub setup: SetupOutput,
+    /// The simulated network.
+    pub net: SimNet,
+    /// The global reference clock.
+    pub clock: GlobalClock,
+    /// BB replicas.
+    pub bb_nodes: Vec<Arc<BbNode>>,
+    /// Majority reader over the BB replicas.
+    pub reader: MajorityReader,
+    trustees: Vec<Trustee>,
+    vc_handles: Vec<VcHandle>,
+    result_rx: Receiver<FinalizedVoteSet>,
+    next_client: std::sync::atomic::AtomicU32,
+}
+
+impl Election {
+    /// Runs EA setup and starts all long-lived components.
+    pub fn start(config: ElectionConfig) -> Election {
+        let ea = ElectionAuthority::new(config.params.clone(), config.seed);
+        let setup = ea.setup(config.profile);
+        drop(ea); // the EA is destroyed after setup (§III-B)
+        Election::start_with_setup(config, setup)
+    }
+
+    /// Starts all components from pre-generated setup data (lets
+    /// adversarial tests corrupt the setup first).
+    pub fn start_with_setup(config: ElectionConfig, setup: SetupOutput) -> Election {
+        let net = SimNet::new(config.network.clone(), config.seed ^ 0x4E45_5457_4F52_4B21);
+        let clock = GlobalClock::new();
+        let (result_tx, result_rx) = unbounded();
+        let mut vc_handles = Vec::new();
+        for init in &setup.vc_inits {
+            let i = init.node_index as usize;
+            let behavior = config.vc_behaviors.get(i).copied().unwrap_or_default();
+            let drift = config.clock_drifts_ms.get(i).copied().unwrap_or(0);
+            let endpoint = net.register(NodeId::vc(init.node_index));
+            let store = MemoryStore::new(init.ballots.clone(), setup.params.num_ballots);
+            vc_handles.push(VcNode::spawn(
+                init.clone(),
+                store,
+                endpoint,
+                clock.node_clock(drift),
+                setup.consensus_beacon,
+                VcNodeConfig { behavior, ..VcNodeConfig::default() },
+                result_tx.clone(),
+            ));
+        }
+        let bb_nodes: Vec<Arc<BbNode>> = (0..setup.params.num_bb)
+            .map(|_| Arc::new(BbNode::new(setup.bb_init.clone())))
+            .collect();
+        let reader = MajorityReader::new(bb_nodes.clone());
+        let trustees = setup.trustee_inits.iter().cloned().map(Trustee::new).collect();
+        Election {
+            setup,
+            net,
+            clock,
+            bb_nodes,
+            reader,
+            trustees,
+            vc_handles,
+            result_rx,
+            next_client: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+
+    /// Closes the polls on every VC node immediately (as if every clock
+    /// passed `Tend`), triggering vote-set consensus.
+    pub fn close_polls(&self) {
+        for h in &self.vc_handles {
+            h.close_polls();
+        }
+    }
+
+    /// Registers a fresh client (voter terminal) endpoint.
+    pub fn client_endpoint(&self) -> Endpoint {
+        let id = self
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.net.register(NodeId::client(id))
+    }
+
+    /// Waits until at least `count` VC nodes deliver their finalized vote
+    /// sets (they do so after their clocks pass `Tend`).
+    ///
+    /// # Errors
+    /// [`ElectionError::VoteSetTimeout`] on expiry.
+    pub fn await_vote_sets(
+        &self,
+        count: usize,
+        timeout: Duration,
+    ) -> Result<Vec<FinalizedVoteSet>, ElectionError> {
+        let mut out = Vec::new();
+        let deadline = Instant::now() + timeout;
+        while out.len() < count {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(ElectionError::VoteSetTimeout)?;
+            match self.result_rx.recv_timeout(remaining) {
+                Ok(f) => out.push(f),
+                Err(_) => return Err(ElectionError::VoteSetTimeout),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pushes finalized vote sets and msk shares to every BB node (each VC
+    /// node writes to all replicas, §III-G).
+    pub fn push_to_bb(&self, finalized: &[FinalizedVoteSet]) {
+        for f in finalized {
+            for bb in &self.bb_nodes {
+                let _ = bb.submit_vote_set(f.node_index, &f.vote_set, &f.signature);
+                let _ = bb.submit_msk_share(&f.msk_share);
+            }
+        }
+    }
+
+    /// Runs every trustee against the BB majority and posts the results.
+    ///
+    /// # Errors
+    /// Propagates trustee validation failures and BB timeouts.
+    pub fn run_trustees(&self) -> Result<(), ElectionError> {
+        let snapshot = self
+            .reader
+            .read_until(Duration::from_secs(30), |s| {
+                s.vote_set.is_some() && s.challenge.is_some()
+            })
+            .ok_or(ElectionError::BbTimeout("vote set and challenge"))?;
+        for trustee in &self.trustees {
+            let (post, sig) = trustee
+                .produce_post(&snapshot)
+                .map_err(ElectionError::Trustee)?;
+            let post = Arc::new(post);
+            for bb in &self.bb_nodes {
+                let _ = bb.submit_trustee_post(post.clone(), &sig);
+            }
+        }
+        Ok(())
+    }
+
+    /// Majority-reads the published result.
+    ///
+    /// # Errors
+    /// [`ElectionError::BbTimeout`] if no majority publishes in time.
+    pub fn await_result(&self, timeout: Duration) -> Result<ElectionResult, ElectionError> {
+        self.reader
+            .read_until(timeout, |s| s.result.is_some())
+            .and_then(|s| s.result)
+            .ok_or(ElectionError::BbTimeout("result"))
+    }
+
+    /// Stops all node threads and the network.
+    pub fn shutdown(self) {
+        for handle in self.vc_handles {
+            handle.stop();
+        }
+        self.net.shutdown();
+    }
+}
+
+/// Runs the complete post-voting pipeline, timing each phase (Fig 5c).
+///
+/// The caller has already driven the voting workload; `vote_collection` is
+/// passed through for reporting.
+///
+/// # Errors
+/// Propagates orchestration failures from any phase.
+pub fn finish_election(
+    election: &Election,
+    vote_collection: Duration,
+) -> Result<(ElectionResult, PhaseTimings), ElectionError> {
+    let quorum = election.setup.params.vc_quorum();
+    let t0 = Instant::now();
+    let finalized = election.await_vote_sets(quorum, Duration::from_secs(120))?;
+    let vote_set_consensus = t0.elapsed();
+
+    let t1 = Instant::now();
+    election.push_to_bb(&finalized);
+    // Wait until a BB majority has the vote set, codes and challenge (the
+    // "push to BB and encrypted tally" phase).
+    election
+        .reader
+        .read_until(Duration::from_secs(60), |s| s.challenge.is_some())
+        .ok_or(ElectionError::BbTimeout("encrypted tally"))?;
+    let push_to_bb_and_tally = t1.elapsed();
+
+    let t2 = Instant::now();
+    election.run_trustees()?;
+    let result = election.await_result(Duration::from_secs(120))?;
+    let publish_result = t2.elapsed();
+
+    Ok((
+        result,
+        PhaseTimings {
+            vote_collection,
+            vote_set_consensus,
+            push_to_bb_and_tally,
+            publish_result,
+        },
+    ))
+}

@@ -1,0 +1,65 @@
+//! # ddemos
+//!
+//! A from-scratch Rust reproduction of **D-DEMOS** (Chondros et al., ICDCS
+//! 2016): a distributed, end-to-end verifiable internet voting system with
+//! no single point of failure after setup.
+//!
+//! The system comprises:
+//! * an **Election Authority** ([`ddemos_ea`]) that deals all
+//!   initialization data and is destroyed;
+//! * a Byzantine fault tolerant, fully asynchronous **Vote Collection**
+//!   cluster ([`ddemos_vc`]) that hands voters human-verifiable
+//!   recorded-as-cast receipts and agrees on the final vote set with
+//!   batched binary consensus ([`ddemos_consensus`]);
+//! * a replicated **Bulletin Board** ([`ddemos_bb`]) of isolated nodes with
+//!   verified writes and majority reads;
+//! * **trustees** ([`ddemos_trustee`]) that jointly open the homomorphic
+//!   tally and complete the zero-knowledge ballot-correctness proofs
+//!   ([`ddemos_crypto`]) without learning any vote.
+//!
+//! This crate adds the voter client, the auditor, the liveness bounds of
+//! Theorem 1, and an end-to-end election orchestrator.
+//!
+//! ```no_run
+//! use ddemos::election::{Election, ElectionConfig};
+//! use ddemos::voter::Voter;
+//! use ddemos_ea::SetupProfile;
+//! use ddemos_protocol::ElectionParams;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ElectionParams::new("demo", 10, 2, 4, 3, 5, 3, 0, 2_000)?;
+//! let election = Election::start(ElectionConfig::honest(params, 42, SetupProfile::Full));
+//! let endpoint = election.client_endpoint();
+//! let ballot = &election.setup.ballots[0];
+//! let mut voter = Voter::new(ballot, &endpoint, 4, Duration::from_secs(2),
+//!                            StdRng::seed_from_u64(1));
+//! let record = voter.vote(1)?;
+//! assert_eq!(record.audit.receipt,
+//!            ballot.part(record.audit.used_part).line_for_option(1).unwrap().receipt);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auditor;
+pub mod election;
+pub mod liveness;
+pub mod voter;
+
+pub use auditor::{Auditor, AuditReport};
+pub use election::{Election, ElectionConfig, ElectionError, PhaseTimings};
+pub use liveness::LivenessParams;
+pub use voter::{VoteError, VoteRecord, Voter};
+
+// Re-export the subsystem crates under one roof for downstream users.
+pub use ddemos_bb as bb;
+pub use ddemos_consensus as consensus;
+pub use ddemos_crypto as crypto;
+pub use ddemos_ea as ea;
+pub use ddemos_net as net;
+pub use ddemos_protocol as protocol;
+pub use ddemos_trustee as trustee;
+pub use ddemos_vc as vc;

@@ -1,0 +1,140 @@
+//! The liveness bound of Theorem 1 and the clock-drift table (Table I).
+//!
+//! `Twait := (2Nv + 4)·Tcomp + 12Δ + 6δ` is the patience after which an
+//! honest voter blacklists a VC node and resubmits elsewhere
+//! (Definition 1). The functions here compute the bound and the per-step
+//! upper bounds of Table I for concrete parameters; `tests/liveness.rs`
+//! checks measured receipt times against them.
+
+use std::time::Duration;
+
+/// The model constants of §III-C2 and Theorem 1.
+#[derive(Clone, Copy, Debug)]
+pub struct LivenessParams {
+    /// `Tcomp`: worst-case duration of any single protocol procedure.
+    pub t_comp: Duration,
+    /// `δ`: upper bound on message delivery delay between honest nodes.
+    pub delta_msg: Duration,
+    /// `Δ`: upper bound on internal-clock drift from the global clock.
+    pub drift: Duration,
+}
+
+impl LivenessParams {
+    /// `Twait = (2Nv + 4)·Tcomp + 12Δ + 6δ` (Theorem 1).
+    pub fn t_wait(&self, num_vc: usize) -> Duration {
+        self.t_comp * (2 * num_vc as u32 + 4) + self.drift * 12 + self.delta_msg * 6
+    }
+
+    /// Latest engagement time (before `Tend`) that still guarantees a
+    /// receipt: `(fv + 1) · Twait` (Theorem 1, condition 1).
+    pub fn guaranteed_engagement_margin(&self, num_vc: usize) -> Duration {
+        let fv = (num_vc - 1) / 3;
+        self.t_wait(num_vc) * (fv as u32 + 1)
+    }
+
+    /// Probability a `[Twait]`-patient voter engaged `y·Twait` before the
+    /// end fails to obtain a receipt: `∏_{j=1}^{y} (fv−j+1)/(Nv−j+1) <
+    /// 3^−y` (Theorem 1, condition 2).
+    pub fn failure_probability(&self, num_vc: usize, y: usize) -> f64 {
+        let fv = (num_vc - 1) / 3;
+        let mut p = 1.0;
+        for j in 1..=y {
+            if j > fv {
+                return 0.0;
+            }
+            p *= (fv - (j - 1)) as f64 / (num_vc - (j - 1)) as f64;
+        }
+        p
+    }
+}
+
+/// One row of Table I: the symbolic upper bounds instantiated numerically.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Step description (as in Table I).
+    pub step: &'static str,
+    /// Upper bound on the global clock at this step.
+    pub global: Duration,
+}
+
+/// Instantiates Table I's global-clock column for concrete parameters
+/// (time origin at the voter's initialization).
+pub fn table1(params: &LivenessParams, num_vc: usize) -> Vec<TableRow> {
+    let tc = params.t_comp;
+    let d = params.drift;
+    let dm = params.delta_msg;
+    let nv = num_vc as u32;
+    vec![
+        TableRow { step: "V initialized", global: Duration::ZERO },
+        TableRow { step: "V submits her vote", global: tc + d },
+        TableRow { step: "VC receives ballot", global: tc + d + dm },
+        TableRow { step: "VC broadcasts ENDORSE", global: tc * 2 + d * 3 + dm },
+        TableRow { step: "honest VCs receive ENDORSE", global: tc * 2 + d * 3 + dm * 2 },
+        TableRow { step: "honest VCs send ENDORSEMENT", global: tc * 3 + d * 5 + dm * 2 },
+        TableRow { step: "VC receives ENDORSEMENTs", global: tc * 3 + d * 5 + dm * 3 },
+        TableRow { step: "VC verifies Nv−1 endorsements", global: tc * (nv + 2) + d * 7 + dm * 3 },
+        TableRow { step: "VC broadcasts share + UCERT", global: tc * (nv + 3) + d * 7 + dm * 3 },
+        TableRow { step: "honest VCs receive share", global: tc * (nv + 3) + d * 7 + dm * 4 },
+        TableRow { step: "honest VCs broadcast shares", global: tc * (nv + 4) + d * 9 + dm * 4 },
+        TableRow { step: "VC receives shares", global: tc * (nv + 4) + d * 9 + dm * 5 },
+        TableRow { step: "VC verifies Nv−1 shares", global: tc * (2 * nv + 3) + d * 11 + dm * 5 },
+        TableRow { step: "VC reconstructs receipt", global: tc * (2 * nv + 4) + d * 11 + dm * 5 },
+        TableRow { step: "V obtains her receipt", global: tc * (2 * nv + 4) + d * 11 + dm * 6 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LivenessParams {
+        LivenessParams {
+            t_comp: Duration::from_millis(10),
+            delta_msg: Duration::from_millis(25),
+            drift: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn t_wait_formula() {
+        // (2·4+4)·10 + 12·5 + 6·25 = 120 + 60 + 150 = 330 ms
+        assert_eq!(params().t_wait(4), Duration::from_millis(330));
+    }
+
+    #[test]
+    fn table1_is_monotone_and_ends_below_t_wait() {
+        let p = params();
+        for nv in [4usize, 7, 10, 13, 16] {
+            let rows = table1(&p, nv);
+            for pair in rows.windows(2) {
+                assert!(pair[1].global >= pair[0].global, "table must be monotone");
+            }
+            // The voter-side bound (12Δ+6δ variant) dominates the final
+            // global-clock row.
+            assert!(rows.last().unwrap().global <= p.t_wait(nv));
+        }
+    }
+
+    #[test]
+    fn failure_probability_bounds() {
+        let p = params();
+        // Nv=4, fv=1: first attempt hits the malicious node w.p. 1/4.
+        assert!((p.failure_probability(4, 1) - 0.25).abs() < 1e-9);
+        // Two failed attempts impossible with fv=1 (blacklisting).
+        assert_eq!(p.failure_probability(4, 2), 0.0);
+        // Theorem bound: < 3^-y.
+        for nv in [7usize, 10, 13, 16] {
+            let fv = (nv - 1) / 3;
+            for y in 1..=fv {
+                assert!(p.failure_probability(nv, y) < 3f64.powi(-(y as i32)));
+            }
+        }
+    }
+
+    #[test]
+    fn engagement_margin() {
+        let p = params();
+        assert_eq!(p.guaranteed_engagement_margin(4), p.t_wait(4) * 2);
+        assert_eq!(p.guaranteed_engagement_margin(16), p.t_wait(16) * 6);
+    }
+}

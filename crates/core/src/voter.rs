@@ -1,0 +1,163 @@
+//! The voter client (§III-F).
+//!
+//! The voter needs no cryptography and no trusted device: she picks one
+//! ballot part at random (her "coin" for the ZK challenge), submits the
+//! vote code for her chosen option to a random VC node, and compares the
+//! returned receipt with the one printed next to that code. `[d]`-patience
+//! (Definition 1) governs retries: if no valid receipt arrives within her
+//! patience window she blacklists that VC node and resubmits to another.
+
+use ddemos_net::Endpoint;
+use ddemos_protocol::ballot::{AuditInfo, Ballot};
+use ddemos_protocol::messages::{Msg, RejectReason, VoteOutcome};
+use ddemos_protocol::{NodeId, PartId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Why voting failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VoteError {
+    /// Every VC node was tried and blacklisted without a valid receipt.
+    AllNodesExhausted,
+    /// A VC node returned a receipt that does not match the ballot — the
+    /// human-verifiable failure the paper's receipt check is designed to
+    /// expose.
+    ReceiptMismatch,
+    /// The submission was rejected.
+    Rejected(RejectReason),
+    /// The requested option does not exist on the ballot.
+    NoSuchOption,
+}
+
+impl std::fmt::Display for VoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VoteError::AllNodesExhausted => write!(f, "no vc node produced a receipt in time"),
+            VoteError::ReceiptMismatch => write!(f, "receipt did not match the printed ballot"),
+            VoteError::Rejected(r) => write!(f, "vote rejected: {r}"),
+            VoteError::NoSuchOption => write!(f, "option not present on ballot"),
+        }
+    }
+}
+impl std::error::Error for VoteError {}
+
+/// The record a successful voter keeps.
+#[derive(Clone, Debug)]
+pub struct VoteRecord {
+    /// Everything needed for (delegable) auditing.
+    pub audit: AuditInfo,
+    /// How many VC nodes were tried before success.
+    pub attempts: u32,
+    /// End-to-end latency of the successful attempt.
+    pub latency: Duration,
+}
+
+/// A voter with her printed ballot and a network endpoint (an untrusted
+/// terminal: the endpoint carries no keys).
+pub struct Voter<'a, R: Rng> {
+    ballot: &'a Ballot,
+    endpoint: &'a Endpoint,
+    num_vc: usize,
+    patience: Duration,
+    rng: R,
+}
+
+impl<'a, R: Rng> Voter<'a, R> {
+    /// Creates a voter. `patience` is the `[d]` of Definition 1 (use
+    /// [`crate::liveness::LivenessParams::t_wait`] for the theorem-backed
+    /// value).
+    pub fn new(
+        ballot: &'a Ballot,
+        endpoint: &'a Endpoint,
+        num_vc: usize,
+        patience: Duration,
+        rng: R,
+    ) -> Voter<'a, R> {
+        Voter { ballot, endpoint, num_vc, patience, rng }
+    }
+
+    /// Casts a vote for `option_index`, choosing a ballot part at random.
+    ///
+    /// # Errors
+    /// See [`VoteError`]; notably `ReceiptMismatch` means the voter must
+    /// not trust the collection.
+    pub fn vote(&mut self, option_index: usize) -> Result<VoteRecord, VoteError> {
+        let part = if self.rng.gen::<bool>() { PartId::B } else { PartId::A };
+        self.vote_with_part(option_index, part)
+    }
+
+    /// Casts a vote using a specific part (tests and adversarial scenarios
+    /// fix the coin).
+    ///
+    /// # Errors
+    /// See [`VoteError`].
+    pub fn vote_with_part(
+        &mut self,
+        option_index: usize,
+        part: PartId,
+    ) -> Result<VoteRecord, VoteError> {
+        let line = self
+            .ballot
+            .part(part)
+            .line_for_option(option_index)
+            .ok_or(VoteError::NoSuchOption)?;
+        let code = line.vote_code;
+        let expected_receipt = line.receipt;
+
+        let mut order: Vec<u32> = (0..self.num_vc as u32).collect();
+        order.shuffle(&mut self.rng);
+        let mut attempts = 0;
+        for vc in order {
+            attempts += 1;
+            let request_id = self.rng.gen::<u64>();
+            let started = Instant::now();
+            self.endpoint.send(
+                NodeId::vc(vc),
+                Msg::Vote { request_id, serial: self.ballot.serial, vote_code: code },
+            );
+            // Wait out our patience for *this* node, discarding stray or
+            // stale replies.
+            while started.elapsed() < self.patience {
+                let remaining = self.patience - started.elapsed();
+                let Ok(env) = self.endpoint.recv_timeout(remaining) else { break };
+                let Msg::VoteReply { request_id: rid, serial, outcome } = env.msg else {
+                    continue;
+                };
+                if rid != request_id || serial != self.ballot.serial {
+                    continue;
+                }
+                match outcome {
+                    VoteOutcome::Receipt(receipt) => {
+                        if receipt == expected_receipt {
+                            return Ok(VoteRecord {
+                                audit: AuditInfo {
+                                    serial: self.ballot.serial,
+                                    used_part: part,
+                                    cast_code: code,
+                                    receipt,
+                                    unused_part: self.ballot.part(part.other()).clone(),
+                                },
+                                attempts,
+                                latency: started.elapsed(),
+                            });
+                        }
+                        // An invalid receipt is treated like no receipt:
+                        // blacklist and move on (the contract only honours
+                        // *valid* receipts).
+                        break;
+                    }
+                    VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode) => {
+                        return Err(VoteError::Rejected(
+                            RejectReason::AlreadyVotedDifferentCode,
+                        ));
+                    }
+                    VoteOutcome::Rejected(reason) => return Err(VoteError::Rejected(reason)),
+                }
+            }
+            // Patience exhausted: blacklist this node (never retried) and
+            // pick the next.
+        }
+        Err(VoteError::AllNodesExhausted)
+    }
+}

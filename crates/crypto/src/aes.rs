@@ -1,0 +1,382 @@
+//! AES-128 block cipher (FIPS 197) with CBC mode and PKCS#7 padding.
+//!
+//! D-DEMOS commits to vote codes on the Bulletin Board with
+//! `AES-128-CBC$` (CBC with a fresh random IV) under the election master key
+//! `msk` (§III-D). The S-boxes are *derived* from the GF(2⁸) field structure
+//! at compile time rather than transcribed, and the implementation is
+//! validated against the FIPS-197 vectors.
+
+/// Multiplication in GF(2⁸) with the AES reduction polynomial `x⁸+x⁴+x³+x+1`.
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), by exponentiation to 254.
+const fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let x = gf_inv(i as u8);
+        sbox[i] = x
+            ^ x.rotate_left(1)
+            ^ x.rotate_left(2)
+            ^ x.rotate_left(3)
+            ^ x.rotate_left(4)
+            ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+const SBOX: [u8; 256] = build_sbox();
+const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+/// AES-128 with a fixed expanded key.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "Aes128(..)")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Aes128 {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    /// State layout is column-major: `state[4c + r]` is row `r`, column `c`.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+/// Error returned when CBC decryption fails (bad length or padding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecryptError;
+
+impl std::fmt::Display for DecryptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ciphertext has invalid length or padding")
+    }
+}
+impl std::error::Error for DecryptError {}
+
+/// Encrypts `plaintext` with AES-128-CBC and PKCS#7 padding.
+///
+/// Output layout: `IV ‖ ciphertext`. A fresh random IV must be supplied by
+/// the caller (the `$` in the paper's `AES-128-CBC$` notation).
+pub fn cbc_encrypt(key: &[u8; 16], iv: [u8; 16], plaintext: &[u8]) -> Vec<u8> {
+    let aes = Aes128::new(key);
+    let pad = 16 - plaintext.len() % 16;
+    let mut data = Vec::with_capacity(16 + plaintext.len() + pad);
+    data.extend_from_slice(&iv);
+    data.extend_from_slice(plaintext);
+    data.extend(std::iter::repeat(pad as u8).take(pad));
+    let mut prev = iv;
+    for off in (16..data.len()).step_by(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&data[off..off + 16]);
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        aes.encrypt_block(&mut block);
+        data[off..off + 16].copy_from_slice(&block);
+        prev = block;
+    }
+    data
+}
+
+/// Decrypts an `IV ‖ ciphertext` blob produced by [`cbc_encrypt`].
+///
+/// # Errors
+/// Returns [`DecryptError`] if the input length is not a positive multiple
+/// of 16 past the IV, or the PKCS#7 padding is malformed (e.g. wrong key).
+pub fn cbc_decrypt(key: &[u8; 16], data: &[u8]) -> Result<Vec<u8>, DecryptError> {
+    if data.len() < 32 || data.len() % 16 != 0 {
+        return Err(DecryptError);
+    }
+    let aes = Aes128::new(key);
+    let mut prev = [0u8; 16];
+    prev.copy_from_slice(&data[..16]);
+    let mut out = Vec::with_capacity(data.len() - 16);
+    for off in (16..data.len()).step_by(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&data[off..off + 16]);
+        let cipher = block;
+        aes.decrypt_block(&mut block);
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        out.extend_from_slice(&block);
+        prev = cipher;
+    }
+    let pad = *out.last().ok_or(DecryptError)? as usize;
+    if pad == 0 || pad > 16 || out.len() < pad {
+        return Err(DecryptError);
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
+        return Err(DecryptError);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot values from FIPS-197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, core::array::from_fn::<u8, 16, _>(|i| (i as u8) * 0x11));
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn cbc_roundtrip_and_tamper_detection() {
+        let key = [7u8; 16];
+        let iv = [3u8; 16];
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        let ct = cbc_encrypt(&key, iv, msg);
+        assert_eq!(cbc_decrypt(&key, &ct).unwrap(), msg);
+        // Wrong key almost surely fails padding.
+        let wrong = [8u8; 16];
+        let dec = cbc_decrypt(&wrong, &ct);
+        if let Ok(pt) = dec {
+            assert_ne!(pt, msg);
+        }
+        // Truncation fails.
+        assert_eq!(cbc_decrypt(&key, &ct[..16]), Err(DecryptError));
+        assert_eq!(cbc_decrypt(&key, &ct[..17]), Err(DecryptError));
+    }
+
+    #[test]
+    fn cbc_same_plaintext_distinct_iv_distinct_ct() {
+        let key = [1u8; 16];
+        let a = cbc_encrypt(&key, [0u8; 16], b"vote-code");
+        let b = cbc_encrypt(&key, [1u8; 16], b"vote-code");
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_block_roundtrip(key in any::<[u8;16]>(), data in any::<[u8;16]>()) {
+            let aes = Aes128::new(&key);
+            let mut block = data;
+            aes.encrypt_block(&mut block);
+            aes.decrypt_block(&mut block);
+            prop_assert_eq!(block, data);
+        }
+
+        #[test]
+        fn prop_cbc_roundtrip(key in any::<[u8;16]>(), iv in any::<[u8;16]>(),
+                              msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let ct = cbc_encrypt(&key, iv, &msg);
+            prop_assert_eq!(ct.len() % 16, 0);
+            prop_assert_eq!(cbc_decrypt(&key, &ct).unwrap(), msg);
+        }
+    }
+}

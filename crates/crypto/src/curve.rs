@@ -1,0 +1,534 @@
+//! secp256k1 group arithmetic (short Weierstrass `y² = x³ + 7`).
+//!
+//! Points are held in Jacobian coordinates internally; the public API exposes
+//! an opaque [`Point`] with group operations, scalar multiplication, 33-byte
+//! compressed serialization, and deterministic hash-to-point (used to derive
+//! independent Pedersen generators).
+
+use crate::field::{Fp, Scalar};
+use crate::sha256::Sha256;
+use crate::u256::U256;
+
+/// Curve coefficient `b` in `y² = x³ + b`.
+fn curve_b() -> Fp {
+    Fp::from_u64(7)
+}
+
+/// A point on secp256k1 (including the identity), in Jacobian coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fp,
+    y: Fp,
+    /// `z = 0` encodes the point at infinity.
+    z: Fp,
+}
+
+impl Point {
+    /// The identity element (point at infinity).
+    pub const IDENTITY: Point = Point { x: Fp::ZERO, y: Fp::ZERO, z: Fp::ZERO };
+
+    /// The standard secp256k1 base point `G`.
+    pub fn generator() -> Point {
+        static GEN: std::sync::OnceLock<Point> = std::sync::OnceLock::new();
+        *GEN.get_or_init(|| {
+            let x = Fp::from_hex(
+                "79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
+            )
+            .expect("generator x constant");
+            let y = Fp::from_hex(
+                "483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8",
+            )
+            .expect("generator y constant");
+            let g = Point { x, y, z: Fp::ONE };
+            debug_assert!(g.is_on_curve());
+            g
+        })
+    }
+
+    /// Constructs a point from affine coordinates, checking the curve
+    /// equation.
+    pub fn from_affine(x: Fp, y: Fp) -> Option<Point> {
+        let p = Point { x, y, z: Fp::ONE };
+        if p.is_on_curve() {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// True iff this is the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Verifies the Jacobian curve equation `y² = x³ + b·z⁶`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.is_identity() {
+            return true;
+        }
+        let z2 = self.z.square();
+        let z6 = z2.square() * z2;
+        self.y.square() == self.x.square() * self.x + curve_b() * z6
+    }
+
+    /// Returns affine coordinates, or `None` for the identity.
+    pub fn to_affine(&self) -> Option<(Fp, Fp)> {
+        if self.is_identity() {
+            return None;
+        }
+        let zinv = self.z.invert().expect("nonzero z");
+        let zinv2 = zinv.square();
+        Some((self.x * zinv2, self.y * zinv2 * zinv))
+    }
+
+    /// Point doubling (`a = 0` formulas).
+    pub fn double(&self) -> Point {
+        if self.is_identity() || self.y.is_zero() {
+            return Point::IDENTITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let y3 = e * (d - x3) - c.double().double().double();
+        let z3 = (self.y * self.z).double();
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Point addition (complete over the exceptional cases by dispatch).
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * z2z2 * other.z;
+        let s2 = other.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Point::IDENTITY;
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Point negation.
+    pub fn negate(&self) -> Point {
+        if self.is_identity() {
+            return *self;
+        }
+        Point { x: self.x, y: -self.y, z: self.z }
+    }
+
+    /// Scalar multiplication with a 4-bit fixed window.
+    pub fn mul(&self, k: &Scalar) -> Point {
+        if k.is_zero() || self.is_identity() {
+            return Point::IDENTITY;
+        }
+        // Precompute 0..15 multiples.
+        let mut table = [Point::IDENTITY; 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = if i % 2 == 0 {
+                table[i / 2].double()
+            } else {
+                table[i - 1].add(self)
+            };
+        }
+        let bytes = k.to_bytes();
+        let mut acc = Point::IDENTITY;
+        let mut started = false;
+        for byte in bytes {
+            for nib in [byte >> 4, byte & 0x0f] {
+                if started {
+                    acc = acc.double().double().double().double();
+                }
+                if nib != 0 {
+                    acc = acc.add(&table[nib as usize]);
+                    started = true;
+                } else if started {
+                    // nothing to add this window
+                }
+            }
+        }
+        acc
+    }
+
+    /// `k·G` for the standard generator, using a precomputed fixed-base
+    /// comb table (64 nibble positions × 15 odd multiples). Roughly 4×
+    /// faster than the generic ladder; signing and lifted-ElGamal encryption
+    /// are dominated by this operation.
+    pub fn mul_generator(k: &Scalar) -> Point {
+        static TABLE: std::sync::OnceLock<Vec<[Point; 16]>> = std::sync::OnceLock::new();
+        let table = TABLE.get_or_init(|| {
+            // table[pos][nib] = nib · 16^pos · G  (pos counts from the least
+            // significant nibble).
+            let mut table = Vec::with_capacity(64);
+            let mut base = Point::generator();
+            for _ in 0..64 {
+                let mut row = [Point::IDENTITY; 16];
+                for nib in 1..16 {
+                    row[nib] = row[nib - 1].add(&base);
+                }
+                // base <<= 4 bits
+                base = base.double().double().double().double();
+                table.push(row);
+            }
+            table
+        });
+        let bytes = k.to_bytes();
+        let mut acc = Point::IDENTITY;
+        // bytes are big-endian: byte i holds nibble positions (63-2i, 62-2i).
+        for (i, byte) in bytes.iter().enumerate() {
+            let hi_pos = 63 - 2 * i;
+            let lo_pos = hi_pos - 1;
+            let hi = (byte >> 4) as usize;
+            let lo = (byte & 0x0f) as usize;
+            if hi != 0 {
+                acc = acc.add(&table[hi_pos][hi]);
+            }
+            if lo != 0 {
+                acc = acc.add(&table[lo_pos][lo]);
+            }
+        }
+        acc
+    }
+
+    /// Simultaneous double-scalar multiplication `a·P + b·Q` (Shamir's
+    /// trick): one shared doubling chain instead of two. Used on signature
+    /// and proof verification paths.
+    pub fn double_mul(a: &Scalar, p: &Point, b: &Scalar, q: &Point) -> Point {
+        // 2-bit windows over both scalars simultaneously.
+        let mut table = [[Point::IDENTITY; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                table[i][j] = if i > 0 {
+                    table[i - 1][j].add(p)
+                } else {
+                    table[i][j - 1].add(q)
+                };
+            }
+        }
+        let ab = a.to_bytes();
+        let bb = b.to_bytes();
+        let mut acc = Point::IDENTITY;
+        let mut started = false;
+        for byte_idx in 0..32 {
+            for shift in [6u8, 4, 2, 0] {
+                if started {
+                    acc = acc.double().double();
+                }
+                let wa = ((ab[byte_idx] >> shift) & 3) as usize;
+                let wb = ((bb[byte_idx] >> shift) & 3) as usize;
+                if wa != 0 || wb != 0 {
+                    acc = acc.add(&table[wa][wb]);
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Sum of `aᵢ·Pᵢ` (simple accumulation; sufficient for verification
+    /// workloads here).
+    pub fn multi_mul(pairs: &[(Scalar, Point)]) -> Point {
+        pairs
+            .iter()
+            .fold(Point::IDENTITY, |acc, (k, p)| acc.add(&p.mul(k)))
+    }
+
+    /// Serializes to 33 bytes: `0x00 ‖ 0…` for the identity, else SEC1
+    /// compressed (`0x02/0x03 ‖ x`).
+    pub fn to_bytes(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        match self.to_affine() {
+            None => out,
+            Some((x, y)) => {
+                let parity = y.to_bytes()[31] & 1;
+                out[0] = 0x02 | parity;
+                out[1..].copy_from_slice(&x.to_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses the 33-byte encoding produced by [`Point::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; 33]) -> Option<Point> {
+        match bytes[0] {
+            0x00 => {
+                if bytes[1..].iter().all(|&b| b == 0) {
+                    Some(Point::IDENTITY)
+                } else {
+                    None
+                }
+            }
+            tag @ (0x02 | 0x03) => {
+                let mut xb = [0u8; 32];
+                xb.copy_from_slice(&bytes[1..]);
+                let x = Fp::from_bytes(&xb)?;
+                let rhs = x.square() * x + curve_b();
+                let y = rhs.sqrt()?;
+                let y = if (y.to_bytes()[31] & 1) == (tag & 1) { y } else { -y };
+                Some(Point { x, y, z: Fp::ONE })
+            }
+            _ => None,
+        }
+    }
+
+    /// Deterministically maps a domain-separated byte string to a curve
+    /// point with unknown discrete log (try-and-increment).
+    pub fn hash_to_point(domain: &[u8]) -> Point {
+        for counter in 0u32.. {
+            let mut h = Sha256::new();
+            h.update(b"ddemos/hash-to-point/v1");
+            h.update(domain);
+            h.update(&counter.to_be_bytes());
+            let digest = h.finalize();
+            let x = Fp::from_bytes_reduce(&digest);
+            let rhs = x.square() * x + curve_b();
+            if let Some(y) = rhs.sqrt() {
+                // Normalize parity for determinism.
+                let y = if y.to_bytes()[31] & 1 == 0 { y } else { -y };
+                let p = Point { x, y, z: Fp::ONE };
+                debug_assert!(p.is_on_curve());
+                return p;
+            }
+        }
+        unreachable!("hash_to_point always terminates")
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                // Cross-multiplied affine comparison avoids inversions.
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+impl Eq for Point {}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::add(&self, &rhs)
+    }
+}
+impl std::ops::Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::add(&self, &rhs.negate())
+    }
+}
+impl std::ops::Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        self.negate()
+    }
+}
+impl std::ops::AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        *self = Point::add(self, &rhs);
+    }
+}
+impl std::iter::Sum for Point {
+    fn sum<I: Iterator<Item = Point>>(iter: I) -> Point {
+        iter.fold(Point::IDENTITY, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_identity() {
+            return write!(f, "Point(identity)");
+        }
+        let bytes = self.to_bytes();
+        write!(f, "Point(")?;
+        for b in &bytes[..9] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+impl std::hash::Hash for Point {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.to_bytes().hash(state);
+    }
+}
+
+/// The group order as a 256-bit integer (`n` such that `n·G = 0`).
+pub fn group_order() -> U256 {
+    Scalar::MODULUS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(Point::generator().is_on_curve());
+    }
+
+    #[test]
+    fn known_double_vector() {
+        // 2G from the standard secp256k1 test vectors: the compressed
+        // public key for secret key 2 is 02‖c6047f94…9ee5 (even y).
+        let two_g = Point::generator().double();
+        let (x, y) = two_g.to_affine().unwrap();
+        assert_eq!(
+            x,
+            Fp::from_hex("C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5")
+                .unwrap()
+        );
+        assert_eq!(y.to_bytes()[31] & 1, 0, "2G has even y");
+        let bytes = two_g.to_bytes();
+        assert_eq!(bytes[0], 0x02);
+        assert!(two_g.is_on_curve());
+    }
+
+    #[test]
+    fn order_annihilates_generator() {
+        // (n-1)·G = -G, hence n·G = identity.
+        let n_minus_1 = Scalar::ZERO - Scalar::ONE;
+        let p = Point::mul_generator(&n_minus_1);
+        assert_eq!(p, Point::generator().negate());
+        assert_eq!(p.add(&Point::generator()), Point::IDENTITY);
+    }
+
+    #[test]
+    fn add_vs_double() {
+        let g = Point::generator();
+        assert_eq!(g.add(&g), g.double());
+        let g3a = g.add(&g).add(&g);
+        let g3b = g.mul(&Scalar::from_u64(3));
+        assert_eq!(g3a, g3b);
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = Point::generator();
+        assert_eq!(g.add(&Point::IDENTITY), g);
+        assert_eq!(Point::IDENTITY.add(&g), g);
+        assert_eq!(g.add(&g.negate()), Point::IDENTITY);
+        assert_eq!(Point::IDENTITY.mul(&Scalar::from_u64(5)), Point::IDENTITY);
+        assert_eq!(g.mul(&Scalar::ZERO), Point::IDENTITY);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let k = Scalar::random(&mut rng);
+            let p = Point::mul_generator(&k);
+            let bytes = p.to_bytes();
+            assert_eq!(Point::from_bytes(&bytes).unwrap(), p);
+        }
+        let id = Point::IDENTITY.to_bytes();
+        assert_eq!(Point::from_bytes(&id).unwrap(), Point::IDENTITY);
+        assert!(Point::from_bytes(&[0xffu8; 33]).is_none());
+    }
+
+    #[test]
+    fn mul_generator_matches_generic_ladder() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let k = Scalar::random(&mut rng);
+            assert_eq!(Point::mul_generator(&k), Point::generator().mul(&k));
+        }
+        assert_eq!(Point::mul_generator(&Scalar::ZERO), Point::IDENTITY);
+        assert_eq!(Point::mul_generator(&Scalar::ONE), Point::generator());
+    }
+
+    #[test]
+    fn double_mul_matches_separate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let p = Point::mul_generator(&Scalar::random(&mut rng));
+            let q = Point::mul_generator(&Scalar::random(&mut rng));
+            assert_eq!(Point::double_mul(&a, &p, &b, &q), p.mul(&a) + q.mul(&b));
+        }
+        let g = Point::generator();
+        assert_eq!(
+            Point::double_mul(&Scalar::ZERO, &g, &Scalar::ZERO, &g),
+            Point::IDENTITY
+        );
+        assert_eq!(
+            Point::double_mul(&Scalar::ONE, &g, &Scalar::ZERO, &g),
+            g
+        );
+    }
+
+    #[test]
+    fn hash_to_point_deterministic_and_distinct() {
+        let a = Point::hash_to_point(b"pedersen-h");
+        let b = Point::hash_to_point(b"pedersen-h");
+        let c = Point::hash_to_point(b"other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_on_curve());
+        assert!(!a.is_identity());
+    }
+
+    fn arb_scalar() -> impl Strategy<Value = Scalar> {
+        any::<[u8; 32]>().prop_map(|b| Scalar::from_bytes_reduce(&b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_scalar_mul_distributes(a in arb_scalar(), b in arb_scalar()) {
+            let g = Point::generator();
+            let lhs = g.mul(&(a + b));
+            let rhs = g.mul(&a).add(&g.mul(&b));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_scalar_mul_associates(a in arb_scalar(), b in arb_scalar()) {
+            let g = Point::generator();
+            prop_assert_eq!(g.mul(&a).mul(&b), g.mul(&(a * b)));
+        }
+
+        #[test]
+        fn prop_roundtrip(a in arb_scalar()) {
+            let p = Point::mul_generator(&a);
+            prop_assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p);
+            prop_assert!(p.is_on_curve());
+        }
+    }
+}

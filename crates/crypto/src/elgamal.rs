@@ -1,0 +1,249 @@
+//! Lifted (exponential) ElGamal over secp256k1.
+//!
+//! D-DEMOS commits to option encodings with a vector of lifted ElGamal
+//! ciphertexts (§III-B): the encoding of option `i` out of `m` is the unit
+//! vector `e⃗ᵢ`, committed element-wise as `Enc(pk, bit)`. The scheme is
+//! *perfectly binding* (a ciphertext determines its plaintext) and
+//! computationally hiding under DDH, and it is additively homomorphic, which
+//! is what the tally aggregation relies on.
+//!
+//! Nobody ever decrypts with the secret key in D-DEMOS — openings travel as
+//! verifiable secret shares — but decryption (with a baby-step/giant-step
+//! discrete log for small messages) is provided for completeness and is used
+//! to cross-check homomorphic tallies in tests.
+
+use crate::curve::Point;
+use crate::field::Scalar;
+use std::collections::HashMap;
+
+/// An ElGamal public key (`pk = sk·G`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublicKey(pub Point);
+
+/// An ElGamal secret key.
+#[derive(Clone, Copy)]
+pub struct SecretKey(pub Scalar);
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecretKey(..)")
+    }
+}
+
+/// Generates a fresh keypair.
+pub fn keygen<R: rand::RngCore + ?Sized>(rng: &mut R) -> (SecretKey, PublicKey) {
+    let sk = Scalar::random(rng);
+    (SecretKey(sk), PublicKey(Point::mul_generator(&sk)))
+}
+
+/// A lifted ElGamal ciphertext `(a, b) = (r·G, m·G + r·pk)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// `r·G`
+    pub a: Point,
+    /// `m·G + r·pk`
+    pub b: Point,
+}
+
+impl Ciphertext {
+    /// The encryption of zero with zero randomness (homomorphic identity).
+    pub const IDENTITY: Ciphertext = Ciphertext { a: Point::IDENTITY, b: Point::IDENTITY };
+
+    /// Homomorphic addition: `Enc(m₁;r₁) ⊕ Enc(m₂;r₂) = Enc(m₁+m₂; r₁+r₂)`.
+    pub fn add(&self, other: &Ciphertext) -> Ciphertext {
+        Ciphertext { a: self.a + other.a, b: self.b + other.b }
+    }
+
+    /// Serializes as 66 bytes.
+    pub fn to_bytes(&self) -> [u8; 66] {
+        let mut out = [0u8; 66];
+        out[..33].copy_from_slice(&self.a.to_bytes());
+        out[33..].copy_from_slice(&self.b.to_bytes());
+        out
+    }
+
+    /// Parses the encoding produced by [`Ciphertext::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; 66]) -> Option<Ciphertext> {
+        let mut a = [0u8; 33];
+        let mut b = [0u8; 33];
+        a.copy_from_slice(&bytes[..33]);
+        b.copy_from_slice(&bytes[33..]);
+        Some(Ciphertext { a: Point::from_bytes(&a)?, b: Point::from_bytes(&b)? })
+    }
+}
+
+impl std::iter::Sum for Ciphertext {
+    fn sum<I: Iterator<Item = Ciphertext>>(iter: I) -> Ciphertext {
+        iter.fold(Ciphertext::IDENTITY, |acc, ct| acc.add(&ct))
+    }
+}
+
+/// Encrypts the scalar message `m` with explicit randomness `r`.
+pub fn encrypt_with(pk: &PublicKey, m: &Scalar, r: &Scalar) -> Ciphertext {
+    Ciphertext {
+        a: Point::mul_generator(r),
+        b: Point::mul_generator(m) + pk.0.mul(r),
+    }
+}
+
+/// Encrypts a small integer message, returning the ciphertext and the
+/// randomness used (the *opening*, which D-DEMOS secret-shares to trustees).
+pub fn encrypt_u64<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    m: u64,
+    rng: &mut R,
+) -> (Ciphertext, Scalar) {
+    let r = Scalar::random(rng);
+    (encrypt_with(pk, &Scalar::from_u64(m), &r), r)
+}
+
+/// Checks an opening `(m, r)` against a ciphertext: the pair opens `ct` iff
+/// `ct = (r·G, m·G + r·pk)`. This is the verification auditors run on
+/// published tally openings.
+pub fn verify_opening(pk: &PublicKey, ct: &Ciphertext, m: &Scalar, r: &Scalar) -> bool {
+    ct.a == Point::mul_generator(r) && ct.b == Point::mul_generator(m) + pk.0.mul(r)
+}
+
+/// Decrypts a lifted ciphertext, recovering `m·G`.
+pub fn decrypt_point(sk: &SecretKey, ct: &Ciphertext) -> Point {
+    ct.b - ct.a.mul(&sk.0)
+}
+
+/// Decrypts a lifted ciphertext with message known to lie in `0..=max`,
+/// using baby-step/giant-step. Returns `None` if the message is out of range.
+pub fn decrypt_u64(sk: &SecretKey, ct: &Ciphertext, max: u64) -> Option<u64> {
+    discrete_log(&decrypt_point(sk, ct), max)
+}
+
+/// Finds `m ∈ 0..=max` with `target = m·G`, or `None`.
+pub fn discrete_log(target: &Point, max: u64) -> Option<u64> {
+    if target.is_identity() {
+        return Some(0);
+    }
+    let m = ((max as f64).sqrt() as u64 + 1).max(1);
+    // Baby steps: j·G for j in 0..m
+    let mut table: HashMap<[u8; 33], u64> = HashMap::with_capacity(m as usize);
+    let g = Point::generator();
+    let mut cur = Point::IDENTITY;
+    for j in 0..m {
+        table.insert(cur.to_bytes(), j);
+        cur = cur + g;
+    }
+    // Giant steps: target - i·(m·G)
+    let giant = g.mul(&Scalar::from_u64(m)).negate();
+    let mut gamma = *target;
+    let mut i = 0u64;
+    while i * m <= max {
+        if let Some(&j) = table.get(&gamma.to_bytes()) {
+            let candidate = i * m + j;
+            if candidate <= max {
+                return Some(candidate);
+            }
+        }
+        gamma = gamma + giant;
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sk, pk) = keygen(&mut rng);
+        for m in [0u64, 1, 2, 7, 100, 9999] {
+            let (ct, _r) = encrypt_u64(&pk, m, &mut rng);
+            assert_eq!(decrypt_u64(&sk, &ct, 10_000), Some(m));
+        }
+    }
+
+    #[test]
+    fn out_of_range_returns_none() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (sk, pk) = keygen(&mut rng);
+        let (ct, _) = encrypt_u64(&pk, 50, &mut rng);
+        assert_eq!(decrypt_u64(&sk, &ct, 10), None);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (sk, pk) = keygen(&mut rng);
+        let (ct1, r1) = encrypt_u64(&pk, 3, &mut rng);
+        let (ct2, r2) = encrypt_u64(&pk, 39, &mut rng);
+        let sum = ct1.add(&ct2);
+        assert_eq!(decrypt_u64(&sk, &sum, 100), Some(42));
+        // Openings add too.
+        assert!(verify_opening(&pk, &sum, &Scalar::from_u64(42), &(r1 + r2)));
+    }
+
+    #[test]
+    fn opening_verifies_and_binds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_sk, pk) = keygen(&mut rng);
+        let (ct, r) = encrypt_u64(&pk, 5, &mut rng);
+        assert!(verify_opening(&pk, &ct, &Scalar::from_u64(5), &r));
+        assert!(!verify_opening(&pk, &ct, &Scalar::from_u64(6), &r));
+        assert!(!verify_opening(&pk, &ct, &Scalar::from_u64(5), &(r + Scalar::ONE)));
+    }
+
+    #[test]
+    fn unit_vector_tally_matches() {
+        // Simulate an m=3 option race: votes for options [0,2,2,1,2].
+        let mut rng = StdRng::seed_from_u64(5);
+        let (sk, pk) = keygen(&mut rng);
+        let votes = [0usize, 2, 2, 1, 2];
+        let mut tally = vec![Ciphertext::IDENTITY; 3];
+        for &v in &votes {
+            for (j, slot) in tally.iter_mut().enumerate() {
+                let (ct, _) = encrypt_u64(&pk, u64::from(j == v), &mut rng);
+                *slot = slot.add(&ct);
+            }
+        }
+        let counts: Vec<u64> = tally
+            .iter()
+            .map(|ct| decrypt_u64(&sk, ct, votes.len() as u64).unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn ciphertext_serialization() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (_, pk) = keygen(&mut rng);
+        let (ct, _) = encrypt_u64(&pk, 1, &mut rng);
+        assert_eq!(Ciphertext::from_bytes(&ct.to_bytes()).unwrap(), ct);
+        assert_eq!(
+            Ciphertext::from_bytes(&Ciphertext::IDENTITY.to_bytes()).unwrap(),
+            Ciphertext::IDENTITY
+        );
+    }
+
+    #[test]
+    fn bsgs_edges() {
+        let g = Point::generator();
+        assert_eq!(discrete_log(&Point::IDENTITY, 100), Some(0));
+        assert_eq!(discrete_log(&g, 100), Some(1));
+        assert_eq!(discrete_log(&g.mul(&Scalar::from_u64(100)), 100), Some(100));
+        assert_eq!(discrete_log(&g.mul(&Scalar::from_u64(101)), 100), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_homomorphism(a in 0u64..1000, b in 0u64..1000, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (sk, pk) = keygen(&mut rng);
+            let (ca, _) = encrypt_u64(&pk, a, &mut rng);
+            let (cb, _) = encrypt_u64(&pk, b, &mut rng);
+            prop_assert_eq!(decrypt_u64(&sk, &ca.add(&cb), 2000), Some(a + b));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Pedersen commitments over secp256k1.
+//!
+//! Used by the Pedersen VSS (§III-B cites Pedersen '91) that splits trustee
+//! secrets: `Com(m; r) = m·G + r·H`, with `H` a nothing-up-my-sleeve point
+//! whose discrete log w.r.t. `G` is unknown (derived by hashing to the
+//! curve). The commitment is perfectly hiding and computationally binding,
+//! and additively homomorphic.
+
+use crate::curve::Point;
+use crate::field::Scalar;
+
+/// Returns the secondary Pedersen generator `H`.
+pub fn generator_h() -> Point {
+    static H: std::sync::OnceLock<Point> = std::sync::OnceLock::new();
+    *H.get_or_init(|| Point::hash_to_point(b"ddemos/pedersen/generator-h"))
+}
+
+/// A Pedersen commitment `m·G + r·H`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Commitment(pub Point);
+
+impl Commitment {
+    /// The commitment to zero with zero blinding (homomorphic identity).
+    pub const IDENTITY: Commitment = Commitment(Point::IDENTITY);
+
+    /// Commits to `m` with blinding factor `r`.
+    pub fn commit(m: &Scalar, r: &Scalar) -> Commitment {
+        Commitment(Point::mul_generator(m) + generator_h().mul(r))
+    }
+
+    /// Verifies an opening `(m, r)`.
+    pub fn verify(&self, m: &Scalar, r: &Scalar) -> bool {
+        *self == Commitment::commit(m, r)
+    }
+
+    /// Homomorphic addition: `Com(m₁;r₁) + Com(m₂;r₂) = Com(m₁+m₂; r₁+r₂)`.
+    pub fn add(&self, other: &Commitment) -> Commitment {
+        Commitment(self.0 + other.0)
+    }
+
+    /// Multiplication by a public scalar:
+    /// `k · Com(m;r) = Com(k·m; k·r)`.
+    pub fn scale(&self, k: &Scalar) -> Commitment {
+        Commitment(self.0.mul(k))
+    }
+
+    /// Serializes as 33 bytes.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.0.to_bytes()
+    }
+
+    /// Parses a 33-byte encoding.
+    pub fn from_bytes(bytes: &[u8; 33]) -> Option<Commitment> {
+        Point::from_bytes(bytes).map(Commitment)
+    }
+}
+
+impl std::iter::Sum for Commitment {
+    fn sum<I: Iterator<Item = Commitment>>(iter: I) -> Commitment {
+        iter.fold(Commitment::IDENTITY, |a, b| a.add(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn h_is_not_g() {
+        assert_ne!(generator_h(), Point::generator());
+        assert!(!generator_h().is_identity());
+    }
+
+    #[test]
+    fn commit_verify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Scalar::random(&mut rng);
+        let r = Scalar::random(&mut rng);
+        let c = Commitment::commit(&m, &r);
+        assert!(c.verify(&m, &r));
+        assert!(!c.verify(&(m + Scalar::ONE), &r));
+        assert!(!c.verify(&m, &(r + Scalar::ONE)));
+    }
+
+    #[test]
+    fn homomorphic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (m1, r1) = (Scalar::random(&mut rng), Scalar::random(&mut rng));
+        let (m2, r2) = (Scalar::random(&mut rng), Scalar::random(&mut rng));
+        let sum = Commitment::commit(&m1, &r1).add(&Commitment::commit(&m2, &r2));
+        assert!(sum.verify(&(m1 + m2), &(r1 + r2)));
+    }
+
+    #[test]
+    fn scaling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, r) = (Scalar::random(&mut rng), Scalar::random(&mut rng));
+        let k = Scalar::from_u64(12345);
+        let scaled = Commitment::commit(&m, &r).scale(&k);
+        assert!(scaled.verify(&(m * k), &(r * k)));
+    }
+
+    #[test]
+    fn hiding_differs_by_blinding() {
+        let m = Scalar::from_u64(1);
+        let c1 = Commitment::commit(&m, &Scalar::from_u64(10));
+        let c2 = Commitment::commit(&m, &Scalar::from_u64(11));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn serialization() {
+        let c = Commitment::commit(&Scalar::from_u64(5), &Scalar::from_u64(6));
+        assert_eq!(Commitment::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+}

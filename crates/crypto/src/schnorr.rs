@@ -1,0 +1,191 @@
+//! Schnorr signatures over secp256k1 with deterministic nonces.
+//!
+//! The EA "generates all the public/private key pairs for all the system
+//! components … without relying on external PKI support" (§III-D). These
+//! keys sign ENDORSEMENT messages (from which UCERTs are assembled), receipt
+//! shares dealt by the EA, vote-set submissions to the BB, and trustee posts.
+
+use crate::curve::Point;
+use crate::field::Scalar;
+use crate::hmac::hmac_sha256_parts;
+use crate::sha256::sha256_parts;
+
+/// A Schnorr verification (public) key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub Point);
+
+/// A Schnorr signing (private) key.
+#[derive(Clone, Copy)]
+pub struct SigningKey {
+    sk: Scalar,
+    vk: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(vk: {:?})", self.vk)
+    }
+}
+
+/// A Schnorr signature `(R, s)` with `s·G = R + e·PK`, `e = H(R‖PK‖m)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// Commitment `R = k·G`.
+    pub r: Point,
+    /// Response `s = k + e·sk`.
+    pub s: Scalar,
+}
+
+impl Signature {
+    /// Serializes as 65 bytes (`R ‖ s`).
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..33].copy_from_slice(&self.r.to_bytes());
+        out[33..].copy_from_slice(&self.s.to_bytes());
+        out
+    }
+
+    /// Parses the 65-byte encoding.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Option<Signature> {
+        let mut rb = [0u8; 33];
+        rb.copy_from_slice(&bytes[..33]);
+        let mut sb = [0u8; 32];
+        sb.copy_from_slice(&bytes[33..]);
+        Some(Signature { r: Point::from_bytes(&rb)?, s: Scalar::from_bytes(&sb)? })
+    }
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> SigningKey {
+        loop {
+            let sk = Scalar::random(rng);
+            if !sk.is_zero() {
+                return SigningKey::from_scalar(sk);
+            }
+        }
+    }
+
+    /// Builds a key pair from an existing secret scalar.
+    ///
+    /// # Panics
+    /// Panics if `sk` is zero.
+    pub fn from_scalar(sk: Scalar) -> SigningKey {
+        assert!(!sk.is_zero(), "secret key must be nonzero");
+        SigningKey { sk, vk: VerifyingKey(Point::mul_generator(&sk)) }
+    }
+
+    /// The corresponding verification key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.vk
+    }
+
+    /// Signs a message (deterministic RFC-6979-style nonce).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        // k = HMAC(sk, msg) reduced — deterministic, never reused across
+        // distinct messages, bias negligible.
+        let k = Scalar::from_bytes_reduce(&hmac_sha256_parts(
+            &self.sk.to_bytes(),
+            &[b"ddemos/schnorr/nonce", message],
+        ));
+        let k = if k.is_zero() { Scalar::ONE } else { k };
+        let r = Point::mul_generator(&k);
+        let e = challenge(&r, &self.vk, message);
+        Signature { r, s: k + e * self.sk }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        if self.0.is_identity() {
+            return false;
+        }
+        let e = challenge(&sig.r, self, message);
+        // s·G − e·PK == R, via one Shamir double-scalar multiplication.
+        Point::double_mul(&sig.s, &Point::generator(), &-e, &self.0) == sig.r
+    }
+
+    /// Serializes as 33 bytes.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.0.to_bytes()
+    }
+
+    /// Parses a 33-byte encoding.
+    pub fn from_bytes(bytes: &[u8; 33]) -> Option<VerifyingKey> {
+        Point::from_bytes(bytes).map(VerifyingKey)
+    }
+}
+
+fn challenge(r: &Point, vk: &VerifyingKey, message: &[u8]) -> Scalar {
+    Scalar::from_bytes_reduce(&sha256_parts(&[
+        b"ddemos/schnorr/v1",
+        &r.to_bytes(),
+        &vk.0.to_bytes(),
+        message,
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"hello");
+        assert!(key.verifying_key().verify(b"hello", &sig));
+        assert!(!key.verifying_key().verify(b"hellp", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejects() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key1 = SigningKey::generate(&mut rng);
+        let key2 = SigningKey::generate(&mut rng);
+        let sig = key1.sign(b"msg");
+        assert!(!key2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = SigningKey::generate(&mut rng);
+        assert_eq!(key.sign(b"m"), key.sign(b"m"));
+        assert_ne!(key.sign(b"m"), key.sign(b"n"));
+    }
+
+    #[test]
+    fn tampered_signature_rejects() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = SigningKey::generate(&mut rng);
+        let mut sig = key.sign(b"msg");
+        sig.s = sig.s + Scalar::ONE;
+        assert!(!key.verifying_key().verify(b"msg", &sig));
+        let mut sig2 = key.sign(b"msg");
+        sig2.r = sig2.r + Point::generator();
+        assert!(!key.verifying_key().verify(b"msg", &sig2));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"roundtrip");
+        let back = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(back, sig);
+        let vk = VerifyingKey::from_bytes(&key.verifying_key().to_bytes()).unwrap();
+        assert_eq!(vk, key.verifying_key());
+    }
+
+    #[test]
+    fn identity_key_rejected() {
+        let vk = VerifyingKey(Point::IDENTITY);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sig = SigningKey::generate(&mut rng).sign(b"x");
+        assert!(!vk.verify(b"x", &sig));
+    }
+}

@@ -1,0 +1,250 @@
+//! Shamir secret sharing over the secp256k1 scalar field.
+//!
+//! D-DEMOS uses `(Nv−fv, Nv)` sharing for voter receipts and the vote-code
+//! master key `msk` (with EA-signed shares standing in for dealer
+//! verifiability — see [`crate::vss`]), and `(h_t, N_t)` sharing for every
+//! trustee secret. Shares are *additively homomorphic*: component-wise sums
+//! of shares (at the same evaluation points) are shares of the sum — the
+//! property the homomorphic tally opening relies on (§III-B).
+
+use crate::field::Scalar;
+
+/// Errors from share generation or reconstruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShareError {
+    /// Threshold was zero or exceeded the number of shares requested.
+    BadThreshold,
+    /// Reconstruction was attempted with fewer shares than the threshold.
+    NotEnoughShares,
+    /// Two shares carried the same evaluation index.
+    DuplicateIndex,
+}
+
+impl std::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShareError::BadThreshold => write!(f, "threshold must satisfy 1 <= k <= n"),
+            ShareError::NotEnoughShares => write!(f, "fewer shares than the threshold"),
+            ShareError::DuplicateIndex => write!(f, "duplicate share index"),
+        }
+    }
+}
+impl std::error::Error for ShareError {}
+
+/// One Shamir share: the polynomial evaluated at `x = index` (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (never zero; share `i` belongs to party `i`).
+    pub index: u32,
+    /// `f(index)`.
+    pub value: Scalar,
+}
+
+/// A random degree-`k−1` polynomial with constant term `secret`.
+#[derive(Clone, Debug)]
+pub struct Polynomial {
+    coeffs: Vec<Scalar>,
+}
+
+impl Polynomial {
+    /// Samples a polynomial of degree `k−1` whose constant term is `secret`.
+    ///
+    /// # Errors
+    /// [`ShareError::BadThreshold`] if `k == 0`.
+    pub fn random<R: rand::RngCore + ?Sized>(
+        secret: Scalar,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Polynomial, ShareError> {
+        if k == 0 {
+            return Err(ShareError::BadThreshold);
+        }
+        let mut coeffs = Vec::with_capacity(k);
+        coeffs.push(secret);
+        for _ in 1..k {
+            coeffs.push(Scalar::random(rng));
+        }
+        Ok(Polynomial { coeffs })
+    }
+
+    /// Evaluates at `x` (Horner).
+    pub fn eval(&self, x: Scalar) -> Scalar {
+        let mut acc = Scalar::ZERO;
+        for c in self.coeffs.iter().rev() {
+            acc = acc * x + *c;
+        }
+        acc
+    }
+
+    /// The polynomial coefficients, constant term first.
+    pub fn coeffs(&self) -> &[Scalar] {
+        &self.coeffs
+    }
+
+    /// Produces shares for parties `1..=n`.
+    pub fn shares(&self, n: usize) -> Vec<Share> {
+        (1..=n as u32)
+            .map(|i| Share { index: i, value: self.eval(Scalar::from_u64(u64::from(i))) })
+            .collect()
+    }
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `k`.
+///
+/// # Errors
+/// [`ShareError::BadThreshold`] unless `1 ≤ k ≤ n`.
+pub fn split<R: rand::RngCore + ?Sized>(
+    secret: Scalar,
+    k: usize,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<Share>, ShareError> {
+    if k == 0 || k > n {
+        return Err(ShareError::BadThreshold);
+    }
+    Ok(Polynomial::random(secret, k, rng)?.shares(n))
+}
+
+/// Lagrange coefficient `λᵢ(0)` for interpolation at zero over `indices`.
+pub fn lagrange_at_zero(i: u32, indices: &[u32]) -> Scalar {
+    let xi = Scalar::from_u64(u64::from(i));
+    let mut num = Scalar::ONE;
+    let mut den = Scalar::ONE;
+    for &j in indices {
+        if j == i {
+            continue;
+        }
+        let xj = Scalar::from_u64(u64::from(j));
+        num = num * xj;
+        den = den * (xj - xi);
+    }
+    num * den.invert().expect("distinct nonzero indices")
+}
+
+/// Reconstructs the secret from exactly-threshold-or-more shares.
+///
+/// Uses the first `k` shares if more are given; all indices must be distinct
+/// and nonzero.
+///
+/// # Errors
+/// [`ShareError::NotEnoughShares`] / [`ShareError::DuplicateIndex`].
+pub fn reconstruct(shares: &[Share], k: usize) -> Result<Scalar, ShareError> {
+    if shares.len() < k || k == 0 {
+        return Err(ShareError::NotEnoughShares);
+    }
+    let chosen = &shares[..k];
+    let indices: Vec<u32> = chosen.iter().map(|s| s.index).collect();
+    for (a, &ia) in indices.iter().enumerate() {
+        if ia == 0 {
+            return Err(ShareError::DuplicateIndex);
+        }
+        if indices[a + 1..].contains(&ia) {
+            return Err(ShareError::DuplicateIndex);
+        }
+    }
+    let mut secret = Scalar::ZERO;
+    for s in chosen {
+        secret += s.value * lagrange_at_zero(s.index, &indices);
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_and_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = Scalar::from_u64(0xDEADBEEF);
+        let shares = split(secret, 3, 5, &mut rng).unwrap();
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares[..3], 3).unwrap(), secret);
+        assert_eq!(reconstruct(&shares[2..], 3).unwrap(), secret);
+        // Any 3 of 5.
+        let pick = [shares[0], shares[2], shares[4]];
+        assert_eq!(reconstruct(&pick, 3).unwrap(), secret);
+    }
+
+    #[test]
+    fn below_threshold_is_random_looking() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let secret = Scalar::from_u64(42);
+        let shares = split(secret, 3, 5, &mut rng).unwrap();
+        // Reconstructing with k=2 (wrong threshold) gives a wrong value
+        // almost surely.
+        let wrong = reconstruct(&shares[..2], 2).unwrap();
+        assert_ne!(wrong, secret);
+        assert!(reconstruct(&shares[..2], 3).is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(split(Scalar::ONE, 0, 5, &mut rng).unwrap_err(), ShareError::BadThreshold);
+        assert_eq!(split(Scalar::ONE, 6, 5, &mut rng).unwrap_err(), ShareError::BadThreshold);
+        let shares = split(Scalar::ONE, 2, 3, &mut rng).unwrap();
+        let dup = [shares[0], shares[0]];
+        assert_eq!(reconstruct(&dup, 2).unwrap_err(), ShareError::DuplicateIndex);
+    }
+
+    #[test]
+    fn one_of_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let secret = Scalar::random(&mut rng);
+        let shares = split(secret, 1, 1, &mut rng).unwrap();
+        assert_eq!(reconstruct(&shares, 1).unwrap(), secret);
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (s1, s2) = (Scalar::from_u64(100), Scalar::from_u64(23));
+        let sh1 = split(s1, 3, 4, &mut rng).unwrap();
+        let sh2 = split(s2, 3, 4, &mut rng).unwrap();
+        let summed: Vec<Share> = sh1
+            .iter()
+            .zip(&sh2)
+            .map(|(a, b)| Share { index: a.index, value: a.value + b.value })
+            .collect();
+        assert_eq!(reconstruct(&summed[1..], 3).unwrap(), s1 + s2);
+    }
+
+    #[test]
+    fn affine_combination_of_shares() {
+        // The distributed-ZK trick: shares of α·c + β from shares of α, β.
+        let mut rng = StdRng::seed_from_u64(6);
+        let alpha = Scalar::random(&mut rng);
+        let beta = Scalar::random(&mut rng);
+        let c = Scalar::from_u64(777);
+        let sa = split(alpha, 2, 3, &mut rng).unwrap();
+        let sb = split(beta, 2, 3, &mut rng).unwrap();
+        let combined: Vec<Share> = sa
+            .iter()
+            .zip(&sb)
+            .map(|(a, b)| Share { index: a.index, value: a.value * c + b.value })
+            .collect();
+        assert_eq!(reconstruct(&combined[..2], 2).unwrap(), alpha * c + beta);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_any_quorum_reconstructs(seed in any::<u64>(), k in 1usize..6, extra in 0usize..4) {
+            let n = k + extra;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let secret = Scalar::random(&mut rng);
+            let shares = split(secret, k, n, &mut rng).unwrap();
+            // Rotate to pick different quorums.
+            for start in 0..n {
+                let quorum: Vec<Share> =
+                    (0..k).map(|i| shares[(start + i) % n]).collect();
+                prop_assert_eq!(reconstruct(&quorum, k).unwrap(), secret);
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Minimal fixed-width 256-bit unsigned integer used by the field and curve
+//! arithmetic.
+//!
+//! Limbs are stored little-endian (`limbs[0]` is least significant). Only the
+//! operations the cryptographic substrate needs are provided; this is not a
+//! general bignum library.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 256-bit unsigned integer (four little-endian `u64` limbs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256 {
+    limbs: [u64; 4],
+}
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// The value one.
+    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    /// The maximum representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+
+    /// Constructs a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> U256 {
+        U256 { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.limbs
+    }
+
+    /// Constructs a value from a `u64`.
+    pub const fn from_u64(v: u64) -> U256 {
+        U256 { limbs: [v, 0, 0, 0] }
+    }
+
+    /// Constructs a value from a `u128`.
+    pub const fn from_u128(v: u128) -> U256 {
+        U256 { limbs: [v as u64, (v >> 64) as u64, 0, 0] }
+    }
+
+    /// Parses a big-endian hex string (no `0x` prefix, up to 64 digits).
+    ///
+    /// Returns `None` on invalid characters or overly long input.
+    pub fn from_hex(s: &str) -> Option<U256> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut out = U256::ZERO;
+        for ch in s.chars() {
+            let d = ch.to_digit(16)? as u64;
+            out = out.shl4();
+            out.limbs[0] |= d;
+        }
+        Some(out)
+    }
+
+    fn shl4(self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            out[i] = self.limbs[i] << 4;
+            if i > 0 {
+                out[i] |= self.limbs[i - 1] >> 60;
+            }
+        }
+        U256 { limbs: out }
+    }
+
+    /// Parses 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[start..start + 8]);
+            *limb = u64::from_be_bytes(chunk);
+        }
+        U256 { limbs }
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            out[start..start + 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Returns bit `i` (0 = least significant). Bits ≥ 256 are zero.
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i + (64 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Adds with carry-out.
+    pub const fn adc(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            let sum = self.limbs[i] as u128 + rhs.limbs[i] as u128 + carry as u128;
+            out[i] = sum as u64;
+            carry = (sum >> 64) as u64;
+            i += 1;
+        }
+        (U256 { limbs: out }, carry != 0)
+    }
+
+    /// Subtracts with borrow-out.
+    pub const fn sbb(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+            i += 1;
+        }
+        (U256 { limbs: out }, borrow != 0)
+    }
+
+    /// Wrapping addition (mod 2^256).
+    pub const fn wrapping_add(self, rhs: U256) -> U256 {
+        self.adc(rhs).0
+    }
+
+    /// Wrapping subtraction (mod 2^256).
+    pub const fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.sbb(rhs).0
+    }
+
+    /// Full 256×256 → 512-bit multiplication, returned as (low, high).
+    pub const fn mul_wide(self, rhs: U256) -> (U256, U256) {
+        let mut t = [0u64; 8];
+        let mut i = 0;
+        while i < 4 {
+            let mut carry = 0u64;
+            let mut j = 0;
+            while j < 4 {
+                let acc = t[i + j] as u128
+                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
+                    + carry as u128;
+                t[i + j] = acc as u64;
+                carry = (acc >> 64) as u64;
+                j += 1;
+            }
+            t[i + 4] = carry;
+            i += 1;
+        }
+        (
+            U256 { limbs: [t[0], t[1], t[2], t[3]] },
+            U256 { limbs: [t[4], t[5], t[6], t[7]] },
+        )
+    }
+
+    /// `self mod m` computed by binary long division; `m` must be nonzero.
+    ///
+    /// Used only in non-hot paths (setup-time reductions).
+    pub fn reduce(self, m: U256) -> U256 {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if self < m {
+            return self;
+        }
+        let mut rem = U256::ZERO;
+        for i in (0..256).rev() {
+            // rem = rem*2 + bit
+            let (doubled, carry) = rem.adc(rem);
+            rem = doubled;
+            if self.bit(i) {
+                rem = rem.wrapping_add(U256::ONE);
+            }
+            // carry can only occur if rem >= 2^255 >= m is guaranteed handled:
+            if carry || rem >= m {
+                rem = rem.wrapping_sub(m);
+            }
+        }
+        rem
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x")?;
+        for b in self.to_be_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = U256::from_hex("deadbeef00000000000000000000000000000000000000000000000000000001")
+            .unwrap();
+        let bytes = v.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&bytes), v);
+        assert_eq!(bytes[0], 0xde);
+        assert_eq!(bytes[31], 0x01);
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(U256::from_hex("xyz").is_none());
+        assert!(U256::from_hex(&"f".repeat(65)).is_none());
+        assert!(U256::from_hex("").is_none());
+    }
+
+    #[test]
+    fn add_sub_carry() {
+        let (sum, carry) = U256::MAX.adc(U256::ONE);
+        assert!(carry);
+        assert_eq!(sum, U256::ZERO);
+        let (diff, borrow) = U256::ZERO.sbb(U256::ONE);
+        assert!(borrow);
+        assert_eq!(diff, U256::MAX);
+    }
+
+    #[test]
+    fn mul_wide_small() {
+        let (lo, hi) = U256::from_u64(u64::MAX).mul_wide(U256::from_u64(u64::MAX));
+        assert_eq!(lo, U256::from_u128((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(hi, U256::ZERO);
+    }
+
+    #[test]
+    fn mul_wide_large() {
+        // (2^255)^2 = 2^510 -> high word = 2^254
+        let x = {
+            let mut limbs = [0u64; 4];
+            limbs[3] = 1 << 63;
+            U256::from_limbs(limbs)
+        };
+        let (lo, hi) = x.mul_wide(x);
+        assert_eq!(lo, U256::ZERO);
+        let mut expect = [0u64; 4];
+        expect[3] = 1 << 62;
+        assert_eq!(hi, U256::from_limbs(expect));
+    }
+
+    #[test]
+    fn reduce_matches_manual() {
+        let m = U256::from_u64(1_000_003);
+        let v = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")
+            .unwrap();
+        let r = v.reduce(m);
+        assert!(r < m);
+        // 2^256 - 1 mod 1000003, computed independently with 128-bit steps:
+        // fold limbs: x mod m where x = sum limb_i * (2^64)^i
+        let base = (1u128 << 64) % 1_000_003;
+        let mut acc: u128 = 0;
+        for i in (0..4).rev() {
+            acc = (acc * base + (v.limbs()[i] as u128) % 1_000_003) % 1_000_003;
+        }
+        assert_eq!(r, U256::from_u128(acc));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256::MAX.bits(), 256);
+        let v = U256::from_u128(1 << 100);
+        assert_eq!(v.bits(), 101);
+        assert!(v.bit(100));
+        assert!(!v.bit(99));
+        assert!(!v.bit(300));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in any::<[u64;4]>(), b in any::<[u64;4]>()) {
+            let a = U256::from_limbs(a);
+            let b = U256::from_limbs(b);
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn prop_sub_inverts_add(a in any::<[u64;4]>(), b in any::<[u64;4]>()) {
+            let a = U256::from_limbs(a);
+            let b = U256::from_limbs(b);
+            prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in any::<[u64;4]>(), b in any::<[u64;4]>()) {
+            let a = U256::from_limbs(a);
+            let b = U256::from_limbs(b);
+            prop_assert_eq!(a.mul_wide(b), b.mul_wide(a));
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(a in any::<[u64;4]>()) {
+            let a = U256::from_limbs(a);
+            prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+        }
+
+        #[test]
+        fn prop_ord_consistent(a in any::<[u64;4]>(), b in any::<[u64;4]>()) {
+            let a = U256::from_limbs(a);
+            let b = U256::from_limbs(b);
+            let (_, borrow) = a.sbb(b);
+            prop_assert_eq!(borrow, a < b);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Vote-code commitments (§III-D).
+//!
+//! Vote codes are 160-bit random strings that must never rest in the clear
+//! outside the voter's ballot. Two commitment forms are used:
+//!
+//! * **VC nodes** receive `(H, salt)` with `H = SHA256(vote-code ‖ salt)` so
+//!   each node can validate a submitted code *locally, without network
+//!   communication*, yet cannot enumerate codes.
+//! * **BB nodes** receive `[vote-code]_msk` — `AES-128-CBC$` encryptions
+//!   under the election master key `msk` — plus `H_msk = SHA256(msk ‖
+//!   salt_msk)` so a reconstructed key can be authenticated before use.
+
+use crate::aes::{cbc_decrypt, cbc_encrypt, DecryptError};
+use crate::sha256::sha256_parts;
+
+/// A 160-bit vote code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VoteCode(pub [u8; 20]);
+
+impl VoteCode {
+    /// Samples a fresh random vote code.
+    pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> VoteCode {
+        let mut bytes = [0u8; 20];
+        rng.fill_bytes(&mut bytes);
+        VoteCode(bytes)
+    }
+
+    /// Renders the code in the human-enterable form printed on ballots
+    /// (hex, grouped for readability).
+    pub fn display_string(&self) -> String {
+        self.0
+            .chunks(4)
+            .map(|c| c.iter().map(|b| format!("{b:02x}")).collect::<String>())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// Parses the display form produced by [`VoteCode::display_string`].
+    pub fn parse(s: &str) -> Option<VoteCode> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 40 {
+            return None;
+        }
+        let mut out = [0u8; 20];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(VoteCode(out))
+    }
+}
+
+impl std::fmt::Debug for VoteCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VoteCode({})", self.display_string())
+    }
+}
+impl std::fmt::Display for VoteCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.display_string())
+    }
+}
+
+/// The hash commitment `(H, salt)` a VC node holds per ballot row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoteCodeHash {
+    /// `SHA256(vote-code ‖ salt)`.
+    pub hash: [u8; 32],
+    /// The 64-bit salt.
+    pub salt: u64,
+}
+
+impl VoteCodeHash {
+    /// Commits to a vote code under a salt.
+    pub fn commit(code: &VoteCode, salt: u64) -> VoteCodeHash {
+        VoteCodeHash { hash: hash_code(code, salt), salt }
+    }
+
+    /// Checks a submitted code against the commitment — the per-row test in
+    /// `Ballot::VerifyVoteCode` (Algorithm 1, line 37).
+    pub fn matches(&self, code: &VoteCode) -> bool {
+        hash_code(code, self.salt) == self.hash
+    }
+}
+
+fn hash_code(code: &VoteCode, salt: u64) -> [u8; 32] {
+    sha256_parts(&[b"ddemos/vote-code/v1", &code.0, &salt.to_be_bytes()])
+}
+
+/// Commitment to the master key: `H_msk = SHA256(msk ‖ salt_msk)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MskCommitment {
+    /// `SHA256(msk ‖ salt)`.
+    pub hash: [u8; 32],
+    /// The 64-bit salt.
+    pub salt: u64,
+}
+
+impl MskCommitment {
+    /// Commits to `msk`.
+    pub fn commit(msk: &[u8; 16], salt: u64) -> MskCommitment {
+        MskCommitment { hash: hash_msk(msk, salt), salt }
+    }
+
+    /// Verifies a candidate reconstructed key (what a BB node runs before
+    /// decrypting its stored vote codes).
+    pub fn matches(&self, msk: &[u8; 16]) -> bool {
+        hash_msk(msk, self.salt) == self.hash
+    }
+}
+
+fn hash_msk(msk: &[u8; 16], salt: u64) -> [u8; 32] {
+    sha256_parts(&[b"ddemos/msk/v1", msk, &salt.to_be_bytes()])
+}
+
+/// Encrypts a vote code for BB storage: `AES-128-CBC$(msk, code)`.
+pub fn encrypt_vote_code(msk: &[u8; 16], iv: [u8; 16], code: &VoteCode) -> Vec<u8> {
+    cbc_encrypt(msk, iv, &code.0)
+}
+
+/// Decrypts a stored vote code once `msk` has been reconstructed.
+///
+/// # Errors
+/// [`DecryptError`] on malformed ciphertext, wrong key, or wrong length.
+pub fn decrypt_vote_code(msk: &[u8; 16], data: &[u8]) -> Result<VoteCode, DecryptError> {
+    let plain = cbc_decrypt(msk, data)?;
+    if plain.len() != 20 {
+        return Err(DecryptError);
+    }
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&plain);
+    Ok(VoteCode(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn display_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let code = VoteCode::random(&mut rng);
+        let s = code.display_string();
+        assert_eq!(VoteCode::parse(&s), Some(code));
+        assert!(VoteCode::parse("zz").is_none());
+        assert!(VoteCode::parse("").is_none());
+    }
+
+    #[test]
+    fn hash_commit_matches_only_right_code() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let code = VoteCode::random(&mut rng);
+        let other = VoteCode::random(&mut rng);
+        let commit = VoteCodeHash::commit(&code, 99);
+        assert!(commit.matches(&code));
+        assert!(!commit.matches(&other));
+        // Salt matters.
+        let commit2 = VoteCodeHash::commit(&code, 100);
+        assert_ne!(commit.hash, commit2.hash);
+    }
+
+    #[test]
+    fn msk_commitment() {
+        let msk = [5u8; 16];
+        let c = MskCommitment::commit(&msk, 7);
+        assert!(c.matches(&msk));
+        assert!(!c.matches(&[6u8; 16]));
+    }
+
+    #[test]
+    fn encrypt_decrypt_vote_code() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let code = VoteCode::random(&mut rng);
+        let msk = [9u8; 16];
+        let ct = encrypt_vote_code(&msk, [1u8; 16], &code);
+        assert_eq!(decrypt_vote_code(&msk, &ct).unwrap(), code);
+        assert!(decrypt_vote_code(&[8u8; 16], &ct).is_err() ||
+                decrypt_vote_code(&[8u8; 16], &ct).unwrap() != code);
+    }
+
+    #[test]
+    fn same_code_encrypts_differently_with_fresh_iv() {
+        let code = VoteCode([1u8; 20]);
+        let msk = [2u8; 16];
+        let a = encrypt_vote_code(&msk, [0u8; 16], &code);
+        let b = encrypt_vote_code(&msk, [1u8; 16], &code);
+        assert_ne!(a, b);
+    }
+}

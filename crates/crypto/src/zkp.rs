@@ -1,0 +1,403 @@
+//! Chaum–Pedersen zero-knowledge proofs of ballot correctness (§III-B).
+//!
+//! For every option-encoding commitment — a vector of lifted ElGamal
+//! ciphertexts — the EA must prove that (a) each ciphertext encrypts 0 or 1
+//! (a Sigma-OR of two Chaum–Pedersen DH-tuple proofs) and (b) the element
+//! sum encrypts exactly 1 (one more Chaum–Pedersen proof on the aggregated
+//! ciphertext).
+//!
+//! The protocol is split across time and parties exactly as in the paper:
+//!
+//! 1. **Setup**: the EA computes the *first moves* and posts them on the BB.
+//! 2. **Election**: each voter's A/B ballot-part choice contributes one coin;
+//!    the concatenated coins hash to the challenge
+//!    ([`challenge_from_coins`]).
+//! 3. **After the election**: the *final move* is produced jointly by the
+//!    trustees, none of whom may learn the witnesses. This works because,
+//!    for fixed setup secrets, every response component is an **affine
+//!    function of the challenge** `c`: `cⱼ = αⱼ·c + βⱼ`, `zⱼ = γⱼ·c + δⱼ`.
+//!    The EA Shamir-shares the eight coefficients ([`OrProverSecrets`]
+//!    /[`or_affine_coefficients`]); a trustee's affine combination of its
+//!    coefficient shares is a valid share of the response, so `h_t` trustees
+//!    reconstruct the exact response without ever knowing which OR branch is
+//!    real.
+
+use crate::curve::Point;
+use crate::elgamal::{Ciphertext, PublicKey};
+use crate::field::Scalar;
+use crate::sha256::Sha256;
+
+/// First move (commitments) of a Chaum–Pedersen DH-tuple proof for the
+/// statement `∃r: a = r·G ∧ b = r·pk`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpFirstMove {
+    /// `w·G`
+    pub t1: Point,
+    /// `w·pk`
+    pub t2: Point,
+}
+
+impl CpFirstMove {
+    /// Serializes as 66 bytes.
+    pub fn to_bytes(&self) -> [u8; 66] {
+        let mut out = [0u8; 66];
+        out[..33].copy_from_slice(&self.t1.to_bytes());
+        out[33..].copy_from_slice(&self.t2.to_bytes());
+        out
+    }
+}
+
+/// Verifies a Chaum–Pedersen response: `z·G == t1 + c·a` and
+/// `z·pk == t2 + c·b`.
+pub fn cp_verify(
+    pk: &PublicKey,
+    a: &Point,
+    b: &Point,
+    first: &CpFirstMove,
+    c: &Scalar,
+    z: &Scalar,
+) -> bool {
+    // z·G − c·a == t1  ∧  z·pk − c·b == t2 (Shamir double-scalar form).
+    Point::double_mul(z, &Point::generator(), &-*c, a) == first.t1
+        && Point::double_mul(z, &pk.0, &-*c, b) == first.t2
+}
+
+/// First move of the 0/1 OR proof for one lifted ElGamal ciphertext.
+///
+/// Branch 0 proves `(a, b)` is a DH pair (encrypts 0); branch 1 proves
+/// `(a, b − G)` is (encrypts 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrFirstMove {
+    /// First move for the "encrypts 0" branch.
+    pub branch0: CpFirstMove,
+    /// First move for the "encrypts 1" branch.
+    pub branch1: CpFirstMove,
+}
+
+/// Final move of the 0/1 OR proof: split challenges and responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrResponse {
+    /// Challenge assigned to branch 0.
+    pub c0: Scalar,
+    /// Challenge assigned to branch 1 (`c0 + c1 = c`).
+    pub c1: Scalar,
+    /// Response for branch 0.
+    pub z0: Scalar,
+    /// Response for branch 1.
+    pub z1: Scalar,
+}
+
+/// The affine representation of the prover's pending final move:
+/// `cⱼ(c) = αⱼ·c + βⱼ`, `zⱼ(c) = γⱼ·c + δⱼ` for branches `j ∈ {0, 1}`.
+///
+/// These eight scalars are exactly what the EA secret-shares among trustees.
+/// Layout: `[α₀, β₀, γ₀, δ₀, α₁, β₁, γ₁, δ₁]`.
+#[derive(Clone, Copy)]
+pub struct OrProverSecrets {
+    coeffs: [Scalar; 8],
+}
+
+impl std::fmt::Debug for OrProverSecrets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OrProverSecrets(..)")
+    }
+}
+
+impl OrProverSecrets {
+    /// The eight affine coefficients `[α₀, β₀, γ₀, δ₀, α₁, β₁, γ₁, δ₁]`.
+    pub fn coefficients(&self) -> [Scalar; 8] {
+        self.coeffs
+    }
+
+    /// Computes the final move directly (used by tests and by auditors
+    /// replaying a reconstructed response).
+    pub fn respond(&self, c: &Scalar) -> OrResponse {
+        respond_affine(&self.coeffs, c)
+    }
+}
+
+/// Evaluates the affine response representation at challenge `c`.
+pub fn respond_affine(coeffs: &[Scalar; 8], c: &Scalar) -> OrResponse {
+    OrResponse {
+        c0: coeffs[0] * *c + coeffs[1],
+        z0: coeffs[2] * *c + coeffs[3],
+        c1: coeffs[4] * *c + coeffs[5],
+        z1: coeffs[6] * *c + coeffs[7],
+    }
+}
+
+/// Produces the OR-proof first move and pending secrets for a ciphertext
+/// `ct = Enc(pk, bit; r)`.
+///
+/// # Panics
+/// Panics if `bit` is not 0 or 1 (in debug builds the statement would be
+/// false and the proof unsound).
+pub fn or_prove<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    bit: u8,
+    r: &Scalar,
+    rng: &mut R,
+) -> (OrFirstMove, OrProverSecrets) {
+    assert!(bit <= 1, "plaintext must be a bit");
+    let w = Scalar::random(rng);
+    let c_sim = Scalar::random(rng);
+    let z_sim = Scalar::random(rng);
+
+    // Statement points for each branch: (a, b'_j) with b'_0 = b,
+    // b'_1 = b - G.
+    let b0 = ct.b;
+    let b1 = ct.b - Point::generator();
+
+    // Real branch first move: (w·G, w·pk).
+    let real = CpFirstMove { t1: Point::mul_generator(&w), t2: pk.0.mul(&w) };
+    // Simulated branch first move: (z̃·G − c̃·a, z̃·pk − c̃·b'_sim).
+    let (b_sim, b_real) = if bit == 0 { (b1, b0) } else { (b0, b1) };
+    let _ = b_real;
+    let sim = CpFirstMove {
+        t1: Point::mul_generator(&z_sim) - ct.a.mul(&c_sim),
+        t2: pk.0.mul(&z_sim) - b_sim.mul(&c_sim),
+    };
+
+    let first = if bit == 0 {
+        OrFirstMove { branch0: real, branch1: sim }
+    } else {
+        OrFirstMove { branch0: sim, branch1: real }
+    };
+
+    // Affine coefficients. Real branch b: c_b = c − c̃, z_b = w + c_b·r
+    //   = r·c + (w − c̃·r). Simulated branch: constants (c̃, z̃).
+    let u = c_sim * *r;
+    let real_coeffs = [Scalar::ONE, -c_sim, *r, w - u];
+    let sim_coeffs = [Scalar::ZERO, c_sim, Scalar::ZERO, z_sim];
+    let coeffs = if bit == 0 {
+        [
+            real_coeffs[0], real_coeffs[1], real_coeffs[2], real_coeffs[3],
+            sim_coeffs[0], sim_coeffs[1], sim_coeffs[2], sim_coeffs[3],
+        ]
+    } else {
+        [
+            sim_coeffs[0], sim_coeffs[1], sim_coeffs[2], sim_coeffs[3],
+            real_coeffs[0], real_coeffs[1], real_coeffs[2], real_coeffs[3],
+        ]
+    };
+    (first, OrProverSecrets { coeffs })
+}
+
+/// Verifies a complete 0/1 OR proof for `ct` under challenge `c`.
+pub fn or_verify(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    first: &OrFirstMove,
+    resp: &OrResponse,
+    c: &Scalar,
+) -> bool {
+    if resp.c0 + resp.c1 != *c {
+        return false;
+    }
+    let b1 = ct.b - Point::generator();
+    cp_verify(pk, &ct.a, &ct.b, &first.branch0, &resp.c0, &resp.z0)
+        && cp_verify(pk, &ct.a, &b1, &first.branch1, &resp.c1, &resp.z1)
+}
+
+/// Pending secrets for the "sum of row encrypts exactly 1" proof.
+///
+/// The response is `z(c) = γ·c + δ` with `γ = Σrⱼ` (the aggregate
+/// randomness) and `δ = w`; layout `[γ, δ]`.
+#[derive(Clone, Copy)]
+pub struct SumProverSecrets {
+    coeffs: [Scalar; 2],
+}
+
+impl std::fmt::Debug for SumProverSecrets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SumProverSecrets(..)")
+    }
+}
+
+impl SumProverSecrets {
+    /// The affine coefficients `[γ, δ]`.
+    pub fn coefficients(&self) -> [Scalar; 2] {
+        self.coeffs
+    }
+
+    /// Computes the response directly.
+    pub fn respond(&self, c: &Scalar) -> Scalar {
+        self.coeffs[0] * *c + self.coeffs[1]
+    }
+}
+
+/// Produces the sum-proof first move for a row of ciphertexts whose
+/// aggregate randomness is `r_sum` (the row must encrypt total 1).
+pub fn sum_prove<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    r_sum: &Scalar,
+    rng: &mut R,
+) -> (CpFirstMove, SumProverSecrets) {
+    let w = Scalar::random(rng);
+    (
+        CpFirstMove { t1: Point::mul_generator(&w), t2: pk.0.mul(&w) },
+        SumProverSecrets { coeffs: [*r_sum, w] },
+    )
+}
+
+/// Verifies the sum proof: the element-wise sum of `row` minus `Enc(1; 0)`
+/// must be a DH pair.
+pub fn sum_verify(
+    pk: &PublicKey,
+    row: &[Ciphertext],
+    first: &CpFirstMove,
+    c: &Scalar,
+    z: &Scalar,
+) -> bool {
+    let total: Ciphertext = row.iter().copied().sum();
+    let b_shifted = total.b - Point::generator();
+    cp_verify(pk, &total.a, &b_shifted, first, c, z)
+}
+
+/// Derives the proof challenge from the voters' A/B coins (§III-B: "all the
+/// voters' coins are collected and used as the challenge").
+///
+/// Coins are packed into bytes MSB-first; the `context` binds the challenge
+/// to the election.
+pub fn challenge_from_coins(context: &[u8], coins: &[bool]) -> Scalar {
+    let mut packed = vec![0u8; coins.len().div_ceil(8)];
+    for (i, &coin) in coins.iter().enumerate() {
+        if coin {
+            packed[i / 8] |= 1 << (7 - i % 8);
+        }
+    }
+    let mut h = Sha256::new();
+    h.update(b"ddemos/zk-challenge/v1");
+    h.update(&(context.len() as u64).to_be_bytes());
+    h.update(context);
+    h.update(&(coins.len() as u64).to_be_bytes());
+    h.update(&packed);
+    Scalar::from_bytes_reduce(&h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{encrypt_with, keygen};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (StdRng, PublicKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, pk) = keygen(&mut rng);
+        (rng, pk)
+    }
+
+    #[test]
+    fn or_proof_accepts_valid_bits() {
+        let (mut rng, pk) = setup(1);
+        for bit in [0u8, 1] {
+            let r = Scalar::random(&mut rng);
+            let ct = encrypt_with(&pk, &Scalar::from_u64(u64::from(bit)), &r);
+            let (first, secrets) = or_prove(&pk, &ct, bit, &r, &mut rng);
+            let c = challenge_from_coins(b"test", &[true, false, true]);
+            let resp = secrets.respond(&c);
+            assert!(or_verify(&pk, &ct, &first, &resp, &c), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn or_proof_rejects_wrong_challenge() {
+        let (mut rng, pk) = setup(2);
+        let r = Scalar::random(&mut rng);
+        let ct = encrypt_with(&pk, &Scalar::ZERO, &r);
+        let (first, secrets) = or_prove(&pk, &ct, 0, &r, &mut rng);
+        let c = challenge_from_coins(b"test", &[true]);
+        let resp = secrets.respond(&c);
+        let other = challenge_from_coins(b"test", &[false]);
+        assert!(!or_verify(&pk, &ct, &first, &resp, &other));
+    }
+
+    #[test]
+    fn or_proof_sound_against_invalid_plaintext() {
+        // A ciphertext of 2 cannot be proven 0/1: a cheating prover who
+        // fixed its simulated challenges before seeing c fails whp.
+        let (mut rng, pk) = setup(3);
+        let r = Scalar::random(&mut rng);
+        let ct = encrypt_with(&pk, &Scalar::from_u64(2), &r);
+        // Cheat as if bit = 0 (statement false) — prover lies about bit.
+        let (first, secrets) = or_prove(&pk, &ct, 0, &r, &mut rng);
+        let c = challenge_from_coins(b"test", &[true, true]);
+        let resp = secrets.respond(&c);
+        assert!(!or_verify(&pk, &ct, &first, &resp, &c));
+    }
+
+    #[test]
+    fn or_proof_response_is_affine_in_challenge() {
+        // The distributed-trustee path depends on this exactness.
+        let (mut rng, pk) = setup(4);
+        let r = Scalar::random(&mut rng);
+        let ct = encrypt_with(&pk, &Scalar::ONE, &r);
+        let (_first, secrets) = or_prove(&pk, &ct, 1, &r, &mut rng);
+        let coeffs = secrets.coefficients();
+        let c = Scalar::from_u64(987654321);
+        let direct = secrets.respond(&c);
+        let via_coeffs = respond_affine(&coeffs, &c);
+        assert_eq!(direct, via_coeffs);
+        // α₀ + α₁ = 1 and β₀ + β₁ = 0, so c0+c1 = c for every c.
+        assert_eq!(coeffs[0] + coeffs[4], Scalar::ONE);
+        assert_eq!(coeffs[1] + coeffs[5], Scalar::ZERO);
+    }
+
+    #[test]
+    fn sum_proof_roundtrip() {
+        let (mut rng, pk) = setup(5);
+        // Row encrypting the unit vector e_2 of length 4.
+        let mut row = Vec::new();
+        let mut r_sum = Scalar::ZERO;
+        for j in 0..4u64 {
+            let r = Scalar::random(&mut rng);
+            r_sum += r;
+            row.push(encrypt_with(&pk, &Scalar::from_u64(u64::from(j == 2)), &r));
+        }
+        let (first, secrets) = sum_prove(&pk, &r_sum, &mut rng);
+        let c = challenge_from_coins(b"ctx", &[false, true]);
+        let z = secrets.respond(&c);
+        assert!(sum_verify(&pk, &row, &first, &c, &z));
+        // A row summing to 2 fails.
+        let extra_r = Scalar::random(&mut rng);
+        let mut bad_row = row.clone();
+        bad_row.push(encrypt_with(&pk, &Scalar::ONE, &extra_r));
+        assert!(!sum_verify(&pk, &bad_row, &first, &c, &z));
+    }
+
+    #[test]
+    fn challenge_depends_on_coins_and_context() {
+        let a = challenge_from_coins(b"e1", &[true, false]);
+        let b = challenge_from_coins(b"e1", &[true, true]);
+        let c = challenge_from_coins(b"e2", &[true, false]);
+        let d = challenge_from_coins(b"e1", &[true, false]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, d);
+        // Length-sensitivity: [1] vs [1,0] must differ.
+        assert_ne!(
+            challenge_from_coins(b"e", &[true]),
+            challenge_from_coins(b"e", &[true, false])
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_or_proof_complete(seed in any::<u64>(), bit in 0u8..2,
+                                  coins in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, pk) = keygen(&mut rng);
+            let r = Scalar::random(&mut rng);
+            let ct = encrypt_with(&pk, &Scalar::from_u64(u64::from(bit)), &r);
+            let (first, secrets) = or_prove(&pk, &ct, bit, &r, &mut rng);
+            let c = challenge_from_coins(b"prop", &coins);
+            let resp = secrets.respond(&c);
+            prop_assert!(or_verify(&pk, &ct, &first, &resp, &c));
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! Election setup: deterministic generation of all initialization data.
+
+use ddemos_crypto::elgamal::{self, PublicKey};
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::hmac::{Prf, PrfRng};
+use ddemos_crypto::schnorr::{SigningKey, VerifyingKey};
+use ddemos_crypto::shamir;
+use ddemos_crypto::votecode::{self, MskCommitment, VoteCode, VoteCodeHash};
+use ddemos_crypto::vss::{DealerVss, SignedShare};
+use ddemos_crypto::zkp;
+use ddemos_protocol::ballot::{Ballot, BallotLine, BallotPart};
+use ddemos_protocol::initdata::{
+    msk_share_context, opening_bundle_message, receipt_share_context, BbBallot, BbInit, BbRow,
+    TrusteeBallotShares, TrusteeCtShares, TrusteeInit, TrusteePartShares, TrusteeRowShares,
+    VcBallot, VcInit, VcRow,
+};
+use ddemos_protocol::params::ElectionParams;
+use ddemos_protocol::{PartId, SerialNo};
+use rand::{Rng, RngCore};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How much initialization data to materialize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetupProfile {
+    /// Only what the vote-collection phase needs (ballots + VC init).
+    /// Used by the Fig 4/5a/5b benchmarks, which exercise vote collection
+    /// exclusively — the paper likewise pre-generates only the data each
+    /// experiment touches.
+    VcOnly,
+    /// Everything, including BB cryptographic payloads and trustee shares.
+    Full,
+}
+
+/// Everything the EA hands out before being destroyed.
+pub struct SetupOutput {
+    /// Election parameters.
+    pub params: ElectionParams,
+    /// Voter ballots (distributed over untappable channels).
+    pub ballots: Vec<Ballot>,
+    /// Per-VC-node initialization data.
+    pub vc_inits: Vec<VcInit>,
+    /// Bulletin-board initialization data (shared across BB nodes).
+    pub bb_init: BbInit,
+    /// Per-trustee initialization data.
+    pub trustee_inits: Vec<TrusteeInit>,
+    /// Common-coin beacon for the batched binary consensus.
+    pub consensus_beacon: u64,
+}
+
+/// The Election Authority. Construct, call [`ElectionAuthority::setup`],
+/// then drop — mirroring the paper's "destroyed upon completion of setup".
+pub struct ElectionAuthority {
+    params: ElectionParams,
+    master: Prf,
+    ea_key: SigningKey,
+    vc_keys: Vec<SigningKey>,
+    trustee_keys: Vec<SigningKey>,
+    elgamal_pk: PublicKey,
+    msk: [u8; 16],
+    msk_salt: u64,
+    beacon: u64,
+}
+
+/// Per-ballot derived data, before it is split across components.
+struct DerivedBallot {
+    ballot: Ballot,
+    /// Shuffles per part: `perm[part][shuffled_row] = option_index`.
+    perms: [Vec<usize>; 2],
+}
+
+impl ElectionAuthority {
+    /// Creates the EA for an election, deriving all keys from `seed`.
+    pub fn new(params: ElectionParams, seed: u64) -> ElectionAuthority {
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&seed.to_be_bytes());
+        seed_bytes[8..24].copy_from_slice(&params.election_id.0);
+        let master = Prf::new(ddemos_crypto::sha256::sha256(&seed_bytes));
+        let mut key_rng = PrfRng::new(&master, b"keys");
+        let ea_key = SigningKey::generate(&mut key_rng);
+        let vc_keys: Vec<SigningKey> =
+            (0..params.num_vc).map(|_| SigningKey::generate(&mut key_rng)).collect();
+        let trustee_keys: Vec<SigningKey> =
+            (0..params.num_trustees).map(|_| SigningKey::generate(&mut key_rng)).collect();
+        // The ElGamal secret key is generated and *immediately discarded* —
+        // option-encoding commitments are only ever opened via trustee
+        // shares, never decrypted.
+        let (_sk, elgamal_pk) = elgamal::keygen(&mut key_rng);
+        let mut msk = [0u8; 16];
+        key_rng.fill_bytes(&mut msk);
+        let msk_salt = key_rng.next_u64();
+        let beacon = key_rng.next_u64();
+        ElectionAuthority {
+            params,
+            master,
+            ea_key,
+            vc_keys,
+            trustee_keys,
+            elgamal_pk,
+            msk,
+            msk_salt,
+            beacon,
+        }
+    }
+
+    /// The EA's verification key (published).
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.ea_key.verifying_key()
+    }
+
+    /// The election parameters.
+    pub fn params(&self) -> &ElectionParams {
+        &self.params
+    }
+
+    /// Derives the voter-facing ballot for `serial` on demand (identical to
+    /// the one `setup` materializes). This is the "virtual ballot store"
+    /// that makes 250M-ballot elections representable (Fig 5a).
+    pub fn voter_ballot(&self, serial: SerialNo) -> Ballot {
+        self.derive_ballot(serial).ballot
+    }
+
+    fn derive_ballot(&self, serial: SerialNo) -> DerivedBallot {
+        let mut rng = PrfRng::new(&self.master.derive_indexed(b"ballot", serial.0), b"lines");
+        let m = self.params.num_options;
+        let mut parts = Vec::with_capacity(2);
+        let mut perms = Vec::with_capacity(2);
+        for _part in 0..2 {
+            let mut lines = Vec::with_capacity(m);
+            for option_index in 0..m {
+                lines.push(BallotLine {
+                    vote_code: VoteCode::random(&mut rng),
+                    option_index,
+                    receipt: rng.next_u64(),
+                });
+            }
+            // Fisher–Yates shuffle mapping shuffled row -> option index.
+            let mut perm: Vec<usize> = (0..m).collect();
+            for i in (1..m).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            parts.push(BallotPart { lines });
+            perms.push(perm);
+        }
+        let perms: [Vec<usize>; 2] = [perms.remove(0), perms.remove(0)];
+        DerivedBallot {
+            ballot: Ballot { serial, parts: [parts.remove(0), parts.remove(0)] },
+            perms,
+        }
+    }
+
+    /// Derives the per-VC-node rows for one ballot for **all** nodes at
+    /// once (one dealing shared across nodes — `Nv`× cheaper than calling
+    /// [`ElectionAuthority::vc_ballot`] per node).
+    pub fn vc_ballots_all_nodes(&self, serial: SerialNo) -> Vec<VcBallot> {
+        let derived = self.derive_ballot(serial);
+        let mut salt_rng =
+            PrfRng::new(&self.master.derive_indexed(b"vc-salts", serial.0), b"salts");
+        let nv = self.params.num_vc;
+        let k = self.params.vc_quorum();
+        let mut out: Vec<VcBallot> =
+            (0..nv).map(|_| VcBallot { parts: [Vec::new(), Vec::new()] }).collect();
+        for part in PartId::BOTH {
+            let perm = &derived.perms[part.index()];
+            for (row, &opt) in perm.iter().enumerate() {
+                let line = &derived.ballot.parts[part.index()].lines[opt];
+                let salt = salt_rng.next_u64();
+                let code_hash = VoteCodeHash::commit(&line.vote_code, salt);
+                let mut share_rng = PrfRng::new(
+                    &self
+                        .master
+                        .derive_indexed(b"receipt-share", serial.0)
+                        .derive_indexed(b"part", part.index() as u64),
+                    &row.to_be_bytes(),
+                );
+                let ctx = receipt_share_context(&self.params.election_id, serial, part, row);
+                let shares = DealerVss::deal(
+                    &self.ea_key,
+                    &ctx,
+                    Scalar::from_u64(line.receipt),
+                    k,
+                    nv,
+                    &mut share_rng,
+                )
+                .expect("valid receipt VSS parameters");
+                for (node, ballot) in out.iter_mut().enumerate() {
+                    ballot.parts[part.index()]
+                        .push(VcRow { code_hash, receipt_share: shares[node] });
+                }
+            }
+        }
+        out
+    }
+
+    /// Derives the per-VC-node rows for one ballot (shuffled, with hashed
+    /// codes and EA-signed receipt shares). `node` is the VC index.
+    pub fn vc_ballot(&self, serial: SerialNo, node: u32) -> VcBallot {
+        let derived = self.derive_ballot(serial);
+        let mut salt_rng =
+            PrfRng::new(&self.master.derive_indexed(b"vc-salts", serial.0), b"salts");
+        let nv = self.params.num_vc;
+        let k = self.params.vc_quorum();
+        let mut parts: [Vec<VcRow>; 2] = [Vec::new(), Vec::new()];
+        for part in PartId::BOTH {
+            let perm = &derived.perms[part.index()];
+            for (row, &opt) in perm.iter().enumerate() {
+                let line = &derived.ballot.parts[part.index()].lines[opt];
+                let salt = salt_rng.next_u64();
+                let code_hash = VoteCodeHash::commit(&line.vote_code, salt);
+                // Receipt shared (Nv−fv, Nv), each share EA-signed.
+                let mut share_rng = PrfRng::new(
+                    &self
+                        .master
+                        .derive_indexed(b"receipt-share", serial.0)
+                        .derive_indexed(b"part", part.index() as u64),
+                    &row.to_be_bytes(),
+                );
+                let ctx = receipt_share_context(&self.params.election_id, serial, part, row);
+                let shares = DealerVss::deal(
+                    &self.ea_key,
+                    &ctx,
+                    Scalar::from_u64(line.receipt),
+                    k,
+                    nv,
+                    &mut share_rng,
+                )
+                .expect("valid receipt VSS parameters");
+                parts[part.index()].push(VcRow {
+                    code_hash,
+                    receipt_share: shares[node as usize],
+                });
+            }
+        }
+        VcBallot { parts }
+    }
+
+    /// Derives the BB rows and trustee shares for one ballot.
+    fn crypto_ballot(&self, serial: SerialNo) -> (BbBallot, Vec<[TrusteePartShares; 2]>) {
+        let derived = self.derive_ballot(serial);
+        let m = self.params.num_options;
+        let nt = self.params.num_trustees;
+        let ht = self.params.trustee_threshold;
+        let mut rng = PrfRng::new(&self.master.derive_indexed(b"crypto", serial.0), b"zk");
+        let mut bb_parts: [Vec<BbRow>; 2] = [Vec::new(), Vec::new()];
+        // trustee_rows[t][part] accumulates rows for trustee t.
+        let mut trustee_rows: Vec<[Vec<TrusteeRowShares>; 2]> =
+            (0..nt).map(|_| [Vec::new(), Vec::new()]).collect();
+        for part in PartId::BOTH {
+            let perm = &derived.perms[part.index()];
+            for &opt in perm.iter() {
+                let line = &derived.ballot.parts[part.index()].lines[opt];
+                // Commitment row: m lifted-ElGamal ciphertexts encrypting
+                // the unit vector e_opt.
+                let mut cts = Vec::with_capacity(m);
+                let mut or_first = Vec::with_capacity(m);
+                let mut r_sum = Scalar::ZERO;
+                // Per-trustee accumulators for this row.
+                let mut trustee_cts: Vec<Vec<TrusteeCtShares>> =
+                    (0..nt).map(|_| Vec::with_capacity(m)).collect();
+                for j in 0..m {
+                    let bit = u8::from(j == opt);
+                    let r = Scalar::random(&mut rng);
+                    r_sum += r;
+                    let ct = elgamal::encrypt_with(
+                        &self.elgamal_pk,
+                        &Scalar::from_u64(u64::from(bit)),
+                        &r,
+                    );
+                    let (first, secrets) =
+                        zkp::or_prove(&self.elgamal_pk, &ct, bit, &r, &mut rng);
+                    // Share the opening (bit, r) and the 8 affine ZK
+                    // coefficients (h_t, N_t).
+                    let bit_shares = shamir::split(
+                        Scalar::from_u64(u64::from(bit)),
+                        ht,
+                        nt,
+                        &mut rng,
+                    )
+                    .expect("trustee sharing parameters");
+                    let rand_shares = shamir::split(r, ht, nt, &mut rng).expect("params");
+                    let coeffs = secrets.coefficients();
+                    let mut coeff_shares: Vec<Vec<shamir::Share>> = Vec::with_capacity(8);
+                    for c in coeffs.iter() {
+                        coeff_shares
+                            .push(shamir::split(*c, ht, nt, &mut rng).expect("params"));
+                    }
+                    for (t, acc) in trustee_cts.iter_mut().enumerate() {
+                        let mut or_coeffs = [Scalar::ZERO; 8];
+                        for (ci, shares) in coeff_shares.iter().enumerate() {
+                            or_coeffs[ci] = shares[t].value;
+                        }
+                        acc.push(TrusteeCtShares {
+                            bit: bit_shares[t].value,
+                            rand: rand_shares[t].value,
+                            or_coeffs,
+                        });
+                    }
+                    cts.push(ct);
+                    or_first.push(first);
+                }
+                let (sum_first, sum_secrets) =
+                    zkp::sum_prove(&self.elgamal_pk, &r_sum, &mut rng);
+                let sum_coeffs = sum_secrets.coefficients();
+                let gamma_shares =
+                    shamir::split(sum_coeffs[0], ht, nt, &mut rng).expect("params");
+                let delta_shares =
+                    shamir::split(sum_coeffs[1], ht, nt, &mut rng).expect("params");
+                for (t, acc) in trustee_cts.into_iter().enumerate() {
+                    trustee_rows[t][part.index()].push(TrusteeRowShares {
+                        cts: acc,
+                        sum_coeffs: [gamma_shares[t].value, delta_shares[t].value],
+                    });
+                }
+                // Encrypted vote code for the BB.
+                let mut iv = [0u8; 16];
+                rng.fill_bytes(&mut iv);
+                let enc_code = votecode::encrypt_vote_code(&self.msk, iv, &line.vote_code);
+                bb_parts[part.index()].push(BbRow {
+                    enc_code,
+                    commitment: cts,
+                    or_first,
+                    sum_first,
+                });
+            }
+        }
+        // Sign each trustee's opening bundle per part.
+        let trustee_parts: Vec<[TrusteePartShares; 2]> = trustee_rows
+            .into_iter()
+            .enumerate()
+            .map(|(t, parts)| {
+                let mut out: Vec<TrusteePartShares> = Vec::with_capacity(2);
+                for (pi, rows) in parts.into_iter().enumerate() {
+                    let part = PartId::from_index(pi);
+                    let openings: Vec<Vec<(Scalar, Scalar)>> = rows
+                        .iter()
+                        .map(|row| row.cts.iter().map(|ct| (ct.bit, ct.rand)).collect())
+                        .collect();
+                    let msg = opening_bundle_message(
+                        &self.params.election_id,
+                        serial,
+                        part,
+                        t as u32,
+                        &openings,
+                    );
+                    out.push(TrusteePartShares { rows, opening_sig: self.ea_key.sign(&msg) });
+                }
+                [out.remove(0), out.remove(0)]
+            })
+            .collect();
+        (BbBallot { parts: bb_parts }, trustee_parts)
+    }
+
+    fn msk_shares(&self) -> Vec<SignedShare> {
+        // msk embeds in a scalar (128 bits < group order).
+        let msk_scalar = Scalar::from_u128(u128::from_be_bytes(self.msk));
+        let mut rng = PrfRng::new(&self.master, b"msk-shares");
+        DealerVss::deal(
+            &self.ea_key,
+            &msk_share_context(&self.params.election_id),
+            msk_scalar,
+            self.params.vc_quorum(),
+            self.params.num_vc,
+            &mut rng,
+        )
+        .expect("msk sharing parameters")
+    }
+
+    /// Produces initialization data with **empty ballot maps** — keys and
+    /// `msk` shares only. Benchmarks wire nodes to virtual or
+    /// externally-built [stores](ddemos_protocol::initdata::VcInit) and
+    /// would otherwise duplicate every ballot in the init structures.
+    pub fn setup_keys_only(&self) -> SetupOutput {
+        let vc_vks: Vec<VerifyingKey> =
+            self.vc_keys.iter().map(|k| k.verifying_key()).collect();
+        let trustee_vks: Vec<VerifyingKey> =
+            self.trustee_keys.iter().map(|k| k.verifying_key()).collect();
+        let msk_shares = self.msk_shares();
+        let vc_inits: Vec<VcInit> = (0..self.params.num_vc)
+            .map(|i| VcInit {
+                params: self.params.clone(),
+                node_index: i as u32,
+                signing_key: self.vc_keys[i],
+                vc_keys: vc_vks.clone(),
+                ea_key: self.ea_key.verifying_key(),
+                msk_share: msk_shares[i],
+                ballots: HashMap::new(),
+            })
+            .collect();
+        SetupOutput {
+            params: self.params.clone(),
+            ballots: Vec::new(),
+            vc_inits,
+            bb_init: BbInit {
+                params: self.params.clone(),
+                msk_commitment: MskCommitment::commit(&self.msk, self.msk_salt),
+                elgamal_pk: self.elgamal_pk,
+                ea_key: self.ea_key.verifying_key(),
+                vc_keys: vc_vks,
+                trustee_keys: trustee_vks,
+                ballots: Arc::new(HashMap::new()),
+            },
+            trustee_inits: Vec::new(),
+            consensus_beacon: self.beacon,
+        }
+    }
+
+    /// Runs setup, materializing all initialization data.
+    ///
+    /// Ballot-level derivation is deterministic per serial, so the work is
+    /// spread across threads without affecting the output.
+    pub fn setup(&self, profile: SetupProfile) -> SetupOutput {
+        let n = self.params.num_ballots;
+        let nv = self.params.num_vc;
+        let nt = self.params.num_trustees;
+        let serials: Vec<SerialNo> = (0..n).map(SerialNo).collect();
+
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let chunk = serials.len().div_ceil(threads.max(1));
+        struct BallotBundle {
+            serial: SerialNo,
+            ballot: Ballot,
+            vc: Vec<VcBallot>,
+            bb: Option<BbBallot>,
+            trustee: Option<Vec<[TrusteePartShares; 2]>>,
+        }
+        let bundles: Vec<BallotBundle> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_serials in serials.chunks(chunk.max(1)) {
+                handles.push(scope.spawn(move || {
+                    chunk_serials
+                        .iter()
+                        .map(|&serial| {
+                            let ballot = self.derive_ballot(serial).ballot;
+                            let vc: Vec<VcBallot> =
+                                (0..nv as u32).map(|i| self.vc_ballot(serial, i)).collect();
+                            let (bb, trustee) = if profile == SetupProfile::Full {
+                                let (bb, tr) = self.crypto_ballot(serial);
+                                (Some(bb), Some(tr))
+                            } else {
+                                (None, None)
+                            };
+                            BallotBundle { serial, ballot, vc, bb, trustee }
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("setup worker")).collect()
+        });
+
+        let vc_vks: Vec<VerifyingKey> =
+            self.vc_keys.iter().map(|k| k.verifying_key()).collect();
+        let trustee_vks: Vec<VerifyingKey> =
+            self.trustee_keys.iter().map(|k| k.verifying_key()).collect();
+        let msk_shares = self.msk_shares();
+
+        let mut ballots = Vec::with_capacity(bundles.len());
+        let mut vc_ballot_maps: Vec<HashMap<SerialNo, VcBallot>> =
+            (0..nv).map(|_| HashMap::with_capacity(bundles.len())).collect();
+        let mut bb_ballots: HashMap<SerialNo, BbBallot> = HashMap::new();
+        let mut trustee_maps: Vec<HashMap<SerialNo, TrusteeBallotShares>> =
+            (0..nt).map(|_| HashMap::new()).collect();
+        for bundle in bundles {
+            ballots.push(bundle.ballot);
+            for (i, vcb) in bundle.vc.into_iter().enumerate() {
+                vc_ballot_maps[i].insert(bundle.serial, vcb);
+            }
+            if let Some(bb) = bundle.bb {
+                bb_ballots.insert(bundle.serial, bb);
+            }
+            if let Some(trustee) = bundle.trustee {
+                for (t, parts) in trustee.into_iter().enumerate() {
+                    trustee_maps[t].insert(bundle.serial, TrusteeBallotShares { parts });
+                }
+            }
+        }
+        ballots.sort_by_key(|b| b.serial);
+
+        let vc_inits: Vec<VcInit> = vc_ballot_maps
+            .into_iter()
+            .enumerate()
+            .map(|(i, map)| VcInit {
+                params: self.params.clone(),
+                node_index: i as u32,
+                signing_key: self.vc_keys[i],
+                vc_keys: vc_vks.clone(),
+                ea_key: self.ea_key.verifying_key(),
+                msk_share: msk_shares[i],
+                ballots: map,
+            })
+            .collect();
+        let bb_init = BbInit {
+            params: self.params.clone(),
+            msk_commitment: MskCommitment::commit(&self.msk, self.msk_salt),
+            elgamal_pk: self.elgamal_pk,
+            ea_key: self.ea_key.verifying_key(),
+            vc_keys: vc_vks,
+            trustee_keys: trustee_vks,
+            ballots: Arc::new(bb_ballots),
+        };
+        let trustee_inits: Vec<TrusteeInit> = trustee_maps
+            .into_iter()
+            .enumerate()
+            .map(|(t, map)| TrusteeInit {
+                params: self.params.clone(),
+                index: t as u32,
+                signing_key: self.trustee_keys[t],
+                ea_key: self.ea_key.verifying_key(),
+                elgamal_pk: self.elgamal_pk,
+                ballots: map,
+            })
+            .collect();
+        SetupOutput {
+            params: self.params.clone(),
+            ballots,
+            vc_inits,
+            bb_init,
+            trustee_inits,
+            consensus_beacon: self.beacon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddemos_crypto::shamir::Share;
+
+    fn params(n: u64, m: usize) -> ElectionParams {
+        ElectionParams::new("ea-test", n, m, 4, 3, 5, 3, 0, 60_000).unwrap()
+    }
+
+    #[test]
+    fn setup_is_deterministic() {
+        let p = params(3, 2);
+        let a = ElectionAuthority::new(p.clone(), 7).setup(SetupProfile::VcOnly);
+        let b = ElectionAuthority::new(p, 7).setup(SetupProfile::VcOnly);
+        assert_eq!(a.ballots, b.ballots);
+        assert_eq!(a.consensus_beacon, b.consensus_beacon);
+    }
+
+    #[test]
+    fn ballots_are_well_formed_and_distinct() {
+        let ea = ElectionAuthority::new(params(5, 3), 1);
+        let out = ea.setup(SetupProfile::VcOnly);
+        assert_eq!(out.ballots.len(), 5);
+        for b in &out.ballots {
+            assert!(b.well_formed());
+        }
+        // Codes unique across the election (overwhelming probability).
+        let mut all: Vec<_> = out
+            .ballots
+            .iter()
+            .flat_map(|b| b.all_codes().map(|(l, _)| l.vote_code))
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 5 * 3 * 2);
+    }
+
+    #[test]
+    fn voter_ballot_matches_materialized() {
+        let ea = ElectionAuthority::new(params(4, 2), 3);
+        let out = ea.setup(SetupProfile::VcOnly);
+        for b in &out.ballots {
+            assert_eq!(&ea.voter_ballot(b.serial), b);
+        }
+    }
+
+    #[test]
+    fn vc_rows_validate_codes_and_shares_reconstruct_receipts() {
+        let p = params(2, 2);
+        let ea = ElectionAuthority::new(p.clone(), 5);
+        let out = ea.setup(SetupProfile::VcOnly);
+        let serial = SerialNo(1);
+        let ballot = &out.ballots[1];
+        let line = &ballot.parts[0].lines[1]; // part A, option 1
+        // Each node can locate the code via hashes.
+        let mut shares = Vec::new();
+        let mut located = None;
+        for init in &out.vc_inits {
+            let vcb = &init.ballots[&serial];
+            let (part, row) = vcb.find_code(&line.vote_code).expect("code located");
+            assert_eq!(part, PartId::A);
+            located = Some((part, row));
+            let share = vcb.parts[part.index()][row].receipt_share;
+            // EA signature binds (election, serial, part, row).
+            let ctx = receipt_share_context(&p.election_id, serial, part, row);
+            assert!(DealerVss::verify(&init.ea_key, &ctx, &share));
+            shares.push(share);
+        }
+        let (_, row) = located.unwrap();
+        let _ = row;
+        // Any quorum of shares reconstructs the printed receipt.
+        let rec = DealerVss::reconstruct(&shares[..p.vc_quorum()], p.vc_quorum()).unwrap();
+        assert_eq!(rec.to_u64(), Some(line.receipt));
+    }
+
+    #[test]
+    fn unknown_code_is_not_located() {
+        let ea = ElectionAuthority::new(params(1, 2), 9);
+        let out = ea.setup(SetupProfile::VcOnly);
+        let vcb = &out.vc_inits[0].ballots[&SerialNo(0)];
+        assert!(vcb.find_code(&VoteCode([0xAB; 20])).is_none());
+    }
+
+    #[test]
+    fn msk_shares_reconstruct_and_match_commitment() {
+        let p = params(1, 2);
+        let ea = ElectionAuthority::new(p.clone(), 2);
+        let out = ea.setup(SetupProfile::VcOnly);
+        let shares: Vec<_> = out.vc_inits.iter().map(|i| i.msk_share).collect();
+        for s in &shares {
+            assert!(DealerVss::verify(
+                &out.vc_inits[0].ea_key,
+                &msk_share_context(&p.election_id),
+                s
+            ));
+        }
+        let k = p.vc_quorum();
+        let msk_scalar = DealerVss::reconstruct(&shares[..k], k).unwrap();
+        let bytes = msk_scalar.to_bytes();
+        let mut msk = [0u8; 16];
+        msk.copy_from_slice(&bytes[16..]);
+        assert!(out.bb_init.msk_commitment.matches(&msk));
+    }
+
+    #[test]
+    fn full_profile_bb_rows_decrypt_and_commit_correctly() {
+        let p = params(2, 2);
+        let ea = ElectionAuthority::new(p.clone(), 11);
+        let out = ea.setup(SetupProfile::Full);
+        // Recover msk from VC shares.
+        let shares: Vec<_> = out.vc_inits.iter().map(|i| i.msk_share).collect();
+        let k = p.vc_quorum();
+        let msk_bytes = DealerVss::reconstruct(&shares[..k], k).unwrap().to_bytes();
+        let mut msk = [0u8; 16];
+        msk.copy_from_slice(&msk_bytes[16..]);
+        for ballot in &out.ballots {
+            let bb = &out.bb_init.ballots[&ballot.serial];
+            for part in PartId::BOTH {
+                let rows = &bb.parts[part.index()];
+                assert_eq!(rows.len(), 2);
+                for row in rows {
+                    let code = votecode::decrypt_vote_code(&msk, &row.enc_code).unwrap();
+                    // The decrypted code appears on the printed ballot, and
+                    // the commitment encodes that line's option.
+                    let line = ballot.part(part).line_for_code(&code).expect("code printed");
+                    assert_eq!(row.commitment.len(), 2);
+                    // Trustee shares open the commitments to the unit vector.
+                    for (j, ct) in row.commitment.iter().enumerate() {
+                        let expected_bit = u64::from(j == line.option_index);
+                        // Reconstruct opening from trustee shares.
+                        let row_index = bb.parts[part.index()]
+                            .iter()
+                            .position(|r| std::ptr::eq(r, row))
+                            .unwrap();
+                        let bit_shares: Vec<Share> = out
+                            .trustee_inits
+                            .iter()
+                            .map(|ti| Share {
+                                index: ti.index + 1,
+                                value: ti.ballots[&ballot.serial].parts[part.index()].rows
+                                    [row_index]
+                                    .cts[j]
+                                    .bit,
+                            })
+                            .collect();
+                        let rand_shares: Vec<Share> = out
+                            .trustee_inits
+                            .iter()
+                            .map(|ti| Share {
+                                index: ti.index + 1,
+                                value: ti.ballots[&ballot.serial].parts[part.index()].rows
+                                    [row_index]
+                                    .cts[j]
+                                    .rand,
+                            })
+                            .collect();
+                        let ht = p.trustee_threshold;
+                        let bit = shamir::reconstruct(&bit_shares[..ht], ht).unwrap();
+                        let r = shamir::reconstruct(&rand_shares[..ht], ht).unwrap();
+                        assert_eq!(bit.to_u64(), Some(expected_bit));
+                        assert!(elgamal::verify_opening(&out.bb_init.elgamal_pk, ct, &bit, &r));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zk_first_moves_verify_with_reconstructed_responses() {
+        let p = params(1, 2);
+        let ea = ElectionAuthority::new(p.clone(), 13);
+        let out = ea.setup(SetupProfile::Full);
+        let serial = SerialNo(0);
+        let bb = &out.bb_init.ballots[&serial];
+        let challenge = zkp::challenge_from_coins(b"test-challenge", &[true, false, true]);
+        let ht = p.trustee_threshold;
+        for part in PartId::BOTH {
+            for (row_index, row) in bb.parts[part.index()].iter().enumerate() {
+                // Reconstruct each ciphertext's OR response from trustee
+                // affine-coefficient shares evaluated at the challenge.
+                for (j, ct) in row.commitment.iter().enumerate() {
+                    let mut resp_shares: Vec<[Share; 4]> = Vec::new();
+                    for ti in &out.trustee_inits {
+                        let cs = &ti.ballots[&serial].parts[part.index()].rows[row_index].cts[j];
+                        let c = &cs.or_coeffs;
+                        resp_shares.push([
+                            Share { index: ti.index + 1, value: c[0] * challenge + c[1] },
+                            Share { index: ti.index + 1, value: c[2] * challenge + c[3] },
+                            Share { index: ti.index + 1, value: c[4] * challenge + c[5] },
+                            Share { index: ti.index + 1, value: c[6] * challenge + c[7] },
+                        ]);
+                    }
+                    let mut vals = [Scalar::ZERO; 4];
+                    for (slot, val) in vals.iter_mut().enumerate() {
+                        let shares: Vec<Share> =
+                            resp_shares.iter().map(|s| s[slot]).collect();
+                        *val = shamir::reconstruct(&shares[..ht], ht).unwrap();
+                    }
+                    let resp = zkp::OrResponse { c0: vals[0], z0: vals[1], c1: vals[2], z1: vals[3] };
+                    assert!(zkp::or_verify(
+                        &out.bb_init.elgamal_pk,
+                        ct,
+                        &row.or_first[j],
+                        &resp,
+                        &challenge
+                    ));
+                }
+                // Sum proof.
+                let sum_shares: Vec<Share> = out
+                    .trustee_inits
+                    .iter()
+                    .map(|ti| {
+                        let sc = &ti.ballots[&serial].parts[part.index()].rows[row_index]
+                            .sum_coeffs;
+                        Share { index: ti.index + 1, value: sc[0] * challenge + sc[1] }
+                    })
+                    .collect();
+                let z = shamir::reconstruct(&sum_shares[..ht], ht).unwrap();
+                assert!(zkp::sum_verify(
+                    &out.bb_init.elgamal_pk,
+                    &row.commitment,
+                    &row.sum_first,
+                    &challenge,
+                    &z
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn vc_only_profile_skips_crypto_payloads() {
+        let ea = ElectionAuthority::new(params(2, 2), 17);
+        let out = ea.setup(SetupProfile::VcOnly);
+        assert!(out.bb_init.ballots.is_empty());
+        assert!(out.trustee_inits.iter().all(|t| t.ballots.is_empty()));
+    }
+}

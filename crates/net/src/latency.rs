@@ -1,0 +1,122 @@
+//! Network latency/loss models.
+//!
+//! The paper evaluates on a Gigabit LAN and then emulates a WAN by
+//! injecting a uniform 25 ms latency between vote collector nodes with
+//! `netem` (§V). [`NetworkProfile`] reproduces both setups: a delay sampled
+//! per (source, destination, message) plus an optional drop probability.
+
+use ddemos_protocol::{NodeId, NodeKind};
+use std::time::Duration;
+
+/// A latency/loss profile for the simulated network.
+#[derive(Clone, Debug)]
+pub struct NetworkProfile {
+    /// Base one-way delay between two VC nodes.
+    pub vc_to_vc: Duration,
+    /// Base one-way delay between a client and a VC node.
+    pub client_to_vc: Duration,
+    /// Uniform jitter added on top of the base delay (`0..=jitter`).
+    pub jitter: Duration,
+    /// Probability a message is silently dropped (retransmission is the
+    /// sender's business, as in the paper's model).
+    pub drop_probability: f64,
+    /// Probability a delivered message is duplicated.
+    pub duplicate_probability: f64,
+}
+
+impl NetworkProfile {
+    /// Gigabit-LAN profile: sub-millisecond delays, no loss.
+    pub fn lan() -> NetworkProfile {
+        NetworkProfile {
+            vc_to_vc: Duration::from_micros(200),
+            client_to_vc: Duration::from_micros(200),
+            jitter: Duration::from_micros(100),
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// WAN profile matching the paper's netem setup: a uniform 25 ms
+    /// latency for each packet exchanged between vote collector nodes
+    /// (typical US coast-to-coast), clients at 10 ms.
+    pub fn wan() -> NetworkProfile {
+        NetworkProfile {
+            vc_to_vc: Duration::from_millis(25),
+            client_to_vc: Duration::from_millis(10),
+            jitter: Duration::from_millis(1),
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// Zero-latency profile for pure-protocol unit tests.
+    pub fn instant() -> NetworkProfile {
+        NetworkProfile {
+            vc_to_vc: Duration::ZERO,
+            client_to_vc: Duration::ZERO,
+            jitter: Duration::ZERO,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// Sets the drop probability (lossy-network experiments).
+    pub fn with_drop(mut self, p: f64) -> NetworkProfile {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicates(mut self, p: f64) -> NetworkProfile {
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Samples the one-way delay for a message from `from` to `to`.
+    pub fn delay<R: rand::Rng + ?Sized>(&self, from: NodeId, to: NodeId, rng: &mut R) -> Duration {
+        let base = if from.kind == NodeKind::Vc && to.kind == NodeKind::Vc {
+            self.vc_to_vc
+        } else {
+            self.client_to_vc
+        };
+        if self.jitter.is_zero() {
+            base
+        } else {
+            base + Duration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos() as u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wan_delays_inter_vc_only() {
+        let p = NetworkProfile::wan();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d_vc = p.delay(NodeId::vc(0), NodeId::vc(1), &mut rng);
+        let d_cl = p.delay(NodeId::client(0), NodeId::vc(1), &mut rng);
+        assert!(d_vc >= Duration::from_millis(25));
+        assert!(d_cl < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let p = NetworkProfile::lan();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let d = p.delay(NodeId::vc(0), NodeId::vc(1), &mut rng);
+            assert!(d >= p.vc_to_vc && d <= p.vc_to_vc + p.jitter);
+        }
+    }
+
+    #[test]
+    fn instant_is_zero() {
+        let p = NetworkProfile::instant();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(p.delay(NodeId::vc(0), NodeId::vc(1), &mut rng), Duration::ZERO);
+    }
+}

@@ -1,0 +1,16 @@
+//! # ddemos-net
+//!
+//! In-process simulated network standing in for the paper's asynchronous
+//! communications stack and testbed (§V): authenticated message-oriented
+//! channels, per-edge latency/jitter (LAN and netem-style WAN profiles),
+//! loss, duplication, crash and partition injection, and traffic counters.
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod simnet;
+pub mod stats;
+
+pub use latency::NetworkProfile;
+pub use simnet::{Endpoint, Envelope, SimNet};
+pub use stats::NetStats;

@@ -1,0 +1,464 @@
+//! The in-process simulated network.
+//!
+//! `SimNet` stands in for the paper's asynchronous communications stack
+//! (Netty + TLS, §V): message-oriented, authenticated (the router stamps
+//! the true sender — a node cannot spoof another's identity, mirroring the
+//! TLS-authenticated channels), with per-edge latency injection, loss,
+//! duplication, and Byzantine fault hooks (crash, partition).
+//!
+//! Nodes register to obtain an [`Endpoint`]; each endpoint owns an inbox
+//! channel. A scheduler thread holds a delay heap and releases messages at
+//! their due time, providing the LAN/WAN emulation of §V.
+
+use crate::latency::NetworkProfile;
+use crate::stats::NetStats;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ddemos_protocol::messages::Msg;
+use ddemos_protocol::NodeId;
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A routed message with its authenticated source.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Authenticated sender (stamped by the router).
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: Msg,
+}
+
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct NetInner {
+    inboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    crashed: RwLock<HashSet<NodeId>>,
+    partitions: RwLock<Vec<(HashSet<NodeId>, HashSet<NodeId>)>>,
+    profile: RwLock<NetworkProfile>,
+    queue: Mutex<BinaryHeap<Reverse<Scheduled>>>,
+    queue_cv: Condvar,
+    rng: Mutex<StdRng>,
+    seq: Mutex<u64>,
+    shutdown: AtomicBool,
+    stats: NetStats,
+}
+
+/// Handle to the simulated network (cheaply cloneable).
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<NetInner>,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimNet(nodes: {})", self.inner.inboxes.read().len())
+    }
+}
+
+impl SimNet {
+    /// Creates a network with the given profile and RNG seed, spawning the
+    /// delivery scheduler thread.
+    pub fn new(profile: NetworkProfile, seed: u64) -> SimNet {
+        let inner = Arc::new(NetInner {
+            inboxes: RwLock::new(HashMap::new()),
+            crashed: RwLock::new(HashSet::new()),
+            partitions: RwLock::new(Vec::new()),
+            profile: RwLock::new(profile),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cv: Condvar::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            seq: Mutex::new(0),
+            shutdown: AtomicBool::new(false),
+            stats: NetStats::default(),
+        });
+        let net = SimNet { inner };
+        let worker = net.clone();
+        std::thread::Builder::new()
+            .name("simnet-scheduler".into())
+            .spawn(move || worker.scheduler_loop())
+            .expect("spawn scheduler");
+        net
+    }
+
+    /// Registers a node, returning its endpoint.
+    ///
+    /// # Panics
+    /// Panics if the node id is already registered.
+    pub fn register(&self, id: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let prev = self.inner.inboxes.write().insert(id, tx);
+        assert!(prev.is_none(), "node {id} registered twice");
+        Endpoint { id, rx, net: self.clone() }
+    }
+
+    /// Replaces the latency profile at runtime.
+    pub fn set_profile(&self, profile: NetworkProfile) {
+        *self.inner.profile.write() = profile;
+    }
+
+    /// Marks a node as crashed: all traffic to and from it is discarded.
+    pub fn crash(&self, id: NodeId) {
+        self.inner.crashed.write().insert(id);
+    }
+
+    /// Heals a crashed node (messages flow again; nothing is replayed).
+    pub fn restart(&self, id: NodeId) {
+        self.inner.crashed.write().remove(&id);
+    }
+
+    /// Installs a bidirectional partition between two node groups.
+    pub fn partition(&self, a: impl IntoIterator<Item = NodeId>, b: impl IntoIterator<Item = NodeId>) {
+        self.inner
+            .partitions
+            .write()
+            .push((a.into_iter().collect(), b.into_iter().collect()));
+    }
+
+    /// Removes all partitions.
+    pub fn heal_partitions(&self) {
+        self.inner.partitions.write().clear();
+    }
+
+    /// Network statistics counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Stops the scheduler thread; pending messages are dropped.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+        {
+            let crashed = self.inner.crashed.read();
+            if crashed.contains(&from) || crashed.contains(&to) {
+                return true;
+            }
+        }
+        let parts = self.inner.partitions.read();
+        parts.iter().any(|(a, b)| {
+            (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
+        })
+    }
+
+    fn send(&self, env: Envelope) {
+        self.inner.stats.record_sent(&env.msg);
+        if self.blocked(env.from, env.to) {
+            self.inner.stats.record_dropped();
+            return;
+        }
+        let (delay, dup) = {
+            let profile = self.inner.profile.read();
+            let mut rng = self.inner.rng.lock();
+            if profile.drop_probability > 0.0 && rng.gen_bool(profile.drop_probability) {
+                self.inner.stats.record_dropped();
+                return;
+            }
+            let dup = profile.duplicate_probability > 0.0
+                && rng.gen_bool(profile.duplicate_probability);
+            (profile.delay(env.from, env.to, &mut *rng), dup)
+        };
+        if delay.is_zero() && !dup {
+            self.deliver(env);
+            return;
+        }
+        let due = Instant::now() + delay;
+        let mut queue = self.inner.queue.lock();
+        let mut push = |env: Envelope, due: Instant| {
+            let mut seq = self.inner.seq.lock();
+            *seq += 1;
+            queue.push(Reverse(Scheduled { due, seq: *seq, env }));
+        };
+        if dup {
+            push(env.clone(), due + Duration::from_micros(50));
+        }
+        push(env, due);
+        drop(queue);
+        self.inner.queue_cv.notify_one();
+    }
+
+    fn deliver(&self, env: Envelope) {
+        if self.blocked(env.from, env.to) {
+            self.inner.stats.record_dropped();
+            return;
+        }
+        let inboxes = self.inner.inboxes.read();
+        if let Some(tx) = inboxes.get(&env.to) {
+            if tx.send(env).is_ok() {
+                self.inner.stats.record_delivered();
+                return;
+            }
+        }
+        self.inner.stats.record_dropped();
+    }
+
+    fn scheduler_loop(&self) {
+        loop {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut due_now = Vec::new();
+            {
+                let mut queue = self.inner.queue.lock();
+                loop {
+                    let now = Instant::now();
+                    match queue.peek() {
+                        Some(Reverse(s)) if s.due <= now => {
+                            due_now.push(queue.pop().unwrap().0.env);
+                        }
+                        Some(Reverse(s)) => {
+                            let wait = s.due - now;
+                            if due_now.is_empty() {
+                                self.inner.queue_cv.wait_for(&mut queue, wait);
+                                if self.inner.shutdown.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                continue;
+                            }
+                            break;
+                        }
+                        None => {
+                            if due_now.is_empty() {
+                                self.inner
+                                    .queue_cv
+                                    .wait_for(&mut queue, Duration::from_millis(50));
+                                if self.inner.shutdown.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            for env in due_now {
+                self.deliver(env);
+            }
+        }
+    }
+}
+
+/// A node's attachment to the network: an identity plus an inbox.
+pub struct Endpoint {
+    id: NodeId,
+    rx: Receiver<Envelope>,
+    net: SimNet,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Endpoint({})", self.id)
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends a message; the router stamps this endpoint's id as the source.
+    pub fn send(&self, to: NodeId, msg: Msg) {
+        self.net.send(Envelope { from: self.id, to, msg });
+    }
+
+    /// Sends the same message to many destinations.
+    pub fn send_many<'a>(&self, to: impl IntoIterator<Item = &'a NodeId>, msg: Msg) {
+        for dest in to {
+            self.send(*dest, msg.clone());
+        }
+    }
+
+    /// Blocking receive.
+    ///
+    /// # Errors
+    /// Returns `Err` when the network has shut down.
+    pub fn recv(&self) -> Result<Envelope, crossbeam_channel::RecvError> {
+        self.rx.recv()
+    }
+
+    /// Receive with a timeout (event loops use this to poll clocks).
+    ///
+    /// # Errors
+    /// `Timeout` when no message arrived, `Disconnected` on shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &SimNet {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddemos_protocol::SerialNo;
+    use ddemos_crypto::votecode::VoteCode;
+
+    fn vote_msg(n: u64) -> Msg {
+        Msg::Vote { request_id: n, serial: SerialNo(n), vote_code: VoteCode([0; 20]) }
+    }
+
+    fn serial_of(msg: &Msg) -> u64 {
+        match msg {
+            Msg::Vote { serial, .. } => serial.0,
+            _ => panic!("unexpected message"),
+        }
+    }
+
+    #[test]
+    fn instant_delivery() {
+        let net = SimNet::new(NetworkProfile::instant(), 1);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        a.send(NodeId::vc(1), vote_msg(7));
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId::vc(0));
+        assert_eq!(serial_of(&env.msg), 7);
+        net.shutdown();
+    }
+
+    #[test]
+    fn delayed_delivery_respects_latency() {
+        let net = SimNet::new(NetworkProfile::wan(), 2);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        let t0 = Instant::now();
+        a.send(NodeId::vc(1), vote_msg(1));
+        let _ = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(24), "elapsed {elapsed:?}");
+        net.shutdown();
+    }
+
+    #[test]
+    fn crash_blocks_traffic() {
+        let net = SimNet::new(NetworkProfile::instant(), 3);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        net.crash(NodeId::vc(1));
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.restart(NodeId::vc(1));
+        a.send(NodeId::vc(1), vote_msg(2));
+        assert_eq!(serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg), 2);
+        net.shutdown();
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let net = SimNet::new(NetworkProfile::instant(), 4);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        net.partition([NodeId::vc(0)], [NodeId::vc(1)]);
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.heal_partitions();
+        a.send(NodeId::vc(1), vote_msg(2));
+        assert_eq!(serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg), 2);
+        net.shutdown();
+    }
+
+    #[test]
+    fn drop_probability_drops_everything_at_one() {
+        let net = SimNet::new(NetworkProfile::instant().with_drop(1.0), 5);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        for i in 0..10 {
+            a.send(NodeId::vc(1), vote_msg(i));
+        }
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(net.stats().dropped(), 10);
+        net.shutdown();
+    }
+
+    #[test]
+    fn ordering_preserved_with_equal_delay() {
+        let net = SimNet::new(NetworkProfile::instant(), 6);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        for i in 0..100 {
+            a.send(NodeId::vc(1), vote_msg(i));
+        }
+        for i in 0..100 {
+            assert_eq!(serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg), i);
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let net = SimNet::new(NetworkProfile::lan(), 7);
+        let sink = net.register(NodeId::vc(0));
+        let mut handles = Vec::new();
+        for s in 1..=4u32 {
+            let ep = net.register(NodeId::vc(s));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    ep.send(NodeId::vc(0), vote_msg(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while sink.recv_timeout(Duration::from_millis(500)).is_ok() {
+            got += 1;
+            if got == 200 {
+                break;
+            }
+        }
+        assert_eq!(got, 200);
+        net.shutdown();
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let net = SimNet::new(NetworkProfile::lan().with_duplicates(1.0), 8);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        net.shutdown();
+    }
+}

@@ -1,0 +1,169 @@
+//! Voter-facing ballots (§III-D).
+//!
+//! Each ballot has a unique 64-bit serial number and two functionally
+//! equivalent parts A and B. A part lists, for each option, a 160-bit vote
+//! code and a 64-bit receipt. Ballots are produced by the EA and reach the
+//! voter over an untappable channel (ballot distribution is out of scope of
+//! the paper and of this reproduction).
+
+use crate::ids::{PartId, SerialNo};
+use ddemos_crypto::votecode::VoteCode;
+
+/// One `⟨vote-code, option, receipt⟩` line of a ballot part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BallotLine {
+    /// The secret vote code the voter submits to cast this option.
+    pub vote_code: VoteCode,
+    /// Index of the option this line votes for.
+    pub option_index: usize,
+    /// The 64-bit receipt the VC subsystem must echo back.
+    pub receipt: u64,
+}
+
+/// One ballot part (A or B): a line per option, in option order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BallotPart {
+    /// Lines, indexed by option.
+    pub lines: Vec<BallotLine>,
+}
+
+impl BallotPart {
+    /// Finds the line for a given option.
+    pub fn line_for_option(&self, option_index: usize) -> Option<&BallotLine> {
+        self.lines.iter().find(|l| l.option_index == option_index)
+    }
+
+    /// Finds the line carrying `code`.
+    pub fn line_for_code(&self, code: &VoteCode) -> Option<&BallotLine> {
+        self.lines.iter().find(|l| &l.vote_code == code)
+    }
+}
+
+/// A complete two-part ballot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ballot {
+    /// The unique serial number.
+    pub serial: SerialNo,
+    /// Parts A and B.
+    pub parts: [BallotPart; 2],
+}
+
+impl Ballot {
+    /// Returns the requested part.
+    pub fn part(&self, id: PartId) -> &BallotPart {
+        &self.parts[id.index()]
+    }
+
+    /// Number of options on this ballot.
+    pub fn num_options(&self) -> usize {
+        self.parts[0].lines.len()
+    }
+
+    /// All vote codes on the ballot (both parts).
+    pub fn all_codes(&self) -> impl Iterator<Item = (&BallotLine, PartId)> {
+        self.parts[0]
+            .lines
+            .iter()
+            .map(|l| (l, PartId::A))
+            .chain(self.parts[1].lines.iter().map(|l| (l, PartId::B)))
+    }
+
+    /// Internal consistency checks a voter (or auditor given the ballot)
+    /// can run: per-part code uniqueness and matching option coverage.
+    pub fn well_formed(&self) -> bool {
+        let m = self.num_options();
+        if m < 2 || self.parts[1].lines.len() != m {
+            return false;
+        }
+        for part in &self.parts {
+            let mut codes: Vec<&VoteCode> = part.lines.iter().map(|l| &l.vote_code).collect();
+            codes.sort();
+            codes.dedup();
+            if codes.len() != m {
+                return false;
+            }
+            let mut opts: Vec<usize> = part.lines.iter().map(|l| l.option_index).collect();
+            opts.sort_unstable();
+            if opts != (0..m).collect::<Vec<_>>() {
+                return false;
+            }
+        }
+        // Codes must also be unique across parts.
+        let mut all: Vec<&VoteCode> = self
+            .parts
+            .iter()
+            .flat_map(|p| p.lines.iter().map(|l| &l.vote_code))
+            .collect();
+        all.sort();
+        all.dedup();
+        all.len() == 2 * m
+    }
+}
+
+/// The audit information a voter keeps (or hands to a delegated auditor)
+/// after voting: the cast code and the full unused part (§III-F).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditInfo {
+    /// The ballot serial.
+    pub serial: SerialNo,
+    /// Which part was used to vote.
+    pub used_part: PartId,
+    /// The code that was cast.
+    pub cast_code: VoteCode,
+    /// The receipt obtained for the cast code.
+    pub receipt: u64,
+    /// The full unused part, exactly as printed on the ballot.
+    pub unused_part: BallotPart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_ballot() -> Ballot {
+        let line = |b: u8, opt: usize| BallotLine {
+            vote_code: VoteCode([b; 20]),
+            option_index: opt,
+            receipt: 1000 + u64::from(b),
+        };
+        Ballot {
+            serial: SerialNo(7),
+            parts: [
+                BallotPart { lines: vec![line(1, 0), line(2, 1)] },
+                BallotPart { lines: vec![line(3, 0), line(4, 1)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let b = mk_ballot();
+        assert_eq!(b.num_options(), 2);
+        assert_eq!(b.part(PartId::A).line_for_option(1).unwrap().vote_code, VoteCode([2; 20]));
+        assert_eq!(
+            b.part(PartId::B).line_for_code(&VoteCode([3; 20])).unwrap().option_index,
+            0
+        );
+        assert!(b.part(PartId::A).line_for_code(&VoteCode([9; 20])).is_none());
+        assert_eq!(b.all_codes().count(), 4);
+    }
+
+    #[test]
+    fn well_formed_accepts_good_ballot() {
+        assert!(mk_ballot().well_formed());
+    }
+
+    #[test]
+    fn well_formed_rejects_duplicate_codes() {
+        let mut b = mk_ballot();
+        b.parts[1].lines[0].vote_code = b.parts[0].lines[0].vote_code;
+        assert!(!b.well_formed());
+    }
+
+    #[test]
+    fn well_formed_rejects_bad_option_cover() {
+        let mut b = mk_ballot();
+        b.parts[0].lines[1].option_index = 0;
+        assert!(!b.well_formed());
+    }
+}

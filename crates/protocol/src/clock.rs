@@ -1,0 +1,83 @@
+//! Simulation clocks with per-node drift (§III-C).
+//!
+//! The paper assumes a global clock and per-node internal clocks whose drift
+//! from the global clock is bounded by `Δ` (Assumption II). [`GlobalClock`]
+//! is the global reference; [`NodeClock`] is a per-node view with a fixed
+//! signed drift, letting liveness tests exercise the `Δ` bound.
+
+use std::time::Instant;
+
+/// The global reference clock for one simulation.
+#[derive(Clone, Debug)]
+pub struct GlobalClock {
+    epoch: Instant,
+}
+
+impl Default for GlobalClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalClock {
+    /// Starts a new global clock at the current instant.
+    pub fn new() -> GlobalClock {
+        GlobalClock { epoch: Instant::now() }
+    }
+
+    /// Milliseconds elapsed since the epoch.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Creates a per-node clock with the given drift (milliseconds; may be
+    /// negative, clamped so node time never underflows).
+    pub fn node_clock(&self, drift_ms: i64) -> NodeClock {
+        NodeClock { epoch: self.epoch, drift_ms }
+    }
+}
+
+/// A node's internal clock: the global clock plus a fixed drift.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeClock {
+    epoch: Instant,
+    drift_ms: i64,
+}
+
+impl NodeClock {
+    /// The node's view of the current time, in simulation milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        let real = self.epoch.elapsed().as_millis() as i64;
+        (real + self.drift_ms).max(0) as u64
+    }
+
+    /// The configured drift.
+    pub fn drift_ms(&self) -> i64 {
+        self.drift_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_shifts_view() {
+        let global = GlobalClock::new();
+        let fast = global.node_clock(500);
+        let slow = global.node_clock(-10_000);
+        let now = global.now_ms();
+        assert!(fast.now_ms() >= now + 400);
+        // Large negative drift clamps at zero rather than underflowing.
+        assert_eq!(slow.now_ms(), 0);
+    }
+
+    #[test]
+    fn zero_drift_tracks_global() {
+        let global = GlobalClock::new();
+        let node = global.node_clock(0);
+        let a = global.now_ms();
+        let b = node.now_ms();
+        assert!(b.abs_diff(a) < 50);
+    }
+}

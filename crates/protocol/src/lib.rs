@@ -1,0 +1,23 @@
+//! # ddemos-protocol
+//!
+//! Shared protocol vocabulary for the D-DEMOS reproduction: identifiers,
+//! election parameters and fault thresholds (§III-C), voter ballots
+//! (§III-D), per-component initialization data dealt by the Election
+//! Authority, wire-canonical encoding for everything that gets signed or
+//! digest-compared, the message set of the vote-collection and vote-set
+//! consensus protocols (§III-E), post-election Bulletin Board records
+//! (§III-G/H), and drift-capable simulation clocks (§III-C assumptions).
+
+#![warn(missing_docs)]
+
+pub mod ballot;
+pub mod clock;
+pub mod ids;
+pub mod initdata;
+pub mod messages;
+pub mod params;
+pub mod posts;
+pub mod wire;
+
+pub use ids::{ElectionId, NodeId, NodeKind, PartId, SerialNo};
+pub use params::ElectionParams;

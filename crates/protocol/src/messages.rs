@@ -1,0 +1,315 @@
+//! Messages of the vote-collection and vote-set-consensus protocols
+//! (§III-E, Algorithm 1), plus the Bracha reliable-broadcast envelope the
+//! batched binary consensus runs over.
+
+use crate::ids::{ElectionId, NodeId, SerialNo};
+use crate::initdata::endorsement_message;
+use crate::params::ElectionParams;
+use crate::wire::Writer;
+use ddemos_crypto::schnorr::{Signature, VerifyingKey};
+use ddemos_crypto::sha256::sha256;
+use ddemos_crypto::votecode::VoteCode;
+use ddemos_crypto::vss::SignedShare;
+use std::sync::Arc;
+
+/// Why a vote submission was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Submitted outside election hours.
+    OutsideVotingHours,
+    /// Unknown serial number.
+    UnknownSerial,
+    /// The vote code matches no row of the ballot.
+    InvalidVoteCode,
+    /// The ballot was already used with a *different* vote code.
+    AlreadyVotedDifferentCode,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            RejectReason::OutsideVotingHours => "outside voting hours",
+            RejectReason::UnknownSerial => "unknown ballot serial",
+            RejectReason::InvalidVoteCode => "vote code not on ballot",
+            RejectReason::AlreadyVotedDifferentCode => "ballot already voted with another code",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+/// Outcome returned to the voter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// The vote was recorded; here is the reconstructed receipt.
+    Receipt(u64),
+    /// The submission was rejected.
+    Rejected(RejectReason),
+}
+
+/// A uniqueness certificate: `Nv − fv` endorsement signatures for one
+/// `(serial, vote-code)` (§III-E).
+#[derive(Clone, Debug)]
+pub struct UCert {
+    /// The endorsed ballot.
+    pub serial: SerialNo,
+    /// The endorsed vote code.
+    pub vote_code: VoteCode,
+    /// `(vc_node_index, signature)` pairs from distinct nodes.
+    pub sigs: Vec<(u32, Signature)>,
+}
+
+impl UCert {
+    /// Verifies the certificate: at least `Nv − fv` valid signatures from
+    /// distinct VC nodes over the endorsement message.
+    pub fn verify(&self, eid: &ElectionId, params: &ElectionParams, vc_keys: &[VerifyingKey]) -> bool {
+        let code_hash = sha256(&self.vote_code.0);
+        let msg = endorsement_message(eid, self.serial, &code_hash);
+        let mut seen = Vec::new();
+        let mut valid = 0usize;
+        for (idx, sig) in &self.sigs {
+            let idx = *idx as usize;
+            if idx >= vc_keys.len() || seen.contains(&idx) {
+                continue;
+            }
+            if vc_keys[idx].verify(&msg, sig) {
+                seen.push(idx);
+                valid += 1;
+                if valid >= params.vc_quorum() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// A stable digest identifying this certificate's (serial, code) pair.
+    pub fn key_digest(&self) -> [u8; 32] {
+        let mut w = Writer::tagged("ddemos/ucert-key/v1");
+        w.put_u64(self.serial.0).put_array(&self.vote_code.0);
+        w.digest()
+    }
+}
+
+/// One node's contribution to ANNOUNCE dispersal at election end: the vote
+/// code it saw for a ballot (if any) with its certificate.
+#[derive(Clone, Debug)]
+pub struct AnnounceEntry {
+    /// Ballot serial.
+    pub serial: SerialNo,
+    /// The locally known vote code + UCERT, or `None` for "no vote seen".
+    pub vote: Option<(VoteCode, Arc<UCert>)>,
+}
+
+/// Step number inside a Bracha binary-consensus round.
+pub type ConsensusStep = u8;
+
+/// The value vector broadcast in one consensus step, covering every ballot
+/// slot in the batch. `None` (⊥) appears only in step-3 messages when the
+/// sender saw no super-majority.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ConsensusPayload {
+    /// Consensus round (0-based).
+    pub round: u32,
+    /// Step within the round (1, 2 or 3).
+    pub step: ConsensusStep,
+    /// Per-slot values.
+    pub values: Vec<Option<bool>>,
+}
+
+impl ConsensusPayload {
+    /// Canonical digest (used for echo/ready counting in RBC).
+    pub fn digest(&self) -> [u8; 32] {
+        let mut w = Writer::tagged("ddemos/consensus-payload/v1");
+        w.put_u32(self.round).put_u8(self.step);
+        w.put_u32(self.values.len() as u32);
+        for v in &self.values {
+            w.put_u8(match v {
+                None => 2,
+                Some(false) => 0,
+                Some(true) => 1,
+            });
+        }
+        w.digest()
+    }
+}
+
+/// A consensus protocol message (the sender is authenticated by the
+/// network layer envelope).
+#[derive(Clone, Debug)]
+pub struct ConsensusMsg {
+    /// The broadcast payload (`step` is BVAL/AUX in the binary consensus).
+    pub payload: Arc<ConsensusPayload>,
+}
+
+/// Reliable-broadcast phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RbcPhase {
+    /// Initial transmission from the origin.
+    Send,
+    /// Witness echo.
+    Echo,
+    /// Delivery vote.
+    Ready,
+}
+
+/// A Bracha reliable-broadcast message carrying one consensus payload.
+#[derive(Clone, Debug)]
+pub struct RbcMsg {
+    /// The node whose broadcast this is.
+    pub origin: NodeId,
+    /// The broadcast payload.
+    pub payload: Arc<ConsensusPayload>,
+    /// Which RBC phase this message belongs to.
+    pub phase: RbcPhase,
+}
+
+/// All messages exchanged on the simulated network.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Voter → VC: cast `vote_code` for ballot `serial`.
+    Vote {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// Ballot serial.
+        serial: SerialNo,
+        /// Submitted vote code.
+        vote_code: VoteCode,
+    },
+    /// VC → voter: outcome of a VOTE request.
+    VoteReply {
+        /// Correlation id from the request.
+        request_id: u64,
+        /// Ballot serial.
+        serial: SerialNo,
+        /// Result.
+        outcome: VoteOutcome,
+    },
+    /// Responder VC → all VC: request endorsements (Algorithm 1 line 8).
+    Endorse {
+        /// Ballot serial.
+        serial: SerialNo,
+        /// Vote code being endorsed.
+        vote_code: VoteCode,
+    },
+    /// VC → responder: a signed endorsement.
+    Endorsement {
+        /// Ballot serial.
+        serial: SerialNo,
+        /// Vote code endorsed.
+        vote_code: VoteCode,
+        /// Signature over [`endorsement_message`].
+        signature: Signature,
+    },
+    /// VC → all VC: disclose a receipt share under a UCERT
+    /// (Algorithm 1 line 13).
+    VoteP {
+        /// Ballot serial.
+        serial: SerialNo,
+        /// Vote code.
+        vote_code: VoteCode,
+        /// The sender's EA-signed receipt share for the matching row.
+        share: SignedShare,
+        /// The uniqueness certificate justifying disclosure.
+        ucert: Arc<UCert>,
+    },
+    /// Election-end dispersal of known votes (vote-set consensus step 1).
+    Announce {
+        /// One entry per registered ballot (batched).
+        entries: Arc<Vec<AnnounceEntry>>,
+    },
+    /// Ask peers for the vote code of a ballot decided 1 but locally
+    /// unknown (vote-set consensus step 5b).
+    RecoverRequest {
+        /// Ballot serial.
+        serial: SerialNo,
+    },
+    /// Answer to a RECOVER-REQUEST with the code and its certificate.
+    RecoverResponse {
+        /// Ballot serial.
+        serial: SerialNo,
+        /// The committed vote code.
+        vote_code: VoteCode,
+        /// Its uniqueness certificate.
+        ucert: Arc<UCert>,
+    },
+    /// Batched binary consensus traffic (BVAL/AUX broadcasts).
+    Consensus(ConsensusMsg),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddemos_crypto::schnorr::SigningKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ElectionParams, Vec<SigningKey>, Vec<VerifyingKey>) {
+        let params = ElectionParams::new("t", 10, 2, 4, 1, 3, 2, 0, 1000).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys: Vec<SigningKey> = (0..4).map(|_| SigningKey::generate(&mut rng)).collect();
+        let vks = keys.iter().map(|k| k.verifying_key()).collect();
+        (params, keys, vks)
+    }
+
+    fn make_ucert(
+        eid: &ElectionId,
+        keys: &[SigningKey],
+        signers: &[usize],
+        serial: SerialNo,
+        code: VoteCode,
+    ) -> UCert {
+        let msg = endorsement_message(eid, serial, &sha256(&code.0));
+        UCert {
+            serial,
+            vote_code: code,
+            sigs: signers.iter().map(|&i| (i as u32, keys[i].sign(&msg))).collect(),
+        }
+    }
+
+    #[test]
+    fn ucert_accepts_quorum() {
+        let (params, keys, vks) = setup();
+        let eid = params.election_id;
+        let code = VoteCode([7; 20]);
+        // Nv=4, fv=1 => quorum 3.
+        let uc = make_ucert(&eid, &keys, &[0, 1, 2], SerialNo(1), code);
+        assert!(uc.verify(&eid, &params, &vks));
+    }
+
+    #[test]
+    fn ucert_rejects_below_quorum_or_duplicates() {
+        let (params, keys, vks) = setup();
+        let eid = params.election_id;
+        let code = VoteCode([7; 20]);
+        let uc = make_ucert(&eid, &keys, &[0, 1], SerialNo(1), code);
+        assert!(!uc.verify(&eid, &params, &vks));
+        // Duplicated signer does not count twice.
+        let mut dup = make_ucert(&eid, &keys, &[0, 1], SerialNo(1), code);
+        dup.sigs.push(dup.sigs[0]);
+        assert!(!dup.verify(&eid, &params, &vks));
+    }
+
+    #[test]
+    fn ucert_rejects_wrong_code_or_forged_sig() {
+        let (params, keys, vks) = setup();
+        let eid = params.election_id;
+        let code = VoteCode([7; 20]);
+        let mut uc = make_ucert(&eid, &keys, &[0, 1, 2], SerialNo(1), code);
+        uc.vote_code = VoteCode([8; 20]);
+        assert!(!uc.verify(&eid, &params, &vks));
+        // Out-of-range signer index ignored.
+        let mut uc2 = make_ucert(&eid, &keys, &[0, 1], SerialNo(1), code);
+        uc2.sigs.push((99, keys[2].sign(b"garbage")));
+        assert!(!uc2.verify(&eid, &params, &vks));
+    }
+
+    #[test]
+    fn consensus_payload_digest_distinguishes() {
+        let p1 = ConsensusPayload { round: 0, step: 1, values: vec![Some(true), None] };
+        let p2 = ConsensusPayload { round: 0, step: 1, values: vec![Some(true), Some(false)] };
+        let p3 = ConsensusPayload { round: 1, step: 1, values: vec![Some(true), None] };
+        assert_ne!(p1.digest(), p2.digest());
+        assert_ne!(p1.digest(), p3.digest());
+        assert_eq!(p1.digest(), p1.clone().digest());
+    }
+}

@@ -1,0 +1,213 @@
+//! Election parameters and fault-tolerance thresholds (§III-C).
+
+use crate::ids::ElectionId;
+
+/// Static parameters of one election.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectionParams {
+    /// Election identifier.
+    pub election_id: ElectionId,
+    /// Number of eligible voters / ballots (`n`).
+    pub num_ballots: u64,
+    /// Number of election options (`m ≥ 2`).
+    pub num_options: usize,
+    /// Number of vote collector nodes (`Nv ≥ 3fv + 1`).
+    pub num_vc: usize,
+    /// Number of bulletin board nodes (`Nb ≥ 2fb + 1`).
+    pub num_bb: usize,
+    /// Number of trustees (`Nt`).
+    pub num_trustees: usize,
+    /// Honest-trustee threshold `h_t` (shares needed to reconstruct).
+    pub trustee_threshold: usize,
+    /// Election start, in simulation milliseconds.
+    pub start_ms: u64,
+    /// Election end (`T_end`), in simulation milliseconds.
+    pub end_ms: u64,
+    /// Human-readable option labels (length = `num_options`).
+    pub option_labels: Vec<String>,
+}
+
+/// Errors validating election parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// Fewer than 2 options, or labels mismatched.
+    BadOptions,
+    /// `Nv < 4` cannot tolerate any fault (`Nv ≥ 3fv+1`, `fv ≥ 1` needs 4).
+    TooFewVc,
+    /// `Nb < 1`.
+    TooFewBb,
+    /// Trustee threshold out of range.
+    BadTrusteeThreshold,
+    /// Election window empty.
+    BadWindow,
+    /// Zero ballots.
+    NoBallots,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ParamError::BadOptions => "need at least 2 options with matching labels",
+            ParamError::TooFewVc => "need at least 1 vote collector",
+            ParamError::TooFewBb => "need at least 1 bulletin board node",
+            ParamError::BadTrusteeThreshold => "trustee threshold must satisfy 1 <= ht <= Nt",
+            ParamError::BadWindow => "election end must be after start",
+            ParamError::NoBallots => "need at least one ballot",
+        };
+        write!(f, "{msg}")
+    }
+}
+impl std::error::Error for ParamError {}
+
+impl ElectionParams {
+    /// Builds and validates parameters with default generic option labels.
+    ///
+    /// # Errors
+    /// Returns a [`ParamError`] describing the first violated constraint.
+    pub fn new(
+        label: &str,
+        num_ballots: u64,
+        num_options: usize,
+        num_vc: usize,
+        num_bb: usize,
+        num_trustees: usize,
+        trustee_threshold: usize,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Result<ElectionParams, ParamError> {
+        let params = ElectionParams {
+            election_id: ElectionId::from_label(label),
+            num_ballots,
+            num_options,
+            num_vc,
+            num_bb,
+            num_trustees,
+            trustee_threshold,
+            start_ms,
+            end_ms,
+            option_labels: (0..num_options).map(|i| format!("option-{i}")).collect(),
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Validates all threshold constraints from §III-C.
+    ///
+    /// # Errors
+    /// Returns a [`ParamError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.num_options < 2 || self.option_labels.len() != self.num_options {
+            return Err(ParamError::BadOptions);
+        }
+        if self.num_vc == 0 {
+            return Err(ParamError::TooFewVc);
+        }
+        if self.num_bb == 0 {
+            return Err(ParamError::TooFewBb);
+        }
+        if self.trustee_threshold == 0 || self.trustee_threshold > self.num_trustees {
+            return Err(ParamError::BadTrusteeThreshold);
+        }
+        if self.end_ms <= self.start_ms {
+            return Err(ParamError::BadWindow);
+        }
+        if self.num_ballots == 0 {
+            return Err(ParamError::NoBallots);
+        }
+        Ok(())
+    }
+
+    /// `fv`: the number of Byzantine VC nodes tolerated (`⌊(Nv−1)/3⌋`).
+    pub fn vc_faults(&self) -> usize {
+        (self.num_vc - 1) / 3
+    }
+
+    /// `Nv − fv`: the VC quorum (endorsements for a UCERT; shares for a
+    /// receipt; ANNOUNCE count).
+    pub fn vc_quorum(&self) -> usize {
+        self.num_vc - self.vc_faults()
+    }
+
+    /// `fb`: Byzantine BB nodes tolerated (`⌊(Nb−1)/2⌋`).
+    pub fn bb_faults(&self) -> usize {
+        (self.num_bb - 1) / 2
+    }
+
+    /// `fb + 1`: the majority a BB reader (or vote-set acceptance) needs.
+    pub fn bb_majority(&self) -> usize {
+        self.bb_faults() + 1
+    }
+
+    /// `ft = Nt − ht`: malicious trustees tolerated.
+    pub fn trustee_faults(&self) -> usize {
+        self.num_trustees - self.trustee_threshold
+    }
+
+    /// True iff `t` (sim-milliseconds) falls within election hours.
+    pub fn in_voting_hours(&self, t_ms: u64) -> bool {
+        t_ms >= self.start_ms && t_ms < self.end_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ElectionParams {
+        ElectionParams::new("t", 100, 4, 4, 3, 5, 3, 0, 10_000).unwrap()
+    }
+
+    #[test]
+    fn thresholds_match_paper() {
+        // Nv = 4 => fv = 1, quorum = 3.
+        let p = base();
+        assert_eq!(p.vc_faults(), 1);
+        assert_eq!(p.vc_quorum(), 3);
+        // Nb = 3 => fb = 1, majority = 2.
+        assert_eq!(p.bb_faults(), 1);
+        assert_eq!(p.bb_majority(), 2);
+        // Nt = 5, ht = 3 => ft = 2.
+        assert_eq!(p.trustee_faults(), 2);
+    }
+
+    #[test]
+    fn fault_scaling() {
+        for (nv, fv) in [(4, 1), (7, 2), (10, 3), (13, 4), (16, 5)] {
+            let p = ElectionParams::new("t", 10, 2, nv, 1, 3, 2, 0, 10).unwrap();
+            assert_eq!(p.vc_faults(), fv, "Nv={nv}");
+            assert!(p.num_vc >= 3 * p.vc_faults() + 1);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            ElectionParams::new("t", 10, 1, 4, 3, 5, 3, 0, 10).unwrap_err(),
+            ParamError::BadOptions
+        );
+        assert_eq!(
+            ElectionParams::new("t", 10, 2, 0, 3, 5, 3, 0, 10).unwrap_err(),
+            ParamError::TooFewVc
+        );
+        assert_eq!(
+            ElectionParams::new("t", 10, 2, 4, 3, 5, 6, 0, 10).unwrap_err(),
+            ParamError::BadTrusteeThreshold
+        );
+        assert_eq!(
+            ElectionParams::new("t", 10, 2, 4, 3, 5, 3, 10, 10).unwrap_err(),
+            ParamError::BadWindow
+        );
+        assert_eq!(
+            ElectionParams::new("t", 0, 2, 4, 3, 5, 3, 0, 10).unwrap_err(),
+            ParamError::NoBallots
+        );
+    }
+
+    #[test]
+    fn voting_hours() {
+        let p = base();
+        assert!(p.in_voting_hours(0));
+        assert!(p.in_voting_hours(9_999));
+        assert!(!p.in_voting_hours(10_000));
+    }
+}

@@ -1,0 +1,52 @@
+//! Adversarial setup corruptions — the attacks of the E2E-verifiability
+//! game (§IV-C) — plus helpers for Byzantine node configurations.
+//!
+//! A malicious EA controls everything at setup; its two meaningful attacks
+//! against the tally are:
+//!
+//! * **Modification** — the published `⟨vote-code → option-commitment⟩`
+//!   correspondence differs from the printed ballot. Implemented by
+//!   swapping the encrypted vote codes of two BB rows: commitments (and
+//!   trustee openings) stay internally valid, but a code now points at the
+//!   other option's commitment. If the corrupted part is *used*, the vote
+//!   silently counts for the wrong option; if it is *unused* and audited,
+//!   check (g) exposes the fraud — hence detection probability ½ per
+//!   audited ballot.
+//! * **Clash** — two voters receive the same printed ballot (same serial),
+//!   freeing the second voter's genuine BB slot for an injected vote.
+//!   Detected unless all clashed voters happen to verify identically.
+
+use ddemos_ea::SetupOutput;
+use ddemos_protocol::{PartId, SerialNo};
+use ddemos_vc::VcBehavior;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Applies the modification attack to `serial`'s `part`: swaps the
+/// encrypted vote codes of rows 0 and 1 so each code points at the other
+/// row's option commitment.
+pub fn modification_attack(setup: &mut SetupOutput, serial: SerialNo, part: PartId) {
+    let mut ballots: HashMap<_, _> = (*setup.bb_init.ballots).clone();
+    let ballot = ballots.get_mut(&serial).expect("serial exists");
+    let rows = &mut ballot.parts[part.index()];
+    assert!(rows.len() >= 2, "need at least two options to swap");
+    let tmp = rows[0].enc_code.clone();
+    rows[0].enc_code = rows[1].enc_code.clone();
+    rows[1].enc_code = tmp;
+    setup.bb_init.ballots = Arc::new(ballots);
+}
+
+/// Applies the clash attack: voter `victim_b` receives a copy of
+/// `victim_a`'s printed ballot instead of her own.
+pub fn clash_attack(setup: &mut SetupOutput, victim_a: usize, victim_b: usize) {
+    let cloned = setup.ballots[victim_a].clone();
+    setup.ballots[victim_b] = cloned;
+}
+
+/// Builds a behaviour vector with the first `fv` nodes Byzantine.
+pub fn byzantine_prefix(num_vc: usize, behavior: VcBehavior) -> Vec<VcBehavior> {
+    let fv = (num_vc - 1) / 3;
+    (0..num_vc)
+        .map(|i| if i < fv { behavior } else { VcBehavior::Honest })
+        .collect()
+}

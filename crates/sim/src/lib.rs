@@ -1,0 +1,15 @@
+//! # ddemos-sim
+//!
+//! Experiment infrastructure for the D-DEMOS reproduction: the concurrent
+//! voting workload generator (the paper's multithreaded voting client,
+//! §V), adversarial setup corruptions for the security-game tests
+//! (§IV-C), and the experiment runner shared by every figure benchmark.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod experiment;
+pub mod workload;
+
+pub use experiment::{VcClusterExperiment, VcClusterResult};
+pub use workload::{Workload, WorkloadStats};

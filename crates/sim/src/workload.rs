@@ -1,0 +1,124 @@
+//! Concurrent voting workload generator — the library form of the paper's
+//! multi-threaded voting client (§V): each client thread repeatedly picks
+//! an unused ballot, a random vote code (option and part), a random VC
+//! node, submits, and waits for the receipt; this measures vote-collection
+//! latency and throughput under a configurable concurrency level.
+
+use ddemos::voter::Voter;
+use ddemos_net::SimNet;
+use ddemos_protocol::ballot::Ballot;
+use ddemos_protocol::{ElectionParams, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency/throughput statistics from one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    /// Votes successfully cast (receipt obtained and verified).
+    pub votes_cast: u64,
+    /// Votes that failed (patience exhausted on every node).
+    pub failures: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Mean end-to-end latency per successful vote.
+    pub mean_latency: Duration,
+    /// 95th-percentile latency.
+    pub p95_latency: Duration,
+}
+
+impl WorkloadStats {
+    /// Successful votes per second.
+    pub fn throughput(&self) -> f64 {
+        self.votes_cast as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Workload configuration.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Number of concurrent client threads (the paper's "cc").
+    pub concurrency: usize,
+    /// Total ballots to cast across all clients.
+    pub total_votes: u64,
+    /// First ballot serial to use (lets successive runs use fresh ballots).
+    pub first_ballot: u64,
+    /// Per-attempt patience before blacklisting a VC node.
+    pub patience: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Runs the workload against a running VC cluster.
+    ///
+    /// `ballots` must contain the voter ballots for serials
+    /// `first_ballot..first_ballot + total_votes` (indexed by serial).
+    pub fn run(&self, net: &SimNet, params: &ElectionParams, ballots: &[Ballot]) -> WorkloadStats {
+        let next = Arc::new(AtomicU64::new(self.first_ballot));
+        let end = self.first_ballot + self.total_votes;
+        let latencies_ns = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let failures = Arc::new(AtomicU64::new(0));
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..self.concurrency {
+                let next = next.clone();
+                let latencies_ns = latencies_ns.clone();
+                let failures = failures.clone();
+                let endpoint = net.register(NodeId::client(1_000_000 + client as u32));
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(self.seed ^ (client as u64) << 32);
+                    loop {
+                        let serial = next.fetch_add(1, Ordering::SeqCst);
+                        if serial >= end {
+                            return;
+                        }
+                        let ballot = &ballots[serial as usize];
+                        debug_assert_eq!(ballot.serial.0, serial);
+                        let option = rng.gen_range(0..params.num_options);
+                        let mut voter = Voter::new(
+                            ballot,
+                            &endpoint,
+                            params.num_vc,
+                            self.patience,
+                            StdRng::seed_from_u64(rng.gen()),
+                        );
+                        match voter.vote(option) {
+                            Ok(record) => {
+                                latencies_ns.lock().push(record.latency.as_nanos() as u64);
+                            }
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let duration = started.elapsed();
+        let mut lat = Arc::try_unwrap(latencies_ns)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        lat.sort_unstable();
+        let votes_cast = lat.len() as u64;
+        let mean = if lat.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(lat.iter().sum::<u64>() / votes_cast)
+        };
+        let p95 = if lat.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(lat[(lat.len() * 95 / 100).min(lat.len() - 1)])
+        };
+        WorkloadStats {
+            votes_cast,
+            failures: failures.load(Ordering::Relaxed),
+            duration,
+            mean_latency: mean,
+            p95_latency: p95,
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! # ddemos-trustee
+//!
+//! Trustees (§III-H): the human-held key-share component that produces the
+//! election tally and the evidence for end-to-end verifiability, without
+//! any single trustee (or any coalition below `h_t`) learning a voter's
+//! choice.
+//!
+//! After the election, each trustee reads the agreed vote set and the
+//! decrypted vote codes from a majority of BB nodes, validates them, and
+//! posts back:
+//!
+//! * **openings** of every commitment in *unused* ballot parts and in both
+//!   parts of unvoted ballots (its EA-signed raw shares);
+//! * **ZK final-move shares** for every commitment in *used* parts — its
+//!   affine-coefficient shares evaluated at the voter-coin challenge, which
+//!   is a valid Shamir share of the exact prover response;
+//! * its additively-combined **share of the tally opening** (the sum over
+//!   the cast rows' per-option openings).
+//!
+//! The BB reconstructs with `h_t` shares and verifies everything against
+//! the perfectly-binding commitments.
+
+#![warn(missing_docs)]
+
+use ddemos_bb::BbSnapshot;
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_protocol::initdata::TrusteeInit;
+use ddemos_protocol::posts::{PartOpeningPost, PartZkPost, TallySharePost, TrusteePost};
+use ddemos_protocol::{PartId, SerialNo};
+
+/// Errors a trustee can hit while validating BB data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrusteeError {
+    /// The BB majority has not published the final vote set yet.
+    VoteSetMissing,
+    /// The BB majority has not published decrypted codes / challenge yet.
+    CodesMissing,
+    /// A cast vote code does not appear in any row of its ballot.
+    CastCodeNotFound,
+}
+
+impl std::fmt::Display for TrusteeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            TrusteeError::VoteSetMissing => "final vote set not yet on the bulletin board",
+            TrusteeError::CodesMissing => "decrypted vote codes not yet on the bulletin board",
+            TrusteeError::CastCodeNotFound => "cast vote code not present in ballot rows",
+        };
+        write!(f, "{msg}")
+    }
+}
+impl std::error::Error for TrusteeError {}
+
+/// One trustee.
+pub struct Trustee {
+    init: TrusteeInit,
+}
+
+impl Trustee {
+    /// Creates a trustee from its EA-dealt initialization data.
+    pub fn new(init: TrusteeInit) -> Trustee {
+        Trustee { init }
+    }
+
+    /// This trustee's index.
+    pub fn index(&self) -> u32 {
+        self.init.index
+    }
+
+    /// Produces this trustee's complete post from a majority-read BB
+    /// snapshot, plus the signature authenticating it as a BB write.
+    ///
+    /// # Errors
+    /// Fails if the snapshot does not yet carry the vote set, decrypted
+    /// codes and challenge, or if it is internally inconsistent.
+    pub fn produce_post(
+        &self,
+        snapshot: &BbSnapshot,
+    ) -> Result<(TrusteePost, Signature), TrusteeError> {
+        let vote_set = snapshot.vote_set.as_ref().ok_or(TrusteeError::VoteSetMissing)?;
+        let challenge = snapshot.challenge.ok_or(TrusteeError::CodesMissing)?;
+        if snapshot.decrypted_codes.is_empty() {
+            return Err(TrusteeError::CodesMissing);
+        }
+        let m = self.init.params.num_options;
+        let mut openings = Vec::new();
+        let mut zk = Vec::new();
+        let mut tally_sums: Vec<(Scalar, Scalar)> = vec![(Scalar::ZERO, Scalar::ZERO); m];
+
+        let mut serials: Vec<SerialNo> = self.init.ballots.keys().copied().collect();
+        serials.sort();
+        for serial in serials {
+            let shares = &self.init.ballots[&serial];
+            match vote_set.entries.get(&serial) {
+                Some(code) => {
+                    // Locate the used part and cast row via the published
+                    // decrypted codes.
+                    let mut located = None;
+                    for part in PartId::BOTH {
+                        if let Some(codes) =
+                            snapshot.decrypted_codes.get(&(serial, part.index() as u8))
+                        {
+                            if let Some(row) = codes.iter().position(|c| c == code) {
+                                located = Some((part, row));
+                                break;
+                            }
+                        }
+                    }
+                    let (used_part, cast_row) =
+                        located.ok_or(TrusteeError::CastCodeNotFound)?;
+                    let unused = used_part.other();
+                    // Unused part: raw opening shares (EA-signed bundle).
+                    let part_shares = &shares.parts[unused.index()];
+                    openings.push(PartOpeningPost {
+                        serial,
+                        part: unused,
+                        rows: part_shares.opening_pairs(),
+                        opening_sig: part_shares.opening_sig,
+                    });
+                    // Used part: ZK responses at the challenge.
+                    let used_shares = &shares.parts[used_part.index()];
+                    let rows: Vec<Vec<[Scalar; 4]>> = used_shares
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            row.cts
+                                .iter()
+                                .map(|ct| {
+                                    let c = &ct.or_coeffs;
+                                    [
+                                        c[0] * challenge + c[1],
+                                        c[2] * challenge + c[3],
+                                        c[4] * challenge + c[5],
+                                        c[6] * challenge + c[7],
+                                    ]
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let sum_responses: Vec<Scalar> = used_shares
+                        .rows
+                        .iter()
+                        .map(|row| row.sum_coeffs[0] * challenge + row.sum_coeffs[1])
+                        .collect();
+                    zk.push(PartZkPost { serial, part: used_part, rows, sum_responses });
+                    // Tally accumulation: the cast row's per-option opening
+                    // shares join the (additively homomorphic) total.
+                    for (j, ct) in used_shares.rows[cast_row].cts.iter().enumerate() {
+                        tally_sums[j].0 += ct.bit;
+                        tally_sums[j].1 += ct.rand;
+                    }
+                }
+                None => {
+                    // Unvoted ballot: open both parts.
+                    for part in PartId::BOTH {
+                        let part_shares = &shares.parts[part.index()];
+                        openings.push(PartOpeningPost {
+                            serial,
+                            part,
+                            rows: part_shares.opening_pairs(),
+                            opening_sig: part_shares.opening_sig,
+                        });
+                    }
+                }
+            }
+        }
+        let post = TrusteePost {
+            trustee_index: self.init.index,
+            openings,
+            zk,
+            tally: TallySharePost { per_option: tally_sums },
+        };
+        let digest = ddemos_bb::trustee_post_digest(&post);
+        let signature = self.init.signing_key.sign(&digest);
+        Ok((post, signature))
+    }
+}

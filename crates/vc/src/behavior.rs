@@ -1,0 +1,41 @@
+//! Byzantine behaviour profiles for VC nodes.
+//!
+//! The threat model (§III-C) allows up to `fv < Nv/3` arbitrarily malicious
+//! vote collectors. These profiles implement the concrete adversarial
+//! strategies exercised by the security tests and the adversarial
+//! benchmarks; `Honest` is the default.
+
+/// How a VC node (mis)behaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VcBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Never reacts to anything (fail-stop from the start).
+    Crashed,
+    /// Follows the protocol, then fail-stops after handling this many VOTE
+    /// messages.
+    CrashAfterVotes(u64),
+    /// Endorses every vote code it is asked about, ignoring the
+    /// one-endorsement-per-ballot rule (attempts to enable double voting).
+    EquivocalEndorser,
+    /// Discloses corrupted receipt shares in VOTE_P (the EA signature check
+    /// at honest receivers must reject them).
+    CorruptShares,
+    /// Participates in endorsement but never discloses receipt shares.
+    WithholdShares,
+    /// Enters vote-set consensus with inverted opinions and refuses
+    /// RECOVER assistance.
+    ConsensusInverter,
+}
+
+impl VcBehavior {
+    /// True if the node should process no messages at all.
+    pub fn is_crashed_at(&self, votes_handled: u64) -> bool {
+        match self {
+            VcBehavior::Crashed => true,
+            VcBehavior::CrashAfterVotes(limit) => votes_handled >= *limit,
+            _ => false,
+        }
+    }
+}

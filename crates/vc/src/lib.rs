@@ -1,0 +1,25 @@
+//! # ddemos-vc
+//!
+//! The Vote Collection subsystem — the paper's primary distributed
+//! contribution (§III-E): a cluster of `Nv ≥ 3fv+1` nodes that collects
+//! votes fully asynchronously, gives each voter a human-verifiable
+//! recorded-as-cast receipt (reconstructed from `Nv−fv` EA-dealt shares
+//! under a uniqueness certificate), and at election end agrees on a single
+//! vote set via batched binary consensus with ANNOUNCE dispersal and
+//! RECOVER back-fill.
+//!
+//! * [`node`] — the per-node protocol engine (Algorithm 1 + vote-set
+//!   consensus), one thread per node.
+//! * [`store`] — ballot stores: in-memory, PRF-derived (virtual 250M-ballot
+//!   elections), and the index-depth latency model for the disk experiment.
+//! * [`behavior`] — Byzantine behaviour profiles used by security tests.
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod node;
+pub mod store;
+
+pub use behavior::VcBehavior;
+pub use node::{FinalizedVoteSet, VcHandle, VcNode, VcNodeConfig};
+pub use store::{BallotStore, FnStore, LatencyStore, MemoryStore, StorageModel};

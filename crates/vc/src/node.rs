@@ -1,0 +1,747 @@
+//! The Vote Collector node: the voting protocol of Algorithm 1 and the
+//! election-end Vote Set Consensus of §III-E.
+//!
+//! Each node runs on its own thread, consuming authenticated messages from
+//! the simulated network. Nodes validate voter requests independently (no
+//! state machine replication — there is no total order across ballots) and
+//! process different ballots concurrently, exactly as the paper argues is
+//! the key to vote-collection throughput.
+//!
+//! Lifecycle:
+//!
+//! 1. **Voting phase** (`start ≤ clock < Tend`): VOTE → ENDORSE →
+//!    ENDORSEMENT → UCERT → VOTE_P → receipt reconstruction → reply.
+//! 2. **Vote-set consensus** (clock ≥ `Tend`): batched ANNOUNCE dispersal,
+//!    one batched binary consensus over "is this ballot voted?", and the
+//!    RECOVER sub-protocol for decided-1 ballots with locally unknown
+//!    codes.
+//! 3. **Finalization**: the agreed vote set, signed, handed to the caller
+//!    for submission to every BB node.
+
+use crate::behavior::VcBehavior;
+use crate::store::BallotStore;
+use crossbeam_channel::Sender;
+use ddemos_consensus::BatchConsensus;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::sha256::sha256;
+use ddemos_crypto::votecode::VoteCode;
+use ddemos_crypto::vss::{DealerVss, SignedShare};
+use ddemos_net::{Endpoint, Envelope};
+use ddemos_protocol::clock::NodeClock;
+use ddemos_protocol::initdata::{endorsement_message, receipt_share_context, VcInit};
+use ddemos_protocol::messages::{
+    AnnounceEntry, ConsensusMsg, Msg, RejectReason, UCert, VoteOutcome,
+};
+use ddemos_protocol::posts::VoteSet;
+use ddemos_protocol::{NodeId, NodeKind, PartId, SerialNo};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The signed vote set a node submits to the Bulletin Board subsystem.
+#[derive(Clone, Debug)]
+pub struct FinalizedVoteSet {
+    /// The submitting node's index.
+    pub node_index: u32,
+    /// The agreed set of voted ballots.
+    pub vote_set: VoteSet,
+    /// Signature over [`ddemos_protocol::initdata::voteset_message`].
+    pub signature: Signature,
+    /// This node's `msk` share (EA-signed), released to BB nodes at end.
+    pub msk_share: SignedShare,
+}
+
+/// Runtime configuration of a node.
+#[derive(Clone, Debug)]
+pub struct VcNodeConfig {
+    /// Behaviour profile (honest by default).
+    pub behavior: VcBehavior,
+    /// Event-loop poll granularity (clock checks between messages).
+    pub poll: Duration,
+}
+
+impl Default for VcNodeConfig {
+    fn default() -> Self {
+        VcNodeConfig { behavior: VcBehavior::Honest, poll: Duration::from_millis(1) }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    NotVoted,
+    Pending,
+    Voted,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Voting,
+    Announce,
+    Consensus,
+    Recover,
+    Done,
+}
+
+struct BallotSlot {
+    status: Status,
+    /// The unique code active for this ballot, with its located position.
+    used: Option<(VoteCode, PartId, usize)>,
+    /// The code this node has endorsed (at most one per ballot).
+    my_endorsed: Option<VoteCode>,
+    /// Endorsement signatures collected while acting as responder.
+    endorsements: Vec<(u32, Signature)>,
+    ucert: Option<Arc<UCert>>,
+    /// Verified receipt shares (distinct share indices).
+    shares: Vec<SignedShare>,
+    my_share_sent: bool,
+    receipt: Option<u64>,
+    /// Clients awaiting a receipt: (client, request id, requested code).
+    waiting: Vec<(NodeId, u64, VoteCode)>,
+}
+
+impl Default for BallotSlot {
+    fn default() -> Self {
+        BallotSlot {
+            status: Status::NotVoted,
+            used: None,
+            my_endorsed: None,
+            endorsements: Vec::new(),
+            ucert: None,
+            shares: Vec::new(),
+            my_share_sent: false,
+            receipt: None,
+            waiting: Vec::new(),
+        }
+    }
+}
+
+/// Handle to a spawned VC node.
+pub struct VcHandle {
+    /// The node's id on the network.
+    pub id: NodeId,
+    stop: Arc<AtomicBool>,
+    force_end: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl VcHandle {
+    /// Requests the node to stop and joins its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Closes the polls immediately (the node behaves as if its clock
+    /// passed `Tend`). Benchmarks use this instead of predicting the
+    /// voting-window length.
+    pub fn close_polls(&self) {
+        self.force_end.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for VcHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The vote collector node state.
+pub struct VcNode<S> {
+    init: VcInit,
+    store: S,
+    endpoint: Endpoint,
+    clock: NodeClock,
+    config: VcNodeConfig,
+    beacon: u64,
+    result_tx: Sender<FinalizedVoteSet>,
+    slots: HashMap<SerialNo, BallotSlot>,
+    phase: Phase,
+    votes_handled: u64,
+    /// Digests of already-verified UCERTs.
+    verified_ucerts: HashSet<[u8; 32]>,
+    announce_from: HashSet<u32>,
+    consensus: Option<BatchConsensus>,
+    buffered_consensus: Vec<(u32, ConsensusMsg)>,
+    decision: Option<Vec<bool>>,
+    vc_peers: Vec<NodeId>,
+    stop: Arc<AtomicBool>,
+    force_end: Arc<AtomicBool>,
+}
+
+impl<S: BallotStore + 'static> VcNode<S> {
+    /// Spawns a node thread; the finalized vote set is delivered on
+    /// `result_tx` when vote-set consensus completes.
+    pub fn spawn(
+        init: VcInit,
+        store: S,
+        endpoint: Endpoint,
+        clock: NodeClock,
+        beacon: u64,
+        config: VcNodeConfig,
+        result_tx: Sender<FinalizedVoteSet>,
+    ) -> VcHandle {
+        let id = endpoint.id();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let force_end = Arc::new(AtomicBool::new(false));
+        let force_end2 = force_end.clone();
+        let vc_peers: Vec<NodeId> =
+            (0..init.params.num_vc as u32).map(NodeId::vc).collect();
+        let thread = std::thread::Builder::new()
+            .name(format!("vc-{}", init.node_index))
+            .spawn(move || {
+                let mut node = VcNode {
+                    init,
+                    store,
+                    endpoint,
+                    clock,
+                    config,
+                    beacon,
+                    result_tx,
+                    slots: HashMap::new(),
+                    phase: Phase::Voting,
+                    votes_handled: 0,
+                    verified_ucerts: HashSet::new(),
+                    announce_from: HashSet::new(),
+                    consensus: None,
+                    buffered_consensus: Vec::new(),
+                    decision: None,
+                    vc_peers,
+                    stop: stop2,
+                    force_end: force_end2,
+                };
+                node.run();
+            })
+            .expect("spawn vc node");
+        VcHandle { id, stop, force_end, thread: Some(thread) }
+    }
+
+    fn run(&mut self) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.endpoint.recv_timeout(self.config.poll) {
+                Ok(env) => self.dispatch(env),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            }
+            let ended = self.force_end.load(Ordering::SeqCst)
+                || self.clock.now_ms() >= self.init.params.end_ms;
+            if self.phase == Phase::Voting && ended {
+                self.begin_announce();
+            }
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.init.params.vc_quorum()
+    }
+
+    fn multicast(&self, msg: Msg) {
+        self.endpoint.send_many(self.vc_peers.iter(), msg);
+    }
+
+    fn in_voting_hours(&self) -> bool {
+        !self.force_end.load(Ordering::SeqCst)
+            && self.init.params.in_voting_hours(self.clock.now_ms())
+    }
+
+    fn dispatch(&mut self, env: Envelope) {
+        if self.config.behavior.is_crashed_at(self.votes_handled) {
+            return;
+        }
+        match env.msg {
+            Msg::Vote { request_id, serial, vote_code } => {
+                self.votes_handled += 1;
+                self.on_vote(env.from, request_id, serial, vote_code);
+            }
+            Msg::Endorse { serial, vote_code } => self.on_endorse(env.from, serial, vote_code),
+            Msg::Endorsement { serial, vote_code, signature } => {
+                self.on_endorsement(env.from, serial, vote_code, signature)
+            }
+            Msg::VoteP { serial, vote_code, share, ucert } => {
+                self.on_vote_p(env.from, serial, vote_code, share, ucert)
+            }
+            Msg::Announce { entries } => self.on_announce(env.from, entries),
+            Msg::RecoverRequest { serial } => self.on_recover_request(env.from, serial),
+            Msg::RecoverResponse { serial, vote_code, ucert } => {
+                self.on_recover_response(serial, vote_code, ucert)
+            }
+            Msg::Consensus(cm) => self.on_consensus(env.from, cm),
+            Msg::VoteReply { .. } => {}
+        }
+    }
+
+    // ----- voting phase (Algorithm 1) -------------------------------------
+
+    fn reply(&self, to: NodeId, request_id: u64, serial: SerialNo, outcome: VoteOutcome) {
+        self.endpoint.send(to, Msg::VoteReply { request_id, serial, outcome });
+    }
+
+    fn on_vote(&mut self, from: NodeId, request_id: u64, serial: SerialNo, code: VoteCode) {
+        if !self.in_voting_hours() {
+            self.reply(from, request_id, serial, VoteOutcome::Rejected(RejectReason::OutsideVotingHours));
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else {
+            self.reply(from, request_id, serial, VoteOutcome::Rejected(RejectReason::UnknownSerial));
+            return;
+        };
+        let slot = self.slots.entry(serial).or_default();
+        match slot.status {
+            Status::Voted => {
+                let (used_code, ..) = slot.used.expect("voted slot has code");
+                if used_code == code {
+                    let receipt = slot.receipt.expect("voted slot has receipt");
+                    self.reply(from, request_id, serial, VoteOutcome::Receipt(receipt));
+                } else {
+                    self.reply(
+                        from,
+                        request_id,
+                        serial,
+                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                    );
+                }
+            }
+            Status::Pending => {
+                let (used_code, ..) = slot.used.expect("pending slot has code");
+                if used_code == code {
+                    // Remember the client; reply when the receipt is ready.
+                    slot.waiting.push((from, request_id, code));
+                } else {
+                    self.reply(
+                        from,
+                        request_id,
+                        serial,
+                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                    );
+                }
+            }
+            Status::NotVoted => {
+                if let Some((active, ..)) = slot.used {
+                    // An endorsement round is already in flight for this
+                    // ballot (we are its responder).
+                    if active == code {
+                        slot.waiting.push((from, request_id, code));
+                    } else {
+                        self.reply(
+                            from,
+                            request_id,
+                            serial,
+                            VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                        );
+                    }
+                    return;
+                }
+                let Some((part, row)) = ballot.find_code(&code) else {
+                    self.reply(
+                        from,
+                        request_id,
+                        serial,
+                        VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
+                    );
+                    return;
+                };
+                // Become the responder: collect endorsements.
+                slot.used = Some((code, part, row));
+                slot.waiting.push((from, request_id, code));
+                slot.endorsements.clear();
+                // Our own endorsement (also blocks endorsing other codes).
+                if slot.my_endorsed.is_none() {
+                    slot.my_endorsed = Some(code);
+                    let sig = self
+                        .init
+                        .signing_key
+                        .sign(&endorsement_message(&self.init.params.election_id, serial, &sha256(&code.0)));
+                    slot.endorsements.push((self.init.node_index, sig));
+                }
+                self.multicast(Msg::Endorse { serial, vote_code: code });
+                self.check_ucert_complete(serial);
+            }
+        }
+    }
+
+    fn on_endorse(&mut self, from: NodeId, serial: SerialNo, code: VoteCode) {
+        if from.kind != NodeKind::Vc || !self.in_voting_hours() {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else { return };
+        if ballot.find_code(&code).is_none() {
+            return;
+        }
+        let slot = self.slots.entry(serial).or_default();
+        let may_endorse = match slot.my_endorsed {
+            None => true,
+            Some(prev) => {
+                prev == code || self.config.behavior == VcBehavior::EquivocalEndorser
+            }
+        };
+        if !may_endorse {
+            return;
+        }
+        slot.my_endorsed.get_or_insert(code);
+        let sig = self
+            .init
+            .signing_key
+            .sign(&endorsement_message(&self.init.params.election_id, serial, &sha256(&code.0)));
+        self.endpoint.send(from, Msg::Endorsement { serial, vote_code: code, signature: sig });
+    }
+
+    fn on_endorsement(&mut self, from: NodeId, serial: SerialNo, code: VoteCode, sig: Signature) {
+        if from.kind != NodeKind::Vc {
+            return;
+        }
+        let sender = from.index;
+        let quorum = self.quorum();
+        let eid = self.init.params.election_id;
+        let Some(vk) = self.init.vc_keys.get(sender as usize).copied() else { return };
+        let Some(slot) = self.slots.get_mut(&serial) else { return };
+        // Only relevant while we are responder for exactly this code.
+        let Some((used_code, ..)) = slot.used else { return };
+        if used_code != code || slot.status != Status::NotVoted {
+            return;
+        }
+        if slot.endorsements.iter().any(|(i, _)| *i == sender) {
+            return;
+        }
+        if !vk.verify(&endorsement_message(&eid, serial, &sha256(&code.0)), &sig) {
+            return;
+        }
+        slot.endorsements.push((sender, sig));
+        let _ = quorum;
+        self.check_ucert_complete(serial);
+    }
+
+    /// Forms the UCERT once `Nv−fv` endorsements are in, then discloses our
+    /// receipt share (VOTE_P).
+    fn check_ucert_complete(&mut self, serial: SerialNo) {
+        let quorum = self.quorum();
+        let Some(slot) = self.slots.get_mut(&serial) else { return };
+        if slot.status != Status::NotVoted || slot.ucert.is_some() {
+            return;
+        }
+        if slot.endorsements.len() < quorum {
+            return;
+        }
+        let (code, part, row) = slot.used.expect("responder has code");
+        let ucert = Arc::new(UCert {
+            serial,
+            vote_code: code,
+            sigs: slot.endorsements.clone(),
+        });
+        self.verified_ucerts.insert(ucert.key_digest());
+        slot.ucert = Some(ucert.clone());
+        slot.status = Status::Pending;
+        self.disclose_share(serial, code, part, row, ucert);
+    }
+
+    /// Sends our VOTE_P (receipt share) for a ballot, marking it pending.
+    fn disclose_share(
+        &mut self,
+        serial: SerialNo,
+        code: VoteCode,
+        part: PartId,
+        row: usize,
+        ucert: Arc<UCert>,
+    ) {
+        if self.config.behavior == VcBehavior::WithholdShares {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else { return };
+        let mut share = ballot.parts[part.index()][row].receipt_share;
+        if self.config.behavior == VcBehavior::CorruptShares {
+            share.share.value = share.share.value + ddemos_crypto::field::Scalar::ONE;
+        }
+        {
+            let slot = self.slots.entry(serial).or_default();
+            if slot.my_share_sent {
+                return;
+            }
+            slot.my_share_sent = true;
+        }
+        self.multicast(Msg::VoteP { serial, vote_code: code, share, ucert });
+    }
+
+    fn verify_ucert(&mut self, ucert: &UCert) -> bool {
+        let digest = ucert.key_digest();
+        if self.verified_ucerts.contains(&digest) {
+            return true;
+        }
+        if ucert.verify(&self.init.params.election_id, &self.init.params, &self.init.vc_keys) {
+            self.verified_ucerts.insert(digest);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_vote_p(
+        &mut self,
+        from: NodeId,
+        serial: SerialNo,
+        code: VoteCode,
+        share: SignedShare,
+        ucert: Arc<UCert>,
+    ) {
+        if from.kind != NodeKind::Vc || !self.in_voting_hours() {
+            return;
+        }
+        if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else { return };
+        let Some((part, row)) = ballot.find_code(&code) else { return };
+        // Verify the EA signature over the disclosed share.
+        let ctx = receipt_share_context(&self.init.params.election_id, serial, part, row);
+        if !DealerVss::verify(&self.init.ea_key, &ctx, &share) {
+            return;
+        }
+        let quorum = self.quorum();
+        let mut became_pending = false;
+        {
+            let slot = self.slots.entry(serial).or_default();
+            match slot.status {
+                Status::NotVoted => {
+                    slot.status = Status::Pending;
+                    slot.used = Some((code, part, row));
+                    slot.ucert = Some(ucert.clone());
+                    became_pending = true;
+                }
+                Status::Pending | Status::Voted => {
+                    let (used_code, ..) = slot.used.expect("active slot has code");
+                    if used_code != code {
+                        // A valid UCERT for a different code cannot exist
+                        // alongside ours (quorum intersection); drop.
+                        return;
+                    }
+                    if slot.ucert.is_none() {
+                        slot.ucert = Some(ucert.clone());
+                    }
+                }
+            }
+            if !slot.shares.iter().any(|s| s.share.index == share.share.index) {
+                slot.shares.push(share);
+            }
+        }
+        if became_pending {
+            self.disclose_share(serial, code, part, row, ucert);
+        }
+        // Reconstruct once enough shares are in.
+        let slot = self.slots.get_mut(&serial).expect("slot exists");
+        if slot.status != Status::Voted && slot.shares.len() >= quorum {
+            if let Ok(secret) = DealerVss::reconstruct(&slot.shares, quorum) {
+                let receipt = secret.to_u64().unwrap_or(u64::MAX);
+                slot.receipt = Some(receipt);
+                slot.status = Status::Voted;
+                let waiting = std::mem::take(&mut slot.waiting);
+                for (client, request_id, wanted) in waiting {
+                    // Only waiters of the *winning* code get the receipt; a
+                    // racing different-code request lost the uniqueness race.
+                    let outcome = if wanted == code {
+                        VoteOutcome::Receipt(receipt)
+                    } else {
+                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode)
+                    };
+                    self.reply(client, request_id, serial, outcome);
+                }
+            }
+        }
+    }
+
+    // ----- vote-set consensus (§III-E end-of-election) ---------------------
+
+    fn begin_announce(&mut self) {
+        self.phase = Phase::Announce;
+        let entries: Vec<AnnounceEntry> = (0..self.store.num_ballots())
+            .map(|s| {
+                let serial = SerialNo(s);
+                let vote = self.slots.get(&serial).and_then(|slot| {
+                    let (code, ..) = slot.used?;
+                    let ucert = slot.ucert.clone()?;
+                    Some((code, ucert))
+                });
+                AnnounceEntry { serial, vote }
+            })
+            .collect();
+        self.multicast(Msg::Announce { entries: Arc::new(entries) });
+    }
+
+    fn on_announce(&mut self, from: NodeId, entries: Arc<Vec<AnnounceEntry>>) {
+        if from.kind != NodeKind::Vc || self.phase == Phase::Voting {
+            return;
+        }
+        if !self.announce_from.insert(from.index) {
+            return;
+        }
+        for entry in entries.iter() {
+            let Some((code, ucert)) = &entry.vote else { continue };
+            self.adopt_code(entry.serial, *code, ucert.clone());
+        }
+        if self.phase == Phase::Announce && self.announce_from.len() >= self.quorum() {
+            self.begin_consensus();
+        }
+    }
+
+    /// Adopts a (code, UCERT) learned from a peer for a ballot we had no
+    /// certified code for.
+    fn adopt_code(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
+        let known = self
+            .slots
+            .get(&serial)
+            .map(|s| s.ucert.is_some())
+            .unwrap_or(false);
+        if known {
+            return;
+        }
+        if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else { return };
+        let Some((part, row)) = ballot.find_code(&code) else { return };
+        let slot = self.slots.entry(serial).or_default();
+        slot.used = Some((code, part, row));
+        slot.ucert = Some(ucert);
+    }
+
+    fn begin_consensus(&mut self) {
+        self.phase = Phase::Consensus;
+        let invert = self.config.behavior == VcBehavior::ConsensusInverter;
+        let initial: Vec<bool> = (0..self.store.num_ballots())
+            .map(|s| {
+                let known = self
+                    .slots
+                    .get(&SerialNo(s))
+                    .map(|slot| slot.ucert.is_some())
+                    .unwrap_or(false);
+                known != invert
+            })
+            .collect();
+        let (bc, msgs) = BatchConsensus::new(
+            self.init.params.num_vc,
+            self.init.params.vc_faults(),
+            self.init.node_index,
+            initial,
+            self.beacon,
+        );
+        self.consensus = Some(bc);
+        for m in msgs {
+            self.multicast(Msg::Consensus(m));
+        }
+        let buffered = std::mem::take(&mut self.buffered_consensus);
+        for (from, cm) in buffered {
+            self.feed_consensus(from, cm);
+        }
+    }
+
+    fn on_consensus(&mut self, from: NodeId, cm: ConsensusMsg) {
+        if from.kind != NodeKind::Vc {
+            return;
+        }
+        if self.consensus.is_none() {
+            self.buffered_consensus.push((from.index, cm));
+            return;
+        }
+        self.feed_consensus(from.index, cm);
+    }
+
+    fn feed_consensus(&mut self, from: u32, cm: ConsensusMsg) {
+        let Some(bc) = self.consensus.as_mut() else { return };
+        let outs = bc.handle(from, &cm);
+        for m in outs {
+            self.multicast(Msg::Consensus(m));
+        }
+        if self.decision.is_none() {
+            if let Some(decision) = self.consensus.as_ref().and_then(|b| b.decision()) {
+                self.decision = Some(decision);
+                self.begin_recover();
+            }
+        }
+    }
+
+    fn begin_recover(&mut self) {
+        self.phase = Phase::Recover;
+        let decision = self.decision.clone().expect("decision set");
+        let mut missing = Vec::new();
+        for (i, voted) in decision.iter().enumerate() {
+            if !voted {
+                continue;
+            }
+            let serial = SerialNo(i as u64);
+            let known = self
+                .slots
+                .get(&serial)
+                .map(|s| s.ucert.is_some())
+                .unwrap_or(false);
+            if !known {
+                missing.push(serial);
+            }
+        }
+        for serial in missing {
+            self.multicast(Msg::RecoverRequest { serial });
+        }
+        self.try_finalize();
+    }
+
+    fn on_recover_request(&mut self, from: NodeId, serial: SerialNo) {
+        if from.kind != NodeKind::Vc
+            || self.phase == Phase::Voting
+            || self.config.behavior == VcBehavior::ConsensusInverter
+        {
+            return;
+        }
+        let Some(slot) = self.slots.get(&serial) else { return };
+        let (Some((code, ..)), Some(ucert)) = (slot.used, slot.ucert.clone()) else {
+            return;
+        };
+        self.endpoint
+            .send(from, Msg::RecoverResponse { serial, vote_code: code, ucert });
+    }
+
+    fn on_recover_response(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
+        if self.phase != Phase::Recover {
+            return;
+        }
+        self.adopt_code(serial, code, ucert);
+        self.try_finalize();
+    }
+
+    fn try_finalize(&mut self) {
+        if self.phase != Phase::Recover {
+            return;
+        }
+        let decision = self.decision.as_ref().expect("decided");
+        let mut set = VoteSet::default();
+        for (i, voted) in decision.iter().enumerate() {
+            if !voted {
+                continue;
+            }
+            let serial = SerialNo(i as u64);
+            match self.slots.get(&serial).and_then(|s| s.used.map(|(c, ..)| c)) {
+                Some(code) if self.slots[&serial].ucert.is_some() => {
+                    set.entries.insert(serial, code);
+                }
+                _ => return, // still waiting on RECOVER responses
+            }
+        }
+        let digest = set.digest();
+        let msg = ddemos_protocol::initdata::voteset_message(
+            &self.init.params.election_id,
+            &digest,
+        );
+        let signature = self.init.signing_key.sign(&msg);
+        let _ = self.result_tx.send(FinalizedVoteSet {
+            node_index: self.init.node_index,
+            vote_set: set,
+            signature,
+            msk_share: self.init.msk_share,
+        });
+        self.phase = Phase::Done;
+    }
+}

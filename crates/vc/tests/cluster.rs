@@ -1,0 +1,185 @@
+//! Focused VC-cluster tests: Algorithm 1's guarantees at the subsystem
+//! level (UCERT uniqueness under racing codes, receipt reconstruction,
+//! vote-set consensus with faults, RECOVER back-fill).
+
+use crossbeam_channel::unbounded;
+use ddemos_ea::ElectionAuthority;
+use ddemos_net::{NetworkProfile, SimNet};
+use ddemos_protocol::ballot::Ballot;
+use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::messages::{Msg, VoteOutcome};
+use ddemos_protocol::{ElectionParams, NodeId, SerialNo};
+use ddemos_vc::{FinalizedVoteSet, MemoryStore, VcBehavior, VcHandle, VcNode, VcNodeConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+struct Cluster {
+    net: SimNet,
+    handles: Vec<VcHandle>,
+    ballots: Vec<Ballot>,
+    result_rx: crossbeam_channel::Receiver<FinalizedVoteSet>,
+    params: ElectionParams,
+}
+
+fn start_cluster(
+    num_vc: usize,
+    num_ballots: u64,
+    behaviors: &[VcBehavior],
+    profile: NetworkProfile,
+) -> Cluster {
+    let params =
+        ElectionParams::new("vc-cluster", num_ballots, 2, num_vc, 1, 1, 1, 0, 3_600_000)
+            .unwrap();
+    let ea = ElectionAuthority::new(params.clone(), 77);
+    let ballots: Vec<Ballot> =
+        (0..num_ballots).map(|s| ea.voter_ballot(SerialNo(s))).collect();
+    let net = SimNet::new(profile, 77);
+    let clock = GlobalClock::new();
+    let (result_tx, result_rx) = unbounded();
+    let mut keys = ea.setup_keys_only();
+    let mut handles = Vec::new();
+    for node in 0..num_vc as u32 {
+        let map: HashMap<SerialNo, _> = (0..num_ballots)
+            .map(|s| (SerialNo(s), ea.vc_ballot(SerialNo(s), node)))
+            .collect();
+        let endpoint = net.register(NodeId::vc(node));
+        let behavior = behaviors.get(node as usize).copied().unwrap_or_default();
+        handles.push(VcNode::spawn(
+            keys.vc_inits[node as usize].clone(),
+            MemoryStore::new(map, num_ballots),
+            endpoint,
+            clock.node_clock(0),
+            keys.consensus_beacon,
+            VcNodeConfig { behavior, ..VcNodeConfig::default() },
+            result_tx.clone(),
+        ));
+    }
+    keys.vc_inits.clear();
+    Cluster { net, handles, ballots, result_rx, params }
+}
+
+fn raw_vote(
+    cluster: &Cluster,
+    client: u32,
+    to_vc: u32,
+    serial: SerialNo,
+    code: ddemos_crypto::votecode::VoteCode,
+) -> Option<VoteOutcome> {
+    let endpoint = cluster.net.register(NodeId::client(client));
+    endpoint.send(NodeId::vc(to_vc), Msg::Vote { request_id: u64::from(client), serial, vote_code: code });
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while std::time::Instant::now() < deadline {
+        let Ok(env) = endpoint.recv_timeout(Duration::from_millis(100)) else { continue };
+        if let Msg::VoteReply { request_id, outcome, .. } = env.msg {
+            if request_id == u64::from(client) {
+                return Some(outcome);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn racing_codes_on_one_ballot_yield_at_most_one_recorded_code() {
+    // Two clients race *different* codes of the same ballot at different
+    // responders. UCERT uniqueness (quorum intersection) guarantees at
+    // most one wins; the other is rejected or starves.
+    let cluster = start_cluster(4, 1, &[], NetworkProfile::lan());
+    let ballot = cluster.ballots[0].clone();
+    let code_a = ballot.parts[0].lines[0].vote_code;
+    let code_b = ballot.parts[1].lines[1].vote_code;
+    let (r1, r2) = std::thread::scope(|s| {
+        let c = &cluster;
+        let h1 = s.spawn(move || raw_vote(c, 1, 0, SerialNo(0), code_a));
+        let h2 = s.spawn(move || raw_vote(c, 2, 1, SerialNo(0), code_b));
+        (h1.join().unwrap(), h2.join().unwrap())
+    });
+    let receipts = [r1, r2]
+        .iter()
+        .filter(|r| matches!(r, Some(VoteOutcome::Receipt(_))))
+        .count();
+    assert!(receipts <= 1, "two different codes must never both be recorded");
+    // Finish: close polls, check the vote set has at most one entry.
+    for h in &cluster.handles {
+        h.close_polls();
+    }
+    let quorum = cluster.params.vc_quorum();
+    let mut sets = Vec::new();
+    for _ in 0..quorum {
+        sets.push(cluster.result_rx.recv_timeout(Duration::from_secs(30)).expect("vote set"));
+    }
+    for f in &sets {
+        assert!(f.vote_set.len() <= 1);
+        assert_eq!(f.vote_set.digest(), sets[0].vote_set.digest(), "agreement");
+    }
+    cluster.net.shutdown();
+}
+
+#[test]
+fn vote_set_consensus_agrees_with_a_crashed_node() {
+    let behaviors = [VcBehavior::Crashed];
+    let cluster = start_cluster(4, 3, &behaviors, NetworkProfile::lan());
+    // Cast two of three ballots through honest nodes.
+    for (i, serial) in [0u64, 1].iter().enumerate() {
+        let ballot = &cluster.ballots[*serial as usize];
+        let code = ballot.parts[0].lines[0].vote_code;
+        let outcome = raw_vote(&cluster, 10 + i as u32, 1 + i as u32, SerialNo(*serial), code);
+        assert!(matches!(outcome, Some(VoteOutcome::Receipt(_))), "{outcome:?}");
+    }
+    for h in &cluster.handles {
+        h.close_polls();
+    }
+    let mut sets = Vec::new();
+    for _ in 0..3 {
+        sets.push(cluster.result_rx.recv_timeout(Duration::from_secs(30)).expect("vote set"));
+    }
+    for f in &sets {
+        assert_eq!(f.vote_set.len(), 2, "both receipts honoured");
+        assert_eq!(f.vote_set.digest(), sets[0].vote_set.digest());
+    }
+    cluster.net.shutdown();
+}
+
+#[test]
+fn invalid_code_rejected_and_unknown_serial_rejected() {
+    let cluster = start_cluster(4, 1, &[], NetworkProfile::lan());
+    let bogus = ddemos_crypto::votecode::VoteCode([0xEE; 20]);
+    match raw_vote(&cluster, 1, 0, SerialNo(0), bogus) {
+        Some(VoteOutcome::Rejected(
+            ddemos_protocol::messages::RejectReason::InvalidVoteCode,
+        )) => {}
+        other => panic!("expected InvalidVoteCode, got {other:?}"),
+    }
+    match raw_vote(&cluster, 2, 0, SerialNo(99), bogus) {
+        Some(VoteOutcome::Rejected(ddemos_protocol::messages::RejectReason::UnknownSerial)) => {}
+        other => panic!("expected UnknownSerial, got {other:?}"),
+    }
+    cluster.net.shutdown();
+}
+
+#[test]
+fn receipt_under_wan_latency() {
+    let cluster = start_cluster(4, 1, &[], NetworkProfile::wan());
+    let ballot = cluster.ballots[0].clone();
+    let code = ballot.parts[1].lines[0].vote_code;
+    let t0 = std::time::Instant::now();
+    let outcome = raw_vote(&cluster, 1, 2, SerialNo(0), code);
+    let elapsed = t0.elapsed();
+    let Some(VoteOutcome::Receipt(r)) = outcome else { panic!("no receipt: {outcome:?}") };
+    assert_eq!(r, ballot.parts[1].lines[0].receipt);
+    // At least 3 one-way 25ms hops (endorse round + share round).
+    assert!(elapsed >= Duration::from_millis(75), "{elapsed:?}");
+    cluster.net.shutdown();
+}
+
+#[test]
+fn sixteen_node_cluster_collects_votes() {
+    let cluster = start_cluster(16, 2, &[], NetworkProfile::lan());
+    for serial in 0..2u64 {
+        let ballot = &cluster.ballots[serial as usize];
+        let code = ballot.parts[0].lines[1].vote_code;
+        let outcome = raw_vote(&cluster, serial as u32 + 1, (serial % 16) as u32, SerialNo(serial), code);
+        assert!(matches!(outcome, Some(VoteOutcome::Receipt(_))), "{outcome:?}");
+    }
+    cluster.net.shutdown();
+}

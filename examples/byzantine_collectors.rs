@@ -1,0 +1,74 @@
+//! Voting while `fv` vote collectors misbehave.
+//!
+//! ```text
+//! cargo run --release --example byzantine_collectors
+//! ```
+//!
+//! Runs a 7-node VC cluster where 2 nodes (the tolerated maximum,
+//! `fv = ⌊(7−1)/3⌋ = 2`) are Byzantine — one crashed from the start, one
+//! disclosing corrupted receipt shares. Voters still obtain valid receipts
+//! (possibly after blacklisting a dead node, per the `[d]`-patience rule of
+//! Definition 1), and the final tally is exact.
+
+use ddemos::election::{finish_election, Election, ElectionConfig};
+use ddemos::liveness::LivenessParams;
+use ddemos::voter::Voter;
+use ddemos_ea::SetupProfile;
+use ddemos_protocol::ElectionParams;
+use ddemos_vc::VcBehavior;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ElectionParams::new("byz-vc", 12, 2, 7, 3, 5, 3, 0, 120_000)?;
+    let mut config = ElectionConfig::honest(params, 99, SetupProfile::Full);
+    // Two Byzantine collectors: one silent, one serving corrupt shares.
+    config.vc_behaviors = vec![
+        VcBehavior::Crashed,
+        VcBehavior::CorruptShares,
+        VcBehavior::Honest,
+        VcBehavior::Honest,
+        VcBehavior::Honest,
+        VcBehavior::Honest,
+        VcBehavior::Honest,
+    ];
+    let election = Election::start(config);
+
+    // The theorem-backed patience bound.
+    let liveness = LivenessParams {
+        t_comp: Duration::from_millis(20),
+        delta_msg: Duration::from_millis(50),
+        drift: Duration::from_millis(5),
+    };
+    let patience = liveness.t_wait(7);
+    println!("[Twait]-patience for Nv=7: {patience:?}");
+
+    let mut total_attempts = 0;
+    for i in 0..10usize {
+        let endpoint = election.client_endpoint();
+        let ballot = &election.setup.ballots[i];
+        let mut voter = Voter::new(
+            ballot,
+            &endpoint,
+            7,
+            patience,
+            StdRng::seed_from_u64(7000 + i as u64),
+        );
+        let record = voter.vote(i % 2)?;
+        total_attempts += record.attempts;
+        println!(
+            "voter {i}: receipt {:#x} after {} attempt(s)",
+            record.audit.receipt, record.attempts
+        );
+    }
+    println!("total attempts for 10 voters: {total_attempts} (crashed nodes get blacklisted)");
+
+    election.close_polls();
+    let (result, _) = finish_election(&election, Duration::ZERO)?;
+    println!("tally with 2/7 Byzantine collectors: {:?}", result.tally);
+    assert_eq!(result.ballots_counted, 10);
+    assert_eq!(result.tally, vec![5, 5]);
+    election.shutdown();
+    Ok(())
+}

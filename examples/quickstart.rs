@@ -1,0 +1,82 @@
+//! Quickstart: a complete small election, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Sets up a 10-voter, 3-option election with 4 vote collectors, 3
+//! bulletin-board replicas and 5 trustees (threshold 3); casts a few
+//! votes; runs vote-set consensus, the trustee tally, and a full audit.
+
+use ddemos::auditor::Auditor;
+use ddemos::election::{finish_election, Election, ElectionConfig};
+use ddemos::voter::Voter;
+use ddemos_ea::SetupProfile;
+use ddemos_protocol::ElectionParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 10 ballots, 3 options, Nv=4 (tolerates 1 Byzantine collector),
+    // Nb=3 (tolerates 1 Byzantine board), 5 trustees with threshold 3,
+    // polls open for 60 s of simulation time.
+    let params = ElectionParams::new("quickstart", 10, 3, 4, 3, 5, 3, 0, 60_000)?;
+    println!("electing among {:?}", params.option_labels);
+    println!(
+        "fault tolerance: fv={} of {} VC nodes, fb={} of {} BB nodes, ft={} of {} trustees",
+        params.vc_faults(),
+        params.num_vc,
+        params.bb_faults(),
+        params.num_bb,
+        params.trustee_faults(),
+        params.num_trustees,
+    );
+
+    let election = Election::start(ElectionConfig::honest(params, 2024, SetupProfile::Full));
+
+    // Voters 0–5 cast votes; each checks the receipt against her ballot.
+    let choices = [0usize, 1, 1, 2, 1, 0];
+    let mut audits = Vec::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        let endpoint = election.client_endpoint();
+        let ballot = &election.setup.ballots[i];
+        let mut voter = Voter::new(
+            ballot,
+            &endpoint,
+            election.setup.params.num_vc,
+            Duration::from_secs(5),
+            StdRng::seed_from_u64(i as u64),
+        );
+        let record = voter.vote(choice)?;
+        println!(
+            "voter {i} cast option {choice} via part {:?}: receipt {:#x} verified ({} attempt(s), {:?})",
+            record.audit.used_part, record.audit.receipt, record.attempts, record.latency
+        );
+        audits.push(record.audit);
+    }
+
+    // Close the polls and run the full post-election pipeline.
+    election.close_polls();
+    let (result, timings) = finish_election(&election, Duration::ZERO)?;
+    println!("\nresult: {:?} ({} ballots)", result.tally, result.ballots_counted);
+    println!(
+        "phases: consensus {:?}, push-to-BB+tally {:?}, publish {:?}",
+        timings.vote_set_consensus, timings.push_to_bb_and_tally, timings.publish_result
+    );
+
+    // Anyone can audit; these voters also delegate their private checks.
+    let snapshot = election.reader.read_snapshot().expect("majority snapshot");
+    let report = Auditor::new(&election.setup.bb_init, &snapshot).verify_delegated(&audits);
+    println!(
+        "audit: {} checks run, {} failures -> {}",
+        report.checks_run,
+        report.failures.len(),
+        if report.ok() { "ELECTION VERIFIES" } else { "FRAUD DETECTED" }
+    );
+    assert!(report.ok());
+    assert_eq!(result.tally, vec![2, 3, 1]);
+
+    election.shutdown();
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Byzantine fault-tolerance integration tests: elections complete with
+//! exact tallies while `fv` vote collectors misbehave in various ways
+//! (§III-C threat model, §IV-A/B liveness and safety).
+
+use ddemos::election::{finish_election, Election, ElectionConfig};
+use ddemos::voter::Voter;
+use ddemos_ea::SetupProfile;
+use ddemos_protocol::ElectionParams;
+use ddemos_sim::adversary::byzantine_prefix;
+use ddemos_vc::VcBehavior;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn run_with_behaviors(behaviors: Vec<VcBehavior>, num_vc: usize, votes: &[usize]) -> Vec<u64> {
+    let params =
+        ElectionParams::new("byz-test", votes.len() as u64 + 1, 2, num_vc, 3, 5, 3, 0, 600_000)
+            .unwrap();
+    let mut config = ElectionConfig::honest(params, 0xB12, SetupProfile::Full);
+    config.vc_behaviors = behaviors;
+    let election = Election::start(config);
+    for (i, &option) in votes.iter().enumerate() {
+        let endpoint = election.client_endpoint();
+        let ballot = &election.setup.ballots[i];
+        let mut voter = Voter::new(
+            ballot,
+            &endpoint,
+            num_vc,
+            Duration::from_secs(10),
+            StdRng::seed_from_u64(i as u64),
+        );
+        voter.vote(option).expect("honest voter obtains a receipt");
+    }
+    election.close_polls();
+    let (result, _) = finish_election(&election, Duration::ZERO).expect("pipeline completes");
+    let tally = result.tally.clone();
+    election.shutdown();
+    tally
+}
+
+#[test]
+fn crashed_collector_does_not_block_votes_or_tally() {
+    let tally = run_with_behaviors(
+        byzantine_prefix(4, VcBehavior::Crashed),
+        4,
+        &[0, 1, 0, 1, 0],
+    );
+    assert_eq!(tally, vec![3, 2]);
+}
+
+#[test]
+fn corrupt_share_collector_is_harmless() {
+    // Corrupted receipt shares fail the EA signature check at honest
+    // receivers; receipts still reconstruct from the honest quorum.
+    let tally = run_with_behaviors(
+        byzantine_prefix(4, VcBehavior::CorruptShares),
+        4,
+        &[1, 1, 0],
+    );
+    assert_eq!(tally, vec![1, 2]);
+}
+
+#[test]
+fn withholding_collector_is_harmless() {
+    let tally = run_with_behaviors(
+        byzantine_prefix(4, VcBehavior::WithholdShares),
+        4,
+        &[0, 0, 1],
+    );
+    assert_eq!(tally, vec![2, 1]);
+}
+
+#[test]
+fn consensus_inverter_cannot_corrupt_the_vote_set() {
+    // A Byzantine node entering vote-set consensus with inverted opinions
+    // cannot flip any ballot whose status the honest quorum agrees on.
+    let tally = run_with_behaviors(
+        byzantine_prefix(4, VcBehavior::ConsensusInverter),
+        4,
+        &[1, 0, 1, 1],
+    );
+    assert_eq!(tally, vec![1, 3]);
+}
+
+#[test]
+fn seven_node_cluster_with_two_byzantine() {
+    let mut behaviors = vec![VcBehavior::Crashed, VcBehavior::CorruptShares];
+    behaviors.resize(7, VcBehavior::Honest);
+    let tally = run_with_behaviors(behaviors, 7, &[0, 1, 1]);
+    assert_eq!(tally, vec![1, 2]);
+}
+
+#[test]
+fn equivocal_endorser_cannot_enable_double_voting() {
+    // One Byzantine endorser signing everything is not enough to form a
+    // second UCERT (quorum needs Nv−fv = 3 signers; honest nodes endorse
+    // at most one code per ballot).
+    let params = ElectionParams::new("equiv", 2, 2, 4, 3, 5, 3, 0, 600_000).unwrap();
+    let mut config = ElectionConfig::honest(params, 7, SetupProfile::Full);
+    config.vc_behaviors = byzantine_prefix(4, VcBehavior::EquivocalEndorser);
+    let election = Election::start(config);
+
+    // Voter casts code for option 0 via part A.
+    let endpoint = election.client_endpoint();
+    let ballot = election.setup.ballots[0].clone();
+    let mut voter =
+        Voter::new(&ballot, &endpoint, 4, Duration::from_secs(10), StdRng::seed_from_u64(1));
+    voter.vote_with_part(0, ddemos_protocol::PartId::A).expect("first vote succeeds");
+
+    // An attacker who stole the other part's code cannot get it recorded.
+    let endpoint2 = election.client_endpoint();
+    let mut thief =
+        Voter::new(&ballot, &endpoint2, 4, Duration::from_secs(3), StdRng::seed_from_u64(2));
+    let outcome = thief.vote_with_part(1, ddemos_protocol::PartId::B);
+    assert!(outcome.is_err(), "second code on the same ballot must not be recorded");
+
+    election.close_polls();
+    let (result, _) = finish_election(&election, Duration::ZERO).expect("pipeline completes");
+    assert_eq!(result.ballots_counted, 1);
+    assert_eq!(result.tally, vec![1, 0]);
+    election.shutdown();
+}
+
+#[test]
+fn message_loss_is_survived_by_retransmission_free_quorums() {
+    // 5% uniform loss: quorums of Nv−fv plus voter patience absorb it.
+    let params = ElectionParams::new("lossy", 4, 2, 4, 3, 5, 3, 0, 600_000).unwrap();
+    let mut config = ElectionConfig::honest(params, 3, SetupProfile::Full);
+    config.network = ddemos_net::NetworkProfile::lan().with_drop(0.02);
+    let election = Election::start(config);
+    let mut ok = 0;
+    for i in 0..3usize {
+        let endpoint = election.client_endpoint();
+        let ballot = &election.setup.ballots[i];
+        let mut voter = Voter::new(
+            ballot,
+            &endpoint,
+            4,
+            Duration::from_secs(2),
+            StdRng::seed_from_u64(40 + i as u64),
+        );
+        if voter.vote(0).is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 2, "most votes should land despite loss (got {ok})");
+    election.shutdown();
+}
