@@ -26,6 +26,14 @@ use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+/// Per-row, per-ciphertext `(bit, randomness)` openings of one ballot
+/// part (`rows x ciphertexts`).
+pub type RowOpenings = Vec<Vec<(Scalar, Scalar)>>;
+
+/// Per-row reconstructed ZK final moves of one used ballot part:
+/// `(per-ciphertext OR responses, sum response)`.
+pub type RowZkResponses = Vec<(Vec<zkp::OrResponse>, Scalar)>;
+
 /// Errors returned on rejected writes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WriteError {
@@ -62,12 +70,12 @@ pub struct BbSnapshot {
     pub decrypted_codes: BTreeMap<(SerialNo, u8), Vec<VoteCode>>,
     /// Openings of unused/unvoted part rows that verified:
     /// `(serial, part) → per-row per-ciphertext (bit, randomness)`.
-    pub openings: BTreeMap<(SerialNo, u8), Vec<Vec<(Scalar, Scalar)>>>,
+    pub openings: BTreeMap<(SerialNo, u8), RowOpenings>,
     /// Reconstructed-and-verified ZK final moves for used parts:
     /// `(serial, part) → per-row (per-ciphertext OR responses, sum
     /// response)`. Publishing the responses lets auditors re-verify the
     /// proofs independently.
-    pub zk_responses: BTreeMap<(SerialNo, u8), Vec<(Vec<zkp::OrResponse>, Scalar)>>,
+    pub zk_responses: BTreeMap<(SerialNo, u8), RowZkResponses>,
     /// The voter-coin challenge, once derivable.
     pub challenge: Option<Scalar>,
     /// The reconstructed opening of the homomorphic tally total, one
@@ -198,7 +206,10 @@ impl BbNode {
             .get(from_vc as usize)
             .ok_or(WriteError::UnknownWriter)?;
         let digest = set.digest();
-        if !vk.verify(&voteset_message(&self.init.params.election_id, &digest), sig) {
+        if !vk.verify(
+            &voteset_message(&self.init.params.election_id, &digest),
+            sig,
+        ) {
             return Err(WriteError::BadSignature);
         }
         let mut state = self.state.write();
@@ -206,7 +217,7 @@ impl BbNode {
         if !submitters.contains(&from_vc) {
             submitters.push(from_vc);
         }
-        let enough = submitters.len() >= self.init.params.vc_faults() + 1;
+        let enough = submitters.len() > self.init.params.vc_faults();
         state.vote_sets.entry(digest).or_insert_with(|| set.clone());
         if enough && state.snapshot.vote_set.is_none() {
             state.snapshot.vote_set = Some(set.clone());
@@ -229,7 +240,11 @@ impl BbNode {
         if state.msk.is_some() {
             return Ok(());
         }
-        if !state.msk_shares.iter().any(|s| s.share.index == share.share.index) {
+        if !state
+            .msk_shares
+            .iter()
+            .any(|s| s.share.index == share.share.index)
+        {
             state.msk_shares.push(*share);
         }
         let k = self.init.params.vc_quorum();
@@ -340,7 +355,10 @@ impl BbNode {
         code: &VoteCode,
     ) -> Option<(PartId, usize)> {
         for part in PartId::BOTH {
-            if let Some(codes) = state.snapshot.decrypted_codes.get(&(serial, part.index() as u8))
+            if let Some(codes) = state
+                .snapshot
+                .decrypted_codes
+                .get(&(serial, part.index() as u8))
             {
                 if let Some(row) = codes.iter().position(|c| c == code) {
                     return Some((part, row));
@@ -361,7 +379,7 @@ impl BbNode {
 
         // --- unused/unvoted part openings -------------------------------
         // Group opening posts by (serial, part).
-        let mut openings_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &Vec<Vec<(Scalar, Scalar)>>)>> =
+        let mut openings_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &RowOpenings)>> =
             HashMap::new();
         for post in &posts {
             for o in &post.openings {
@@ -375,9 +393,11 @@ impl BbNode {
             if shares.len() < ht {
                 continue;
             }
-            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
             let rows = &ballot.parts[part.index()];
-            let mut opened_rows: Vec<Vec<(Scalar, Scalar)>> = Vec::with_capacity(rows.len());
+            let mut opened_rows: RowOpenings = Vec::with_capacity(rows.len());
             let mut all_ok = true;
             for (row_idx, row) in rows.iter().enumerate() {
                 let mut opened_cts = Vec::with_capacity(row.commitment.len());
@@ -385,12 +405,18 @@ impl BbNode {
                     let bit_shares: Vec<Share> = shares
                         .iter()
                         .take(ht)
-                        .map(|(t, rows)| Share { index: t + 1, value: rows[row_idx][ct_idx].0 })
+                        .map(|(t, rows)| Share {
+                            index: t + 1,
+                            value: rows[row_idx][ct_idx].0,
+                        })
                         .collect();
                     let rand_shares: Vec<Share> = shares
                         .iter()
                         .take(ht)
-                        .map(|(t, rows)| Share { index: t + 1, value: rows[row_idx][ct_idx].1 })
+                        .map(|(t, rows)| Share {
+                            index: t + 1,
+                            value: rows[row_idx][ct_idx].1,
+                        })
                         .collect();
                     let (Ok(bit), Ok(rand)) = (
                         shamir::reconstruct(&bit_shares, ht),
@@ -419,18 +445,25 @@ impl BbNode {
         }
 
         // --- used-part ZK verification -----------------------------------
-        let mut zk_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &ddemos_protocol::posts::PartZkPost)>> =
-            HashMap::new();
+        let mut zk_by_key: HashMap<
+            (SerialNo, PartId),
+            Vec<(u32, &ddemos_protocol::posts::PartZkPost)>,
+        > = HashMap::new();
         for post in &posts {
             for z in &post.zk {
-                zk_by_key.entry((z.serial, z.part)).or_default().push((post.trustee_index, z));
+                zk_by_key
+                    .entry((z.serial, z.part))
+                    .or_default()
+                    .push((post.trustee_index, z));
             }
         }
         for ((serial, part), posts_for_part) in &zk_by_key {
             if posts_for_part.len() < ht {
                 continue;
             }
-            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
             let rows = &ballot.parts[part.index()];
             let mut ok = true;
             let mut verified_rows: Vec<(Vec<zkp::OrResponse>, Scalar)> = Vec::new();
@@ -476,7 +509,10 @@ impl BbNode {
                 let sum_shares: Vec<Share> = posts_for_part
                     .iter()
                     .take(ht)
-                    .map(|(t, z)| Share { index: t + 1, value: z.sum_responses[row_idx] })
+                    .map(|(t, z)| Share {
+                        index: t + 1,
+                        value: z.sum_responses[row_idx],
+                    })
                     .collect();
                 let Ok(z) = shamir::reconstruct(&sum_shares, ht) else {
                     ok = false;
@@ -510,7 +546,9 @@ impl BbNode {
             let Some((part, row_idx)) = self.locate_cast_row(state, *serial, code) else {
                 continue;
             };
-            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
             let row = &ballot.parts[part.index()][row_idx];
             for (j, ct) in row.commitment.iter().enumerate() {
                 sums[j] = sums[j].add(ct);
@@ -530,15 +568,22 @@ impl BbNode {
             for subset in subsets_of(&tally_posts, ht) {
                 let m_shares: Vec<Share> = subset
                     .iter()
-                    .map(|(t, p)| Share { index: t + 1, value: p.per_option[j].0 })
+                    .map(|(t, p)| Share {
+                        index: t + 1,
+                        value: p.per_option[j].0,
+                    })
                     .collect();
                 let r_shares: Vec<Share> = subset
                     .iter()
-                    .map(|(t, p)| Share { index: t + 1, value: p.per_option[j].1 })
+                    .map(|(t, p)| Share {
+                        index: t + 1,
+                        value: p.per_option[j].1,
+                    })
                     .collect();
-                let (Ok(msg), Ok(rand)) =
-                    (shamir::reconstruct(&m_shares, ht), shamir::reconstruct(&r_shares, ht))
-                else {
+                let (Ok(msg), Ok(rand)) = (
+                    shamir::reconstruct(&m_shares, ht),
+                    shamir::reconstruct(&r_shares, ht),
+                ) else {
                     continue;
                 };
                 if elgamal::verify_opening(&self.init.elgamal_pk, sum_ct, &msg, &rand) {
@@ -553,12 +598,15 @@ impl BbNode {
             }
         }
         state.snapshot.tally_opening = Some(opening);
-        state.snapshot.result = Some(ElectionResult { tally, ballots_counted: counted });
+        state.snapshot.result = Some(ElectionResult {
+            tally,
+            ballots_counted: counted,
+        });
     }
 }
 
 /// All `k`-subsets of `items` (small inputs only: `C(Nt, ht)`).
-fn subsets_of<'a, T>(items: &'a [T], k: usize) -> Vec<Vec<&'a T>> {
+fn subsets_of<T>(items: &[T], k: usize) -> Vec<Vec<&T>> {
     let mut out = Vec::new();
     let n = items.len();
     if k > n {

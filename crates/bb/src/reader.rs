@@ -23,13 +23,9 @@ impl MajorityReader {
         MajorityReader { nodes }
     }
 
-    /// The number of identical replies a read requires (`fb + 1`).
+    /// The number of identical replies a read requires (`fb + 1`, with
+    /// `fb = ⌊(Nb−1)/2⌋`).
     pub fn required_majority(&self) -> usize {
-        self.nodes.len() / 2 + usize::from(self.nodes.len() % 2 == 0)
-    }
-
-    fn majority_needed(&self) -> usize {
-        // fb = (Nb-1)/2, majority = fb + 1
         (self.nodes.len() - 1) / 2 + 1
     }
 
@@ -44,7 +40,7 @@ impl MajorityReader {
         }
         counts
             .into_values()
-            .find(|(count, _)| *count >= self.majority_needed())
+            .find(|(count, _)| *count >= self.required_majority())
             .map(|(_, snap)| snap)
     }
 

@@ -33,11 +33,14 @@ fn vote_set_needs_fv_plus_one_identical_copies() {
     let (out, params) = setup();
     let bb = BbNode::new(out.bb_init.clone());
     let mut set = VoteSet::default();
-    set.entries.insert(SerialNo(0), out.ballots[0].parts[0].lines[0].vote_code);
+    set.entries
+        .insert(SerialNo(0), out.ballots[0].parts[0].lines[0].vote_code);
     // fv = 1 → needs 2 identical submissions.
-    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set)).unwrap();
+    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set))
+        .unwrap();
     assert!(bb.read().vote_set.is_none(), "one copy is not enough");
-    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set)).unwrap();
+    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set))
+        .unwrap();
     assert_eq!(bb.read().vote_set, Some(set.clone()));
     let _ = params;
 }
@@ -63,7 +66,10 @@ fn forged_vote_set_signature_rejected() {
     let msg = voteset_message(&out.params.election_id, &set.digest());
     let bad = forger.sign(&msg);
     assert!(bb.submit_vote_set(0, &set, &bad).is_err());
-    assert!(bb.submit_vote_set(99, &set, &bad).is_err(), "unknown writer");
+    assert!(
+        bb.submit_vote_set(99, &set, &bad).is_err(),
+        "unknown writer"
+    );
 }
 
 #[test]
@@ -72,22 +78,34 @@ fn msk_reconstruction_requires_quorum_and_matches_commitment() {
     let bb = BbNode::new(out.bb_init.clone());
     // First publish a vote set so decryption can proceed afterwards.
     let set = VoteSet::default();
-    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set)).unwrap();
-    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set)).unwrap();
+    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set))
+        .unwrap();
+    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set))
+        .unwrap();
 
     let quorum = params.vc_quorum();
     for (i, init) in out.vc_inits.iter().enumerate().take(quorum - 1) {
         bb.submit_msk_share(&init.msk_share).unwrap();
         let _ = i;
     }
-    assert!(bb.read().decrypted_codes.is_empty(), "below quorum: no decryption");
-    bb.submit_msk_share(&out.vc_inits[quorum - 1].msk_share).unwrap();
+    assert!(
+        bb.read().decrypted_codes.is_empty(),
+        "below quorum: no decryption"
+    );
+    bb.submit_msk_share(&out.vc_inits[quorum - 1].msk_share)
+        .unwrap();
     let snap = bb.read();
-    assert!(!snap.decrypted_codes.is_empty(), "codes decrypted after quorum");
+    assert!(
+        !snap.decrypted_codes.is_empty(),
+        "codes decrypted after quorum"
+    );
     assert!(snap.challenge.is_some());
     // Decrypted codes match the printed ballots.
-    let printed: Vec<VoteCode> =
-        out.ballots[0].parts[0].lines.iter().map(|l| l.vote_code).collect();
+    let printed: Vec<VoteCode> = out.ballots[0].parts[0]
+        .lines
+        .iter()
+        .map(|l| l.vote_code)
+        .collect();
     let published = &snap.decrypted_codes[&(SerialNo(0), 0)];
     for code in published {
         assert!(printed.contains(code));
@@ -99,15 +117,19 @@ fn tampered_msk_share_rejected() {
     let (out, _) = setup();
     let bb = BbNode::new(out.bb_init.clone());
     let mut share = out.vc_inits[0].msk_share;
-    share.share.value = share.share.value + ddemos_crypto::field::Scalar::ONE;
-    assert!(bb.submit_msk_share(&share).is_err(), "EA signature must fail");
+    share.share.value += ddemos_crypto::field::Scalar::ONE;
+    assert!(
+        bb.submit_msk_share(&share).is_err(),
+        "EA signature must fail"
+    );
 }
 
 #[test]
 fn majority_reader_outvotes_divergent_replica() {
     let (out, _) = setup();
-    let nodes: Vec<Arc<BbNode>> =
-        (0..3).map(|_| Arc::new(BbNode::new(out.bb_init.clone()))).collect();
+    let nodes: Vec<Arc<BbNode>> = (0..3)
+        .map(|_| Arc::new(BbNode::new(out.bb_init.clone())))
+        .collect();
     let reader = MajorityReader::new(nodes.clone());
     // All empty: majority snapshot exists and is empty.
     let snap = reader.read_snapshot().expect("unanimous empty state");
@@ -115,19 +137,28 @@ fn majority_reader_outvotes_divergent_replica() {
 
     // Write the vote set to only two of three replicas — still a majority.
     let mut set = VoteSet::default();
-    set.entries.insert(SerialNo(1), out.ballots[1].parts[1].lines[0].vote_code);
+    set.entries
+        .insert(SerialNo(1), out.ballots[1].parts[1].lines[0].vote_code);
     for bb in nodes.iter().take(2) {
-        bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set)).unwrap();
-        bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set)).unwrap();
+        bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set))
+            .unwrap();
+        bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set))
+            .unwrap();
     }
     let snap = reader.read_snapshot().expect("2-of-3 majority");
     assert_eq!(snap.vote_set, Some(set));
 
     // A different set on the third node cannot win a majority read.
     let mut other = VoteSet::default();
-    other.entries.insert(SerialNo(0), out.ballots[0].parts[0].lines[1].vote_code);
-    nodes[2].submit_vote_set(2, &other, &signed_set(&out, 2, &other)).unwrap();
-    nodes[2].submit_vote_set(3, &other, &signed_set(&out, 3, &other)).unwrap();
+    other
+        .entries
+        .insert(SerialNo(0), out.ballots[0].parts[0].lines[1].vote_code);
+    nodes[2]
+        .submit_vote_set(2, &other, &signed_set(&out, 2, &other))
+        .unwrap();
+    nodes[2]
+        .submit_vote_set(3, &other, &signed_set(&out, 3, &other))
+        .unwrap();
     let snap = reader.read_snapshot().expect("majority still holds");
     assert_ne!(snap.vote_set, Some(other));
 }
@@ -140,4 +171,20 @@ fn trustee_post_requires_phase_and_signature() {
     // Producing a post requires BB state; before the vote set, it errors.
     let empty = bb.read();
     assert!(trustee.produce_post(&empty).is_err());
+}
+
+#[test]
+fn required_majority_is_a_true_majority() {
+    let (out, _) = setup();
+    for (replicas, needed) in [(1usize, 1usize), (2, 1), (3, 2), (4, 2), (5, 3)] {
+        let nodes: Vec<_> = (0..replicas)
+            .map(|_| std::sync::Arc::new(BbNode::new(out.bb_init.clone())))
+            .collect();
+        let reader = MajorityReader::new(nodes);
+        assert_eq!(
+            reader.required_majority(),
+            needed,
+            "fb+1 for {replicas} replicas"
+        );
+    }
 }

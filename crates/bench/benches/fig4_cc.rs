@@ -6,16 +6,19 @@
 
 use ddemos_bench::{run_point, votes_per_point, VC_SIZES};
 use ddemos_net::NetworkProfile;
-use ddemos_sim::VcClusterExperiment;
+use ddemos_sim::{StoreKind, VcClusterExperiment};
 
 fn main() {
     let votes = votes_per_point(160, 5_000);
     let scale = if ddemos_bench::full_scale() { 1 } else { 10 };
-    let cc_levels: Vec<usize> =
-        [400usize, 1200, 2000].iter().map(|c| (c / scale).max(1)).collect();
-    for (name, profile) in
-        [("fig4c[LAN]", NetworkProfile::lan()), ("fig4f[WAN]", NetworkProfile::wan())]
-    {
+    let cc_levels: Vec<usize> = [400usize, 1200, 2000]
+        .iter()
+        .map(|c| (c / scale).max(1))
+        .collect();
+    for (name, profile) in [
+        ("fig4c[LAN]", NetworkProfile::lan()),
+        ("fig4f[WAN]", NetworkProfile::wan()),
+    ] {
         println!("# {name} — throughput vs #concurrent clients, m=4");
         for nv in VC_SIZES {
             for &cc in &cc_levels {
@@ -26,8 +29,7 @@ fn main() {
                     concurrency: cc,
                     votes,
                     network: profile.clone(),
-                    storage: None,
-                    virtual_store: true,
+                    store: StoreKind::Memory,
                     seed: 0x4A43 + nv as u64 + cc as u64,
                 };
                 run_point(name, &exp);

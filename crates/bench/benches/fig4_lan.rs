@@ -8,7 +8,7 @@
 
 use ddemos_bench::{concurrency_levels, run_point, votes_per_point, VC_SIZES};
 use ddemos_net::NetworkProfile;
-use ddemos_sim::VcClusterExperiment;
+use ddemos_sim::{StoreKind, VcClusterExperiment};
 
 fn main() {
     let votes = votes_per_point(240, 10_000);
@@ -23,8 +23,7 @@ fn main() {
                 concurrency: cc,
                 votes,
                 network: NetworkProfile::lan(),
-                storage: None,
-                virtual_store: true,
+                store: StoreKind::Memory,
                 seed: 0x4A41 + nv as u64,
             };
             run_point("fig4ab[LAN]", &exp);

@@ -3,13 +3,14 @@
 //! population was 235M).
 //!
 //! Paper setting: referendum (m = 2), 4 VC nodes, 400 concurrent clients,
-//! 200 000 ballots cast. Ballots here come from the PRF-derived virtual
-//! store behind the calibrated index/cache latency model (DESIGN.md §2);
-//! expected shape: slow throughput decline as n grows five-fold.
+//! 200 000 ballots cast. Ballots here come from the materialized cast
+//! range behind the calibrated index/cache latency model
+//! (`StoreKind::Latency`, DESIGN.md §2); expected shape: slow throughput
+//! decline as n grows five-fold.
 
 use ddemos_bench::{run_point, votes_per_point};
 use ddemos_net::NetworkProfile;
-use ddemos_sim::VcClusterExperiment;
+use ddemos_sim::{StoreKind, VcClusterExperiment};
 use ddemos_vc::StorageModel;
 
 fn main() {
@@ -31,8 +32,7 @@ fn main() {
             concurrency: cc,
             votes,
             network: NetworkProfile::lan(),
-            storage: Some(model),
-            virtual_store: true,
+            store: StoreKind::Latency(model),
             seed: 0x5A + n_millions,
         };
         run_point("fig5a", &exp);

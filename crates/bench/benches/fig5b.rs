@@ -7,7 +7,7 @@
 
 use ddemos_bench::{run_point, votes_per_point};
 use ddemos_net::NetworkProfile;
-use ddemos_sim::VcClusterExperiment;
+use ddemos_sim::{StoreKind, VcClusterExperiment};
 
 fn main() {
     let votes = votes_per_point(200, 10_000);
@@ -21,8 +21,7 @@ fn main() {
             concurrency: cc,
             votes,
             network: NetworkProfile::lan(),
-            storage: None,
-            virtual_store: true,
+            store: StoreKind::Memory,
             seed: 0x5B + m as u64,
         };
         let result = run_point(&format!("fig5b m={m:2}"), &exp);

@@ -6,12 +6,9 @@
 //! ballots. Expected shape: vote collection dominates; consensus next;
 //! the two BB phases grow linearly but stay comparatively small.
 
-use ddemos::election::{finish_election, Election, ElectionConfig};
 use ddemos_bench::votes_per_point;
-use ddemos_ea::SetupProfile;
-use ddemos_net::NetworkProfile;
+use ddemos_harness::{ElectionBuilder, NetworkProfile, Workload};
 use ddemos_protocol::ElectionParams;
-use ddemos_sim::Workload;
 use std::time::Duration;
 
 fn main() {
@@ -28,9 +25,11 @@ fn main() {
         let params =
             ElectionParams::new(&format!("fig5c-{cast}"), cast, 4, 4, 3, 5, 3, 0, 3_600_000)
                 .expect("params");
-        let mut config = ElectionConfig::honest(params, 0x5C + cast, SetupProfile::Full);
-        config.network = NetworkProfile::lan();
-        let election = Election::start(config);
+        let election = ElectionBuilder::new(params)
+            .network(NetworkProfile::lan())
+            .seed(0x5C + cast)
+            .build()
+            .expect("election builds");
         let workload = Workload {
             concurrency: 40,
             total_votes: cast,
@@ -38,10 +37,11 @@ fn main() {
             patience: Duration::from_secs(30),
             seed: 0x5C,
         };
-        let stats = workload.run(&election.net, &election.setup.params, &election.setup.ballots);
-        election.close_polls();
-        let (result, timings) = finish_after(&election, stats.duration);
+        election.voting().run(&workload);
+        let report = election.finish().expect("pipeline completes");
+        let result = report.result.as_ref().expect("tally published");
         assert_eq!(result.ballots_counted, cast);
+        let timings = report.timings;
         println!(
             "  {:>8} {:>14.2} {:>18.2} {:>22.2} {:>16.2}",
             cast,
@@ -52,11 +52,4 @@ fn main() {
         );
         election.shutdown();
     }
-}
-
-fn finish_after(
-    election: &Election,
-    collection: Duration,
-) -> (ddemos_protocol::posts::ElectionResult, ddemos::election::PhaseTimings) {
-    finish_election(election, collection).expect("pipeline completes")
 }

@@ -22,7 +22,9 @@ fn bench_curve(c: &mut Criterion) {
     c.bench_function("curve/mul_generator (comb)", |b| {
         b.iter(|| Point::mul_generator(std::hint::black_box(&k)))
     });
-    c.bench_function("curve/mul_varpoint", |b| b.iter(|| p.mul(std::hint::black_box(&k))));
+    c.bench_function("curve/mul_varpoint", |b| {
+        b.iter(|| p.mul(std::hint::black_box(&k)))
+    });
     let a2 = Scalar::random(&mut rng);
     c.bench_function("curve/double_mul (Shamir trick)", |b| {
         b.iter(|| Point::double_mul(&k, &Point::generator(), &a2, &p))
@@ -31,7 +33,9 @@ fn bench_curve(c: &mut Criterion) {
 
 fn bench_hash_aes(c: &mut Criterion) {
     let data = vec![7u8; 1024];
-    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    c.bench_function("sha256/1KiB", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
     let key = [1u8; 16];
     c.bench_function("aes128-cbc/encrypt 64B", |b| {
         b.iter(|| aes::cbc_encrypt(&key, [2u8; 16], std::hint::black_box(&data[..64])))
@@ -42,9 +46,14 @@ fn bench_schnorr(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let sk = SigningKey::generate(&mut rng);
     let sig = sk.sign(b"endorsement");
-    c.bench_function("schnorr/sign", |b| b.iter(|| sk.sign(std::hint::black_box(b"endorsement"))));
+    c.bench_function("schnorr/sign", |b| {
+        b.iter(|| sk.sign(std::hint::black_box(b"endorsement")))
+    });
     c.bench_function("schnorr/verify", |b| {
-        b.iter(|| sk.verifying_key().verify(b"endorsement", std::hint::black_box(&sig)))
+        b.iter(|| {
+            sk.verifying_key()
+                .verify(b"endorsement", std::hint::black_box(&sig))
+        })
     });
 }
 

@@ -31,6 +31,7 @@ pub fn concurrency_levels() -> Vec<usize> {
     let scale: usize = std::env::var("DD_CC_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
         .unwrap_or(if full_scale() { 1 } else { 10 });
     [500usize, 1000, 1500, 2000]
         .iter()

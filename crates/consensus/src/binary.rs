@@ -196,7 +196,11 @@ impl BatchConsensus {
             })
             .collect();
         out.push(ConsensusMsg {
-            payload: Arc::new(ConsensusPayload { round, step: STEP_BVAL, values }),
+            payload: Arc::new(ConsensusPayload {
+                round,
+                step: STEP_BVAL,
+                values,
+            }),
         });
     }
 
@@ -239,12 +243,12 @@ impl BatchConsensus {
                     let s = &mut state.slots[slot];
                     s.bval_senders[vi] |= bit;
                     let count = s.bval_senders[vi].count_ones() as usize;
-                    if count >= self.f + 1 && !s.bval_sent[vi] {
+                    if count > self.f && !s.bval_sent[vi] {
                         s.bval_sent[vi] = true;
                         relay[slot] = Some(v);
                         any_relay = true;
                     }
-                    if count >= 2 * self.f + 1 {
+                    if count > 2 * self.f {
                         s.bin_values[vi] = true;
                     }
                 }
@@ -284,11 +288,17 @@ impl BatchConsensus {
     /// Sends this node's AUX for `round` once every slot has a bin value.
     fn maybe_aux(&mut self, round: u32, out: &mut Vec<ConsensusMsg>) {
         let estimates = self.estimates.clone();
-        let Some(state) = self.rounds.get_mut(&round) else { return };
+        let Some(state) = self.rounds.get_mut(&round) else {
+            return;
+        };
         if state.aux_sent || !state.bval_sent_initial {
             return;
         }
-        if !state.slots.iter().all(|s| s.bin_values[0] || s.bin_values[1]) {
+        if !state
+            .slots
+            .iter()
+            .all(|s| s.bin_values[0] || s.bin_values[1])
+        {
             return;
         }
         let values: Vec<Option<bool>> = state
@@ -306,7 +316,11 @@ impl BatchConsensus {
             .collect();
         state.aux_sent = true;
         out.push(ConsensusMsg {
-            payload: Arc::new(ConsensusPayload { round, step: STEP_AUX, values }),
+            payload: Arc::new(ConsensusPayload {
+                round,
+                step: STEP_AUX,
+                values,
+            }),
         });
     }
 
@@ -337,6 +351,7 @@ impl BatchConsensus {
             for slot in 0..self.estimates.len() {
                 let s = &state.slots[slot];
                 let mut v_set = [false; 2];
+                #[allow(clippy::needless_range_loop)] // `v` indexes two parallel arrays
                 for v in 0..2 {
                     if s.bin_values[v] && s.aux_senders[v] != 0 {
                         v_set[v] = true;
@@ -418,9 +433,13 @@ mod tests {
             for round in 0..4u32 {
                 for step in [STEP_BVAL, STEP_AUX] {
                     let values: Vec<Option<bool>> = (0..num_slots)
-                        .map(|s| Some((s + b as usize + round as usize) % 2 == 0))
+                        .map(|s| Some((s + b as usize + round as usize).is_multiple_of(2)))
                         .collect();
-                    let payload = Arc::new(ConsensusPayload { round, step, values });
+                    let payload = Arc::new(ConsensusPayload {
+                        round,
+                        step,
+                        values,
+                    });
                     let msg = ConsensusMsg { payload };
                     for to in 0..n as u32 {
                         queue.push((b, to, msg.clone()));
@@ -438,7 +457,9 @@ mod tests {
             if byzantine.contains(&to) {
                 continue;
             }
-            let Some(node) = nodes.get_mut(&to) else { continue };
+            let Some(node) = nodes.get_mut(&to) else {
+                continue;
+            };
             let outs = node.handle(from, &msg);
             for m in outs {
                 for dest in 0..n as u32 {
@@ -449,7 +470,10 @@ mod tests {
         let mut decisions = Vec::new();
         for &i in &honest {
             decisions.push(nodes[&i].decision().unwrap_or_else(|| {
-                panic!("node {i} undecided after quiescence (round {})", nodes[&i].round())
+                panic!(
+                    "node {i} undecided after quiescence (round {})",
+                    nodes[&i].round()
+                )
             }));
         }
         decisions
@@ -501,7 +525,11 @@ mod tests {
             let decisions = run(4, 1, inputs.clone(), &[3], seed);
             assert_eq!(decisions.len(), 3);
             for d in &decisions {
-                assert_eq!(d, &vec![true, false, true], "validity under byzantine (seed {seed})");
+                assert_eq!(
+                    d,
+                    &vec![true, false, true],
+                    "validity under byzantine (seed {seed})"
+                );
             }
         }
     }
@@ -527,8 +555,12 @@ mod tests {
     #[test]
     fn crash_fault_still_terminates() {
         // Node 3 never sends anything (crash). 3 honest of 4, f=1.
-        let inputs =
-            vec![vec![true, true], vec![true, false], vec![false, true], vec![true, true]];
+        let inputs = [
+            vec![true, true],
+            vec![true, false],
+            vec![false, true],
+            vec![true, true],
+        ];
         let decisions = {
             let mut nodes: HashMap<u32, BatchConsensus> = HashMap::new();
             let mut queue: Vec<(u32, u32, ConsensusMsg)> = Vec::new();
@@ -555,7 +587,9 @@ mod tests {
                     }
                 }
             }
-            (0..3u32).map(|i| nodes[&i].decision().expect("decided")).collect::<Vec<_>>()
+            (0..3u32)
+                .map(|i| nodes[&i].decision().expect("decided"))
+                .collect::<Vec<_>>()
         };
         for d in &decisions[1..] {
             assert_eq!(d, &decisions[0]);
@@ -639,7 +673,11 @@ mod tests {
         assert!(bc.handle(99, &ok_payload).is_empty());
         // Unknown step ignored.
         let weird = ConsensusMsg {
-            payload: Arc::new(ConsensusPayload { round: 0, step: 9, values: vec![Some(true); 3] }),
+            payload: Arc::new(ConsensusPayload {
+                round: 0,
+                step: 9,
+                values: vec![Some(true); 3],
+            }),
         };
         assert!(bc.handle(1, &weird).is_empty());
     }

@@ -52,7 +52,12 @@ impl RbcState {
     /// Creates the RBC layer for a cluster of `n` nodes tolerating `f`
     /// faults (requires `n ≥ 3f + 1` for the stated guarantees).
     pub fn new(n: usize, f: usize, me: u32) -> RbcState {
-        RbcState { n, f, me, instances: HashMap::new() }
+        RbcState {
+            n,
+            f,
+            me,
+            instances: HashMap::new(),
+        }
     }
 
     fn echo_threshold(&self) -> usize {
@@ -71,7 +76,11 @@ impl RbcState {
     /// message must be sent to **all** nodes including the sender itself
     /// (self-delivery flows through [`RbcState::handle`] like any other).
     pub fn broadcast(&mut self, payload: Arc<ConsensusPayload>) -> RbcMsg {
-        RbcMsg { origin: NodeId::vc(self.me), payload, phase: RbcPhase::Send }
+        RbcMsg {
+            origin: NodeId::vc(self.me),
+            payload,
+            phase: RbcPhase::Send,
+        }
     }
 
     /// Processes a message from authenticated sender index `from`.
@@ -99,7 +108,9 @@ impl RbcState {
                     return None;
                 }
                 inst.echoed = true;
-                inst.payloads.entry(digest).or_insert_with(|| msg.payload.clone());
+                inst.payloads
+                    .entry(digest)
+                    .or_insert_with(|| msg.payload.clone());
                 out.push(RbcMsg {
                     origin: msg.origin,
                     payload: msg.payload.clone(),
@@ -108,7 +119,9 @@ impl RbcState {
                 None
             }
             RbcPhase::Echo => {
-                inst.payloads.entry(digest).or_insert_with(|| msg.payload.clone());
+                inst.payloads
+                    .entry(digest)
+                    .or_insert_with(|| msg.payload.clone());
                 let count = {
                     let set = inst.echoes.entry(digest).or_default();
                     set.insert(from);
@@ -125,7 +138,9 @@ impl RbcState {
                 None
             }
             RbcPhase::Ready => {
-                inst.payloads.entry(digest).or_insert_with(|| msg.payload.clone());
+                inst.payloads
+                    .entry(digest)
+                    .or_insert_with(|| msg.payload.clone());
                 let count = {
                     let set = inst.readies.entry(digest).or_default();
                     set.insert(from);
@@ -166,7 +181,11 @@ mod tests {
     use super::*;
 
     fn payload(v: bool) -> Arc<ConsensusPayload> {
-        Arc::new(ConsensusPayload { round: 0, step: 1, values: vec![Some(v)] })
+        Arc::new(ConsensusPayload {
+            round: 0,
+            step: 1,
+            values: vec![Some(v)],
+        })
     }
 
     /// Runs a full message pump among honest nodes, returning deliveries.
@@ -214,14 +233,19 @@ mod tests {
         let mut states: Vec<RbcState> = (0..n).map(|i| RbcState::new(n as usize, 1, i)).collect();
         let pa = payload(true);
         let pb = payload(false);
-        let msg_a = RbcMsg { origin: NodeId::vc(3), payload: pa, phase: RbcPhase::Send };
-        let msg_b = RbcMsg { origin: NodeId::vc(3), payload: pb, phase: RbcPhase::Send };
+        let msg_a = RbcMsg {
+            origin: NodeId::vc(3),
+            payload: pa,
+            phase: RbcPhase::Send,
+        };
+        let msg_b = RbcMsg {
+            origin: NodeId::vc(3),
+            payload: pb,
+            phase: RbcPhase::Send,
+        };
 
-        let mut queue: Vec<(u32, u32, RbcMsg)> = vec![
-            (3, 0, msg_a.clone()),
-            (3, 1, msg_a),
-            (3, 2, msg_b),
-        ];
+        let mut queue: Vec<(u32, u32, RbcMsg)> =
+            vec![(3, 0, msg_a.clone()), (3, 1, msg_a), (3, 2, msg_b)];
         let mut deliveries: Vec<(u32, RbcDelivery)> = Vec::new();
         while let Some((from, to, msg)) = queue.pop() {
             if to == 3 {
@@ -249,7 +273,11 @@ mod tests {
         let n = 4;
         let mut states: Vec<RbcState> = (0..n).map(|i| RbcState::new(n as usize, 1, i)).collect();
         // Node 2 claims to relay a Send from origin 0.
-        let forged = RbcMsg { origin: NodeId::vc(0), payload: payload(true), phase: RbcPhase::Send };
+        let forged = RbcMsg {
+            origin: NodeId::vc(0),
+            payload: payload(true),
+            phase: RbcPhase::Send,
+        };
         let mut out = Vec::new();
         let d = states[1].handle(2, &forged, &mut out);
         assert!(d.is_none());

@@ -60,10 +60,18 @@ impl<'a> Auditor<'a> {
         Auditor { init, snapshot }
     }
 
-    fn locate_cast_row(&self, serial: SerialNo, code: &ddemos_crypto::votecode::VoteCode) -> Vec<(PartId, usize)> {
+    fn locate_cast_row(
+        &self,
+        serial: SerialNo,
+        code: &ddemos_crypto::votecode::VoteCode,
+    ) -> Vec<(PartId, usize)> {
         let mut hits = Vec::new();
         for part in PartId::BOTH {
-            if let Some(codes) = self.snapshot.decrypted_codes.get(&(serial, part.index() as u8)) {
+            if let Some(codes) = self
+                .snapshot
+                .decrypted_codes
+                .get(&(serial, part.index() as u8))
+            {
                 for (row, c) in codes.iter().enumerate() {
                     if c == code {
                         hits.push((part, row));
@@ -87,7 +95,10 @@ impl<'a> Auditor<'a> {
         for (serial, _) in self.init.ballots.iter() {
             let mut codes = Vec::new();
             for part in PartId::BOTH {
-                if let Some(c) = self.snapshot.decrypted_codes.get(&(*serial, part.index() as u8))
+                if let Some(c) = self
+                    .snapshot
+                    .decrypted_codes
+                    .get(&(*serial, part.index() as u8))
                 {
                     codes.extend(c.iter().copied());
                 }
@@ -176,21 +187,25 @@ impl<'a> Auditor<'a> {
             let Some((part, _)) = self.locate_cast_row(*serial, code).first().copied() else {
                 continue;
             };
-            let Some(rows) = self.snapshot.zk_responses.get(&(*serial, part.index() as u8))
+            let Some(rows) = self
+                .snapshot
+                .zk_responses
+                .get(&(*serial, part.index() as u8))
             else {
                 report.check(false, || {
                     format!("(e) missing ZK responses for {serial} used part {part:?}")
                 });
                 continue;
             };
-            let Some(ballot) = self.init.ballots.get(serial) else { continue };
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
             let bb_rows = &ballot.parts[part.index()];
             report.check(rows.len() == bb_rows.len(), || {
                 format!("(e) ZK row count mismatch for {serial}")
             });
             for (row_idx, ((responses, sum_z), row)) in rows.iter().zip(bb_rows).enumerate() {
-                for ((resp, ct), first) in
-                    responses.iter().zip(&row.commitment).zip(&row.or_first)
+                for ((resp, ct), first) in responses.iter().zip(&row.commitment).zip(&row.or_first)
                 {
                     report.check(
                         zkp::or_verify(&self.init.elgamal_pk, ct, first, resp, &challenge),
@@ -218,7 +233,11 @@ impl<'a> Auditor<'a> {
                 continue;
             };
             if let Some(ballot) = self.init.ballots.get(serial) {
-                for (j, ct) in ballot.parts[part.index()][row].commitment.iter().enumerate() {
+                for (j, ct) in ballot.parts[part.index()][row]
+                    .commitment
+                    .iter()
+                    .enumerate()
+                {
                     sums[j] = sums[j].add(ct);
                 }
             }
@@ -228,9 +247,7 @@ impl<'a> Auditor<'a> {
                 report.check(opening.len() == m && result.tally.len() == m, || {
                     "tally arity mismatch".into()
                 });
-                for (j, ((msg, rand), count)) in
-                    opening.iter().zip(&result.tally).enumerate()
-                {
+                for (j, ((msg, rand), count)) in opening.iter().zip(&result.tally).enumerate() {
                     report.check(
                         elgamal::verify_opening(&self.init.elgamal_pk, &sums[j], msg, rand),
                         || format!("tally opening invalid for option {j}"),
@@ -249,7 +266,9 @@ impl<'a> Auditor<'a> {
     /// audit information, on top of the public checks.
     pub fn verify_delegated(&self, audits: &[AuditInfo]) -> AuditReport {
         let mut report = self.verify_public();
-        let Some(vote_set) = &self.snapshot.vote_set else { return report };
+        let Some(vote_set) = &self.snapshot.vote_set else {
+            return report;
+        };
         for audit in audits {
             // (f) the submitted code matches the voter's record.
             report.check(
@@ -268,8 +287,10 @@ impl<'a> Auditor<'a> {
                 });
                 continue;
             };
-            let Some(opened) =
-                self.snapshot.openings.get(&(audit.serial, unused.index() as u8))
+            let Some(opened) = self
+                .snapshot
+                .openings
+                .get(&(audit.serial, unused.index() as u8))
             else {
                 report.check(false, || {
                     format!("(g) no openings for {} unused part", audit.serial)

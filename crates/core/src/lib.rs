@@ -17,40 +17,30 @@
 //!   tally and complete the zero-knowledge ballot-correctness proofs
 //!   ([`ddemos_crypto`]) without learning any vote.
 //!
-//! This crate adds the voter client, the auditor, the liveness bounds of
-//! Theorem 1, and an end-to-end election orchestrator.
+//! This crate adds the client-side roles: the voter ([`voter`]), the
+//! auditor ([`auditor`]), and the liveness bounds of Theorem 1
+//! ([`liveness`]).
 //!
-//! ```no_run
-//! use ddemos::election::{Election, ElectionConfig};
-//! use ddemos::voter::Voter;
-//! use ddemos_ea::SetupProfile;
-//! use ddemos_protocol::ElectionParams;
-//! use rand::{rngs::StdRng, SeedableRng};
-//! use std::time::Duration;
+//! End-to-end orchestration lives in the `ddemos-harness` crate, whose
+//! `ElectionBuilder` stands up every component in one call and exposes
+//! typed phase handles:
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let params = ElectionParams::new("demo", 10, 2, 4, 3, 5, 3, 0, 2_000)?;
-//! let election = Election::start(ElectionConfig::honest(params, 42, SetupProfile::Full));
-//! let endpoint = election.client_endpoint();
-//! let ballot = &election.setup.ballots[0];
-//! let mut voter = Voter::new(ballot, &endpoint, 4, Duration::from_secs(2),
-//!                            StdRng::seed_from_u64(1));
-//! let record = voter.vote(1)?;
-//! assert_eq!(record.audit.receipt,
-//!            ballot.part(record.audit.used_part).line_for_option(1).unwrap().receipt);
-//! # Ok(())
-//! # }
+//! ```text
+//! let election = ElectionBuilder::new(params).seed(42).build()?;
+//! let record = election.voting().cast(0, 1)?;   // receipt-checked
+//! let report = election.finish()?;              // close → tally → audit
 //! ```
+//!
+//! See `ddemos_harness`'s crate docs (and `examples/quickstart.rs` at the
+//! workspace root) for the runnable version.
 
 #![warn(missing_docs)]
 
 pub mod auditor;
-pub mod election;
 pub mod liveness;
 pub mod voter;
 
-pub use auditor::{Auditor, AuditReport};
-pub use election::{Election, ElectionConfig, ElectionError, PhaseTimings};
+pub use auditor::{AuditReport, Auditor};
 pub use liveness::LivenessParams;
 pub use voter::{VoteError, VoteRecord, Voter};
 

@@ -65,21 +65,66 @@ pub fn table1(params: &LivenessParams, num_vc: usize) -> Vec<TableRow> {
     let dm = params.delta_msg;
     let nv = num_vc as u32;
     vec![
-        TableRow { step: "V initialized", global: Duration::ZERO },
-        TableRow { step: "V submits her vote", global: tc + d },
-        TableRow { step: "VC receives ballot", global: tc + d + dm },
-        TableRow { step: "VC broadcasts ENDORSE", global: tc * 2 + d * 3 + dm },
-        TableRow { step: "honest VCs receive ENDORSE", global: tc * 2 + d * 3 + dm * 2 },
-        TableRow { step: "honest VCs send ENDORSEMENT", global: tc * 3 + d * 5 + dm * 2 },
-        TableRow { step: "VC receives ENDORSEMENTs", global: tc * 3 + d * 5 + dm * 3 },
-        TableRow { step: "VC verifies Nv−1 endorsements", global: tc * (nv + 2) + d * 7 + dm * 3 },
-        TableRow { step: "VC broadcasts share + UCERT", global: tc * (nv + 3) + d * 7 + dm * 3 },
-        TableRow { step: "honest VCs receive share", global: tc * (nv + 3) + d * 7 + dm * 4 },
-        TableRow { step: "honest VCs broadcast shares", global: tc * (nv + 4) + d * 9 + dm * 4 },
-        TableRow { step: "VC receives shares", global: tc * (nv + 4) + d * 9 + dm * 5 },
-        TableRow { step: "VC verifies Nv−1 shares", global: tc * (2 * nv + 3) + d * 11 + dm * 5 },
-        TableRow { step: "VC reconstructs receipt", global: tc * (2 * nv + 4) + d * 11 + dm * 5 },
-        TableRow { step: "V obtains her receipt", global: tc * (2 * nv + 4) + d * 11 + dm * 6 },
+        TableRow {
+            step: "V initialized",
+            global: Duration::ZERO,
+        },
+        TableRow {
+            step: "V submits her vote",
+            global: tc + d,
+        },
+        TableRow {
+            step: "VC receives ballot",
+            global: tc + d + dm,
+        },
+        TableRow {
+            step: "VC broadcasts ENDORSE",
+            global: tc * 2 + d * 3 + dm,
+        },
+        TableRow {
+            step: "honest VCs receive ENDORSE",
+            global: tc * 2 + d * 3 + dm * 2,
+        },
+        TableRow {
+            step: "honest VCs send ENDORSEMENT",
+            global: tc * 3 + d * 5 + dm * 2,
+        },
+        TableRow {
+            step: "VC receives ENDORSEMENTs",
+            global: tc * 3 + d * 5 + dm * 3,
+        },
+        TableRow {
+            step: "VC verifies Nv−1 endorsements",
+            global: tc * (nv + 2) + d * 7 + dm * 3,
+        },
+        TableRow {
+            step: "VC broadcasts share + UCERT",
+            global: tc * (nv + 3) + d * 7 + dm * 3,
+        },
+        TableRow {
+            step: "honest VCs receive share",
+            global: tc * (nv + 3) + d * 7 + dm * 4,
+        },
+        TableRow {
+            step: "honest VCs broadcast shares",
+            global: tc * (nv + 4) + d * 9 + dm * 4,
+        },
+        TableRow {
+            step: "VC receives shares",
+            global: tc * (nv + 4) + d * 9 + dm * 5,
+        },
+        TableRow {
+            step: "VC verifies Nv−1 shares",
+            global: tc * (2 * nv + 3) + d * 11 + dm * 5,
+        },
+        TableRow {
+            step: "VC reconstructs receipt",
+            global: tc * (2 * nv + 4) + d * 11 + dm * 5,
+        },
+        TableRow {
+            step: "V obtains her receipt",
+            global: tc * (2 * nv + 4) + d * 11 + dm * 6,
+        },
     ]
 }
 

@@ -74,7 +74,13 @@ impl<'a, R: Rng> Voter<'a, R> {
         patience: Duration,
         rng: R,
     ) -> Voter<'a, R> {
-        Voter { ballot, endpoint, num_vc, patience, rng }
+        Voter {
+            ballot,
+            endpoint,
+            num_vc,
+            patience,
+            rng,
+        }
     }
 
     /// Casts a vote for `option_index`, choosing a ballot part at random.
@@ -83,7 +89,11 @@ impl<'a, R: Rng> Voter<'a, R> {
     /// See [`VoteError`]; notably `ReceiptMismatch` means the voter must
     /// not trust the collection.
     pub fn vote(&mut self, option_index: usize) -> Result<VoteRecord, VoteError> {
-        let part = if self.rng.gen::<bool>() { PartId::B } else { PartId::A };
+        let part = if self.rng.gen::<bool>() {
+            PartId::B
+        } else {
+            PartId::A
+        };
         self.vote_with_part(option_index, part)
     }
 
@@ -107,21 +117,32 @@ impl<'a, R: Rng> Voter<'a, R> {
 
         let mut order: Vec<u32> = (0..self.num_vc as u32).collect();
         order.shuffle(&mut self.rng);
-        let mut attempts = 0;
+        let mut attempts = 0u32;
         for vc in order {
-            attempts += 1;
+            attempts = attempts.wrapping_add(1);
             let request_id = self.rng.gen::<u64>();
             let started = Instant::now();
             self.endpoint.send(
                 NodeId::vc(vc),
-                Msg::Vote { request_id, serial: self.ballot.serial, vote_code: code },
+                Msg::Vote {
+                    request_id,
+                    serial: self.ballot.serial,
+                    vote_code: code,
+                },
             );
             // Wait out our patience for *this* node, discarding stray or
             // stale replies.
             while started.elapsed() < self.patience {
                 let remaining = self.patience - started.elapsed();
-                let Ok(env) = self.endpoint.recv_timeout(remaining) else { break };
-                let Msg::VoteReply { request_id: rid, serial, outcome } = env.msg else {
+                let Ok(env) = self.endpoint.recv_timeout(remaining) else {
+                    break;
+                };
+                let Msg::VoteReply {
+                    request_id: rid,
+                    serial,
+                    outcome,
+                } = env.msg
+                else {
                     continue;
                 };
                 if rid != request_id || serial != self.ballot.serial {
@@ -148,9 +169,7 @@ impl<'a, R: Rng> Voter<'a, R> {
                         break;
                     }
                     VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode) => {
-                        return Err(VoteError::Rejected(
-                            RejectReason::AlreadyVotedDifferentCode,
-                        ));
+                        return Err(VoteError::Rejected(RejectReason::AlreadyVotedDifferentCode));
                     }
                     VoteOutcome::Rejected(reason) => return Err(VoteError::Rejected(reason)),
                 }

@@ -49,12 +49,8 @@ const fn build_sbox() -> [u8; 256] {
     let mut i = 0;
     while i < 256 {
         let x = gf_inv(i as u8);
-        sbox[i] = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        sbox[i] =
+            x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
         i += 1;
     }
     sbox
@@ -156,7 +152,12 @@ impl Aes128 {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
             state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
             state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -166,7 +167,12 @@ impl Aes128 {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] =
                 gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
             state[4 * c + 1] =
@@ -228,7 +234,7 @@ pub fn cbc_encrypt(key: &[u8; 16], iv: [u8; 16], plaintext: &[u8]) -> Vec<u8> {
     let mut data = Vec::with_capacity(16 + plaintext.len() + pad);
     data.extend_from_slice(&iv);
     data.extend_from_slice(plaintext);
-    data.extend(std::iter::repeat(pad as u8).take(pad));
+    data.extend(std::iter::repeat_n(pad as u8, pad));
     let mut prev = iv;
     for off in (16..data.len()).step_by(16) {
         let mut block = [0u8; 16];
@@ -249,7 +255,7 @@ pub fn cbc_encrypt(key: &[u8; 16], iv: [u8; 16], plaintext: &[u8]) -> Vec<u8> {
 /// Returns [`DecryptError`] if the input length is not a positive multiple
 /// of 16 past the IV, or the PKCS#7 padding is malformed (e.g. wrong key).
 pub fn cbc_decrypt(key: &[u8; 16], data: &[u8]) -> Result<Vec<u8>, DecryptError> {
-    if data.len() < 32 || data.len() % 16 != 0 {
+    if data.len() < 32 || !data.len().is_multiple_of(16) {
         return Err(DecryptError);
     }
     let aes = Aes128::new(key);
@@ -307,12 +313,15 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
         aes.decrypt_block(&mut block);
-        assert_eq!(block, core::array::from_fn::<u8, 16, _>(|i| (i as u8) * 0x11));
+        assert_eq!(
+            block,
+            core::array::from_fn::<u8, 16, _>(|i| (i as u8) * 0x11)
+        );
     }
 
     #[test]
@@ -329,8 +338,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
-                0x6a, 0x0b, 0x32
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
             ]
         );
     }

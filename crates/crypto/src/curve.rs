@@ -25,20 +25,22 @@ pub struct Point {
 
 impl Point {
     /// The identity element (point at infinity).
-    pub const IDENTITY: Point = Point { x: Fp::ZERO, y: Fp::ZERO, z: Fp::ZERO };
+    pub const IDENTITY: Point = Point {
+        x: Fp::ZERO,
+        y: Fp::ZERO,
+        z: Fp::ZERO,
+    };
 
     /// The standard secp256k1 base point `G`.
     pub fn generator() -> Point {
         static GEN: std::sync::OnceLock<Point> = std::sync::OnceLock::new();
         *GEN.get_or_init(|| {
-            let x = Fp::from_hex(
-                "79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
-            )
-            .expect("generator x constant");
-            let y = Fp::from_hex(
-                "483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8",
-            )
-            .expect("generator y constant");
+            let x =
+                Fp::from_hex("79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798")
+                    .expect("generator x constant");
+            let y =
+                Fp::from_hex("483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8")
+                    .expect("generator y constant");
             let g = Point { x, y, z: Fp::ONE };
             debug_assert!(g.is_on_curve());
             g
@@ -95,7 +97,11 @@ impl Point {
         let x3 = f - d.double();
         let y3 = e * (d - x3) - c.double().double().double();
         let z3 = (self.y * self.z).double();
-        Point { x: x3, y: y3, z: z3 }
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point addition (complete over the exceptional cases by dispatch).
@@ -126,7 +132,11 @@ impl Point {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (s1 * j).double();
         let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
-        Point { x: x3, y: y3, z: z3 }
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point negation.
@@ -134,7 +144,11 @@ impl Point {
         if self.is_identity() {
             return *self;
         }
-        Point { x: self.x, y: -self.y, z: self.z }
+        Point {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
     }
 
     /// Scalar multiplication with a 4-bit fixed window.
@@ -288,7 +302,11 @@ impl Point {
                 let x = Fp::from_bytes(&xb)?;
                 let rhs = x.square() * x + curve_b();
                 let y = rhs.sqrt()?;
-                let y = if (y.to_bytes()[31] & 1) == (tag & 1) { y } else { -y };
+                let y = if (y.to_bytes()[31] & 1) == (tag & 1) {
+                    y
+                } else {
+                    -y
+                };
                 Some(Point { x, y, z: Fp::ONE })
             }
             _ => None,
@@ -486,10 +504,7 @@ mod tests {
             Point::double_mul(&Scalar::ZERO, &g, &Scalar::ZERO, &g),
             Point::IDENTITY
         );
-        assert_eq!(
-            Point::double_mul(&Scalar::ONE, &g, &Scalar::ZERO, &g),
-            g
-        );
+        assert_eq!(Point::double_mul(&Scalar::ONE, &g, &Scalar::ZERO, &g), g);
     }
 
     #[test]

@@ -47,11 +47,17 @@ pub struct Ciphertext {
 
 impl Ciphertext {
     /// The encryption of zero with zero randomness (homomorphic identity).
-    pub const IDENTITY: Ciphertext = Ciphertext { a: Point::IDENTITY, b: Point::IDENTITY };
+    pub const IDENTITY: Ciphertext = Ciphertext {
+        a: Point::IDENTITY,
+        b: Point::IDENTITY,
+    };
 
     /// Homomorphic addition: `Enc(m₁;r₁) ⊕ Enc(m₂;r₂) = Enc(m₁+m₂; r₁+r₂)`.
     pub fn add(&self, other: &Ciphertext) -> Ciphertext {
-        Ciphertext { a: self.a + other.a, b: self.b + other.b }
+        Ciphertext {
+            a: self.a + other.a,
+            b: self.b + other.b,
+        }
     }
 
     /// Serializes as 66 bytes.
@@ -68,7 +74,10 @@ impl Ciphertext {
         let mut b = [0u8; 33];
         a.copy_from_slice(&bytes[..33]);
         b.copy_from_slice(&bytes[33..]);
-        Some(Ciphertext { a: Point::from_bytes(&a)?, b: Point::from_bytes(&b)? })
+        Some(Ciphertext {
+            a: Point::from_bytes(&a)?,
+            b: Point::from_bytes(&b)?,
+        })
     }
 }
 
@@ -127,7 +136,7 @@ pub fn discrete_log(target: &Point, max: u64) -> Option<u64> {
     let mut cur = Point::IDENTITY;
     for j in 0..m {
         table.insert(cur.to_bytes(), j);
-        cur = cur + g;
+        cur += g;
     }
     // Giant steps: target - i·(m·G)
     let giant = g.mul(&Scalar::from_u64(m)).negate();
@@ -140,7 +149,7 @@ pub fn discrete_log(target: &Point, max: u64) -> Option<u64> {
                 return Some(candidate);
             }
         }
-        gamma = gamma + giant;
+        gamma += giant;
         i += 1;
     }
     None
@@ -190,7 +199,12 @@ mod tests {
         let (ct, r) = encrypt_u64(&pk, 5, &mut rng);
         assert!(verify_opening(&pk, &ct, &Scalar::from_u64(5), &r));
         assert!(!verify_opening(&pk, &ct, &Scalar::from_u64(6), &r));
-        assert!(!verify_opening(&pk, &ct, &Scalar::from_u64(5), &(r + Scalar::ONE)));
+        assert!(!verify_opening(
+            &pk,
+            &ct,
+            &Scalar::from_u64(5),
+            &(r + Scalar::ONE)
+        ));
     }
 
     #[test]

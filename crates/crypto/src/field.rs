@@ -205,6 +205,7 @@ macro_rules! mont_field {
 
             /// Field addition.
             #[inline]
+            #[allow(clippy::should_implement_trait)] // value-semantics API; Ops impls forward here
             pub fn add(self, rhs: $name) -> $name {
                 let (sum, carry) = self.mont.adc(rhs.mont);
                 let mont = if carry || geq(sum, Self::MODULUS) {
@@ -217,6 +218,7 @@ macro_rules! mont_field {
 
             /// Field subtraction.
             #[inline]
+            #[allow(clippy::should_implement_trait)] // value-semantics API; Ops impls forward here
             pub fn sub(self, rhs: $name) -> $name {
                 let (diff, borrow) = self.mont.sbb(rhs.mont);
                 let mont = if borrow {
@@ -229,6 +231,7 @@ macro_rules! mont_field {
 
             /// Field negation.
             #[inline]
+            #[allow(clippy::should_implement_trait)] // value-semantics API; Ops impls forward here
             pub fn neg(self) -> $name {
                 if self.is_zero() {
                     self
@@ -239,6 +242,7 @@ macro_rules! mont_field {
 
             /// Field multiplication.
             #[inline]
+            #[allow(clippy::should_implement_trait)] // value-semantics API; Ops impls forward here
             pub fn mul(self, rhs: $name) -> $name {
                 $name { mont: Self::mont_mul(self.mont, rhs.mont) }
             }
@@ -482,7 +486,7 @@ mod tests {
         let a = Scalar::from_u64(3);
         let mut acc = Scalar::ONE;
         for _ in 0..13 {
-            acc = acc * a;
+            acc *= a;
         }
         assert_eq!(a.pow(U256::from_u64(13)), acc);
         assert_eq!(a.pow(U256::ZERO), Scalar::ONE);

@@ -65,7 +65,9 @@ impl Prf {
 
     /// Derives a sub-PRF for a labelled domain.
     pub fn derive(&self, label: &[u8]) -> Prf {
-        Prf { seed: hmac_sha256_parts(&self.seed, &[b"derive", label]) }
+        Prf {
+            seed: hmac_sha256_parts(&self.seed, &[b"derive", label]),
+        }
     }
 
     /// Derives a sub-PRF for a labelled, indexed domain (e.g. per ballot).
@@ -77,14 +79,17 @@ impl Prf {
 
     /// Fills `out` with PRF output for (`label`, `index`).
     pub fn fill(&self, label: &[u8], index: u64, out: &mut [u8]) {
-        let mut counter = 0u32;
-        for chunk in out.chunks_mut(32) {
+        for (counter, chunk) in out.chunks_mut(32).enumerate() {
             let block = hmac_sha256_parts(
                 &self.seed,
-                &[b"stream", label, &index.to_be_bytes(), &counter.to_be_bytes()],
+                &[
+                    b"stream",
+                    label,
+                    &index.to_be_bytes(),
+                    &(counter as u32).to_be_bytes(),
+                ],
             );
             chunk.copy_from_slice(&block[..chunk.len()]);
-            counter += 1;
         }
     }
 
@@ -121,7 +126,12 @@ pub struct PrfRng {
 impl PrfRng {
     /// Creates a deterministic RNG from a PRF domain.
     pub fn new(prf: &Prf, label: &[u8]) -> PrfRng {
-        PrfRng { prf: prf.derive(label), index: 0, buffer: [0; 32], used: 32 }
+        PrfRng {
+            prf: prf.derive(label),
+            index: 0,
+            buffer: [0; 32],
+            used: 32,
+        }
     }
 
     fn refill(&mut self) {
@@ -195,7 +205,10 @@ mod tests {
     fn rfc4231_case_long_key() {
         // Test case 6: 131-byte key (hashed key path).
         let key = [0xaau8; 131];
-        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let out = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&out),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -51,7 +51,10 @@ impl Signature {
         rb.copy_from_slice(&bytes[..33]);
         let mut sb = [0u8; 32];
         sb.copy_from_slice(&bytes[33..]);
-        Some(Signature { r: Point::from_bytes(&rb)?, s: Scalar::from_bytes(&sb)? })
+        Some(Signature {
+            r: Point::from_bytes(&rb)?,
+            s: Scalar::from_bytes(&sb)?,
+        })
     }
 }
 
@@ -72,7 +75,10 @@ impl SigningKey {
     /// Panics if `sk` is zero.
     pub fn from_scalar(sk: Scalar) -> SigningKey {
         assert!(!sk.is_zero(), "secret key must be nonzero");
-        SigningKey { sk, vk: VerifyingKey(Point::mul_generator(&sk)) }
+        SigningKey {
+            sk,
+            vk: VerifyingKey(Point::mul_generator(&sk)),
+        }
     }
 
     /// The corresponding verification key.
@@ -91,7 +97,10 @@ impl SigningKey {
         let k = if k.is_zero() { Scalar::ONE } else { k };
         let r = Point::mul_generator(&k);
         let e = challenge(&r, &self.vk, message);
-        Signature { r, s: k + e * self.sk }
+        Signature {
+            r,
+            s: k + e * self.sk,
+        }
     }
 }
 
@@ -163,10 +172,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let key = SigningKey::generate(&mut rng);
         let mut sig = key.sign(b"msg");
-        sig.s = sig.s + Scalar::ONE;
+        sig.s += Scalar::ONE;
         assert!(!key.verifying_key().verify(b"msg", &sig));
         let mut sig2 = key.sign(b"msg");
-        sig2.r = sig2.r + Point::generator();
+        sig2.r += Point::generator();
         assert!(!key.verifying_key().verify(b"msg", &sig2));
     }
 

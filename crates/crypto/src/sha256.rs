@@ -34,7 +34,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Sha256 {
-        Sha256 { state: H0, buffer: [0; 64], buffered: 0, length_bits: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            length_bits: 0,
+        }
     }
 
     /// Absorbs input bytes.
@@ -193,7 +198,9 @@ mod tests {
     #[test]
     fn nist_448_bits() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

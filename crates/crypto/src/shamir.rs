@@ -84,7 +84,10 @@ impl Polynomial {
     /// Produces shares for parties `1..=n`.
     pub fn shares(&self, n: usize) -> Vec<Share> {
         (1..=n as u32)
-            .map(|i| Share { index: i, value: self.eval(Scalar::from_u64(u64::from(i))) })
+            .map(|i| Share {
+                index: i,
+                value: self.eval(Scalar::from_u64(u64::from(i))),
+            })
             .collect()
     }
 }
@@ -115,8 +118,8 @@ pub fn lagrange_at_zero(i: u32, indices: &[u32]) -> Scalar {
             continue;
         }
         let xj = Scalar::from_u64(u64::from(j));
-        num = num * xj;
-        den = den * (xj - xi);
+        num *= xj;
+        den *= xj - xi;
     }
     num * den.invert().expect("distinct nonzero indices")
 }
@@ -184,11 +187,20 @@ mod tests {
     #[test]
     fn parameter_validation() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(split(Scalar::ONE, 0, 5, &mut rng).unwrap_err(), ShareError::BadThreshold);
-        assert_eq!(split(Scalar::ONE, 6, 5, &mut rng).unwrap_err(), ShareError::BadThreshold);
+        assert_eq!(
+            split(Scalar::ONE, 0, 5, &mut rng).unwrap_err(),
+            ShareError::BadThreshold
+        );
+        assert_eq!(
+            split(Scalar::ONE, 6, 5, &mut rng).unwrap_err(),
+            ShareError::BadThreshold
+        );
         let shares = split(Scalar::ONE, 2, 3, &mut rng).unwrap();
         let dup = [shares[0], shares[0]];
-        assert_eq!(reconstruct(&dup, 2).unwrap_err(), ShareError::DuplicateIndex);
+        assert_eq!(
+            reconstruct(&dup, 2).unwrap_err(),
+            ShareError::DuplicateIndex
+        );
     }
 
     #[test]
@@ -208,7 +220,10 @@ mod tests {
         let summed: Vec<Share> = sh1
             .iter()
             .zip(&sh2)
-            .map(|(a, b)| Share { index: a.index, value: a.value + b.value })
+            .map(|(a, b)| Share {
+                index: a.index,
+                value: a.value + b.value,
+            })
             .collect();
         assert_eq!(reconstruct(&summed[1..], 3).unwrap(), s1 + s2);
     }
@@ -225,7 +240,10 @@ mod tests {
         let combined: Vec<Share> = sa
             .iter()
             .zip(&sb)
-            .map(|(a, b)| Share { index: a.index, value: a.value * c + b.value })
+            .map(|(a, b)| Share {
+                index: a.index,
+                value: a.value * c + b.value,
+            })
             .collect();
         assert_eq!(reconstruct(&combined[..2], 2).unwrap(), alpha * c + beta);
     }

@@ -18,9 +18,13 @@ impl U256 {
     /// The value zero.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value one.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum representable value, `2^256 - 1`.
-    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
 
     /// Constructs a value from little-endian limbs.
     pub const fn from_limbs(limbs: [u64; 4]) -> U256 {
@@ -34,12 +38,16 @@ impl U256 {
 
     /// Constructs a value from a `u64`.
     pub const fn from_u64(v: u64) -> U256 {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Constructs a value from a `u128`.
     pub const fn from_u128(v: u128) -> U256 {
-        U256 { limbs: [v as u64, (v >> 64) as u64, 0, 0] }
+        U256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
     }
 
     /// Parses a big-endian hex string (no `0x` prefix, up to 64 digits).
@@ -173,8 +181,12 @@ impl U256 {
             i += 1;
         }
         (
-            U256 { limbs: [t[0], t[1], t[2], t[3]] },
-            U256 { limbs: [t[4], t[5], t[6], t[7]] },
+            U256 {
+                limbs: [t[0], t[1], t[2], t[3]],
+            },
+            U256 {
+                limbs: [t[4], t[5], t[6], t[7]],
+            },
         )
     }
 

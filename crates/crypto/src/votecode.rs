@@ -72,7 +72,10 @@ pub struct VoteCodeHash {
 impl VoteCodeHash {
     /// Commits to a vote code under a salt.
     pub fn commit(code: &VoteCode, salt: u64) -> VoteCodeHash {
-        VoteCodeHash { hash: hash_code(code, salt), salt }
+        VoteCodeHash {
+            hash: hash_code(code, salt),
+            salt,
+        }
     }
 
     /// Checks a submitted code against the commitment — the per-row test in
@@ -98,7 +101,10 @@ pub struct MskCommitment {
 impl MskCommitment {
     /// Commits to `msk`.
     pub fn commit(msk: &[u8; 16], salt: u64) -> MskCommitment {
-        MskCommitment { hash: hash_msk(msk, salt), salt }
+        MskCommitment {
+            hash: hash_msk(msk, salt),
+            salt,
+        }
     }
 
     /// Verifies a candidate reconstructed key (what a BB node runs before
@@ -175,8 +181,10 @@ mod tests {
         let msk = [9u8; 16];
         let ct = encrypt_vote_code(&msk, [1u8; 16], &code);
         assert_eq!(decrypt_vote_code(&msk, &ct).unwrap(), code);
-        assert!(decrypt_vote_code(&[8u8; 16], &ct).is_err() ||
-                decrypt_vote_code(&[8u8; 16], &ct).unwrap() != code);
+        assert!(
+            decrypt_vote_code(&[8u8; 16], &ct).is_err()
+                || decrypt_vote_code(&[8u8; 16], &ct).unwrap() != code
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl VssCommitments {
         let mut xj = Scalar::ONE;
         for c in &self.0 {
             expected = expected.add(&c.scale(&xj));
-            xj = xj * x;
+            xj *= x;
         }
         Commitment::commit(&share.value, &share.blinding) == expected
     }
@@ -68,13 +68,7 @@ impl VssCommitments {
     /// Panics if the thresholds differ.
     pub fn add(&self, other: &VssCommitments) -> VssCommitments {
         assert_eq!(self.0.len(), other.0.len(), "mismatched VSS thresholds");
-        VssCommitments(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a.add(b))
-                .collect(),
-        )
+        VssCommitments(self.0.iter().zip(&other.0).map(|(a, b)| a.add(b)).collect())
     }
 
     /// Scales a dealing by a public constant.
@@ -114,7 +108,11 @@ impl PedersenVss {
         let shares = (1..=n as u32)
             .map(|i| {
                 let x = Scalar::from_u64(u64::from(i));
-                VssShare { index: i, value: value_poly.eval(x), blinding: blind_poly.eval(x) }
+                VssShare {
+                    index: i,
+                    value: value_poly.eval(x),
+                    blinding: blind_poly.eval(x),
+                }
             })
             .collect();
         Ok((shares, commitments))
@@ -130,25 +128,42 @@ impl PedersenVss {
     pub fn reconstruct(shares: &[VssShare], k: usize) -> Result<(Scalar, Scalar), ShareError> {
         let values: Vec<Share> = shares
             .iter()
-            .map(|s| Share { index: s.index, value: s.value })
+            .map(|s| Share {
+                index: s.index,
+                value: s.value,
+            })
             .collect();
         let blindings: Vec<Share> = shares
             .iter()
-            .map(|s| Share { index: s.index, value: s.blinding })
+            .map(|s| Share {
+                index: s.index,
+                value: s.blinding,
+            })
             .collect();
-        Ok((shamir::reconstruct(&values, k)?, shamir::reconstruct(&blindings, k)?))
+        Ok((
+            shamir::reconstruct(&values, k)?,
+            shamir::reconstruct(&blindings, k)?,
+        ))
     }
 }
 
 /// Combines shares of several dealings (same index) into a share of the sum.
 pub fn add_shares(a: &VssShare, b: &VssShare) -> VssShare {
     assert_eq!(a.index, b.index, "shares must belong to the same party");
-    VssShare { index: a.index, value: a.value + b.value, blinding: a.blinding + b.blinding }
+    VssShare {
+        index: a.index,
+        value: a.value + b.value,
+        blinding: a.blinding + b.blinding,
+    }
 }
 
 /// Scales a share by a public constant.
 pub fn scale_share(share: &VssShare, k: &Scalar) -> VssShare {
-    VssShare { index: share.index, value: share.value * *k, blinding: share.blinding * *k }
+    VssShare {
+        index: share.index,
+        value: share.value * *k,
+        blinding: share.blinding * *k,
+    }
 }
 
 /// A dealer-signed Shamir share ("VSS with trusted dealer", §V).
@@ -202,7 +217,10 @@ impl DealerVss {
 
     /// Verifies a signed share against the dealer's key and context.
     pub fn verify(dealer: &VerifyingKey, context: &[u8], share: &SignedShare) -> bool {
-        dealer.verify(&Self::share_message(context, &share.share), &share.signature)
+        dealer.verify(
+            &Self::share_message(context, &share.share),
+            &share.signature,
+        )
     }
 
     /// Reconstructs from ≥ k shares (verify each first).
@@ -243,7 +261,10 @@ mod tests {
         shares[0].value -= Scalar::ONE;
         shares[0].blinding += Scalar::ONE;
         assert!(!comms.verify(&shares[0]));
-        let zero_index = VssShare { index: 0, ..shares[1] };
+        let zero_index = VssShare {
+            index: 0,
+            ..shares[1]
+        };
         assert!(!comms.verify(&zero_index));
     }
 
@@ -276,9 +297,17 @@ mod tests {
         let shares =
             DealerVss::deal(&dealer, b"election-1/serial-9", secret, 3, 4, &mut rng).unwrap();
         for s in &shares {
-            assert!(DealerVss::verify(&dealer.verifying_key(), b"election-1/serial-9", s));
+            assert!(DealerVss::verify(
+                &dealer.verifying_key(),
+                b"election-1/serial-9",
+                s
+            ));
             // Wrong context rejects.
-            assert!(!DealerVss::verify(&dealer.verifying_key(), b"election-1/serial-8", s));
+            assert!(!DealerVss::verify(
+                &dealer.verifying_key(),
+                b"election-1/serial-8",
+                s
+            ));
         }
         assert_eq!(DealerVss::reconstruct(&shares[..3], 3).unwrap(), secret);
     }
@@ -292,11 +321,18 @@ mod tests {
             DealerVss::deal(&dealer, b"ctx", Scalar::from_u64(1), 2, 3, &mut rng).unwrap();
         // Value tampering breaks the signature.
         shares[0].share.value += Scalar::ONE;
-        assert!(!DealerVss::verify(&dealer.verifying_key(), b"ctx", &shares[0]));
+        assert!(!DealerVss::verify(
+            &dealer.verifying_key(),
+            b"ctx",
+            &shares[0]
+        ));
         // A forger cannot make valid shares.
-        let forged = DealerVss::deal(&forger, b"ctx", Scalar::from_u64(1), 2, 3, &mut rng)
-            .unwrap();
-        assert!(!DealerVss::verify(&dealer.verifying_key(), b"ctx", &forged[0]));
+        let forged = DealerVss::deal(&forger, b"ctx", Scalar::from_u64(1), 2, 3, &mut rng).unwrap();
+        assert!(!DealerVss::verify(
+            &dealer.verifying_key(),
+            b"ctx",
+            &forged[0]
+        ));
     }
 
     proptest! {

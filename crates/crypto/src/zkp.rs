@@ -150,7 +150,10 @@ pub fn or_prove<R: rand::RngCore + ?Sized>(
     let b1 = ct.b - Point::generator();
 
     // Real branch first move: (w·G, w·pk).
-    let real = CpFirstMove { t1: Point::mul_generator(&w), t2: pk.0.mul(&w) };
+    let real = CpFirstMove {
+        t1: Point::mul_generator(&w),
+        t2: pk.0.mul(&w),
+    };
     // Simulated branch first move: (z̃·G − c̃·a, z̃·pk − c̃·b'_sim).
     let (b_sim, b_real) = if bit == 0 { (b1, b0) } else { (b0, b1) };
     let _ = b_real;
@@ -160,9 +163,15 @@ pub fn or_prove<R: rand::RngCore + ?Sized>(
     };
 
     let first = if bit == 0 {
-        OrFirstMove { branch0: real, branch1: sim }
+        OrFirstMove {
+            branch0: real,
+            branch1: sim,
+        }
     } else {
-        OrFirstMove { branch0: sim, branch1: real }
+        OrFirstMove {
+            branch0: sim,
+            branch1: real,
+        }
     };
 
     // Affine coefficients. Real branch b: c_b = c − c̃, z_b = w + c_b·r
@@ -172,13 +181,25 @@ pub fn or_prove<R: rand::RngCore + ?Sized>(
     let sim_coeffs = [Scalar::ZERO, c_sim, Scalar::ZERO, z_sim];
     let coeffs = if bit == 0 {
         [
-            real_coeffs[0], real_coeffs[1], real_coeffs[2], real_coeffs[3],
-            sim_coeffs[0], sim_coeffs[1], sim_coeffs[2], sim_coeffs[3],
+            real_coeffs[0],
+            real_coeffs[1],
+            real_coeffs[2],
+            real_coeffs[3],
+            sim_coeffs[0],
+            sim_coeffs[1],
+            sim_coeffs[2],
+            sim_coeffs[3],
         ]
     } else {
         [
-            sim_coeffs[0], sim_coeffs[1], sim_coeffs[2], sim_coeffs[3],
-            real_coeffs[0], real_coeffs[1], real_coeffs[2], real_coeffs[3],
+            sim_coeffs[0],
+            sim_coeffs[1],
+            sim_coeffs[2],
+            sim_coeffs[3],
+            real_coeffs[0],
+            real_coeffs[1],
+            real_coeffs[2],
+            real_coeffs[3],
         ]
     };
     (first, OrProverSecrets { coeffs })
@@ -236,8 +257,13 @@ pub fn sum_prove<R: rand::RngCore + ?Sized>(
 ) -> (CpFirstMove, SumProverSecrets) {
     let w = Scalar::random(rng);
     (
-        CpFirstMove { t1: Point::mul_generator(&w), t2: pk.0.mul(&w) },
-        SumProverSecrets { coeffs: [*r_sum, w] },
+        CpFirstMove {
+            t1: Point::mul_generator(&w),
+            t2: pk.0.mul(&w),
+        },
+        SumProverSecrets {
+            coeffs: [*r_sum, w],
+        },
     )
 }
 

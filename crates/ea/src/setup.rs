@@ -78,10 +78,12 @@ impl ElectionAuthority {
         let master = Prf::new(ddemos_crypto::sha256::sha256(&seed_bytes));
         let mut key_rng = PrfRng::new(&master, b"keys");
         let ea_key = SigningKey::generate(&mut key_rng);
-        let vc_keys: Vec<SigningKey> =
-            (0..params.num_vc).map(|_| SigningKey::generate(&mut key_rng)).collect();
-        let trustee_keys: Vec<SigningKey> =
-            (0..params.num_trustees).map(|_| SigningKey::generate(&mut key_rng)).collect();
+        let vc_keys: Vec<SigningKey> = (0..params.num_vc)
+            .map(|_| SigningKey::generate(&mut key_rng))
+            .collect();
+        let trustee_keys: Vec<SigningKey> = (0..params.num_trustees)
+            .map(|_| SigningKey::generate(&mut key_rng))
+            .collect();
         // The ElGamal secret key is generated and *immediately discarded* —
         // option-encoding commitments are only ever opened via trustee
         // shares, never decrypted.
@@ -145,7 +147,10 @@ impl ElectionAuthority {
         }
         let perms: [Vec<usize>; 2] = [perms.remove(0), perms.remove(0)];
         DerivedBallot {
-            ballot: Ballot { serial, parts: [parts.remove(0), parts.remove(0)] },
+            ballot: Ballot {
+                serial,
+                parts: [parts.remove(0), parts.remove(0)],
+            },
             perms,
         }
     }
@@ -159,8 +164,11 @@ impl ElectionAuthority {
             PrfRng::new(&self.master.derive_indexed(b"vc-salts", serial.0), b"salts");
         let nv = self.params.num_vc;
         let k = self.params.vc_quorum();
-        let mut out: Vec<VcBallot> =
-            (0..nv).map(|_| VcBallot { parts: [Vec::new(), Vec::new()] }).collect();
+        let mut out: Vec<VcBallot> = (0..nv)
+            .map(|_| VcBallot {
+                parts: [Vec::new(), Vec::new()],
+            })
+            .collect();
         for part in PartId::BOTH {
             let perm = &derived.perms[part.index()];
             for (row, &opt) in perm.iter().enumerate() {
@@ -185,8 +193,10 @@ impl ElectionAuthority {
                 )
                 .expect("valid receipt VSS parameters");
                 for (node, ballot) in out.iter_mut().enumerate() {
-                    ballot.parts[part.index()]
-                        .push(VcRow { code_hash, receipt_share: shares[node] });
+                    ballot.parts[part.index()].push(VcRow {
+                        code_hash,
+                        receipt_share: shares[node],
+                    });
                 }
             }
         }
@@ -267,23 +277,17 @@ impl ElectionAuthority {
                         &Scalar::from_u64(u64::from(bit)),
                         &r,
                     );
-                    let (first, secrets) =
-                        zkp::or_prove(&self.elgamal_pk, &ct, bit, &r, &mut rng);
+                    let (first, secrets) = zkp::or_prove(&self.elgamal_pk, &ct, bit, &r, &mut rng);
                     // Share the opening (bit, r) and the 8 affine ZK
                     // coefficients (h_t, N_t).
-                    let bit_shares = shamir::split(
-                        Scalar::from_u64(u64::from(bit)),
-                        ht,
-                        nt,
-                        &mut rng,
-                    )
-                    .expect("trustee sharing parameters");
+                    let bit_shares =
+                        shamir::split(Scalar::from_u64(u64::from(bit)), ht, nt, &mut rng)
+                            .expect("trustee sharing parameters");
                     let rand_shares = shamir::split(r, ht, nt, &mut rng).expect("params");
                     let coeffs = secrets.coefficients();
                     let mut coeff_shares: Vec<Vec<shamir::Share>> = Vec::with_capacity(8);
                     for c in coeffs.iter() {
-                        coeff_shares
-                            .push(shamir::split(*c, ht, nt, &mut rng).expect("params"));
+                        coeff_shares.push(shamir::split(*c, ht, nt, &mut rng).expect("params"));
                     }
                     for (t, acc) in trustee_cts.iter_mut().enumerate() {
                         let mut or_coeffs = [Scalar::ZERO; 8];
@@ -299,13 +303,10 @@ impl ElectionAuthority {
                     cts.push(ct);
                     or_first.push(first);
                 }
-                let (sum_first, sum_secrets) =
-                    zkp::sum_prove(&self.elgamal_pk, &r_sum, &mut rng);
+                let (sum_first, sum_secrets) = zkp::sum_prove(&self.elgamal_pk, &r_sum, &mut rng);
                 let sum_coeffs = sum_secrets.coefficients();
-                let gamma_shares =
-                    shamir::split(sum_coeffs[0], ht, nt, &mut rng).expect("params");
-                let delta_shares =
-                    shamir::split(sum_coeffs[1], ht, nt, &mut rng).expect("params");
+                let gamma_shares = shamir::split(sum_coeffs[0], ht, nt, &mut rng).expect("params");
+                let delta_shares = shamir::split(sum_coeffs[1], ht, nt, &mut rng).expect("params");
                 for (t, acc) in trustee_cts.into_iter().enumerate() {
                     trustee_rows[t][part.index()].push(TrusteeRowShares {
                         cts: acc,
@@ -343,7 +344,10 @@ impl ElectionAuthority {
                         t as u32,
                         &openings,
                     );
-                    out.push(TrusteePartShares { rows, opening_sig: self.ea_key.sign(&msg) });
+                    out.push(TrusteePartShares {
+                        rows,
+                        opening_sig: self.ea_key.sign(&msg),
+                    });
                 }
                 [out.remove(0), out.remove(0)]
             })
@@ -371,10 +375,12 @@ impl ElectionAuthority {
     /// externally-built [stores](ddemos_protocol::initdata::VcInit) and
     /// would otherwise duplicate every ballot in the init structures.
     pub fn setup_keys_only(&self) -> SetupOutput {
-        let vc_vks: Vec<VerifyingKey> =
-            self.vc_keys.iter().map(|k| k.verifying_key()).collect();
-        let trustee_vks: Vec<VerifyingKey> =
-            self.trustee_keys.iter().map(|k| k.verifying_key()).collect();
+        let vc_vks: Vec<VerifyingKey> = self.vc_keys.iter().map(|k| k.verifying_key()).collect();
+        let trustee_vks: Vec<VerifyingKey> = self
+            .trustee_keys
+            .iter()
+            .map(|k| k.verifying_key())
+            .collect();
         let msk_shares = self.msk_shares();
         let vc_inits: Vec<VcInit> = (0..self.params.num_vc)
             .map(|i| VcInit {
@@ -415,7 +421,9 @@ impl ElectionAuthority {
         let nt = self.params.num_trustees;
         let serials: Vec<SerialNo> = (0..n).map(SerialNo).collect();
 
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let chunk = serials.len().div_ceil(threads.max(1));
         struct BallotBundle {
             serial: SerialNo,
@@ -440,23 +448,35 @@ impl ElectionAuthority {
                             } else {
                                 (None, None)
                             };
-                            BallotBundle { serial, ballot, vc, bb, trustee }
+                            BallotBundle {
+                                serial,
+                                ballot,
+                                vc,
+                                bb,
+                                trustee,
+                            }
                         })
                         .collect::<Vec<_>>()
                 }));
             }
-            handles.into_iter().flat_map(|h| h.join().expect("setup worker")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("setup worker"))
+                .collect()
         });
 
-        let vc_vks: Vec<VerifyingKey> =
-            self.vc_keys.iter().map(|k| k.verifying_key()).collect();
-        let trustee_vks: Vec<VerifyingKey> =
-            self.trustee_keys.iter().map(|k| k.verifying_key()).collect();
+        let vc_vks: Vec<VerifyingKey> = self.vc_keys.iter().map(|k| k.verifying_key()).collect();
+        let trustee_vks: Vec<VerifyingKey> = self
+            .trustee_keys
+            .iter()
+            .map(|k| k.verifying_key())
+            .collect();
         let msk_shares = self.msk_shares();
 
         let mut ballots = Vec::with_capacity(bundles.len());
-        let mut vc_ballot_maps: Vec<HashMap<SerialNo, VcBallot>> =
-            (0..nv).map(|_| HashMap::with_capacity(bundles.len())).collect();
+        let mut vc_ballot_maps: Vec<HashMap<SerialNo, VcBallot>> = (0..nv)
+            .map(|_| HashMap::with_capacity(bundles.len()))
+            .collect();
         let mut bb_ballots: HashMap<SerialNo, BbBallot> = HashMap::new();
         let mut trustee_maps: Vec<HashMap<SerialNo, TrusteeBallotShares>> =
             (0..nt).map(|_| HashMap::new()).collect();
@@ -575,7 +595,7 @@ mod tests {
         let serial = SerialNo(1);
         let ballot = &out.ballots[1];
         let line = &ballot.parts[0].lines[1]; // part A, option 1
-        // Each node can locate the code via hashes.
+                                              // Each node can locate the code via hashes.
         let mut shares = Vec::new();
         let mut located = None;
         for init in &out.vc_inits {
@@ -645,7 +665,10 @@ mod tests {
                     let code = votecode::decrypt_vote_code(&msk, &row.enc_code).unwrap();
                     // The decrypted code appears on the printed ballot, and
                     // the commitment encodes that line's option.
-                    let line = ballot.part(part).line_for_code(&code).expect("code printed");
+                    let line = ballot
+                        .part(part)
+                        .line_for_code(&code)
+                        .expect("code printed");
                     assert_eq!(row.commitment.len(), 2);
                     // Trustee shares open the commitments to the unit vector.
                     for (j, ct) in row.commitment.iter().enumerate() {
@@ -681,7 +704,12 @@ mod tests {
                         let bit = shamir::reconstruct(&bit_shares[..ht], ht).unwrap();
                         let r = shamir::reconstruct(&rand_shares[..ht], ht).unwrap();
                         assert_eq!(bit.to_u64(), Some(expected_bit));
-                        assert!(elgamal::verify_opening(&out.bb_init.elgamal_pk, ct, &bit, &r));
+                        assert!(elgamal::verify_opening(
+                            &out.bb_init.elgamal_pk,
+                            ct,
+                            &bit,
+                            &r
+                        ));
                     }
                 }
             }
@@ -707,19 +735,35 @@ mod tests {
                         let cs = &ti.ballots[&serial].parts[part.index()].rows[row_index].cts[j];
                         let c = &cs.or_coeffs;
                         resp_shares.push([
-                            Share { index: ti.index + 1, value: c[0] * challenge + c[1] },
-                            Share { index: ti.index + 1, value: c[2] * challenge + c[3] },
-                            Share { index: ti.index + 1, value: c[4] * challenge + c[5] },
-                            Share { index: ti.index + 1, value: c[6] * challenge + c[7] },
+                            Share {
+                                index: ti.index + 1,
+                                value: c[0] * challenge + c[1],
+                            },
+                            Share {
+                                index: ti.index + 1,
+                                value: c[2] * challenge + c[3],
+                            },
+                            Share {
+                                index: ti.index + 1,
+                                value: c[4] * challenge + c[5],
+                            },
+                            Share {
+                                index: ti.index + 1,
+                                value: c[6] * challenge + c[7],
+                            },
                         ]);
                     }
                     let mut vals = [Scalar::ZERO; 4];
                     for (slot, val) in vals.iter_mut().enumerate() {
-                        let shares: Vec<Share> =
-                            resp_shares.iter().map(|s| s[slot]).collect();
+                        let shares: Vec<Share> = resp_shares.iter().map(|s| s[slot]).collect();
                         *val = shamir::reconstruct(&shares[..ht], ht).unwrap();
                     }
-                    let resp = zkp::OrResponse { c0: vals[0], z0: vals[1], c1: vals[2], z1: vals[3] };
+                    let resp = zkp::OrResponse {
+                        c0: vals[0],
+                        z0: vals[1],
+                        c1: vals[2],
+                        z1: vals[3],
+                    };
                     assert!(zkp::or_verify(
                         &out.bb_init.elgamal_pk,
                         ct,
@@ -733,9 +777,12 @@ mod tests {
                     .trustee_inits
                     .iter()
                     .map(|ti| {
-                        let sc = &ti.ballots[&serial].parts[part.index()].rows[row_index]
-                            .sum_coeffs;
-                        Share { index: ti.index + 1, value: sc[0] * challenge + sc[1] }
+                        let sc =
+                            &ti.ballots[&serial].parts[part.index()].rows[row_index].sum_coeffs;
+                        Share {
+                            index: ti.index + 1,
+                            value: sc[0] * challenge + sc[1],
+                        }
                     })
                     .collect();
                 let z = shamir::reconstruct(&sum_shares[..ht], ht).unwrap();

@@ -117,6 +117,9 @@ mod tests {
     fn instant_is_zero() {
         let p = NetworkProfile::instant();
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(p.delay(NodeId::vc(0), NodeId::vc(1), &mut rng), Duration::ZERO);
+        assert_eq!(
+            p.delay(NodeId::vc(0), NodeId::vc(1), &mut rng),
+            Duration::ZERO
+        );
     }
 }

@@ -116,7 +116,11 @@ impl SimNet {
         let (tx, rx) = unbounded();
         let prev = self.inner.inboxes.write().insert(id, tx);
         assert!(prev.is_none(), "node {id} registered twice");
-        Endpoint { id, rx, net: self.clone() }
+        Endpoint {
+            id,
+            rx,
+            net: self.clone(),
+        }
     }
 
     /// Replaces the latency profile at runtime.
@@ -135,7 +139,11 @@ impl SimNet {
     }
 
     /// Installs a bidirectional partition between two node groups.
-    pub fn partition(&self, a: impl IntoIterator<Item = NodeId>, b: impl IntoIterator<Item = NodeId>) {
+    pub fn partition(
+        &self,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) {
         self.inner
             .partitions
             .write()
@@ -184,8 +192,8 @@ impl SimNet {
                 self.inner.stats.record_dropped();
                 return;
             }
-            let dup = profile.duplicate_probability > 0.0
-                && rng.gen_bool(profile.duplicate_probability);
+            let dup =
+                profile.duplicate_probability > 0.0 && rng.gen_bool(profile.duplicate_probability);
             (profile.delay(env.from, env.to, &mut *rng), dup)
         };
         if delay.is_zero() && !dup {
@@ -197,7 +205,11 @@ impl SimNet {
         let mut push = |env: Envelope, due: Instant| {
             let mut seq = self.inner.seq.lock();
             *seq += 1;
-            queue.push(Reverse(Scheduled { due, seq: *seq, env }));
+            queue.push(Reverse(Scheduled {
+                due,
+                seq: *seq,
+                env,
+            }));
         };
         if dup {
             push(env.clone(), due + Duration::from_micros(50));
@@ -290,7 +302,11 @@ impl Endpoint {
 
     /// Sends a message; the router stamps this endpoint's id as the source.
     pub fn send(&self, to: NodeId, msg: Msg) {
-        self.net.send(Envelope { from: self.id, to, msg });
+        self.net.send(Envelope {
+            from: self.id,
+            to,
+            msg,
+        });
     }
 
     /// Sends the same message to many destinations.
@@ -330,11 +346,15 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ddemos_protocol::SerialNo;
     use ddemos_crypto::votecode::VoteCode;
+    use ddemos_protocol::SerialNo;
 
     fn vote_msg(n: u64) -> Msg {
-        Msg::Vote { request_id: n, serial: SerialNo(n), vote_code: VoteCode([0; 20]) }
+        Msg::Vote {
+            request_id: n,
+            serial: SerialNo(n),
+            vote_code: VoteCode([0; 20]),
+        }
     }
 
     fn serial_of(msg: &Msg) -> u64 {
@@ -379,7 +399,10 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
         net.restart(NodeId::vc(1));
         a.send(NodeId::vc(1), vote_msg(2));
-        assert_eq!(serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg), 2);
+        assert_eq!(
+            serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg),
+            2
+        );
         net.shutdown();
     }
 
@@ -393,7 +416,10 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
         net.heal_partitions();
         a.send(NodeId::vc(1), vote_msg(2));
-        assert_eq!(serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg), 2);
+        assert_eq!(
+            serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg),
+            2
+        );
         net.shutdown();
     }
 
@@ -419,7 +445,10 @@ mod tests {
             a.send(NodeId::vc(1), vote_msg(i));
         }
         for i in 0..100 {
-            assert_eq!(serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg), i);
+            assert_eq!(
+                serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg),
+                i
+            );
         }
         net.shutdown();
     }

@@ -129,8 +129,12 @@ mod tests {
         Ballot {
             serial: SerialNo(7),
             parts: [
-                BallotPart { lines: vec![line(1, 0), line(2, 1)] },
-                BallotPart { lines: vec![line(3, 0), line(4, 1)] },
+                BallotPart {
+                    lines: vec![line(1, 0), line(2, 1)],
+                },
+                BallotPart {
+                    lines: vec![line(3, 0), line(4, 1)],
+                },
             ],
         }
     }
@@ -139,12 +143,21 @@ mod tests {
     fn lookup_helpers() {
         let b = mk_ballot();
         assert_eq!(b.num_options(), 2);
-        assert_eq!(b.part(PartId::A).line_for_option(1).unwrap().vote_code, VoteCode([2; 20]));
         assert_eq!(
-            b.part(PartId::B).line_for_code(&VoteCode([3; 20])).unwrap().option_index,
+            b.part(PartId::A).line_for_option(1).unwrap().vote_code,
+            VoteCode([2; 20])
+        );
+        assert_eq!(
+            b.part(PartId::B)
+                .line_for_code(&VoteCode([3; 20]))
+                .unwrap()
+                .option_index,
             0
         );
-        assert!(b.part(PartId::A).line_for_code(&VoteCode([9; 20])).is_none());
+        assert!(b
+            .part(PartId::A)
+            .line_for_code(&VoteCode([9; 20]))
+            .is_none());
         assert_eq!(b.all_codes().count(), 4);
     }
 

@@ -22,7 +22,9 @@ impl Default for GlobalClock {
 impl GlobalClock {
     /// Starts a new global clock at the current instant.
     pub fn new() -> GlobalClock {
-        GlobalClock { epoch: Instant::now() }
+        GlobalClock {
+            epoch: Instant::now(),
+        }
     }
 
     /// Milliseconds elapsed since the epoch.
@@ -33,7 +35,10 @@ impl GlobalClock {
     /// Creates a per-node clock with the given drift (milliseconds; may be
     /// negative, clamped so node time never underflows).
     pub fn node_clock(&self, drift_ms: i64) -> NodeClock {
-        NodeClock { epoch: self.epoch, drift_ms }
+        NodeClock {
+            epoch: self.epoch,
+            drift_ms,
+        }
     }
 }
 

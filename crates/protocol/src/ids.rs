@@ -59,23 +59,38 @@ pub struct NodeId {
 impl NodeId {
     /// Vote collector `i` (0-based).
     pub fn vc(index: u32) -> NodeId {
-        NodeId { kind: NodeKind::Vc, index }
+        NodeId {
+            kind: NodeKind::Vc,
+            index,
+        }
     }
     /// Bulletin board node `i` (0-based).
     pub fn bb(index: u32) -> NodeId {
-        NodeId { kind: NodeKind::Bb, index }
+        NodeId {
+            kind: NodeKind::Bb,
+            index,
+        }
     }
     /// Trustee `i` (0-based).
     pub fn trustee(index: u32) -> NodeId {
-        NodeId { kind: NodeKind::Trustee, index }
+        NodeId {
+            kind: NodeKind::Trustee,
+            index,
+        }
     }
     /// Client (voter device) `i`.
     pub fn client(index: u32) -> NodeId {
-        NodeId { kind: NodeKind::Client, index }
+        NodeId {
+            kind: NodeKind::Client,
+            index,
+        }
     }
     /// The Election Authority.
     pub fn ea() -> NodeId {
-        NodeId { kind: NodeKind::Ea, index: 0 }
+        NodeId {
+            kind: NodeKind::Ea,
+            index: 0,
+        }
     }
 }
 

@@ -61,7 +61,12 @@ pub struct UCert {
 impl UCert {
     /// Verifies the certificate: at least `Nv − fv` valid signatures from
     /// distinct VC nodes over the endorsement message.
-    pub fn verify(&self, eid: &ElectionId, params: &ElectionParams, vc_keys: &[VerifyingKey]) -> bool {
+    pub fn verify(
+        &self,
+        eid: &ElectionId,
+        params: &ElectionParams,
+        vc_keys: &[VerifyingKey],
+    ) -> bool {
         let code_hash = sha256(&self.vote_code.0);
         let msg = endorsement_message(eid, self.serial, &code_hash);
         let mut seen = Vec::new();
@@ -262,7 +267,10 @@ mod tests {
         UCert {
             serial,
             vote_code: code,
-            sigs: signers.iter().map(|&i| (i as u32, keys[i].sign(&msg))).collect(),
+            sigs: signers
+                .iter()
+                .map(|&i| (i as u32, keys[i].sign(&msg)))
+                .collect(),
         }
     }
 
@@ -305,9 +313,21 @@ mod tests {
 
     #[test]
     fn consensus_payload_digest_distinguishes() {
-        let p1 = ConsensusPayload { round: 0, step: 1, values: vec![Some(true), None] };
-        let p2 = ConsensusPayload { round: 0, step: 1, values: vec![Some(true), Some(false)] };
-        let p3 = ConsensusPayload { round: 1, step: 1, values: vec![Some(true), None] };
+        let p1 = ConsensusPayload {
+            round: 0,
+            step: 1,
+            values: vec![Some(true), None],
+        };
+        let p2 = ConsensusPayload {
+            round: 0,
+            step: 1,
+            values: vec![Some(true), Some(false)],
+        };
+        let p3 = ConsensusPayload {
+            round: 1,
+            step: 1,
+            values: vec![Some(true), None],
+        };
         assert_ne!(p1.digest(), p2.digest());
         assert_ne!(p1.digest(), p3.digest());
         assert_eq!(p1.digest(), p1.clone().digest());

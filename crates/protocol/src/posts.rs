@@ -127,8 +127,14 @@ mod tests {
 
     #[test]
     fn result_digest_binds_tally() {
-        let r1 = ElectionResult { tally: vec![10, 5], ballots_counted: 15 };
-        let r2 = ElectionResult { tally: vec![10, 6], ballots_counted: 16 };
+        let r1 = ElectionResult {
+            tally: vec![10, 5],
+            ballots_counted: 15,
+        };
+        let r2 = ElectionResult {
+            tally: vec![10, 6],
+            ballots_counted: 16,
+        };
         assert_ne!(r1.digest(), r2.digest());
         assert_eq!(r1.digest(), r1.clone().digest());
     }

@@ -164,7 +164,9 @@ impl<'a> Reader<'a> {
     /// [`WireError::UnexpectedEnd`] if the input is exhausted.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Reads a bool byte (must be 0 or 1).

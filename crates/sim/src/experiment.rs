@@ -1,24 +1,19 @@
-//! The vote-collection experiment runner shared by the Fig 4/5a/5b
-//! benchmarks: stand up a VC cluster (optionally behind a storage latency
-//! model), drive a concurrent voting workload, and report throughput and
-//! latency.
+//! The vote-collection experiment configuration shared by the Fig 4/5a/5b
+//! benchmarks — a thin shim over
+//! [`ElectionBuilder`](ddemos_harness::ElectionBuilder) that keeps the
+//! benchmark configuration struct stable.
 //!
 //! Init data for the ballots actually cast is pre-materialized (as in the
 //! paper, where the EA generates everything offline); the registered
 //! electorate size `num_ballots` can be far larger — it drives the storage
 //! latency model, mirroring a database holding 250M rows of which 200k are
-//! touched.
+//! touched. Both behaviours come from the builder:
+//! [`materialize_first`](ddemos_harness::ElectionBuilder::materialize_first)
+//! plus the [`StoreKind`] selector.
 
-use crate::workload::{Workload, WorkloadStats};
-use crossbeam_channel::unbounded;
-use ddemos_ea::ElectionAuthority;
-use ddemos_net::{NetworkProfile, SimNet};
-use ddemos_protocol::ballot::Ballot;
-use ddemos_protocol::clock::GlobalClock;
-use ddemos_protocol::initdata::VcBallot;
-use ddemos_protocol::{ElectionParams, NodeId, SerialNo};
-use ddemos_vc::{BallotStore, LatencyStore, StorageModel, VcHandle, VcNode, VcNodeConfig};
-use std::collections::HashMap;
+use ddemos_harness::{ElectionBuilder, StoreKind, Workload, WorkloadStats};
+use ddemos_net::NetworkProfile;
+use ddemos_protocol::ElectionParams;
 use std::time::Duration;
 
 /// Configuration of one vote-collection experiment point.
@@ -37,11 +32,10 @@ pub struct VcClusterExperiment {
     pub votes: u64,
     /// Network profile (LAN / WAN).
     pub network: NetworkProfile,
-    /// Optional storage latency model (the Fig 5a disk experiment);
-    /// `None` serves ballots from memory (the Fig 4 cache setup).
-    pub storage: Option<StorageModel>,
-    /// Unused; retained for configuration stability.
-    pub virtual_store: bool,
+    /// Ballot store backing each VC node: in-memory (the Fig 4 cache
+    /// setup), the index-depth latency model (the Fig 5a disk experiment),
+    /// or PRF-derived virtual rows.
+    pub store: StoreKind,
     /// Seed.
     pub seed: u64,
 }
@@ -53,22 +47,6 @@ pub struct VcClusterResult {
     pub stats: WorkloadStats,
     /// Messages the network carried.
     pub messages: u64,
-}
-
-/// An in-memory store that reports a larger registered electorate than it
-/// materializes.
-struct SizedMemoryStore {
-    map: HashMap<SerialNo, VcBallot>,
-    n: u64,
-}
-
-impl BallotStore for SizedMemoryStore {
-    fn get(&self, serial: SerialNo) -> Option<VcBallot> {
-        self.map.get(&serial).cloned()
-    }
-    fn num_ballots(&self) -> u64 {
-        self.n
-    }
 }
 
 impl VcClusterExperiment {
@@ -87,72 +65,14 @@ impl VcClusterExperiment {
             3_600_000,
         )
         .expect("benchmark parameters");
-        let ea = ElectionAuthority::new(params.clone(), self.seed);
-        let net = SimNet::new(self.network.clone(), self.seed);
-        let clock = GlobalClock::new();
-        let (result_tx, _result_rx) = unbounded();
-
-        // Pre-materialize the cast range, in parallel across threads
-        // (deterministic per serial).
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let serials: Vec<u64> = (0..self.votes).collect();
-        let chunk = serials.len().div_ceil(threads.max(1)).max(1);
-        let per_ballot: Vec<(Ballot, Vec<VcBallot>)> = std::thread::scope(|scope| {
-            let ea = &ea;
-            let mut handles = Vec::new();
-            for chunk_serials in serials.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    chunk_serials
-                        .iter()
-                        .map(|&s| {
-                            (ea.voter_ballot(SerialNo(s)), ea.vc_ballots_all_nodes(SerialNo(s)))
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles.into_iter().flat_map(|h| h.join().expect("derivation worker")).collect()
-        });
-        let mut ballots = Vec::with_capacity(per_ballot.len());
-        let mut node_maps: Vec<HashMap<SerialNo, VcBallot>> =
-            (0..self.num_vc).map(|_| HashMap::with_capacity(per_ballot.len())).collect();
-        for (ballot, node_rows) in per_ballot {
-            for (node, rows) in node_rows.into_iter().enumerate() {
-                node_maps[node].insert(ballot.serial, rows);
-            }
-            ballots.push(ballot);
-        }
-        ballots.sort_by_key(|b| b.serial);
-
-        let mut keys_only = ea.setup_keys_only();
-        let mut handles: Vec<VcHandle> = Vec::new();
-        for (node, map) in node_maps.into_iter().enumerate() {
-            let endpoint = net.register(NodeId::vc(node as u32));
-            let init = keys_only.vc_inits[node].clone();
-            let store = SizedMemoryStore { map, n: self.num_ballots };
-            let node_clock = clock.node_clock(0);
-            match self.storage {
-                Some(model) => handles.push(VcNode::spawn(
-                    init,
-                    LatencyStore::new(store, model),
-                    endpoint,
-                    node_clock,
-                    keys_only.consensus_beacon,
-                    VcNodeConfig::default(),
-                    result_tx.clone(),
-                )),
-                None => handles.push(VcNode::spawn(
-                    init,
-                    store,
-                    endpoint,
-                    node_clock,
-                    keys_only.consensus_beacon,
-                    VcNodeConfig::default(),
-                    result_tx.clone(),
-                )),
-            }
-        }
-        keys_only.vc_inits.clear();
-
+        let election = ElectionBuilder::new(params)
+            .seed(self.seed)
+            .network(self.network.clone())
+            .store(self.store)
+            .vc_only()
+            .materialize_first(self.votes)
+            .build()
+            .expect("benchmark election builds");
         let workload = Workload {
             concurrency: self.concurrency,
             total_votes: self.votes,
@@ -160,12 +80,9 @@ impl VcClusterExperiment {
             patience: Duration::from_secs(30),
             seed: self.seed ^ 0x57_4C,
         };
-        let stats = workload.run(&net, &params, &ballots);
-        let messages = net.stats().sent();
-        for h in handles {
-            h.stop();
-        }
-        net.shutdown();
+        let stats = election.voting().run(&workload);
+        let messages = election.report().net.sent;
+        election.shutdown();
         VcClusterResult { stats, messages }
     }
 }

@@ -1,15 +1,28 @@
 //! # ddemos-sim
 //!
-//! Experiment infrastructure for the D-DEMOS reproduction: the concurrent
-//! voting workload generator (the paper's multithreaded voting client,
-//! §V), adversarial setup corruptions for the security-game tests
-//! (§IV-C), and the experiment runner shared by every figure benchmark.
+//! Experiment-configuration compatibility layer over the
+//! [`ddemos_harness`] facade.
+//!
+//! Historically this crate hand-wired VC clusters for the figure
+//! benchmarks; all of that now lives behind
+//! [`ElectionBuilder`](ddemos_harness::ElectionBuilder), and this crate
+//! keeps the stable benchmark-facing configuration types:
+//!
+//! * [`VcClusterExperiment`] — one Fig 4/5a/5b experiment point, now a
+//!   thin shim that translates its fields into a builder call;
+//! * re-exports of the [`workload`] and [`adversary`] modules, which
+//!   moved into the harness.
+//!
+//! New code should use [`ddemos_harness`] directly — see that crate's
+//! quickstart.
 
 #![warn(missing_docs)]
 
-pub mod adversary;
 pub mod experiment;
-pub mod workload;
 
+pub use ddemos_harness::adversary;
+pub use ddemos_harness::workload;
+
+pub use ddemos_harness::StoreKind;
 pub use experiment::{VcClusterExperiment, VcClusterResult};
 pub use workload::{Workload, WorkloadStats};

@@ -78,7 +78,10 @@ impl Trustee {
         &self,
         snapshot: &BbSnapshot,
     ) -> Result<(TrusteePost, Signature), TrusteeError> {
-        let vote_set = snapshot.vote_set.as_ref().ok_or(TrusteeError::VoteSetMissing)?;
+        let vote_set = snapshot
+            .vote_set
+            .as_ref()
+            .ok_or(TrusteeError::VoteSetMissing)?;
         let challenge = snapshot.challenge.ok_or(TrusteeError::CodesMissing)?;
         if snapshot.decrypted_codes.is_empty() {
             return Err(TrusteeError::CodesMissing);
@@ -107,8 +110,7 @@ impl Trustee {
                             }
                         }
                     }
-                    let (used_part, cast_row) =
-                        located.ok_or(TrusteeError::CastCodeNotFound)?;
+                    let (used_part, cast_row) = located.ok_or(TrusteeError::CastCodeNotFound)?;
                     let unused = used_part.other();
                     // Unused part: raw opening shares (EA-signed bundle).
                     let part_shares = &shares.parts[unused.index()];
@@ -143,7 +145,12 @@ impl Trustee {
                         .iter()
                         .map(|row| row.sum_coeffs[0] * challenge + row.sum_coeffs[1])
                         .collect();
-                    zk.push(PartZkPost { serial, part: used_part, rows, sum_responses });
+                    zk.push(PartZkPost {
+                        serial,
+                        part: used_part,
+                        rows,
+                        sum_responses,
+                    });
                     // Tally accumulation: the cast row's per-option opening
                     // shares join the (additively homomorphic) total.
                     for (j, ct) in used_shares.rows[cast_row].cts.iter().enumerate() {
@@ -169,7 +176,9 @@ impl Trustee {
             trustee_index: self.init.index,
             openings,
             zk,
-            tally: TallySharePost { per_option: tally_sums },
+            tally: TallySharePost {
+                per_option: tally_sums,
+            },
         };
         let digest = ddemos_bb::trustee_post_digest(&post);
         let signature = self.init.signing_key.sign(&digest);

@@ -11,8 +11,15 @@
 //! * [`node`] — the per-node protocol engine (Algorithm 1 + vote-set
 //!   consensus), one thread per node.
 //! * [`store`] — ballot stores: in-memory, PRF-derived (virtual 250M-ballot
-//!   elections), and the index-depth latency model for the disk experiment.
+//!   elections), and the index-depth latency model for the disk experiment
+//!   (hierarchy and calibration documented in `DESIGN.md` at the workspace
+//!   root).
 //! * [`behavior`] — Byzantine behaviour profiles used by security tests.
+//!
+//! Clusters are normally stood up through the `ddemos-harness` facade
+//! (`ElectionBuilder`), which spawns the node threads, wires the stores
+//! via its `StoreKind` option, and drives vote-set consensus to
+//! [`FinalizedVoteSet`]s deterministically.
 
 #![warn(missing_docs)]
 

@@ -63,7 +63,10 @@ pub struct VcNodeConfig {
 
 impl Default for VcNodeConfig {
     fn default() -> Self {
-        VcNodeConfig { behavior: VcBehavior::Honest, poll: Duration::from_millis(1) }
+        VcNodeConfig {
+            behavior: VcBehavior::Honest,
+            poll: Duration::from_millis(1),
+        }
     }
 }
 
@@ -191,8 +194,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
         let stop2 = stop.clone();
         let force_end = Arc::new(AtomicBool::new(false));
         let force_end2 = force_end.clone();
-        let vc_peers: Vec<NodeId> =
-            (0..init.params.num_vc as u32).map(NodeId::vc).collect();
+        let vc_peers: Vec<NodeId> = (0..init.params.num_vc as u32).map(NodeId::vc).collect();
         let thread = std::thread::Builder::new()
             .name(format!("vc-{}", init.node_index))
             .spawn(move || {
@@ -219,7 +221,12 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 node.run();
             })
             .expect("spawn vc node");
-        VcHandle { id, stop, force_end, thread: Some(thread) }
+        VcHandle {
+            id,
+            stop,
+            force_end,
+            thread: Some(thread),
+        }
     }
 
     fn run(&mut self) {
@@ -258,22 +265,33 @@ impl<S: BallotStore + 'static> VcNode<S> {
             return;
         }
         match env.msg {
-            Msg::Vote { request_id, serial, vote_code } => {
+            Msg::Vote {
+                request_id,
+                serial,
+                vote_code,
+            } => {
                 self.votes_handled += 1;
                 self.on_vote(env.from, request_id, serial, vote_code);
             }
             Msg::Endorse { serial, vote_code } => self.on_endorse(env.from, serial, vote_code),
-            Msg::Endorsement { serial, vote_code, signature } => {
-                self.on_endorsement(env.from, serial, vote_code, signature)
-            }
-            Msg::VoteP { serial, vote_code, share, ucert } => {
-                self.on_vote_p(env.from, serial, vote_code, share, ucert)
-            }
+            Msg::Endorsement {
+                serial,
+                vote_code,
+                signature,
+            } => self.on_endorsement(env.from, serial, vote_code, signature),
+            Msg::VoteP {
+                serial,
+                vote_code,
+                share,
+                ucert,
+            } => self.on_vote_p(env.from, serial, vote_code, share, ucert),
             Msg::Announce { entries } => self.on_announce(env.from, entries),
             Msg::RecoverRequest { serial } => self.on_recover_request(env.from, serial),
-            Msg::RecoverResponse { serial, vote_code, ucert } => {
-                self.on_recover_response(serial, vote_code, ucert)
-            }
+            Msg::RecoverResponse {
+                serial,
+                vote_code,
+                ucert,
+            } => self.on_recover_response(serial, vote_code, ucert),
             Msg::Consensus(cm) => self.on_consensus(env.from, cm),
             Msg::VoteReply { .. } => {}
         }
@@ -282,16 +300,33 @@ impl<S: BallotStore + 'static> VcNode<S> {
     // ----- voting phase (Algorithm 1) -------------------------------------
 
     fn reply(&self, to: NodeId, request_id: u64, serial: SerialNo, outcome: VoteOutcome) {
-        self.endpoint.send(to, Msg::VoteReply { request_id, serial, outcome });
+        self.endpoint.send(
+            to,
+            Msg::VoteReply {
+                request_id,
+                serial,
+                outcome,
+            },
+        );
     }
 
     fn on_vote(&mut self, from: NodeId, request_id: u64, serial: SerialNo, code: VoteCode) {
         if !self.in_voting_hours() {
-            self.reply(from, request_id, serial, VoteOutcome::Rejected(RejectReason::OutsideVotingHours));
+            self.reply(
+                from,
+                request_id,
+                serial,
+                VoteOutcome::Rejected(RejectReason::OutsideVotingHours),
+            );
             return;
         }
         let Some(ballot) = self.store.get(serial) else {
-            self.reply(from, request_id, serial, VoteOutcome::Rejected(RejectReason::UnknownSerial));
+            self.reply(
+                from,
+                request_id,
+                serial,
+                VoteOutcome::Rejected(RejectReason::UnknownSerial),
+            );
             return;
         };
         let slot = self.slots.entry(serial).or_default();
@@ -356,13 +391,17 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 // Our own endorsement (also blocks endorsing other codes).
                 if slot.my_endorsed.is_none() {
                     slot.my_endorsed = Some(code);
-                    let sig = self
-                        .init
-                        .signing_key
-                        .sign(&endorsement_message(&self.init.params.election_id, serial, &sha256(&code.0)));
+                    let sig = self.init.signing_key.sign(&endorsement_message(
+                        &self.init.params.election_id,
+                        serial,
+                        &sha256(&code.0),
+                    ));
                     slot.endorsements.push((self.init.node_index, sig));
                 }
-                self.multicast(Msg::Endorse { serial, vote_code: code });
+                self.multicast(Msg::Endorse {
+                    serial,
+                    vote_code: code,
+                });
                 self.check_ucert_complete(serial);
             }
         }
@@ -372,26 +411,34 @@ impl<S: BallotStore + 'static> VcNode<S> {
         if from.kind != NodeKind::Vc || !self.in_voting_hours() {
             return;
         }
-        let Some(ballot) = self.store.get(serial) else { return };
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
         if ballot.find_code(&code).is_none() {
             return;
         }
         let slot = self.slots.entry(serial).or_default();
         let may_endorse = match slot.my_endorsed {
             None => true,
-            Some(prev) => {
-                prev == code || self.config.behavior == VcBehavior::EquivocalEndorser
-            }
+            Some(prev) => prev == code || self.config.behavior == VcBehavior::EquivocalEndorser,
         };
         if !may_endorse {
             return;
         }
         slot.my_endorsed.get_or_insert(code);
-        let sig = self
-            .init
-            .signing_key
-            .sign(&endorsement_message(&self.init.params.election_id, serial, &sha256(&code.0)));
-        self.endpoint.send(from, Msg::Endorsement { serial, vote_code: code, signature: sig });
+        let sig = self.init.signing_key.sign(&endorsement_message(
+            &self.init.params.election_id,
+            serial,
+            &sha256(&code.0),
+        ));
+        self.endpoint.send(
+            from,
+            Msg::Endorsement {
+                serial,
+                vote_code: code,
+                signature: sig,
+            },
+        );
     }
 
     fn on_endorsement(&mut self, from: NodeId, serial: SerialNo, code: VoteCode, sig: Signature) {
@@ -401,10 +448,16 @@ impl<S: BallotStore + 'static> VcNode<S> {
         let sender = from.index;
         let quorum = self.quorum();
         let eid = self.init.params.election_id;
-        let Some(vk) = self.init.vc_keys.get(sender as usize).copied() else { return };
-        let Some(slot) = self.slots.get_mut(&serial) else { return };
+        let Some(vk) = self.init.vc_keys.get(sender as usize).copied() else {
+            return;
+        };
+        let Some(slot) = self.slots.get_mut(&serial) else {
+            return;
+        };
         // Only relevant while we are responder for exactly this code.
-        let Some((used_code, ..)) = slot.used else { return };
+        let Some((used_code, ..)) = slot.used else {
+            return;
+        };
         if used_code != code || slot.status != Status::NotVoted {
             return;
         }
@@ -423,7 +476,9 @@ impl<S: BallotStore + 'static> VcNode<S> {
     /// receipt share (VOTE_P).
     fn check_ucert_complete(&mut self, serial: SerialNo) {
         let quorum = self.quorum();
-        let Some(slot) = self.slots.get_mut(&serial) else { return };
+        let Some(slot) = self.slots.get_mut(&serial) else {
+            return;
+        };
         if slot.status != Status::NotVoted || slot.ucert.is_some() {
             return;
         }
@@ -454,10 +509,12 @@ impl<S: BallotStore + 'static> VcNode<S> {
         if self.config.behavior == VcBehavior::WithholdShares {
             return;
         }
-        let Some(ballot) = self.store.get(serial) else { return };
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
         let mut share = ballot.parts[part.index()][row].receipt_share;
         if self.config.behavior == VcBehavior::CorruptShares {
-            share.share.value = share.share.value + ddemos_crypto::field::Scalar::ONE;
+            share.share.value += ddemos_crypto::field::Scalar::ONE;
         }
         {
             let slot = self.slots.entry(serial).or_default();
@@ -466,7 +523,12 @@ impl<S: BallotStore + 'static> VcNode<S> {
             }
             slot.my_share_sent = true;
         }
-        self.multicast(Msg::VoteP { serial, vote_code: code, share, ucert });
+        self.multicast(Msg::VoteP {
+            serial,
+            vote_code: code,
+            share,
+            ucert,
+        });
     }
 
     fn verify_ucert(&mut self, ucert: &UCert) -> bool {
@@ -474,7 +536,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
         if self.verified_ucerts.contains(&digest) {
             return true;
         }
-        if ucert.verify(&self.init.params.election_id, &self.init.params, &self.init.vc_keys) {
+        if ucert.verify(
+            &self.init.params.election_id,
+            &self.init.params,
+            &self.init.vc_keys,
+        ) {
             self.verified_ucerts.insert(digest);
             true
         } else {
@@ -496,8 +562,12 @@ impl<S: BallotStore + 'static> VcNode<S> {
         if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
             return;
         }
-        let Some(ballot) = self.store.get(serial) else { return };
-        let Some((part, row)) = ballot.find_code(&code) else { return };
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
+        let Some((part, row)) = ballot.find_code(&code) else {
+            return;
+        };
         // Verify the EA signature over the disclosed share.
         let ctx = receipt_share_context(&self.init.params.election_id, serial, part, row);
         if !DealerVss::verify(&self.init.ea_key, &ctx, &share) {
@@ -526,7 +596,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     }
                 }
             }
-            if !slot.shares.iter().any(|s| s.share.index == share.share.index) {
+            if !slot
+                .shares
+                .iter()
+                .any(|s| s.share.index == share.share.index)
+            {
                 slot.shares.push(share);
             }
         }
@@ -570,7 +644,9 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 AnnounceEntry { serial, vote }
             })
             .collect();
-        self.multicast(Msg::Announce { entries: Arc::new(entries) });
+        self.multicast(Msg::Announce {
+            entries: Arc::new(entries),
+        });
     }
 
     fn on_announce(&mut self, from: NodeId, entries: Arc<Vec<AnnounceEntry>>) {
@@ -581,7 +657,9 @@ impl<S: BallotStore + 'static> VcNode<S> {
             return;
         }
         for entry in entries.iter() {
-            let Some((code, ucert)) = &entry.vote else { continue };
+            let Some((code, ucert)) = &entry.vote else {
+                continue;
+            };
             self.adopt_code(entry.serial, *code, ucert.clone());
         }
         if self.phase == Phase::Announce && self.announce_from.len() >= self.quorum() {
@@ -603,8 +681,12 @@ impl<S: BallotStore + 'static> VcNode<S> {
         if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
             return;
         }
-        let Some(ballot) = self.store.get(serial) else { return };
-        let Some((part, row)) = ballot.find_code(&code) else { return };
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
+        let Some((part, row)) = ballot.find_code(&code) else {
+            return;
+        };
         let slot = self.slots.entry(serial).or_default();
         slot.used = Some((code, part, row));
         slot.ucert = Some(ucert);
@@ -652,7 +734,9 @@ impl<S: BallotStore + 'static> VcNode<S> {
     }
 
     fn feed_consensus(&mut self, from: u32, cm: ConsensusMsg) {
-        let Some(bc) = self.consensus.as_mut() else { return };
+        let Some(bc) = self.consensus.as_mut() else {
+            return;
+        };
         let outs = bc.handle(from, &cm);
         for m in outs {
             self.multicast(Msg::Consensus(m));
@@ -696,12 +780,20 @@ impl<S: BallotStore + 'static> VcNode<S> {
         {
             return;
         }
-        let Some(slot) = self.slots.get(&serial) else { return };
+        let Some(slot) = self.slots.get(&serial) else {
+            return;
+        };
         let (Some((code, ..)), Some(ucert)) = (slot.used, slot.ucert.clone()) else {
             return;
         };
-        self.endpoint
-            .send(from, Msg::RecoverResponse { serial, vote_code: code, ucert });
+        self.endpoint.send(
+            from,
+            Msg::RecoverResponse {
+                serial,
+                vote_code: code,
+                ucert,
+            },
+        );
     }
 
     fn on_recover_response(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
@@ -723,7 +815,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 continue;
             }
             let serial = SerialNo(i as u64);
-            match self.slots.get(&serial).and_then(|s| s.used.map(|(c, ..)| c)) {
+            match self
+                .slots
+                .get(&serial)
+                .and_then(|s| s.used.map(|(c, ..)| c))
+            {
                 Some(code) if self.slots[&serial].ucert.is_some() => {
                     set.entries.insert(serial, code);
                 }
@@ -731,10 +827,8 @@ impl<S: BallotStore + 'static> VcNode<S> {
             }
         }
         let digest = set.digest();
-        let msg = ddemos_protocol::initdata::voteset_message(
-            &self.init.params.election_id,
-            &digest,
-        );
+        let msg =
+            ddemos_protocol::initdata::voteset_message(&self.init.params.election_id, &digest);
         let signature = self.init.signing_key.sign(&msg);
         let _ = self.result_tx.send(FinalizedVoteSet {
             node_index: self.init.node_index,

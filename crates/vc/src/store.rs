@@ -5,7 +5,10 @@
 //! caches it in memory (Fig 4). Here a store is a trait: an in-memory map,
 //! a derivation function (the PRF-backed virtual store for 250M-ballot
 //! elections), and a latency-model wrapper that charges the index-depth
-//! cost a database lookup would (the Fig 5a substitution; see DESIGN.md).
+//! cost a database lookup would (the Fig 5a substitution; see §1–2 of
+//! `DESIGN.md` at the workspace root for the hierarchy and the model's
+//! calibration). Deployments pick a store through the harness's
+//! `StoreKind` builder option rather than constructing these directly.
 
 use ddemos_protocol::initdata::VcBallot;
 use ddemos_protocol::SerialNo;
@@ -112,9 +115,7 @@ impl StorageModel {
         let sqrt_millions = (n as f64 / 1e6).sqrt();
         self.base
             + Duration::from_nanos((self.per_level.as_nanos() as f64 * levels) as u64)
-            + Duration::from_nanos(
-                (self.per_sqrt_million.as_nanos() as f64 * sqrt_millions) as u64,
-            )
+            + Duration::from_nanos((self.per_sqrt_million.as_nanos() as f64 * sqrt_millions) as u64)
     }
 }
 
@@ -173,7 +174,10 @@ mod tests {
     #[test]
     fn fn_store_bounds() {
         let store = FnStore::new(5, |s| {
-            Some(VcBallot { parts: [vec![], vec![]] }).filter(|_| s.0 < 5)
+            Some(VcBallot {
+                parts: [vec![], vec![]],
+            })
+            .filter(|_| s.0 < 5)
         });
         assert!(store.get(SerialNo(4)).is_some());
         assert!(store.get(SerialNo(5)).is_none());
@@ -192,7 +196,11 @@ mod tests {
     #[test]
     fn latency_store_charges_time() {
         let inner = MemoryStore::new(HashMap::new(), 1 << 20);
-        let model = StorageModel { base: Duration::from_micros(300), per_level: Duration::ZERO, per_sqrt_million: Duration::ZERO };
+        let model = StorageModel {
+            base: Duration::from_micros(300),
+            per_level: Duration::ZERO,
+            per_sqrt_million: Duration::ZERO,
+        };
         let store = LatencyStore::new(inner, model);
         let t0 = std::time::Instant::now();
         let _ = store.get(SerialNo(0));

@@ -10,30 +10,18 @@
 //! (possibly after blacklisting a dead node, per the `[d]`-patience rule of
 //! Definition 1), and the final tally is exact.
 
-use ddemos::election::{finish_election, Election, ElectionConfig};
-use ddemos::liveness::LivenessParams;
-use ddemos::voter::Voter;
-use ddemos_ea::SetupProfile;
-use ddemos_protocol::ElectionParams;
-use ddemos_vc::VcBehavior;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ddemos_harness::{ElectionBuilder, ElectionParams, LivenessParams, NodeId, VcBehavior};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ElectionParams::new("byz-vc", 12, 2, 7, 3, 5, 3, 0, 120_000)?;
-    let mut config = ElectionConfig::honest(params, 99, SetupProfile::Full);
     // Two Byzantine collectors: one silent, one serving corrupt shares.
-    config.vc_behaviors = vec![
-        VcBehavior::Crashed,
-        VcBehavior::CorruptShares,
-        VcBehavior::Honest,
-        VcBehavior::Honest,
-        VcBehavior::Honest,
-        VcBehavior::Honest,
-        VcBehavior::Honest,
-    ];
-    let election = Election::start(config);
+    let election = ElectionBuilder::new(params)
+        .vc_nodes(7)
+        .adversary(NodeId::vc(0), VcBehavior::Crashed)
+        .adversary(NodeId::vc(1), VcBehavior::CorruptShares)
+        .seed(99)
+        .build()?;
 
     // The theorem-backed patience bound.
     let liveness = LivenessParams {
@@ -44,18 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let patience = liveness.t_wait(7);
     println!("[Twait]-patience for Nv=7: {patience:?}");
 
+    let voting = election.voting().patience(patience);
     let mut total_attempts = 0;
     for i in 0..10usize {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[i];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            7,
-            patience,
-            StdRng::seed_from_u64(7000 + i as u64),
-        );
-        let record = voter.vote(i % 2)?;
+        let record = voting.cast(i, i % 2)?;
         total_attempts += record.attempts;
         println!(
             "voter {i}: receipt {:#x} after {} attempt(s)",
@@ -64,11 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("total attempts for 10 voters: {total_attempts} (crashed nodes get blacklisted)");
 
-    election.close_polls();
-    let (result, _) = finish_election(&election, Duration::ZERO)?;
+    let report = election.finish()?;
+    let result = report.result.as_ref().expect("tally published");
     println!("tally with 2/7 Byzantine collectors: {:?}", result.tally);
     assert_eq!(result.ballots_counted, 10);
     assert_eq!(result.tally, vec![5, 5]);
+    assert!(
+        report.verified(),
+        "the audit must pass despite Byzantine collectors"
+    );
     election.shutdown();
     Ok(())
 }

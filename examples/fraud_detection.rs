@@ -11,52 +11,35 @@
 //! copy expose the fraud — which is why detection probability grows as
 //! `1 − 2^{−θ}` with the number of auditing voters θ.
 
-use ddemos::auditor::Auditor;
-use ddemos::election::{finish_election, Election, ElectionConfig};
-use ddemos::voter::Voter;
-use ddemos_ea::{ElectionAuthority, SetupProfile};
-use ddemos_protocol::{ElectionParams, PartId, SerialNo};
-use ddemos_sim::adversary::modification_attack;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::Duration;
+use ddemos_harness::adversary::modification_attack;
+use ddemos_harness::{ElectionBuilder, ElectionParams, PartId, SerialNo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ElectionParams::new("fraud", 4, 2, 4, 3, 5, 3, 0, 60_000)?;
-    let ea = ElectionAuthority::new(params.clone(), 555);
-    let mut setup = ea.setup(SetupProfile::Full);
-    drop(ea);
 
-    // The malicious EA corrupts ballot #1's part A on the BB.
-    modification_attack(&mut setup, SerialNo(1), PartId::A);
+    // The malicious EA corrupts ballot #1's part A on the BB before any
+    // component starts.
+    let election = ElectionBuilder::new(params)
+        .seed(555)
+        .corrupt_setup(|setup| modification_attack(setup, SerialNo(1), PartId::A))
+        .build()?;
     println!("malicious EA swapped ballot #1 part A's code→option correspondence");
-
-    let election =
-        Election::start_with_setup(ElectionConfig::honest(params, 555, SetupProfile::Full), setup);
 
     // The victim votes with part B — so the corrupted part A is *unused*
     // and will be opened for audit.
-    let endpoint = election.client_endpoint();
-    let ballot = election.setup.ballots[1].clone();
-    let mut voter = Voter::new(
-        &ballot,
-        &endpoint,
-        4,
-        Duration::from_secs(5),
-        StdRng::seed_from_u64(1),
+    let record = election.voting().cast_with_part(1, 0, PartId::B)?;
+    println!(
+        "victim voted via part B, receipt {:#x} (collection is honest)",
+        record.audit.receipt
     );
-    let record = voter.vote_with_part(0, PartId::B)?;
-    println!("victim voted via part B, receipt {:#x} (collection is honest)", record.audit.receipt);
 
-    election.close_polls();
-    let (result, _) = finish_election(&election, Duration::ZERO)?;
+    election.close()?;
+    let result = election.tally()?;
     println!("published tally: {:?}", result.tally);
 
     // The voter delegates auditing; check (g) compares the opened unused
     // part against her printed ballot and catches the swap.
-    let snapshot = election.reader.read_snapshot().expect("majority snapshot");
-    let auditor = Auditor::new(&election.setup.bb_init, &snapshot);
-    let report = auditor.verify_delegated(std::slice::from_ref(&record.audit));
+    let report = election.audit()?;
     println!(
         "audit: {} checks, {} failure(s)",
         report.checks_run,

@@ -1,4 +1,5 @@
-//! Quickstart: a complete small election, end to end.
+//! Quickstart: a complete small election, end to end, through the
+//! `ElectionBuilder` facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -6,16 +7,10 @@
 //!
 //! Sets up a 10-voter, 3-option election with 4 vote collectors, 3
 //! bulletin-board replicas and 5 trustees (threshold 3); casts a few
-//! votes; runs vote-set consensus, the trustee tally, and a full audit.
+//! votes; then `finish()` drives vote-set consensus, the trustee tally,
+//! and a full audit, returning one report.
 
-use ddemos::auditor::Auditor;
-use ddemos::election::{finish_election, Election, ElectionConfig};
-use ddemos::voter::Voter;
-use ddemos_ea::SetupProfile;
-use ddemos_protocol::ElectionParams;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::Duration;
+use ddemos_harness::{ElectionBuilder, ElectionParams, NetworkProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 10 ballots, 3 options, Nv=4 (tolerates 1 Byzantine collector),
@@ -33,48 +28,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.num_trustees,
     );
 
-    let election = Election::start(ElectionConfig::honest(params, 2024, SetupProfile::Full));
+    let election = ElectionBuilder::new(params)
+        .vc_nodes(4)
+        .bb_nodes(3)
+        .trustees(5, 3)
+        .network(NetworkProfile::lan())
+        .seed(2024)
+        .build()?;
 
-    // Voters 0–5 cast votes; each checks the receipt against her ballot.
+    // Voters 0–5 cast votes; each checks the receipt against her ballot
+    // (the cast fails with `ReceiptMismatch` otherwise), and the election
+    // collects the audit data for the delegated checks below.
+    let voting = election.voting();
     let choices = [0usize, 1, 1, 2, 1, 0];
-    let mut audits = Vec::new();
     for (i, &choice) in choices.iter().enumerate() {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[i];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            election.setup.params.num_vc,
-            Duration::from_secs(5),
-            StdRng::seed_from_u64(i as u64),
-        );
-        let record = voter.vote(choice)?;
+        let record = voting.cast(i, choice)?;
         println!(
             "voter {i} cast option {choice} via part {:?}: receipt {:#x} verified ({} attempt(s), {:?})",
             record.audit.used_part, record.audit.receipt, record.attempts, record.latency
         );
-        audits.push(record.audit);
     }
 
-    // Close the polls and run the full post-election pipeline.
-    election.close_polls();
-    let (result, timings) = finish_election(&election, Duration::ZERO)?;
-    println!("\nresult: {:?} ({} ballots)", result.tally, result.ballots_counted);
+    // Close the polls and run the full post-election pipeline:
+    // vote-set consensus → BB publication → trustee tally → audit.
+    let report = election.finish()?;
+    let result = report.result.as_ref().expect("tally published");
+    println!(
+        "\nresult: {:?} ({} ballots)",
+        result.tally, result.ballots_counted
+    );
     println!(
         "phases: consensus {:?}, push-to-BB+tally {:?}, publish {:?}",
-        timings.vote_set_consensus, timings.push_to_bb_and_tally, timings.publish_result
+        report.timings.vote_set_consensus,
+        report.timings.push_to_bb_and_tally,
+        report.timings.publish_result
     );
 
-    // Anyone can audit; these voters also delegate their private checks.
-    let snapshot = election.reader.read_snapshot().expect("majority snapshot");
-    let report = Auditor::new(&election.setup.bb_init, &snapshot).verify_delegated(&audits);
+    let audit = report.audit.as_ref().expect("audit ran");
     println!(
         "audit: {} checks run, {} failures -> {}",
-        report.checks_run,
-        report.failures.len(),
-        if report.ok() { "ELECTION VERIFIES" } else { "FRAUD DETECTED" }
+        audit.checks_run,
+        audit.failures.len(),
+        if audit.ok() {
+            "ELECTION VERIFIES"
+        } else {
+            "FRAUD DETECTED"
+        }
     );
-    assert!(report.ok());
+    assert!(report.verified());
     assert_eq!(result.tally, vec![2, 3, 1]);
 
     election.shutdown();

@@ -1,0 +1,213 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! A plain timing harness behind criterion's builder API: warm-up, a fixed
+//! number of samples, and a mean/min report per benchmark printed to
+//! stdout. No statistics engine, plots, or baseline comparisons — enough
+//! for the workspace's micro-benchmarks to build and produce useful
+//! numbers without network access to the real crate.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility (the shim
+/// always materializes one input per routine invocation).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Collected per-iteration durations, in nanoseconds.
+    recorded_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine`, repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibrate iterations per sample.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as u64 / warm_iters.max(1);
+        let sample_budget =
+            (self.measurement_time.as_nanos() as u64 / self.samples.max(1) as u64).max(1);
+        let iters_per_sample = (sample_budget / per_iter.max(1)).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.recorded_ns
+                .push((t0.elapsed().as_nanos() as u64) / iters_per_sample);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            recorded_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.recorded_ns;
+        if ns.is_empty() {
+            println!("{id:<40} (no samples recorded)");
+            return self;
+        }
+        ns.sort_unstable();
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<u64>() / ns.len() as u64;
+        println!(
+            "{id:<40} median {:>12} mean {:>12} min {:>12} ({} samples)",
+            format_ns(median),
+            format_ns(mean),
+            format_ns(ns[0]),
+            ns.len(),
+        );
+        self
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target, ...)` or the long form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in turn.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("smoke/iter", |b| b.iter(|| 2u64 + 2));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(500), "500 ns");
+        assert_eq!(format_ns(1_500), "1.500 µs");
+        assert_eq!(format_ns(2_500_000), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

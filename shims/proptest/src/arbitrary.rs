@@ -1,0 +1,94 @@
+//! `any::<T>()` — type-driven default strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical uniform strategy.
+pub trait Arbitrary: Sized {
+    /// Samples a uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                let mut out: Self = 0;
+                let mut filled = 0u32;
+                while filled < <$t>::BITS {
+                    out = out.wrapping_shl(32) | (rng.next_u64() as u32 as $t);
+                    filled += 32;
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$u as Arbitrary>::arbitrary(rng) as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize, T: Arbitrary + Default + Copy> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_fill_all_slots() {
+        let mut rng = TestRng::for_test("arr");
+        let a: [u8; 32] = any::<[u8; 32]>().sample(&mut rng);
+        assert!(a.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn bools_vary() {
+        let mut rng = TestRng::for_test("bools");
+        let vals: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

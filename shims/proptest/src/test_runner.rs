@@ -1,0 +1,94 @@
+//! Runner configuration, the deterministic case RNG, and case outcomes.
+
+/// Per-`proptest!` configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a case did not complete normally.
+#[derive(Clone, Copy, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded and regenerated.
+    Reject,
+}
+
+/// Deterministic RNG driving case generation (SplitMix64 stream seeded
+/// from the test name, so every test gets a distinct but reproducible
+/// sequence).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        for byte in name.bytes() {
+            state = (state ^ u64::from(byte)).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; rejection-sampled, no modulo bias.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "empty sampling bound");
+        let mask = u128::MAX >> (bound - 1).leading_zeros().min(127);
+        loop {
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            let v = wide & mask;
+            if v < bound {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("u");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_test("bound");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! The typed entry point of the facade: [`ElectionBuilder`] and the
+//! [`StoreKind`] ballot-store selector.
+
+use crate::election::{Election, RunState};
+use ddemos_bb::{BbNode, MajorityReader};
+use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
+use ddemos_net::{NetworkProfile, SimNet};
+use ddemos_protocol::ballot::Ballot;
+use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::params::ParamError;
+use ddemos_protocol::{NodeId, NodeKind, SerialNo};
+use ddemos_trustee::Trustee;
+use ddemos_vc::{
+    FnStore, LatencyStore, MemoryStore, StorageModel, VcBehavior, VcHandle, VcNode, VcNodeConfig,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+use std::sync::Arc;
+
+/// Which ballot store backs each VC node (§V's cache / disk / virtual
+/// deployments; see `DESIGN.md` for the full hierarchy).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum StoreKind {
+    /// Fully materialized rows served from memory (the Fig 4 cache setup).
+    #[default]
+    Memory,
+    /// Materialized rows behind the calibrated index-depth latency model
+    /// (the Fig 5a disk experiment).
+    Latency(StorageModel),
+    /// Rows PRF-derived on demand — a virtual electorate with nothing
+    /// materialized per VC node (the 250M-ballot configuration). The
+    /// builder retains the Election Authority's derivation state behind
+    /// the store, standing in for each node's pre-populated database.
+    /// Printed voter ballots are materialized only for the cast range
+    /// named via [`ElectionBuilder::materialize_first`] (none by default).
+    Virtual,
+    /// [`StoreKind::Virtual`] behind the latency model.
+    VirtualLatency(StorageModel),
+}
+
+impl StoreKind {
+    fn is_virtual(self) -> bool {
+        matches!(self, StoreKind::Virtual | StoreKind::VirtualLatency(_))
+    }
+}
+
+/// A setup corruption hook registered with
+/// [`ElectionBuilder::corrupt_setup`].
+type SetupCorruption = Box<dyn FnOnce(&mut SetupOutput)>;
+
+/// Errors constructing an [`Election`] from a builder.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// The (possibly builder-adjusted) election parameters are invalid.
+    Params(ParamError),
+    /// [`ElectionBuilder::adversary`] or [`ElectionBuilder::clock_drift`]
+    /// named a node that is not a VC node of this election.
+    BadNode(NodeId),
+    /// Partial materialization ([`ElectionBuilder::materialize_first`] or a
+    /// virtual store) requires [`SetupProfile::VcOnly`]: bulletin-board and
+    /// trustee payloads cannot be partially dealt.
+    PartialSetupRequiresVcOnly,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Params(e) => write!(f, "invalid election parameters: {e}"),
+            BuildError::BadNode(id) => write!(f, "{id} is not a VC node of this election"),
+            BuildError::PartialSetupRequiresVcOnly => {
+                write!(f, "partial materialization requires SetupProfile::VcOnly")
+            }
+        }
+    }
+}
+impl std::error::Error for BuildError {}
+
+impl From<ParamError> for BuildError {
+    fn from(e: ParamError) -> BuildError {
+        BuildError::Params(e)
+    }
+}
+
+/// Typed builder for a complete D-DEMOS election deployment.
+///
+/// One `build()` call runs EA setup, stands up the simulated network, the
+/// global clock, every VC node thread, the BB replicas, and the
+/// trustees-in-waiting, and returns the [`Election`] facade whose phase
+/// handles drive voting, close, tally, and audit. See the crate docs for a
+/// copy-pasteable example.
+pub struct ElectionBuilder {
+    params: ddemos_protocol::ElectionParams,
+    seed: u64,
+    profile: SetupProfile,
+    network: NetworkProfile,
+    store: StoreKind,
+    behaviors: Vec<VcBehavior>,
+    adversaries: Vec<(NodeId, VcBehavior)>,
+    drifts_ms: Vec<i64>,
+    node_drifts: Vec<(NodeId, i64)>,
+    materialize_first: Option<u64>,
+    corruptions: Vec<SetupCorruption>,
+}
+
+impl ElectionBuilder {
+    /// Starts a builder from validated parameters. Every threshold can
+    /// still be adjusted before `build()`.
+    pub fn new(params: ddemos_protocol::ElectionParams) -> ElectionBuilder {
+        ElectionBuilder {
+            params,
+            seed: 0,
+            profile: SetupProfile::Full,
+            network: NetworkProfile::lan(),
+            store: StoreKind::Memory,
+            behaviors: Vec::new(),
+            adversaries: Vec::new(),
+            drifts_ms: Vec::new(),
+            node_drifts: Vec::new(),
+            materialize_first: None,
+            corruptions: Vec::new(),
+        }
+    }
+
+    /// Sets the number of vote collector nodes (`Nv`).
+    #[must_use]
+    pub fn vc_nodes(mut self, n: usize) -> Self {
+        self.params.num_vc = n;
+        self
+    }
+
+    /// Sets the number of bulletin board replicas (`Nb`).
+    #[must_use]
+    pub fn bb_nodes(mut self, n: usize) -> Self {
+        self.params.num_bb = n;
+        self
+    }
+
+    /// Sets the number of trustees (`Nt`) and the reconstruction
+    /// threshold (`h_t`).
+    #[must_use]
+    pub fn trustees(mut self, count: usize, threshold: usize) -> Self {
+        self.params.num_trustees = count;
+        self.params.trustee_threshold = threshold;
+        self
+    }
+
+    /// Sets the number of options `m` (labels are regenerated).
+    #[must_use]
+    pub fn options(mut self, m: usize) -> Self {
+        self.params.num_options = m;
+        self.params.option_labels = (0..m).map(|i| format!("option-{i}")).collect();
+        self
+    }
+
+    /// Sets the registered electorate size `n`.
+    #[must_use]
+    pub fn ballots(mut self, n: u64) -> Self {
+        self.params.num_ballots = n;
+        self
+    }
+
+    /// Sets the EA master seed (every key, code, and commitment derives
+    /// from it deterministically).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network latency/loss profile.
+    #[must_use]
+    pub fn network(mut self, profile: NetworkProfile) -> Self {
+        self.network = profile;
+        self
+    }
+
+    /// Selects the ballot store backing each VC node.
+    #[must_use]
+    pub fn store(mut self, kind: StoreKind) -> Self {
+        self.store = kind;
+        self
+    }
+
+    /// Materializes only what the vote-collection phase needs — skips the
+    /// BB cryptographic payloads and trustee shares (the Fig 4/5a/5b
+    /// benchmark setup; the close/tally/audit phases are unavailable).
+    #[must_use]
+    pub fn vc_only(mut self) -> Self {
+        self.profile = SetupProfile::VcOnly;
+        self
+    }
+
+    /// Sets the setup profile explicitly (see [`ElectionBuilder::vc_only`]).
+    #[must_use]
+    pub fn setup_profile(mut self, profile: SetupProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Makes one VC node Byzantine.
+    #[must_use]
+    pub fn adversary(mut self, node: NodeId, behavior: VcBehavior) -> Self {
+        self.adversaries.push((node, behavior));
+        self
+    }
+
+    /// Sets VC behaviours positionally (node 0, 1, …); shorter vectors are
+    /// padded with [`VcBehavior::Honest`], longer ones are rejected at
+    /// `build()` with [`BuildError::BadNode`]. Composes with
+    /// [`ElectionBuilder::adversary`], which wins on conflict.
+    #[must_use]
+    pub fn vc_behaviors(mut self, behaviors: impl IntoIterator<Item = VcBehavior>) -> Self {
+        self.behaviors = behaviors.into_iter().collect();
+        self
+    }
+
+    /// Gives one VC node's internal clock a fixed drift (Assumption II's
+    /// `Δ` bound, in signed milliseconds).
+    #[must_use]
+    pub fn clock_drift(mut self, node: NodeId, drift_ms: i64) -> Self {
+        self.node_drifts.push((node, drift_ms));
+        self
+    }
+
+    /// Sets VC clock drifts positionally (milliseconds; shorter vectors are
+    /// padded with zero, longer ones are rejected at `build()` with
+    /// [`BuildError::BadNode`]).
+    #[must_use]
+    pub fn clock_drifts(mut self, drifts_ms: impl IntoIterator<Item = i64>) -> Self {
+        self.drifts_ms = drifts_ms.into_iter().collect();
+        self
+    }
+
+    /// Materializes only the first `k` serials' ballots and VC rows; the
+    /// stores still report the full registered electorate. This is how the
+    /// scalability benchmarks model a 250M-row database of which only the
+    /// cast range is touched. Implies the restrictions of
+    /// [`BuildError::PartialSetupRequiresVcOnly`].
+    #[must_use]
+    pub fn materialize_first(mut self, k: u64) -> Self {
+        self.materialize_first = Some(k);
+        self
+    }
+
+    /// Registers a setup corruption applied after EA setup and before any
+    /// node starts — the malicious-EA attacks of §IV-C (see
+    /// [`crate::adversary`]).
+    #[must_use]
+    pub fn corrupt_setup(mut self, f: impl FnOnce(&mut SetupOutput) + 'static) -> Self {
+        self.corruptions.push(Box::new(f));
+        self
+    }
+
+    /// Runs EA setup and starts every long-lived component.
+    ///
+    /// # Errors
+    /// See [`BuildError`].
+    pub fn build(self) -> Result<Election, BuildError> {
+        self.params.validate()?;
+        let num_vc = self.params.num_vc;
+
+        // Merge positional and per-node behaviours / drifts. Over-length
+        // positional vectors name a node that does not exist — reject them
+        // like the per-node setters do rather than silently truncating.
+        let mut behaviors = self.behaviors;
+        if behaviors.len() > num_vc {
+            return Err(BuildError::BadNode(NodeId::vc(num_vc as u32)));
+        }
+        behaviors.resize(num_vc, VcBehavior::Honest);
+        for (node, behavior) in &self.adversaries {
+            if node.kind != NodeKind::Vc || node.index as usize >= num_vc {
+                return Err(BuildError::BadNode(*node));
+            }
+            behaviors[node.index as usize] = *behavior;
+        }
+        let mut drifts = self.drifts_ms;
+        if drifts.len() > num_vc {
+            return Err(BuildError::BadNode(NodeId::vc(num_vc as u32)));
+        }
+        drifts.resize(num_vc, 0);
+        for (node, drift) in &self.node_drifts {
+            if node.kind != NodeKind::Vc || node.index as usize >= num_vc {
+                return Err(BuildError::BadNode(*node));
+            }
+            drifts[node.index as usize] = *drift;
+        }
+
+        // EA setup. Partial materialization (an explicit cast range, or a
+        // virtual store that derives rows on demand) builds on the
+        // keys-only profile; everything else materializes eagerly.
+        let partial = self.materialize_first.is_some() || self.store.is_virtual();
+        if partial && self.profile == SetupProfile::Full {
+            return Err(BuildError::PartialSetupRequiresVcOnly);
+        }
+        let ea = ElectionAuthority::new(self.params.clone(), self.seed);
+        let mut setup = if partial {
+            // Virtual stores derive VC rows on demand, so only printed
+            // voter ballots are materialized — and none by default: at the
+            // electorate sizes virtual stores exist for (250M), deriving
+            // every ballot eagerly would defeat the point. Callers name
+            // the cast range with `materialize_first`.
+            // An absent cast range only reaches here for virtual stores
+            // (partial requires materialize_first or a virtual store), and
+            // at the electorate sizes those exist for nothing should be
+            // derived eagerly.
+            let materialize = self
+                .materialize_first
+                .unwrap_or(0)
+                .min(self.params.num_ballots);
+            let mut setup = ea.setup_keys_only();
+            let vc_rows = if self.store.is_virtual() { 0 } else { num_vc };
+            let per_ballot = derive_cast_range(&ea, materialize, vc_rows);
+            let mut ballots = Vec::with_capacity(per_ballot.len());
+            for (ballot, node_rows) in per_ballot {
+                for (node, rows) in node_rows.into_iter().enumerate() {
+                    setup.vc_inits[node].ballots.insert(ballot.serial, rows);
+                }
+                ballots.push(ballot);
+            }
+            ballots.sort_by_key(|b| b.serial);
+            setup.ballots = ballots;
+            setup
+        } else {
+            ea.setup(self.profile)
+        };
+        for corruption in self.corruptions {
+            corruption(&mut setup);
+        }
+        // The EA is destroyed after setup (§III-B) unless a virtual store
+        // needs its derivation function as the stand-in database.
+        let ea = if self.store.is_virtual() {
+            Some(Arc::new(ea))
+        } else {
+            None
+        };
+
+        let net = SimNet::new(self.network.clone(), self.seed ^ 0x4E45_5457_4F52_4B21);
+        let clock = GlobalClock::new();
+        let (result_tx, result_rx) = crossbeam_channel::unbounded();
+        let n = self.params.num_ballots;
+        let mut vc_handles: Vec<VcHandle> = Vec::with_capacity(num_vc);
+        for init in &mut setup.vc_inits {
+            let i = init.node_index;
+            let endpoint = net.register(NodeId::vc(i));
+            let config = VcNodeConfig {
+                behavior: behaviors[i as usize],
+                ..VcNodeConfig::default()
+            };
+            let node_clock = clock.node_clock(drifts[i as usize]);
+            let beacon = setup.consensus_beacon;
+            let tx = result_tx.clone();
+            // The rows move into the node's store; the retained init copies
+            // stay empty (each node is handed its data exactly once).
+            let rows = std::mem::take(&mut init.ballots);
+            let handle = match self.store {
+                StoreKind::Memory => VcNode::spawn(
+                    init.clone(),
+                    MemoryStore::new(rows, n),
+                    endpoint,
+                    node_clock,
+                    beacon,
+                    config,
+                    tx,
+                ),
+                StoreKind::Latency(model) => VcNode::spawn(
+                    init.clone(),
+                    LatencyStore::new(MemoryStore::new(rows, n), model),
+                    endpoint,
+                    node_clock,
+                    beacon,
+                    config,
+                    tx,
+                ),
+                StoreKind::Virtual => VcNode::spawn(
+                    init.clone(),
+                    virtual_store(ea.clone().expect("ea retained"), i, n),
+                    endpoint,
+                    node_clock,
+                    beacon,
+                    config,
+                    tx,
+                ),
+                StoreKind::VirtualLatency(model) => VcNode::spawn(
+                    init.clone(),
+                    LatencyStore::new(virtual_store(ea.clone().expect("ea retained"), i, n), model),
+                    endpoint,
+                    node_clock,
+                    beacon,
+                    config,
+                    tx,
+                ),
+            };
+            vc_handles.push(handle);
+        }
+
+        let bb_nodes: Vec<Arc<BbNode>> = (0..setup.params.num_bb)
+            .map(|_| Arc::new(BbNode::new(setup.bb_init.clone())))
+            .collect();
+        let reader = MajorityReader::new(bb_nodes.clone());
+        let trustees: Vec<Trustee> = setup
+            .trustee_inits
+            .iter()
+            .cloned()
+            .map(Trustee::new)
+            .collect();
+
+        Ok(Election {
+            setup,
+            net,
+            clock,
+            bb_nodes,
+            reader,
+            trustees,
+            vc_handles,
+            result_rx,
+            seed: self.seed,
+            store: self.store,
+            profile: self.profile,
+            next_client: AtomicU32::new(0),
+            cast_seq: AtomicU64::new(0),
+            run: Mutex::new(RunState::default()),
+            close_lock: Mutex::new(()),
+            _ea: ea,
+        })
+    }
+}
+
+/// Derives voter ballots and per-node VC rows for serials `0..k`, in
+/// parallel across threads (derivation is deterministic per serial).
+fn derive_cast_range(
+    ea: &ElectionAuthority,
+    k: u64,
+    num_vc: usize,
+) -> Vec<(Ballot, Vec<ddemos_protocol::initdata::VcBallot>)> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let serials: Vec<u64> = (0..k).collect();
+    let chunk = serials.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_serials in serials.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                chunk_serials
+                    .iter()
+                    .map(|&s| {
+                        let serial = SerialNo(s);
+                        let rows = if num_vc > 0 {
+                            ea.vc_ballots_all_nodes(serial)
+                        } else {
+                            Vec::new()
+                        };
+                        (ea.voter_ballot(serial), rows)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("derivation worker"))
+            .collect()
+    })
+}
+
+/// A PRF-backed virtual store: rows derived on demand from the retained
+/// EA derivation state (the stand-in for a node's pre-populated database).
+fn virtual_store(
+    ea: Arc<ElectionAuthority>,
+    node: u32,
+    n: u64,
+) -> FnStore<impl Fn(SerialNo) -> Option<ddemos_protocol::initdata::VcBallot> + Send + Sync> {
+    FnStore::new(n, move |serial| Some(ea.vc_ballot(serial, node)))
+}

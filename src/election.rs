@@ -1,0 +1,537 @@
+//! The running [`Election`] facade and its typed phase handles.
+
+use crate::builder::StoreKind;
+use crate::report::{ElectionReport, NetReport};
+use crate::workload::{Workload, WorkloadStats};
+use crossbeam_channel::Receiver;
+use ddemos::auditor::{AuditReport, Auditor};
+use ddemos::voter::{VoteError, VoteRecord, Voter};
+use ddemos_bb::{BbNode, BbSnapshot, MajorityReader};
+use ddemos_ea::{ElectionAuthority, SetupOutput};
+use ddemos_net::{Endpoint, SimNet};
+use ddemos_protocol::ballot::AuditInfo;
+use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::posts::ElectionResult;
+use ddemos_protocol::{NodeId, PartId, SerialNo};
+use ddemos_trustee::Trustee;
+use ddemos_vc::{FinalizedVoteSet, VcHandle};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long [`Election::close`] waits for the VC quorum's finalized vote
+/// sets.
+const CONSENSUS_TIMEOUT: Duration = Duration::from_secs(120);
+/// How long [`Election::close`] waits for a BB majority to hold the
+/// encrypted tally challenge after the VC→BB push.
+const BB_PUBLISH_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long [`Election::tally`] waits for the trustee-input snapshot.
+const SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long [`Election::tally`] waits for the published result.
+const RESULT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Orchestration errors surfaced by the phase handles.
+#[derive(Debug)]
+pub enum ElectionError {
+    /// Not enough VC nodes finalized a vote set in time.
+    VoteSetTimeout,
+    /// The BB majority never published the expected artifact.
+    BbTimeout(&'static str),
+    /// A trustee failed to produce its post.
+    Trustee(ddemos_trustee::TrusteeError),
+    /// The phase needs state an earlier phase produces (e.g. `tally`
+    /// before `close`), or setup data a [`crate::ElectionBuilder::vc_only`]
+    /// election never materialized.
+    PhaseUnavailable(&'static str),
+}
+
+impl std::fmt::Display for ElectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElectionError::VoteSetTimeout => write!(f, "vote-set consensus did not finish"),
+            ElectionError::BbTimeout(what) => {
+                write!(f, "bulletin board never published {what}")
+            }
+            ElectionError::Trustee(e) => write!(f, "trustee failure: {e}"),
+            ElectionError::PhaseUnavailable(why) => write!(f, "phase unavailable: {why}"),
+        }
+    }
+}
+impl std::error::Error for ElectionError {}
+
+/// Wall-clock durations of each phase (Fig 5c's series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Casting votes (accumulated over every [`VotingPhase`] call).
+    pub vote_collection: Duration,
+    /// ANNOUNCE + batched binary consensus + RECOVER.
+    pub vote_set_consensus: Duration,
+    /// VC→BB uploads, msk reconstruction, code decryption, encrypted tally.
+    pub push_to_bb_and_tally: Duration,
+    /// Trustee posts and result publication.
+    pub publish_result: Duration,
+}
+
+/// Mutable run state accumulated across the phases.
+#[derive(Default)]
+pub(crate) struct RunState {
+    pub(crate) audits: Vec<AuditInfo>,
+    pub(crate) receipts: Vec<(SerialNo, u64)>,
+    pub(crate) workload: Option<WorkloadStats>,
+    pub(crate) timings: PhaseTimings,
+    /// Vote sets collected by a timed-out `close()`, preserved for retry
+    /// (each node releases its finalized set exactly once).
+    pub(crate) drained: Vec<FinalizedVoteSet>,
+    pub(crate) finalized: Option<Vec<FinalizedVoteSet>>,
+    /// Whether the VC→BB publication (push + challenge) has completed.
+    pub(crate) published: bool,
+    pub(crate) result: Option<ElectionResult>,
+    pub(crate) audit_report: Option<AuditReport>,
+}
+
+/// A running election: the EA's setup output plus every long-lived
+/// component — simulated network, global clock, VC cluster, BB replicas,
+/// and trustees-in-waiting. Built by [`crate::ElectionBuilder`]; driven
+/// through the typed phase handles ([`Election::voting`],
+/// [`Election::close`], [`Election::tally`], [`Election::audit`]) or all
+/// at once via [`Election::finish`].
+pub struct Election {
+    /// The EA's setup output (printed ballots retained for voters and
+    /// auditors, exactly as the paper distributes them out of band).
+    pub setup: SetupOutput,
+    pub(crate) net: SimNet,
+    pub(crate) clock: GlobalClock,
+    pub(crate) bb_nodes: Vec<Arc<BbNode>>,
+    pub(crate) reader: MajorityReader,
+    pub(crate) trustees: Vec<Trustee>,
+    pub(crate) vc_handles: Vec<VcHandle>,
+    pub(crate) result_rx: Receiver<FinalizedVoteSet>,
+    pub(crate) seed: u64,
+    pub(crate) store: StoreKind,
+    pub(crate) profile: ddemos_ea::SetupProfile,
+    pub(crate) next_client: AtomicU32,
+    pub(crate) cast_seq: AtomicU64,
+    pub(crate) run: Mutex<RunState>,
+    /// Serializes [`Election::close`] (the per-node deliveries it drains
+    /// are one-shot).
+    pub(crate) close_lock: Mutex<()>,
+    /// Retained only for [`StoreKind::Virtual`] stores (the stand-in for
+    /// each node's pre-populated database); `None` otherwise — the EA is
+    /// destroyed after setup (§III-B).
+    pub(crate) _ea: Option<Arc<ElectionAuthority>>,
+}
+
+impl std::fmt::Debug for Election {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Election")
+            .field("election_id", &self.setup.params.election_id)
+            .field("num_vc", &self.setup.params.num_vc)
+            .field("num_bb", &self.setup.params.num_bb)
+            .field("num_trustees", &self.setup.params.num_trustees)
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Election {
+    // ------------------------------------------------------------------
+    // Phase handles
+    // ------------------------------------------------------------------
+
+    /// The voting phase: cast individual votes or drive bulk workloads.
+    /// Receipts and audit data accumulate inside the election for the
+    /// audit phase and the final report.
+    pub fn voting(&self) -> VotingPhase<'_> {
+        VotingPhase {
+            election: self,
+            patience: Duration::from_secs(5),
+        }
+    }
+
+    /// Closes the polls on every VC node and drives the post-voting
+    /// pipeline up to the Bulletin Board: vote-set consensus to a quorum of
+    /// [`FinalizedVoteSet`]s, the VC→BB upload, and (for full setups) the
+    /// appearance of the encrypted tally challenge on a BB majority.
+    ///
+    /// Idempotent: once the pipeline has completed, later calls (e.g. a
+    /// `finish()` after a manual `close()`) return the cached vote sets;
+    /// after a failure, retrying resumes from whatever had already been
+    /// collected (each VC node releases its finalized set exactly once).
+    ///
+    /// # Errors
+    /// [`ElectionError::VoteSetTimeout`] or [`ElectionError::BbTimeout`].
+    pub fn close(&self) -> Result<Vec<FinalizedVoteSet>, ElectionError> {
+        // Serialized: concurrent closers must not split the one-shot
+        // per-node deliveries between them.
+        let _phase = self.close_lock.lock();
+        let cached = self.run.lock().finalized.clone();
+        let finalized = match cached {
+            Some(finalized) => finalized,
+            None => {
+                self.close_polls();
+                let quorum = self.setup.params.vc_quorum();
+                let t0 = Instant::now();
+                // Drain inline (not via await_vote_sets) so a timeout
+                // preserves the partially collected sets for a retry.
+                let mut pending = std::mem::take(&mut self.run.lock().drained);
+                let deadline = Instant::now() + CONSENSUS_TIMEOUT;
+                while pending.len() < quorum {
+                    let received = deadline
+                        .checked_duration_since(Instant::now())
+                        .ok_or(())
+                        .and_then(|left| self.result_rx.recv_timeout(left).map_err(|_| ()));
+                    match received {
+                        Ok(finalized) => pending.push(finalized),
+                        Err(()) => {
+                            self.run.lock().drained = pending;
+                            return Err(ElectionError::VoteSetTimeout);
+                        }
+                    }
+                }
+                // Cache before the fallible BB wait below: consensus has
+                // completed, and the sets can never be re-read from the
+                // channel.
+                let mut state = self.run.lock();
+                state.timings.vote_set_consensus += t0.elapsed();
+                state.finalized = Some(pending.clone());
+                pending
+            }
+        };
+        if self.is_full_setup() && !self.run.lock().published {
+            let t1 = Instant::now();
+            self.push_to_bb(&finalized);
+            self.reader
+                .read_until(BB_PUBLISH_TIMEOUT, |s| s.challenge.is_some())
+                .ok_or(ElectionError::BbTimeout("encrypted tally"))?;
+            let mut state = self.run.lock();
+            state.timings.push_to_bb_and_tally += t1.elapsed();
+            state.published = true;
+        }
+        Ok(finalized)
+    }
+
+    /// Runs every trustee against the BB majority and majority-reads the
+    /// published result. Requires [`Election::close`] to have completed.
+    ///
+    /// Idempotent: once a result has been published, later calls (e.g. a
+    /// `finish()` after a manual `tally()`) return it without re-running
+    /// the trustees or double-counting the publish timing.
+    ///
+    /// # Errors
+    /// [`ElectionError::PhaseUnavailable`] before `close` or on a
+    /// VC-only setup; otherwise trustee and BB failures.
+    pub fn tally(&self) -> Result<ElectionResult, ElectionError> {
+        if !self.is_full_setup() {
+            return Err(ElectionError::PhaseUnavailable(
+                "tally requires SetupProfile::Full (not a vc_only election)",
+            ));
+        }
+        {
+            let state = self.run.lock();
+            if let Some(result) = state.result.clone() {
+                return Ok(result);
+            }
+            if state.finalized.is_none() {
+                return Err(ElectionError::PhaseUnavailable(
+                    "tally requires close() first",
+                ));
+            }
+        }
+        let t0 = Instant::now();
+        let snapshot = self
+            .reader
+            .read_until(SNAPSHOT_TIMEOUT, |s| {
+                s.vote_set.is_some() && s.challenge.is_some()
+            })
+            .ok_or(ElectionError::BbTimeout("vote set and challenge"))?;
+        for trustee in &self.trustees {
+            let (post, sig) = trustee
+                .produce_post(&snapshot)
+                .map_err(ElectionError::Trustee)?;
+            let post = Arc::new(post);
+            for bb in &self.bb_nodes {
+                let _ = bb.submit_trustee_post(post.clone(), &sig);
+            }
+        }
+        let result = self
+            .reader
+            .read_until(RESULT_TIMEOUT, |s| s.result.is_some())
+            .and_then(|s| s.result)
+            .ok_or(ElectionError::BbTimeout("result"))?;
+        let mut state = self.run.lock();
+        state.timings.publish_result += t0.elapsed();
+        state.result = Some(result.clone());
+        Ok(result)
+    }
+
+    /// Runs the audit: a majority read of the Bulletin Board, the public
+    /// consistency checks, and — when votes were cast through the facade —
+    /// the delegated per-voter checks over every collected
+    /// [`AuditInfo`].
+    ///
+    /// # Errors
+    /// [`ElectionError::BbTimeout`] when no BB majority agrees on a
+    /// snapshot.
+    pub fn audit(&self) -> Result<AuditReport, ElectionError> {
+        let snapshot = self
+            .reader
+            .read_snapshot()
+            .ok_or(ElectionError::BbTimeout("majority snapshot"))?;
+        let mut state = self.run.lock();
+        let auditor = Auditor::new(&self.setup.bb_init, &snapshot);
+        let report = if state.audits.is_empty() {
+            auditor.verify_public()
+        } else {
+            auditor.verify_delegated(&state.audits)
+        };
+        state.audit_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Convenience: `close` → `tally` → `audit` → [`Election::report`]
+    /// (the tally and audit are skipped for VC-only setups).
+    ///
+    /// # Errors
+    /// Propagates the first failing phase.
+    pub fn finish(&self) -> Result<ElectionReport, ElectionError> {
+        self.close()?;
+        if self.is_full_setup() {
+            self.tally()?;
+            self.audit()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Assembles the [`ElectionReport`] from everything accumulated so
+    /// far: result, receipts, audit outcome, per-phase timings, and
+    /// network/workload statistics.
+    pub fn report(&self) -> ElectionReport {
+        let state = self.run.lock();
+        ElectionReport {
+            result: state.result.clone(),
+            receipts: state.receipts.clone(),
+            audit: state.audit_report.clone(),
+            timings: state.timings,
+            net: NetReport::capture(self.net.stats()),
+            workload: state.workload.clone(),
+            store: self.store,
+        }
+    }
+
+    /// Stops all node threads and the network.
+    pub fn shutdown(self) {
+        for handle in self.vc_handles {
+            handle.stop();
+        }
+        self.net.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // Lower-level access (subsystem tests and custom drivers)
+    // ------------------------------------------------------------------
+
+    /// The election parameters.
+    pub fn params(&self) -> &ddemos_protocol::ElectionParams {
+        &self.setup.params
+    }
+
+    /// The simulated network (fault injection: crash, partition, profile).
+    pub fn network(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The global reference clock.
+    pub fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// The majority reader over the BB replicas.
+    pub fn reader(&self) -> &MajorityReader {
+        &self.reader
+    }
+
+    /// The BB replicas.
+    pub fn bb_nodes(&self) -> &[Arc<BbNode>] {
+        &self.bb_nodes
+    }
+
+    /// Majority-reads the current BB snapshot.
+    pub fn snapshot(&self) -> Option<BbSnapshot> {
+        self.reader.read_snapshot()
+    }
+
+    /// Registers a fresh client (voter terminal) endpoint.
+    pub fn client_endpoint(&self) -> Endpoint {
+        self.net.register(NodeId::client(self.alloc_clients(1)))
+    }
+
+    /// Reserves `count` fresh client ids, returning the first.
+    pub(crate) fn alloc_clients(&self, count: u32) -> u32 {
+        self.next_client.fetch_add(count, Ordering::SeqCst)
+    }
+
+    /// Closes the polls on every VC node immediately (as if every clock
+    /// passed `Tend`) without waiting for consensus — [`Election::close`]
+    /// is the usual entry point.
+    pub fn close_polls(&self) {
+        for handle in &self.vc_handles {
+            handle.close_polls();
+        }
+    }
+
+    /// Waits until at least `count` VC nodes deliver their finalized vote
+    /// sets (they do so after their clocks pass `Tend` or
+    /// [`Election::close_polls`]).
+    ///
+    /// # Errors
+    /// [`ElectionError::VoteSetTimeout`] on expiry.
+    pub fn await_vote_sets(
+        &self,
+        count: usize,
+        timeout: Duration,
+    ) -> Result<Vec<FinalizedVoteSet>, ElectionError> {
+        let mut out = Vec::new();
+        let deadline = Instant::now() + timeout;
+        let result = loop {
+            if out.len() >= count {
+                break Ok(());
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break Err(ElectionError::VoteSetTimeout);
+            };
+            match self.result_rx.recv_timeout(remaining) {
+                Ok(finalized) => out.push(finalized),
+                Err(_) => break Err(ElectionError::VoteSetTimeout),
+            }
+        };
+        // Each node releases its finalized set exactly once; record every
+        // drained set so a later close() resumes from them instead of
+        // re-awaiting deliveries that can never come.
+        self.run.lock().drained.extend(out.iter().cloned());
+        result.map(|()| out)
+    }
+
+    /// Pushes finalized vote sets and msk shares to every BB node (each VC
+    /// node writes to all replicas, §III-G).
+    pub fn push_to_bb(&self, finalized: &[FinalizedVoteSet]) {
+        for f in finalized {
+            for bb in &self.bb_nodes {
+                let _ = bb.submit_vote_set(f.node_index, &f.vote_set, &f.signature);
+                let _ = bb.submit_msk_share(&f.msk_share);
+            }
+        }
+    }
+
+    fn is_full_setup(&self) -> bool {
+        // Keyed on the profile, not on setup contents: `SetupProfile::VcOnly`
+        // still deals trustee key material, just no per-ballot payloads.
+        self.profile == ddemos_ea::SetupProfile::Full
+    }
+}
+
+/// Handle for the voting phase. Obtained from [`Election::voting`];
+/// casting records receipts, audit data, and vote-collection timing inside
+/// the election.
+pub struct VotingPhase<'a> {
+    election: &'a Election,
+    patience: Duration,
+}
+
+impl VotingPhase<'_> {
+    /// Sets the per-node patience (`[d]` of Definition 1; use
+    /// [`ddemos::liveness::LivenessParams::t_wait`] for the theorem-backed
+    /// value). Default: 5 s.
+    #[must_use]
+    pub fn patience(mut self, d: Duration) -> Self {
+        self.patience = d;
+        self
+    }
+
+    /// Casts ballot `ballot_index`'s vote for `option`, choosing the
+    /// ballot part by the voter's coin flip.
+    ///
+    /// # Errors
+    /// See [`VoteError`].
+    ///
+    /// # Panics
+    /// Panics if `ballot_index` exceeds the materialized ballots.
+    pub fn cast(&self, ballot_index: usize, option: usize) -> Result<VoteRecord, VoteError> {
+        self.cast_inner(ballot_index, option, None)
+    }
+
+    /// Casts with a fixed ballot part (adversarial scenarios and tests fix
+    /// the coin).
+    ///
+    /// # Errors
+    /// See [`VoteError`].
+    ///
+    /// # Panics
+    /// Panics if `ballot_index` exceeds the materialized ballots.
+    pub fn cast_with_part(
+        &self,
+        ballot_index: usize,
+        option: usize,
+        part: PartId,
+    ) -> Result<VoteRecord, VoteError> {
+        self.cast_inner(ballot_index, option, Some(part))
+    }
+
+    fn cast_inner(
+        &self,
+        ballot_index: usize,
+        option: usize,
+        part: Option<PartId>,
+    ) -> Result<VoteRecord, VoteError> {
+        let election = self.election;
+        let ballot = &election.setup.ballots[ballot_index];
+        let endpoint = election.client_endpoint();
+        let sequence = election.cast_seq.fetch_add(1, Ordering::SeqCst);
+        let rng = StdRng::seed_from_u64(
+            election.seed ^ 0x564F_5445 ^ ((ballot_index as u64) << 24) ^ sequence,
+        );
+        let t0 = Instant::now();
+        let mut voter = Voter::new(
+            ballot,
+            &endpoint,
+            election.setup.params.num_vc,
+            self.patience,
+            rng,
+        );
+        let outcome = match part {
+            Some(part) => voter.vote_with_part(option, part),
+            None => voter.vote(option),
+        };
+        let elapsed = t0.elapsed();
+        let mut state = election.run.lock();
+        state.timings.vote_collection += elapsed;
+        if let Ok(record) = &outcome {
+            state.audits.push(record.audit.clone());
+            state
+                .receipts
+                .push((record.audit.serial, record.audit.receipt));
+        }
+        outcome
+    }
+
+    /// Runs a bulk concurrent workload (the paper's multithreaded voting
+    /// client); statistics fold into the election's report. Unlike
+    /// [`VotingPhase::cast`], bulk voters keep their audit data to
+    /// themselves — receipt checks happen inline in each client thread.
+    pub fn run(&self, workload: &Workload) -> WorkloadStats {
+        let election = self.election;
+        let first_client = election.alloc_clients(workload.concurrency as u32);
+        let stats = workload.run(
+            &election.net,
+            &election.setup.params,
+            &election.setup.ballots,
+            first_client,
+        );
+        let mut state = election.run.lock();
+        state.timings.vote_collection += stats.duration;
+        state.workload = Some(stats.clone());
+        stats
+    }
+}

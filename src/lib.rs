@@ -1,0 +1,81 @@
+//! # ddemos-harness
+//!
+//! One typed builder API for the full D-DEMOS lifecycle.
+//!
+//! The paper's system is a pipeline — EA setup → vote collection →
+//! vote-set consensus → BB publication → trustee tally → audit — and this
+//! crate is its single entry point: [`ElectionBuilder`] stands up every
+//! component in one `build()` call, and the returned [`Election`] exposes
+//! typed phase handles that drive the pipeline deterministically:
+//!
+//! * [`Election::voting`] — cast individual votes (receipt-checked, audit
+//!   data collected) or run bulk concurrent [`Workload`]s;
+//! * [`Election::close`] — vote-set consensus to a quorum of
+//!   [`FinalizedVoteSet`](ddemos_vc::FinalizedVoteSet)s and the VC→BB
+//!   publication;
+//! * [`Election::tally`] — trustee posts and result publication;
+//! * [`Election::audit`] — public plus delegated verification;
+//! * [`Election::report`] — one [`ElectionReport`] with tally, receipts,
+//!   audit verdict, per-phase timings, and network statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ddemos_harness::{ElectionBuilder, NetworkProfile};
+//! use ddemos_protocol::ElectionParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 10 ballots, 3 options, polls open for 60s of simulation time.
+//! let params = ElectionParams::new("quickstart", 10, 3, 4, 3, 5, 3, 0, 60_000)?;
+//! let election = ElectionBuilder::new(params)
+//!     .vc_nodes(4)            // tolerates 1 Byzantine collector
+//!     .bb_nodes(3)            // tolerates 1 Byzantine board
+//!     .trustees(5, 3)         // 3-of-5 tally opening
+//!     .network(NetworkProfile::lan())
+//!     .seed(2024)
+//!     .build()?;
+//!
+//! let voting = election.voting();
+//! for (ballot, option) in [(0, 1), (1, 2), (2, 1)] {
+//!     let record = voting.cast(ballot, option)?; // receipt verified inside
+//!     assert_eq!(record.attempts, 1);
+//! }
+//!
+//! let report = election.finish()?; // close → tally → audit
+//! assert_eq!(report.tally(), Some(&[0, 2, 1][..]));
+//! assert!(report.verified());
+//! election.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Faults and attacks are builder options: `.adversary(NodeId::vc(0),
+//! VcBehavior::Crashed)` makes a collector Byzantine,
+//! `.corrupt_setup(|setup| modification_attack(setup, …))` mounts the
+//! malicious-EA attacks of §IV-C ([`adversary`]), `.clock_drifts([...])`
+//! exercises the Δ drift bound, and [`StoreKind`] swaps the ballot store
+//! (memory / modelled-latency disk / PRF-derived virtual electorate — see
+//! `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod builder;
+pub mod election;
+pub mod report;
+pub mod workload;
+
+pub use builder::{BuildError, ElectionBuilder, StoreKind};
+pub use election::{Election, ElectionError, PhaseTimings, VotingPhase};
+pub use report::{ElectionReport, NetReport};
+pub use workload::{Workload, WorkloadStats};
+
+// Re-export what nearly every harness user needs, so examples and tests
+// can depend on this crate alone.
+pub use ddemos::auditor::{verify_vote_included, AuditReport, Auditor};
+pub use ddemos::liveness::LivenessParams;
+pub use ddemos::voter::{VoteError, VoteRecord, Voter};
+pub use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
+pub use ddemos_net::NetworkProfile;
+pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
+pub use ddemos_vc::{StorageModel, VcBehavior};

@@ -1,0 +1,79 @@
+//! The single result type carried out of a finished election.
+
+use crate::builder::StoreKind;
+use crate::election::PhaseTimings;
+use crate::workload::WorkloadStats;
+use ddemos::auditor::AuditReport;
+use ddemos_net::NetStats;
+use ddemos_protocol::posts::ElectionResult;
+use ddemos_protocol::SerialNo;
+
+/// Network traffic totals captured from the simulated network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetReport {
+    /// Messages handed to the router.
+    pub sent: u64,
+    /// Messages delivered to an inbox.
+    pub delivered: u64,
+    /// Messages dropped (loss, crashes, partitions, unknown nodes).
+    pub dropped: u64,
+    /// VOTE messages sent.
+    pub vote_msgs: u64,
+    /// ENDORSE-round messages sent.
+    pub endorse_msgs: u64,
+    /// Receipt-share messages sent.
+    pub share_msgs: u64,
+    /// Vote-set-consensus messages sent.
+    pub consensus_msgs: u64,
+}
+
+impl NetReport {
+    /// Snapshots the counters of a running network.
+    pub fn capture(stats: &NetStats) -> NetReport {
+        NetReport {
+            sent: stats.sent(),
+            delivered: stats.delivered(),
+            dropped: stats.dropped(),
+            vote_msgs: stats.vote_msgs(),
+            endorse_msgs: stats.endorse_msgs(),
+            share_msgs: stats.share_msgs(),
+            consensus_msgs: stats.consensus_msgs(),
+        }
+    }
+}
+
+/// Everything a finished election produced, in one typed result: the
+/// published tally, the receipts voters walked away with, the audit
+/// verdict, per-phase wall-clock timings (Fig 5c's series), and
+/// network/storage/workload statistics.
+#[derive(Clone, Debug)]
+pub struct ElectionReport {
+    /// The published result (`None` until [`crate::Election::tally`] ran,
+    /// e.g. for VC-only benchmark elections).
+    pub result: Option<ElectionResult>,
+    /// `(serial, receipt)` per vote cast through
+    /// [`crate::VotingPhase::cast`].
+    pub receipts: Vec<(SerialNo, u64)>,
+    /// The audit verdict (`None` until [`crate::Election::audit`] ran).
+    pub audit: Option<AuditReport>,
+    /// Wall-clock duration of each phase.
+    pub timings: PhaseTimings,
+    /// Network traffic totals.
+    pub net: NetReport,
+    /// Statistics of the last bulk workload, if one ran.
+    pub workload: Option<WorkloadStats>,
+    /// Which ballot store backed the VC nodes.
+    pub store: StoreKind,
+}
+
+impl ElectionReport {
+    /// The tally, if published.
+    pub fn tally(&self) -> Option<&[u64]> {
+        self.result.as_ref().map(|r| r.tally.as_slice())
+    }
+
+    /// Whether the audit ran and found no failures.
+    pub fn verified(&self) -> bool {
+        self.audit.as_ref().is_some_and(AuditReport::ok)
+    }
+}

@@ -3,6 +3,11 @@
 //! an unused ballot, a random vote code (option and part), a random VC
 //! node, submits, and waits for the receipt; this measures vote-collection
 //! latency and throughput under a configurable concurrency level.
+//!
+//! Workloads are normally driven through
+//! [`VotingPhase::run`](crate::VotingPhase::run), which allocates client
+//! identities and folds the statistics into the election's
+//! [`ElectionReport`](crate::ElectionReport).
 
 use ddemos::voter::Voter;
 use ddemos_net::SimNet;
@@ -51,12 +56,33 @@ pub struct Workload {
     pub seed: u64,
 }
 
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            concurrency: 4,
+            total_votes: 0,
+            first_ballot: 0,
+            patience: Duration::from_secs(30),
+            seed: 0x57_4C,
+        }
+    }
+}
+
 impl Workload {
     /// Runs the workload against a running VC cluster.
     ///
     /// `ballots` must contain the voter ballots for serials
-    /// `first_ballot..first_ballot + total_votes` (indexed by serial).
-    pub fn run(&self, net: &SimNet, params: &ElectionParams, ballots: &[Ballot]) -> WorkloadStats {
+    /// `first_ballot..first_ballot + total_votes` (indexed by serial), and
+    /// `first_client` a client-id range of `concurrency` ids not registered
+    /// with `net` yet ([`VotingPhase::run`](crate::VotingPhase::run)
+    /// allocates one automatically).
+    pub fn run(
+        &self,
+        net: &SimNet,
+        params: &ElectionParams,
+        ballots: &[Ballot],
+        first_client: u32,
+    ) -> WorkloadStats {
         let next = Arc::new(AtomicU64::new(self.first_ballot));
         let end = self.first_ballot + self.total_votes;
         let latencies_ns = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
@@ -67,7 +93,7 @@ impl Workload {
                 let next = next.clone();
                 let latencies_ns = latencies_ns.clone();
                 let failures = failures.clone();
-                let endpoint = net.register(NodeId::client(1_000_000 + client as u32));
+                let endpoint = net.register(NodeId::client(first_client + client as u32));
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(self.seed ^ (client as u64) << 32);
                     loop {

@@ -1,39 +1,38 @@
 //! Byzantine fault-tolerance integration tests: elections complete with
 //! exact tallies while `fv` vote collectors misbehave in various ways
-//! (§III-C threat model, §IV-A/B liveness and safety).
+//! (§III-C threat model, §IV-A/B liveness and safety), all built through
+//! the `ElectionBuilder` facade.
 
-use ddemos::election::{finish_election, Election, ElectionConfig};
-use ddemos::voter::Voter;
-use ddemos_ea::SetupProfile;
-use ddemos_protocol::ElectionParams;
-use ddemos_sim::adversary::byzantine_prefix;
-use ddemos_vc::VcBehavior;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ddemos_harness::adversary::byzantine_prefix;
+use ddemos_harness::{ElectionBuilder, ElectionParams, NetworkProfile, PartId, VcBehavior};
 use std::time::Duration;
 
 fn run_with_behaviors(behaviors: Vec<VcBehavior>, num_vc: usize, votes: &[usize]) -> Vec<u64> {
-    let params =
-        ElectionParams::new("byz-test", votes.len() as u64 + 1, 2, num_vc, 3, 5, 3, 0, 600_000)
-            .unwrap();
-    let mut config = ElectionConfig::honest(params, 0xB12, SetupProfile::Full);
-    config.vc_behaviors = behaviors;
-    let election = Election::start(config);
+    let params = ElectionParams::new(
+        "byz-test",
+        votes.len() as u64 + 1,
+        2,
+        num_vc,
+        3,
+        5,
+        3,
+        0,
+        600_000,
+    )
+    .unwrap();
+    let election = ElectionBuilder::new(params)
+        .seed(0xB12)
+        .vc_behaviors(behaviors)
+        .build()
+        .expect("election builds");
+    let voting = election.voting().patience(Duration::from_secs(10));
     for (i, &option) in votes.iter().enumerate() {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[i];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            num_vc,
-            Duration::from_secs(10),
-            StdRng::seed_from_u64(i as u64),
-        );
-        voter.vote(option).expect("honest voter obtains a receipt");
+        voting
+            .cast(i, option)
+            .expect("honest voter obtains a receipt");
     }
-    election.close_polls();
-    let (result, _) = finish_election(&election, Duration::ZERO).expect("pipeline completes");
-    let tally = result.tally.clone();
+    let report = election.finish().expect("pipeline completes");
+    let tally = report.result.expect("tally published").tally;
     election.shutdown();
     tally
 }
@@ -96,26 +95,28 @@ fn equivocal_endorser_cannot_enable_double_voting() {
     // second UCERT (quorum needs Nv−fv = 3 signers; honest nodes endorse
     // at most one code per ballot).
     let params = ElectionParams::new("equiv", 2, 2, 4, 3, 5, 3, 0, 600_000).unwrap();
-    let mut config = ElectionConfig::honest(params, 7, SetupProfile::Full);
-    config.vc_behaviors = byzantine_prefix(4, VcBehavior::EquivocalEndorser);
-    let election = Election::start(config);
+    let election = ElectionBuilder::new(params)
+        .seed(7)
+        .vc_behaviors(byzantine_prefix(4, VcBehavior::EquivocalEndorser))
+        .build()
+        .expect("election builds");
 
     // Voter casts code for option 0 via part A.
-    let endpoint = election.client_endpoint();
-    let ballot = election.setup.ballots[0].clone();
-    let mut voter =
-        Voter::new(&ballot, &endpoint, 4, Duration::from_secs(10), StdRng::seed_from_u64(1));
-    voter.vote_with_part(0, ddemos_protocol::PartId::A).expect("first vote succeeds");
+    let voting = election.voting().patience(Duration::from_secs(10));
+    voting
+        .cast_with_part(0, 0, PartId::A)
+        .expect("first vote succeeds");
 
     // An attacker who stole the other part's code cannot get it recorded.
-    let endpoint2 = election.client_endpoint();
-    let mut thief =
-        Voter::new(&ballot, &endpoint2, 4, Duration::from_secs(3), StdRng::seed_from_u64(2));
-    let outcome = thief.vote_with_part(1, ddemos_protocol::PartId::B);
-    assert!(outcome.is_err(), "second code on the same ballot must not be recorded");
+    let thief = election.voting().patience(Duration::from_secs(3));
+    let outcome = thief.cast_with_part(0, 1, PartId::B);
+    assert!(
+        outcome.is_err(),
+        "second code on the same ballot must not be recorded"
+    );
 
-    election.close_polls();
-    let (result, _) = finish_election(&election, Duration::ZERO).expect("pipeline completes");
+    let report = election.finish().expect("pipeline completes");
+    let result = report.result.expect("tally published");
     assert_eq!(result.ballots_counted, 1);
     assert_eq!(result.tally, vec![1, 0]);
     election.shutdown();
@@ -123,23 +124,17 @@ fn equivocal_endorser_cannot_enable_double_voting() {
 
 #[test]
 fn message_loss_is_survived_by_retransmission_free_quorums() {
-    // 5% uniform loss: quorums of Nv−fv plus voter patience absorb it.
+    // 2% uniform loss: quorums of Nv−fv plus voter patience absorb it.
     let params = ElectionParams::new("lossy", 4, 2, 4, 3, 5, 3, 0, 600_000).unwrap();
-    let mut config = ElectionConfig::honest(params, 3, SetupProfile::Full);
-    config.network = ddemos_net::NetworkProfile::lan().with_drop(0.02);
-    let election = Election::start(config);
+    let election = ElectionBuilder::new(params)
+        .seed(3)
+        .network(NetworkProfile::lan().with_drop(0.02))
+        .build()
+        .expect("election builds");
+    let voting = election.voting().patience(Duration::from_secs(2));
     let mut ok = 0;
     for i in 0..3usize {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[i];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            4,
-            Duration::from_secs(2),
-            StdRng::seed_from_u64(40 + i as u64),
-        );
-        if voter.vote(0).is_ok() {
+        if voting.cast(i, 0).is_ok() {
             ok += 1;
         }
     }

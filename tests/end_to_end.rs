@@ -1,120 +1,100 @@
 //! End-to-end integration: full elections through every phase — setup,
 //! concurrent voting with receipt verification, vote-set consensus, BB
-//! upload, trustee tally, result publication, and audit.
+//! upload, trustee tally, result publication, and audit — all driven
+//! through the `ElectionBuilder` facade.
 
-use ddemos::auditor::{verify_vote_included, Auditor};
-use ddemos::election::{finish_election, Election, ElectionConfig};
-use ddemos::voter::Voter;
-use ddemos_ea::SetupProfile;
+use ddemos_harness::{verify_vote_included, ElectionBuilder, ElectionParams, PartId, VoteError};
 use ddemos_protocol::ballot::AuditInfo;
-use ddemos_protocol::ElectionParams;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::Duration;
+use ddemos_protocol::messages::RejectReason;
 
 fn small_params(n: u64, m: usize, window_ms: u64) -> ElectionParams {
     ElectionParams::new("e2e", n, m, 4, 3, 5, 3, 0, window_ms).unwrap()
 }
 
-/// Drives `votes` voters sequentially; returns their audit records.
-fn cast_votes(election: &Election, votes: &[(usize, usize)]) -> Vec<AuditInfo> {
-    let mut audits = Vec::new();
-    for &(ballot_idx, option) in votes {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[ballot_idx];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            election.setup.params.num_vc,
-            Duration::from_secs(5),
-            StdRng::seed_from_u64(1000 + ballot_idx as u64),
-        );
-        let record = voter.vote(option).expect("vote succeeds");
-        audits.push(record.audit);
-    }
-    audits
-}
-
 #[test]
 fn honest_election_end_to_end() {
-    let params = small_params(6, 3, 1_500);
-    let election = Election::start(ElectionConfig::honest(params, 42, SetupProfile::Full));
+    let election = ElectionBuilder::new(small_params(6, 3, 1_500))
+        .seed(42)
+        .build()
+        .expect("election builds");
 
     // Votes: option 0 x1, option 1 x2, option 2 x1; two abstentions.
+    let voting = election.voting();
     let votes = [(0usize, 0usize), (1, 1), (2, 1), (3, 2)];
-    let audits = cast_votes(&election, &votes);
+    let audits: Vec<AuditInfo> = votes
+        .iter()
+        .map(|&(ballot, option)| voting.cast(ballot, option).expect("vote succeeds").audit)
+        .collect();
 
-    // Receipts matched the printed ballots inside `vote` already. Finish
+    // Receipts matched the printed ballots inside `cast` already. Finish
     // the election.
-    let (result, timings) =
-        finish_election(&election, Duration::from_millis(0)).expect("pipeline completes");
+    let report = election.finish().expect("pipeline completes");
+    let result = report.result.as_ref().expect("tally published");
     assert_eq!(result.tally, vec![1, 2, 1]);
     assert_eq!(result.ballots_counted, 4);
-    assert!(timings.vote_set_consensus > Duration::ZERO);
+    assert!(report.timings.vote_set_consensus > std::time::Duration::ZERO);
+    assert_eq!(report.receipts.len(), 4);
 
     // Every voter's code is in the published set.
-    let snapshot = election.reader.read_snapshot().expect("majority snapshot");
+    let snapshot = election.snapshot().expect("majority snapshot");
     for audit in &audits {
         assert!(verify_vote_included(&snapshot, audit));
     }
 
-    // The public audit passes, and so do the delegated checks.
-    let report = Auditor::new(&election.setup.bb_init, &snapshot).verify_delegated(&audits);
-    assert!(report.ok(), "audit failures: {:?}", report.failures);
-    assert!(report.checks_run > 50);
+    // The public audit passes, and so do the delegated checks (finish()
+    // ran them over the collected audit records).
+    let audit = report.audit.as_ref().expect("audit ran");
+    assert!(audit.ok(), "audit failures: {:?}", audit.failures);
+    assert!(audit.checks_run > 50);
 
     election.shutdown();
 }
 
 #[test]
 fn election_with_no_votes_publishes_zero_tally() {
-    let params = small_params(3, 2, 400);
-    let election = Election::start(ElectionConfig::honest(params, 7, SetupProfile::Full));
-    let (result, _) = finish_election(&election, Duration::ZERO).expect("pipeline completes");
+    let election = ElectionBuilder::new(small_params(3, 2, 400))
+        .seed(7)
+        .build()
+        .expect("election builds");
+    let report = election.finish().expect("pipeline completes");
+    let result = report.result.as_ref().expect("tally published");
     assert_eq!(result.tally, vec![0, 0]);
     assert_eq!(result.ballots_counted, 0);
-    let snapshot = election.reader.read_snapshot().unwrap();
-    let report = Auditor::new(&election.setup.bb_init, &snapshot).verify_public();
-    assert!(report.ok(), "audit failures: {:?}", report.failures);
+    // With no delegated audit records, finish() ran the public audit.
+    let audit = report.audit.as_ref().expect("audit ran");
+    assert!(audit.ok(), "audit failures: {:?}", audit.failures);
     election.shutdown();
 }
 
 #[test]
 fn duplicate_vote_same_code_returns_same_receipt() {
-    let params = small_params(2, 2, 2_000);
-    let election = Election::start(ElectionConfig::honest(params, 9, SetupProfile::VcOnly));
-    let endpoint = election.client_endpoint();
-    let ballot = &election.setup.ballots[0];
-    let mut voter = Voter::new(ballot, &endpoint, 4, Duration::from_secs(5), StdRng::seed_from_u64(5));
-    let first = voter.vote_with_part(0, ddemos_protocol::PartId::A).expect("first vote");
+    let election = ElectionBuilder::new(small_params(2, 2, 2_000))
+        .seed(9)
+        .vc_only()
+        .build()
+        .expect("election builds");
+    let voting = election.voting();
+    let first = voting.cast_with_part(0, 0, PartId::A).expect("first vote");
     // Re-submitting the same code yields the same receipt (idempotent).
-    let endpoint2 = election.client_endpoint();
-    let mut voter2 =
-        Voter::new(ballot, &endpoint2, 4, Duration::from_secs(5), StdRng::seed_from_u64(6));
-    let second = voter2.vote_with_part(0, ddemos_protocol::PartId::A).expect("re-vote");
+    let second = voting.cast_with_part(0, 0, PartId::A).expect("re-vote");
     assert_eq!(first.audit.receipt, second.audit.receipt);
     election.shutdown();
 }
 
 #[test]
 fn different_code_on_voted_ballot_is_rejected() {
-    let params = small_params(2, 2, 2_000);
-    let election = Election::start(ElectionConfig::honest(params, 11, SetupProfile::VcOnly));
-    let endpoint = election.client_endpoint();
-    let ballot = &election.setup.ballots[1];
-    let mut voter =
-        Voter::new(ballot, &endpoint, 4, Duration::from_secs(5), StdRng::seed_from_u64(5));
-    voter.vote_with_part(1, ddemos_protocol::PartId::A).expect("first vote");
-    let endpoint2 = election.client_endpoint();
-    let mut attacker =
-        Voter::new(ballot, &endpoint2, 4, Duration::from_secs(5), StdRng::seed_from_u64(6));
+    let election = ElectionBuilder::new(small_params(2, 2, 2_000))
+        .seed(11)
+        .vc_only()
+        .build()
+        .expect("election builds");
+    let voting = election.voting();
+    voting.cast_with_part(1, 1, PartId::A).expect("first vote");
     // A different code (other part) on the same ballot must be refused.
-    let err = attacker.vote_with_part(0, ddemos_protocol::PartId::B).unwrap_err();
+    let err = voting.cast_with_part(1, 0, PartId::B).unwrap_err();
     assert!(matches!(
         err,
-        ddemos::voter::VoteError::Rejected(
-            ddemos_protocol::messages::RejectReason::AlreadyVotedDifferentCode
-        ) | ddemos::voter::VoteError::AllNodesExhausted
+        VoteError::Rejected(RejectReason::AlreadyVotedDifferentCode) | VoteError::AllNodesExhausted
     ));
     election.shutdown();
 }

@@ -1,14 +1,9 @@
 //! Liveness (Theorem 1): `[Twait]`-patient voters obtain receipts within
-//! the bound, under clock drift and WAN-scale message delay.
+//! the bound, under clock drift and WAN-scale message delay — clusters
+//! built through the `ElectionBuilder` facade.
 
-use ddemos::election::{Election, ElectionConfig};
 use ddemos::liveness::{table1, LivenessParams};
-use ddemos::voter::Voter;
-use ddemos_ea::SetupProfile;
-use ddemos_net::NetworkProfile;
-use ddemos_protocol::ElectionParams;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ddemos_harness::{ElectionBuilder, ElectionParams, NetworkProfile, VcBehavior};
 use std::time::Duration;
 
 #[test]
@@ -25,22 +20,17 @@ fn receipts_arrive_within_the_theorem_bound() {
     let t_wait = liveness.t_wait(nv);
 
     let params = ElectionParams::new("live", 6, 2, nv, 3, 5, 3, 0, 600_000).unwrap();
-    let mut config = ElectionConfig::honest(params, 10, SetupProfile::VcOnly);
-    config.network = NetworkProfile::wan();
-    config.clock_drifts_ms = vec![15, -15, 10, -10];
-    let election = Election::start(config);
+    let election = ElectionBuilder::new(params)
+        .seed(10)
+        .vc_only()
+        .network(NetworkProfile::wan())
+        .clock_drifts([15, -15, 10, -10])
+        .build()
+        .expect("election builds");
 
+    let voting = election.voting().patience(t_wait);
     for i in 0..4usize {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[i];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            nv,
-            t_wait,
-            StdRng::seed_from_u64(i as u64),
-        );
-        let record = voter.vote(i % 2).expect("patient voter gets a receipt");
+        let record = voting.cast(i, i % 2).expect("patient voter gets a receipt");
         assert!(
             record.latency <= t_wait,
             "receipt in {:?} exceeded Twait {:?}",
@@ -66,14 +56,17 @@ fn table1_bounds_dominate_measured_steps() {
     let bound = rows.last().unwrap().global;
 
     let params = ElectionParams::new("live2", 3, 2, 4, 3, 5, 3, 0, 600_000).unwrap();
-    let mut config = ElectionConfig::honest(params, 11, SetupProfile::VcOnly);
-    config.network = NetworkProfile::wan();
-    let election = Election::start(config);
-    let endpoint = election.client_endpoint();
-    let ballot = &election.setup.ballots[0];
-    let mut voter =
-        Voter::new(ballot, &endpoint, 4, Duration::from_secs(10), StdRng::seed_from_u64(1));
-    let record = voter.vote(0).expect("receipt");
+    let election = ElectionBuilder::new(params)
+        .seed(11)
+        .vc_only()
+        .network(NetworkProfile::wan())
+        .build()
+        .expect("election builds");
+    let record = election
+        .voting()
+        .patience(Duration::from_secs(10))
+        .cast(0, 0)
+        .expect("receipt");
     assert!(
         record.latency <= bound,
         "measured {:?} vs Table I bound {:?}",
@@ -88,23 +81,18 @@ fn voter_blacklists_crashed_node_and_succeeds_elsewhere() {
     // Definition 1 in action: a voter who hits the crashed node waits out
     // her patience, blacklists it, and succeeds at the next node.
     let params = ElectionParams::new("live3", 3, 2, 4, 3, 5, 3, 0, 600_000).unwrap();
-    let mut config = ElectionConfig::honest(params, 12, SetupProfile::VcOnly);
-    config.vc_behaviors = vec![ddemos_vc::VcBehavior::Crashed];
-    let election = Election::start(config);
+    let election = ElectionBuilder::new(params)
+        .seed(12)
+        .vc_only()
+        .vc_behaviors([VcBehavior::Crashed])
+        .build()
+        .expect("election builds");
 
     // Try voters until one's random first pick is the crashed node 0.
+    let voting = election.voting().patience(Duration::from_millis(400));
     let mut saw_retry = false;
     for i in 0..3usize {
-        let endpoint = election.client_endpoint();
-        let ballot = &election.setup.ballots[i];
-        let mut voter = Voter::new(
-            ballot,
-            &endpoint,
-            4,
-            Duration::from_millis(400),
-            StdRng::seed_from_u64(i as u64),
-        );
-        let record = voter.vote(0).expect("eventual success");
+        let record = voting.cast(i, 0).expect("eventual success");
         if record.attempts > 1 {
             saw_retry = true;
         }

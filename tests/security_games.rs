@@ -1,13 +1,12 @@
 //! The security-game scenarios of §IV: end-to-end verifiability against a
 //! malicious Election Authority (modification and clash attacks) and the
-//! voter-privacy structural properties.
+//! voter-privacy structural properties — attacks mounted through the
+//! builder's `corrupt_setup` hook.
 
-use ddemos::auditor::Auditor;
-use ddemos::election::{finish_election, Election, ElectionConfig};
-use ddemos::voter::Voter;
-use ddemos_ea::{ElectionAuthority, SetupProfile};
-use ddemos_protocol::{ElectionParams, PartId, SerialNo};
-use ddemos_sim::adversary::{clash_attack, modification_attack};
+use ddemos_harness::adversary::{clash_attack, modification_attack};
+use ddemos_harness::{
+    ElectionAuthority, ElectionBuilder, ElectionParams, PartId, SerialNo, SetupProfile,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -18,27 +17,27 @@ fn params(n: u64) -> ElectionParams {
 
 #[test]
 fn modification_attack_detected_when_corrupted_part_unused() {
-    let p = params(3);
-    let ea = ElectionAuthority::new(p.clone(), 1);
-    let mut setup = ea.setup(SetupProfile::Full);
-    drop(ea);
-    modification_attack(&mut setup, SerialNo(0), PartId::A);
-    let election =
-        Election::start_with_setup(ElectionConfig::honest(p, 1, SetupProfile::Full), setup);
+    let election = ElectionBuilder::new(params(3))
+        .seed(1)
+        .corrupt_setup(|setup| modification_attack(setup, SerialNo(0), PartId::A))
+        .build()
+        .expect("election builds");
 
     // Victim votes with part B; the corrupted part A is opened for audit.
-    let endpoint = election.client_endpoint();
-    let ballot = election.setup.ballots[0].clone();
-    let mut voter =
-        Voter::new(&ballot, &endpoint, 4, Duration::from_secs(10), StdRng::seed_from_u64(1));
-    let record = voter.vote_with_part(0, PartId::B).expect("vote succeeds");
+    election
+        .voting()
+        .patience(Duration::from_secs(10))
+        .cast_with_part(0, 0, PartId::B)
+        .expect("vote succeeds");
 
-    election.close_polls();
-    finish_election(&election, Duration::ZERO).expect("pipeline completes");
-    let snapshot = election.reader.read_snapshot().unwrap();
-    let report = Auditor::new(&election.setup.bb_init, &snapshot)
-        .verify_delegated(std::slice::from_ref(&record.audit));
-    assert!(!report.ok(), "check (g) must expose the swapped correspondence");
+    election.close().expect("close completes");
+    election.tally().expect("tally publishes");
+    // The voter delegated auditing; audit() runs her checks.
+    let report = election.audit().expect("audit runs");
+    assert!(
+        !report.ok(),
+        "check (g) must expose the swapped correspondence"
+    );
     election.shutdown();
 }
 
@@ -47,53 +46,60 @@ fn modification_attack_shifts_tally_when_corrupted_part_used() {
     // The other side of the coin-flip: if the victim uses the corrupted
     // part, her vote silently counts for the wrong option (detection
     // probability per audited ballot is exactly 1/2 — Theorem 3's 2^-d).
-    let p = params(3);
-    let ea = ElectionAuthority::new(p.clone(), 2);
-    let mut setup = ea.setup(SetupProfile::Full);
-    drop(ea);
-    modification_attack(&mut setup, SerialNo(0), PartId::A);
-    let election =
-        Election::start_with_setup(ElectionConfig::honest(p, 2, SetupProfile::Full), setup);
+    let election = ElectionBuilder::new(params(3))
+        .seed(2)
+        .corrupt_setup(|setup| modification_attack(setup, SerialNo(0), PartId::A))
+        .build()
+        .expect("election builds");
 
-    let endpoint = election.client_endpoint();
-    let ballot = election.setup.ballots[0].clone();
-    let mut voter =
-        Voter::new(&ballot, &endpoint, 4, Duration::from_secs(10), StdRng::seed_from_u64(1));
     // Votes option 0 via the *corrupted* part A.
-    voter.vote_with_part(0, PartId::A).expect("vote succeeds");
+    election
+        .voting()
+        .patience(Duration::from_secs(10))
+        .cast_with_part(0, 0, PartId::A)
+        .expect("vote succeeds");
 
-    election.close_polls();
-    let (result, _) = finish_election(&election, Duration::ZERO).expect("pipeline completes");
+    election.close().expect("close completes");
+    let result = election.tally().expect("tally publishes");
     // The tally records option 1 — the fraud succeeded against this voter
     // (and no delegated audit of the *used* part can see it).
-    assert_eq!(result.tally, vec![0, 1], "modification flips the counted option");
+    assert_eq!(
+        result.tally,
+        vec![0, 1],
+        "modification flips the counted option"
+    );
     election.shutdown();
 }
 
 #[test]
 fn clash_attack_detected_by_divergent_voters() {
-    let p = params(4);
-    let ea = ElectionAuthority::new(p.clone(), 3);
-    let mut setup = ea.setup(SetupProfile::Full);
-    drop(ea);
     // Voters 0 and 1 both receive ballot #0's printed sheet.
-    clash_attack(&mut setup, 0, 1);
-    let election =
-        Election::start_with_setup(ElectionConfig::honest(p, 3, SetupProfile::Full), setup);
+    let election = ElectionBuilder::new(params(4))
+        .seed(3)
+        .corrupt_setup(|setup| clash_attack(setup, 0, 1))
+        .build()
+        .expect("election builds");
 
-    let e0 = election.client_endpoint();
     let b0 = election.setup.ballots[0].clone();
-    let mut v0 = Voter::new(&b0, &e0, 4, Duration::from_secs(10), StdRng::seed_from_u64(1));
-    v0.vote_with_part(0, PartId::A).expect("first clashed voter succeeds");
-
-    let e1 = election.client_endpoint();
     let b1 = election.setup.ballots[1].clone(); // the clashed copy
     assert_eq!(b1.serial, b0.serial, "clash: same printed serial");
-    let mut v1 = Voter::new(&b1, &e1, 4, Duration::from_secs(3), StdRng::seed_from_u64(2));
+
+    election
+        .voting()
+        .patience(Duration::from_secs(10))
+        .cast_with_part(0, 0, PartId::A)
+        .expect("first clashed voter succeeds");
+
     // She picks the other part / another option: the system rejects her,
     // which IS the detection signal for a clash.
-    let outcome = v1.vote_with_part(1, PartId::B);
-    assert!(outcome.is_err(), "divergent clashed voter is rejected — fraud surfaced");
+    let outcome = election
+        .voting()
+        .patience(Duration::from_secs(3))
+        .cast_with_part(1, 1, PartId::B);
+    assert!(
+        outcome.is_err(),
+        "divergent clashed voter is rejected — fraud surfaced"
+    );
     election.shutdown();
 }
 
@@ -104,9 +110,9 @@ fn cast_code_reveals_nothing_about_the_option() {
     // order, and the BB rows are shuffled per part. Verify that for two
     // elections identical except for the victim's choice, the public BB
     // initialization data is identical (choices only affect *which* code
-    // is cast, and codes are indistinguishable random strings).
-    let p = params(2);
-    let ea = ElectionAuthority::new(p.clone(), 4);
+    // is cast, and codes are indistinguishable random strings). No cluster
+    // is needed: this inspects the EA's setup output alone.
+    let ea = ElectionAuthority::new(params(2), 4);
     let setup = ea.setup(SetupProfile::Full);
     // The BB init data is independent of any vote: it exists before votes.
     // The only vote-dependent public data is the cast code itself.
@@ -134,8 +140,11 @@ fn cast_code_reveals_nothing_about_the_option() {
 fn receipt_cannot_be_guessed_without_quorum() {
     // Safety theorem (Case 1): a forged receipt matches with probability
     // ~ fv/2^64. Verify that a wrong receipt is rejected by the voter.
-    let p = params(2);
-    let election = Election::start(ElectionConfig::honest(p, 5, SetupProfile::VcOnly));
+    let election = ElectionBuilder::new(params(2))
+        .seed(5)
+        .vc_only()
+        .build()
+        .expect("election builds");
     let ballot = &election.setup.ballots[0];
     let line = &ballot.parts[0].lines[0];
     // All 2^64 values are equally likely; any specific guess is wrong with
