@@ -3,10 +3,10 @@
 //! AES, signatures, secret sharing, ZK proofs, and one full endorsement
 //! round's worth of crypto.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ddemos_crypto::curve::Point;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ddemos_crypto::curve::{FixedBase, Point};
 use ddemos_crypto::elgamal;
-use ddemos_crypto::field::Scalar;
+use ddemos_crypto::field::{Fp, Scalar};
 use ddemos_crypto::schnorr::SigningKey;
 use ddemos_crypto::sha256::sha256;
 use ddemos_crypto::shamir;
@@ -28,6 +28,71 @@ fn bench_curve(c: &mut Criterion) {
     let a2 = Scalar::random(&mut rng);
     c.bench_function("curve/double_mul (Shamir trick)", |b| {
         b.iter(|| Point::double_mul(&k, &Point::generator(), &a2, &p))
+    });
+}
+
+/// The batched crypto kernels against their per-item baselines — the
+/// `BENCH_micro.json` numbers the perf trajectory tracks.
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    // MSM: 64 terms, Pippenger vs the naive scalar-mul-and-add loop.
+    let scalars: Vec<Scalar> = (0..64).map(|_| Scalar::random(&mut rng)).collect();
+    let points: Vec<Point> = (0..64)
+        .map(|_| Point::mul_generator(&Scalar::random(&mut rng)))
+        .collect();
+    c.bench_function("kernel/msm 64 (pippenger)", |b| {
+        b.iter(|| Point::msm(std::hint::black_box(&scalars), &points))
+    });
+    c.bench_function("kernel/msm 64 (naive loop)", |b| {
+        b.iter(|| {
+            std::hint::black_box(&scalars)
+                .iter()
+                .zip(&points)
+                .fold(Point::IDENTITY, |acc, (k, p)| acc.add(&p.mul(k)))
+        })
+    });
+    // Affine normalization: 256 points, shared inversion vs per-point
+    // Fermat.
+    let pts256: Vec<Point> = (0..256)
+        .map(|_| Point::mul_generator(&Scalar::random(&mut rng)))
+        .collect();
+    c.bench_function("kernel/batch_to_affine 256", |b| {
+        b.iter(|| Point::batch_to_affine(std::hint::black_box(&pts256)))
+    });
+    c.bench_function("kernel/to_affine 256 (per-point)", |b| {
+        b.iter(|| {
+            std::hint::black_box(&pts256)
+                .iter()
+                .map(Point::to_affine)
+                .collect::<Vec<_>>()
+        })
+    });
+    // Batch inversion: 256 field elements, Montgomery trick vs Fermat.
+    let fps: Vec<Fp> = (0..256).map(|_| Fp::random(&mut rng)).collect();
+    c.bench_function("kernel/batch_invert 256", |b| {
+        b.iter_batched(
+            || fps.clone(),
+            |mut v| Fp::batch_invert(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("kernel/invert 256 (fermat)", |b| {
+        b.iter(|| {
+            std::hint::black_box(&fps)
+                .iter()
+                .map(|x| x.invert())
+                .collect::<Vec<_>>()
+        })
+    });
+    // Fixed-base table vs the generic ladder for a repeated base.
+    let base = Point::mul_generator(&Scalar::random(&mut rng));
+    let table = FixedBase::new(&base);
+    let k = Scalar::random(&mut rng);
+    c.bench_function("kernel/fixed_base mul", |b| {
+        b.iter(|| table.mul(std::hint::black_box(&k)))
+    });
+    c.bench_function("kernel/fixed_base build", |b| {
+        b.iter(|| FixedBase::new(std::hint::black_box(&base)))
     });
 }
 
@@ -111,6 +176,6 @@ fn criterion_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = criterion_config();
-    targets = bench_curve, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp
+    targets = bench_curve, bench_kernels, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp
 }
 criterion_main!(benches);

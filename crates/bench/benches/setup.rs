@@ -1,0 +1,58 @@
+//! EA setup throughput: materializing a 10k-ballot election (VC-only
+//! profile, the Fig 4/5 precondition) at 1 vs N worker threads of the
+//! chunking executor — the `BENCH_setup.json` baseline.
+//!
+//! `--test` (as passed by `cargo bench -- --test`) smoke-runs a 50-ballot
+//! setup per thread count. `DD_SETUP_BALLOTS` overrides the electorate
+//! size; `DDEMOS_BENCH_JSON` appends one JSON line per measurement.
+
+use criterion::{is_test_mode, record_json};
+use ddemos_ea::{ElectionAuthority, SetupProfile};
+use ddemos_protocol::exec::Pool;
+use ddemos_protocol::ElectionParams;
+use std::time::Instant;
+
+fn main() {
+    let ballots: u64 = if is_test_mode() {
+        50
+    } else {
+        std::env::var("DD_SETUP_BALLOTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000)
+    };
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("EA setup, {ballots} ballots, m=2, Nv=4 (hardware threads: {hw_threads})");
+    let params = ElectionParams::new("bench-setup", ballots, 2, 4, 3, 3, 2, 0, 60_000)
+        .expect("valid bench parameters");
+    let mut baseline_ns = 0u64;
+    for threads in [1usize, 8] {
+        let ea = ElectionAuthority::new(params.clone(), 11);
+        let pool = Pool::new(threads);
+        let t0 = Instant::now();
+        let out = ea.setup_with(SetupProfile::VcOnly, &pool);
+        let elapsed = t0.elapsed();
+        assert_eq!(out.ballots.len(), ballots as usize);
+        let ns = elapsed.as_nanos() as u64;
+        if threads == 1 {
+            baseline_ns = ns;
+        }
+        let speedup = baseline_ns as f64 / ns.max(1) as f64;
+        println!(
+            "setup/ea {ballots} ballots, threads={threads:<2} {:>10.3} ms  ({:.0} ballots/s, {speedup:.2}x vs 1 thread)",
+            elapsed.as_secs_f64() * 1e3,
+            ballots as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+        if !is_test_mode() {
+            record_json(
+                &format!("setup/ea {ballots} ballots threads={threads} hw={hw_threads}"),
+                ns,
+                ns,
+                ns,
+                1,
+            );
+        }
+    }
+}

@@ -15,12 +15,22 @@
 //!
 //! Plus the global checks: challenge recomputation from the voters' coins
 //! and verification of the homomorphic tally opening against the result.
+//!
+//! The curve-heavy checks (d) and (e) take the **batch verification
+//! path**: every opening and every Chaum–Pedersen equation is folded into
+//! one multi-scalar multiplication
+//! ([`elgamal::batch_verify_openings`] / [`zkp::cp_verify_batch`]); only
+//! when a batch fails does the auditor fall back to per-item verification
+//! — parallelized over the [`Pool`] — to name the culprits. The delegated
+//! per-voter sweep is likewise spread over the pool; sub-reports merge in
+//! voter order, so the report is deterministic for any thread count.
 
 use ddemos_bb::BbSnapshot;
 use ddemos_crypto::elgamal::{self, Ciphertext};
 use ddemos_crypto::field::Scalar;
 use ddemos_crypto::zkp;
 use ddemos_protocol::ballot::AuditInfo;
+use ddemos_protocol::exec::Pool;
 use ddemos_protocol::initdata::BbInit;
 use ddemos_protocol::{PartId, SerialNo};
 
@@ -45,19 +55,83 @@ impl AuditReport {
             self.failures.push(msg());
         }
     }
+
+    fn merge(&mut self, other: AuditReport) {
+        self.checks_run += other.checks_run;
+        self.failures.extend(other.failures);
+    }
+}
+
+/// A pending curve-side opening check collected by pass (d):
+/// the claim that `(bit, rand)` opens `ct`, plus where it came from.
+struct OpeningInstance {
+    serial: SerialNo,
+    part: PartId,
+    row: usize,
+    ct: Ciphertext,
+    bit: Scalar,
+    rand: Scalar,
+}
+
+/// A pending curve-side proof check collected by pass (e).
+struct ProofInstance {
+    serial: SerialNo,
+    part: PartId,
+    row: usize,
+    /// `"OR"` or `"sum"` — only used in failure messages.
+    kind: &'static str,
+    /// One CP equation pair per OR branch, one for a sum proof.
+    instances: Vec<zkp::CpInstance>,
+}
+
+/// Verifies `items` with one random-combination sub-batch per pool worker
+/// (the whole set is valid iff every sub-batch check passes, so the happy
+/// path scales with the pool). Returns `None` when everything verified;
+/// otherwise the per-item outcomes from `item_fn`, computed in parallel,
+/// so the caller can name the culprits.
+fn batched_verify<T: Sync>(
+    pool: &Pool,
+    items: &[T],
+    batch_fn: impl Fn(&[T]) -> bool + Sync,
+    item_fn: impl Fn(&T) -> bool + Sync,
+) -> Option<Vec<bool>> {
+    let sub_batches: Vec<&[T]> = items
+        .chunks(items.len().div_ceil(pool.threads()).max(1))
+        .collect();
+    if pool
+        .map(&sub_batches, |sub| batch_fn(sub))
+        .into_iter()
+        .all(|ok| ok)
+    {
+        return None;
+    }
+    Some(pool.map(items, item_fn))
 }
 
 /// The public auditor.
 pub struct Auditor<'a> {
     init: &'a BbInit,
     snapshot: &'a BbSnapshot,
+    pool: Pool,
 }
 
 impl<'a> Auditor<'a> {
     /// Creates an auditor over the published init data and a majority-read
-    /// snapshot.
+    /// snapshot, on the default executor (`DDEMOS_THREADS` / available
+    /// parallelism).
     pub fn new(init: &'a BbInit, snapshot: &'a BbSnapshot) -> Auditor<'a> {
-        Auditor { init, snapshot }
+        Auditor {
+            init,
+            snapshot,
+            pool: Pool::from_env(),
+        }
+    }
+
+    /// Sets the worker count for the fallback and delegated sweeps.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Auditor<'a> {
+        self.pool = Pool::new(threads);
+        self
     }
 
     fn locate_cast_row(
@@ -82,6 +156,15 @@ impl<'a> Auditor<'a> {
         hits
     }
 
+    /// The init ballots' serials in ascending order (the underlying map is
+    /// unordered; sorting keeps reports and parallel chunking
+    /// deterministic).
+    fn sorted_serials(&self) -> Vec<SerialNo> {
+        let mut serials: Vec<SerialNo> = self.init.ballots.keys().copied().collect();
+        serials.sort();
+        serials
+    }
+
     /// Runs the public checks (a)–(e) plus challenge and tally
     /// verification.
     pub fn verify_public(&self) -> AuditReport {
@@ -90,15 +173,17 @@ impl<'a> Auditor<'a> {
             report.check(false, || "no final vote set published".into());
             return report;
         };
+        let serials = self.sorted_serials();
 
-        // (a) opened codes unique within each ballot.
-        for (serial, _) in self.init.ballots.iter() {
+        // (a) opened codes unique within each ballot (parallel over
+        // ballots; one check per ballot).
+        let duplicate_failures = self.pool.map(&serials, |&serial| {
             let mut codes = Vec::new();
             for part in PartId::BOTH {
                 if let Some(c) = self
                     .snapshot
                     .decrypted_codes
-                    .get(&(*serial, part.index() as u8))
+                    .get(&(serial, part.index() as u8))
                 {
                     codes.extend(c.iter().copied());
                 }
@@ -106,9 +191,12 @@ impl<'a> Auditor<'a> {
             let total = codes.len();
             codes.sort();
             codes.dedup();
-            report.check(codes.len() == total, || {
-                format!("(a) duplicate vote codes within ballot {serial}")
-            });
+            (codes.len() == total)
+                .then_some(())
+                .ok_or_else(|| format!("(a) duplicate vote codes within ballot {serial}"))
+        });
+        for outcome in duplicate_failures {
+            report.check(outcome.is_ok(), || outcome.unwrap_err());
         }
 
         // (b)/(c) every cast code appears in exactly one row of one part.
@@ -133,97 +221,8 @@ impl<'a> Auditor<'a> {
             "challenge does not match the voters' coins".into()
         });
 
-        // (d) openings valid and unit-vector shaped; coverage: unused part
-        // of voted ballots, both parts of unvoted ballots.
-        for (serial, ballot) in self.init.ballots.iter() {
-            let voted_part = vote_set
-                .entries
-                .get(serial)
-                .and_then(|code| self.locate_cast_row(*serial, code).first().copied())
-                .map(|(p, _)| p);
-            for part in PartId::BOTH {
-                let must_open = match voted_part {
-                    Some(used) => part == used.other(),
-                    None => true,
-                };
-                if !must_open {
-                    continue;
-                }
-                let Some(opened) = self.snapshot.openings.get(&(*serial, part.index() as u8))
-                else {
-                    report.check(false, || {
-                        format!("(d) missing openings for {serial} part {part:?}")
-                    });
-                    continue;
-                };
-                let rows = &ballot.parts[part.index()];
-                report.check(opened.len() == rows.len(), || {
-                    format!("(d) row count mismatch for {serial} part {part:?}")
-                });
-                for (row_idx, (opened_row, row)) in opened.iter().zip(rows).enumerate() {
-                    let mut ones = 0;
-                    for (ct, (bit, rand)) in row.commitment.iter().zip(opened_row) {
-                        report.check(
-                            elgamal::verify_opening(&self.init.elgamal_pk, ct, bit, rand),
-                            || format!("(d) invalid opening {serial} {part:?} row {row_idx}"),
-                        );
-                        match bit.to_u64() {
-                            Some(0) => {}
-                            Some(1) => ones += 1,
-                            _ => report.check(false, || {
-                                format!("(d) non-bit plaintext {serial} {part:?} row {row_idx}")
-                            }),
-                        }
-                    }
-                    report.check(ones == 1, || {
-                        format!("(d) row is not a unit vector {serial} {part:?} row {row_idx}")
-                    });
-                }
-            }
-        }
-
-        // (e) used-part ZK proofs complete and valid.
-        for (serial, code) in &vote_set.entries {
-            let Some((part, _)) = self.locate_cast_row(*serial, code).first().copied() else {
-                continue;
-            };
-            let Some(rows) = self
-                .snapshot
-                .zk_responses
-                .get(&(*serial, part.index() as u8))
-            else {
-                report.check(false, || {
-                    format!("(e) missing ZK responses for {serial} used part {part:?}")
-                });
-                continue;
-            };
-            let Some(ballot) = self.init.ballots.get(serial) else {
-                continue;
-            };
-            let bb_rows = &ballot.parts[part.index()];
-            report.check(rows.len() == bb_rows.len(), || {
-                format!("(e) ZK row count mismatch for {serial}")
-            });
-            for (row_idx, ((responses, sum_z), row)) in rows.iter().zip(bb_rows).enumerate() {
-                for ((resp, ct), first) in responses.iter().zip(&row.commitment).zip(&row.or_first)
-                {
-                    report.check(
-                        zkp::or_verify(&self.init.elgamal_pk, ct, first, resp, &challenge),
-                        || format!("(e) OR proof failed {serial} {part:?} row {row_idx}"),
-                    );
-                }
-                report.check(
-                    zkp::sum_verify(
-                        &self.init.elgamal_pk,
-                        &row.commitment,
-                        &row.sum_first,
-                        &challenge,
-                        sum_z,
-                    ),
-                    || format!("(e) sum proof failed {serial} {part:?} row {row_idx}"),
-                );
-            }
-        }
+        self.verify_openings(&mut report, vote_set, &serials);
+        self.verify_proofs(&mut report, vote_set, &challenge);
 
         // Tally: recompute the homomorphic total and verify its opening.
         let m = self.init.params.num_options;
@@ -262,16 +261,214 @@ impl<'a> Auditor<'a> {
         report
     }
 
+    /// Check (d): openings valid and unit-vector shaped; coverage is the
+    /// unused part of voted ballots and both parts of unvoted ballots.
+    /// Structural and scalar-side checks run inline while the curve-side
+    /// opening equations are collected, then one batched MSM replaces the
+    /// per-opening verification (with a parallel per-item fallback that
+    /// names the culprits when the batch fails).
+    fn verify_openings(
+        &self,
+        report: &mut AuditReport,
+        vote_set: &ddemos_protocol::posts::VoteSet,
+        serials: &[SerialNo],
+    ) {
+        let mut instances: Vec<OpeningInstance> = Vec::new();
+        for serial in serials {
+            let ballot = &self.init.ballots[serial];
+            let voted_part = vote_set
+                .entries
+                .get(serial)
+                .and_then(|code| self.locate_cast_row(*serial, code).first().copied())
+                .map(|(p, _)| p);
+            for part in PartId::BOTH {
+                let must_open = match voted_part {
+                    Some(used) => part == used.other(),
+                    None => true,
+                };
+                if !must_open {
+                    continue;
+                }
+                let Some(opened) = self.snapshot.openings.get(&(*serial, part.index() as u8))
+                else {
+                    report.check(false, || {
+                        format!("(d) missing openings for {serial} part {part:?}")
+                    });
+                    continue;
+                };
+                let rows = &ballot.parts[part.index()];
+                report.check(opened.len() == rows.len(), || {
+                    format!("(d) row count mismatch for {serial} part {part:?}")
+                });
+                for (row_idx, (opened_row, row)) in opened.iter().zip(rows).enumerate() {
+                    // An opened row shorter than the commitment would let
+                    // the zip below silently drop the tail unverified.
+                    report.check(opened_row.len() == row.commitment.len(), || {
+                        format!("(d) opening arity mismatch {serial} {part:?} row {row_idx}")
+                    });
+                    let mut ones = 0;
+                    for (ct, (bit, rand)) in row.commitment.iter().zip(opened_row) {
+                        instances.push(OpeningInstance {
+                            serial: *serial,
+                            part,
+                            row: row_idx,
+                            ct: *ct,
+                            bit: *bit,
+                            rand: *rand,
+                        });
+                        match bit.to_u64() {
+                            Some(0) => {}
+                            Some(1) => ones += 1,
+                            _ => report.check(false, || {
+                                format!("(d) non-bit plaintext {serial} {part:?} row {row_idx}")
+                            }),
+                        }
+                    }
+                    report.check(ones == 1, || {
+                        format!("(d) row is not a unit vector {serial} {part:?} row {row_idx}")
+                    });
+                }
+            }
+        }
+        let outcomes = batched_verify(
+            &self.pool,
+            &instances,
+            |sub| {
+                let items: Vec<(Ciphertext, Scalar, Scalar)> =
+                    sub.iter().map(|i| (i.ct, i.bit, i.rand)).collect();
+                elgamal::batch_verify_openings(&self.init.elgamal_pk, &items)
+            },
+            |inst| elgamal::verify_opening(&self.init.elgamal_pk, &inst.ct, &inst.bit, &inst.rand),
+        );
+        let Some(outcomes) = outcomes else {
+            report.checks_run += instances.len();
+            return;
+        };
+        for (inst, ok) in instances.iter().zip(outcomes) {
+            report.check(ok, || {
+                format!(
+                    "(d) invalid opening {} {:?} row {}",
+                    inst.serial, inst.part, inst.row
+                )
+            });
+        }
+    }
+
+    /// Check (e): used-part ZK proofs complete and valid. Every OR branch
+    /// and sum proof becomes a Chaum–Pedersen instance; one
+    /// [`zkp::cp_verify_batch`] MSM verifies them all, with a parallel
+    /// per-proof fallback on failure.
+    fn verify_proofs(
+        &self,
+        report: &mut AuditReport,
+        vote_set: &ddemos_protocol::posts::VoteSet,
+        challenge: &Scalar,
+    ) {
+        let mut proofs: Vec<ProofInstance> = Vec::new();
+        for (serial, code) in &vote_set.entries {
+            let Some((part, _)) = self.locate_cast_row(*serial, code).first().copied() else {
+                continue;
+            };
+            let Some(rows) = self
+                .snapshot
+                .zk_responses
+                .get(&(*serial, part.index() as u8))
+            else {
+                report.check(false, || {
+                    format!("(e) missing ZK responses for {serial} used part {part:?}")
+                });
+                continue;
+            };
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
+            let bb_rows = &ballot.parts[part.index()];
+            report.check(rows.len() == bb_rows.len(), || {
+                format!("(e) ZK row count mismatch for {serial}")
+            });
+            for (row_idx, ((responses, sum_z), row)) in rows.iter().zip(bb_rows).enumerate() {
+                // A response or first-move list shorter than the commitment
+                // would let the zip below silently drop the tail's OR
+                // proofs (e.g. a malicious EA publishing short `or_first`).
+                report.check(responses.len() == row.commitment.len(), || {
+                    format!("(e) ZK response arity mismatch {serial} {part:?} row {row_idx}")
+                });
+                report.check(row.or_first.len() == row.commitment.len(), || {
+                    format!("(e) proof first-move arity mismatch {serial} {part:?} row {row_idx}")
+                });
+                for ((resp, ct), first) in responses.iter().zip(&row.commitment).zip(&row.or_first)
+                {
+                    match zkp::or_instances(ct, first, resp, challenge) {
+                        Some(pair) => proofs.push(ProofInstance {
+                            serial: *serial,
+                            part,
+                            row: row_idx,
+                            kind: "OR",
+                            instances: pair.to_vec(),
+                        }),
+                        // Split challenges that do not recombine fail the
+                        // proof outright; nothing to batch.
+                        None => report.check(false, || {
+                            format!("(e) OR proof failed {serial} {part:?} row {row_idx}")
+                        }),
+                    }
+                }
+                proofs.push(ProofInstance {
+                    serial: *serial,
+                    part,
+                    row: row_idx,
+                    kind: "sum",
+                    instances: vec![zkp::sum_instance(
+                        &row.commitment,
+                        &row.sum_first,
+                        challenge,
+                        sum_z,
+                    )],
+                });
+            }
+        }
+        let outcomes = batched_verify(
+            &self.pool,
+            &proofs,
+            |sub| {
+                let instances: Vec<zkp::CpInstance> = sub
+                    .iter()
+                    .flat_map(|p| p.instances.iter().copied())
+                    .collect();
+                zkp::cp_verify_batch(&self.init.elgamal_pk, &instances)
+            },
+            |proof| {
+                proof.instances.iter().all(|i| {
+                    zkp::cp_verify(&self.init.elgamal_pk, &i.a, &i.b, &i.first, &i.c, &i.z)
+                })
+            },
+        );
+        let Some(outcomes) = outcomes else {
+            report.checks_run += proofs.len();
+            return;
+        };
+        for (proof, ok) in proofs.iter().zip(outcomes) {
+            report.check(ok, || {
+                format!(
+                    "(e) {} proof failed {} {:?} row {}",
+                    proof.kind, proof.serial, proof.part, proof.row
+                )
+            });
+        }
+    }
+
     /// Runs the delegated checks (f)–(g) for voters who handed over their
-    /// audit information, on top of the public checks.
+    /// audit information, on top of the public checks. The per-voter sweep
+    /// is spread over the pool; sub-reports merge in voter order.
     pub fn verify_delegated(&self, audits: &[AuditInfo]) -> AuditReport {
         let mut report = self.verify_public();
         let Some(vote_set) = &self.snapshot.vote_set else {
             return report;
         };
-        for audit in audits {
+        let sub_reports = self.pool.map(audits, |audit| {
+            let mut sub = AuditReport::default();
             // (f) the submitted code matches the voter's record.
-            report.check(
+            sub.check(
                 vote_set.entries.get(&audit.serial) == Some(&audit.cast_code),
                 || format!("(f) cast code of {} not in the tally set", audit.serial),
             );
@@ -282,24 +479,24 @@ impl<'a> Auditor<'a> {
                 .decrypted_codes
                 .get(&(audit.serial, unused.index() as u8))
             else {
-                report.check(false, || {
+                sub.check(false, || {
                     format!("(g) no decrypted codes for {} unused part", audit.serial)
                 });
-                continue;
+                return sub;
             };
             let Some(opened) = self
                 .snapshot
                 .openings
                 .get(&(audit.serial, unused.index() as u8))
             else {
-                report.check(false, || {
+                sub.check(false, || {
                     format!("(g) no openings for {} unused part", audit.serial)
                 });
-                continue;
+                return sub;
             };
             for line in &audit.unused_part.lines {
                 let Some(row) = codes.iter().position(|c| *c == line.vote_code) else {
-                    report.check(false, || {
+                    sub.check(false, || {
                         format!(
                             "(g) printed code for option {} of {} missing from BB",
                             line.option_index, audit.serial
@@ -312,13 +509,17 @@ impl<'a> Auditor<'a> {
                 let encoded = opened_row
                     .iter()
                     .position(|(bit, _)| bit.to_u64() == Some(1));
-                report.check(encoded == Some(line.option_index), || {
+                sub.check(encoded == Some(line.option_index), || {
                     format!(
                         "(g) ballot {} option {} maps to {:?} on the BB",
                         audit.serial, line.option_index, encoded
                     )
                 });
             }
+            sub
+        });
+        for sub in sub_reports {
+            report.merge(sub);
         }
         report
     }

@@ -280,6 +280,36 @@ macro_rules! mont_field {
                 Some(self.pow(e))
             }
 
+            /// Montgomery-trick batch inversion: replaces every nonzero
+            /// element with its inverse using a single field inversion plus
+            /// `3(n−1)` multiplications, instead of one ~256-square Fermat
+            /// exponentiation per element. Zeros are left in place (the
+            /// batch analogue of [`Self::invert`] returning `None`).
+            pub fn batch_invert(elems: &mut [$name]) {
+                // prefix[i] = product of the nonzero elements before i.
+                let mut prefix = Vec::with_capacity(elems.len());
+                let mut acc = Self::ONE;
+                for e in elems.iter() {
+                    prefix.push(acc);
+                    if !e.is_zero() {
+                        acc *= *e;
+                    }
+                }
+                // acc is a product of nonzero elements (or ONE), hence
+                // invertible.
+                let mut suffix_inv = acc.invert().expect("product of nonzero elements");
+                for (e, p) in elems.iter_mut().zip(prefix).rev() {
+                    if e.is_zero() {
+                        continue;
+                    }
+                    // suffix_inv = (product of nonzero elems[..=i])⁻¹, so
+                    // multiplying by the prefix product isolates elems[i]⁻¹.
+                    let inv = suffix_inv * p;
+                    suffix_inv *= *e;
+                    *e = inv;
+                }
+            }
+
             /// Samples a uniform field element from the given RNG.
             pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> $name {
                 let mut bytes = [0u8; 32];
@@ -445,6 +475,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_invert_matches_invert_and_skips_zeros() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut elems: Vec<Fp> = (0..17).map(|_| Fp::random(&mut rng)).collect();
+        elems[3] = Fp::ZERO;
+        elems[11] = Fp::ZERO;
+        let expected: Vec<Fp> = elems
+            .iter()
+            .map(|e| e.invert().unwrap_or(Fp::ZERO))
+            .collect();
+        Fp::batch_invert(&mut elems);
+        assert_eq!(elems, expected);
+        // Degenerate shapes.
+        Fp::batch_invert(&mut []);
+        let mut zeros = [Fp::ZERO; 3];
+        Fp::batch_invert(&mut zeros);
+        assert_eq!(zeros, [Fp::ZERO; 3]);
+        let mut one = [Scalar::from_u64(42)];
+        Scalar::batch_invert(&mut one);
+        assert_eq!(one[0], Scalar::from_u64(42).invert().unwrap());
+    }
+
+    #[test]
     fn sqrt_works() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut roots = 0;
@@ -524,6 +576,24 @@ mod tests {
         fn prop_invert(a in arb_scalar()) {
             prop_assume!(!a.is_zero());
             prop_assert_eq!(a * a.invert().unwrap(), Scalar::ONE);
+        }
+
+        #[test]
+        fn prop_batch_invert_matches_per_element(
+            elems in proptest::collection::vec(arb_fp(), 0..24),
+            zero_at in any::<u64>(),
+        ) {
+            let mut elems = elems;
+            if !elems.is_empty() {
+                let i = zero_at as usize % elems.len();
+                elems[i] = Fp::ZERO;
+            }
+            let expected: Vec<Fp> = elems
+                .iter()
+                .map(|e| e.invert().unwrap_or(Fp::ZERO))
+                .collect();
+            Fp::batch_invert(&mut elems);
+            prop_assert_eq!(elems, expected);
         }
 
         #[test]

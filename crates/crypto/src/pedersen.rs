@@ -6,13 +6,20 @@
 //! curve). The commitment is perfectly hiding and computationally binding,
 //! and additively homomorphic.
 
-use crate::curve::Point;
+use crate::curve::{FixedBase, Point};
 use crate::field::Scalar;
 
 /// Returns the secondary Pedersen generator `H`.
 pub fn generator_h() -> Point {
-    static H: std::sync::OnceLock<Point> = std::sync::OnceLock::new();
-    *H.get_or_init(|| Point::hash_to_point(b"ddemos/pedersen/generator-h"))
+    generator_h_table().base()
+}
+
+/// The process-wide [`FixedBase`] window table for `H` — commitments
+/// multiply against the same two fixed bases forever, so both sides use
+/// comb tables (`G` via [`Point::mul_generator`], `H` via this).
+pub fn generator_h_table() -> &'static FixedBase {
+    static H: std::sync::OnceLock<FixedBase> = std::sync::OnceLock::new();
+    H.get_or_init(|| FixedBase::new(&Point::hash_to_point(b"ddemos/pedersen/generator-h")))
 }
 
 /// A Pedersen commitment `m·G + r·H`.
@@ -23,9 +30,10 @@ impl Commitment {
     /// The commitment to zero with zero blinding (homomorphic identity).
     pub const IDENTITY: Commitment = Commitment(Point::IDENTITY);
 
-    /// Commits to `m` with blinding factor `r`.
+    /// Commits to `m` with blinding factor `r` (both bases fixed-base
+    /// accelerated).
     pub fn commit(m: &Scalar, r: &Scalar) -> Commitment {
-        Commitment(Point::mul_generator(m) + generator_h().mul(r))
+        Commitment(Point::mul_generator(m) + generator_h_table().mul(r))
     }
 
     /// Verifies an opening `(m, r)`.

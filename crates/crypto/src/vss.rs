@@ -47,19 +47,70 @@ impl VssCommitments {
         self.0.first().copied().unwrap_or(Commitment::IDENTITY)
     }
 
-    /// Verifies a share: `Com(value; blinding) == Σ_j C_j · indexʲ`.
+    /// Verifies a share: `Com(value; blinding) == Σ_j C_j · indexʲ`
+    /// (the right-hand side evaluated as one [`Point::msm`]).
     pub fn verify(&self, share: &VssShare) -> bool {
         if share.index == 0 {
             return false;
         }
         let x = Scalar::from_u64(u64::from(share.index));
-        let mut expected = Commitment::IDENTITY;
+        let mut powers = Vec::with_capacity(self.0.len());
         let mut xj = Scalar::ONE;
-        for c in &self.0 {
-            expected = expected.add(&c.scale(&xj));
+        for _ in &self.0 {
+            powers.push(xj);
             xj *= x;
         }
+        let points: Vec<crate::curve::Point> = self.0.iter().map(|c| c.0).collect();
+        let expected = Commitment(crate::curve::Point::msm(&powers, &points));
         Commitment::commit(&share.value, &share.blinding) == expected
+    }
+
+    /// Verifies many shares of this dealing at once: the per-share
+    /// equations are combined with random weights (hashed from the batch,
+    /// hence deterministic) into one multi-scalar multiplication of
+    /// `k + 2` terms, instead of `k + 2` scalar ladders per share. On
+    /// failure, fall back to per-share [`VssCommitments::verify`].
+    pub fn verify_batch(&self, shares: &[VssShare]) -> bool {
+        if shares.len() < 2 {
+            return shares.iter().all(|s| self.verify(s));
+        }
+        if shares.iter().any(|s| s.index == 0) {
+            return false;
+        }
+        let mut transcript = crate::sha256::Sha256::new();
+        transcript.update(b"ddemos/batch-vss/v1");
+        for c in &self.0 {
+            transcript.update(&c.to_bytes());
+        }
+        for s in shares {
+            transcript.update(&s.index.to_be_bytes());
+            transcript.update(&s.value.to_bytes());
+            transcript.update(&s.blinding.to_bytes());
+        }
+        let seed = transcript.finalize();
+        // Σᵢ ρᵢ·(vᵢ·G + bᵢ·H − Σ_j C_j·xᵢʲ) == 0, grouped by base.
+        let mut g_coeff = Scalar::ZERO;
+        let mut h_coeff = Scalar::ZERO;
+        let mut c_coeffs = vec![Scalar::ZERO; self.0.len()];
+        for (i, s) in shares.iter().enumerate() {
+            let rho = crate::elgamal::batch_weight(&seed, i, 0);
+            g_coeff += rho * s.value;
+            h_coeff += rho * s.blinding;
+            let x = Scalar::from_u64(u64::from(s.index));
+            let mut xj = Scalar::ONE;
+            for c in c_coeffs.iter_mut() {
+                *c -= rho * xj;
+                xj *= x;
+            }
+        }
+        let mut scalars = vec![g_coeff, h_coeff];
+        let mut points = vec![
+            crate::curve::Point::generator(),
+            crate::pedersen::generator_h(),
+        ];
+        scalars.extend(c_coeffs);
+        points.extend(self.0.iter().map(|c| c.0));
+        crate::curve::Point::msm(&scalars, &points).is_identity()
     }
 
     /// Homomorphic addition of two dealings (same threshold).
@@ -250,6 +301,21 @@ mod tests {
         }
         let (rec, _blind) = PedersenVss::reconstruct(&shares[1..4], 3).unwrap();
         assert_eq!(rec, secret);
+    }
+
+    #[test]
+    fn pedersen_vss_batch_verify() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (shares, comms) = PedersenVss::deal(Scalar::from_u64(77), 3, 6, &mut rng).unwrap();
+        assert!(comms.verify_batch(&shares));
+        assert!(comms.verify_batch(&[]));
+        assert!(comms.verify_batch(&shares[..1]));
+        let mut bad = shares.clone();
+        bad[2].value += Scalar::ONE;
+        assert!(!comms.verify_batch(&bad));
+        let mut bad = shares;
+        bad[4].index = 0;
+        assert!(!comms.verify_batch(&bad));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!    real.
 
 use crate::curve::Point;
-use crate::elgamal::{Ciphertext, PublicKey};
+use crate::elgamal::{self, Ciphertext, PreparedKey, PublicKey};
 use crate::field::Scalar;
 use crate::sha256::Sha256;
 
@@ -38,11 +38,12 @@ pub struct CpFirstMove {
 }
 
 impl CpFirstMove {
-    /// Serializes as 66 bytes.
+    /// Serializes as 66 bytes (one shared inversion for both points).
     pub fn to_bytes(&self) -> [u8; 66] {
+        let encoded = Point::to_bytes_many(&[self.t1, self.t2]);
         let mut out = [0u8; 66];
-        out[..33].copy_from_slice(&self.t1.to_bytes());
-        out[33..].copy_from_slice(&self.t2.to_bytes());
+        out[..33].copy_from_slice(&encoded[0]);
+        out[33..].copy_from_slice(&encoded[1]);
         out
     }
 }
@@ -60,6 +61,84 @@ pub fn cp_verify(
     // z·G − c·a == t1  ∧  z·pk − c·b == t2 (Shamir double-scalar form).
     Point::double_mul(z, &Point::generator(), &-*c, a) == first.t1
         && Point::double_mul(z, &pk.0, &-*c, b) == first.t2
+}
+
+/// One Chaum–Pedersen verification instance for [`cp_verify_batch`]:
+/// the claim that `(a, b, first)` verifies under `(c, z)`.
+#[derive(Clone, Copy, Debug)]
+pub struct CpInstance {
+    /// Statement point `a` (should equal `r·G`).
+    pub a: Point,
+    /// Statement point `b` (should equal `r·pk`).
+    pub b: Point,
+    /// The prover's first move.
+    pub first: CpFirstMove,
+    /// The challenge.
+    pub c: Scalar,
+    /// The response.
+    pub z: Scalar,
+}
+
+/// Verifies many Chaum–Pedersen instances at once — the batch verification
+/// path auditors take over a whole election's proofs.
+///
+/// Each instance contributes `z·G − c·a − t1 = 0` and
+/// `z·pk − c·b − t2 = 0`; all equations are combined with per-instance
+/// random weights (derived by hashing the batch, so the result is
+/// deterministic) and checked with **one** multi-scalar multiplication of
+/// `4n + 2` terms instead of `4n` full ladders. On failure, fall back to
+/// per-instance [`cp_verify`] to localize the culprit.
+pub fn cp_verify_batch(pk: &PublicKey, instances: &[CpInstance]) -> bool {
+    if instances.is_empty() {
+        return true;
+    }
+    if instances.len() == 1 {
+        let i = &instances[0];
+        return cp_verify(pk, &i.a, &i.b, &i.first, &i.c, &i.z);
+    }
+    // Serialize every transcript point with one shared inversion — per-
+    // point `to_bytes` would cost a Fermat inversion each and swamp the
+    // MSM this function exists to save.
+    let mut transcript_points = Vec::with_capacity(4 * instances.len() + 1);
+    transcript_points.push(pk.0);
+    for inst in instances {
+        transcript_points.extend([inst.a, inst.b, inst.first.t1, inst.first.t2]);
+    }
+    let encoded = Point::to_bytes_many(&transcript_points);
+    let mut transcript = Sha256::new();
+    transcript.update(b"ddemos/batch-cp/v1");
+    transcript.update(&encoded[0]);
+    for (inst, points) in instances.iter().zip(encoded[1..].chunks(4)) {
+        for p in points {
+            transcript.update(p);
+        }
+        transcript.update(&inst.c.to_bytes());
+        transcript.update(&inst.z.to_bytes());
+    }
+    let seed = transcript.finalize();
+    let mut scalars = Vec::with_capacity(4 * instances.len() + 2);
+    let mut points = Vec::with_capacity(4 * instances.len() + 2);
+    let mut g_coeff = Scalar::ZERO;
+    let mut pk_coeff = Scalar::ZERO;
+    for (i, inst) in instances.iter().enumerate() {
+        let rho = elgamal::batch_weight(&seed, i, 0);
+        let sigma = elgamal::batch_weight(&seed, i, 1);
+        g_coeff += rho * inst.z;
+        pk_coeff += sigma * inst.z;
+        scalars.push(-(rho * inst.c));
+        points.push(inst.a);
+        scalars.push(-rho);
+        points.push(inst.first.t1);
+        scalars.push(-(sigma * inst.c));
+        points.push(inst.b);
+        scalars.push(-sigma);
+        points.push(inst.first.t2);
+    }
+    scalars.push(g_coeff);
+    points.push(Point::generator());
+    scalars.push(pk_coeff);
+    points.push(pk.0);
+    Point::msm(&scalars, &points).is_identity()
 }
 
 /// First move of the 0/1 OR proof for one lifted ElGamal ciphertext.
@@ -139,6 +218,29 @@ pub fn or_prove<R: rand::RngCore + ?Sized>(
     r: &Scalar,
     rng: &mut R,
 ) -> (OrFirstMove, OrProverSecrets) {
+    or_prove_inner(|k| pk.0.mul(k), ct, bit, r, rng)
+}
+
+/// [`or_prove`] through a [`PreparedKey`] window table — same outputs for
+/// the same RNG stream, ~4× cheaper `pk`-base multiplications. This is the
+/// EA's path: one prepared election key serves every ballot.
+pub fn or_prove_with<R: rand::RngCore + ?Sized>(
+    pk: &PreparedKey,
+    ct: &Ciphertext,
+    bit: u8,
+    r: &Scalar,
+    rng: &mut R,
+) -> (OrFirstMove, OrProverSecrets) {
+    or_prove_inner(|k| pk.mul(k), ct, bit, r, rng)
+}
+
+fn or_prove_inner<R: rand::RngCore + ?Sized>(
+    mul_pk: impl Fn(&Scalar) -> Point,
+    ct: &Ciphertext,
+    bit: u8,
+    r: &Scalar,
+    rng: &mut R,
+) -> (OrFirstMove, OrProverSecrets) {
     assert!(bit <= 1, "plaintext must be a bit");
     let w = Scalar::random(rng);
     let c_sim = Scalar::random(rng);
@@ -152,14 +254,14 @@ pub fn or_prove<R: rand::RngCore + ?Sized>(
     // Real branch first move: (w·G, w·pk).
     let real = CpFirstMove {
         t1: Point::mul_generator(&w),
-        t2: pk.0.mul(&w),
+        t2: mul_pk(&w),
     };
     // Simulated branch first move: (z̃·G − c̃·a, z̃·pk − c̃·b'_sim).
     let (b_sim, b_real) = if bit == 0 { (b1, b0) } else { (b0, b1) };
     let _ = b_real;
     let sim = CpFirstMove {
         t1: Point::mul_generator(&z_sim) - ct.a.mul(&c_sim),
-        t2: pk.0.mul(&z_sim) - b_sim.mul(&c_sim),
+        t2: mul_pk(&z_sim) - b_sim.mul(&c_sim),
     };
 
     let first = if bit == 0 {
@@ -221,6 +323,37 @@ pub fn or_verify(
         && cp_verify(pk, &ct.a, &b1, &first.branch1, &resp.c1, &resp.z1)
 }
 
+/// Decomposes an OR proof into its two Chaum–Pedersen instances for
+/// [`cp_verify_batch`]. Returns `None` when the split challenges do not
+/// recombine to `c` (the proof is invalid outright; the scalar check
+/// cannot be deferred to the batch).
+pub fn or_instances(
+    ct: &Ciphertext,
+    first: &OrFirstMove,
+    resp: &OrResponse,
+    c: &Scalar,
+) -> Option<[CpInstance; 2]> {
+    if resp.c0 + resp.c1 != *c {
+        return None;
+    }
+    Some([
+        CpInstance {
+            a: ct.a,
+            b: ct.b,
+            first: first.branch0,
+            c: resp.c0,
+            z: resp.z0,
+        },
+        CpInstance {
+            a: ct.a,
+            b: ct.b - Point::generator(),
+            first: first.branch1,
+            c: resp.c1,
+            z: resp.z1,
+        },
+    ])
+}
+
 /// Pending secrets for the "sum of row encrypts exactly 1" proof.
 ///
 /// The response is `z(c) = γ·c + δ` with `γ = Σrⱼ` (the aggregate
@@ -267,6 +400,25 @@ pub fn sum_prove<R: rand::RngCore + ?Sized>(
     )
 }
 
+/// [`sum_prove`] through a [`PreparedKey`] window table (same outputs for
+/// the same RNG stream).
+pub fn sum_prove_with<R: rand::RngCore + ?Sized>(
+    pk: &PreparedKey,
+    r_sum: &Scalar,
+    rng: &mut R,
+) -> (CpFirstMove, SumProverSecrets) {
+    let w = Scalar::random(rng);
+    (
+        CpFirstMove {
+            t1: Point::mul_generator(&w),
+            t2: pk.mul(&w),
+        },
+        SumProverSecrets {
+            coeffs: [*r_sum, w],
+        },
+    )
+}
+
 /// Verifies the sum proof: the element-wise sum of `row` minus `Enc(1; 0)`
 /// must be a DH pair.
 pub fn sum_verify(
@@ -279,6 +431,19 @@ pub fn sum_verify(
     let total: Ciphertext = row.iter().copied().sum();
     let b_shifted = total.b - Point::generator();
     cp_verify(pk, &total.a, &b_shifted, first, c, z)
+}
+
+/// The sum proof as a single Chaum–Pedersen instance for
+/// [`cp_verify_batch`].
+pub fn sum_instance(row: &[Ciphertext], first: &CpFirstMove, c: &Scalar, z: &Scalar) -> CpInstance {
+    let total: Ciphertext = row.iter().copied().sum();
+    CpInstance {
+        a: total.a,
+        b: total.b - Point::generator(),
+        first: *first,
+        c: *c,
+        z: *z,
+    }
 }
 
 /// Derives the proof challenge from the voters' A/B coins (§III-B: "all the
@@ -392,6 +557,76 @@ mod tests {
         let mut bad_row = row.clone();
         bad_row.push(encrypt_with(&pk, &Scalar::ONE, &extra_r));
         assert!(!sum_verify(&pk, &bad_row, &first, &c, &z));
+    }
+
+    #[test]
+    fn prepared_prove_matches_plain() {
+        let (mut rng_a, pk) = setup(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let (_, _pk2) = crate::elgamal::keygen(&mut rng_b); // align streams
+        let prepared = PreparedKey::new(&pk);
+        let r = Scalar::random(&mut rng_a);
+        let r2 = Scalar::random(&mut rng_b);
+        assert_eq!(r, r2);
+        let ct = encrypt_with(&pk, &Scalar::ONE, &r);
+        let (first_a, secrets_a) = or_prove(&pk, &ct, 1, &r, &mut rng_a);
+        let (first_b, secrets_b) = or_prove_with(&prepared, &ct, 1, &r, &mut rng_b);
+        assert_eq!(first_a, first_b);
+        assert_eq!(secrets_a.coefficients(), secrets_b.coefficients());
+        let (sf_a, ss_a) = sum_prove(&pk, &r, &mut rng_a);
+        let (sf_b, ss_b) = sum_prove_with(&prepared, &r, &mut rng_b);
+        assert_eq!(sf_a, sf_b);
+        assert_eq!(ss_a.coefficients(), ss_b.coefficients());
+    }
+
+    #[test]
+    fn batch_cp_accepts_valid_and_rejects_tampered() {
+        let (mut rng, pk) = setup(12);
+        let c = challenge_from_coins(b"batch", &[true, false, true]);
+        let mut instances = Vec::new();
+        let mut row = Vec::new();
+        let mut r_sum = Scalar::ZERO;
+        for j in 0..5u8 {
+            let bit = j % 2;
+            let r = Scalar::random(&mut rng);
+            r_sum += r;
+            let ct = encrypt_with(&pk, &Scalar::from_u64(u64::from(bit)), &r);
+            row.push(ct);
+            let (first, secrets) = or_prove(&pk, &ct, bit, &r, &mut rng);
+            let resp = secrets.respond(&c);
+            instances.extend(or_instances(&ct, &first, &resp, &c).expect("c0+c1 == c"));
+            // Challenge-split mismatch is caught before batching.
+            let mut bad = resp;
+            bad.c0 += Scalar::ONE;
+            assert!(or_instances(&ct, &first, &bad, &c).is_none());
+        }
+        // The sum proof only holds for rows encrypting total 1; use a
+        // single-entry row here.
+        let r1 = Scalar::random(&mut rng);
+        let one_row = [encrypt_with(&pk, &Scalar::ONE, &r1)];
+        let (sfirst, ssecrets) = sum_prove(&pk, &r1, &mut rng);
+        let sz = ssecrets.respond(&c);
+        assert!(sum_verify(&pk, &one_row, &sfirst, &c, &sz));
+        instances.push(sum_instance(&one_row, &sfirst, &c, &sz));
+        for inst in &instances {
+            assert!(cp_verify(
+                &pk,
+                &inst.a,
+                &inst.b,
+                &inst.first,
+                &inst.c,
+                &inst.z
+            ));
+        }
+        assert!(cp_verify_batch(&pk, &instances));
+        assert!(cp_verify_batch(&pk, &[]));
+        assert!(cp_verify_batch(&pk, &instances[..1]));
+        let mut bad = instances.clone();
+        bad[3].z += Scalar::ONE;
+        assert!(!cp_verify_batch(&pk, &bad));
+        let mut bad = instances;
+        bad[6].first.t1 += Point::generator();
+        assert!(!cp_verify_batch(&pk, &bad));
     }
 
     #[test]

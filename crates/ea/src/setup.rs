@@ -1,6 +1,6 @@
 //! Election setup: deterministic generation of all initialization data.
 
-use ddemos_crypto::elgamal::{self, PublicKey};
+use ddemos_crypto::elgamal::{self, PreparedKey, PublicKey};
 use ddemos_crypto::field::Scalar;
 use ddemos_crypto::hmac::{Prf, PrfRng};
 use ddemos_crypto::schnorr::{SigningKey, VerifyingKey};
@@ -9,6 +9,7 @@ use ddemos_crypto::votecode::{self, MskCommitment, VoteCode, VoteCodeHash};
 use ddemos_crypto::vss::{DealerVss, SignedShare};
 use ddemos_crypto::zkp;
 use ddemos_protocol::ballot::{Ballot, BallotLine, BallotPart};
+use ddemos_protocol::exec::Pool;
 use ddemos_protocol::initdata::{
     msk_share_context, opening_bundle_message, receipt_share_context, BbBallot, BbInit, BbRow,
     TrusteeBallotShares, TrusteeCtShares, TrusteeInit, TrusteePartShares, TrusteeRowShares,
@@ -57,6 +58,9 @@ pub struct ElectionAuthority {
     vc_keys: Vec<SigningKey>,
     trustee_keys: Vec<SigningKey>,
     elgamal_pk: PublicKey,
+    /// The election key with its precomputed window table — `crypto_ballot`
+    /// exponentiates against it for every ciphertext and proof.
+    prepared_pk: PreparedKey,
     msk: [u8; 16],
     msk_salt: u64,
     beacon: u64,
@@ -98,6 +102,7 @@ impl ElectionAuthority {
             ea_key,
             vc_keys,
             trustee_keys,
+            prepared_pk: PreparedKey::new(&elgamal_pk),
             elgamal_pk,
             msk,
             msk_salt,
@@ -272,12 +277,11 @@ impl ElectionAuthority {
                     let bit = u8::from(j == opt);
                     let r = Scalar::random(&mut rng);
                     r_sum += r;
-                    let ct = elgamal::encrypt_with(
-                        &self.elgamal_pk,
-                        &Scalar::from_u64(u64::from(bit)),
-                        &r,
-                    );
-                    let (first, secrets) = zkp::or_prove(&self.elgamal_pk, &ct, bit, &r, &mut rng);
+                    let ct = self
+                        .prepared_pk
+                        .encrypt_with(&Scalar::from_u64(u64::from(bit)), &r);
+                    let (first, secrets) =
+                        zkp::or_prove_with(&self.prepared_pk, &ct, bit, &r, &mut rng);
                     // Share the opening (bit, r) and the 8 affine ZK
                     // coefficients (h_t, N_t).
                     let bit_shares =
@@ -303,7 +307,8 @@ impl ElectionAuthority {
                     cts.push(ct);
                     or_first.push(first);
                 }
-                let (sum_first, sum_secrets) = zkp::sum_prove(&self.elgamal_pk, &r_sum, &mut rng);
+                let (sum_first, sum_secrets) =
+                    zkp::sum_prove_with(&self.prepared_pk, &r_sum, &mut rng);
                 let sum_coeffs = sum_secrets.coefficients();
                 let gamma_shares = shamir::split(sum_coeffs[0], ht, nt, &mut rng).expect("params");
                 let delta_shares = shamir::split(sum_coeffs[1], ht, nt, &mut rng).expect("params");
@@ -411,20 +416,23 @@ impl ElectionAuthority {
         }
     }
 
-    /// Runs setup, materializing all initialization data.
-    ///
-    /// Ballot-level derivation is deterministic per serial, so the work is
-    /// spread across threads without affecting the output.
+    /// Runs setup, materializing all initialization data, on the default
+    /// [`Pool`] (`DDEMOS_THREADS` / available parallelism).
     pub fn setup(&self, profile: SetupProfile) -> SetupOutput {
+        self.setup_with(profile, &Pool::from_env())
+    }
+
+    /// Runs setup on an explicit executor.
+    ///
+    /// Ballot-level derivation is deterministic per serial and the pool
+    /// preserves input order, so the output is byte-identical across
+    /// thread counts.
+    pub fn setup_with(&self, profile: SetupProfile, pool: &Pool) -> SetupOutput {
         let n = self.params.num_ballots;
         let nv = self.params.num_vc;
         let nt = self.params.num_trustees;
         let serials: Vec<SerialNo> = (0..n).map(SerialNo).collect();
 
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let chunk = serials.len().div_ceil(threads.max(1));
         struct BallotBundle {
             serial: SerialNo,
             ballot: Ballot,
@@ -432,37 +440,26 @@ impl ElectionAuthority {
             bb: Option<BbBallot>,
             trustee: Option<Vec<[TrusteePartShares; 2]>>,
         }
-        let bundles: Vec<BallotBundle> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk_serials in serials.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move || {
-                    chunk_serials
-                        .iter()
-                        .map(|&serial| {
-                            let ballot = self.derive_ballot(serial).ballot;
-                            let vc: Vec<VcBallot> =
-                                (0..nv as u32).map(|i| self.vc_ballot(serial, i)).collect();
-                            let (bb, trustee) = if profile == SetupProfile::Full {
-                                let (bb, tr) = self.crypto_ballot(serial);
-                                (Some(bb), Some(tr))
-                            } else {
-                                (None, None)
-                            };
-                            BallotBundle {
-                                serial,
-                                ballot,
-                                vc,
-                                bb,
-                                trustee,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                }));
+        let bundles: Vec<BallotBundle> = pool.map(&serials, |&serial| {
+            let ballot = self.derive_ballot(serial).ballot;
+            let vc: Vec<VcBallot> = if nv > 0 {
+                self.vc_ballots_all_nodes(serial)
+            } else {
+                Vec::new()
+            };
+            let (bb, trustee) = if profile == SetupProfile::Full {
+                let (bb, tr) = self.crypto_ballot(serial);
+                (Some(bb), Some(tr))
+            } else {
+                (None, None)
+            };
+            BallotBundle {
+                serial,
+                ballot,
+                vc,
+                bb,
+                trustee,
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("setup worker"))
-                .collect()
         });
 
         let vc_vks: Vec<VerifyingKey> = self.vc_keys.iter().map(|k| k.verifying_key()).collect();

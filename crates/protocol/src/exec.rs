@@ -1,0 +1,125 @@
+//! A small chunking executor over [`std::thread::scope`] — the shared
+//! parallel runtime for the crypto-heavy election phases (EA ballot
+//! derivation, trustee share processing, the auditor sweep).
+//!
+//! No work-stealing scheduler and no external dependency (the workspace's
+//! offline-shim policy rules out rayon): inputs are split into one
+//! contiguous chunk per thread, each chunk is mapped on its own scoped
+//! thread, and the per-chunk outputs are concatenated **in input order**.
+//! Determinism therefore only requires that the per-item closure itself is
+//! deterministic — every pipeline built on this (per-ballot PRF seeding,
+//! per-serial share dealing) already is, so results are byte-identical
+//! across thread counts.
+
+use std::sync::OnceLock;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "DDEMOS_THREADS";
+
+/// A fixed-width chunking executor. Cheap to copy around; spawning happens
+/// per [`Pool::map`] call via scoped threads, so a `Pool` holds no OS
+/// resources.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// An executor with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The default executor: `DDEMOS_THREADS` if set (and positive), else
+    /// [`std::thread::available_parallelism`]. The environment lookup is
+    /// cached for the process lifetime.
+    pub fn from_env() -> Pool {
+        static DEFAULT: OnceLock<usize> = OnceLock::new();
+        let threads = *DEFAULT.get_or_init(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                })
+        });
+        Pool::new(threads)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, splitting the slice into one contiguous chunk
+    /// per worker. The output preserves input order regardless of thread
+    /// count; with one worker (or ≤ 1 item) everything runs inline on the
+    /// caller's thread.
+    ///
+    /// # Panics
+    /// Propagates a panic from `f` (the scope joins every worker first).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|chunk_items| {
+                    scope.spawn(move || chunk_items.iter().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64, 200] {
+            let got = Pool::new(threads).map(&items, |x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(&[] as &[u64], |x| *x), Vec::<u64>::new());
+        assert_eq!(pool.map(&[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::from_env().threads() >= 1);
+        assert!(Pool::default().threads() >= 1);
+    }
+}

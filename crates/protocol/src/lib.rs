@@ -6,12 +6,15 @@
 //! Authority, wire-canonical encoding for everything that gets signed or
 //! digest-compared, the message set of the vote-collection and vote-set
 //! consensus protocols (§III-E), post-election Bulletin Board records
-//! (§III-G/H), and drift-capable simulation clocks (§III-C assumptions).
+//! (§III-G/H), drift-capable simulation clocks (§III-C assumptions), and
+//! the chunking thread-pool executor ([`exec`]) shared by the
+//! crypto-heavy phases.
 
 #![warn(missing_docs)]
 
 pub mod ballot;
 pub mod clock;
+pub mod exec;
 pub mod ids;
 pub mod initdata;
 pub mod messages;

@@ -25,6 +25,7 @@
 use ddemos_bb::BbSnapshot;
 use ddemos_crypto::field::Scalar;
 use ddemos_crypto::schnorr::Signature;
+use ddemos_protocol::exec::Pool;
 use ddemos_protocol::initdata::TrusteeInit;
 use ddemos_protocol::posts::{PartOpeningPost, PartZkPost, TallySharePost, TrusteePost};
 use ddemos_protocol::{PartId, SerialNo};
@@ -55,12 +56,25 @@ impl std::error::Error for TrusteeError {}
 /// One trustee.
 pub struct Trustee {
     init: TrusteeInit,
+    pool: Pool,
 }
 
 impl Trustee {
-    /// Creates a trustee from its EA-dealt initialization data.
+    /// Creates a trustee from its EA-dealt initialization data, on the
+    /// default executor (`DDEMOS_THREADS` / available parallelism).
     pub fn new(init: TrusteeInit) -> Trustee {
-        Trustee { init }
+        Trustee {
+            init,
+            pool: Pool::from_env(),
+        }
+    }
+
+    /// Sets the worker count used by [`Trustee::produce_post`]'s
+    /// per-ballot share processing.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Trustee {
+        self.pool = Pool::new(threads);
+        self
     }
 
     /// This trustee's index.
@@ -87,88 +101,115 @@ impl Trustee {
             return Err(TrusteeError::CodesMissing);
         }
         let m = self.init.params.num_options;
-        let mut openings = Vec::new();
-        let mut zk = Vec::new();
-        let mut tally_sums: Vec<(Scalar, Scalar)> = vec![(Scalar::ZERO, Scalar::ZERO); m];
 
+        // Per-ballot share processing is independent, so it is mapped over
+        // the pool; serials are sorted first and the pool preserves input
+        // order, keeping the post byte-identical across thread counts.
         let mut serials: Vec<SerialNo> = self.init.ballots.keys().copied().collect();
         serials.sort();
-        for serial in serials {
+        struct BallotOut {
+            openings: Vec<PartOpeningPost>,
+            zk: Option<PartZkPost>,
+            tally: Option<Vec<(Scalar, Scalar)>>,
+        }
+        let per_ballot: Vec<Result<BallotOut, TrusteeError>> = self.pool.map(&serials, |&serial| {
             let shares = &self.init.ballots[&serial];
-            match vote_set.entries.get(&serial) {
-                Some(code) => {
-                    // Locate the used part and cast row via the published
-                    // decrypted codes.
-                    let mut located = None;
-                    for part in PartId::BOTH {
-                        if let Some(codes) =
-                            snapshot.decrypted_codes.get(&(serial, part.index() as u8))
-                        {
-                            if let Some(row) = codes.iter().position(|c| c == code) {
-                                located = Some((part, row));
-                                break;
-                            }
-                        }
-                    }
-                    let (used_part, cast_row) = located.ok_or(TrusteeError::CastCodeNotFound)?;
-                    let unused = used_part.other();
-                    // Unused part: raw opening shares (EA-signed bundle).
-                    let part_shares = &shares.parts[unused.index()];
-                    openings.push(PartOpeningPost {
-                        serial,
-                        part: unused,
-                        rows: part_shares.opening_pairs(),
-                        opening_sig: part_shares.opening_sig,
-                    });
-                    // Used part: ZK responses at the challenge.
-                    let used_shares = &shares.parts[used_part.index()];
-                    let rows: Vec<Vec<[Scalar; 4]>> = used_shares
-                        .rows
-                        .iter()
-                        .map(|row| {
-                            row.cts
-                                .iter()
-                                .map(|ct| {
-                                    let c = &ct.or_coeffs;
-                                    [
-                                        c[0] * challenge + c[1],
-                                        c[2] * challenge + c[3],
-                                        c[4] * challenge + c[5],
-                                        c[6] * challenge + c[7],
-                                    ]
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    let sum_responses: Vec<Scalar> = used_shares
-                        .rows
-                        .iter()
-                        .map(|row| row.sum_coeffs[0] * challenge + row.sum_coeffs[1])
-                        .collect();
-                    zk.push(PartZkPost {
-                        serial,
-                        part: used_part,
-                        rows,
-                        sum_responses,
-                    });
-                    // Tally accumulation: the cast row's per-option opening
-                    // shares join the (additively homomorphic) total.
-                    for (j, ct) in used_shares.rows[cast_row].cts.iter().enumerate() {
-                        tally_sums[j].0 += ct.bit;
-                        tally_sums[j].1 += ct.rand;
-                    }
-                }
-                None => {
-                    // Unvoted ballot: open both parts.
-                    for part in PartId::BOTH {
+            let Some(code) = vote_set.entries.get(&serial) else {
+                // Unvoted ballot: open both parts.
+                let openings = PartId::BOTH
+                    .into_iter()
+                    .map(|part| {
                         let part_shares = &shares.parts[part.index()];
-                        openings.push(PartOpeningPost {
+                        PartOpeningPost {
                             serial,
                             part,
                             rows: part_shares.opening_pairs(),
                             opening_sig: part_shares.opening_sig,
-                        });
+                        }
+                    })
+                    .collect();
+                return Ok(BallotOut {
+                    openings,
+                    zk: None,
+                    tally: None,
+                });
+            };
+            // Locate the used part and cast row via the published
+            // decrypted codes.
+            let mut located = None;
+            for part in PartId::BOTH {
+                if let Some(codes) = snapshot.decrypted_codes.get(&(serial, part.index() as u8)) {
+                    if let Some(row) = codes.iter().position(|c| c == code) {
+                        located = Some((part, row));
+                        break;
                     }
+                }
+            }
+            let (used_part, cast_row) = located.ok_or(TrusteeError::CastCodeNotFound)?;
+            let unused = used_part.other();
+            // Unused part: raw opening shares (EA-signed bundle).
+            let part_shares = &shares.parts[unused.index()];
+            let openings = vec![PartOpeningPost {
+                serial,
+                part: unused,
+                rows: part_shares.opening_pairs(),
+                opening_sig: part_shares.opening_sig,
+            }];
+            // Used part: ZK responses at the challenge.
+            let used_shares = &shares.parts[used_part.index()];
+            let rows: Vec<Vec<[Scalar; 4]>> = used_shares
+                .rows
+                .iter()
+                .map(|row| {
+                    row.cts
+                        .iter()
+                        .map(|ct| {
+                            let c = &ct.or_coeffs;
+                            [
+                                c[0] * challenge + c[1],
+                                c[2] * challenge + c[3],
+                                c[4] * challenge + c[5],
+                                c[6] * challenge + c[7],
+                            ]
+                        })
+                        .collect()
+                })
+                .collect();
+            let sum_responses: Vec<Scalar> = used_shares
+                .rows
+                .iter()
+                .map(|row| row.sum_coeffs[0] * challenge + row.sum_coeffs[1])
+                .collect();
+            // Tally contribution: the cast row's per-option opening
+            // shares join the (additively homomorphic) total.
+            let tally: Vec<(Scalar, Scalar)> = used_shares.rows[cast_row]
+                .cts
+                .iter()
+                .map(|ct| (ct.bit, ct.rand))
+                .collect();
+            Ok(BallotOut {
+                openings,
+                zk: Some(PartZkPost {
+                    serial,
+                    part: used_part,
+                    rows,
+                    sum_responses,
+                }),
+                tally: Some(tally),
+            })
+        });
+
+        let mut openings = Vec::new();
+        let mut zk = Vec::new();
+        let mut tally_sums: Vec<(Scalar, Scalar)> = vec![(Scalar::ZERO, Scalar::ZERO); m];
+        for out in per_ballot {
+            let out = out?;
+            openings.extend(out.openings);
+            zk.extend(out.zk);
+            if let Some(tally) = out.tally {
+                for (j, (bit, rand)) in tally.into_iter().enumerate() {
+                    tally_sums[j].0 += bit;
+                    tally_sums[j].1 += rand;
                 }
             }
         }

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Regenerates the checked-in BENCH_*.json perf baselines:
+#
+#   BENCH_micro.json — crypto kernel baselines (msm vs naive loop,
+#                      batch_to_affine vs per-point, batch_invert vs
+#                      Fermat, fixed-base tables) plus the pre-existing
+#                      micro benches.
+#   BENCH_setup.json — EA setup of a 10k-ballot election at 1 vs 8 worker
+#                      threads (the ids record the machine's hardware
+#                      thread count — interpret the speedup against it).
+#
+# Each bench binary appends one JSON object per measurement to the file
+# named by DDEMOS_BENCH_JSON (see shims/criterion); this script wraps the
+# lines into a JSON array. Run from the repository root:
+#
+#   scripts/bench_record.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+record() {
+    bench="$1"
+    out="$2"
+    tmp="$(mktemp)"
+    echo "== recording $bench -> $out"
+    DDEMOS_BENCH_JSON="$tmp" cargo bench -p ddemos-bench --bench "$bench"
+    { printf '[\n'; awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' "$tmp"; printf ']\n'; } > "$out"
+    rm -f "$tmp"
+}
+
+record micro BENCH_micro.json
+record setup BENCH_setup.json
+
+echo "== done: BENCH_micro.json BENCH_setup.json"

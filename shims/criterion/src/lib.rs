@@ -5,10 +5,44 @@
 //! stdout. No statistics engine, plots, or baseline comparisons — enough
 //! for the workspace's micro-benchmarks to build and produce useful
 //! numbers without network access to the real crate.
+//!
+//! Two extras the workspace relies on:
+//!
+//! * `--test` (criterion's compile-and-smoke flag, as passed by
+//!   `cargo bench -- --test`): each benchmark routine runs exactly once,
+//!   unmeasured — CI uses this to keep benches compiling and panic-free.
+//! * `DDEMOS_BENCH_JSON=<path>`: every measurement is appended to `<path>`
+//!   as one JSON object per line (`scripts/bench_record.sh` assembles the
+//!   checked-in `BENCH_*.json` baselines from these).
 
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
+
+/// True when the binary was invoked with criterion's `--test` smoke flag.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Appends one benchmark measurement to the file named by
+/// `DDEMOS_BENCH_JSON` (one JSON object per line), if set.
+pub fn record_json(id: &str, median_ns: u64, mean_ns: u64, min_ns: u64, samples: usize) {
+    let Ok(path) = std::env::var("DDEMOS_BENCH_JSON") else {
+        return;
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"id\":\"{id}\",\"median_ns\":{median_ns},\"mean_ns\":{mean_ns},\
+             \"min_ns\":{min_ns},\"samples\":{samples}}}"
+        );
+    }
+}
 
 /// How batched inputs are sized; accepted for API compatibility (the shim
 /// always materializes one input per routine invocation).
@@ -28,6 +62,8 @@ pub struct Bencher {
     samples: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    /// `--test` smoke mode: run the routine once, skip measurement.
+    smoke: bool,
     /// Collected per-iteration durations, in nanoseconds.
     recorded_ns: Vec<u64>,
 }
@@ -35,6 +71,10 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
         // Warm-up, and calibrate iterations per sample.
         let warm_deadline = Instant::now() + self.warm_up_time;
         let mut warm_iters: u64 = 0;
@@ -64,6 +104,10 @@ impl Bencher {
         mut routine: R,
         _size: BatchSize,
     ) {
+        if self.smoke {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
         let warm_deadline = Instant::now() + self.warm_up_time;
         while Instant::now() < warm_deadline {
             let input = setup();
@@ -117,15 +161,21 @@ impl Criterion {
         self
     }
 
-    /// Runs one named benchmark.
+    /// Runs one named benchmark (or smoke-runs it once under `--test`).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let smoke = is_test_mode();
         let mut bencher = Bencher {
             samples: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
+            smoke,
             recorded_ns: Vec::new(),
         };
         f(&mut bencher);
+        if smoke {
+            println!("Testing {id} ... ok");
+            return self;
+        }
         let mut ns = bencher.recorded_ns;
         if ns.is_empty() {
             println!("{id:<40} (no samples recorded)");
@@ -141,6 +191,7 @@ impl Criterion {
             format_ns(ns[0]),
             ns.len(),
         );
+        record_json(id, median, mean, ns[0], ns.len());
         self
     }
 }
@@ -201,6 +252,22 @@ mod tests {
         c.bench_function("smoke/batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn record_json_appends_when_env_set() {
+        // No env var: a silent no-op.
+        std::env::remove_var("DDEMOS_BENCH_JSON");
+        record_json("noop", 1, 1, 1, 1);
+        let path = std::env::temp_dir().join(format!("ddemos-bench-{}.jsonl", std::process::id()));
+        std::env::set_var("DDEMOS_BENCH_JSON", &path);
+        record_json("smoke/json", 3, 2, 1, 4);
+        std::env::remove_var("DDEMOS_BENCH_JSON");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(contents.contains(
+            "{\"id\":\"smoke/json\",\"median_ns\":3,\"mean_ns\":2,\"min_ns\":1,\"samples\":4}"
+        ));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
 use ddemos_net::{NetworkProfile, SimNet};
 use ddemos_protocol::ballot::Ballot;
 use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::exec::Pool;
 use ddemos_protocol::params::ParamError;
 use ddemos_protocol::{NodeId, NodeKind, SerialNo};
 use ddemos_trustee::Trustee;
@@ -100,6 +101,7 @@ pub struct ElectionBuilder {
     node_drifts: Vec<(NodeId, i64)>,
     materialize_first: Option<u64>,
     corruptions: Vec<SetupCorruption>,
+    threads: Option<usize>,
 }
 
 impl ElectionBuilder {
@@ -118,7 +120,21 @@ impl ElectionBuilder {
             node_drifts: Vec::new(),
             materialize_first: None,
             corruptions: Vec::new(),
+            threads: None,
         }
+    }
+
+    /// Sets the worker count of the parallel runtime driving EA ballot
+    /// derivation, trustee share processing, and the audit sweep.
+    ///
+    /// Default: the `DDEMOS_THREADS` environment variable if set, else the
+    /// machine's available parallelism. Election artifacts are
+    /// byte-identical for every thread count (per-ballot derivation is
+    /// independently seeded and the executor preserves input order).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
     }
 
     /// Sets the number of vote collector nodes (`Nv`).
@@ -292,6 +308,11 @@ impl ElectionBuilder {
         if partial && self.profile == SetupProfile::Full {
             return Err(BuildError::PartialSetupRequiresVcOnly);
         }
+        let pool = match self.threads {
+            Some(n) => Pool::new(n),
+            None => Pool::from_env(),
+        };
+        let setup_started = std::time::Instant::now();
         let ea = ElectionAuthority::new(self.params.clone(), self.seed);
         let mut setup = if partial {
             // Virtual stores derive VC rows on demand, so only printed
@@ -309,7 +330,7 @@ impl ElectionBuilder {
                 .min(self.params.num_ballots);
             let mut setup = ea.setup_keys_only();
             let vc_rows = if self.store.is_virtual() { 0 } else { num_vc };
-            let per_ballot = derive_cast_range(&ea, materialize, vc_rows);
+            let per_ballot = derive_cast_range(&ea, materialize, vc_rows, &pool);
             let mut ballots = Vec::with_capacity(per_ballot.len());
             for (ballot, node_rows) in per_ballot {
                 for (node, rows) in node_rows.into_iter().enumerate() {
@@ -321,8 +342,9 @@ impl ElectionBuilder {
             setup.ballots = ballots;
             setup
         } else {
-            ea.setup(self.profile)
+            ea.setup_with(self.profile, &pool)
         };
+        let setup_elapsed = setup_started.elapsed();
         for corruption in self.corruptions {
             corruption(&mut setup);
         }
@@ -401,9 +423,16 @@ impl ElectionBuilder {
             .trustee_inits
             .iter()
             .cloned()
-            .map(Trustee::new)
+            .map(|init| Trustee::new(init).with_threads(pool.threads()))
             .collect();
 
+        let run = RunState {
+            timings: crate::election::PhaseTimings {
+                setup: setup_elapsed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         Ok(Election {
             setup,
             net,
@@ -416,49 +445,34 @@ impl ElectionBuilder {
             seed: self.seed,
             store: self.store,
             profile: self.profile,
+            threads: pool.threads(),
             next_client: AtomicU32::new(0),
             cast_seq: AtomicU64::new(0),
-            run: Mutex::new(RunState::default()),
+            run: Mutex::new(run),
             close_lock: Mutex::new(()),
             _ea: ea,
         })
     }
 }
 
-/// Derives voter ballots and per-node VC rows for serials `0..k`, in
-/// parallel across threads (derivation is deterministic per serial).
+/// Derives voter ballots and per-node VC rows for serials `0..k` on the
+/// builder's executor (derivation is deterministic per serial and the pool
+/// preserves order, so results are independent of the thread count).
 fn derive_cast_range(
     ea: &ElectionAuthority,
     k: u64,
     num_vc: usize,
+    pool: &Pool,
 ) -> Vec<(Ballot, Vec<ddemos_protocol::initdata::VcBallot>)> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
     let serials: Vec<u64> = (0..k).collect();
-    let chunk = serials.len().div_ceil(threads.max(1)).max(1);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk_serials in serials.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                chunk_serials
-                    .iter()
-                    .map(|&s| {
-                        let serial = SerialNo(s);
-                        let rows = if num_vc > 0 {
-                            ea.vc_ballots_all_nodes(serial)
-                        } else {
-                            Vec::new()
-                        };
-                        (ea.voter_ballot(serial), rows)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("derivation worker"))
-            .collect()
+    pool.map(&serials, |&s| {
+        let serial = SerialNo(s);
+        let rows = if num_vc > 0 {
+            ea.vc_ballots_all_nodes(serial)
+        } else {
+            Vec::new()
+        };
+        (ea.voter_ballot(serial), rows)
     })
 }
 

@@ -65,6 +65,9 @@ impl std::error::Error for ElectionError {}
 /// Wall-clock durations of each phase (Fig 5c's series).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
+    /// EA setup inside [`crate::ElectionBuilder::build`] (key generation
+    /// plus ballot materialization on the configured thread count).
+    pub setup: Duration,
     /// Casting votes (accumulated over every [`VotingPhase`] call).
     pub vote_collection: Duration,
     /// ANNOUNCE + batched binary consensus + RECOVER.
@@ -112,6 +115,7 @@ pub struct Election {
     pub(crate) seed: u64,
     pub(crate) store: StoreKind,
     pub(crate) profile: ddemos_ea::SetupProfile,
+    pub(crate) threads: usize,
     pub(crate) next_client: AtomicU32,
     pub(crate) cast_seq: AtomicU64,
     pub(crate) run: Mutex<RunState>,
@@ -281,7 +285,7 @@ impl Election {
             .read_snapshot()
             .ok_or(ElectionError::BbTimeout("majority snapshot"))?;
         let mut state = self.run.lock();
-        let auditor = Auditor::new(&self.setup.bb_init, &snapshot);
+        let auditor = Auditor::new(&self.setup.bb_init, &snapshot).with_threads(self.threads);
         let report = if state.audits.is_empty() {
             auditor.verify_public()
         } else {
@@ -318,7 +322,14 @@ impl Election {
             net: NetReport::capture(self.net.stats()),
             workload: state.workload.clone(),
             store: self.store,
+            threads: self.threads,
         }
+    }
+
+    /// The worker count of the parallel runtime (EA setup, trustee share
+    /// processing, audit sweep).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Stops all node threads and the network.

@@ -64,6 +64,10 @@ pub struct ElectionReport {
     pub workload: Option<WorkloadStats>,
     /// Which ballot store backed the VC nodes.
     pub store: StoreKind,
+    /// Worker count of the parallel runtime that drove EA setup, trustee
+    /// share processing, and the audit sweep
+    /// ([`crate::ElectionBuilder::threads`] / `DDEMOS_THREADS`).
+    pub threads: usize,
 }
 
 impl ElectionReport {

@@ -1,0 +1,67 @@
+//! The parallel runtime must never change election artifacts: a
+//! `threads(1)` and a `threads(8)` election from the same seed must
+//! produce identical `InitData`, tally, and receipts (per-ballot PRF
+//! seeding makes derivation order-independent, and the chunking executor
+//! preserves input order).
+
+use ddemos_harness::{ElectionBuilder, ElectionParams};
+
+fn params() -> ElectionParams {
+    ElectionParams::new("determinism", 6, 2, 4, 3, 3, 2, 0, 60_000).unwrap()
+}
+
+#[test]
+fn setup_initdata_is_identical_across_thread_counts() {
+    let single = ElectionBuilder::new(params()).seed(42).threads(1);
+    let parallel = ElectionBuilder::new(params()).seed(42).threads(8);
+    let a = single.build().unwrap();
+    let b = parallel.build().unwrap();
+    assert_eq!(a.threads(), 1);
+    assert_eq!(b.threads(), 8);
+
+    // Printed voter ballots.
+    assert_eq!(a.setup.ballots, b.setup.ballots);
+    // Per-VC-node rows (hashed codes + signed receipt shares).
+    assert_eq!(a.setup.vc_inits.len(), b.setup.vc_inits.len());
+    for (va, vb) in a.setup.vc_inits.iter().zip(&b.setup.vc_inits) {
+        assert_eq!(va.ballots, vb.ballots, "VC node {}", va.node_index);
+    }
+    // BB cryptographic payloads (ciphertexts, proofs, encrypted codes).
+    assert_eq!(*a.setup.bb_init.ballots, *b.setup.bb_init.ballots);
+    // Trustee shares.
+    assert_eq!(a.setup.trustee_inits.len(), b.setup.trustee_inits.len());
+    for (ta, tb) in a.setup.trustee_inits.iter().zip(&b.setup.trustee_inits) {
+        assert_eq!(ta.ballots, tb.ballots, "trustee {}", ta.index);
+    }
+
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn full_election_is_identical_across_thread_counts() {
+    let votes = [0usize, 1, 0, 0];
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 8] {
+        let election = ElectionBuilder::new(params())
+            .seed(7)
+            .threads(threads)
+            .build()
+            .unwrap();
+        let voting = election.voting();
+        for (ballot, &option) in votes.iter().enumerate() {
+            voting.cast(ballot, option).unwrap();
+        }
+        let report = election.finish().unwrap();
+        assert!(report.verified(), "audit failed at threads({threads})");
+        assert_eq!(report.threads, threads);
+        outcomes.push((
+            report.tally().unwrap().to_vec(),
+            report.receipts.clone(),
+            report.audit.as_ref().unwrap().checks_run,
+        ));
+        election.shutdown();
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[0].0, vec![3, 1]);
+}
