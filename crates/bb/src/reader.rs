@@ -7,20 +7,38 @@
 //! answer, and divergent nodes are simply outvoted.
 
 use crate::node::{BbNode, BbSnapshot};
+use ddemos_protocol::clock::GlobalClock;
 use ddemos_protocol::posts::{ElectionResult, VoteSet};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// How long [`MajorityReader::read_until`] pauses between retries.
+const RETRY_INTERVAL: std::time::Duration = std::time::Duration::from_millis(2);
 
 /// A read client holding the URLs (here: handles) of all BB nodes.
 #[derive(Clone)]
 pub struct MajorityReader {
     nodes: Vec<Arc<BbNode>>,
+    clock: GlobalClock,
 }
 
 impl MajorityReader {
-    /// Creates a reader over the given replicas.
+    /// Creates a reader over the given replicas (retries paced by a
+    /// real-time clock).
     pub fn new(nodes: Vec<Arc<BbNode>>) -> MajorityReader {
-        MajorityReader { nodes }
+        MajorityReader {
+            nodes,
+            clock: GlobalClock::new(),
+        }
+    }
+
+    /// Paces retry waits (and the retry timeout) by `clock` instead of
+    /// wall time — under a virtual clock, polling costs no wall time and
+    /// the timeout is measured in virtual milliseconds.
+    #[must_use]
+    pub fn with_clock(mut self, clock: GlobalClock) -> MajorityReader {
+        self.clock = clock;
+        self
     }
 
     /// The number of identical replies a read requires (`fb + 1`, with
@@ -45,22 +63,25 @@ impl MajorityReader {
     }
 
     /// Reads with retries until a majority-backed snapshot satisfying
-    /// `pred` appears or `timeout` elapses.
+    /// `pred` appears or `timeout` elapses (both measured on the reader's
+    /// clock: wall time by default, virtual time under
+    /// [`MajorityReader::with_clock`]).
     pub fn read_until<F>(&self, timeout: std::time::Duration, pred: F) -> Option<BbSnapshot>
     where
         F: Fn(&BbSnapshot) -> bool,
     {
-        let start = std::time::Instant::now();
+        let start_ns = self.clock.now_ns();
+        let timeout_ns = timeout.as_nanos() as u64;
         loop {
             if let Some(snap) = self.read_snapshot() {
                 if pred(&snap) {
                     return Some(snap);
                 }
             }
-            if start.elapsed() > timeout {
+            if self.clock.now_ns().saturating_sub(start_ns) > timeout_ns {
                 return None;
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            self.clock.sleep(RETRY_INTERVAL);
         }
     }
 

@@ -20,6 +20,23 @@ pub struct LivenessParams {
 }
 
 impl LivenessParams {
+    /// Derives the model constants from a simulated-network profile: `δ`
+    /// is the worst one-way delay the profile can inject (base + jitter,
+    /// over both edge classes). Scenario harnesses use this so voter
+    /// patience tracks the emulated network instead of a hard-coded guess.
+    pub fn for_network(
+        profile: &ddemos_net::NetworkProfile,
+        t_comp: Duration,
+        drift: Duration,
+    ) -> LivenessParams {
+        let delta_msg = profile.vc_to_vc.max(profile.client_to_vc) + profile.jitter;
+        LivenessParams {
+            t_comp,
+            delta_msg,
+            drift,
+        }
+    }
+
     /// `Twait = (2Nv + 4)·Tcomp + 12Δ + 6δ` (Theorem 1).
     pub fn t_wait(&self, num_vc: usize) -> Duration {
         self.t_comp * (2 * num_vc as u32 + 4) + self.drift * 12 + self.delta_msg * 6

@@ -13,7 +13,7 @@ use ddemos_protocol::messages::{Msg, RejectReason, VoteOutcome};
 use ddemos_protocol::{NodeId, PartId};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why voting failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,10 +118,14 @@ impl<'a, R: Rng> Voter<'a, R> {
         let mut order: Vec<u32> = (0..self.num_vc as u32).collect();
         order.shuffle(&mut self.rng);
         let mut attempts = 0u32;
+        // Patience and latency are measured in the network's time base —
+        // virtual milliseconds under a virtual clock — so `[d]`-patience
+        // semantics survive when emulated latency costs no wall time.
+        let patience_ns = self.patience.as_nanos() as u64;
         for vc in order {
             attempts = attempts.wrapping_add(1);
             let request_id = self.rng.gen::<u64>();
-            let started = Instant::now();
+            let started_ns = self.endpoint.now_ns();
             self.endpoint.send(
                 NodeId::vc(vc),
                 Msg::Vote {
@@ -132,8 +136,12 @@ impl<'a, R: Rng> Voter<'a, R> {
             );
             // Wait out our patience for *this* node, discarding stray or
             // stale replies.
-            while started.elapsed() < self.patience {
-                let remaining = self.patience - started.elapsed();
+            loop {
+                let elapsed_ns = self.endpoint.now_ns().saturating_sub(started_ns);
+                if elapsed_ns >= patience_ns {
+                    break;
+                }
+                let remaining = Duration::from_nanos(patience_ns - elapsed_ns);
                 let Ok(env) = self.endpoint.recv_timeout(remaining) else {
                     break;
                 };
@@ -151,6 +159,7 @@ impl<'a, R: Rng> Voter<'a, R> {
                 match outcome {
                     VoteOutcome::Receipt(receipt) => {
                         if receipt == expected_receipt {
+                            let latency_ns = self.endpoint.now_ns().saturating_sub(started_ns);
                             return Ok(VoteRecord {
                                 audit: AuditInfo {
                                     serial: self.ballot.serial,
@@ -160,7 +169,7 @@ impl<'a, R: Rng> Voter<'a, R> {
                                     unused_part: self.ballot.part(part.other()).clone(),
                                 },
                                 attempts,
-                                latency: started.elapsed(),
+                                latency: Duration::from_nanos(latency_ns),
                             });
                         }
                         // An invalid receipt is treated like no receipt:

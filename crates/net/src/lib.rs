@@ -12,5 +12,5 @@ pub mod simnet;
 pub mod stats;
 
 pub use latency::NetworkProfile;
-pub use simnet::{Endpoint, Envelope, SimNet};
+pub use simnet::{Endpoint, Envelope, NetFault, SimNet};
 pub use stats::NetStats;

@@ -7,12 +7,27 @@
 //! duplication, and Byzantine fault hooks (crash, partition).
 //!
 //! Nodes register to obtain an [`Endpoint`]; each endpoint owns an inbox
-//! channel. A scheduler thread holds a delay heap and releases messages at
-//! their due time, providing the LAN/WAN emulation of §V.
+//! channel. The network runs in one of two time modes:
+//!
+//! * **Real** ([`SimNet::new`]) — a scheduler thread holds the delay heap
+//!   and releases messages at their wall-clock due time, providing the
+//!   LAN/WAN emulation of §V.
+//! * **Virtual** ([`SimNet::new_virtual`]) — no scheduler thread: the heap
+//!   is an [`EventSource`] drained by a [`VirtualClock`] whenever every
+//!   participant is blocked, so emulated latency costs no wall time and
+//!   delivery order is a pure function of the seeds (see
+//!   `ddemos_protocol::clock`).
+//!
+//! Timed fault injection ([`SimNet::schedule_fault`]) rides the same heap:
+//! a [`NetFault`] (crash, recover, partition, heal, profile change, clock
+//! drift) fires at its simulation timestamp in either mode.
 
 use crate::latency::NetworkProfile;
 use crate::stats::NetStats;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
+use ddemos_protocol::clock::{
+    ActorGuard, DriftRegistry, EventSource, VirtualClock, WaitOpts, WaitOutcome,
+};
 use ddemos_protocol::messages::Msg;
 use ddemos_protocol::NodeId;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -21,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// A routed message with its authenticated source.
@@ -35,15 +50,41 @@ pub struct Envelope {
     pub msg: Msg,
 }
 
+/// A timed fault event (§V's netem / kill-based fault injection, as a
+/// first-class scheduled object).
+#[derive(Clone, Debug)]
+pub enum NetFault {
+    /// All traffic to and from the node is discarded from now on.
+    Crash(NodeId),
+    /// Heals a crash (messages flow again; nothing is replayed).
+    Recover(NodeId),
+    /// Installs a bidirectional partition between two node groups.
+    Partition(Vec<NodeId>, Vec<NodeId>),
+    /// Removes all partitions.
+    HealPartitions,
+    /// Replaces the latency/loss profile (drop / duplicate / reorder
+    /// bursts are a `SetProfile` pair: degrade, then restore).
+    SetProfile(NetworkProfile),
+    /// Retunes a node's internal clock drift (milliseconds) through the
+    /// registered [`DriftRegistry`].
+    SetDrift(NodeId, i64),
+}
+
+enum Payload {
+    Env(Envelope),
+    Fault(NetFault),
+}
+
 struct Scheduled {
-    due: Instant,
+    due_ns: u64,
     seq: u64,
-    env: Envelope,
+    sent_ns: u64,
+    payload: Payload,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
+        self.due_ns == other.due_ns && self.seq == other.seq
     }
 }
 impl Eq for Scheduled {}
@@ -54,8 +95,13 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
+        (self.due_ns, self.seq).cmp(&(other.due_ns, other.seq))
     }
+}
+
+enum TimeMode {
+    Real { epoch: Instant },
+    Virtual { clock: VirtualClock },
 }
 
 struct NetInner {
@@ -69,6 +115,120 @@ struct NetInner {
     seq: Mutex<u64>,
     shutdown: AtomicBool,
     stats: NetStats,
+    time: TimeMode,
+    drifts: RwLock<Option<DriftRegistry>>,
+}
+
+impl NetInner {
+    fn now_ns(&self) -> u64 {
+        match &self.time {
+            TimeMode::Real { epoch } => epoch.elapsed().as_nanos() as u64,
+            TimeMode::Virtual { clock } => clock.now_ns(),
+        }
+    }
+
+    fn virtual_clock(&self) -> Option<&VirtualClock> {
+        match &self.time {
+            TimeMode::Virtual { clock } => Some(clock),
+            TimeMode::Real { .. } => None,
+        }
+    }
+
+    fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+        {
+            let crashed = self.crashed.read();
+            if crashed.contains(&from) || crashed.contains(&to) {
+                return true;
+            }
+        }
+        let parts = self.partitions.read();
+        parts.iter().any(|(a, b)| {
+            (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
+        })
+    }
+
+    fn deliver(&self, env: Envelope, delay_ns: u64) {
+        if self.blocked(env.from, env.to) {
+            self.stats.record_dropped();
+            return;
+        }
+        let to = env.to;
+        let delivered = {
+            let inboxes = self.inboxes.read();
+            match inboxes.get(&to) {
+                Some(tx) => tx.send(env).is_ok(),
+                None => false,
+            }
+        };
+        if delivered {
+            self.stats.record_delivered(delay_ns);
+            if let Some(clock) = self.virtual_clock() {
+                clock.notify_key(to.clock_key());
+            }
+        } else {
+            self.stats.record_dropped();
+        }
+    }
+
+    fn apply_fault(&self, fault: NetFault) {
+        match fault {
+            NetFault::Crash(id) => {
+                self.crashed.write().insert(id);
+            }
+            NetFault::Recover(id) => {
+                self.crashed.write().remove(&id);
+            }
+            NetFault::Partition(a, b) => {
+                self.partitions
+                    .write()
+                    .push((a.into_iter().collect(), b.into_iter().collect()));
+            }
+            NetFault::HealPartitions => {
+                self.partitions.write().clear();
+            }
+            NetFault::SetProfile(profile) => {
+                *self.profile.write() = profile;
+            }
+            NetFault::SetDrift(node, drift_ms) => {
+                if let Some(reg) = self.drifts.read().as_ref() {
+                    reg.set_ms(node.clock_key(), drift_ms);
+                }
+            }
+        }
+    }
+
+    /// Processes one popped heap item (called with no locks held).
+    fn process(&self, item: Scheduled) {
+        match item.payload {
+            Payload::Env(env) => {
+                self.deliver(env, item.due_ns.saturating_sub(item.sent_ns));
+            }
+            Payload::Fault(fault) => self.apply_fault(fault),
+        }
+    }
+}
+
+impl EventSource for NetInner {
+    fn next_due_ns(&self) -> Option<u64> {
+        self.queue.lock().peek().map(|Reverse(s)| s.due_ns)
+    }
+
+    fn pop_due(&self, now_ns: u64) -> bool {
+        let item = {
+            let mut queue = self.queue.lock();
+            match queue.peek() {
+                Some(Reverse(s)) if s.due_ns <= now_ns => Some(queue.pop().expect("peeked").0),
+                _ => None,
+            }
+        };
+        match item {
+            Some(item) => {
+                self.process(item);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Handle to the simulated network (cheaply cloneable).
@@ -84,28 +244,69 @@ impl std::fmt::Debug for SimNet {
 }
 
 impl SimNet {
-    /// Creates a network with the given profile and RNG seed, spawning the
-    /// delivery scheduler thread.
+    /// Creates a real-time network with the given profile and RNG seed,
+    /// spawning the delivery scheduler thread.
     pub fn new(profile: NetworkProfile, seed: u64) -> SimNet {
-        let inner = Arc::new(NetInner {
-            inboxes: RwLock::new(HashMap::new()),
-            crashed: RwLock::new(HashSet::new()),
-            partitions: RwLock::new(Vec::new()),
-            profile: RwLock::new(profile),
-            queue: Mutex::new(BinaryHeap::new()),
-            queue_cv: Condvar::new(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            seq: Mutex::new(0),
-            shutdown: AtomicBool::new(false),
-            stats: NetStats::default(),
-        });
-        let net = SimNet { inner };
+        let net = Self::with_mode(
+            profile,
+            seed,
+            TimeMode::Real {
+                epoch: Instant::now(),
+            },
+        );
         let worker = net.clone();
         std::thread::Builder::new()
             .name("simnet-scheduler".into())
             .spawn(move || worker.scheduler_loop())
             .expect("spawn scheduler");
         net
+    }
+
+    /// Creates a virtual-time network: the delay heap advances the given
+    /// clock event-by-event instead of sleeping (no scheduler thread).
+    pub fn new_virtual(profile: NetworkProfile, seed: u64, clock: VirtualClock) -> SimNet {
+        let net = Self::with_mode(profile, seed, TimeMode::Virtual { clock });
+        let weak: Weak<NetInner> = Arc::downgrade(&net.inner);
+        if let TimeMode::Virtual { clock } = &net.inner.time {
+            clock.set_source(weak as Weak<dyn EventSource>);
+        }
+        net
+    }
+
+    fn with_mode(profile: NetworkProfile, seed: u64, time: TimeMode) -> SimNet {
+        SimNet {
+            inner: Arc::new(NetInner {
+                inboxes: RwLock::new(HashMap::new()),
+                crashed: RwLock::new(HashSet::new()),
+                partitions: RwLock::new(Vec::new()),
+                profile: RwLock::new(profile),
+                queue: Mutex::new(BinaryHeap::new()),
+                queue_cv: Condvar::new(),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                seq: Mutex::new(0),
+                shutdown: AtomicBool::new(false),
+                stats: NetStats::default(),
+                time,
+                drifts: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// The virtual clock driving this network, if in virtual mode.
+    pub fn virtual_clock(&self) -> Option<&VirtualClock> {
+        self.inner.virtual_clock()
+    }
+
+    /// Nanoseconds of simulation time since the network started (wall time
+    /// in real mode, virtual time otherwise).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    /// Connects the per-node drift registry so scheduled
+    /// [`NetFault::SetDrift`] events can retune node clocks.
+    pub fn set_drift_registry(&self, registry: DriftRegistry) {
+        *self.inner.drifts.write() = Some(registry);
     }
 
     /// Registers a node, returning its endpoint.
@@ -130,12 +331,12 @@ impl SimNet {
 
     /// Marks a node as crashed: all traffic to and from it is discarded.
     pub fn crash(&self, id: NodeId) {
-        self.inner.crashed.write().insert(id);
+        self.inner.apply_fault(NetFault::Crash(id));
     }
 
     /// Heals a crashed node (messages flow again; nothing is replayed).
     pub fn restart(&self, id: NodeId) {
-        self.inner.crashed.write().remove(&id);
+        self.inner.apply_fault(NetFault::Recover(id));
     }
 
     /// Installs a bidirectional partition between two node groups.
@@ -144,15 +345,23 @@ impl SimNet {
         a: impl IntoIterator<Item = NodeId>,
         b: impl IntoIterator<Item = NodeId>,
     ) {
-        self.inner
-            .partitions
-            .write()
-            .push((a.into_iter().collect(), b.into_iter().collect()));
+        self.inner.apply_fault(NetFault::Partition(
+            a.into_iter().collect(),
+            b.into_iter().collect(),
+        ));
     }
 
     /// Removes all partitions.
     pub fn heal_partitions(&self) {
-        self.inner.partitions.write().clear();
+        self.inner.apply_fault(NetFault::HealPartitions);
+    }
+
+    /// Schedules a fault to fire at `at` of simulation time (since network
+    /// start), in either time mode.
+    pub fn schedule_fault(&self, at: Duration, fault: NetFault) {
+        let due_ns = at.as_nanos() as u64;
+        let now = self.inner.now_ns();
+        self.push_scheduled(due_ns.max(now), now, Payload::Fault(fault));
     }
 
     /// Network statistics counters.
@@ -160,28 +369,39 @@ impl SimNet {
         &self.inner.stats
     }
 
-    /// Stops the scheduler thread; pending messages are dropped.
+    /// Stops the network; pending messages are dropped. In virtual mode
+    /// this also closes the clock, releasing every blocked wait.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.queue_cv.notify_all();
+        if let Some(clock) = self.inner.virtual_clock() {
+            clock.close();
+        }
     }
 
-    fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+    fn push_scheduled(&self, due_ns: u64, sent_ns: u64, payload: Payload) {
         {
-            let crashed = self.inner.crashed.read();
-            if crashed.contains(&from) || crashed.contains(&to) {
-                return true;
-            }
+            let mut queue = self.inner.queue.lock();
+            let mut seq = self.inner.seq.lock();
+            *seq += 1;
+            queue.push(Reverse(Scheduled {
+                due_ns,
+                seq: *seq,
+                sent_ns,
+                payload,
+            }));
         }
-        let parts = self.inner.partitions.read();
-        parts.iter().any(|(a, b)| {
-            (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
-        })
+        match &self.inner.time {
+            TimeMode::Real { .. } => {
+                self.inner.queue_cv.notify_one();
+            }
+            TimeMode::Virtual { clock } => clock.on_new_event(),
+        }
     }
 
     fn send(&self, env: Envelope) {
         self.inner.stats.record_sent(&env.msg);
-        if self.blocked(env.from, env.to) {
+        if self.inner.blocked(env.from, env.to) {
             self.inner.stats.record_dropped();
             return;
         }
@@ -196,42 +416,20 @@ impl SimNet {
                 profile.duplicate_probability > 0.0 && rng.gen_bool(profile.duplicate_probability);
             (profile.delay(env.from, env.to, &mut *rng), dup)
         };
-        if delay.is_zero() && !dup {
-            self.deliver(env);
+        let virtual_mode = matches!(self.inner.time, TimeMode::Virtual { .. });
+        if delay.is_zero() && !dup && !virtual_mode {
+            // Real-mode fast path. Virtual mode always schedules, so that
+            // delivery happens one event at a time during clock
+            // advancement — the property determinism rests on.
+            self.inner.deliver(env, 0);
             return;
         }
-        let due = Instant::now() + delay;
-        let mut queue = self.inner.queue.lock();
-        let mut push = |env: Envelope, due: Instant| {
-            let mut seq = self.inner.seq.lock();
-            *seq += 1;
-            queue.push(Reverse(Scheduled {
-                due,
-                seq: *seq,
-                env,
-            }));
-        };
+        let now = self.inner.now_ns();
+        let due = now + delay.as_nanos() as u64;
         if dup {
-            push(env.clone(), due + Duration::from_micros(50));
+            self.push_scheduled(due + 50_000, now, Payload::Env(env.clone()));
         }
-        push(env, due);
-        drop(queue);
-        self.inner.queue_cv.notify_one();
-    }
-
-    fn deliver(&self, env: Envelope) {
-        if self.blocked(env.from, env.to) {
-            self.inner.stats.record_dropped();
-            return;
-        }
-        let inboxes = self.inner.inboxes.read();
-        if let Some(tx) = inboxes.get(&env.to) {
-            if tx.send(env).is_ok() {
-                self.inner.stats.record_delivered();
-                return;
-            }
-        }
-        self.inner.stats.record_dropped();
+        self.push_scheduled(due, now, Payload::Env(env));
     }
 
     fn scheduler_loop(&self) {
@@ -243,13 +441,13 @@ impl SimNet {
             {
                 let mut queue = self.inner.queue.lock();
                 loop {
-                    let now = Instant::now();
+                    let now = self.inner.now_ns();
                     match queue.peek() {
-                        Some(Reverse(s)) if s.due <= now => {
-                            due_now.push(queue.pop().unwrap().0.env);
+                        Some(Reverse(s)) if s.due_ns <= now => {
+                            due_now.push(queue.pop().expect("peeked").0);
                         }
                         Some(Reverse(s)) => {
-                            let wait = s.due - now;
+                            let wait = Duration::from_nanos(s.due_ns - now);
                             if due_now.is_empty() {
                                 self.inner.queue_cv.wait_for(&mut queue, wait);
                                 if self.inner.shutdown.load(Ordering::SeqCst) {
@@ -274,8 +472,8 @@ impl SimNet {
                     }
                 }
             }
-            for env in due_now {
-                self.deliver(env);
+            for item in due_now {
+                self.inner.process(item);
             }
         }
     }
@@ -300,6 +498,19 @@ impl Endpoint {
         self.id
     }
 
+    /// Nanoseconds of simulation time (the base for patience and latency
+    /// measurements that must hold in both time modes).
+    pub fn now_ns(&self) -> u64 {
+        self.net.now_ns()
+    }
+
+    /// Registers the current thread as a virtual-time actor for this
+    /// network (no-op handle in real mode). Node event loops call this so
+    /// the clock never advances while they are processing.
+    pub fn actor_guard(&self) -> Option<ActorGuard> {
+        self.net.virtual_clock().map(VirtualClock::register_actor)
+    }
+
     /// Sends a message; the router stamps this endpoint's id as the source.
     pub fn send(&self, to: NodeId, msg: Msg) {
         self.net.send(Envelope {
@@ -320,16 +531,70 @@ impl Endpoint {
     ///
     /// # Errors
     /// Returns `Err` when the network has shut down.
-    pub fn recv(&self) -> Result<Envelope, crossbeam_channel::RecvError> {
-        self.rx.recv()
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        let Some(clock) = self.net.virtual_clock().cloned() else {
+            return self.rx.recv();
+        };
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => return Ok(env),
+                Err(crossbeam_channel::TryRecvError::Disconnected) => return Err(RecvError),
+                Err(crossbeam_channel::TryRecvError::Empty) => {}
+            }
+            match self.wait_on_clock(&clock, None) {
+                WaitOutcome::Notified => {}
+                WaitOutcome::TimerFired => unreachable!("no deadline was set"),
+                WaitOutcome::Closed => return self.rx.try_recv().map_err(|_| RecvError),
+            }
+        }
     }
 
-    /// Receive with a timeout (event loops use this to poll clocks).
+    /// Receive with a timeout (event loops use this to poll clocks). The
+    /// timeout is interpreted in the network's time base — virtual time
+    /// under a virtual clock.
     ///
     /// # Errors
     /// `Timeout` when no message arrived, `Disconnected` on shutdown.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
-        self.rx.recv_timeout(timeout)
+        let Some(clock) = self.net.virtual_clock().cloned() else {
+            return self.rx.recv_timeout(timeout);
+        };
+        let deadline = clock.now_ns().saturating_add(timeout.as_nanos() as u64);
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => return Ok(env),
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    return Err(RecvTimeoutError::Disconnected)
+                }
+                Err(crossbeam_channel::TryRecvError::Empty) => {}
+            }
+            match self.wait_on_clock(&clock, Some(deadline)) {
+                WaitOutcome::Notified => {}
+                WaitOutcome::TimerFired => {
+                    return self.rx.try_recv().map_err(|_| RecvTimeoutError::Timeout)
+                }
+                WaitOutcome::Closed => {
+                    return self
+                        .rx
+                        .try_recv()
+                        .map_err(|_| RecvTimeoutError::Disconnected)
+                }
+            }
+        }
+    }
+
+    fn wait_on_clock(&self, clock: &VirtualClock, deadline_ns: Option<u64>) -> WaitOutcome {
+        let key = self.id.clock_key();
+        // The ready re-check under the clock lock closes the window where
+        // a delivery lands between `try_recv` and the wait registration.
+        clock.wait(
+            WaitOpts {
+                notify_key: Some(key),
+                tiebreak: key,
+                deadline_ns,
+            },
+            Some(&|| !self.rx.is_empty()),
+        )
     }
 
     /// Non-blocking receive.
@@ -489,5 +754,93 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
         assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
         net.shutdown();
+    }
+
+    // ----- virtual time ----------------------------------------------------
+
+    #[test]
+    fn virtual_wan_delivery_is_instant_in_wall_time() {
+        let clock = VirtualClock::new();
+        let net = SimNet::new_virtual(NetworkProfile::wan(), 9, clock.clone());
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        let wall = Instant::now();
+        a.send(NodeId::vc(1), vote_msg(1));
+        let env = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(serial_of(&env.msg), 1);
+        // 25ms of emulated latency elapsed virtually…
+        assert!(clock.now_ns() >= 25_000_000, "virtual {}ns", clock.now_ns());
+        // …but barely any wall time.
+        assert!(wall.elapsed() < Duration::from_secs(1));
+        net.shutdown();
+    }
+
+    #[test]
+    fn virtual_recv_timeout_is_virtual() {
+        let clock = VirtualClock::new();
+        let net = SimNet::new_virtual(NetworkProfile::wan(), 10, clock.clone());
+        let a = net.register(NodeId::vc(0));
+        let wall = Instant::now();
+        // 60 virtual seconds of nothing: must time out quickly in wall time.
+        assert!(a.recv_timeout(Duration::from_secs(60)).is_err());
+        assert_eq!(clock.now_ms(), 60_000);
+        assert!(wall.elapsed() < Duration::from_secs(5));
+        net.shutdown();
+    }
+
+    #[test]
+    fn scheduled_fault_fires_at_virtual_time() {
+        let clock = VirtualClock::new();
+        let net = SimNet::new_virtual(NetworkProfile::instant(), 11, clock.clone());
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        net.schedule_fault(Duration::from_millis(100), NetFault::Crash(NodeId::vc(1)));
+        net.schedule_fault(Duration::from_millis(300), NetFault::Recover(NodeId::vc(1)));
+        // Before the crash: flows.
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_ok());
+        // Sleep past the crash point; traffic is discarded.
+        clock.sleep(Duration::from_millis(150));
+        a.send(NodeId::vc(1), vote_msg(2));
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        // After recovery: flows again.
+        clock.sleep(Duration::from_millis(200));
+        a.send(NodeId::vc(1), vote_msg(3));
+        assert_eq!(
+            serial_of(&b.recv_timeout(Duration::from_millis(50)).unwrap().msg),
+            3
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn virtual_delivery_order_is_seed_deterministic() {
+        let run = |seed: u64| -> (Vec<u64>, u64) {
+            let clock = VirtualClock::new();
+            let net = SimNet::new_virtual(
+                NetworkProfile::lan().with_duplicates(0.3),
+                seed,
+                clock.clone(),
+            );
+            let a = net.register(NodeId::vc(0));
+            let b = net.register(NodeId::vc(1));
+            let _actor = b.actor_guard();
+            for i in 0..50 {
+                a.send(NodeId::vc(1), vote_msg(i));
+            }
+            let mut order = Vec::new();
+            while let Ok(env) = b.recv_timeout(Duration::from_millis(10)) {
+                order.push(serial_of(&env.msg));
+            }
+            let t = clock.now_ns();
+            net.shutdown();
+            (order, t)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(
+            run(42).0,
+            run(43).0,
+            "different seeds should jitter differently"
+        );
     }
 }

@@ -9,6 +9,10 @@ pub struct NetStats {
     sent: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    /// Total scheduled one-way delay of delivered messages, in simulation
+    /// nanoseconds (virtual ns under a virtual clock) — timing accounting
+    /// that stays meaningful and deterministic in both time modes.
+    delay_ns_total: AtomicU64,
     vote_msgs: AtomicU64,
     endorse_msgs: AtomicU64,
     share_msgs: AtomicU64,
@@ -22,14 +26,15 @@ impl NetStats {
             Msg::Vote { .. } | Msg::VoteReply { .. } => &self.vote_msgs,
             Msg::Endorse { .. } | Msg::Endorsement { .. } => &self.endorse_msgs,
             Msg::VoteP { .. } => &self.share_msgs,
-            Msg::Consensus(_) => &self.consensus_msgs,
+            Msg::Consensus(_) | Msg::Rbc(_) => &self.consensus_msgs,
             _ => return,
         };
         class.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_delivered(&self) {
+    pub(crate) fn record_delivered(&self, delay_ns: u64) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.delay_ns_total.fetch_add(delay_ns, Ordering::Relaxed);
     }
 
     pub(crate) fn record_dropped(&self) {
@@ -49,6 +54,20 @@ impl NetStats {
     /// Messages dropped (loss, crash, partition, unknown destination).
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total scheduled one-way delay across all delivered messages
+    /// (simulation nanoseconds).
+    pub fn delay_ns_total(&self) -> u64 {
+        self.delay_ns_total.load(Ordering::Relaxed)
+    }
+
+    /// Mean scheduled one-way delay per delivered message (simulation
+    /// nanoseconds; 0 when nothing was delivered).
+    pub fn mean_delay_ns(&self) -> u64 {
+        self.delay_ns_total()
+            .checked_div(self.delivered())
+            .unwrap_or(0)
     }
 
     /// VOTE / reply traffic.

@@ -92,6 +92,13 @@ impl NodeId {
             index: 0,
         }
     }
+
+    /// A stable 64-bit key for this node, used by the virtual clock for
+    /// wait notification and deterministic same-deadline tie-breaks
+    /// (ordered by role, then index).
+    pub fn clock_key(self) -> u64 {
+        ((self.kind as u64) << 32) | u64::from(self.index)
+    }
 }
 
 impl fmt::Debug for NodeId {

@@ -239,6 +239,9 @@ pub enum Msg {
     },
     /// Batched binary consensus traffic (BVAL/AUX broadcasts).
     Consensus(ConsensusMsg),
+    /// A reliable-broadcast message (RBC driven directly over the
+    /// network, e.g. by the fault-injection tests).
+    Rbc(RbcMsg),
 }
 
 #[cfg(test)]

@@ -50,6 +50,13 @@ pub struct FinalizedVoteSet {
     pub signature: Signature,
     /// This node's `msk` share (EA-signed), released to BB nodes at end.
     pub msk_share: SignedShare,
+    /// Node-clock time (simulation ms) when this node entered the
+    /// ANNOUNCE phase. Stamped inside the simulation so vote-set-consensus
+    /// timing is deterministic under a virtual clock (a driver-side
+    /// wall-clock sample would race with still-running nodes).
+    pub announce_at_ms: u64,
+    /// Node-clock time (simulation ms) when this node finalized.
+    pub finalized_at_ms: u64,
 }
 
 /// Runtime configuration of a node.
@@ -129,6 +136,13 @@ pub struct VcHandle {
 }
 
 impl VcHandle {
+    /// Requests the node to stop without joining (callers that must first
+    /// wake the node — e.g. by closing a virtual clock — set every flag,
+    /// release the wakes, then join).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
     /// Requests the node to stop and joins its thread.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -166,6 +180,7 @@ pub struct VcNode<S> {
     slots: HashMap<SerialNo, BallotSlot>,
     phase: Phase,
     votes_handled: u64,
+    announce_at_ms: u64,
     /// Digests of already-verified UCERTs.
     verified_ucerts: HashSet<[u8; 32]>,
     announce_from: HashSet<u32>,
@@ -209,6 +224,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     slots: HashMap::new(),
                     phase: Phase::Voting,
                     votes_handled: 0,
+                    announce_at_ms: 0,
                     verified_ucerts: HashSet::new(),
                     announce_from: HashSet::new(),
                     consensus: None,
@@ -230,6 +246,10 @@ impl<S: BallotStore + 'static> VcNode<S> {
     }
 
     fn run(&mut self) {
+        // Under a virtual clock this pins the node as an actor: virtual
+        // time cannot advance while this thread is processing a message,
+        // which is what makes event order a pure function of the seeds.
+        let _actor = self.endpoint.actor_guard();
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return;
@@ -293,7 +313,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 ucert,
             } => self.on_recover_response(serial, vote_code, ucert),
             Msg::Consensus(cm) => self.on_consensus(env.from, cm),
-            Msg::VoteReply { .. } => {}
+            Msg::VoteReply { .. } | Msg::Rbc(_) => {}
         }
     }
 
@@ -633,6 +653,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
 
     fn begin_announce(&mut self) {
         self.phase = Phase::Announce;
+        self.announce_at_ms = self.clock.now_ms();
         let entries: Vec<AnnounceEntry> = (0..self.store.num_ballots())
             .map(|s| {
                 let serial = SerialNo(s);
@@ -835,6 +856,8 @@ impl<S: BallotStore + 'static> VcNode<S> {
             vote_set: set,
             signature,
             msk_share: self.init.msk_share,
+            announce_at_ms: self.announce_at_ms,
+            finalized_at_ms: self.clock.now_ms(),
         });
         self.phase = Phase::Done;
     }

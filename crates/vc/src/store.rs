@@ -10,6 +10,7 @@
 //! calibration). Deployments pick a store through the harness's
 //! `StoreKind` builder option rather than constructing these directly.
 
+use ddemos_protocol::clock::GlobalClock;
 use ddemos_protocol::initdata::VcBallot;
 use ddemos_protocol::SerialNo;
 use std::collections::HashMap;
@@ -119,17 +120,32 @@ impl StorageModel {
     }
 }
 
-/// Wraps a store, charging the modelled lookup latency on every `get`.
+/// Wraps a store, charging the modelled lookup latency on every `get`
+/// through a clock-driven wait: real mode sleeps the OS thread (no
+/// core-burning spin loop, even for sub-millisecond latencies), virtual
+/// mode blocks in virtual time so the charge costs no wall clock at all.
 pub struct LatencyStore<S> {
     inner: S,
     latency: Duration,
+    clock: GlobalClock,
 }
 
 impl<S: BallotStore> LatencyStore<S> {
-    /// Wraps `inner` with the latency predicted by `model` for its size.
+    /// Wraps `inner` with the latency predicted by `model` for its size,
+    /// charged against a fresh real-time clock.
     pub fn new(inner: S, model: StorageModel) -> LatencyStore<S> {
+        Self::with_clock(inner, model, GlobalClock::new())
+    }
+
+    /// Wraps `inner`, charging the modelled latency against `clock`
+    /// (virtual elections pass their virtual global clock here).
+    pub fn with_clock(inner: S, model: StorageModel, clock: GlobalClock) -> LatencyStore<S> {
         let latency = model.lookup_latency(inner.num_ballots());
-        LatencyStore { inner, latency }
+        LatencyStore {
+            inner,
+            latency,
+            clock,
+        }
     }
 
     /// The charged per-lookup latency.
@@ -140,23 +156,11 @@ impl<S: BallotStore> LatencyStore<S> {
 
 impl<S: BallotStore> BallotStore for LatencyStore<S> {
     fn get(&self, serial: SerialNo) -> Option<VcBallot> {
-        busy_wait(self.latency);
+        self.clock.sleep(self.latency);
         self.inner.get(serial)
     }
     fn num_ballots(&self) -> u64 {
         self.inner.num_ballots()
-    }
-}
-
-/// Spin-waits for short durations (sleeping is too coarse below ~1ms).
-fn busy_wait(d: Duration) {
-    if d >= Duration::from_millis(2) {
-        std::thread::sleep(d);
-        return;
-    }
-    let start = std::time::Instant::now();
-    while start.elapsed() < d {
-        std::hint::spin_loop();
     }
 }
 
@@ -205,5 +209,26 @@ mod tests {
         let t0 = std::time::Instant::now();
         let _ = store.get(SerialNo(0));
         assert!(t0.elapsed() >= Duration::from_micros(250));
+    }
+
+    #[test]
+    fn latency_store_charges_virtual_time_without_wall_time() {
+        use ddemos_protocol::clock::VirtualClock;
+        let inner = MemoryStore::new(HashMap::new(), 1 << 20);
+        let model = StorageModel {
+            base: Duration::from_millis(400),
+            per_level: Duration::ZERO,
+            per_sqrt_million: Duration::ZERO,
+        };
+        let vclock = VirtualClock::new();
+        let store =
+            LatencyStore::with_clock(inner, model, GlobalClock::new_virtual(vclock.clone()));
+        let wall = std::time::Instant::now();
+        let _ = store.get(SerialNo(0));
+        assert!(vclock.now_ms() >= 400, "virtual charge applied");
+        assert!(
+            wall.elapsed() < Duration::from_millis(400),
+            "no wall-time cost"
+        );
     }
 }

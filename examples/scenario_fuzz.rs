@@ -1,0 +1,100 @@
+//! Seeded fault-scenario fuzzer CLI (the nightly CI sweep entry point).
+//!
+//! Every scenario — election shape, Byzantine behaviours, fault schedule,
+//! network randomness — derives from one `u64` seed and runs on the
+//! virtual clock, so a failure reproduces byte-identically:
+//!
+//! ```text
+//! # sweep 64 seeds starting at 0, write failure artifacts:
+//! cargo run --release --example scenario_fuzz -- --seeds 64 --start 0
+//!
+//! # replay one failing seed with a double-run determinism check:
+//! cargo run --release --example scenario_fuzz -- --seed 12345 --check-determinism
+//! ```
+//!
+//! Failing seeds write `<out>/seed-<N>.txt` (plan, schedule, violations)
+//! and the process exits non-zero.
+
+use ddemos_harness::run_scenario;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    seeds: Vec<u64>,
+    check_determinism: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut seeds = Vec::new();
+    let mut count = 16u64;
+    let mut start = 0u64;
+    let mut explicit: Option<u64> = None;
+    let mut check_determinism = false;
+    let mut out = PathBuf::from("target/scenario-failures");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => explicit = Some(value("--seed").parse().expect("--seed: u64")),
+            "--seeds" => count = value("--seeds").parse().expect("--seeds: u64"),
+            "--start" => start = value("--start").parse().expect("--start: u64"),
+            "--check-determinism" => check_determinism = true,
+            "--out" => out = PathBuf::from(value("--out")),
+            other => panic!("unknown argument {other} (see source header for usage)"),
+        }
+    }
+    match explicit {
+        Some(seed) => seeds.push(seed),
+        None => seeds.extend(start..start + count),
+    }
+    Args {
+        seeds,
+        check_determinism,
+        out,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failures = 0usize;
+    for &seed in &args.seeds {
+        let outcome = run_scenario(seed);
+        let mut problems = outcome.violations.clone();
+        if args.check_determinism {
+            let replay = run_scenario(seed);
+            if replay.fingerprint != outcome.fingerprint {
+                problems.push("determinism: two runs of this seed diverged".into());
+            }
+        }
+        if problems.is_empty() {
+            println!("seed {seed:>8}  ok    [{}]", outcome.plan.schedule.label);
+            continue;
+        }
+        failures += 1;
+        println!(
+            "seed {seed:>8}  FAIL  [{}]  {} violation(s)",
+            outcome.plan.schedule.label,
+            problems.len()
+        );
+        std::fs::create_dir_all(&args.out).expect("create artifact dir");
+        let path = args.out.join(format!("seed-{seed}.txt"));
+        let mut file = std::fs::File::create(&path).expect("create artifact");
+        writeln!(file, "replay: cargo run --release --example scenario_fuzz -- --seed {seed} --check-determinism").unwrap();
+        writeln!(file, "\n== violations").unwrap();
+        for v in &problems {
+            writeln!(file, "  {v}").unwrap();
+        }
+        writeln!(file, "\n== plan\n{}", outcome.plan.describe()).unwrap();
+        writeln!(file, "== fingerprint\n{}", outcome.fingerprint).unwrap();
+        println!("         artifact: {}", path.display());
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{} seeds failed", args.seeds.len());
+        std::process::exit(1);
+    }
+    println!("all {} seeds passed", args.seeds.len());
+}

@@ -72,7 +72,11 @@ impl Bencher {
     /// Times `routine`, repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if self.smoke {
+            // One timed pass: enough for the CI regression gate to compare
+            // a smoke run's order of magnitude against the baseline.
+            let t0 = Instant::now();
             std::hint::black_box(routine());
+            self.recorded_ns.push(t0.elapsed().as_nanos() as u64);
             return;
         }
         // Warm-up, and calibrate iterations per sample.
@@ -105,7 +109,10 @@ impl Bencher {
         _size: BatchSize,
     ) {
         if self.smoke {
-            std::hint::black_box(routine(setup()));
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded_ns.push(t0.elapsed().as_nanos() as u64);
             return;
         }
         let warm_deadline = Instant::now() + self.warm_up_time;
@@ -173,6 +180,11 @@ impl Criterion {
         };
         f(&mut bencher);
         if smoke {
+            // Record the single smoke sample when a recording is requested
+            // (the CI bench gate compares it against the baseline).
+            if let Some(&ns) = bencher.recorded_ns.first() {
+                record_json(id, ns, ns, ns, 1);
+            }
             println!("Testing {id} ... ok");
             return self;
         }

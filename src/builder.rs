@@ -2,11 +2,12 @@
 //! [`StoreKind`] ballot-store selector.
 
 use crate::election::{Election, RunState};
+use crate::schedule::Schedule;
 use ddemos_bb::{BbNode, MajorityReader};
 use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
 use ddemos_net::{NetworkProfile, SimNet};
 use ddemos_protocol::ballot::Ballot;
-use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::clock::{GlobalClock, VirtualClock, NS_PER_MS};
 use ddemos_protocol::exec::Pool;
 use ddemos_protocol::params::ParamError;
 use ddemos_protocol::{NodeId, NodeKind, SerialNo};
@@ -17,6 +18,16 @@ use ddemos_vc::{
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Idle poll granularity of VC node event loops under a virtual clock.
+/// Each idle wake is a discrete event, so the granularity trades virtual
+/// end-of-poll detection precision against event count — 50 virtual ms
+/// keeps a 10-minute emulated election at a few thousand idle events.
+const VIRTUAL_POLL: Duration = Duration::from_millis(50);
+/// Virtual-time advancement margin past `end_ms` before the clock stalls
+/// (the runaway backstop for scenarios that can never finish).
+const VIRTUAL_LIMIT_MARGIN_MS: u64 = 600_000;
 
 /// Which ballot store backs each VC node (§V's cache / disk / virtual
 /// deployments; see `DESIGN.md` for the full hierarchy).
@@ -102,6 +113,9 @@ pub struct ElectionBuilder {
     materialize_first: Option<u64>,
     corruptions: Vec<SetupCorruption>,
     threads: Option<usize>,
+    virtual_time: bool,
+    schedule: Schedule,
+    close_timeout: Option<Duration>,
 }
 
 impl ElectionBuilder {
@@ -121,7 +135,42 @@ impl ElectionBuilder {
             materialize_first: None,
             corruptions: Vec::new(),
             threads: None,
+            virtual_time: false,
+            schedule: Schedule::default(),
+            close_timeout: None,
         }
+    }
+
+    /// Runs the election on a deterministic discrete-event clock instead
+    /// of wall time: emulated network latency, store latency, and the
+    /// voting window cost (almost) no wall clock, and — driven from the
+    /// building thread — every delivery order and the reported virtual
+    /// phase timings are a pure function of the builder seed.
+    ///
+    /// The building thread is registered as the driver actor; drive the
+    /// returned [`Election`] from that thread.
+    #[must_use]
+    pub fn virtual_time(mut self) -> Self {
+        self.virtual_time = true;
+        self
+    }
+
+    /// Installs a timed fault [`Schedule`] (crash/recover, partition/heal,
+    /// loss/duplication/reorder bursts, clock drift) applied at simulation
+    /// timestamps — virtual ones under [`ElectionBuilder::virtual_time`].
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides how long [`Election::close`] waits (in wall time) for the
+    /// VC quorum's finalized vote sets (default 120 s; fuzz harnesses use
+    /// a short value so stalled scenarios fail fast).
+    #[must_use]
+    pub fn close_timeout(mut self, timeout: Duration) -> Self {
+        self.close_timeout = Some(timeout);
+        self
     }
 
     /// Sets the worker count of the parallel runtime driving EA ballot
@@ -356,8 +405,35 @@ impl ElectionBuilder {
             None
         };
 
-        let net = SimNet::new(self.network.clone(), self.seed ^ 0x4E45_5457_4F52_4B21);
-        let clock = GlobalClock::new();
+        let net_seed = self.seed ^ 0x4E45_5457_4F52_4B21;
+        let (net, clock, driver) = if self.virtual_time {
+            let vclock = VirtualClock::new();
+            vclock.set_limit_ns(
+                self.params
+                    .end_ms
+                    .saturating_add(VIRTUAL_LIMIT_MARGIN_MS)
+                    .saturating_mul(NS_PER_MS),
+            );
+            let clock = GlobalClock::new_virtual(vclock.clone());
+            let net = SimNet::new_virtual(self.network.clone(), net_seed, vclock.clone());
+            // Register the building thread as the driver actor *before*
+            // any node spawns: virtual time cannot advance until the
+            // driver blocks, so the start state is identical run to run.
+            let driver = vclock.register_actor();
+            (net, clock, Some(driver))
+        } else {
+            (
+                SimNet::new(self.network.clone(), net_seed),
+                GlobalClock::new(),
+                None,
+            )
+        };
+        // Scheduled SetDrift faults write through the registry in both
+        // time modes (real-time drift experiments included).
+        net.set_drift_registry(clock.drift_registry());
+        for (at_ms, fault) in &self.schedule.events {
+            net.schedule_fault(Duration::from_millis(*at_ms), fault.clone());
+        }
         let (result_tx, result_rx) = crossbeam_channel::unbounded();
         let n = self.params.num_ballots;
         let mut vc_handles: Vec<VcHandle> = Vec::with_capacity(num_vc);
@@ -366,9 +442,13 @@ impl ElectionBuilder {
             let endpoint = net.register(NodeId::vc(i));
             let config = VcNodeConfig {
                 behavior: behaviors[i as usize],
-                ..VcNodeConfig::default()
+                poll: if self.virtual_time {
+                    VIRTUAL_POLL
+                } else {
+                    VcNodeConfig::default().poll
+                },
             };
-            let node_clock = clock.node_clock(drifts[i as usize]);
+            let node_clock = clock.node_clock_keyed(NodeId::vc(i).clock_key(), drifts[i as usize]);
             let beacon = setup.consensus_beacon;
             let tx = result_tx.clone();
             // The rows move into the node's store; the retained init copies
@@ -386,7 +466,7 @@ impl ElectionBuilder {
                 ),
                 StoreKind::Latency(model) => VcNode::spawn(
                     init.clone(),
-                    LatencyStore::new(MemoryStore::new(rows, n), model),
+                    LatencyStore::with_clock(MemoryStore::new(rows, n), model, clock.clone()),
                     endpoint,
                     node_clock,
                     beacon,
@@ -404,7 +484,11 @@ impl ElectionBuilder {
                 ),
                 StoreKind::VirtualLatency(model) => VcNode::spawn(
                     init.clone(),
-                    LatencyStore::new(virtual_store(ea.clone().expect("ea retained"), i, n), model),
+                    LatencyStore::with_clock(
+                        virtual_store(ea.clone().expect("ea retained"), i, n),
+                        model,
+                        clock.clone(),
+                    ),
                     endpoint,
                     node_clock,
                     beacon,
@@ -415,10 +499,22 @@ impl ElectionBuilder {
             vc_handles.push(handle);
         }
 
+        if let Some(vclock) = clock.virtual_clock() {
+            // Start barrier: every node must be registered before the
+            // first advancement step, or the initial event order would
+            // depend on thread start-up timing. A timeout here would
+            // silently void the seed-determinism guarantee, so it is a
+            // hard failure even in release builds.
+            assert!(
+                vclock.wait_for_registered(num_vc + 1, Duration::from_secs(30)),
+                "vc nodes failed to register with the virtual clock within 30s"
+            );
+        }
+
         let bb_nodes: Vec<Arc<BbNode>> = (0..setup.params.num_bb)
             .map(|_| Arc::new(BbNode::new(setup.bb_init.clone())))
             .collect();
-        let reader = MajorityReader::new(bb_nodes.clone());
+        let reader = MajorityReader::new(bb_nodes.clone()).with_clock(clock.clone());
         let trustees: Vec<Trustee> = setup
             .trustee_inits
             .iter()
@@ -446,10 +542,12 @@ impl ElectionBuilder {
             store: self.store,
             profile: self.profile,
             threads: pool.threads(),
+            close_timeout: self.close_timeout.unwrap_or(Duration::from_secs(120)),
             next_client: AtomicU32::new(0),
             cast_seq: AtomicU64::new(0),
             run: Mutex::new(run),
             close_lock: Mutex::new(()),
+            _driver: driver,
             _ea: ea,
         })
     }

@@ -10,7 +10,7 @@ use ddemos_bb::{BbNode, BbSnapshot, MajorityReader};
 use ddemos_ea::{ElectionAuthority, SetupOutput};
 use ddemos_net::{Endpoint, SimNet};
 use ddemos_protocol::ballot::AuditInfo;
-use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::clock::{ActorGuard, GlobalClock};
 use ddemos_protocol::posts::ElectionResult;
 use ddemos_protocol::{NodeId, PartId, SerialNo};
 use ddemos_trustee::Trustee;
@@ -22,9 +22,6 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long [`Election::close`] waits for the VC quorum's finalized vote
-/// sets.
-const CONSENSUS_TIMEOUT: Duration = Duration::from_secs(120);
 /// How long [`Election::close`] waits for a BB majority to hold the
 /// encrypted tally challenge after the VC→BB push.
 const BB_PUBLISH_TIMEOUT: Duration = Duration::from_secs(60);
@@ -62,7 +59,10 @@ impl std::fmt::Display for ElectionError {
 }
 impl std::error::Error for ElectionError {}
 
-/// Wall-clock durations of each phase (Fig 5c's series).
+/// Durations of each phase (Fig 5c's series), measured on the election's
+/// clock: wall time by default, **virtual milliseconds** under
+/// [`crate::ElectionBuilder::virtual_time`] — so Fig 5c numbers keep
+/// matching the paper's emulated latencies however fast the run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
     /// EA setup inside [`crate::ElectionBuilder::build`] (key generation
@@ -116,16 +116,34 @@ pub struct Election {
     pub(crate) store: StoreKind,
     pub(crate) profile: ddemos_ea::SetupProfile,
     pub(crate) threads: usize,
+    /// Wall-clock bound on the [`Election::close`] vote-set drain.
+    pub(crate) close_timeout: Duration,
     pub(crate) next_client: AtomicU32,
     pub(crate) cast_seq: AtomicU64,
     pub(crate) run: Mutex<RunState>,
     /// Serializes [`Election::close`] (the per-node deliveries it drains
     /// are one-shot).
     pub(crate) close_lock: Mutex<()>,
+    /// Virtual-time driver registration of the building thread (`None`
+    /// for real-time elections). Held so virtual time freezes while the
+    /// driver is doing work between waits.
+    pub(crate) _driver: Option<ActorGuard>,
     /// Retained only for [`StoreKind::Virtual`] stores (the stand-in for
     /// each node's pre-populated database); `None` otherwise — the EA is
     /// destroyed after setup (§III-B).
     pub(crate) _ea: Option<Arc<ElectionAuthority>>,
+}
+
+impl Drop for Election {
+    fn drop(&mut self) {
+        // An unjoined drop must still release every node: under a virtual
+        // clock the nodes are blocked in virtual waits and only wake when
+        // the network (and with it the clock) shuts down.
+        for handle in &self.vc_handles {
+            handle.request_stop();
+        }
+        self.net.shutdown();
+    }
 }
 
 impl std::fmt::Debug for Election {
@@ -177,16 +195,20 @@ impl Election {
             None => {
                 self.close_polls();
                 let quorum = self.setup.params.vc_quorum();
-                let t0 = Instant::now();
                 // Drain inline (not via await_vote_sets) so a timeout
-                // preserves the partially collected sets for a retry.
+                // preserves the partially collected sets for a retry. The
+                // channel drain is a wall-clock wait on work the nodes do
+                // in simulation time, so it runs suspended: virtual time
+                // keeps advancing underneath until the sets arrive.
                 let mut pending = std::mem::take(&mut self.run.lock().drained);
-                let deadline = Instant::now() + CONSENSUS_TIMEOUT;
+                let deadline = Instant::now() + self.close_timeout;
                 while pending.len() < quorum {
-                    let received = deadline
-                        .checked_duration_since(Instant::now())
-                        .ok_or(())
-                        .and_then(|left| self.result_rx.recv_timeout(left).map_err(|_| ()));
+                    let received = self.suspended(|| {
+                        deadline
+                            .checked_duration_since(Instant::now())
+                            .ok_or(())
+                            .and_then(|left| self.result_rx.recv_timeout(left).map_err(|_| ()))
+                    });
                     match received {
                         Ok(finalized) => pending.push(finalized),
                         Err(()) => {
@@ -197,21 +219,39 @@ impl Election {
                 }
                 // Cache before the fallible BB wait below: consensus has
                 // completed, and the sets can never be re-read from the
-                // channel.
+                // channel. Consensus timing comes from the node-stamped
+                // announce/finalize times — values produced inside the
+                // simulation, so they replay identically under a virtual
+                // clock (a driver-side clock sample here would race with
+                // nodes still draining their last events).
+                let announce = pending.iter().map(|f| f.announce_at_ms).min().unwrap_or(0);
+                let finalized_at = pending
+                    .iter()
+                    .map(|f| f.finalized_at_ms)
+                    .max()
+                    .unwrap_or(announce);
                 let mut state = self.run.lock();
-                state.timings.vote_set_consensus += t0.elapsed();
+                state.timings.vote_set_consensus +=
+                    Duration::from_millis(finalized_at.saturating_sub(announce));
                 state.finalized = Some(pending.clone());
                 pending
             }
         };
         if self.is_full_setup() && !self.run.lock().published {
-            let t1 = Instant::now();
+            // Unlike the consensus span above, this delta is safe to
+            // sample driver-side even under a virtual clock: between the
+            // two samples the driver only does synchronous BB writes, and
+            // the read predicate is a pure function of those writes — so
+            // the delta is 0 (first-try read) or the whole wait errors,
+            // independent of the racy absolute base.
+            let t1 = self.clock.now_ns();
             self.push_to_bb(&finalized);
             self.reader
                 .read_until(BB_PUBLISH_TIMEOUT, |s| s.challenge.is_some())
                 .ok_or(ElectionError::BbTimeout("encrypted tally"))?;
             let mut state = self.run.lock();
-            state.timings.push_to_bb_and_tally += t1.elapsed();
+            state.timings.push_to_bb_and_tally +=
+                Duration::from_nanos(self.clock.now_ns().saturating_sub(t1));
             state.published = true;
         }
         Ok(finalized)
@@ -244,7 +284,7 @@ impl Election {
                 ));
             }
         }
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         let snapshot = self
             .reader
             .read_until(SNAPSHOT_TIMEOUT, |s| {
@@ -266,7 +306,8 @@ impl Election {
             .and_then(|s| s.result)
             .ok_or(ElectionError::BbTimeout("result"))?;
         let mut state = self.run.lock();
-        state.timings.publish_result += t0.elapsed();
+        state.timings.publish_result +=
+            Duration::from_nanos(self.clock.now_ns().saturating_sub(t0));
         state.result = Some(result.clone());
         Ok(result)
     }
@@ -313,6 +354,13 @@ impl Election {
     /// far: result, receipts, audit outcome, per-phase timings, and
     /// network/workload statistics.
     pub fn report(&self) -> ElectionReport {
+        // Under a virtual clock, wait for every node to park before
+        // snapshotting the network counters: a node resumed alongside the
+        // driver may still be mid-step, and its sends must land in the
+        // snapshot deterministically.
+        if let Some(vclock) = self.clock.virtual_clock() {
+            vclock.quiesce(Duration::from_secs(5));
+        }
         let state = self.run.lock();
         ElectionReport {
             result: state.result.clone(),
@@ -332,12 +380,18 @@ impl Election {
         self.threads
     }
 
-    /// Stops all node threads and the network.
-    pub fn shutdown(self) {
-        for handle in self.vc_handles {
-            handle.stop();
+    /// Stops all node threads and the network. The network (and, in
+    /// virtual mode, the clock) shuts down before joining, so node threads
+    /// blocked in virtual waits are woken rather than joined against.
+    pub fn shutdown(mut self) {
+        let handles = std::mem::take(&mut self.vc_handles);
+        for handle in &handles {
+            handle.request_stop();
         }
         self.net.shutdown();
+        for handle in handles {
+            handle.stop();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -357,6 +411,29 @@ impl Election {
     /// The global reference clock.
     pub fn clock(&self) -> &GlobalClock {
         &self.clock
+    }
+
+    /// Current simulation time in milliseconds (virtual ms under
+    /// [`crate::ElectionBuilder::virtual_time`]).
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Sleeps `d` of simulation time — under a virtual clock this paces
+    /// the scenario (lets scheduled faults and the voting window play out)
+    /// at almost no wall-clock cost.
+    pub fn sleep(&self, d: Duration) {
+        self.clock.sleep(d);
+    }
+
+    /// Runs `f` (a wall-clock wait on something virtual actors produce)
+    /// with the driver's virtual-time registration suspended, so the
+    /// simulation keeps advancing underneath. No-op in real mode.
+    pub(crate) fn suspended<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.clock.virtual_clock() {
+            Some(vclock) => vclock.suspend(f),
+            None => f(),
+        }
     }
 
     /// The majority reader over the BB replicas.
@@ -413,7 +490,7 @@ impl Election {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 break Err(ElectionError::VoteSetTimeout);
             };
-            match self.result_rx.recv_timeout(remaining) {
+            match self.suspended(|| self.result_rx.recv_timeout(remaining)) {
                 Ok(finalized) => out.push(finalized),
                 Err(_) => break Err(ElectionError::VoteSetTimeout),
             }
@@ -503,7 +580,7 @@ impl VotingPhase<'_> {
         let rng = StdRng::seed_from_u64(
             election.seed ^ 0x564F_5445 ^ ((ballot_index as u64) << 24) ^ sequence,
         );
-        let t0 = Instant::now();
+        let t0 = election.clock.now_ns();
         let mut voter = Voter::new(
             ballot,
             &endpoint,
@@ -515,7 +592,7 @@ impl VotingPhase<'_> {
             Some(part) => voter.vote_with_part(option, part),
             None => voter.vote(option),
         };
-        let elapsed = t0.elapsed();
+        let elapsed = Duration::from_nanos(election.clock.now_ns().saturating_sub(t0));
         let mut state = election.run.lock();
         state.timings.vote_collection += elapsed;
         if let Ok(record) = &outcome {

@@ -63,11 +63,15 @@ pub mod adversary;
 pub mod builder;
 pub mod election;
 pub mod report;
+pub mod scenario;
+pub mod schedule;
 pub mod workload;
 
 pub use builder::{BuildError, ElectionBuilder, StoreKind};
 pub use election::{Election, ElectionError, PhaseTimings, VotingPhase};
 pub use report::{ElectionReport, NetReport};
+pub use scenario::{run_scenario, ScenarioOutcome, ScenarioPlan};
+pub use schedule::{Schedule, ScheduleParams};
 pub use workload::{Workload, WorkloadStats};
 
 // Re-export what nearly every harness user needs, so examples and tests
@@ -76,6 +80,6 @@ pub use ddemos::auditor::{verify_vote_included, AuditReport, Auditor};
 pub use ddemos::liveness::LivenessParams;
 pub use ddemos::voter::{VoteError, VoteRecord, Voter};
 pub use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
-pub use ddemos_net::NetworkProfile;
+pub use ddemos_net::{NetFault, NetworkProfile};
 pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
 pub use ddemos_vc::{StorageModel, VcBehavior};

@@ -17,6 +17,9 @@ pub struct NetReport {
     pub delivered: u64,
     /// Messages dropped (loss, crashes, partitions, unknown nodes).
     pub dropped: u64,
+    /// Total scheduled one-way delay of delivered messages (simulation
+    /// nanoseconds).
+    pub delay_ns_total: u64,
     /// VOTE messages sent.
     pub vote_msgs: u64,
     /// ENDORSE-round messages sent.
@@ -34,6 +37,7 @@ impl NetReport {
             sent: stats.sent(),
             delivered: stats.delivered(),
             dropped: stats.dropped(),
+            delay_ns_total: stats.delay_ns_total(),
             vote_msgs: stats.vote_msgs(),
             endorse_msgs: stats.endorse_msgs(),
             share_msgs: stats.share_msgs(),
@@ -79,5 +83,63 @@ impl ElectionReport {
     /// Whether the audit ran and found no failures.
     pub fn verified(&self) -> bool {
         self.audit.as_ref().is_some_and(AuditReport::ok)
+    }
+
+    /// A canonical, line-oriented dump of every seed-determined artifact:
+    /// tally, receipts, audit verdict, simulation-time phase timings
+    /// (setup is excluded — it is real compute, not simulation time), and
+    /// network statistics. Two runs of the same virtual-time scenario seed
+    /// must produce byte-identical output; `tests/determinism.rs` and the
+    /// scenario fuzzer assert exactly that.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match &self.result {
+            Some(r) => {
+                let _ = writeln!(out, "tally: {:?}", r.tally);
+                let _ = writeln!(out, "counted: {}", r.ballots_counted);
+            }
+            None => {
+                let _ = writeln!(out, "tally: none");
+            }
+        }
+        let _ = writeln!(out, "receipts: {}", self.receipts.len());
+        for (serial, receipt) in &self.receipts {
+            let _ = writeln!(out, "  {} {receipt:016x}", serial.0);
+        }
+        match &self.audit {
+            Some(a) => {
+                let _ = writeln!(out, "audit: ok={} checks={}", a.ok(), a.checks_run);
+                for f in &a.failures {
+                    let _ = writeln!(out, "  fail: {f}");
+                }
+            }
+            None => {
+                let _ = writeln!(out, "audit: none");
+            }
+        }
+        let t = &self.timings;
+        let _ = writeln!(
+            out,
+            "timings_ns: vote={} consensus={} push={} publish={}",
+            t.vote_collection.as_nanos(),
+            t.vote_set_consensus.as_nanos(),
+            t.push_to_bb_and_tally.as_nanos(),
+            t.publish_result.as_nanos(),
+        );
+        let n = &self.net;
+        let _ = writeln!(
+            out,
+            "net: sent={} delivered={} dropped={} vote={} endorse={} share={} consensus={}",
+            n.sent,
+            n.delivered,
+            n.dropped,
+            n.vote_msgs,
+            n.endorse_msgs,
+            n.share_msgs,
+            n.consensus_msgs,
+        );
+        let _ = writeln!(out, "net_delay_ns: {}", n.delay_ns_total);
+        out
     }
 }

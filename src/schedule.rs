@@ -1,0 +1,261 @@
+//! Timed fault schedules: the scenario vocabulary of the fuzzer.
+//!
+//! A [`Schedule`] is a list of [`NetFault`]s pinned to simulation
+//! timestamps — the library form of the paper's evaluation harness (§V),
+//! which kills collector processes and degrades links with `netem` at
+//! chosen points of the election. [`Schedule::random`] derives a schedule
+//! from a seed, so a failing scenario replays byte-identically from its
+//! seed alone.
+
+use ddemos_net::{NetFault, NetworkProfile};
+use ddemos_protocol::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A timed fault schedule (applied by the builder at network start).
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// `(at_ms, fault)` pairs in simulation milliseconds since network
+    /// start; order-independent (the network's delay heap sorts them).
+    pub events: Vec<(u64, NetFault)>,
+    /// Whether the schedule stays within the paper's fault model for
+    /// guaranteed liveness: at most `f_v` collectors faulty at any time
+    /// and no message loss between honest parties (crashes, partitions of
+    /// ≤ `f_v` nodes, duplication, reordering, and bounded drift are
+    /// within the model; loss bursts are not).
+    pub liveness_friendly: bool,
+    /// Human-readable scenario class (for failure artifacts).
+    pub label: String,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule {
+            events: Vec::new(),
+            liveness_friendly: true,
+            label: "clean".into(),
+        }
+    }
+}
+
+/// Election shape [`Schedule::random`] generates against.
+#[derive(Clone, Debug)]
+pub struct ScheduleParams {
+    /// Number of vote collector nodes.
+    pub num_vc: usize,
+    /// Tolerated collector faults (`f_v`).
+    pub vc_faults: usize,
+    /// Earliest fault timestamp (ms).
+    pub fault_from_ms: u64,
+    /// Latest fault timestamp (ms); heals/restores land by
+    /// `heal_by_ms`.
+    pub fault_until_ms: u64,
+    /// All partitions heal and all profile bursts restore by here.
+    pub heal_by_ms: u64,
+    /// The baseline latency profile to restore after bursts.
+    pub base_profile: NetworkProfile,
+    /// Preferred fault target. Node-level faults (crash, partition,
+    /// drift) hit this node when set, so a scenario that *also* makes one
+    /// collector Byzantine stays within the `f_v` simultaneous-fault
+    /// budget (a Byzantine node that is additionally crashed or
+    /// partitioned still counts as one fault; a Byzantine node plus a
+    /// *different* partitioned node counts as two).
+    pub target: Option<NodeId>,
+}
+
+impl Schedule {
+    /// Appends an event.
+    pub fn push(&mut self, at_ms: u64, fault: NetFault) {
+        self.events.push((at_ms, fault));
+    }
+
+    /// One line per event, for failure artifacts and replay logs.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "class: {} (liveness_friendly: {})\n",
+            self.label, self.liveness_friendly
+        );
+        let mut events = self.events.clone();
+        events.sort_by_key(|(at, _)| *at);
+        for (at, fault) in &events {
+            let _ = writeln!(out, "  t={at:>6}ms  {fault:?}");
+        }
+        out
+    }
+
+    /// Derives a random schedule from `seed`: one of the scenario classes
+    /// below, with all times and targets drawn from the seeded RNG.
+    ///
+    /// Classes: `clean`, `crash-recover`, `partition-heal`,
+    /// `dup-reorder-burst`, `loss-burst` (the only liveness-unfriendly
+    /// one), `clock-drift`, and `mixed` (crash + drift).
+    pub fn random(seed: u64, params: &ScheduleParams) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5343_4845_4455_4C45);
+        let fv = params.vc_faults.max(1);
+        let span = params
+            .fault_until_ms
+            .saturating_sub(params.fault_from_ms)
+            .max(1);
+        let at = |rng: &mut StdRng| params.fault_from_ms + rng.gen_range(0..span);
+        let node = |rng: &mut StdRng, num_vc: usize| {
+            params
+                .target
+                .unwrap_or_else(|| NodeId::vc(rng.gen_range(0..num_vc as u32)))
+        };
+        let mut schedule = Schedule::default();
+        match rng.gen_range(0..7u32) {
+            0 => {}
+            1 => {
+                schedule.label = "crash-recover".into();
+                let crashes = rng.gen_range(1..=fv);
+                for _ in 0..crashes {
+                    let target = node(&mut rng, params.num_vc);
+                    let t1 = at(&mut rng);
+                    schedule.push(t1, NetFault::Crash(target));
+                    if rng.gen_bool(0.6) {
+                        let t2 = t1 + rng.gen_range(500..=span);
+                        schedule.push(t2.min(params.heal_by_ms), NetFault::Recover(target));
+                    }
+                }
+            }
+            2 => {
+                schedule.label = "partition-heal".into();
+                // Isolate at most f_v nodes so voters can always reach a
+                // quorum-capable majority side; prefer the designated
+                // target so the fault budget is shared with any Byzantine
+                // behaviour.
+                let isolated: Vec<NodeId> = match params.target {
+                    Some(target) => vec![target],
+                    None => {
+                        // Distinct picks: duplicates would silently isolate
+                        // fewer nodes than the drawn count.
+                        let mut picks = std::collections::BTreeSet::new();
+                        for i in 0..rng.gen_range(1..=fv) {
+                            picks.insert(NodeId::vc(i as u32 + rng.gen_range(0u32..2)));
+                        }
+                        picks.into_iter().collect()
+                    }
+                };
+                let rest: Vec<NodeId> = (0..params.num_vc as u32)
+                    .map(NodeId::vc)
+                    .filter(|n| !isolated.contains(n))
+                    .collect();
+                let t1 = at(&mut rng);
+                schedule.push(t1, NetFault::Partition(isolated, rest));
+                schedule.push(params.heal_by_ms, NetFault::HealPartitions);
+            }
+            3 => {
+                schedule.label = "dup-reorder-burst".into();
+                let mut burst = params.base_profile.clone();
+                burst.duplicate_probability = 0.1 + rng.gen::<f64>() * 0.4;
+                burst.jitter = burst.jitter * rng.gen_range(2u32..10) + Duration::from_millis(20);
+                let t1 = at(&mut rng);
+                schedule.push(t1, NetFault::SetProfile(burst));
+                schedule.push(
+                    params.heal_by_ms,
+                    NetFault::SetProfile(params.base_profile.clone()),
+                );
+            }
+            4 => {
+                schedule.label = "loss-burst".into();
+                schedule.liveness_friendly = false;
+                let burst = params
+                    .base_profile
+                    .clone()
+                    .with_drop(0.05 + rng.gen::<f64>() * 0.3);
+                let t1 = at(&mut rng);
+                schedule.push(t1, NetFault::SetProfile(burst));
+                schedule.push(
+                    params.heal_by_ms,
+                    NetFault::SetProfile(params.base_profile.clone()),
+                );
+            }
+            5 => {
+                schedule.label = "clock-drift".into();
+                for _ in 0..rng.gen_range(1..=fv) {
+                    let target = node(&mut rng, params.num_vc);
+                    let drift = rng.gen_range(0u64..=3000) as i64 - 1500;
+                    schedule.push(at(&mut rng), NetFault::SetDrift(target, drift));
+                }
+            }
+            _ => {
+                schedule.label = "mixed-crash-drift".into();
+                let crashed = node(&mut rng, params.num_vc);
+                let t1 = at(&mut rng);
+                schedule.push(t1, NetFault::Crash(crashed));
+                schedule.push(
+                    (t1 + rng.gen_range(1000u64..=4000)).min(params.heal_by_ms),
+                    NetFault::Recover(crashed),
+                );
+                // Drift a node other than the crashed one, keeping the
+                // simultaneously-faulty count at f_v.
+                let drifted = NodeId::vc((crashed.index + 1) % params.num_vc as u32);
+                schedule.push(at(&mut rng), NetFault::SetDrift(drifted, 800));
+            }
+        }
+        schedule.events.sort_by_key(|(t, _)| *t);
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScheduleParams {
+        ScheduleParams {
+            num_vc: 4,
+            vc_faults: 1,
+            fault_from_ms: 1_000,
+            fault_until_ms: 28_000,
+            heal_by_ms: 32_000,
+            base_profile: NetworkProfile::wan(),
+            target: None,
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        for seed in 0..32 {
+            let a = Schedule::random(seed, &params());
+            let b = Schedule::random(seed, &params());
+            assert_eq!(a.describe(), b.describe(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_classes_reachable() {
+        let mut labels = std::collections::HashSet::new();
+        for seed in 0..256 {
+            labels.insert(Schedule::random(seed, &params()).label);
+        }
+        for want in [
+            "clean",
+            "crash-recover",
+            "partition-heal",
+            "dup-reorder-burst",
+            "loss-burst",
+            "clock-drift",
+            "mixed-crash-drift",
+        ] {
+            assert!(labels.contains(want), "class {want} never generated");
+        }
+    }
+
+    #[test]
+    fn heals_land_before_deadline() {
+        for seed in 0..256 {
+            let s = Schedule::random(seed, &params());
+            for (at, fault) in &s.events {
+                if matches!(
+                    fault,
+                    NetFault::HealPartitions | NetFault::SetProfile(_) | NetFault::Recover(_)
+                ) {
+                    assert!(*at <= params().heal_by_ms, "seed {seed}: heal at {at}");
+                }
+            }
+        }
+    }
+}

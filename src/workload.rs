@@ -12,6 +12,7 @@
 use ddemos::voter::Voter;
 use ddemos_net::SimNet;
 use ddemos_protocol::ballot::Ballot;
+use ddemos_protocol::clock::{ActorReservation, VirtualClock};
 use ddemos_protocol::{ElectionParams, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,13 +89,22 @@ impl Workload {
         let latencies_ns = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
         let failures = Arc::new(AtomicU64::new(0));
         let started = Instant::now();
+        let started_sim_ns = net.now_ns();
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.concurrency);
             for client in 0..self.concurrency {
                 let next = next.clone();
                 let latencies_ns = latencies_ns.clone();
                 let failures = failures.clone();
                 let endpoint = net.register(NodeId::client(first_client + client as u32));
-                scope.spawn(move || {
+                // Reserve the client's actor slot *before* the spawn: the
+                // clock must not free-run through thread start-up at a
+                // wall-clock-dependent rate.
+                let reservation = net.virtual_clock().map(VirtualClock::reserve_actor);
+                handles.push(scope.spawn(move || {
+                    // Under a virtual clock each client is an actor, so
+                    // its waits drive the clock like any node's.
+                    let _actor = reservation.map(ActorReservation::activate);
                     let mut rng = StdRng::seed_from_u64(self.seed ^ (client as u64) << 32);
                     loop {
                         let serial = next.fetch_add(1, Ordering::SeqCst);
@@ -120,10 +130,25 @@ impl Workload {
                             }
                         }
                     }
+                }));
+            }
+            // The joins are a wall-clock wait on work the clients do in
+            // simulation time: under a virtual clock, run them suspended
+            // so the clients (whose slots are already reserved above) can
+            // drive the clock.
+            if let Some(vclock) = net.virtual_clock() {
+                vclock.suspend(|| {
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
                 });
             }
+            // Real mode: the scope's implicit join collects the clients.
         });
-        let duration = started.elapsed();
+        let duration = match net.virtual_clock() {
+            Some(_) => Duration::from_nanos(net.now_ns().saturating_sub(started_sim_ns)),
+            None => started.elapsed(),
+        };
         let mut lat = Arc::try_unwrap(latencies_ns)
             .map(|m| m.into_inner())
             .unwrap_or_default();

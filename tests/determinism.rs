@@ -1,10 +1,15 @@
-//! The parallel runtime must never change election artifacts: a
-//! `threads(1)` and a `threads(8)` election from the same seed must
-//! produce identical `InitData`, tally, and receipts (per-ballot PRF
-//! seeding makes derivation order-independent, and the chunking executor
-//! preserves input order).
+//! Determinism guarantees.
+//!
+//! 1. The parallel runtime must never change election artifacts: a
+//!    `threads(1)` and a `threads(8)` election from the same seed must
+//!    produce identical `InitData`, tally, and receipts (per-ballot PRF
+//!    seeding makes derivation order-independent, and the chunking
+//!    executor preserves input order).
+//! 2. The virtual-time runtime must be replayable: two runs of the same
+//!    fuzz seed must produce identical tallies, receipts, phase timings,
+//!    and `NetStats` — byte-identical `ElectionReport` artifacts.
 
-use ddemos_harness::{ElectionBuilder, ElectionParams};
+use ddemos_harness::{run_scenario, ElectionBuilder, ElectionParams};
 
 fn params() -> ElectionParams {
     ElectionParams::new("determinism", 6, 2, 4, 3, 3, 2, 0, 60_000).unwrap()
@@ -64,4 +69,30 @@ fn full_election_is_identical_across_thread_counts() {
     }
     assert_eq!(outcomes[0], outcomes[1]);
     assert_eq!(outcomes[0].0, vec![3, 1]);
+}
+
+#[test]
+fn scenario_seed_replays_byte_identically() {
+    // Covers a clean seed and (if present in range) a faulty one; the
+    // fingerprint includes tally, every receipt, virtual phase timings,
+    // and all NetStats counters.
+    for seed in [0u64, 1, 2, 3] {
+        let a = run_scenario(seed);
+        let b = run_scenario(seed);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "seed {seed} did not replay identically"
+        );
+        assert_eq!(a.violations, b.violations, "seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_scenario(100);
+    let b = run_scenario(101);
+    assert_ne!(
+        a.fingerprint, b.fingerprint,
+        "different seeds should produce different artifacts"
+    );
 }

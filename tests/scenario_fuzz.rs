@@ -1,0 +1,43 @@
+//! Seeded fault-scenario fuzzing: a spread of seeds must uphold the
+//! paper's safety and liveness invariants (the nightly CI sweep runs many
+//! more seeds via `examples/scenario_fuzz.rs`).
+
+use ddemos_harness::{run_scenario, ScenarioPlan};
+
+#[test]
+fn a_spread_of_seeds_upholds_the_invariants() {
+    for seed in 0..8u64 {
+        let outcome = run_scenario(seed);
+        assert!(
+            outcome.passed(),
+            "seed {seed} violated invariants:\n{}\nplan:\n{}",
+            outcome.violations.join("\n"),
+            outcome.plan.describe(),
+        );
+    }
+}
+
+#[test]
+fn plans_cover_fault_classes() {
+    let mut labels = std::collections::HashSet::new();
+    for seed in 0..64u64 {
+        labels.insert(ScenarioPlan::from_seed(seed).schedule.label);
+    }
+    assert!(labels.len() >= 4, "fault-class diversity: {labels:?}");
+}
+
+#[test]
+fn loss_burst_scenarios_still_check_safety() {
+    // Find a liveness-unfriendly seed and make sure it runs to completion
+    // (possibly without receipts for every voter) without violating
+    // safety.
+    let seed = (0..256u64)
+        .find(|&s| !ScenarioPlan::from_seed(s).liveness_expected)
+        .expect("a loss-burst seed exists");
+    let outcome = run_scenario(seed);
+    assert!(
+        outcome.passed(),
+        "seed {seed} violated safety:\n{}",
+        outcome.violations.join("\n")
+    );
+}
