@@ -16,13 +16,15 @@ use ddemos_crypto::shamir::{self, Share};
 use ddemos_crypto::votecode::{self, VoteCode};
 use ddemos_crypto::vss::{DealerVss, SignedShare};
 use ddemos_crypto::zkp;
+use ddemos_protocol::codec;
 use ddemos_protocol::initdata::{
     msk_share_context, opening_bundle_message, voteset_message, BbInit,
 };
 use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
-use ddemos_protocol::wire::Writer;
+use ddemos_protocol::wire::{Reader, WireError, Writer};
 use ddemos_protocol::{PartId, SerialNo};
-use parking_lot::RwLock;
+use ddemos_storage::{Durable, DynJournal, RecoveryStats, StorageError};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -113,12 +115,20 @@ impl BbSnapshot {
     }
 }
 
+#[derive(Default)]
 struct BbState {
     vote_set_submissions: HashMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
     vote_sets: HashMap<[u8; 32], VoteSet>,
     msk_shares: Vec<SignedShare>,
     msk: Option<[u8; 16]>,
     trustee_posts: HashMap<u32, Arc<TrusteePost>>,
+    /// Every accepted (verified, novel) write in **acceptance order** —
+    /// the node's durable history. Snapshots re-encode this list
+    /// verbatim, so replay reproduces the exact original write order
+    /// (quorum thresholds cross for the same digest, phase gates open at
+    /// the same points) and the rebuilt node is byte-identical to the
+    /// never-crashed one.
+    accepted: Vec<BbRecord>,
     snapshot: BbSnapshot,
 }
 
@@ -126,6 +136,77 @@ struct BbState {
 pub struct BbNode {
     init: BbInit,
     state: RwLock<BbState>,
+    /// Durable journal (`None` = volatile node). Every accepted write is
+    /// logged; [`BbNode::recover_amnesia`] rebuilds the node by replaying
+    /// the log through the same verified write path.
+    journal: Mutex<Option<DynJournal>>,
+}
+
+/// One accepted (verified) BB write, as journaled and replayed. Cheap to
+/// clone (the trustee post — the heavy payload — is shared by `Arc`).
+#[derive(Clone)]
+enum BbRecord {
+    VoteSet {
+        from_vc: u32,
+        set: VoteSet,
+        sig: Signature,
+    },
+    MskShare {
+        share: SignedShare,
+    },
+    TrusteePost {
+        post: Arc<TrusteePost>,
+        sig: Signature,
+    },
+}
+
+const TAG_VOTE_SET: u8 = 1;
+const TAG_MSK_SHARE: u8 = 2;
+const TAG_TRUSTEE_POST: u8 = 3;
+
+impl BbRecord {
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            BbRecord::VoteSet { from_vc, set, sig } => {
+                w.put_u8(TAG_VOTE_SET).put_u32(*from_vc);
+                codec::put_vote_set(w, set);
+                codec::put_signature(w, sig);
+            }
+            BbRecord::MskShare { share } => {
+                w.put_u8(TAG_MSK_SHARE);
+                codec::put_signed_share(w, share);
+            }
+            BbRecord::TrusteePost { post, sig } => {
+                w.put_u8(TAG_TRUSTEE_POST);
+                codec::put_trustee_post(w, post);
+                codec::put_signature(w, sig);
+            }
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<BbRecord, WireError> {
+        Ok(match r.get_u8()? {
+            TAG_VOTE_SET => BbRecord::VoteSet {
+                from_vc: r.get_u32()?,
+                set: codec::get_vote_set(r)?,
+                sig: codec::get_signature(r)?,
+            },
+            TAG_MSK_SHARE => BbRecord::MskShare {
+                share: codec::get_signed_share(r)?,
+            },
+            TAG_TRUSTEE_POST => BbRecord::TrusteePost {
+                post: Arc::new(codec::get_trustee_post(r)?),
+                sig: codec::get_signature(r)?,
+            },
+            _ => return Err(WireError::BadValue),
+        })
+    }
 }
 
 /// Digest of a trustee post, for write authentication.
@@ -168,15 +249,27 @@ impl BbNode {
     pub fn new(init: BbInit) -> BbNode {
         BbNode {
             init,
-            state: RwLock::new(BbState {
-                vote_set_submissions: HashMap::new(),
-                vote_sets: HashMap::new(),
-                msk_shares: Vec::new(),
-                msk: None,
-                trustee_posts: HashMap::new(),
-                snapshot: BbSnapshot::default(),
-            }),
+            state: RwLock::new(BbState::default()),
+            journal: Mutex::new(None),
         }
+    }
+
+    /// Attaches a durable journal: every accepted write is logged and
+    /// committed, and [`BbNode::recover_amnesia`] can rebuild the node
+    /// after a power cycle. A journal already holding state is replayed
+    /// immediately.
+    ///
+    /// # Errors
+    /// [`StorageError`] when the existing journal fails to replay.
+    pub fn attach_journal(&self, mut journal: DynJournal) -> Result<RecoveryStats, StorageError> {
+        let stats = journal.recover(&mut BbReplica(self))?;
+        *self.journal.lock() = Some(journal);
+        Ok(stats)
+    }
+
+    /// Whether a journal is attached.
+    pub fn is_durable(&self) -> bool {
+        self.journal.lock().is_some()
     }
 
     /// The published initialization data (public).
@@ -189,6 +282,44 @@ impl BbNode {
         self.state.read().snapshot.clone()
     }
 
+    /// Logs an accepted write to the journal (committed immediately — BB
+    /// writes are rare and each one is an externally visible acceptance).
+    fn journal_accepted(&self, record: &BbRecord) {
+        let mut guard = self.journal.lock();
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        let append = journal.append(&record.encode()).and_then(|()| {
+            journal.commit()?;
+            journal.maybe_compact(&BbReplica(self))?;
+            Ok(())
+        });
+        if let Err(e) = append {
+            eprintln!("bb: journal write failed ({e}); continuing volatile");
+        }
+    }
+
+    /// Power-cycles the node: all volatile state is dropped (unsynced
+    /// journal bytes included) and the accepted-write history is replayed
+    /// from snapshot + WAL through the same verified write path, so the
+    /// rebuilt state is exactly what the writes produce. Without a
+    /// journal this is a plain amnesia crash: the node comes back empty,
+    /// and the read-side `fb+1` majority carries the subsystem.
+    pub fn recover_amnesia(&self) {
+        *self.state.write() = BbState::default();
+        let mut guard = self.journal.lock();
+        if let Some(journal) = guard.as_mut() {
+            if let Err(e) = journal.crash(0) {
+                eprintln!("bb: journal crash simulation failed ({e})");
+            }
+            if let Err(e) = journal.recover(&mut BbReplica(self)) {
+                // The WAL truncated itself at the offending record; the
+                // replica continues from the applied clean prefix.
+                eprintln!("bb: journal replay stopped early ({e}); recovered the clean prefix");
+            }
+        }
+    }
+
     /// A VC node submits its final vote set (authenticated write).
     ///
     /// # Errors
@@ -199,6 +330,16 @@ impl BbNode {
         from_vc: u32,
         set: &VoteSet,
         sig: &Signature,
+    ) -> Result<(), WriteError> {
+        self.submit_vote_set_inner(from_vc, set, sig, true)
+    }
+
+    fn submit_vote_set_inner(
+        &self,
+        from_vc: u32,
+        set: &VoteSet,
+        sig: &Signature,
+        journal: bool,
     ) -> Result<(), WriteError> {
         let vk = self
             .init
@@ -214,7 +355,8 @@ impl BbNode {
         }
         let mut state = self.state.write();
         let submitters = state.vote_set_submissions.entry(digest).or_default();
-        if !submitters.contains(&from_vc) {
+        let novel = !submitters.contains(&from_vc);
+        if novel {
             submitters.push(from_vc);
         }
         let enough = submitters.len() > self.init.params.vc_faults();
@@ -222,6 +364,19 @@ impl BbNode {
         if enough && state.snapshot.vote_set.is_none() {
             state.snapshot.vote_set = Some(set.clone());
             self.after_phase_change(&mut state);
+        }
+        if !novel {
+            return Ok(());
+        }
+        let record = BbRecord::VoteSet {
+            from_vc,
+            set: set.clone(),
+            sig: *sig,
+        };
+        state.accepted.push(record.clone());
+        drop(state);
+        if journal {
+            self.journal_accepted(&record);
         }
         Ok(())
     }
@@ -232,6 +387,10 @@ impl BbNode {
     /// # Errors
     /// Rejects shares whose EA signature fails.
     pub fn submit_msk_share(&self, share: &SignedShare) -> Result<(), WriteError> {
+        self.submit_msk_share_inner(share, true)
+    }
+
+    fn submit_msk_share_inner(&self, share: &SignedShare, journal: bool) -> Result<(), WriteError> {
         let ctx = msk_share_context(&self.init.params.election_id);
         if !DealerVss::verify(&self.init.ea_key, &ctx, share) {
             return Err(WriteError::BadSignature);
@@ -240,13 +399,22 @@ impl BbNode {
         if state.msk.is_some() {
             return Ok(());
         }
-        if !state
+        let novel = !state
             .msk_shares
             .iter()
-            .any(|s| s.share.index == share.share.index)
-        {
-            state.msk_shares.push(*share);
+            .any(|s| s.share.index == share.share.index);
+        if !novel {
+            return Ok(());
         }
+        state.msk_shares.push(*share);
+        // The share is accepted (EA-verified and novel) regardless of how
+        // the reconstruction attempt below ends — record it first so the
+        // journal history matches the in-memory share list even on the
+        // mismatched-commitment path, where the shares are cleared (the
+        // replay re-runs the same clear deterministically).
+        let record = BbRecord::MskShare { share: *share };
+        state.accepted.push(record.clone());
+        let mut outcome = Ok(());
         let k = self.init.params.vc_quorum();
         if state.msk_shares.len() >= k {
             if let Ok(secret) = DealerVss::reconstruct(&state.msk_shares, k) {
@@ -259,11 +427,15 @@ impl BbNode {
                     self.after_phase_change(&mut state);
                 } else {
                     state.msk_shares.clear();
-                    return Err(WriteError::Inconsistent);
+                    outcome = Err(WriteError::Inconsistent);
                 }
             }
         }
-        Ok(())
+        drop(state);
+        if journal {
+            self.journal_accepted(&record);
+        }
+        outcome
     }
 
     /// A trustee submits its post (authenticated write).
@@ -275,6 +447,15 @@ impl BbNode {
         &self,
         post: Arc<TrusteePost>,
         sig: &Signature,
+    ) -> Result<(), WriteError> {
+        self.submit_trustee_post_inner(post, sig, true)
+    }
+
+    fn submit_trustee_post_inner(
+        &self,
+        post: Arc<TrusteePost>,
+        sig: &Signature,
+        journal: bool,
     ) -> Result<(), WriteError> {
         let vk = self
             .init
@@ -301,11 +482,27 @@ impl BbNode {
         if state.snapshot.vote_set.is_none() || state.msk.is_none() {
             return Err(WriteError::WrongPhase);
         }
-        state.trustee_posts.insert(post.trustee_index, post);
+        // First post per trustee wins: the accepted history must match
+        // the retained state exactly, so a resubmission (same or
+        // different content) is ignored rather than overwriting a post
+        // the journal already committed to.
+        if state.trustee_posts.contains_key(&post.trustee_index) {
+            return Ok(());
+        }
+        state.trustee_posts.insert(post.trustee_index, post.clone());
         if state.trustee_posts.len() >= self.init.params.trustee_threshold
             && state.snapshot.result.is_none()
         {
             self.try_publish_result(&mut state);
+        }
+        let record = BbRecord::TrusteePost {
+            post: post.clone(),
+            sig: *sig,
+        };
+        state.accepted.push(record.clone());
+        drop(state);
+        if journal {
+            self.journal_accepted(&record);
         }
         Ok(())
     }
@@ -602,6 +799,66 @@ impl BbNode {
             tally,
             ballots_counted: counted,
         });
+    }
+}
+
+/// [`Durable`] adapter for a [`BbNode`]: the durable state *is* the
+/// accepted-write history, retained in exact acceptance order. A
+/// snapshot re-encodes that history verbatim, and both snapshot restore
+/// and WAL replay re-apply the writes through the same verified write
+/// path — same order, same quorum crossings, same phase gates — so the
+/// rebuilt node is byte-identical to one that never crashed.
+struct BbReplica<'a>(&'a BbNode);
+
+impl BbReplica<'_> {
+    fn apply(&mut self, record: BbRecord) {
+        let node = self.0;
+        let outcome = match record {
+            BbRecord::VoteSet { from_vc, set, sig } => {
+                node.submit_vote_set_inner(from_vc, &set, &sig, false)
+            }
+            BbRecord::MskShare { share } => node.submit_msk_share_inner(&share, false),
+            BbRecord::TrusteePost { post, sig } => {
+                node.submit_trustee_post_inner(post, &sig, false)
+            }
+        };
+        if let Err(e) = outcome {
+            // `Inconsistent` from the msk path replays the original
+            // mismatched-commitment outcome (shares accepted, then
+            // cleared) — not storage damage. Anything else means a
+            // journaled write no longer verifies: tampered storage; skip
+            // the record — write-side verification must hold even
+            // against our own disk.
+            if !matches!(e, WriteError::Inconsistent) {
+                eprintln!("bb: replayed write rejected ({e}); skipping record");
+            }
+        }
+    }
+}
+
+impl Durable for BbReplica<'_> {
+    fn encode_snapshot(&self, w: &mut Writer) {
+        let state = self.0.state.read();
+        w.put_u64(state.accepted.len() as u64);
+        for record in &state.accepted {
+            record.encode_into(w);
+        }
+    }
+
+    fn restore_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let _tag = r.get_bytes()?; // writer domain tag
+        let n = r.get_u64()?;
+        for _ in 0..n {
+            let record = BbRecord::decode(r)?;
+            self.apply(record);
+        }
+        Ok(())
+    }
+
+    fn apply_record(&mut self, record: &[u8]) -> Result<(), WireError> {
+        let record = BbRecord::decode(&mut Reader::new(record))?;
+        self.apply(record);
+        Ok(())
     }
 }
 

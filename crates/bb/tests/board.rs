@@ -174,6 +174,58 @@ fn trustee_post_requires_phase_and_signature() {
 }
 
 #[test]
+fn journaled_node_recovers_byte_identical_state_after_amnesia() {
+    use ddemos_protocol::clock::GlobalClock;
+    use ddemos_storage::{DiskProfile, Journal, JournalConfig, SimDisk};
+
+    let (out, params) = setup();
+    let bb = BbNode::new(out.bb_init.clone());
+    let disk: ddemos_storage::DynDisk =
+        Arc::new(SimDisk::new(GlobalClock::new(), DiskProfile::instant()));
+    bb.attach_journal(Journal::new(disk, JournalConfig::default()))
+        .unwrap();
+    assert!(bb.is_durable());
+
+    // Drive the node through the full write pipeline: vote set, msk
+    // shares, trustee posts, result publication.
+    let mut set = VoteSet::default();
+    set.entries
+        .insert(SerialNo(0), out.ballots[0].parts[0].lines[0].vote_code);
+    bb.submit_vote_set(0, &set, &signed_set(&out, 0, &set))
+        .unwrap();
+    bb.submit_vote_set(1, &set, &signed_set(&out, 1, &set))
+        .unwrap();
+    for init in out.vc_inits.iter().take(params.vc_quorum()) {
+        bb.submit_msk_share(&init.msk_share).unwrap();
+    }
+    let snapshot = bb.read();
+    for init in out.trustee_inits.iter().take(params.trustee_threshold) {
+        let trustee = ddemos_trustee::Trustee::new(init.clone());
+        let (post, sig) = trustee.produce_post(&snapshot).unwrap();
+        bb.submit_trustee_post(Arc::new(post), &sig).unwrap();
+    }
+    let before = bb.read();
+    assert!(before.result.is_some(), "pipeline published a result");
+
+    // Power cycle: all volatile state dropped, rebuilt from the journal
+    // by replaying the accepted writes through the verified write path.
+    bb.recover_amnesia();
+    let after = bb.read();
+    assert_eq!(before.digest(), after.digest(), "recovered state diverged");
+    assert_eq!(before.result, after.result);
+    assert_eq!(before.decrypted_codes, after.decrypted_codes);
+
+    // Without a journal, amnesia really is amnesia.
+    let volatile = BbNode::new(out.bb_init.clone());
+    volatile
+        .submit_vote_set(0, &set, &signed_set(&out, 0, &set))
+        .unwrap();
+    volatile.recover_amnesia();
+    assert!(volatile.read().vote_set.is_none());
+    assert!(!volatile.is_durable());
+}
+
+#[test]
 fn required_majority_is_a_true_majority() {
     let (out, _) = setup();
     for (replicas, needed) in [(1usize, 1usize), (2, 1), (3, 2), (4, 2), (5, 3)] {

@@ -166,6 +166,47 @@ fn bench_zkp(c: &mut Criterion) {
     });
 }
 
+/// The durability WAL's group-committed append path (`ddemos-storage`):
+/// 1024 64-byte records per routine call on an instant `SimDisk`, so the
+/// measured cost is the framing + CRC + group-commit machinery itself.
+/// Batch 1 syncs every frame; batch 64 amortizes the sync — the knob
+/// `ElectionBuilder::durability_tuning` exposes. Sustained throughput is
+/// `1024 / median` frames/s (the acceptance floor is 100k frames/s, i.e.
+/// a median under ~10.2 ms).
+fn bench_wal(c: &mut Criterion) {
+    use ddemos_protocol::clock::GlobalClock;
+    use ddemos_storage::{DiskProfile, SimDisk, Wal, WalConfig};
+    use std::sync::Arc;
+
+    const FRAMES: usize = 1024;
+    let record = [0xA5u8; 64];
+    for batch in [1usize, 64] {
+        c.bench_function(
+            &format!("kernel/wal_append 1024x64B (batch {batch})"),
+            |b| {
+                b.iter_batched(
+                    || {
+                        Wal::new(
+                            Arc::new(SimDisk::new(GlobalClock::new(), DiskProfile::instant())),
+                            WalConfig {
+                                group_commit: batch,
+                            },
+                        )
+                    },
+                    |mut wal| {
+                        for _ in 0..FRAMES {
+                            wal.append(std::hint::black_box(&record)).unwrap();
+                        }
+                        wal.commit().unwrap();
+                        wal
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+}
+
 fn criterion_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -176,6 +217,6 @@ fn criterion_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = criterion_config();
-    targets = bench_curve, bench_kernels, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp
+    targets = bench_curve, bench_kernels, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp, bench_wal
 }
 criterion_main!(benches);

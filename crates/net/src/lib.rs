@@ -12,5 +12,5 @@ pub mod simnet;
 pub mod stats;
 
 pub use latency::NetworkProfile;
-pub use simnet::{Endpoint, Envelope, NetFault, SimNet};
+pub use simnet::{AmnesiaHook, Endpoint, Envelope, NetFault, SimNet};
 pub use stats::NetStats;

@@ -52,12 +52,33 @@ pub struct Envelope {
 
 /// A timed fault event (§V's netem / kill-based fault injection, as a
 /// first-class scheduled object).
+///
+/// Two crash fidelities coexist:
+///
+/// * [`NetFault::Crash`] / [`NetFault::Recover`] — **crash retaining
+///   memory**: only the node's network connectivity fails. The node
+///   thread keeps running with all volatile state intact; recovery just
+///   lets messages flow again. This models a transient link/process
+///   freeze — the easy half of the paper's fault model.
+/// * [`NetFault::CrashAmnesia`] — a **power cycle**: connectivity fails
+///   *and* the node must discard every byte of volatile state, rebuilding
+///   from its durable journal (snapshot + WAL replay, `ddemos-storage`)
+///   before it serves again. This is the fault class the paper's
+///   PostgreSQL-backed prototype is engineered to survive; pair it with a
+///   later [`NetFault::Recover`] to restore traffic.
 #[derive(Clone, Debug)]
 pub enum NetFault {
-    /// All traffic to and from the node is discarded from now on.
+    /// All traffic to and from the node is discarded from now on; the
+    /// node's volatile state is *retained* (see the enum docs).
     Crash(NodeId),
     /// Heals a crash (messages flow again; nothing is replayed).
     Recover(NodeId),
+    /// Power-cycles the node: traffic is discarded as for
+    /// [`NetFault::Crash`], and the node is told — via a self-addressed
+    /// [`Msg::Amnesia`] envelope that bypasses the crash filter (or the
+    /// amnesia hook, for nodes without an inbox) — to drop volatile state
+    /// and recover from its durable journal.
+    CrashAmnesia(NodeId),
     /// Installs a bidirectional partition between two node groups.
     Partition(Vec<NodeId>, Vec<NodeId>),
     /// Removes all partitions.
@@ -104,6 +125,12 @@ enum TimeMode {
     Virtual { clock: VirtualClock },
 }
 
+/// Callback invoked when a [`NetFault::CrashAmnesia`] fires for a node
+/// that has no network inbox (Bulletin Board replicas are driven by
+/// direct calls): the harness registers one to mark the replica for
+/// journal recovery before its next use.
+pub type AmnesiaHook = Arc<dyn Fn(NodeId) + Send + Sync>;
+
 struct NetInner {
     inboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
     crashed: RwLock<HashSet<NodeId>>,
@@ -117,6 +144,7 @@ struct NetInner {
     stats: NetStats,
     time: TimeMode,
     drifts: RwLock<Option<DriftRegistry>>,
+    amnesia_hook: RwLock<Option<AmnesiaHook>>,
 }
 
 impl NetInner {
@@ -174,6 +202,36 @@ impl NetInner {
         match fault {
             NetFault::Crash(id) => {
                 self.crashed.write().insert(id);
+            }
+            NetFault::CrashAmnesia(id) => {
+                self.crashed.write().insert(id);
+                // Tell the node to power-cycle. The signal must reach it
+                // *despite* the crash filter (it models the reboot, not a
+                // network message), so it goes straight into the inbox as
+                // a self-addressed envelope — receivers ignore Amnesia
+                // envelopes whose `from != to`, so peers cannot forge it.
+                let delivered = {
+                    let inboxes = self.inboxes.read();
+                    match inboxes.get(&id) {
+                        Some(tx) => tx
+                            .send(Envelope {
+                                from: id,
+                                to: id,
+                                msg: Msg::Amnesia,
+                            })
+                            .is_ok(),
+                        None => false,
+                    }
+                };
+                if delivered {
+                    if let Some(clock) = self.virtual_clock() {
+                        clock.notify_key(id.clock_key());
+                    }
+                } else if let Some(hook) = self.amnesia_hook.read().clone() {
+                    // Inbox-less replicas (the BB nodes) are power-cycled
+                    // through the harness hook instead.
+                    hook(id);
+                }
             }
             NetFault::Recover(id) => {
                 self.crashed.write().remove(&id);
@@ -288,6 +346,7 @@ impl SimNet {
                 stats: NetStats::default(),
                 time,
                 drifts: RwLock::new(None),
+                amnesia_hook: RwLock::new(None),
             }),
         }
     }
@@ -330,13 +389,38 @@ impl SimNet {
     }
 
     /// Marks a node as crashed: all traffic to and from it is discarded.
+    ///
+    /// This is the **message-loss-only** fault (crash *retaining*
+    /// memory): the node thread keeps running with its volatile state
+    /// intact and merely goes dark on the network. Use
+    /// [`SimNet::crash_amnesia`] for the full power-cycle fault.
     pub fn crash(&self, id: NodeId) {
         self.inner.apply_fault(NetFault::Crash(id));
     }
 
-    /// Heals a crashed node (messages flow again; nothing is replayed).
+    /// Power-cycles a node: traffic is discarded as for [`SimNet::crash`]
+    /// *and* the node is signalled to drop volatile state and rebuild
+    /// from its durable journal (see [`NetFault::CrashAmnesia`]). Call
+    /// [`SimNet::restart`] to let traffic flow again afterwards.
+    pub fn crash_amnesia(&self, id: NodeId) {
+        self.inner.apply_fault(NetFault::CrashAmnesia(id));
+    }
+
+    /// Heals a crashed node: messages flow again. Nothing is replayed,
+    /// and nothing is restored either — after a plain [`SimNet::crash`]
+    /// the node simply resumes with the volatile state it kept all along
+    /// (the "crash-retaining-memory" model); after a
+    /// [`SimNet::crash_amnesia`] the node has already rebuilt itself from
+    /// its journal by the time traffic returns.
     pub fn restart(&self, id: NodeId) {
         self.inner.apply_fault(NetFault::Recover(id));
+    }
+
+    /// Registers the callback a [`NetFault::CrashAmnesia`] invokes for
+    /// nodes without a network inbox (the BB replicas, which are driven
+    /// by direct calls rather than messages).
+    pub fn set_amnesia_hook(&self, hook: AmnesiaHook) {
+        *self.inner.amnesia_hook.write() = Some(hook);
     }
 
     /// Installs a bidirectional partition between two node groups.

@@ -1,0 +1,446 @@
+//! Canonical wire codecs for the protocol structures the durability layer
+//! persists (WAL records and snapshots in `ddemos-storage`).
+//!
+//! The simulated network still passes typed messages in process; these
+//! functions give every *persisted* structure a deterministic byte form
+//! built on [`crate::wire`], so a node's snapshot+WAL replay reconstructs
+//! byte-identical state. Each codec is a `put_*`/`get_*` pair; compound
+//! structures compose the primitive pairs, so a round-trip property test
+//! over the compounds covers the whole family.
+
+use crate::ids::{PartId, SerialNo};
+use crate::messages::UCert;
+use crate::posts::{PartOpeningPost, PartZkPost, TallySharePost, TrusteePost, VoteSet};
+use crate::wire::{Reader, WireError, Writer};
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::shamir::Share;
+use ddemos_crypto::votecode::{VoteCode, VoteCodeHash};
+use ddemos_crypto::vss::SignedShare;
+
+/// Sanity bound on decoded vector lengths (a corrupted length prefix must
+/// not trigger a huge allocation before the content check fails).
+const MAX_VEC: u32 = 1 << 24;
+
+fn get_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let len = r.get_u32()?;
+    if len > MAX_VEC {
+        return Err(WireError::BadLength);
+    }
+    Ok(len as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// Encodes a field scalar (32 canonical bytes).
+pub fn put_scalar(w: &mut Writer, s: &Scalar) {
+    w.put_array(&s.to_bytes());
+}
+
+/// Decodes a field scalar.
+///
+/// # Errors
+/// [`WireError::BadValue`] for non-canonical encodings.
+pub fn get_scalar(r: &mut Reader<'_>) -> Result<Scalar, WireError> {
+    Scalar::from_bytes(&r.get_array::<32>()?).ok_or(WireError::BadValue)
+}
+
+/// Encodes a Schnorr signature (65 bytes).
+pub fn put_signature(w: &mut Writer, sig: &Signature) {
+    w.put_array(&sig.to_bytes());
+}
+
+/// Decodes a Schnorr signature.
+///
+/// # Errors
+/// [`WireError::BadValue`] for off-curve or non-canonical encodings.
+pub fn get_signature(r: &mut Reader<'_>) -> Result<Signature, WireError> {
+    Signature::from_bytes(&r.get_array::<65>()?).ok_or(WireError::BadValue)
+}
+
+/// Encodes a vote code (20 bytes).
+pub fn put_vote_code(w: &mut Writer, code: &VoteCode) {
+    w.put_array(&code.0);
+}
+
+/// Decodes a vote code.
+///
+/// # Errors
+/// [`WireError::UnexpectedEnd`] if the input is exhausted.
+pub fn get_vote_code(r: &mut Reader<'_>) -> Result<VoteCode, WireError> {
+    Ok(VoteCode(r.get_array::<20>()?))
+}
+
+/// Encodes a vote-code hash commitment.
+pub fn put_vote_code_hash(w: &mut Writer, h: &VoteCodeHash) {
+    w.put_array(&h.hash).put_u64(h.salt);
+}
+
+/// Decodes a vote-code hash commitment.
+///
+/// # Errors
+/// [`WireError::UnexpectedEnd`] if the input is exhausted.
+pub fn get_vote_code_hash(r: &mut Reader<'_>) -> Result<VoteCodeHash, WireError> {
+    Ok(VoteCodeHash {
+        hash: r.get_array::<32>()?,
+        salt: r.get_u64()?,
+    })
+}
+
+/// Encodes a Shamir share.
+pub fn put_share(w: &mut Writer, s: &Share) {
+    w.put_u32(s.index);
+    put_scalar(w, &s.value);
+}
+
+/// Decodes a Shamir share.
+///
+/// # Errors
+/// Propagates primitive decode failures.
+pub fn get_share(r: &mut Reader<'_>) -> Result<Share, WireError> {
+    Ok(Share {
+        index: r.get_u32()?,
+        value: get_scalar(r)?,
+    })
+}
+
+/// Encodes a dealer-signed share.
+pub fn put_signed_share(w: &mut Writer, s: &SignedShare) {
+    put_share(w, &s.share);
+    put_signature(w, &s.signature);
+}
+
+/// Decodes a dealer-signed share.
+///
+/// # Errors
+/// Propagates primitive decode failures.
+pub fn get_signed_share(r: &mut Reader<'_>) -> Result<SignedShare, WireError> {
+    Ok(SignedShare {
+        share: get_share(r)?,
+        signature: get_signature(r)?,
+    })
+}
+
+/// Encodes a ballot part id as one byte.
+pub fn put_part(w: &mut Writer, part: PartId) {
+    w.put_u8(part.index() as u8);
+}
+
+/// Decodes a ballot part id.
+///
+/// # Errors
+/// [`WireError::BadValue`] for bytes other than 0 or 1.
+pub fn get_part(r: &mut Reader<'_>) -> Result<PartId, WireError> {
+    match r.get_u8()? {
+        0 => Ok(PartId::A),
+        1 => Ok(PartId::B),
+        _ => Err(WireError::BadValue),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compounds
+// ---------------------------------------------------------------------------
+
+/// Encodes a uniqueness certificate.
+pub fn put_ucert(w: &mut Writer, ucert: &UCert) {
+    w.put_u64(ucert.serial.0);
+    put_vote_code(w, &ucert.vote_code);
+    w.put_u32(ucert.sigs.len() as u32);
+    for (idx, sig) in &ucert.sigs {
+        w.put_u32(*idx);
+        put_signature(w, sig);
+    }
+}
+
+/// Decodes a uniqueness certificate.
+///
+/// # Errors
+/// Propagates primitive decode failures.
+pub fn get_ucert(r: &mut Reader<'_>) -> Result<UCert, WireError> {
+    let serial = SerialNo(r.get_u64()?);
+    let vote_code = get_vote_code(r)?;
+    let n = get_len(r)?;
+    let mut sigs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = r.get_u32()?;
+        sigs.push((idx, get_signature(r)?));
+    }
+    Ok(UCert {
+        serial,
+        vote_code,
+        sigs,
+    })
+}
+
+/// Encodes a vote set.
+pub fn put_vote_set(w: &mut Writer, set: &VoteSet) {
+    w.put_u64(set.entries.len() as u64);
+    for (serial, code) in &set.entries {
+        w.put_u64(serial.0);
+        put_vote_code(w, code);
+    }
+}
+
+/// Decodes a vote set.
+///
+/// # Errors
+/// Propagates primitive decode failures.
+pub fn get_vote_set(r: &mut Reader<'_>) -> Result<VoteSet, WireError> {
+    let n = r.get_u64()?;
+    if n > u64::from(MAX_VEC) {
+        return Err(WireError::BadLength);
+    }
+    let mut set = VoteSet::default();
+    for _ in 0..n {
+        let serial = SerialNo(r.get_u64()?);
+        set.entries.insert(serial, get_vote_code(r)?);
+    }
+    Ok(set)
+}
+
+fn put_scalar_pairs(w: &mut Writer, rows: &[Vec<(Scalar, Scalar)>]) {
+    w.put_u32(rows.len() as u32);
+    for row in rows {
+        w.put_u32(row.len() as u32);
+        for (a, b) in row {
+            put_scalar(w, a);
+            put_scalar(w, b);
+        }
+    }
+}
+
+fn get_scalar_pairs(r: &mut Reader<'_>) -> Result<Vec<Vec<(Scalar, Scalar)>>, WireError> {
+    let n = get_len(r)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = get_len(r)?;
+        let mut row = Vec::with_capacity(m);
+        for _ in 0..m {
+            row.push((get_scalar(r)?, get_scalar(r)?));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Encodes a trustee post (openings + ZK responses + tally share).
+pub fn put_trustee_post(w: &mut Writer, post: &TrusteePost) {
+    w.put_u32(post.trustee_index);
+    w.put_u32(post.openings.len() as u32);
+    for o in &post.openings {
+        w.put_u64(o.serial.0);
+        put_part(w, o.part);
+        put_scalar_pairs(w, &o.rows);
+        put_signature(w, &o.opening_sig);
+    }
+    w.put_u32(post.zk.len() as u32);
+    for z in &post.zk {
+        w.put_u64(z.serial.0);
+        put_part(w, z.part);
+        w.put_u32(z.rows.len() as u32);
+        for row in &z.rows {
+            w.put_u32(row.len() as u32);
+            for ct in row {
+                for s in ct {
+                    put_scalar(w, s);
+                }
+            }
+        }
+        w.put_u32(z.sum_responses.len() as u32);
+        for s in &z.sum_responses {
+            put_scalar(w, s);
+        }
+    }
+    w.put_u32(post.tally.per_option.len() as u32);
+    for (m, rr) in &post.tally.per_option {
+        put_scalar(w, m);
+        put_scalar(w, rr);
+    }
+}
+
+/// Decodes a trustee post.
+///
+/// # Errors
+/// Propagates primitive decode failures.
+pub fn get_trustee_post(r: &mut Reader<'_>) -> Result<TrusteePost, WireError> {
+    let trustee_index = r.get_u32()?;
+    let n_open = get_len(r)?;
+    let mut openings = Vec::with_capacity(n_open);
+    for _ in 0..n_open {
+        let serial = SerialNo(r.get_u64()?);
+        let part = get_part(r)?;
+        let rows = get_scalar_pairs(r)?;
+        let opening_sig = get_signature(r)?;
+        openings.push(PartOpeningPost {
+            serial,
+            part,
+            rows,
+            opening_sig,
+        });
+    }
+    let n_zk = get_len(r)?;
+    let mut zk = Vec::with_capacity(n_zk);
+    for _ in 0..n_zk {
+        let serial = SerialNo(r.get_u64()?);
+        let part = get_part(r)?;
+        let n_rows = get_len(r)?;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let n_cts = get_len(r)?;
+            let mut row = Vec::with_capacity(n_cts);
+            for _ in 0..n_cts {
+                let mut ct = [Scalar::ZERO; 4];
+                for s in &mut ct {
+                    *s = get_scalar(r)?;
+                }
+                row.push(ct);
+            }
+            rows.push(row);
+        }
+        let n_sum = get_len(r)?;
+        let mut sum_responses = Vec::with_capacity(n_sum);
+        for _ in 0..n_sum {
+            sum_responses.push(get_scalar(r)?);
+        }
+        zk.push(PartZkPost {
+            serial,
+            part,
+            rows,
+            sum_responses,
+        });
+    }
+    let n_tally = get_len(r)?;
+    let mut per_option = Vec::with_capacity(n_tally);
+    for _ in 0..n_tally {
+        per_option.push((get_scalar(r)?, get_scalar(r)?));
+    }
+    Ok(TrusteePost {
+        trustee_index,
+        openings,
+        zk,
+        tally: TallySharePost { per_option },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddemos_crypto::schnorr::SigningKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    fn sig(rng: &mut StdRng) -> Signature {
+        SigningKey::generate(rng).sign(b"codec-test")
+    }
+
+    #[test]
+    fn signed_share_roundtrip() {
+        let mut rng = rng();
+        let share = SignedShare {
+            share: Share {
+                index: 3,
+                value: Scalar::random(&mut rng),
+            },
+            signature: sig(&mut rng),
+        };
+        let mut w = Writer::new();
+        put_signed_share(&mut w, &share);
+        let bytes = w.into_bytes();
+        let got = get_signed_share(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, share);
+    }
+
+    #[test]
+    fn ucert_roundtrip() {
+        let mut rng = rng();
+        let ucert = UCert {
+            serial: SerialNo(9),
+            vote_code: VoteCode([5; 20]),
+            sigs: vec![(0, sig(&mut rng)), (2, sig(&mut rng))],
+        };
+        let mut w = Writer::new();
+        put_ucert(&mut w, &ucert);
+        let bytes = w.into_bytes();
+        let got = get_ucert(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.serial, ucert.serial);
+        assert_eq!(got.vote_code, ucert.vote_code);
+        assert_eq!(got.sigs, ucert.sigs);
+    }
+
+    #[test]
+    fn vote_set_roundtrip() {
+        let mut set = VoteSet::default();
+        set.entries.insert(SerialNo(1), VoteCode([1; 20]));
+        set.entries.insert(SerialNo(4), VoteCode([4; 20]));
+        let mut w = Writer::new();
+        put_vote_set(&mut w, &set);
+        let bytes = w.into_bytes();
+        assert_eq!(get_vote_set(&mut Reader::new(&bytes)).unwrap(), set);
+    }
+
+    #[test]
+    fn trustee_post_roundtrip() {
+        let mut rng = rng();
+        let post = TrusteePost {
+            trustee_index: 2,
+            openings: vec![PartOpeningPost {
+                serial: SerialNo(1),
+                part: PartId::B,
+                rows: vec![vec![(Scalar::random(&mut rng), Scalar::random(&mut rng))]],
+                opening_sig: sig(&mut rng),
+            }],
+            zk: vec![PartZkPost {
+                serial: SerialNo(1),
+                part: PartId::A,
+                rows: vec![vec![[
+                    Scalar::random(&mut rng),
+                    Scalar::random(&mut rng),
+                    Scalar::random(&mut rng),
+                    Scalar::random(&mut rng),
+                ]]],
+                sum_responses: vec![Scalar::random(&mut rng)],
+            }],
+            tally: TallySharePost {
+                per_option: vec![(Scalar::random(&mut rng), Scalar::random(&mut rng))],
+            },
+        };
+        let mut w = Writer::new();
+        put_trustee_post(&mut w, &post);
+        let bytes = w.into_bytes();
+        let got = get_trustee_post(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.trustee_index, post.trustee_index);
+        assert_eq!(got.openings.len(), 1);
+        assert_eq!(got.openings[0].rows, post.openings[0].rows);
+        assert_eq!(got.zk[0].rows, post.zk[0].rows);
+        assert_eq!(got.tally.per_option, post.tally.per_option);
+    }
+
+    #[test]
+    fn corrupted_scalar_rejected() {
+        let mut w = Writer::new();
+        w.put_array(&[0xFF; 32]); // >= field modulus: non-canonical
+        let bytes = w.into_bytes();
+        assert_eq!(
+            get_scalar(&mut Reader::new(&bytes)).unwrap_err(),
+            WireError::BadValue
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            get_vote_set(&mut Reader::new(&bytes)).unwrap_err(),
+            WireError::BadLength
+        );
+    }
+}

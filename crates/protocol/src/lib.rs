@@ -14,6 +14,7 @@
 
 pub mod ballot;
 pub mod clock;
+pub mod codec;
 pub mod exec;
 pub mod ids;
 pub mod initdata;

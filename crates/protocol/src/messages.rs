@@ -239,6 +239,12 @@ pub enum Msg {
     },
     /// Batched binary consensus traffic (BVAL/AUX broadcasts).
     Consensus(ConsensusMsg),
+    /// Harness control signal: the node just power-cycled and must drop
+    /// all volatile state, rebuilding from its durable journal (snapshot +
+    /// WAL replay). Injected by the network's `CrashAmnesia` fault as a
+    /// *self-addressed* envelope — receivers must ignore it unless
+    /// `from == to`, so no peer can remote-reboot a node.
+    Amnesia,
     /// A reliable-broadcast message (RBC driven directly over the
     /// network, e.g. by the fault-injection tests).
     Rbc(RbcMsg),

@@ -1,0 +1,470 @@
+//! Pluggable disk backends for the WAL and snapshot files.
+//!
+//! A [`Disk`] is the minimal surface the durability layer needs: an
+//! append-only log region with explicit sync (so the WAL controls
+//! durability boundaries), random reads (for the WAL-backed ballot
+//! store), truncation (torn-tail repair), and an atomically-replaced
+//! snapshot region.
+//!
+//! * [`FileDisk`] — real files under one directory (`wal.log`,
+//!   `snapshot.bin`), snapshot replacement via write-temp-then-rename.
+//! * [`SimDisk`] — a deterministic in-memory disk whose write/fsync/read
+//!   latencies are charged on a [`GlobalClock`] (virtual elections pay
+//!   them in virtual time, costing no wall clock), with **torn-tail
+//!   injection**: [`SimDisk::crash`] drops everything past the sync
+//!   watermark except an optional partial tail, modelling a power cut
+//!   mid-write.
+
+use ddemos_protocol::clock::GlobalClock;
+use parking_lot::Mutex;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed (file disks only).
+    Io(std::io::Error),
+    /// A stored structure failed to decode (checksum or codec).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt storage: {what}"),
+        }
+    }
+}
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+/// A durability backend: an append-only log plus a snapshot side-file.
+pub trait Disk: Send + Sync {
+    /// Appends bytes to the log, returning the offset they begin at. Not
+    /// durable until [`Disk::sync`].
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on backend failure.
+    fn append(&self, buf: &[u8]) -> Result<u64, StorageError>;
+
+    /// Makes every appended byte durable (the fsync boundary the WAL's
+    /// group commit batches writes against).
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on backend failure.
+    fn sync(&self) -> Result<(), StorageError>;
+
+    /// Current logical length of the log (appended, durable or not).
+    fn len(&self) -> u64;
+
+    /// Whether the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads exactly `buf.len()` bytes at `offset`.
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] when the range is out of bounds or the read
+    /// fails.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError>;
+
+    /// Truncates the log to `len` bytes (torn-tail repair, and log reset
+    /// after a snapshot compaction).
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on backend failure.
+    fn truncate(&self, len: u64) -> Result<(), StorageError>;
+
+    /// Atomically replaces the snapshot (durable on return).
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on backend failure.
+    fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads the current snapshot, if one exists.
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on backend failure.
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Simulates a crash/power-cut: unsynced log bytes are lost, except
+    /// the first `torn_tail_bytes` of them (a torn partial write). No-op
+    /// for backends that cannot model this (e.g. [`FileDisk`], where the
+    /// OS page cache survives a process crash).
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on backend failure.
+    fn crash(&self, torn_tail_bytes: u64) -> Result<(), StorageError> {
+        let _ = torn_tail_bytes;
+        Ok(())
+    }
+}
+
+impl<T: Disk + ?Sized> Disk for Arc<T> {
+    fn append(&self, buf: &[u8]) -> Result<u64, StorageError> {
+        (**self).append(buf)
+    }
+    fn sync(&self) -> Result<(), StorageError> {
+        (**self).sync()
+    }
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        (**self).read_at(offset, buf)
+    }
+    fn truncate(&self, len: u64) -> Result<(), StorageError> {
+        (**self).truncate(len)
+    }
+    fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        (**self).write_snapshot(bytes)
+    }
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError> {
+        (**self).read_snapshot()
+    }
+    fn crash(&self, torn_tail_bytes: u64) -> Result<(), StorageError> {
+        (**self).crash(torn_tail_bytes)
+    }
+}
+
+/// A disk held as a shared trait object (what node state machines store).
+pub type DynDisk = Arc<dyn Disk>;
+
+// ---------------------------------------------------------------------------
+// FileDisk
+// ---------------------------------------------------------------------------
+
+/// A real-file backend: `<dir>/wal.log` and `<dir>/snapshot.bin`.
+pub struct FileDisk {
+    dir: PathBuf,
+    log: Mutex<std::fs::File>,
+    len: AtomicU64,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed) a disk rooted at `dir`.
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] when the directory or log cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileDisk, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(dir.join("wal.log"))?;
+        let len = log.metadata()?.len();
+        Ok(FileDisk {
+            dir,
+            log: Mutex::new(log),
+            len: AtomicU64::new(len),
+        })
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+}
+
+impl Disk for FileDisk {
+    fn append(&self, buf: &[u8]) -> Result<u64, StorageError> {
+        let mut log = self.log.lock();
+        log.write_all(buf)?;
+        Ok(self.len.fetch_add(buf.len() as u64, Ordering::SeqCst))
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.log.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        let mut log = self.log.lock();
+        log.seek(SeekFrom::Start(offset))?;
+        log.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), StorageError> {
+        let log = self.log.lock();
+        log.set_len(len)?;
+        log.sync_data()?;
+        self.len.store(len, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.snapshot_path())?;
+        Ok(())
+    }
+
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError> {
+        match std::fs::read(self.snapshot_path()) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk
+// ---------------------------------------------------------------------------
+
+/// Latency model of a [`SimDisk`], charged on its [`GlobalClock`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiskProfile {
+    /// Cost per appended KiB (buffered write).
+    pub append_per_kib: Duration,
+    /// Cost per sync (the fsync the group commit amortizes).
+    pub fsync: Duration,
+    /// Cost per read KiB (the WAL-backed ballot store's lookup path).
+    pub read_per_kib: Duration,
+}
+
+impl Default for DiskProfile {
+    /// NVMe-ish defaults: cheap buffered writes, ~100 µs fsync.
+    fn default() -> Self {
+        DiskProfile {
+            append_per_kib: Duration::from_micros(2),
+            fsync: Duration::from_micros(100),
+            read_per_kib: Duration::from_micros(10),
+        }
+    }
+}
+
+impl DiskProfile {
+    /// A free disk (no charged latency) for tests and benches that
+    /// measure the WAL itself.
+    pub fn instant() -> DiskProfile {
+        DiskProfile {
+            append_per_kib: Duration::ZERO,
+            fsync: Duration::ZERO,
+            read_per_kib: Duration::ZERO,
+        }
+    }
+
+    fn per_kib(cost: Duration, bytes: usize) -> Duration {
+        if cost.is_zero() || bytes == 0 {
+            return Duration::ZERO;
+        }
+        let nanos = (cost.as_nanos() as u64).saturating_mul(bytes as u64) / 1024;
+        // Every non-empty op costs at least a nanosecond.
+        Duration::from_nanos(nanos.max(1))
+    }
+}
+
+#[derive(Default)]
+struct SimDiskInner {
+    log: Vec<u8>,
+    /// Bytes `..synced_len` are durable; the rest is the volatile tail a
+    /// crash loses (modulo torn-tail injection).
+    synced_len: usize,
+    snapshot: Option<Vec<u8>>,
+}
+
+/// Deterministic in-memory disk with clock-charged latencies and
+/// torn-tail crash injection.
+pub struct SimDisk {
+    inner: Mutex<SimDiskInner>,
+    clock: GlobalClock,
+    profile: DiskProfile,
+    syncs: AtomicU64,
+    appended: AtomicU64,
+}
+
+impl SimDisk {
+    /// Creates a disk charging `profile` latencies on `clock`.
+    pub fn new(clock: GlobalClock, profile: DiskProfile) -> SimDisk {
+        SimDisk {
+            inner: Mutex::new(SimDiskInner::default()),
+            clock,
+            profile,
+            syncs: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of syncs performed (what group commit minimizes).
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes appended.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently durable (survive [`SimDisk::crash`]).
+    pub fn synced_len(&self) -> u64 {
+        self.inner.lock().synced_len as u64
+    }
+}
+
+impl Disk for SimDisk {
+    fn append(&self, buf: &[u8]) -> Result<u64, StorageError> {
+        self.clock
+            .sleep(DiskProfile::per_kib(self.profile.append_per_kib, buf.len()));
+        let mut inner = self.inner.lock();
+        let offset = inner.log.len() as u64;
+        inner.log.extend_from_slice(buf);
+        self.appended.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(offset)
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.clock.sleep(self.profile.fsync);
+        let mut inner = self.inner.lock();
+        inner.synced_len = inner.log.len();
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().log.len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.clock
+            .sleep(DiskProfile::per_kib(self.profile.read_per_kib, buf.len()));
+        let inner = self.inner.lock();
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > inner.log.len() {
+            return Err(StorageError::Corrupt("read past end of log"));
+        }
+        buf.copy_from_slice(&inner.log[start..end]);
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        inner.log.truncate(len as usize);
+        inner.synced_len = inner.synced_len.min(inner.log.len());
+        Ok(())
+    }
+
+    fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.clock.sleep(
+            DiskProfile::per_kib(self.profile.append_per_kib, bytes.len()) + self.profile.fsync,
+        );
+        self.inner.lock().snapshot = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError> {
+        let snap = self.inner.lock().snapshot.clone();
+        if let Some(snap) = &snap {
+            self.clock
+                .sleep(DiskProfile::per_kib(self.profile.read_per_kib, snap.len()));
+        }
+        Ok(snap)
+    }
+
+    fn crash(&self, torn_tail_bytes: u64) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        let keep = (inner.synced_len as u64).saturating_add(torn_tail_bytes);
+        let keep = (keep as usize).min(inner.log.len());
+        inner.log.truncate(keep);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simdisk_crash_drops_unsynced_tail() {
+        let disk = SimDisk::new(GlobalClock::new(), DiskProfile::instant());
+        disk.append(b"durable").unwrap();
+        disk.sync().unwrap();
+        disk.append(b"volatile").unwrap();
+        assert_eq!(disk.len(), 15);
+        disk.crash(0).unwrap();
+        assert_eq!(disk.len(), 7);
+        let mut buf = [0u8; 7];
+        disk.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable");
+    }
+
+    #[test]
+    fn simdisk_torn_tail_keeps_partial_write() {
+        let disk = SimDisk::new(GlobalClock::new(), DiskProfile::instant());
+        disk.append(b"durable").unwrap();
+        disk.sync().unwrap();
+        disk.append(b"volatile").unwrap();
+        disk.crash(3).unwrap();
+        assert_eq!(disk.len(), 10); // "durable" + "vol"
+    }
+
+    #[test]
+    fn simdisk_charges_virtual_time() {
+        use ddemos_protocol::clock::VirtualClock;
+        let vclock = VirtualClock::new();
+        let clock = GlobalClock::new_virtual(vclock.clone());
+        let disk = SimDisk::new(
+            clock,
+            DiskProfile {
+                append_per_kib: Duration::ZERO,
+                fsync: Duration::from_millis(5),
+                read_per_kib: Duration::ZERO,
+            },
+        );
+        let wall = std::time::Instant::now();
+        disk.append(b"x").unwrap();
+        disk.sync().unwrap();
+        disk.sync().unwrap();
+        assert_eq!(vclock.now_ms(), 10, "two fsyncs at 5 virtual ms each");
+        assert!(wall.elapsed() < Duration::from_millis(5));
+        assert_eq!(disk.syncs(), 2);
+    }
+
+    #[test]
+    fn filedisk_roundtrip_and_snapshot() {
+        let dir = std::env::temp_dir().join(format!("ddemos-filedisk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let disk = FileDisk::open(&dir).unwrap();
+            assert!(disk.is_empty());
+            disk.append(b"hello ").unwrap();
+            disk.append(b"world").unwrap();
+            disk.sync().unwrap();
+            let mut buf = [0u8; 5];
+            disk.read_at(6, &mut buf).unwrap();
+            assert_eq!(&buf, b"world");
+            assert!(disk.read_snapshot().unwrap().is_none());
+            disk.write_snapshot(b"snap-v1").unwrap();
+            disk.write_snapshot(b"snap-v2").unwrap();
+        }
+        // Re-open: log length and snapshot survive.
+        let disk = FileDisk::open(&dir).unwrap();
+        assert_eq!(disk.len(), 11);
+        assert_eq!(disk.read_snapshot().unwrap().unwrap(), b"snap-v2");
+        disk.truncate(6).unwrap();
+        assert_eq!(disk.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -24,9 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+mod durable;
 pub mod node;
 pub mod store;
 
 pub use behavior::VcBehavior;
 pub use node::{FinalizedVoteSet, VcHandle, VcNode, VcNodeConfig};
-pub use store::{BallotStore, FnStore, LatencyStore, MemoryStore, StorageModel};
+pub use store::{BallotStore, FnStore, LatencyStore, MemoryStore, StorageModel, WalStore};

@@ -19,6 +19,7 @@
 //!    for submission to every BB node.
 
 use crate::behavior::VcBehavior;
+use crate::durable::{BallotSlot, DurableView, Status, VcRecord};
 use crate::store::BallotStore;
 use crossbeam_channel::Sender;
 use ddemos_consensus::BatchConsensus;
@@ -34,6 +35,7 @@ use ddemos_protocol::messages::{
 };
 use ddemos_protocol::posts::VoteSet;
 use ddemos_protocol::{NodeId, NodeKind, PartId, SerialNo};
+use ddemos_storage::DynJournal;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -78,52 +80,12 @@ impl Default for VcNodeConfig {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Status {
-    NotVoted,
-    Pending,
-    Voted,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Phase {
     Voting,
     Announce,
     Consensus,
     Recover,
     Done,
-}
-
-struct BallotSlot {
-    status: Status,
-    /// The unique code active for this ballot, with its located position.
-    used: Option<(VoteCode, PartId, usize)>,
-    /// The code this node has endorsed (at most one per ballot).
-    my_endorsed: Option<VoteCode>,
-    /// Endorsement signatures collected while acting as responder.
-    endorsements: Vec<(u32, Signature)>,
-    ucert: Option<Arc<UCert>>,
-    /// Verified receipt shares (distinct share indices).
-    shares: Vec<SignedShare>,
-    my_share_sent: bool,
-    receipt: Option<u64>,
-    /// Clients awaiting a receipt: (client, request id, requested code).
-    waiting: Vec<(NodeId, u64, VoteCode)>,
-}
-
-impl Default for BallotSlot {
-    fn default() -> Self {
-        BallotSlot {
-            status: Status::NotVoted,
-            used: None,
-            my_endorsed: None,
-            endorsements: Vec::new(),
-            ucert: None,
-            shares: Vec::new(),
-            my_share_sent: false,
-            receipt: None,
-            waiting: Vec::new(),
-        }
-    }
 }
 
 /// Handle to a spawned VC node.
@@ -181,6 +143,12 @@ pub struct VcNode<S> {
     phase: Phase,
     votes_handled: u64,
     announce_at_ms: u64,
+    /// Durable journal (snapshot + WAL); `None` runs the node purely
+    /// in-memory, the pre-durability behaviour.
+    journal: Option<DynJournal>,
+    /// Whether this node has delivered its finalized vote set (persisted,
+    /// so an amnesia recovery cannot deliver a second one).
+    finalized: bool,
     /// Digests of already-verified UCERTs.
     verified_ucerts: HashSet<[u8; 32]>,
     announce_from: HashSet<u32>,
@@ -204,6 +172,28 @@ impl<S: BallotStore + 'static> VcNode<S> {
         config: VcNodeConfig,
         result_tx: Sender<FinalizedVoteSet>,
     ) -> VcHandle {
+        Self::spawn_durable(
+            init, store, endpoint, clock, beacon, config, result_tx, None,
+        )
+    }
+
+    /// [`VcNode::spawn`] with a durable journal: ballot-slot transitions
+    /// are WAL-logged (group-committed, with a forced commit before every
+    /// externally visible action that depends on them), and a
+    /// [`Msg::Amnesia`] power-cycle signal makes the node drop volatile
+    /// state and rebuild from snapshot + WAL replay. The journal should
+    /// be freshly recovered (or empty); the node replays it on start.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_durable(
+        init: VcInit,
+        store: S,
+        endpoint: Endpoint,
+        clock: NodeClock,
+        beacon: u64,
+        config: VcNodeConfig,
+        result_tx: Sender<FinalizedVoteSet>,
+        journal: Option<DynJournal>,
+    ) -> VcHandle {
         let id = endpoint.id();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
@@ -225,6 +215,8 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     phase: Phase::Voting,
                     votes_handled: 0,
                     announce_at_ms: 0,
+                    journal,
+                    finalized: false,
                     verified_ucerts: HashSet::new(),
                     announce_from: HashSet::new(),
                     consensus: None,
@@ -250,6 +242,10 @@ impl<S: BallotStore + 'static> VcNode<S> {
         // time cannot advance while this thread is processing a message,
         // which is what makes event order a pure function of the seeds.
         let _actor = self.endpoint.actor_guard();
+        // A journal that already holds state (the node restarted) is
+        // replayed before any message is served. Runs under the actor
+        // registration so charged disk latencies advance the clock.
+        self.recover_from_journal();
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return;
@@ -280,7 +276,134 @@ impl<S: BallotStore + 'static> VcNode<S> {
             && self.init.params.in_voting_hours(self.clock.now_ms())
     }
 
+    // ----- durability ------------------------------------------------------
+
+    /// Appends one WAL record (no-op without a journal — the closure
+    /// defers record construction, so non-durable nodes pay nothing on
+    /// the voting hot path). Durability is deferred to the group commit
+    /// / [`VcNode::persist`].
+    fn jlog(journal: &mut Option<DynJournal>, record: impl FnOnce() -> VcRecord) {
+        if let Some(journal) = journal.as_mut() {
+            if let Err(e) = journal.append(&record().encode()) {
+                eprintln!("vc: journal append failed ({e}); continuing volatile");
+            }
+        }
+    }
+
+    /// Forces the journal's group commit and runs the snapshot cadence.
+    /// Called before every externally visible action (a reply, an
+    /// endorsement, a share disclosure) that depends on logged state.
+    fn persist(&mut self) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        if let Err(e) = journal.commit() {
+            eprintln!("vc: journal commit failed ({e})");
+            return;
+        }
+        let view = DurableView {
+            slots: &mut self.slots,
+            verified_ucerts: &mut self.verified_ucerts,
+            finalized: &mut self.finalized,
+        };
+        if let Err(e) = journal.maybe_compact(&view) {
+            eprintln!("vc: journal compaction failed ({e})");
+        }
+    }
+
+    /// Rebuilds the durable slot state from snapshot + WAL replay (no-op
+    /// without a journal or with an empty one).
+    fn recover_from_journal(&mut self) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        let mut view = DurableView {
+            slots: &mut self.slots,
+            verified_ucerts: &mut self.verified_ucerts,
+            finalized: &mut self.finalized,
+        };
+        if let Err(e) = journal.recover(&mut view) {
+            // The WAL truncated itself at the offending record, so the
+            // applied prefix and the log agree; continue from the prefix.
+            eprintln!("vc: journal replay stopped early ({e}); recovered the clean prefix");
+        }
+        if self.finalized {
+            self.phase = Phase::Done;
+        }
+        self.finish_recovered_receipts();
+    }
+
+    /// Completes receipts the crash interrupted: a replayed slot that is
+    /// `Pending` with a quorum of shares reconstructs immediately (the
+    /// live node would have done so before its next message).
+    fn finish_recovered_receipts(&mut self) {
+        let quorum = self.quorum();
+        let serials: Vec<SerialNo> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.status == Status::Pending && s.shares.len() >= quorum)
+            .map(|(serial, _)| *serial)
+            .collect();
+        for serial in serials {
+            let slot = self.slots.get_mut(&serial).expect("listed slot exists");
+            if let Ok(secret) = DealerVss::reconstruct(&slot.shares, quorum) {
+                let receipt = secret.to_u64().unwrap_or(u64::MAX);
+                slot.receipt = Some(receipt);
+                slot.status = Status::Voted;
+                Self::jlog(&mut self.journal, || VcRecord::Voted { serial, receipt });
+            }
+        }
+        self.persist();
+    }
+
+    /// Power-cycles the node (the `CrashAmnesia` fault): every byte of
+    /// volatile state is dropped, unsynced WAL bytes are lost, and the
+    /// durable projection is rebuilt from snapshot + WAL replay. Volatile
+    /// scratch (waiting clients, collected endorsements, consensus
+    /// buffers) is legitimately gone — voters retry, peers re-drive.
+    fn crash_amnesia(&mut self) {
+        self.slots.clear();
+        self.verified_ucerts.clear();
+        self.announce_from.clear();
+        self.consensus = None;
+        self.buffered_consensus.clear();
+        self.decision = None;
+        self.finalized = false;
+        self.phase = Phase::Voting;
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.crash(0) {
+                eprintln!("vc: journal crash simulation failed ({e})");
+            }
+        }
+        self.recover_from_journal();
+        // If the clock already passed `Tend` the event loop re-enters the
+        // announce phase on its next iteration.
+    }
+
+    /// A replayed slot that lost a field its status implies is real
+    /// corruption; a live node must refuse the ballot rather than panic.
+    fn reject_corrupt_slot(&self, to: NodeId, request_id: u64, serial: SerialNo, missing: &str) {
+        eprintln!(
+            "vc-{}: corrupt slot {serial:?}: missing {missing}; refusing ballot",
+            self.init.node_index
+        );
+        self.reply(
+            to,
+            request_id,
+            serial,
+            VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
+        );
+    }
+
     fn dispatch(&mut self, env: Envelope) {
+        if let Msg::Amnesia = env.msg {
+            // Only the fault injector's self-addressed envelope counts —
+            // a peer cannot remote-reboot this node.
+            if env.from == self.endpoint.id() {
+                self.crash_amnesia();
+            }
+            return;
+        }
         if self.config.behavior.is_crashed_at(self.votes_handled) {
             return;
         }
@@ -313,7 +436,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 ucert,
             } => self.on_recover_response(serial, vote_code, ucert),
             Msg::Consensus(cm) => self.on_consensus(env.from, cm),
-            Msg::VoteReply { .. } | Msg::Rbc(_) => {}
+            Msg::VoteReply { .. } | Msg::Rbc(_) | Msg::Amnesia => {}
         }
     }
 
@@ -352,9 +475,18 @@ impl<S: BallotStore + 'static> VcNode<S> {
         let slot = self.slots.entry(serial).or_default();
         match slot.status {
             Status::Voted => {
-                let (used_code, ..) = slot.used.expect("voted slot has code");
+                // A `Voted` slot must carry its code and receipt; a slot
+                // corrupted in recovery refuses the ballot instead of
+                // panicking the node (the typed path a bad replay takes).
+                let Some((used_code, ..)) = slot.used else {
+                    self.reject_corrupt_slot(from, request_id, serial, "used code");
+                    return;
+                };
                 if used_code == code {
-                    let receipt = slot.receipt.expect("voted slot has receipt");
+                    let Some(receipt) = slot.receipt else {
+                        self.reject_corrupt_slot(from, request_id, serial, "receipt");
+                        return;
+                    };
                     self.reply(from, request_id, serial, VoteOutcome::Receipt(receipt));
                 } else {
                     self.reply(
@@ -366,7 +498,12 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 }
             }
             Status::Pending => {
-                let (used_code, ..) = slot.used.expect("pending slot has code");
+                // Same typed handling on the recovery-adjacent path: a
+                // `Pending` slot without a code is corrupt, not a panic.
+                let Some((used_code, ..)) = slot.used else {
+                    self.reject_corrupt_slot(from, request_id, serial, "pending code");
+                    return;
+                };
                 if used_code == code {
                     // Remember the client; reply when the receipt is ready.
                     slot.waiting.push((from, request_id, code));
@@ -408,6 +545,13 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 slot.used = Some((code, part, row));
                 slot.waiting.push((from, request_id, code));
                 slot.endorsements.clear();
+                Self::jlog(&mut self.journal, || VcRecord::Used {
+                    serial,
+                    code,
+                    part,
+                    row: row as u32,
+                });
+                let slot = self.slots.get_mut(&serial).expect("slot just created");
                 // Our own endorsement (also blocks endorsing other codes).
                 if slot.my_endorsed.is_none() {
                     slot.my_endorsed = Some(code);
@@ -417,7 +561,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
                         &sha256(&code.0),
                     ));
                     slot.endorsements.push((self.init.node_index, sig));
+                    Self::jlog(&mut self.journal, || VcRecord::Endorsed { serial, code });
                 }
+                // The endorsed/used state must be durable before peers can
+                // observe it through our ENDORSE multicast.
+                self.persist();
                 self.multicast(Msg::Endorse {
                     serial,
                     vote_code: code,
@@ -446,11 +594,16 @@ impl<S: BallotStore + 'static> VcNode<S> {
             return;
         }
         slot.my_endorsed.get_or_insert(code);
+        Self::jlog(&mut self.journal, || VcRecord::Endorsed { serial, code });
         let sig = self.init.signing_key.sign(&endorsement_message(
             &self.init.params.election_id,
             serial,
             &sha256(&code.0),
         ));
+        // The endorsement must be durable before it leaves the node: a
+        // restarted node must never sign a *different* code for this
+        // ballot (the receipt-uniqueness obligation).
+        self.persist();
         self.endpoint.send(
             from,
             Msg::Endorsement {
@@ -514,6 +667,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
         self.verified_ucerts.insert(ucert.key_digest());
         slot.ucert = Some(ucert.clone());
         slot.status = Status::Pending;
+        Self::jlog(&mut self.journal, || VcRecord::Certified {
+            serial,
+            ucert: (*ucert).clone(),
+        });
+        Self::jlog(&mut self.journal, || VcRecord::Pending { serial });
         self.disclose_share(serial, code, part, row, ucert);
     }
 
@@ -543,6 +701,10 @@ impl<S: BallotStore + 'static> VcNode<S> {
             }
             slot.my_share_sent = true;
         }
+        Self::jlog(&mut self.journal, || VcRecord::ShareSent { serial });
+        // The UCERT and share-sent marker must be durable before the
+        // share is disclosed to peers.
+        self.persist();
         self.multicast(Msg::VoteP {
             serial,
             vote_code: code,
@@ -603,9 +765,28 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     slot.used = Some((code, part, row));
                     slot.ucert = Some(ucert.clone());
                     became_pending = true;
+                    Self::jlog(&mut self.journal, || VcRecord::Used {
+                        serial,
+                        code,
+                        part,
+                        row: row as u32,
+                    });
+                    Self::jlog(&mut self.journal, || VcRecord::Certified {
+                        serial,
+                        ucert: (*ucert).clone(),
+                    });
+                    Self::jlog(&mut self.journal, || VcRecord::Pending { serial });
                 }
                 Status::Pending | Status::Voted => {
-                    let (used_code, ..) = slot.used.expect("active slot has code");
+                    // An active slot must carry its code; a slot corrupted
+                    // in recovery drops the message instead of panicking.
+                    let Some((used_code, ..)) = slot.used else {
+                        eprintln!(
+                            "vc-{}: corrupt slot {serial:?}: active without code; dropping VOTE_P",
+                            self.init.node_index
+                        );
+                        return;
+                    };
                     if used_code != code {
                         // A valid UCERT for a different code cannot exist
                         // alongside ours (quorum intersection); drop.
@@ -613,15 +794,24 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     }
                     if slot.ucert.is_none() {
                         slot.ucert = Some(ucert.clone());
+                        Self::jlog(&mut self.journal, || VcRecord::Certified {
+                            serial,
+                            ucert: (*ucert).clone(),
+                        });
                     }
                 }
             }
+            let slot = self.slots.get_mut(&serial).expect("slot just touched");
             if !slot
                 .shares
                 .iter()
                 .any(|s| s.share.index == share.share.index)
             {
                 slot.shares.push(share);
+                Self::jlog(&mut self.journal, || VcRecord::ShareStored {
+                    serial,
+                    share,
+                });
             }
         }
         if became_pending {
@@ -635,6 +825,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
                 slot.receipt = Some(receipt);
                 slot.status = Status::Voted;
                 let waiting = std::mem::take(&mut slot.waiting);
+                Self::jlog(&mut self.journal, || VcRecord::Voted { serial, receipt });
+                // The receipt must be durable before any client sees it:
+                // re-issuing a *different* receipt after a crash is the
+                // exact safety violation durability exists to prevent.
+                self.persist();
                 for (client, request_id, wanted) in waiting {
                     // Only waiters of the *winning* code get the receipt; a
                     // racing different-code request lost the uniqueness race.
@@ -710,7 +905,17 @@ impl<S: BallotStore + 'static> VcNode<S> {
         };
         let slot = self.slots.entry(serial).or_default();
         slot.used = Some((code, part, row));
-        slot.ucert = Some(ucert);
+        slot.ucert = Some(ucert.clone());
+        Self::jlog(&mut self.journal, || VcRecord::Used {
+            serial,
+            code,
+            part,
+            row: row as u32,
+        });
+        Self::jlog(&mut self.journal, || VcRecord::Certified {
+            serial,
+            ucert: (*ucert).clone(),
+        });
     }
 
     fn begin_consensus(&mut self) {
@@ -851,6 +1056,11 @@ impl<S: BallotStore + 'static> VcNode<S> {
         let msg =
             ddemos_protocol::initdata::voteset_message(&self.init.params.election_id, &digest);
         let signature = self.init.signing_key.sign(&msg);
+        self.finalized = true;
+        Self::jlog(&mut self.journal, || VcRecord::Finalized);
+        // Durable before delivery: a recovered node must not release a
+        // second finalized set.
+        self.persist();
         let _ = self.result_tx.send(FinalizedVoteSet {
             node_index: self.init.node_index,
             vote_set: set,

@@ -1,0 +1,84 @@
+//! Durable node state and amnesia-crash recovery.
+//!
+//! Runs a virtual-time election whose collectors and boards journal
+//! every durable state transition (`ElectionBuilder::durability`), then
+//! power-cycles one VC node and one BB replica mid-voting with
+//! [`NetFault::CrashAmnesia`] — the node loses *all* volatile state and
+//! rebuilds from snapshot + WAL replay. The example demonstrates the
+//! paper's central durability obligation: a ballot receipted before the
+//! crash yields the *same* receipt when re-submitted after recovery, and
+//! the election still closes, tallies, and audits.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+
+use ddemos_harness::{
+    Durability, ElectionBuilder, ElectionParams, NetFault, NetworkProfile, NodeId, Schedule,
+};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8 ballots, 3 options, polls open for 20 s of *virtual* time.
+    let params = ElectionParams::new("crash-recovery", 8, 3, 4, 3, 3, 2, 0, 20_000)?;
+
+    // Power-cycle VC1 at t=2s (recovered at t=6s) and BB0 at t=3s
+    // (recovered at t=6s): both lose every byte of volatile state.
+    let mut schedule = Schedule {
+        label: "demo-amnesia".into(),
+        ..Schedule::default()
+    };
+    schedule.push(2_000, NetFault::CrashAmnesia(NodeId::vc(1)));
+    schedule.push(3_000, NetFault::CrashAmnesia(NodeId::bb(0)));
+    schedule.push(6_000, NetFault::Recover(NodeId::vc(1)));
+    schedule.push(6_000, NetFault::Recover(NodeId::bb(0)));
+
+    let election = ElectionBuilder::new(params)
+        .seed(42)
+        .virtual_time()
+        .network(NetworkProfile::wan())
+        .durability(Durability::sim()) // SimDisk journals on the virtual clock
+        .schedule(schedule)
+        .build()?;
+
+    // Cast votes before, during, and after the outage window.
+    let voting = election.voting().patience(Duration::from_secs(5));
+    let mut receipts = Vec::new();
+    for (ballot, option) in [(0usize, 0usize), (1, 1), (2, 2), (3, 0)] {
+        election.sleep(Duration::from_millis(1_200));
+        let record = voting.cast(ballot, option)?;
+        println!(
+            "t={:>5}ms  ballot {ballot} option {option} -> receipt {:016x}",
+            election.now_ms(),
+            record.audit.receipt
+        );
+        receipts.push((ballot, option, record.audit.used_part, record.audit.receipt));
+    }
+
+    // After the faults heal, re-submit every receipted code: the
+    // recovered collector must return the *same* receipt it issued
+    // before losing its memory (it replayed the obligation from its WAL).
+    election.sleep(Duration::from_millis(
+        8_000u64.saturating_sub(election.now_ms()),
+    ));
+    election.sleep(Duration::from_millis(500));
+    for (ballot, option, part, receipt) in &receipts {
+        let again = voting.cast_with_part(*ballot, *option, *part)?;
+        assert_eq!(
+            again.audit.receipt, *receipt,
+            "conflicting receipt after recovery!"
+        );
+        println!(
+            "t={:>5}ms  ballot {ballot} re-submitted -> same receipt {:016x}",
+            election.now_ms(),
+            again.audit.receipt
+        );
+    }
+
+    let report = election.finish()?;
+    println!("\ntally: {:?}", report.tally().expect("result published"));
+    println!("audit verified: {}", report.verified());
+    assert!(report.verified());
+    election.shutdown();
+    Ok(())
+}

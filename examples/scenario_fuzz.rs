@@ -8,6 +8,9 @@
 //! # sweep 64 seeds starting at 0, write failure artifacts:
 //! cargo run --release --example scenario_fuzz -- --seeds 64 --start 0
 //!
+//! # hammer the durability/recovery paths only (crash-amnesia class):
+//! cargo run --release --example scenario_fuzz -- --seeds 64 --faults amnesia
+//!
 //! # replay one failing seed with a double-run determinism check:
 //! cargo run --release --example scenario_fuzz -- --seed 12345 --check-determinism
 //! ```
@@ -15,7 +18,7 @@
 //! Failing seeds write `<out>/seed-<N>.txt` (plan, schedule, violations)
 //! and the process exits non-zero.
 
-use ddemos_harness::run_scenario;
+use ddemos_harness::{run_scenario_with, FaultMix, ScenarioOptions};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -23,6 +26,7 @@ struct Args {
     seeds: Vec<u64>,
     check_determinism: bool,
     out: PathBuf,
+    options: ScenarioOptions,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +36,7 @@ fn parse_args() -> Args {
     let mut explicit: Option<u64> = None;
     let mut check_determinism = false;
     let mut out = PathBuf::from("target/scenario-failures");
+    let mut options = ScenarioOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -44,6 +49,13 @@ fn parse_args() -> Args {
             "--start" => start = value("--start").parse().expect("--start: u64"),
             "--check-determinism" => check_determinism = true,
             "--out" => out = PathBuf::from(value("--out")),
+            "--faults" => {
+                options.faults = match value("--faults").as_str() {
+                    "any" => FaultMix::Any,
+                    "amnesia" => FaultMix::Amnesia,
+                    other => panic!("--faults: unknown mix {other} (any | amnesia)"),
+                }
+            }
             other => panic!("unknown argument {other} (see source header for usage)"),
         }
     }
@@ -55,6 +67,7 @@ fn parse_args() -> Args {
         seeds,
         check_determinism,
         out,
+        options,
     }
 }
 
@@ -62,10 +75,10 @@ fn main() {
     let args = parse_args();
     let mut failures = 0usize;
     for &seed in &args.seeds {
-        let outcome = run_scenario(seed);
+        let outcome = run_scenario_with(seed, &args.options);
         let mut problems = outcome.violations.clone();
         if args.check_determinism {
-            let replay = run_scenario(seed);
+            let replay = run_scenario_with(seed, &args.options);
             if replay.fingerprint != outcome.fingerprint {
                 problems.push("determinism: two runs of this seed diverged".into());
             }
@@ -83,7 +96,11 @@ fn main() {
         std::fs::create_dir_all(&args.out).expect("create artifact dir");
         let path = args.out.join(format!("seed-{seed}.txt"));
         let mut file = std::fs::File::create(&path).expect("create artifact");
-        writeln!(file, "replay: cargo run --release --example scenario_fuzz -- --seed {seed} --check-determinism").unwrap();
+        let faults = match args.options.faults {
+            FaultMix::Any => "any",
+            FaultMix::Amnesia => "amnesia",
+        };
+        writeln!(file, "replay: cargo run --release --example scenario_fuzz -- --seed {seed} --faults {faults} --check-determinism").unwrap();
         writeln!(file, "\n== violations").unwrap();
         for v in &problems {
             writeln!(file, "  {v}").unwrap();

@@ -11,11 +11,16 @@ use ddemos_protocol::clock::{GlobalClock, VirtualClock, NS_PER_MS};
 use ddemos_protocol::exec::Pool;
 use ddemos_protocol::params::ParamError;
 use ddemos_protocol::{NodeId, NodeKind, SerialNo};
+use ddemos_storage::{
+    DiskProfile, DynDisk, DynJournal, FileDisk, Journal, JournalConfig, SimDisk, StorageError,
+};
 use ddemos_trustee::Trustee;
 use ddemos_vc::{
     FnStore, LatencyStore, MemoryStore, StorageModel, VcBehavior, VcHandle, VcNode, VcNodeConfig,
+    WalStore,
 };
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,11 +53,48 @@ pub enum StoreKind {
     Virtual,
     /// [`StoreKind::Virtual`] behind the latency model.
     VirtualLatency(StorageModel),
+    /// Materialized rows spilled to a per-node WAL file
+    /// ([`ddemos_vc::WalStore`]) on a [`SimDisk`] whose read latency is
+    /// charged on the election clock — the disk-format store a real
+    /// deployment would mmap instead of the `HashMap` cache.
+    Disk(DiskProfile),
 }
 
 impl StoreKind {
     fn is_virtual(self) -> bool {
         matches!(self, StoreKind::Virtual | StoreKind::VirtualLatency(_))
+    }
+}
+
+/// Which durability layer backs the stateful replicas (VC ballot slots,
+/// BB accepted writes). The default is [`Durability::None`] — pure
+/// in-memory nodes, the pre-durability behaviour, where a
+/// `CrashAmnesia` fault genuinely loses state.
+#[derive(Clone, Debug, Default)]
+pub enum Durability {
+    /// No journals: node state is volatile.
+    #[default]
+    None,
+    /// Deterministic in-memory disks ([`SimDisk`]) whose write/fsync/read
+    /// latencies are charged on the election's global clock — virtual
+    /// elections pay them in virtual time. The right choice for the
+    /// fuzzer and for benchmarks.
+    Sim(DiskProfile),
+    /// Real files ([`FileDisk`]) under the given directory, one
+    /// subdirectory per node (`vc-0/`, `bb-1/`, …). State survives the
+    /// process.
+    File(std::path::PathBuf),
+}
+
+impl Durability {
+    /// Shorthand for [`Durability::Sim`] with the default NVMe-ish
+    /// profile.
+    pub fn sim() -> Durability {
+        Durability::Sim(DiskProfile::default())
+    }
+
+    fn enabled(&self) -> bool {
+        !matches!(self, Durability::None)
     }
 }
 
@@ -68,6 +110,10 @@ pub enum BuildError {
     /// [`ElectionBuilder::adversary`] or [`ElectionBuilder::clock_drift`]
     /// named a node that is not a VC node of this election.
     BadNode(NodeId),
+    /// The durability layer failed to initialize (journal creation or
+    /// recovery — [`Durability::File`] paths, a corrupt pre-existing
+    /// journal).
+    Storage(String),
     /// Partial materialization ([`ElectionBuilder::materialize_first`] or a
     /// virtual store) requires [`SetupProfile::VcOnly`]: bulletin-board and
     /// trustee payloads cannot be partially dealt.
@@ -79,6 +125,7 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::Params(e) => write!(f, "invalid election parameters: {e}"),
             BuildError::BadNode(id) => write!(f, "{id} is not a VC node of this election"),
+            BuildError::Storage(e) => write!(f, "durability layer failed: {e}"),
             BuildError::PartialSetupRequiresVcOnly => {
                 write!(f, "partial materialization requires SetupProfile::VcOnly")
             }
@@ -116,6 +163,8 @@ pub struct ElectionBuilder {
     virtual_time: bool,
     schedule: Schedule,
     close_timeout: Option<Duration>,
+    durability: Durability,
+    journal_config: JournalConfig,
 }
 
 impl ElectionBuilder {
@@ -138,7 +187,33 @@ impl ElectionBuilder {
             virtual_time: false,
             schedule: Schedule::default(),
             close_timeout: None,
+            durability: Durability::None,
+            journal_config: JournalConfig::default(),
         }
+    }
+
+    /// Backs every VC node's ballot slots and every BB node's accepted
+    /// writes with a durable journal (group-committed WAL + snapshots,
+    /// `ddemos-storage`), making [`NetFault::CrashAmnesia`]
+    /// (`ddemos_net::NetFault`) recoverable: a power-cycled node rebuilds
+    /// its durable obligations — used codes, UCERTs, issued receipts —
+    /// from snapshot + WAL replay instead of forgetting them.
+    #[must_use]
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Tunes the journals: `group_commit` frames per fsync (the batch a
+    /// group commit amortizes) and the snapshot cadence in records
+    /// (`None` disables compaction).
+    #[must_use]
+    pub fn durability_tuning(mut self, group_commit: usize, compact_every: Option<u64>) -> Self {
+        self.journal_config = JournalConfig {
+            group_commit,
+            compact_every,
+        };
+        self
     }
 
     /// Runs the election on a deterministic discrete-event clock instead
@@ -431,9 +506,42 @@ impl ElectionBuilder {
         // Scheduled SetDrift faults write through the registry in both
         // time modes (real-time drift experiments included).
         net.set_drift_registry(clock.drift_registry());
+        // BB replicas have no network inbox, so a CrashAmnesia fault
+        // reaches them through this hook: the index is flagged here and
+        // serviced (state reset + journal replay) by the Election before
+        // its next BB interaction. Registered before any fault can fire.
+        let bb_amnesia: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(BTreeSet::new()));
+        {
+            let flags = bb_amnesia.clone();
+            net.set_amnesia_hook(Arc::new(move |id| {
+                if id.kind == NodeKind::Bb {
+                    flags.lock().insert(id.index);
+                }
+            }));
+        }
         for (at_ms, fault) in &self.schedule.events {
             net.schedule_fault(Duration::from_millis(*at_ms), fault.clone());
         }
+        let storage_err = |e: StorageError| BuildError::Storage(e.to_string());
+        let journal_config = self.journal_config;
+        let durability = self.durability.clone();
+        let make_journal = {
+            let clock = clock.clone();
+            move |label: String| -> Result<Option<DynJournal>, BuildError> {
+                match &durability {
+                    Durability::None => Ok(None),
+                    Durability::Sim(profile) => {
+                        let disk: DynDisk = Arc::new(SimDisk::new(clock.clone(), *profile));
+                        Ok(Some(Journal::new(disk, journal_config)))
+                    }
+                    Durability::File(dir) => {
+                        let disk: DynDisk =
+                            Arc::new(FileDisk::open(dir.join(label)).map_err(storage_err)?);
+                        Ok(Some(Journal::new(disk, journal_config)))
+                    }
+                }
+            }
+        };
         let (result_tx, result_rx) = crossbeam_channel::unbounded();
         let n = self.params.num_ballots;
         let mut vc_handles: Vec<VcHandle> = Vec::with_capacity(num_vc);
@@ -454,8 +562,9 @@ impl ElectionBuilder {
             // The rows move into the node's store; the retained init copies
             // stay empty (each node is handed its data exactly once).
             let rows = std::mem::take(&mut init.ballots);
+            let journal = make_journal(format!("vc-{i}"))?;
             let handle = match self.store {
-                StoreKind::Memory => VcNode::spawn(
+                StoreKind::Memory => VcNode::spawn_durable(
                     init.clone(),
                     MemoryStore::new(rows, n),
                     endpoint,
@@ -463,8 +572,9 @@ impl ElectionBuilder {
                     beacon,
                     config,
                     tx,
+                    journal,
                 ),
-                StoreKind::Latency(model) => VcNode::spawn(
+                StoreKind::Latency(model) => VcNode::spawn_durable(
                     init.clone(),
                     LatencyStore::with_clock(MemoryStore::new(rows, n), model, clock.clone()),
                     endpoint,
@@ -472,8 +582,9 @@ impl ElectionBuilder {
                     beacon,
                     config,
                     tx,
+                    journal,
                 ),
-                StoreKind::Virtual => VcNode::spawn(
+                StoreKind::Virtual => VcNode::spawn_durable(
                     init.clone(),
                     virtual_store(ea.clone().expect("ea retained"), i, n),
                     endpoint,
@@ -481,8 +592,9 @@ impl ElectionBuilder {
                     beacon,
                     config,
                     tx,
+                    journal,
                 ),
-                StoreKind::VirtualLatency(model) => VcNode::spawn(
+                StoreKind::VirtualLatency(model) => VcNode::spawn_durable(
                     init.clone(),
                     LatencyStore::with_clock(
                         virtual_store(ea.clone().expect("ea retained"), i, n),
@@ -494,7 +606,22 @@ impl ElectionBuilder {
                     beacon,
                     config,
                     tx,
+                    journal,
                 ),
+                StoreKind::Disk(profile) => {
+                    let disk: DynDisk = Arc::new(SimDisk::new(clock.clone(), profile));
+                    let store = WalStore::build(&rows, n, disk).map_err(storage_err)?;
+                    VcNode::spawn_durable(
+                        init.clone(),
+                        store,
+                        endpoint,
+                        node_clock,
+                        beacon,
+                        config,
+                        tx,
+                        journal,
+                    )
+                }
             };
             vc_handles.push(handle);
         }
@@ -514,6 +641,12 @@ impl ElectionBuilder {
         let bb_nodes: Vec<Arc<BbNode>> = (0..setup.params.num_bb)
             .map(|_| Arc::new(BbNode::new(setup.bb_init.clone())))
             .collect();
+        if self.durability.enabled() {
+            for (b, bb) in bb_nodes.iter().enumerate() {
+                let journal = make_journal(format!("bb-{b}"))?.expect("durability enabled");
+                bb.attach_journal(journal).map_err(storage_err)?;
+            }
+        }
         let reader = MajorityReader::new(bb_nodes.clone()).with_clock(clock.clone());
         let trustees: Vec<Trustee> = setup
             .trustee_inits
@@ -547,6 +680,7 @@ impl ElectionBuilder {
             cast_seq: AtomicU64::new(0),
             run: Mutex::new(run),
             close_lock: Mutex::new(()),
+            bb_amnesia,
             _driver: driver,
             _ea: ea,
         })

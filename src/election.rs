@@ -124,6 +124,10 @@ pub struct Election {
     /// Serializes [`Election::close`] (the per-node deliveries it drains
     /// are one-shot).
     pub(crate) close_lock: Mutex<()>,
+    /// BB indices flagged by a `CrashAmnesia` fault (BB replicas have no
+    /// network inbox, so the network hook records them here); serviced —
+    /// state reset + journal replay — before the next BB interaction.
+    pub(crate) bb_amnesia: Arc<parking_lot::Mutex<std::collections::BTreeSet<u32>>>,
     /// Virtual-time driver registration of the building thread (`None`
     /// for real-time elections). Held so virtual time freezes while the
     /// driver is doing work between waits.
@@ -189,6 +193,7 @@ impl Election {
         // Serialized: concurrent closers must not split the one-shot
         // per-node deliveries between them.
         let _phase = self.close_lock.lock();
+        self.service_bb_amnesia();
         let cached = self.run.lock().finalized.clone();
         let finalized = match cached {
             Some(finalized) => finalized,
@@ -268,6 +273,7 @@ impl Election {
     /// [`ElectionError::PhaseUnavailable`] before `close` or on a
     /// VC-only setup; otherwise trustee and BB failures.
     pub fn tally(&self) -> Result<ElectionResult, ElectionError> {
+        self.service_bb_amnesia();
         if !self.is_full_setup() {
             return Err(ElectionError::PhaseUnavailable(
                 "tally requires SetupProfile::Full (not a vc_only election)",
@@ -321,6 +327,7 @@ impl Election {
     /// [`ElectionError::BbTimeout`] when no BB majority agrees on a
     /// snapshot.
     pub fn audit(&self) -> Result<AuditReport, ElectionError> {
+        self.service_bb_amnesia();
         let snapshot = self
             .reader
             .read_snapshot()
@@ -448,7 +455,26 @@ impl Election {
 
     /// Majority-reads the current BB snapshot.
     pub fn snapshot(&self) -> Option<BbSnapshot> {
+        self.service_bb_amnesia();
         self.reader.read_snapshot()
+    }
+
+    /// Services pending BB power-cycles: a `CrashAmnesia` fault flagged
+    /// the replica (BB nodes have no inbox to receive the signal), and
+    /// before the next interaction its state is reset and rebuilt from
+    /// its journal — or comes back empty without one, leaving the `fb+1`
+    /// read majority to carry the subsystem. BB state only changes
+    /// through driver-synchronous writes, so servicing lazily here is
+    /// equivalent to servicing at the fault's timestamp.
+    fn service_bb_amnesia(&self) {
+        let flagged: Vec<u32> = std::mem::take(&mut *self.bb_amnesia.lock())
+            .into_iter()
+            .collect();
+        for index in flagged {
+            if let Some(bb) = self.bb_nodes.get(index as usize) {
+                bb.recover_amnesia();
+            }
+        }
     }
 
     /// Registers a fresh client (voter terminal) endpoint.
@@ -505,6 +531,7 @@ impl Election {
     /// Pushes finalized vote sets and msk shares to every BB node (each VC
     /// node writes to all replicas, §III-G).
     pub fn push_to_bb(&self, finalized: &[FinalizedVoteSet]) {
+        self.service_bb_amnesia();
         for f in finalized {
             for bb in &self.bb_nodes {
                 let _ = bb.submit_vote_set(f.node_index, &f.vote_set, &f.signature);

@@ -67,10 +67,12 @@ pub mod scenario;
 pub mod schedule;
 pub mod workload;
 
-pub use builder::{BuildError, ElectionBuilder, StoreKind};
+pub use builder::{BuildError, Durability, ElectionBuilder, StoreKind};
 pub use election::{Election, ElectionError, PhaseTimings, VotingPhase};
 pub use report::{ElectionReport, NetReport};
-pub use scenario::{run_scenario, ScenarioOutcome, ScenarioPlan};
+pub use scenario::{
+    run_scenario, run_scenario_with, FaultMix, ScenarioOptions, ScenarioOutcome, ScenarioPlan,
+};
 pub use schedule::{Schedule, ScheduleParams};
 pub use workload::{Workload, WorkloadStats};
 
@@ -82,4 +84,5 @@ pub use ddemos::voter::{VoteError, VoteRecord, Voter};
 pub use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
 pub use ddemos_net::{NetFault, NetworkProfile};
 pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
+pub use ddemos_storage::{DiskProfile, FileDisk, SimDisk};
 pub use ddemos_vc::{StorageModel, VcBehavior};

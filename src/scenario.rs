@@ -17,7 +17,7 @@
 //! cargo run --release --example scenario_fuzz -- --seed <N>
 //! ```
 
-use crate::builder::{ElectionBuilder, StoreKind};
+use crate::builder::{Durability, ElectionBuilder, StoreKind};
 use crate::report::ElectionReport;
 use crate::schedule::{Schedule, ScheduleParams};
 use ddemos::voter::VoteError;
@@ -27,6 +27,29 @@ use ddemos_vc::VcBehavior;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
+
+/// Which fault classes a scenario sweep draws from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultMix {
+    /// Every class ([`Schedule::random`]).
+    #[default]
+    Any,
+    /// Only `crash-amnesia` power-cycles ([`Schedule::random_amnesia`]) —
+    /// the CI sweep's `--faults amnesia` mode, hammering the durability
+    /// and recovery paths.
+    Amnesia,
+}
+
+/// Options for [`run_scenario_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScenarioOptions {
+    /// Fault classes to draw from.
+    pub faults: FaultMix,
+    /// Worker-thread override for the election's parallel runtime
+    /// (`None` = the `DDEMOS_THREADS`/auto default). Artifacts must be
+    /// identical for every value.
+    pub threads: Option<usize>,
+}
 
 /// Registered electorate per scenario election.
 const BALLOTS: u64 = 12;
@@ -45,6 +68,10 @@ const T_COMP: Duration = Duration::from_millis(100);
 const DRIFT_BOUND: Duration = Duration::from_millis(100);
 /// `T_end` of the scenario elections (virtual ms).
 const END_MS: u64 = 40_000;
+/// When the receipt-uniqueness recheck re-submits receipted codes (after
+/// `heal_by_ms` — every fault healed, every power-cycled node recovered —
+/// and before `T_end`).
+const RECHECK_AT_MS: u64 = 33_000;
 /// The driver closes the election here (after every node's drifted clock
 /// has passed `T_end`).
 const CLOSE_AT_MS: u64 = 44_000;
@@ -69,11 +96,21 @@ pub struct ScenarioPlan {
     pub votes: Vec<(usize, usize)>,
     /// Whether the paper guarantees liveness under this plan.
     pub liveness_expected: bool,
+    /// Whether the election runs with a durability layer (always, when
+    /// the schedule power-cycles a node: an amnesia crash without a
+    /// journal is outside the fault model the liveness theorem assumes).
+    pub durability: bool,
 }
 
 impl ScenarioPlan {
-    /// Derives the complete plan from a seed.
+    /// Derives the complete plan from a seed (all fault classes).
     pub fn from_seed(seed: u64) -> ScenarioPlan {
+        Self::from_seed_with(seed, FaultMix::Any)
+    }
+
+    /// Derives the complete plan from a seed, drawing the schedule from
+    /// the given fault mix.
+    pub fn from_seed_with(seed: u64, faults: FaultMix) -> ScenarioPlan {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5343_454E_4152_494F);
         let profile = if rng.gen_bool(0.5) {
             NetworkProfile::wan()
@@ -102,20 +139,23 @@ impl ScenarioPlan {
             ][rng.gen_range(0..4usize)];
             behaviors[fault_node as usize] = byz;
         }
-        let schedule = Schedule::random(
-            seed,
-            &ScheduleParams {
-                num_vc: 4,
-                vc_faults: 1,
-                fault_from_ms: 1_000,
-                fault_until_ms: 28_000,
-                heal_by_ms: 32_000,
-                base_profile: profile.clone(),
-                target: Some(ddemos_protocol::NodeId::vc(fault_node)),
-            },
-        );
+        let schedule_params = ScheduleParams {
+            num_vc: 4,
+            vc_faults: 1,
+            num_bb: 4,
+            fault_from_ms: 1_000,
+            fault_until_ms: 28_000,
+            heal_by_ms: 32_000,
+            base_profile: profile.clone(),
+            target: Some(ddemos_protocol::NodeId::vc(fault_node)),
+        };
+        let schedule = match faults {
+            FaultMix::Any => Schedule::random(seed, &schedule_params),
+            FaultMix::Amnesia => Schedule::random_amnesia(seed, &schedule_params),
+        };
         let votes = (0..VOTES).map(|i| (i, rng.gen_range(0..3usize))).collect();
         let liveness_expected = schedule.liveness_friendly;
+        let durability = schedule.has_amnesia();
         ScenarioPlan {
             seed,
             profile,
@@ -124,6 +164,7 @@ impl ScenarioPlan {
             schedule,
             votes,
             liveness_expected,
+            durability,
         }
     }
 
@@ -144,6 +185,7 @@ impl ScenarioPlan {
         let _ = writeln!(out, "behaviors: {:?}", self.behaviors);
         let _ = writeln!(out, "votes: {:?}", self.votes);
         let _ = writeln!(out, "liveness_expected: {}", self.liveness_expected);
+        let _ = writeln!(out, "durability: {}", self.durability);
         out.push_str(&self.schedule.describe());
         out
     }
@@ -172,10 +214,15 @@ impl ScenarioOutcome {
 }
 
 /// Runs the scenario for `seed` on the virtual clock and checks the
-/// invariants. Never panics on invariant failure — violations are
-/// returned so sweeps can collect artifacts.
+/// invariants (all fault classes). Never panics on invariant failure —
+/// violations are returned so sweeps can collect artifacts.
 pub fn run_scenario(seed: u64) -> ScenarioOutcome {
-    let plan = ScenarioPlan::from_seed(seed);
+    run_scenario_with(seed, &ScenarioOptions::default())
+}
+
+/// [`run_scenario`] with explicit options (fault mix, thread count).
+pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcome {
+    let plan = ScenarioPlan::from_seed_with(seed, options.faults);
     let mut violations = Vec::new();
 
     let params = ElectionParams::new(
@@ -190,16 +237,21 @@ pub fn run_scenario(seed: u64) -> ScenarioOutcome {
         END_MS,
     )
     .expect("scenario params are valid");
-    let election = ElectionBuilder::new(params)
+    let mut builder = ElectionBuilder::new(params)
         .seed(seed)
         .virtual_time()
         .network(plan.profile.clone())
         .store(plan.store)
         .vc_behaviors(plan.behaviors.clone())
         .schedule(plan.schedule.clone())
-        .close_timeout(CLOSE_TIMEOUT)
-        .build()
-        .expect("scenario builds");
+        .close_timeout(CLOSE_TIMEOUT);
+    if plan.durability {
+        builder = builder.durability(Durability::sim());
+    }
+    if let Some(threads) = options.threads {
+        builder = builder.threads(threads);
+    }
+    let election = builder.build().expect("scenario builds");
 
     // --- voting phase, paced so scheduled faults interleave -------------
     // Voter patience is the theorem-backed `Twait` for this network
@@ -207,12 +259,14 @@ pub fn run_scenario(seed: u64) -> ScenarioOutcome {
     // emulated latencies, including the fuzzer's jitter bursts.
     let patience =
         ddemos::liveness::LivenessParams::for_network(&plan.profile, T_COMP, DRIFT_BOUND).t_wait(4);
-    let mut cast_results: Vec<Result<u64, VoteError>> = Vec::new();
+    let mut cast_results: Vec<Result<(u64, ddemos_protocol::PartId), VoteError>> = Vec::new();
     {
         let voting = election.voting().patience(patience);
         for &(ballot, option) in &plan.votes {
             election.sleep(Duration::from_millis(CAST_GAP_MS));
-            let outcome = voting.cast(ballot, option).map(|r| r.audit.receipt);
+            let outcome = voting
+                .cast(ballot, option)
+                .map(|r| (r.audit.receipt, r.audit.used_part));
             cast_results.push(outcome);
         }
     }
@@ -223,6 +277,43 @@ pub fn run_scenario(seed: u64) -> ScenarioOutcome {
         .filter(|(_, r)| r.is_ok())
         .map(|(&v, _)| v)
         .collect();
+
+    // --- receipt uniqueness across restarts ------------------------------
+    // After every fault healed (and any power-cycled collector rebuilt
+    // itself from its journal), re-submitting a receipted vote code must
+    // yield the *same* receipt — the paper's "never issue two different
+    // receipts for one ballot" obligation, which `CrashAmnesia` scenarios
+    // can only satisfy through the durability layer.
+    let to_recheck = RECHECK_AT_MS.saturating_sub(election.now_ms());
+    election.sleep(Duration::from_millis(to_recheck));
+    let mut recheck_results: Vec<(usize, Result<u64, VoteError>)> = Vec::new();
+    {
+        let voting = election.voting().patience(patience);
+        for (&(ballot, option), cast) in plan.votes.iter().zip(&cast_results) {
+            let Ok((receipt, part)) = cast else {
+                continue;
+            };
+            let again = voting
+                .cast_with_part(ballot, option, *part)
+                .map(|r| r.audit.receipt);
+            match &again {
+                Ok(second) if second != receipt => violations.push(format!(
+                    "safety: ballot {ballot} receipted {receipt:016x} before faults \
+                     but {second:016x} after recovery (conflicting receipts)"
+                )),
+                Ok(_) => {}
+                Err(e) => {
+                    if plan.liveness_expected {
+                        violations.push(format!(
+                            "liveness: ballot {ballot} was receipted but its re-submission \
+                             failed after recovery: {e}"
+                        ));
+                    }
+                }
+            }
+            recheck_results.push((ballot, again));
+        }
+    }
 
     // --- close / tally / audit ------------------------------------------
     let to_close = CLOSE_AT_MS.saturating_sub(election.now_ms());
@@ -308,6 +399,16 @@ pub fn run_scenario(seed: u64) -> ScenarioOutcome {
         let _ = writeln!(
             fingerprint,
             "cast {i}: {}",
+            match r {
+                Ok((receipt, part)) => format!("receipt {receipt:016x} part {part:?}"),
+                Err(e) => format!("error {e}"),
+            }
+        );
+    }
+    for (ballot, r) in &recheck_results {
+        let _ = writeln!(
+            fingerprint,
+            "recheck {ballot}: {}",
             match r {
                 Ok(receipt) => format!("receipt {receipt:016x}"),
                 Err(e) => format!("error {e}"),

@@ -46,6 +46,9 @@ pub struct ScheduleParams {
     pub num_vc: usize,
     /// Tolerated collector faults (`f_v`).
     pub vc_faults: usize,
+    /// Number of bulletin board replicas (amnesia scenarios power-cycle
+    /// one, staying within the `f_b` read-majority budget).
+    pub num_bb: usize,
     /// Earliest fault timestamp (ms).
     pub fault_from_ms: u64,
     /// Latest fault timestamp (ms); heals/restores land by
@@ -70,6 +73,15 @@ impl Schedule {
         self.events.push((at_ms, fault));
     }
 
+    /// Whether the schedule power-cycles any node (such scenarios need
+    /// the election built with a durability layer to stay within the
+    /// paper's fault model).
+    pub fn has_amnesia(&self) -> bool {
+        self.events
+            .iter()
+            .any(|(_, f)| matches!(f, NetFault::CrashAmnesia(_)))
+    }
+
     /// One line per event, for failure artifacts and replay logs.
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
@@ -90,7 +102,10 @@ impl Schedule {
     ///
     /// Classes: `clean`, `crash-recover`, `partition-heal`,
     /// `dup-reorder-burst`, `loss-burst` (the only liveness-unfriendly
-    /// one), `clock-drift`, and `mixed` (crash + drift).
+    /// one), `clock-drift`, `mixed` (crash + drift), and `crash-amnesia`
+    /// (power-cycle one VC and one BB node — requires the election to run
+    /// with `ElectionBuilder::durability` for the recovered VC to keep
+    /// its receipt obligations).
     pub fn random(seed: u64, params: &ScheduleParams) -> Schedule {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5343_4845_4455_4C45);
         let fv = params.vc_faults.max(1);
@@ -105,7 +120,7 @@ impl Schedule {
                 .unwrap_or_else(|| NodeId::vc(rng.gen_range(0..num_vc as u32)))
         };
         let mut schedule = Schedule::default();
-        match rng.gen_range(0..7u32) {
+        match rng.gen_range(0..8u32) {
             0 => {}
             1 => {
                 schedule.label = "crash-recover".into();
@@ -180,7 +195,7 @@ impl Schedule {
                     schedule.push(at(&mut rng), NetFault::SetDrift(target, drift));
                 }
             }
-            _ => {
+            6 => {
                 schedule.label = "mixed-crash-drift".into();
                 let crashed = node(&mut rng, params.num_vc);
                 let t1 = at(&mut rng);
@@ -194,9 +209,54 @@ impl Schedule {
                 let drifted = NodeId::vc((crashed.index + 1) % params.num_vc as u32);
                 schedule.push(at(&mut rng), NetFault::SetDrift(drifted, 800));
             }
+            _ => Self::amnesia_events(&mut rng, params, &mut schedule),
         }
         schedule.events.sort_by_key(|(t, _)| *t);
         schedule
+    }
+
+    /// Derives an amnesia-only schedule from `seed` (the fuzzer's
+    /// `--faults amnesia` mode): always the `crash-amnesia` class, with
+    /// times drawn from the seeded RNG.
+    pub fn random_amnesia(seed: u64, params: &ScheduleParams) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x414D_4E45_5349_4121);
+        let mut schedule = Schedule::default();
+        Self::amnesia_events(&mut rng, params, &mut schedule);
+        schedule.events.sort_by_key(|(t, _)| *t);
+        schedule
+    }
+
+    /// The `crash-amnesia` class: power-cycle one VC node (the designated
+    /// fault target, sharing the `f_v` budget with any Byzantine
+    /// behaviour) and one BB replica mid-voting, recovering both before
+    /// `heal_by_ms`. Within the model only when the election runs with a
+    /// durability layer — the recovered VC must remember its endorsements
+    /// and issued receipts.
+    fn amnesia_events(rng: &mut StdRng, params: &ScheduleParams, schedule: &mut Schedule) {
+        schedule.label = "crash-amnesia".into();
+        let span = params
+            .fault_until_ms
+            .saturating_sub(params.fault_from_ms)
+            .max(1);
+        let at = |rng: &mut StdRng| params.fault_from_ms + rng.gen_range(0..span);
+        let vc = params
+            .target
+            .unwrap_or_else(|| NodeId::vc(rng.gen_range(0..params.num_vc as u32)));
+        let t1 = at(rng);
+        schedule.push(t1, NetFault::CrashAmnesia(vc));
+        schedule.push(
+            (t1 + rng.gen_range(500u64..=3000)).min(params.heal_by_ms),
+            NetFault::Recover(vc),
+        );
+        if params.num_bb > 0 {
+            let bb = NodeId::bb(rng.gen_range(0..params.num_bb as u32));
+            let t2 = at(rng);
+            schedule.push(t2, NetFault::CrashAmnesia(bb));
+            schedule.push(
+                (t2 + rng.gen_range(500u64..=3000)).min(params.heal_by_ms),
+                NetFault::Recover(bb),
+            );
+        }
     }
 }
 
@@ -208,6 +268,7 @@ mod tests {
         ScheduleParams {
             num_vc: 4,
             vc_faults: 1,
+            num_bb: 4,
             fault_from_ms: 1_000,
             fault_until_ms: 28_000,
             heal_by_ms: 32_000,
@@ -239,8 +300,30 @@ mod tests {
             "loss-burst",
             "clock-drift",
             "mixed-crash-drift",
+            "crash-amnesia",
         ] {
             assert!(labels.contains(want), "class {want} never generated");
+        }
+    }
+
+    #[test]
+    fn amnesia_mode_always_power_cycles_vc_and_bb() {
+        for seed in 0..32 {
+            let s = Schedule::random_amnesia(seed, &params());
+            assert_eq!(s.label, "crash-amnesia", "seed {seed}");
+            assert!(s.has_amnesia());
+            assert!(s.liveness_friendly);
+            let (mut vc, mut bb) = (0, 0);
+            for (_, fault) in &s.events {
+                if let NetFault::CrashAmnesia(id) = fault {
+                    match id.kind {
+                        ddemos_protocol::NodeKind::Vc => vc += 1,
+                        ddemos_protocol::NodeKind::Bb => bb += 1,
+                        _ => panic!("unexpected amnesia target {id}"),
+                    }
+                }
+            }
+            assert_eq!((vc, bb), (1, 1), "seed {seed}: one of each, within budget");
         }
     }
 

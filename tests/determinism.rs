@@ -9,7 +9,9 @@
 //!    fuzz seed must produce identical tallies, receipts, phase timings,
 //!    and `NetStats` — byte-identical `ElectionReport` artifacts.
 
-use ddemos_harness::{run_scenario, ElectionBuilder, ElectionParams};
+use ddemos_harness::{
+    run_scenario, run_scenario_with, ElectionBuilder, ElectionParams, FaultMix, ScenarioOptions,
+};
 
 fn params() -> ElectionParams {
     ElectionParams::new("determinism", 6, 2, 4, 3, 3, 2, 0, 60_000).unwrap()
@@ -84,6 +86,42 @@ fn scenario_seed_replays_byte_identically() {
             "seed {seed} did not replay identically"
         );
         assert_eq!(a.violations, b.violations, "seed {seed}");
+    }
+}
+
+#[test]
+fn crash_amnesia_schedules_replay_byte_identically_across_thread_counts() {
+    // The recovery path — WAL replay, SimDisk latency charges, the
+    // receipt-uniqueness recheck — must be as deterministic as the rest
+    // of the simulation: same seed → byte-identical fingerprint, at any
+    // worker-thread count.
+    for seed in [0u64, 1, 2] {
+        let amnesia = |threads| {
+            run_scenario_with(
+                seed,
+                &ScenarioOptions {
+                    faults: FaultMix::Amnesia,
+                    threads,
+                },
+            )
+        };
+        let a = amnesia(None);
+        assert_eq!(
+            a.plan.schedule.label, "crash-amnesia",
+            "amnesia mode forces the class"
+        );
+        let b = amnesia(None);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "seed {seed}: amnesia replay diverged"
+        );
+        let single = amnesia(Some(1));
+        let parallel = amnesia(Some(4));
+        assert_eq!(
+            single.fingerprint, parallel.fingerprint,
+            "seed {seed}: recovery replay depends on thread count"
+        );
+        assert_eq!(a.fingerprint, single.fingerprint, "seed {seed}");
     }
 }
 

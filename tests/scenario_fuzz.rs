@@ -2,7 +2,7 @@
 //! paper's safety and liveness invariants (the nightly CI sweep runs many
 //! more seeds via `examples/scenario_fuzz.rs`).
 
-use ddemos_harness::{run_scenario, ScenarioPlan};
+use ddemos_harness::{run_scenario, run_scenario_with, FaultMix, ScenarioOptions, ScenarioPlan};
 
 #[test]
 fn a_spread_of_seeds_upholds_the_invariants() {
@@ -24,6 +24,23 @@ fn plans_cover_fault_classes() {
         labels.insert(ScenarioPlan::from_seed(seed).schedule.label);
     }
     assert!(labels.len() >= 4, "fault-class diversity: {labels:?}");
+}
+
+#[test]
+fn amnesia_mode_spread_upholds_the_invariants() {
+    let options = ScenarioOptions {
+        faults: FaultMix::Amnesia,
+        threads: None,
+    };
+    for seed in 4..8u64 {
+        let outcome = run_scenario_with(seed, &options);
+        assert!(
+            outcome.passed(),
+            "amnesia seed {seed} violated invariants:\n{}\nplan:\n{}",
+            outcome.violations.join("\n"),
+            outcome.plan.describe(),
+        );
+    }
 }
 
 #[test]
