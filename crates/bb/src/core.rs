@@ -1,0 +1,870 @@
+//! The sans-I/O Bulletin Board core.
+//!
+//! [`BbCore`] mirrors the shape of `ddemos_vc`'s `VcCore`: the whole
+//! write-verification state machine of §III-G as
+//! `step(input) -> Vec<output>`, owning no lock, no journal, and no
+//! socket. Inputs are the three authenticated write kinds; outputs are
+//! the reply plus (for novel accepted writes) a journal append and its
+//! commit barrier — the reply always comes *after* the commit, so a
+//! driver that executes outputs in order never acknowledges a write it
+//! could forget.
+//!
+//! The node wrapper (`crate::node::BbNode`) adds the lock and the
+//! journal; the multi-process replica loop (`ddemos_harness::tcp`) adds
+//! the socket. Both drive this same core, as does journal replay — which
+//! re-applies the accepted-write history through the same verified write
+//! path, so a rebuilt node is byte-identical to one that never crashed.
+
+use ddemos_crypto::elgamal::{self, Ciphertext};
+use ddemos_crypto::field::Scalar;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::shamir::{self, Share};
+use ddemos_crypto::votecode::{self, VoteCode};
+use ddemos_crypto::vss::{DealerVss, SignedShare};
+use ddemos_crypto::zkp;
+use ddemos_protocol::codec;
+use ddemos_protocol::initdata::{
+    msk_share_context, opening_bundle_message, voteset_message, BbInit,
+};
+use ddemos_protocol::messages::{BbWriteMsg, BbWriteOutcome};
+use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
+use ddemos_protocol::wire::{Reader, WireError, Writer};
+use ddemos_protocol::{PartId, SerialNo};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Per-row, per-ciphertext `(bit, randomness)` openings of one ballot
+/// part (`rows x ciphertexts`).
+pub type RowOpenings = Vec<Vec<(Scalar, Scalar)>>;
+
+/// Per-row reconstructed ZK final moves of one used ballot part:
+/// `(per-ciphertext OR responses, sum response)`.
+pub type RowZkResponses = Vec<(Vec<zkp::OrResponse>, Scalar)>;
+
+/// Errors returned on rejected writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// The writer's signature (or the EA's, on relayed data) is invalid.
+    BadSignature,
+    /// The writer index is unknown.
+    UnknownWriter,
+    /// The submitted data contradicts already-verified state.
+    Inconsistent,
+    /// The node is not yet in the phase this write belongs to.
+    WrongPhase,
+    /// The replica could not be reached (remote replicas only — a local
+    /// node never returns this).
+    Unavailable,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WriteError::BadSignature => "signature verification failed",
+            WriteError::UnknownWriter => "unknown writer",
+            WriteError::Inconsistent => "data inconsistent with verified state",
+            WriteError::WrongPhase => "write arrived in the wrong phase",
+            WriteError::Unavailable => "replica unreachable",
+        };
+        write!(f, "{msg}")
+    }
+}
+impl std::error::Error for WriteError {}
+
+/// Maps a write result to its wire outcome code.
+pub fn result_to_outcome(result: Result<(), WriteError>) -> BbWriteOutcome {
+    match result {
+        Ok(()) => BbWriteOutcome::Accepted,
+        Err(WriteError::BadSignature) => BbWriteOutcome::BadSignature,
+        Err(WriteError::UnknownWriter) => BbWriteOutcome::UnknownWriter,
+        Err(WriteError::Inconsistent) => BbWriteOutcome::Inconsistent,
+        // `Unavailable` never originates replica-side; collapse it to
+        // the closest wire code defensively.
+        Err(WriteError::WrongPhase) | Err(WriteError::Unavailable) => BbWriteOutcome::WrongPhase,
+    }
+}
+
+/// The wire outcome mapped back to the typed error (remote client side).
+pub fn outcome_to_result(outcome: BbWriteOutcome) -> Result<(), WriteError> {
+    match outcome {
+        BbWriteOutcome::Accepted => Ok(()),
+        BbWriteOutcome::BadSignature => Err(WriteError::BadSignature),
+        BbWriteOutcome::UnknownWriter => Err(WriteError::UnknownWriter),
+        BbWriteOutcome::Inconsistent => Err(WriteError::Inconsistent),
+        BbWriteOutcome::WrongPhase => Err(WriteError::WrongPhase),
+    }
+}
+
+/// Everything a BB node currently publishes (public read snapshot).
+#[derive(Clone, Debug, Default)]
+pub struct BbSnapshot {
+    /// The accepted final vote set (after `fv+1` identical submissions).
+    pub vote_set: Option<VoteSet>,
+    /// Decrypted vote codes per ballot part row, once `msk` reconstructed:
+    /// `(serial, part) → codes in row order`.
+    pub decrypted_codes: BTreeMap<(SerialNo, u8), Vec<VoteCode>>,
+    /// Openings of unused/unvoted part rows that verified:
+    /// `(serial, part) → per-row per-ciphertext (bit, randomness)`.
+    pub openings: BTreeMap<(SerialNo, u8), RowOpenings>,
+    /// Reconstructed-and-verified ZK final moves for used parts:
+    /// `(serial, part) → per-row (per-ciphertext OR responses, sum
+    /// response)`. Publishing the responses lets auditors re-verify the
+    /// proofs independently.
+    pub zk_responses: BTreeMap<(SerialNo, u8), RowZkResponses>,
+    /// The voter-coin challenge, once derivable.
+    pub challenge: Option<Scalar>,
+    /// The reconstructed opening of the homomorphic tally total, one
+    /// `(message, randomness)` pair per option (lets auditors verify the
+    /// result against the summed commitments).
+    pub tally_opening: Option<Vec<(Scalar, Scalar)>>,
+    /// The published result.
+    pub result: Option<ElectionResult>,
+}
+
+impl BbSnapshot {
+    /// A digest readers can majority-compare.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut w = Writer::tagged("ddemos/bb-snapshot/v1");
+        match &self.vote_set {
+            Some(vs) => w.put_u8(1).put_array(&vs.digest()),
+            None => w.put_u8(0),
+        };
+        w.put_u64(self.decrypted_codes.len() as u64);
+        for ((serial, part), codes) in &self.decrypted_codes {
+            w.put_u64(serial.0).put_u8(*part);
+            for code in codes {
+                w.put_array(&code.0);
+            }
+        }
+        w.put_u64(self.openings.len() as u64);
+        for ((serial, part), rows) in &self.openings {
+            w.put_u64(serial.0).put_u8(*part).put_u32(rows.len() as u32);
+        }
+        match &self.result {
+            Some(r) => w.put_u8(1).put_array(&r.digest()),
+            None => w.put_u8(0),
+        };
+        w.digest()
+    }
+}
+
+/// One input: an authenticated write. The three kinds mirror
+/// [`BbWriteMsg`] (its typed, unpacked form).
+#[derive(Clone, Debug)]
+pub enum BbInput {
+    /// A VC node's final vote set.
+    VoteSet {
+        /// Submitting VC node index.
+        from_vc: u32,
+        /// The submitted set.
+        set: VoteSet,
+        /// The VC node's signature over the set digest.
+        sig: Signature,
+    },
+    /// A VC node's `msk` share.
+    MskShare {
+        /// The EA-signed share.
+        share: SignedShare,
+    },
+    /// A trustee's post.
+    TrusteePost {
+        /// The post.
+        post: Arc<TrusteePost>,
+        /// The trustee's signature over the post digest.
+        sig: Signature,
+    },
+}
+
+impl From<BbWriteMsg> for BbInput {
+    fn from(write: BbWriteMsg) -> BbInput {
+        match write {
+            BbWriteMsg::VoteSet { from_vc, set, sig } => BbInput::VoteSet { from_vc, set, sig },
+            BbWriteMsg::MskShare { share } => BbInput::MskShare { share },
+            BbWriteMsg::TrusteePost { post, sig } => BbInput::TrusteePost { post, sig },
+        }
+    }
+}
+
+/// One effect of a step, in execution order: journal appends and their
+/// commit barrier precede the reply, so an acknowledged write is durable.
+#[derive(Clone, Debug)]
+pub enum BbOutput {
+    /// Append one encoded [`BbRecord`] to the node's journal.
+    Journal(Vec<u8>),
+    /// Force the journal commit before the reply below is released.
+    Commit,
+    /// The write outcome to report to the submitter.
+    Reply(Result<(), WriteError>),
+}
+
+/// One accepted (verified) BB write, as journaled and replayed. Cheap to
+/// clone (the trustee post — the heavy payload — is shared by `Arc`).
+#[derive(Clone)]
+pub(crate) enum BbRecord {
+    VoteSet {
+        from_vc: u32,
+        set: VoteSet,
+        sig: Signature,
+    },
+    MskShare {
+        share: SignedShare,
+    },
+    TrusteePost {
+        post: Arc<TrusteePost>,
+        sig: Signature,
+    },
+}
+
+const TAG_VOTE_SET: u8 = 1;
+const TAG_MSK_SHARE: u8 = 2;
+const TAG_TRUSTEE_POST: u8 = 3;
+
+impl BbRecord {
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        match self {
+            BbRecord::VoteSet { from_vc, set, sig } => {
+                w.put_u8(TAG_VOTE_SET).put_u32(*from_vc);
+                codec::put_vote_set(w, set);
+                codec::put_signature(w, sig);
+            }
+            BbRecord::MskShare { share } => {
+                w.put_u8(TAG_MSK_SHARE);
+                codec::put_signed_share(w, share);
+            }
+            BbRecord::TrusteePost { post, sig } => {
+                w.put_u8(TAG_TRUSTEE_POST);
+                codec::put_trustee_post(w, post);
+                codec::put_signature(w, sig);
+            }
+        }
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<BbRecord, WireError> {
+        Ok(match r.get_u8()? {
+            TAG_VOTE_SET => BbRecord::VoteSet {
+                from_vc: r.get_u32()?,
+                set: codec::get_vote_set(r)?,
+                sig: codec::get_signature(r)?,
+            },
+            TAG_MSK_SHARE => BbRecord::MskShare {
+                share: codec::get_signed_share(r)?,
+            },
+            TAG_TRUSTEE_POST => BbRecord::TrusteePost {
+                post: Arc::new(codec::get_trustee_post(r)?),
+                sig: codec::get_signature(r)?,
+            },
+            _ => return Err(WireError::BadValue),
+        })
+    }
+
+    fn into_input(self) -> BbInput {
+        match self {
+            BbRecord::VoteSet { from_vc, set, sig } => BbInput::VoteSet { from_vc, set, sig },
+            BbRecord::MskShare { share } => BbInput::MskShare { share },
+            BbRecord::TrusteePost { post, sig } => BbInput::TrusteePost { post, sig },
+        }
+    }
+}
+
+/// Digest of a trustee post, for write authentication.
+pub fn trustee_post_digest(post: &TrusteePost) -> [u8; 32] {
+    let mut w = Writer::tagged("ddemos/trustee-post/v1");
+    w.put_u32(post.trustee_index);
+    w.put_u64(post.openings.len() as u64);
+    for o in &post.openings {
+        w.put_u64(o.serial.0).put_u8(o.part.index() as u8);
+        for row in &o.rows {
+            for (b, r) in row {
+                w.put_array(&b.to_bytes()).put_array(&r.to_bytes());
+            }
+        }
+        w.put_array(&o.opening_sig.to_bytes());
+    }
+    w.put_u64(post.zk.len() as u64);
+    for z in &post.zk {
+        w.put_u64(z.serial.0).put_u8(z.part.index() as u8);
+        for row in &z.rows {
+            for ct in row {
+                for s in ct {
+                    w.put_array(&s.to_bytes());
+                }
+            }
+        }
+        for s in &z.sum_responses {
+            w.put_array(&s.to_bytes());
+        }
+    }
+    for (m, r) in &post.tally.per_option {
+        w.put_array(&m.to_bytes()).put_array(&r.to_bytes());
+    }
+    w.digest()
+}
+
+/// The sans-I/O Bulletin Board state machine. See the module docs.
+pub struct BbCore {
+    init: BbInit,
+    vote_set_submissions: HashMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
+    vote_sets: HashMap<[u8; 32], VoteSet>,
+    msk_shares: Vec<SignedShare>,
+    msk: Option<[u8; 16]>,
+    trustee_posts: HashMap<u32, Arc<TrusteePost>>,
+    /// Every accepted (verified, novel) write in **acceptance order** —
+    /// the node's durable history. Snapshots re-encode this list
+    /// verbatim, so replay reproduces the exact original write order
+    /// (quorum thresholds cross for the same digest, phase gates open at
+    /// the same points) and the rebuilt node is byte-identical to the
+    /// never-crashed one.
+    accepted: Vec<BbRecord>,
+    snapshot: BbSnapshot,
+}
+
+impl BbCore {
+    /// Creates a core from its initialization data (which it publishes
+    /// immediately, per §III-D).
+    pub fn new(init: BbInit) -> BbCore {
+        BbCore {
+            init,
+            vote_set_submissions: HashMap::new(),
+            vote_sets: HashMap::new(),
+            msk_shares: Vec::new(),
+            msk: None,
+            trustee_posts: HashMap::new(),
+            accepted: Vec::new(),
+            snapshot: BbSnapshot::default(),
+        }
+    }
+
+    /// The published initialization data (public).
+    pub fn init_data(&self) -> &BbInit {
+        &self.init
+    }
+
+    /// The current public snapshot.
+    pub fn snapshot(&self) -> &BbSnapshot {
+        &self.snapshot
+    }
+
+    /// Advances the state machine by one write. Outputs are in execution
+    /// order: journal append + commit (novel accepted writes only), then
+    /// the reply.
+    pub fn step(&mut self, input: BbInput) -> Vec<BbOutput> {
+        let (outcome, record) = self.apply(input);
+        let mut outputs = Vec::with_capacity(3);
+        if let Some(record) = record {
+            outputs.push(BbOutput::Journal(record.encode()));
+            outputs.push(BbOutput::Commit);
+        }
+        outputs.push(BbOutput::Reply(outcome));
+        outputs
+    }
+
+    /// Replays one journaled record through the same verified write path
+    /// (no journal outputs — the record is already on disk).
+    pub(crate) fn replay(&mut self, record: BbRecord) {
+        let (outcome, _) = self.apply(record.into_input());
+        if let Err(e) = outcome {
+            // `Inconsistent` from the msk path replays the original
+            // mismatched-commitment outcome (shares accepted, then
+            // cleared) — not storage damage. Anything else means a
+            // journaled write no longer verifies: tampered storage; skip
+            // the record — write-side verification must hold even
+            // against our own disk.
+            if !matches!(e, WriteError::Inconsistent) {
+                eprintln!("bb: replayed write rejected ({e}); skipping record");
+            }
+        }
+    }
+
+    /// Encodes the accepted-write history (the durable snapshot body).
+    pub(crate) fn encode_history(&self, w: &mut Writer) {
+        w.put_u64(self.accepted.len() as u64);
+        for record in &self.accepted {
+            record.encode_into(w);
+        }
+    }
+
+    fn apply(&mut self, input: BbInput) -> (Result<(), WriteError>, Option<BbRecord>) {
+        match input {
+            BbInput::VoteSet { from_vc, set, sig } => self.on_vote_set(from_vc, &set, &sig),
+            BbInput::MskShare { share } => self.on_msk_share(&share),
+            BbInput::TrusteePost { post, sig } => self.on_trustee_post(post, &sig),
+        }
+    }
+
+    fn on_vote_set(
+        &mut self,
+        from_vc: u32,
+        set: &VoteSet,
+        sig: &Signature,
+    ) -> (Result<(), WriteError>, Option<BbRecord>) {
+        let Some(vk) = self.init.vc_keys.get(from_vc as usize) else {
+            return (Err(WriteError::UnknownWriter), None);
+        };
+        let digest = set.digest();
+        if !vk.verify(
+            &voteset_message(&self.init.params.election_id, &digest),
+            sig,
+        ) {
+            return (Err(WriteError::BadSignature), None);
+        }
+        let submitters = self.vote_set_submissions.entry(digest).or_default();
+        let novel = !submitters.contains(&from_vc);
+        if novel {
+            submitters.push(from_vc);
+        }
+        let enough = submitters.len() > self.init.params.vc_faults();
+        self.vote_sets.entry(digest).or_insert_with(|| set.clone());
+        if enough && self.snapshot.vote_set.is_none() {
+            self.snapshot.vote_set = Some(set.clone());
+            self.after_phase_change();
+        }
+        if !novel {
+            return (Ok(()), None);
+        }
+        let record = BbRecord::VoteSet {
+            from_vc,
+            set: set.clone(),
+            sig: *sig,
+        };
+        self.accepted.push(record.clone());
+        (Ok(()), Some(record))
+    }
+
+    fn on_msk_share(&mut self, share: &SignedShare) -> (Result<(), WriteError>, Option<BbRecord>) {
+        let ctx = msk_share_context(&self.init.params.election_id);
+        if !DealerVss::verify(&self.init.ea_key, &ctx, share) {
+            return (Err(WriteError::BadSignature), None);
+        }
+        if self.msk.is_some() {
+            return (Ok(()), None);
+        }
+        let novel = !self
+            .msk_shares
+            .iter()
+            .any(|s| s.share.index == share.share.index);
+        if !novel {
+            return (Ok(()), None);
+        }
+        self.msk_shares.push(*share);
+        // The share is accepted (EA-verified and novel) regardless of how
+        // the reconstruction attempt below ends — record it first so the
+        // journal history matches the in-memory share list even on the
+        // mismatched-commitment path, where the shares are cleared (the
+        // replay re-runs the same clear deterministically).
+        let record = BbRecord::MskShare { share: *share };
+        self.accepted.push(record.clone());
+        let mut outcome = Ok(());
+        let k = self.init.params.vc_quorum();
+        if self.msk_shares.len() >= k {
+            if let Ok(secret) = DealerVss::reconstruct(&self.msk_shares, k) {
+                let bytes = secret.to_bytes();
+                let mut msk = [0u8; 16];
+                msk.copy_from_slice(&bytes[16..]);
+                // Authenticate against H_msk before trusting it.
+                if self.init.msk_commitment.matches(&msk) {
+                    self.msk = Some(msk);
+                    self.after_phase_change();
+                } else {
+                    self.msk_shares.clear();
+                    outcome = Err(WriteError::Inconsistent);
+                }
+            }
+        }
+        (outcome, Some(record))
+    }
+
+    fn on_trustee_post(
+        &mut self,
+        post: Arc<TrusteePost>,
+        sig: &Signature,
+    ) -> (Result<(), WriteError>, Option<BbRecord>) {
+        let Some(vk) = self.init.trustee_keys.get(post.trustee_index as usize) else {
+            return (Err(WriteError::UnknownWriter), None);
+        };
+        if !vk.verify(&trustee_post_digest(&post), sig) {
+            return (Err(WriteError::BadSignature), None);
+        }
+        // Verify the EA signatures on every opening bundle up front.
+        for opening in &post.openings {
+            let msg = opening_bundle_message(
+                &self.init.params.election_id,
+                opening.serial,
+                opening.part,
+                post.trustee_index,
+                &opening.rows,
+            );
+            if !self.init.ea_key.verify(&msg, &opening.opening_sig) {
+                return (Err(WriteError::BadSignature), None);
+            }
+        }
+        if self.snapshot.vote_set.is_none() || self.msk.is_none() {
+            return (Err(WriteError::WrongPhase), None);
+        }
+        // First post per trustee wins: the accepted history must match
+        // the retained state exactly, so a resubmission (same or
+        // different content) is ignored rather than overwriting a post
+        // the journal already committed to.
+        if self.trustee_posts.contains_key(&post.trustee_index) {
+            return (Ok(()), None);
+        }
+        self.trustee_posts.insert(post.trustee_index, post.clone());
+        if self.trustee_posts.len() >= self.init.params.trustee_threshold
+            && self.snapshot.result.is_none()
+        {
+            self.try_publish_result();
+        }
+        let record = BbRecord::TrusteePost { post, sig: *sig };
+        self.accepted.push(record.clone());
+        (Ok(()), Some(record))
+    }
+
+    /// Called whenever the vote set or msk lands: decrypt codes, compute
+    /// the challenge.
+    fn after_phase_change(&mut self) {
+        let (Some(msk), Some(vote_set)) = (self.msk, self.snapshot.vote_set.clone()) else {
+            return;
+        };
+        if !self.snapshot.decrypted_codes.is_empty() {
+            return;
+        }
+        // Decrypt every stored vote code (§III-G: "decrypts all the
+        // encrypted vote codes in its initialization data, and publishes
+        // them").
+        for (serial, ballot) in self.init.ballots.iter() {
+            for part in PartId::BOTH {
+                let codes: Vec<VoteCode> = ballot.parts[part.index()]
+                    .iter()
+                    .filter_map(|row| votecode::decrypt_vote_code(&msk, &row.enc_code).ok())
+                    .collect();
+                self.snapshot
+                    .decrypted_codes
+                    .insert((*serial, part.index() as u8), codes);
+            }
+        }
+        // Voter coins: the A/B choice of every voted ballot, in serial
+        // order (§III-B). A=0, B=1.
+        let mut coins = Vec::with_capacity(vote_set.len());
+        for (serial, code) in &vote_set.entries {
+            if let Some((part, _row)) = self.locate_cast_row(*serial, code) {
+                coins.push(part.coin());
+            }
+        }
+        let mut ctx = Vec::new();
+        ctx.extend_from_slice(&self.init.params.election_id.0);
+        self.snapshot.challenge = Some(zkp::challenge_from_coins(&ctx, &coins));
+    }
+
+    /// Finds (part, row) of a cast vote code using the decrypted codes.
+    fn locate_cast_row(&self, serial: SerialNo, code: &VoteCode) -> Option<(PartId, usize)> {
+        for part in PartId::BOTH {
+            if let Some(codes) = self
+                .snapshot
+                .decrypted_codes
+                .get(&(serial, part.index() as u8))
+            {
+                if let Some(row) = codes.iter().position(|c| c == code) {
+                    return Some((part, row));
+                }
+            }
+        }
+        None
+    }
+
+    /// With ≥ h_t trustee posts verified, reconstruct openings, verify ZK
+    /// proofs, open the homomorphic tally, and publish the result (§III-H).
+    fn try_publish_result(&mut self) {
+        let ht = self.init.params.trustee_threshold;
+        // The caller gates on both being present; losing either here
+        // means corrupt state — skip publication rather than abort the
+        // replica (readers outvote it).
+        let Some(vote_set) = self.snapshot.vote_set.clone() else {
+            return;
+        };
+        let Some(challenge) = self.snapshot.challenge else {
+            return;
+        };
+        let posts: Vec<Arc<TrusteePost>> = self.trustee_posts.values().cloned().collect();
+        let m = self.init.params.num_options;
+
+        // --- unused/unvoted part openings -------------------------------
+        // Group opening posts by (serial, part).
+        let mut openings_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &RowOpenings)>> =
+            HashMap::new();
+        for post in &posts {
+            for o in &post.openings {
+                openings_by_key
+                    .entry((o.serial, o.part))
+                    .or_default()
+                    .push((post.trustee_index, &o.rows));
+            }
+        }
+        let mut new_openings: Vec<((SerialNo, u8), RowOpenings)> = Vec::new();
+        for ((serial, part), shares) in &openings_by_key {
+            if shares.len() < ht {
+                continue;
+            }
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
+            let rows = &ballot.parts[part.index()];
+            let mut opened_rows: RowOpenings = Vec::with_capacity(rows.len());
+            let mut all_ok = true;
+            for (row_idx, row) in rows.iter().enumerate() {
+                let mut opened_cts = Vec::with_capacity(row.commitment.len());
+                for (ct_idx, ct) in row.commitment.iter().enumerate() {
+                    let bit_shares: Vec<Share> = shares
+                        .iter()
+                        .take(ht)
+                        .map(|(t, rows)| Share {
+                            index: t + 1,
+                            value: rows[row_idx][ct_idx].0,
+                        })
+                        .collect();
+                    let rand_shares: Vec<Share> = shares
+                        .iter()
+                        .take(ht)
+                        .map(|(t, rows)| Share {
+                            index: t + 1,
+                            value: rows[row_idx][ct_idx].1,
+                        })
+                        .collect();
+                    let (Ok(bit), Ok(rand)) = (
+                        shamir::reconstruct(&bit_shares, ht),
+                        shamir::reconstruct(&rand_shares, ht),
+                    ) else {
+                        all_ok = false;
+                        break;
+                    };
+                    if !elgamal::verify_opening(&self.init.elgamal_pk, ct, &bit, &rand) {
+                        all_ok = false;
+                        break;
+                    }
+                    opened_cts.push((bit, rand));
+                }
+                if !all_ok {
+                    break;
+                }
+                opened_rows.push(opened_cts);
+            }
+            if all_ok {
+                new_openings.push(((*serial, part.index() as u8), opened_rows));
+            }
+        }
+        for (key, rows) in new_openings {
+            self.snapshot.openings.insert(key, rows);
+        }
+
+        // --- used-part ZK verification -----------------------------------
+        let mut zk_by_key: HashMap<
+            (SerialNo, PartId),
+            Vec<(u32, &ddemos_protocol::posts::PartZkPost)>,
+        > = HashMap::new();
+        for post in &posts {
+            for z in &post.zk {
+                zk_by_key
+                    .entry((z.serial, z.part))
+                    .or_default()
+                    .push((post.trustee_index, z));
+            }
+        }
+        let mut new_zk: Vec<((SerialNo, u8), RowZkResponses)> = Vec::new();
+        for ((serial, part), posts_for_part) in &zk_by_key {
+            if posts_for_part.len() < ht {
+                continue;
+            }
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
+            let rows = &ballot.parts[part.index()];
+            let mut ok = true;
+            let mut verified_rows: Vec<(Vec<zkp::OrResponse>, Scalar)> = Vec::new();
+            'rows: for (row_idx, row) in rows.iter().enumerate() {
+                let mut row_responses = Vec::with_capacity(row.commitment.len());
+                for (ct_idx, ct) in row.commitment.iter().enumerate() {
+                    let mut comps = [Scalar::ZERO; 4];
+                    for (slot, comp) in comps.iter_mut().enumerate() {
+                        let shares: Vec<Share> = posts_for_part
+                            .iter()
+                            .take(ht)
+                            .map(|(t, z)| Share {
+                                index: t + 1,
+                                value: z.rows[row_idx][ct_idx][slot],
+                            })
+                            .collect();
+                        match shamir::reconstruct(&shares, ht) {
+                            Ok(v) => *comp = v,
+                            Err(_) => {
+                                ok = false;
+                                break 'rows;
+                            }
+                        }
+                    }
+                    let resp = zkp::OrResponse {
+                        c0: comps[0],
+                        z0: comps[1],
+                        c1: comps[2],
+                        z1: comps[3],
+                    };
+                    if !zkp::or_verify(
+                        &self.init.elgamal_pk,
+                        ct,
+                        &row.or_first[ct_idx],
+                        &resp,
+                        &challenge,
+                    ) {
+                        ok = false;
+                        break 'rows;
+                    }
+                    row_responses.push(resp);
+                }
+                let sum_shares: Vec<Share> = posts_for_part
+                    .iter()
+                    .take(ht)
+                    .map(|(t, z)| Share {
+                        index: t + 1,
+                        value: z.sum_responses[row_idx],
+                    })
+                    .collect();
+                let Ok(z) = shamir::reconstruct(&sum_shares, ht) else {
+                    ok = false;
+                    break;
+                };
+                if !zkp::sum_verify(
+                    &self.init.elgamal_pk,
+                    &row.commitment,
+                    &row.sum_first,
+                    &challenge,
+                    &z,
+                ) {
+                    ok = false;
+                    break;
+                }
+                verified_rows.push((row_responses, z));
+            }
+            if ok {
+                new_zk.push(((*serial, part.index() as u8), verified_rows));
+            }
+        }
+        for (key, rows) in new_zk {
+            self.snapshot.zk_responses.insert(key, rows);
+        }
+
+        // --- homomorphic tally --------------------------------------------
+        // E_tally: the cast row's commitment vector of every voted ballot.
+        let mut sums = vec![Ciphertext::IDENTITY; m];
+        let mut counted = 0u64;
+        for (serial, code) in &vote_set.entries {
+            let Some((part, row_idx)) = self.locate_cast_row(*serial, code) else {
+                continue;
+            };
+            let Some(ballot) = self.init.ballots.get(serial) else {
+                continue;
+            };
+            let row = &ballot.parts[part.index()][row_idx];
+            for (j, ct) in row.commitment.iter().enumerate() {
+                sums[j] = sums[j].add(ct);
+            }
+            counted += 1;
+        }
+        // Reconstruct the opening of each option total from trustee tally
+        // shares; identify bad shares by reconstruct-then-verify over
+        // subsets (the commitments are perfectly binding, so a verified
+        // opening is *the* opening).
+        let tally_posts: Vec<(u32, &ddemos_protocol::posts::TallySharePost)> =
+            posts.iter().map(|p| (p.trustee_index, &p.tally)).collect();
+        let mut tally = Vec::with_capacity(m);
+        let mut opening = Vec::with_capacity(m);
+        for (j, sum_ct) in sums.iter().enumerate() {
+            let mut found = None;
+            for subset in subsets_of(&tally_posts, ht) {
+                let m_shares: Vec<Share> = subset
+                    .iter()
+                    .map(|(t, p)| Share {
+                        index: t + 1,
+                        value: p.per_option[j].0,
+                    })
+                    .collect();
+                let r_shares: Vec<Share> = subset
+                    .iter()
+                    .map(|(t, p)| Share {
+                        index: t + 1,
+                        value: p.per_option[j].1,
+                    })
+                    .collect();
+                let (Ok(msg), Ok(rand)) = (
+                    shamir::reconstruct(&m_shares, ht),
+                    shamir::reconstruct(&r_shares, ht),
+                ) else {
+                    continue;
+                };
+                if elgamal::verify_opening(&self.init.elgamal_pk, sum_ct, &msg, &rand) {
+                    found = msg.to_u64();
+                    opening.push((msg, rand));
+                    break;
+                }
+            }
+            match found {
+                Some(v) => tally.push(v),
+                None => return, // need more trustee posts
+            }
+        }
+        self.snapshot.tally_opening = Some(opening);
+        self.snapshot.result = Some(ElectionResult {
+            tally,
+            ballots_counted: counted,
+        });
+    }
+}
+
+/// All `k`-subsets of `items` (small inputs only: `C(Nt, ht)`).
+fn subsets_of<T>(items: &[T], k: usize) -> Vec<Vec<&T>> {
+    let mut out = Vec::new();
+    let n = items.len();
+    if k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| &items[i]).collect());
+        // advance combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        if idx[i] == i + n - k {
+            return out;
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_enumerate_combinations() {
+        let items = [1, 2, 3, 4];
+        let subs = subsets_of(&items, 2);
+        assert_eq!(subs.len(), 6);
+        let subs3 = subsets_of(&items, 3);
+        assert_eq!(subs3.len(), 4);
+        assert_eq!(subsets_of(&items, 5).len(), 0);
+        assert_eq!(subsets_of(&items, 4).len(), 1);
+    }
+}

@@ -7,11 +7,20 @@
 //! moves, tally-opening shares), culminating in the published result.
 //! Readers use [`reader::MajorityReader`], the library form of the paper's
 //! majority-comparing browser extension (§V).
+//!
+//! The write-verification state machine itself is the sans-I/O
+//! [`core::BbCore`] (`step(input) -> Vec<output>`, same shape as
+//! `ddemos_vc`'s `VcCore`); [`node::BbNode`] wraps it with a lock and an
+//! optional durable journal, and [`codec`] gives snapshots a canonical
+//! wire form for remote readers.
 
 #![warn(missing_docs)]
 
+pub mod codec;
+pub mod core;
 pub mod node;
 pub mod reader;
 
-pub use node::{trustee_post_digest, BbNode, BbSnapshot, WriteError};
-pub use reader::MajorityReader;
+pub use core::{trustee_post_digest, BbCore, BbInput, BbOutput, BbSnapshot, WriteError};
+pub use node::BbNode;
+pub use reader::{BbApi, MajorityReader};

@@ -1,4 +1,5 @@
-//! A Bulletin Board node (§III-G).
+//! A Bulletin Board node (§III-G): the [`BbCore`] state machine behind a
+//! lock and an optional durable journal.
 //!
 //! BB nodes are deliberately simple: isolated repositories that never talk
 //! to each other. Reads are public; writes are authenticated and verified —
@@ -8,239 +9,35 @@
 //! distributed ZK responses and the tally opening. The robustness of the
 //! subsystem comes entirely from this write-side verification plus
 //! read-side majority (see [`crate::reader`]).
+//!
+//! All of that verification lives in the sans-I/O [`crate::core`] module;
+//! this wrapper executes the core's outputs: journal appends + commits
+//! before the reply is released, so an acknowledged write is durable.
+//! The same core also serves multi-process deployments, where
+//! `ddemos_harness::tcp` drives a `BbNode` from `Msg::BbWrite` /
+//! `Msg::BbReadRequest` envelopes ([`BbNode::handle_write`]).
 
-use ddemos_crypto::elgamal::{self, Ciphertext};
-use ddemos_crypto::field::Scalar;
+use crate::core::{BbCore, BbInput, BbOutput, BbRecord, BbSnapshot, WriteError};
 use ddemos_crypto::schnorr::Signature;
-use ddemos_crypto::shamir::{self, Share};
-use ddemos_crypto::votecode::{self, VoteCode};
-use ddemos_crypto::vss::{DealerVss, SignedShare};
-use ddemos_crypto::zkp;
-use ddemos_protocol::codec;
-use ddemos_protocol::initdata::{
-    msk_share_context, opening_bundle_message, voteset_message, BbInit,
-};
-use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
+use ddemos_crypto::vss::SignedShare;
+use ddemos_protocol::initdata::BbInit;
+use ddemos_protocol::messages::{BbWriteMsg, BbWriteOutcome};
+use ddemos_protocol::posts::{TrusteePost, VoteSet};
 use ddemos_protocol::wire::{Reader, WireError, Writer};
-use ddemos_protocol::{PartId, SerialNo};
 use ddemos_storage::{Durable, DynJournal, RecoveryStats, StorageError};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-
-/// Per-row, per-ciphertext `(bit, randomness)` openings of one ballot
-/// part (`rows x ciphertexts`).
-pub type RowOpenings = Vec<Vec<(Scalar, Scalar)>>;
-
-/// Per-row reconstructed ZK final moves of one used ballot part:
-/// `(per-ciphertext OR responses, sum response)`.
-pub type RowZkResponses = Vec<(Vec<zkp::OrResponse>, Scalar)>;
-
-/// Errors returned on rejected writes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum WriteError {
-    /// The writer's signature (or the EA's, on relayed data) is invalid.
-    BadSignature,
-    /// The writer index is unknown.
-    UnknownWriter,
-    /// The submitted data contradicts already-verified state.
-    Inconsistent,
-    /// The node is not yet in the phase this write belongs to.
-    WrongPhase,
-}
-
-impl std::fmt::Display for WriteError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let msg = match self {
-            WriteError::BadSignature => "signature verification failed",
-            WriteError::UnknownWriter => "unknown writer",
-            WriteError::Inconsistent => "data inconsistent with verified state",
-            WriteError::WrongPhase => "write arrived in the wrong phase",
-        };
-        write!(f, "{msg}")
-    }
-}
-impl std::error::Error for WriteError {}
-
-/// Everything a BB node currently publishes (public read snapshot).
-#[derive(Clone, Debug, Default)]
-pub struct BbSnapshot {
-    /// The accepted final vote set (after `fv+1` identical submissions).
-    pub vote_set: Option<VoteSet>,
-    /// Decrypted vote codes per ballot part row, once `msk` reconstructed:
-    /// `(serial, part) → codes in row order`.
-    pub decrypted_codes: BTreeMap<(SerialNo, u8), Vec<VoteCode>>,
-    /// Openings of unused/unvoted part rows that verified:
-    /// `(serial, part) → per-row per-ciphertext (bit, randomness)`.
-    pub openings: BTreeMap<(SerialNo, u8), RowOpenings>,
-    /// Reconstructed-and-verified ZK final moves for used parts:
-    /// `(serial, part) → per-row (per-ciphertext OR responses, sum
-    /// response)`. Publishing the responses lets auditors re-verify the
-    /// proofs independently.
-    pub zk_responses: BTreeMap<(SerialNo, u8), RowZkResponses>,
-    /// The voter-coin challenge, once derivable.
-    pub challenge: Option<Scalar>,
-    /// The reconstructed opening of the homomorphic tally total, one
-    /// `(message, randomness)` pair per option (lets auditors verify the
-    /// result against the summed commitments).
-    pub tally_opening: Option<Vec<(Scalar, Scalar)>>,
-    /// The published result.
-    pub result: Option<ElectionResult>,
-}
-
-impl BbSnapshot {
-    /// A digest readers can majority-compare.
-    pub fn digest(&self) -> [u8; 32] {
-        let mut w = Writer::tagged("ddemos/bb-snapshot/v1");
-        match &self.vote_set {
-            Some(vs) => w.put_u8(1).put_array(&vs.digest()),
-            None => w.put_u8(0),
-        };
-        w.put_u64(self.decrypted_codes.len() as u64);
-        for ((serial, part), codes) in &self.decrypted_codes {
-            w.put_u64(serial.0).put_u8(*part);
-            for code in codes {
-                w.put_array(&code.0);
-            }
-        }
-        w.put_u64(self.openings.len() as u64);
-        for ((serial, part), rows) in &self.openings {
-            w.put_u64(serial.0).put_u8(*part).put_u32(rows.len() as u32);
-        }
-        match &self.result {
-            Some(r) => w.put_u8(1).put_array(&r.digest()),
-            None => w.put_u8(0),
-        };
-        w.digest()
-    }
-}
-
-#[derive(Default)]
-struct BbState {
-    vote_set_submissions: HashMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
-    vote_sets: HashMap<[u8; 32], VoteSet>,
-    msk_shares: Vec<SignedShare>,
-    msk: Option<[u8; 16]>,
-    trustee_posts: HashMap<u32, Arc<TrusteePost>>,
-    /// Every accepted (verified, novel) write in **acceptance order** —
-    /// the node's durable history. Snapshots re-encode this list
-    /// verbatim, so replay reproduces the exact original write order
-    /// (quorum thresholds cross for the same digest, phase gates open at
-    /// the same points) and the rebuilt node is byte-identical to the
-    /// never-crashed one.
-    accepted: Vec<BbRecord>,
-    snapshot: BbSnapshot,
-}
 
 /// One Bulletin Board node.
 pub struct BbNode {
+    /// Retained outside the lock so [`BbNode::init_data`] can hand out a
+    /// reference (the heavy ballot payload is shared by `Arc`).
     init: BbInit,
-    state: RwLock<BbState>,
+    core: RwLock<BbCore>,
     /// Durable journal (`None` = volatile node). Every accepted write is
     /// logged; [`BbNode::recover_amnesia`] rebuilds the node by replaying
     /// the log through the same verified write path.
     journal: Mutex<Option<DynJournal>>,
-}
-
-/// One accepted (verified) BB write, as journaled and replayed. Cheap to
-/// clone (the trustee post — the heavy payload — is shared by `Arc`).
-#[derive(Clone)]
-enum BbRecord {
-    VoteSet {
-        from_vc: u32,
-        set: VoteSet,
-        sig: Signature,
-    },
-    MskShare {
-        share: SignedShare,
-    },
-    TrusteePost {
-        post: Arc<TrusteePost>,
-        sig: Signature,
-    },
-}
-
-const TAG_VOTE_SET: u8 = 1;
-const TAG_MSK_SHARE: u8 = 2;
-const TAG_TRUSTEE_POST: u8 = 3;
-
-impl BbRecord {
-    fn encode_into(&self, w: &mut Writer) {
-        match self {
-            BbRecord::VoteSet { from_vc, set, sig } => {
-                w.put_u8(TAG_VOTE_SET).put_u32(*from_vc);
-                codec::put_vote_set(w, set);
-                codec::put_signature(w, sig);
-            }
-            BbRecord::MskShare { share } => {
-                w.put_u8(TAG_MSK_SHARE);
-                codec::put_signed_share(w, share);
-            }
-            BbRecord::TrusteePost { post, sig } => {
-                w.put_u8(TAG_TRUSTEE_POST);
-                codec::put_trustee_post(w, post);
-                codec::put_signature(w, sig);
-            }
-        }
-    }
-
-    fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        self.encode_into(&mut w);
-        w.into_bytes()
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<BbRecord, WireError> {
-        Ok(match r.get_u8()? {
-            TAG_VOTE_SET => BbRecord::VoteSet {
-                from_vc: r.get_u32()?,
-                set: codec::get_vote_set(r)?,
-                sig: codec::get_signature(r)?,
-            },
-            TAG_MSK_SHARE => BbRecord::MskShare {
-                share: codec::get_signed_share(r)?,
-            },
-            TAG_TRUSTEE_POST => BbRecord::TrusteePost {
-                post: Arc::new(codec::get_trustee_post(r)?),
-                sig: codec::get_signature(r)?,
-            },
-            _ => return Err(WireError::BadValue),
-        })
-    }
-}
-
-/// Digest of a trustee post, for write authentication.
-pub fn trustee_post_digest(post: &TrusteePost) -> [u8; 32] {
-    let mut w = Writer::tagged("ddemos/trustee-post/v1");
-    w.put_u32(post.trustee_index);
-    w.put_u64(post.openings.len() as u64);
-    for o in &post.openings {
-        w.put_u64(o.serial.0).put_u8(o.part.index() as u8);
-        for row in &o.rows {
-            for (b, r) in row {
-                w.put_array(&b.to_bytes()).put_array(&r.to_bytes());
-            }
-        }
-        w.put_array(&o.opening_sig.to_bytes());
-    }
-    w.put_u64(post.zk.len() as u64);
-    for z in &post.zk {
-        w.put_u64(z.serial.0).put_u8(z.part.index() as u8);
-        for row in &z.rows {
-            for ct in row {
-                for s in ct {
-                    w.put_array(&s.to_bytes());
-                }
-            }
-        }
-        for s in &z.sum_responses {
-            w.put_array(&s.to_bytes());
-        }
-    }
-    for (m, r) in &post.tally.per_option {
-        w.put_array(&m.to_bytes()).put_array(&r.to_bytes());
-    }
-    w.digest()
 }
 
 impl BbNode {
@@ -248,8 +45,8 @@ impl BbNode {
     /// immediately, per §III-D).
     pub fn new(init: BbInit) -> BbNode {
         BbNode {
+            core: RwLock::new(BbCore::new(init.clone())),
             init,
-            state: RwLock::new(BbState::default()),
             journal: Mutex::new(None),
         }
     }
@@ -279,24 +76,7 @@ impl BbNode {
 
     /// Public read: the node's current snapshot.
     pub fn read(&self) -> BbSnapshot {
-        self.state.read().snapshot.clone()
-    }
-
-    /// Logs an accepted write to the journal (committed immediately — BB
-    /// writes are rare and each one is an externally visible acceptance).
-    fn journal_accepted(&self, record: &BbRecord) {
-        let mut guard = self.journal.lock();
-        let Some(journal) = guard.as_mut() else {
-            return;
-        };
-        let append = journal.append(&record.encode()).and_then(|()| {
-            journal.commit()?;
-            journal.maybe_compact(&BbReplica(self))?;
-            Ok(())
-        });
-        if let Err(e) = append {
-            eprintln!("bb: journal write failed ({e}); continuing volatile");
-        }
+        self.core.read().snapshot().clone()
     }
 
     /// Power-cycles the node: all volatile state is dropped (unsynced
@@ -306,7 +86,7 @@ impl BbNode {
     /// journal this is a plain amnesia crash: the node comes back empty,
     /// and the read-side `fb+1` majority carries the subsystem.
     pub fn recover_amnesia(&self) {
-        *self.state.write() = BbState::default();
+        *self.core.write() = BbCore::new(self.init.clone());
         let mut guard = self.journal.lock();
         if let Some(journal) = guard.as_mut() {
             if let Err(e) = journal.crash(0) {
@@ -320,6 +100,35 @@ impl BbNode {
         }
     }
 
+    /// Runs one write through the core and executes its outputs: journal
+    /// append + commit (+ snapshot cadence) before the reply is released.
+    fn submit(&self, input: BbInput) -> Result<(), WriteError> {
+        let outputs = self.core.write().step(input);
+        let mut outcome = Ok(());
+        for output in outputs {
+            match output {
+                BbOutput::Journal(bytes) => {
+                    let mut guard = self.journal.lock();
+                    if let Some(journal) = guard.as_mut() {
+                        let append = journal.append(&bytes).and_then(|()| {
+                            journal.commit()?;
+                            journal.maybe_compact(&BbReplica(self))?;
+                            Ok(())
+                        });
+                        if let Err(e) = append {
+                            eprintln!("bb: journal write failed ({e}); continuing volatile");
+                        }
+                    }
+                }
+                // Commits are folded into the append above (BB writes are
+                // rare and each one is an externally visible acceptance).
+                BbOutput::Commit => {}
+                BbOutput::Reply(result) => outcome = result,
+            }
+        }
+        outcome
+    }
+
     /// A VC node submits its final vote set (authenticated write).
     ///
     /// # Errors
@@ -331,54 +140,11 @@ impl BbNode {
         set: &VoteSet,
         sig: &Signature,
     ) -> Result<(), WriteError> {
-        self.submit_vote_set_inner(from_vc, set, sig, true)
-    }
-
-    fn submit_vote_set_inner(
-        &self,
-        from_vc: u32,
-        set: &VoteSet,
-        sig: &Signature,
-        journal: bool,
-    ) -> Result<(), WriteError> {
-        let vk = self
-            .init
-            .vc_keys
-            .get(from_vc as usize)
-            .ok_or(WriteError::UnknownWriter)?;
-        let digest = set.digest();
-        if !vk.verify(
-            &voteset_message(&self.init.params.election_id, &digest),
-            sig,
-        ) {
-            return Err(WriteError::BadSignature);
-        }
-        let mut state = self.state.write();
-        let submitters = state.vote_set_submissions.entry(digest).or_default();
-        let novel = !submitters.contains(&from_vc);
-        if novel {
-            submitters.push(from_vc);
-        }
-        let enough = submitters.len() > self.init.params.vc_faults();
-        state.vote_sets.entry(digest).or_insert_with(|| set.clone());
-        if enough && state.snapshot.vote_set.is_none() {
-            state.snapshot.vote_set = Some(set.clone());
-            self.after_phase_change(&mut state);
-        }
-        if !novel {
-            return Ok(());
-        }
-        let record = BbRecord::VoteSet {
+        self.submit(BbInput::VoteSet {
             from_vc,
             set: set.clone(),
             sig: *sig,
-        };
-        state.accepted.push(record.clone());
-        drop(state);
-        if journal {
-            self.journal_accepted(&record);
-        }
-        Ok(())
+        })
     }
 
     /// A VC node submits its `msk` share (authenticated by the EA's
@@ -387,55 +153,7 @@ impl BbNode {
     /// # Errors
     /// Rejects shares whose EA signature fails.
     pub fn submit_msk_share(&self, share: &SignedShare) -> Result<(), WriteError> {
-        self.submit_msk_share_inner(share, true)
-    }
-
-    fn submit_msk_share_inner(&self, share: &SignedShare, journal: bool) -> Result<(), WriteError> {
-        let ctx = msk_share_context(&self.init.params.election_id);
-        if !DealerVss::verify(&self.init.ea_key, &ctx, share) {
-            return Err(WriteError::BadSignature);
-        }
-        let mut state = self.state.write();
-        if state.msk.is_some() {
-            return Ok(());
-        }
-        let novel = !state
-            .msk_shares
-            .iter()
-            .any(|s| s.share.index == share.share.index);
-        if !novel {
-            return Ok(());
-        }
-        state.msk_shares.push(*share);
-        // The share is accepted (EA-verified and novel) regardless of how
-        // the reconstruction attempt below ends — record it first so the
-        // journal history matches the in-memory share list even on the
-        // mismatched-commitment path, where the shares are cleared (the
-        // replay re-runs the same clear deterministically).
-        let record = BbRecord::MskShare { share: *share };
-        state.accepted.push(record.clone());
-        let mut outcome = Ok(());
-        let k = self.init.params.vc_quorum();
-        if state.msk_shares.len() >= k {
-            if let Ok(secret) = DealerVss::reconstruct(&state.msk_shares, k) {
-                let bytes = secret.to_bytes();
-                let mut msk = [0u8; 16];
-                msk.copy_from_slice(&bytes[16..]);
-                // Authenticate against H_msk before trusting it.
-                if self.init.msk_commitment.matches(&msk) {
-                    state.msk = Some(msk);
-                    self.after_phase_change(&mut state);
-                } else {
-                    state.msk_shares.clear();
-                    outcome = Err(WriteError::Inconsistent);
-                }
-            }
-        }
-        drop(state);
-        if journal {
-            self.journal_accepted(&record);
-        }
-        outcome
+        self.submit(BbInput::MskShare { share: *share })
     }
 
     /// A trustee submits its post (authenticated write).
@@ -448,357 +166,13 @@ impl BbNode {
         post: Arc<TrusteePost>,
         sig: &Signature,
     ) -> Result<(), WriteError> {
-        self.submit_trustee_post_inner(post, sig, true)
+        self.submit(BbInput::TrusteePost { post, sig: *sig })
     }
 
-    fn submit_trustee_post_inner(
-        &self,
-        post: Arc<TrusteePost>,
-        sig: &Signature,
-        journal: bool,
-    ) -> Result<(), WriteError> {
-        let vk = self
-            .init
-            .trustee_keys
-            .get(post.trustee_index as usize)
-            .ok_or(WriteError::UnknownWriter)?;
-        if !vk.verify(&trustee_post_digest(&post), sig) {
-            return Err(WriteError::BadSignature);
-        }
-        // Verify the EA signatures on every opening bundle up front.
-        for opening in &post.openings {
-            let msg = opening_bundle_message(
-                &self.init.params.election_id,
-                opening.serial,
-                opening.part,
-                post.trustee_index,
-                &opening.rows,
-            );
-            if !self.init.ea_key.verify(&msg, &opening.opening_sig) {
-                return Err(WriteError::BadSignature);
-            }
-        }
-        let mut state = self.state.write();
-        if state.snapshot.vote_set.is_none() || state.msk.is_none() {
-            return Err(WriteError::WrongPhase);
-        }
-        // First post per trustee wins: the accepted history must match
-        // the retained state exactly, so a resubmission (same or
-        // different content) is ignored rather than overwriting a post
-        // the journal already committed to.
-        if state.trustee_posts.contains_key(&post.trustee_index) {
-            return Ok(());
-        }
-        state.trustee_posts.insert(post.trustee_index, post.clone());
-        if state.trustee_posts.len() >= self.init.params.trustee_threshold
-            && state.snapshot.result.is_none()
-        {
-            self.try_publish_result(&mut state);
-        }
-        let record = BbRecord::TrusteePost {
-            post: post.clone(),
-            sig: *sig,
-        };
-        state.accepted.push(record.clone());
-        drop(state);
-        if journal {
-            self.journal_accepted(&record);
-        }
-        Ok(())
-    }
-
-    /// Called whenever the vote set or msk lands: decrypt codes, compute
-    /// the challenge.
-    fn after_phase_change(&self, state: &mut BbState) {
-        let (Some(msk), Some(vote_set)) = (state.msk, state.snapshot.vote_set.clone()) else {
-            return;
-        };
-        if !state.snapshot.decrypted_codes.is_empty() {
-            return;
-        }
-        // Decrypt every stored vote code (§III-G: "decrypts all the
-        // encrypted vote codes in its initialization data, and publishes
-        // them").
-        for (serial, ballot) in self.init.ballots.iter() {
-            for part in PartId::BOTH {
-                let codes: Vec<VoteCode> = ballot.parts[part.index()]
-                    .iter()
-                    .filter_map(|row| votecode::decrypt_vote_code(&msk, &row.enc_code).ok())
-                    .collect();
-                state
-                    .snapshot
-                    .decrypted_codes
-                    .insert((*serial, part.index() as u8), codes);
-            }
-        }
-        // Voter coins: the A/B choice of every voted ballot, in serial
-        // order (§III-B). A=0, B=1.
-        let mut coins = Vec::with_capacity(vote_set.len());
-        for (serial, code) in &vote_set.entries {
-            if let Some((part, _row)) = self.locate_cast_row(state, *serial, code) {
-                coins.push(part.coin());
-            }
-        }
-        let mut ctx = Vec::new();
-        ctx.extend_from_slice(&self.init.params.election_id.0);
-        state.snapshot.challenge = Some(zkp::challenge_from_coins(&ctx, &coins));
-    }
-
-    /// Finds (part, row) of a cast vote code using the decrypted codes.
-    fn locate_cast_row(
-        &self,
-        state: &BbState,
-        serial: SerialNo,
-        code: &VoteCode,
-    ) -> Option<(PartId, usize)> {
-        for part in PartId::BOTH {
-            if let Some(codes) = state
-                .snapshot
-                .decrypted_codes
-                .get(&(serial, part.index() as u8))
-            {
-                if let Some(row) = codes.iter().position(|c| c == code) {
-                    return Some((part, row));
-                }
-            }
-        }
-        None
-    }
-
-    /// With ≥ h_t trustee posts verified, reconstruct openings, verify ZK
-    /// proofs, open the homomorphic tally, and publish the result (§III-H).
-    fn try_publish_result(&self, state: &mut BbState) {
-        let ht = self.init.params.trustee_threshold;
-        let vote_set = state.snapshot.vote_set.clone().expect("phase checked");
-        let challenge = state.snapshot.challenge.expect("challenge derived");
-        let posts: Vec<Arc<TrusteePost>> = state.trustee_posts.values().cloned().collect();
-        let m = self.init.params.num_options;
-
-        // --- unused/unvoted part openings -------------------------------
-        // Group opening posts by (serial, part).
-        let mut openings_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &RowOpenings)>> =
-            HashMap::new();
-        for post in &posts {
-            for o in &post.openings {
-                openings_by_key
-                    .entry((o.serial, o.part))
-                    .or_default()
-                    .push((post.trustee_index, &o.rows));
-            }
-        }
-        for ((serial, part), shares) in &openings_by_key {
-            if shares.len() < ht {
-                continue;
-            }
-            let Some(ballot) = self.init.ballots.get(serial) else {
-                continue;
-            };
-            let rows = &ballot.parts[part.index()];
-            let mut opened_rows: RowOpenings = Vec::with_capacity(rows.len());
-            let mut all_ok = true;
-            for (row_idx, row) in rows.iter().enumerate() {
-                let mut opened_cts = Vec::with_capacity(row.commitment.len());
-                for (ct_idx, ct) in row.commitment.iter().enumerate() {
-                    let bit_shares: Vec<Share> = shares
-                        .iter()
-                        .take(ht)
-                        .map(|(t, rows)| Share {
-                            index: t + 1,
-                            value: rows[row_idx][ct_idx].0,
-                        })
-                        .collect();
-                    let rand_shares: Vec<Share> = shares
-                        .iter()
-                        .take(ht)
-                        .map(|(t, rows)| Share {
-                            index: t + 1,
-                            value: rows[row_idx][ct_idx].1,
-                        })
-                        .collect();
-                    let (Ok(bit), Ok(rand)) = (
-                        shamir::reconstruct(&bit_shares, ht),
-                        shamir::reconstruct(&rand_shares, ht),
-                    ) else {
-                        all_ok = false;
-                        break;
-                    };
-                    if !elgamal::verify_opening(&self.init.elgamal_pk, ct, &bit, &rand) {
-                        all_ok = false;
-                        break;
-                    }
-                    opened_cts.push((bit, rand));
-                }
-                if !all_ok {
-                    break;
-                }
-                opened_rows.push(opened_cts);
-            }
-            if all_ok {
-                state
-                    .snapshot
-                    .openings
-                    .insert((*serial, part.index() as u8), opened_rows);
-            }
-        }
-
-        // --- used-part ZK verification -----------------------------------
-        let mut zk_by_key: HashMap<
-            (SerialNo, PartId),
-            Vec<(u32, &ddemos_protocol::posts::PartZkPost)>,
-        > = HashMap::new();
-        for post in &posts {
-            for z in &post.zk {
-                zk_by_key
-                    .entry((z.serial, z.part))
-                    .or_default()
-                    .push((post.trustee_index, z));
-            }
-        }
-        for ((serial, part), posts_for_part) in &zk_by_key {
-            if posts_for_part.len() < ht {
-                continue;
-            }
-            let Some(ballot) = self.init.ballots.get(serial) else {
-                continue;
-            };
-            let rows = &ballot.parts[part.index()];
-            let mut ok = true;
-            let mut verified_rows: Vec<(Vec<zkp::OrResponse>, Scalar)> = Vec::new();
-            'rows: for (row_idx, row) in rows.iter().enumerate() {
-                let mut row_responses = Vec::with_capacity(row.commitment.len());
-                for (ct_idx, ct) in row.commitment.iter().enumerate() {
-                    let mut comps = [Scalar::ZERO; 4];
-                    for (slot, comp) in comps.iter_mut().enumerate() {
-                        let shares: Vec<Share> = posts_for_part
-                            .iter()
-                            .take(ht)
-                            .map(|(t, z)| Share {
-                                index: t + 1,
-                                value: z.rows[row_idx][ct_idx][slot],
-                            })
-                            .collect();
-                        match shamir::reconstruct(&shares, ht) {
-                            Ok(v) => *comp = v,
-                            Err(_) => {
-                                ok = false;
-                                break 'rows;
-                            }
-                        }
-                    }
-                    let resp = zkp::OrResponse {
-                        c0: comps[0],
-                        z0: comps[1],
-                        c1: comps[2],
-                        z1: comps[3],
-                    };
-                    if !zkp::or_verify(
-                        &self.init.elgamal_pk,
-                        ct,
-                        &row.or_first[ct_idx],
-                        &resp,
-                        &challenge,
-                    ) {
-                        ok = false;
-                        break 'rows;
-                    }
-                    row_responses.push(resp);
-                }
-                let sum_shares: Vec<Share> = posts_for_part
-                    .iter()
-                    .take(ht)
-                    .map(|(t, z)| Share {
-                        index: t + 1,
-                        value: z.sum_responses[row_idx],
-                    })
-                    .collect();
-                let Ok(z) = shamir::reconstruct(&sum_shares, ht) else {
-                    ok = false;
-                    break;
-                };
-                if !zkp::sum_verify(
-                    &self.init.elgamal_pk,
-                    &row.commitment,
-                    &row.sum_first,
-                    &challenge,
-                    &z,
-                ) {
-                    ok = false;
-                    break;
-                }
-                verified_rows.push((row_responses, z));
-            }
-            if ok {
-                state
-                    .snapshot
-                    .zk_responses
-                    .insert((*serial, part.index() as u8), verified_rows);
-            }
-        }
-
-        // --- homomorphic tally --------------------------------------------
-        // E_tally: the cast row's commitment vector of every voted ballot.
-        let mut sums = vec![Ciphertext::IDENTITY; m];
-        let mut counted = 0u64;
-        for (serial, code) in &vote_set.entries {
-            let Some((part, row_idx)) = self.locate_cast_row(state, *serial, code) else {
-                continue;
-            };
-            let Some(ballot) = self.init.ballots.get(serial) else {
-                continue;
-            };
-            let row = &ballot.parts[part.index()][row_idx];
-            for (j, ct) in row.commitment.iter().enumerate() {
-                sums[j] = sums[j].add(ct);
-            }
-            counted += 1;
-        }
-        // Reconstruct the opening of each option total from trustee tally
-        // shares; identify bad shares by reconstruct-then-verify over
-        // subsets (the commitments are perfectly binding, so a verified
-        // opening is *the* opening).
-        let tally_posts: Vec<(u32, &ddemos_protocol::posts::TallySharePost)> =
-            posts.iter().map(|p| (p.trustee_index, &p.tally)).collect();
-        let mut tally = Vec::with_capacity(m);
-        let mut opening = Vec::with_capacity(m);
-        for (j, sum_ct) in sums.iter().enumerate() {
-            let mut found = None;
-            for subset in subsets_of(&tally_posts, ht) {
-                let m_shares: Vec<Share> = subset
-                    .iter()
-                    .map(|(t, p)| Share {
-                        index: t + 1,
-                        value: p.per_option[j].0,
-                    })
-                    .collect();
-                let r_shares: Vec<Share> = subset
-                    .iter()
-                    .map(|(t, p)| Share {
-                        index: t + 1,
-                        value: p.per_option[j].1,
-                    })
-                    .collect();
-                let (Ok(msg), Ok(rand)) = (
-                    shamir::reconstruct(&m_shares, ht),
-                    shamir::reconstruct(&r_shares, ht),
-                ) else {
-                    continue;
-                };
-                if elgamal::verify_opening(&self.init.elgamal_pk, sum_ct, &msg, &rand) {
-                    found = msg.to_u64();
-                    opening.push((msg, rand));
-                    break;
-                }
-            }
-            match found {
-                Some(v) => tally.push(v),
-                None => return, // need more trustee posts
-            }
-        }
-        state.snapshot.tally_opening = Some(opening);
-        state.snapshot.result = Some(ElectionResult {
-            tally,
-            ballots_counted: counted,
-        });
+    /// Handles one relayed write envelope (the multi-process replica
+    /// loop), returning the wire outcome code.
+    pub fn handle_write(&self, write: BbWriteMsg) -> BbWriteOutcome {
+        crate::core::result_to_outcome(self.submit(BbInput::from(write)))
     }
 }
 
@@ -810,101 +184,25 @@ impl BbNode {
 /// rebuilt node is byte-identical to one that never crashed.
 struct BbReplica<'a>(&'a BbNode);
 
-impl BbReplica<'_> {
-    fn apply(&mut self, record: BbRecord) {
-        let node = self.0;
-        let outcome = match record {
-            BbRecord::VoteSet { from_vc, set, sig } => {
-                node.submit_vote_set_inner(from_vc, &set, &sig, false)
-            }
-            BbRecord::MskShare { share } => node.submit_msk_share_inner(&share, false),
-            BbRecord::TrusteePost { post, sig } => {
-                node.submit_trustee_post_inner(post, &sig, false)
-            }
-        };
-        if let Err(e) = outcome {
-            // `Inconsistent` from the msk path replays the original
-            // mismatched-commitment outcome (shares accepted, then
-            // cleared) — not storage damage. Anything else means a
-            // journaled write no longer verifies: tampered storage; skip
-            // the record — write-side verification must hold even
-            // against our own disk.
-            if !matches!(e, WriteError::Inconsistent) {
-                eprintln!("bb: replayed write rejected ({e}); skipping record");
-            }
-        }
-    }
-}
-
 impl Durable for BbReplica<'_> {
     fn encode_snapshot(&self, w: &mut Writer) {
-        let state = self.0.state.read();
-        w.put_u64(state.accepted.len() as u64);
-        for record in &state.accepted {
-            record.encode_into(w);
-        }
+        self.0.core.read().encode_history(w);
     }
 
     fn restore_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
         let _tag = r.get_bytes()?; // writer domain tag
         let n = r.get_u64()?;
+        let mut core = self.0.core.write();
         for _ in 0..n {
             let record = BbRecord::decode(r)?;
-            self.apply(record);
+            core.replay(record);
         }
         Ok(())
     }
 
     fn apply_record(&mut self, record: &[u8]) -> Result<(), WireError> {
         let record = BbRecord::decode(&mut Reader::new(record))?;
-        self.apply(record);
+        self.0.core.write().replay(record);
         Ok(())
-    }
-}
-
-/// All `k`-subsets of `items` (small inputs only: `C(Nt, ht)`).
-fn subsets_of<T>(items: &[T], k: usize) -> Vec<Vec<&T>> {
-    let mut out = Vec::new();
-    let n = items.len();
-    if k > n {
-        return out;
-    }
-    let mut idx: Vec<usize> = (0..k).collect();
-    loop {
-        out.push(idx.iter().map(|&i| &items[i]).collect());
-        // advance combination
-        let mut i = k;
-        loop {
-            if i == 0 {
-                return out;
-            }
-            i -= 1;
-            if idx[i] != i + n - k {
-                break;
-            }
-        }
-        if idx[i] == i + n - k {
-            return out;
-        }
-        idx[i] += 1;
-        for j in i + 1..k {
-            idx[j] = idx[j - 1] + 1;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn subsets_enumerate_combinations() {
-        let items = [1, 2, 3, 4];
-        let subs = subsets_of(&items, 2);
-        assert_eq!(subs.len(), 6);
-        let subs3 = subsets_of(&items, 3);
-        assert_eq!(subs3.len(), 4);
-        assert_eq!(subsets_of(&items, 5).len(), 0);
-        assert_eq!(subsets_of(&items, 4).len(), 1);
     }
 }

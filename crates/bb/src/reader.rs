@@ -5,27 +5,110 @@
 //! majority agrees on (§V "Web browser replicated service reader"). This is
 //! that component's library equivalent: readers never see a minority
 //! answer, and divergent nodes are simply outvoted.
+//!
+//! The reader is replica-location agnostic: it speaks [`BbApi`], which a
+//! local [`BbNode`] implements directly and a remote TCP client
+//! (`ddemos_harness::tcp`) implements by request/response envelopes — an
+//! unreachable replica answers `None`/`Unavailable` and is outvoted like
+//! any other divergent node.
 
-use crate::node::{BbNode, BbSnapshot};
+use crate::core::WriteError;
+use crate::node::BbNode;
+use crate::BbSnapshot;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::vss::SignedShare;
 use ddemos_protocol::clock::GlobalClock;
-use ddemos_protocol::posts::{ElectionResult, VoteSet};
+use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How long [`MajorityReader::read_until`] pauses between retries.
 const RETRY_INTERVAL: std::time::Duration = std::time::Duration::from_millis(2);
 
+/// One Bulletin Board replica, wherever it lives: in-process
+/// ([`BbNode`]) or across a transport. Reads return `None` when the
+/// replica is unreachable; writes report [`WriteError::Unavailable`].
+pub trait BbApi: Send + Sync {
+    /// Public read of the replica's snapshot.
+    fn read(&self) -> Option<BbSnapshot>;
+
+    /// Submits a VC node's final vote set.
+    ///
+    /// # Errors
+    /// See [`WriteError`].
+    fn submit_vote_set(
+        &self,
+        from_vc: u32,
+        set: &VoteSet,
+        sig: &Signature,
+    ) -> Result<(), WriteError>;
+
+    /// Submits a VC node's `msk` share.
+    ///
+    /// # Errors
+    /// See [`WriteError`].
+    fn submit_msk_share(&self, share: &SignedShare) -> Result<(), WriteError>;
+
+    /// Submits a trustee post.
+    ///
+    /// # Errors
+    /// See [`WriteError`].
+    fn submit_trustee_post(
+        &self,
+        post: Arc<TrusteePost>,
+        sig: &Signature,
+    ) -> Result<(), WriteError>;
+}
+
+impl BbApi for BbNode {
+    fn read(&self) -> Option<BbSnapshot> {
+        Some(BbNode::read(self))
+    }
+
+    fn submit_vote_set(
+        &self,
+        from_vc: u32,
+        set: &VoteSet,
+        sig: &Signature,
+    ) -> Result<(), WriteError> {
+        BbNode::submit_vote_set(self, from_vc, set, sig)
+    }
+
+    fn submit_msk_share(&self, share: &SignedShare) -> Result<(), WriteError> {
+        BbNode::submit_msk_share(self, share)
+    }
+
+    fn submit_trustee_post(
+        &self,
+        post: Arc<TrusteePost>,
+        sig: &Signature,
+    ) -> Result<(), WriteError> {
+        BbNode::submit_trustee_post(self, post, sig)
+    }
+}
+
 /// A read client holding the URLs (here: handles) of all BB nodes.
 #[derive(Clone)]
 pub struct MajorityReader {
-    nodes: Vec<Arc<BbNode>>,
+    nodes: Vec<Arc<dyn BbApi>>,
     clock: GlobalClock,
 }
 
 impl MajorityReader {
-    /// Creates a reader over the given replicas (retries paced by a
+    /// Creates a reader over in-process replicas (retries paced by a
     /// real-time clock).
     pub fn new(nodes: Vec<Arc<BbNode>>) -> MajorityReader {
+        Self::over(
+            nodes
+                .into_iter()
+                .map(|node| node as Arc<dyn BbApi>)
+                .collect(),
+        )
+    }
+
+    /// Creates a reader over any mix of replica clients (the
+    /// multi-process coordinator hands in TCP clients here).
+    pub fn over(nodes: Vec<Arc<dyn BbApi>>) -> MajorityReader {
         MajorityReader {
             nodes,
             clock: GlobalClock::new(),
@@ -49,10 +132,13 @@ impl MajorityReader {
 
     /// Reads all nodes and returns the snapshot backed by a majority, if
     /// one exists (readers retry on transient divergence, per §III-G).
+    /// Unreachable replicas count as divergent.
     pub fn read_snapshot(&self) -> Option<BbSnapshot> {
         let mut counts: HashMap<[u8; 32], (usize, BbSnapshot)> = HashMap::new();
         for node in &self.nodes {
-            let snap = node.read();
+            let Some(snap) = node.read() else {
+                continue;
+            };
             let entry = counts.entry(snap.digest()).or_insert((0, snap));
             entry.0 += 1;
         }
@@ -95,8 +181,9 @@ impl MajorityReader {
         self.read_snapshot()?.result
     }
 
-    /// The underlying replicas (for writers that must contact every node).
-    pub fn nodes(&self) -> &[Arc<BbNode>] {
+    /// The underlying replica clients (for writers that must contact
+    /// every node).
+    pub fn nodes(&self) -> &[Arc<dyn BbApi>] {
         &self.nodes
     }
 }

@@ -207,6 +207,52 @@ fn bench_wal(c: &mut Criterion) {
     }
 }
 
+/// The canonical `Msg` wire codec — the per-message cost every frame on
+/// the TCP transport path pays (encode on send, decode + CRC on
+/// receive).
+fn bench_msg_codec(c: &mut Criterion) {
+    use ddemos_protocol::codec::{decode_envelope_frame, encode_envelope_frame};
+    use ddemos_protocol::messages::{AnnounceEntry, Envelope, Msg, UCert};
+    use ddemos_protocol::{NodeId, SerialNo};
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let key = SigningKey::generate(&mut rng);
+    // A 64-entry ANNOUNCE with certified votes: the heaviest message the
+    // vote-set-consensus path broadcasts per batch.
+    let entries: Vec<AnnounceEntry> = (0..64)
+        .map(|s| {
+            let serial = SerialNo(s);
+            let code = ddemos_crypto::votecode::VoteCode([s as u8; 20]);
+            AnnounceEntry {
+                serial,
+                vote: Some((
+                    code,
+                    Arc::new(UCert {
+                        serial,
+                        vote_code: code,
+                        sigs: (0..3).map(|i| (i, key.sign(b"bench"))).collect(),
+                    }),
+                )),
+            }
+        })
+        .collect();
+    let env = Envelope {
+        from: NodeId::vc(0),
+        to: NodeId::vc(1),
+        msg: Msg::Announce {
+            entries: Arc::new(entries),
+        },
+    };
+    let frame = encode_envelope_frame(&env);
+    c.bench_function("kernel/msg_codec encode announce64", |b| {
+        b.iter(|| encode_envelope_frame(std::hint::black_box(&env)))
+    });
+    c.bench_function("kernel/msg_codec decode announce64", |b| {
+        b.iter(|| decode_envelope_frame(std::hint::black_box(&frame)).unwrap())
+    });
+}
+
 fn criterion_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -217,6 +263,6 @@ fn criterion_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = criterion_config();
-    targets = bench_curve, bench_kernels, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp, bench_wal
+    targets = bench_curve, bench_kernels, bench_hash_aes, bench_schnorr, bench_sharing, bench_zkp, bench_wal, bench_msg_codec
 }
 criterion_main!(benches);

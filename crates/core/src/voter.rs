@@ -7,7 +7,7 @@
 //! (Definition 1) governs retries: if no valid receipt arrives within her
 //! patience window she blacklists that VC node and resubmits to another.
 
-use ddemos_net::Endpoint;
+use ddemos_net::TransportEndpoint;
 use ddemos_protocol::ballot::{AuditInfo, Ballot};
 use ddemos_protocol::messages::{Msg, RejectReason, VoteOutcome};
 use ddemos_protocol::{NodeId, PartId};
@@ -54,10 +54,12 @@ pub struct VoteRecord {
 }
 
 /// A voter with her printed ballot and a network endpoint (an untrusted
-/// terminal: the endpoint carries no keys).
+/// terminal: the endpoint carries no keys). The endpoint is any
+/// [`TransportEndpoint`] — the in-process simulated network or a real
+/// TCP socket to a multi-process cluster.
 pub struct Voter<'a, R: Rng> {
     ballot: &'a Ballot,
-    endpoint: &'a Endpoint,
+    endpoint: &'a dyn TransportEndpoint,
     num_vc: usize,
     patience: Duration,
     rng: R,
@@ -69,7 +71,7 @@ impl<'a, R: Rng> Voter<'a, R> {
     /// value).
     pub fn new(
         ballot: &'a Ballot,
-        endpoint: &'a Endpoint,
+        endpoint: &'a dyn TransportEndpoint,
         num_vc: usize,
         patience: Duration,
         rng: R,

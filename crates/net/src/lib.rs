@@ -1,16 +1,28 @@
 //! # ddemos-net
 //!
-//! In-process simulated network standing in for the paper's asynchronous
-//! communications stack and testbed (§V): authenticated message-oriented
-//! channels, per-edge latency/jitter (LAN and netem-style WAN profiles),
-//! loss, duplication, crash and partition injection, and traffic counters.
+//! The network layer: a [`Transport`] trait the sans-I/O node cores are
+//! driven over, with two implementations —
+//!
+//! * [`SimNet`] — the in-process simulated network standing in for the
+//!   paper's asynchronous communications stack and testbed (§V):
+//!   authenticated message-oriented channels, per-edge latency/jitter
+//!   (LAN and netem-style WAN profiles), loss, duplication, crash and
+//!   partition injection, traffic counters, and an optional virtual-time
+//!   mode.
+//! * [`TcpTransport`] — real localhost/LAN sockets: length-prefixed
+//!   CRC-checksummed envelope frames, per-peer writer threads with
+//!   reconnect-on-drop, so each replica can run in its own OS process.
 
 #![warn(missing_docs)]
 
 pub mod latency;
 pub mod simnet;
 pub mod stats;
+pub mod tcp;
+pub mod transport;
 
 pub use latency::NetworkProfile;
 pub use simnet::{AmnesiaHook, Endpoint, Envelope, NetFault, SimNet};
 pub use stats::NetStats;
+pub use tcp::{TcpConfig, TcpEndpoint, TcpTransport};
+pub use transport::{DynEndpoint, Transport, TransportEndpoint};

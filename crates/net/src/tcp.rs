@@ -1,0 +1,746 @@
+//! A real socket transport: length-prefixed envelope frames over TCP.
+//!
+//! [`TcpTransport`] is the deployment-shaped sibling of [`SimNet`]: each
+//! replica process binds one listener, holds a static peer table for the
+//! replicas it initiates connections to, and exchanges
+//! [`Envelope`]s as `u32`-length-prefixed frames whose payload is the
+//! canonical CRC-checksummed envelope codec
+//! (`ddemos_protocol::codec::encode_envelope_frame`). This mirrors the
+//! paper's deployment (§V), which runs VC/BB replicas as networked
+//! processes behind Netty + TLS — minus the TLS: `Envelope::from` is
+//! sender-claimed here, so production use must layer mutual TLS
+//! underneath (see the field's docs).
+//!
+//! Mechanics:
+//!
+//! * **Per-peer writer threads with reconnect-on-drop.** Every static
+//!   peer gets a writer thread owning an outbound frame queue. The thread
+//!   connects lazily, retries with a fixed delay while the peer is down,
+//!   and re-establishes the connection (re-sending the in-flight frame)
+//!   when a write fails — a slow or restarting peer never blocks senders.
+//! * **Learned reply routes.** Client identities (voters, the election
+//!   coordinator's readers) live on no peer table; replies to them are
+//!   routed over the connection their last request arrived on, the way a
+//!   request/response server would.
+//! * **Bounded frames.** Frames longer than [`TcpConfig::max_frame`] are
+//!   rejected and the connection closed — a malformed or malicious peer
+//!   cannot make a replica allocate unbounded memory.
+//!
+//! Delivery is best-effort exactly like the real network: frames in
+//! flight during a disconnect may be lost; the protocol layers above are
+//! designed for that (and fuzzed against worse).
+
+use crate::stats::NetStats;
+use crate::transport::{DynEndpoint, Transport, TransportEndpoint};
+use crossbeam_channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
+use ddemos_protocol::codec::{decode_envelope_frame, encode_envelope_frame};
+use ddemos_protocol::messages::{Envelope, Msg};
+use ddemos_protocol::NodeId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use std::time::Instant;
+
+/// How long writer threads wait between queue polls (bounds shutdown
+/// latency) and listener/reader threads linger after a shutdown signal.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Configuration of a [`TcpTransport`].
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// The address this process listens on (port 0 picks a free port;
+    /// read it back with [`TcpTransport::local_addr`]).
+    pub listen: SocketAddr,
+    /// Static peer table: the replicas this process may initiate
+    /// connections to.
+    pub peers: Vec<(NodeId, SocketAddr)>,
+    /// Upper bound on a single frame's payload, in bytes. Oversized
+    /// incoming frames close the connection; oversized outgoing sends are
+    /// dropped (and counted).
+    pub max_frame: u32,
+    /// Delay between reconnection attempts to a down peer.
+    pub connect_retry: Duration,
+}
+
+impl TcpConfig {
+    /// A config with the default frame bound (16 MiB) and retry delay
+    /// (50 ms).
+    pub fn new(listen: SocketAddr, peers: Vec<(NodeId, SocketAddr)>) -> TcpConfig {
+        TcpConfig {
+            listen,
+            peers,
+            max_frame: 16 << 20,
+            connect_retry: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Frames queued to one connection's writer.
+type FrameTx = Sender<Vec<u8>>;
+
+struct TcpInner {
+    inboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    /// Static outbound queues, fixed at construction.
+    peers: HashMap<NodeId, FrameTx>,
+    /// Reply routes learned from inbound traffic (last connection wins).
+    learned: RwLock<HashMap<NodeId, FrameTx>>,
+    /// Every live stream (keyed for pruning), for a hard close on
+    /// shutdown. Readers untrack their connection when it dies, so a
+    /// flapping peer does not accumulate dead descriptors.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_stream: std::sync::atomic::AtomicU64,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stats: NetStats,
+    epoch: Instant,
+    shutdown: AtomicBool,
+    listen_addr: SocketAddr,
+    max_frame: u32,
+    connect_retry: Duration,
+}
+
+impl TcpInner {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn track_stream(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams.lock().insert(id, clone);
+        }
+        // A shutdown that drained the map between the caller's flag check
+        // and the insert above would miss this stream and hang its
+        // reader's join — close everything still tracked ourselves in
+        // that case.
+        if self.is_shutdown() {
+            for (_, s) in self.streams.lock().drain() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        id
+    }
+
+    /// Drops the tracked clone of a dead connection (reader exit).
+    fn untrack_stream(&self, id: u64) {
+        self.streams.lock().remove(&id);
+    }
+
+    /// Stores a thread handle, reaping already-finished ones so a
+    /// flapping peer's reconnect readers do not accumulate forever.
+    fn adopt_thread(&self, handle: std::thread::JoinHandle<()>) {
+        let mut threads = self.threads.lock();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
+
+    /// Routes one outbound envelope: local inbox, static peer queue, or
+    /// learned reply route — in that precedence order.
+    fn send(&self, env: Envelope) {
+        self.stats.record_sent(&env.msg);
+        let to = env.to;
+        {
+            let inboxes = self.inboxes.read();
+            if let Some(tx) = inboxes.get(&to) {
+                if tx.send(env).is_ok() {
+                    self.stats.record_delivered(0);
+                } else {
+                    self.stats.record_dropped();
+                }
+                return;
+            }
+        }
+        let frame = encode_envelope_frame(&env);
+        if frame.len() as u64 > u64::from(self.max_frame) {
+            self.stats.record_dropped();
+            return;
+        }
+        if let Some(tx) = self.peers.get(&to) {
+            if tx.send(frame).is_err() {
+                self.stats.record_dropped();
+            }
+            return;
+        }
+        let learned = self.learned.read().get(&to).cloned();
+        match learned {
+            Some(tx) if tx.send(frame).is_ok() => {}
+            _ => self.stats.record_dropped(),
+        }
+    }
+
+    /// Delivers one decoded inbound envelope to its local inbox and
+    /// learns the sender's reply route.
+    fn deliver(&self, env: Envelope, reply_route: &FrameTx) {
+        if !self.peers.contains_key(&env.from) {
+            self.learned.write().insert(env.from, reply_route.clone());
+        }
+        let delivered = {
+            let inboxes = self.inboxes.read();
+            match inboxes.get(&env.to) {
+                Some(tx) => tx.send(env).is_ok(),
+                None => false,
+            }
+        };
+        if delivered {
+            self.stats.record_delivered(0);
+        } else {
+            self.stats.record_dropped();
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_be_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` means the peer exceeded
+/// the frame bound (caller must close the connection).
+fn read_frame(stream: &mut TcpStream, max_frame: u32) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > max_frame {
+        return Ok(None);
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Reader loop of one established connection (either direction): decode
+/// frames, deliver envelopes, learn reply routes.
+fn reader_loop(inner: &Arc<TcpInner>, stream: TcpStream, stream_id: u64, reply_route: FrameTx) {
+    reader_loop_inner(inner, stream, &reply_route);
+    // However the connection died (EOF, garbage, bound violation,
+    // shutdown), its tracked descriptor is no longer worth keeping.
+    inner.untrack_stream(stream_id);
+}
+
+fn reader_loop_inner(inner: &Arc<TcpInner>, mut stream: TcpStream, reply_route: &FrameTx) {
+    loop {
+        if inner.is_shutdown() {
+            return;
+        }
+        match read_frame(&mut stream, inner.max_frame) {
+            Ok(Some(frame)) => match decode_envelope_frame(&frame) {
+                Ok(env) => inner.deliver(env, reply_route),
+                Err(e) => {
+                    // A peer speaking garbage is disconnected, not obeyed.
+                    eprintln!("tcp: undecodable frame ({e}); closing connection");
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+            },
+            Ok(None) => {
+                eprintln!(
+                    "tcp: frame exceeds the {}-byte bound; closing connection",
+                    inner.max_frame
+                );
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Err(_) => return, // EOF or shutdown
+        }
+    }
+}
+
+/// Writer loop of one *inbound* connection: drains reply frames queued by
+/// [`TcpInner::deliver`]'s learned routes. Exits on write failure (the
+/// learned route dies with it; a later request re-learns).
+fn conn_writer_loop(inner: &Arc<TcpInner>, mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    loop {
+        if inner.is_shutdown() {
+            return;
+        }
+        match rx.recv_timeout(POLL) {
+            Ok(frame) => {
+                if write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Writer loop of one *static peer*: connect lazily, retry while the peer
+/// is down, reconnect (re-sending the in-flight frame) when a write
+/// fails. Each successful connection also gets a reader (replies and
+/// peer-initiated traffic flow back over it).
+fn peer_writer_loop(inner: Arc<TcpInner>, addr: SocketAddr, rx: Receiver<Vec<u8>>, reply: FrameTx) {
+    let mut stream: Option<(u64, TcpStream)> = None;
+    loop {
+        if inner.is_shutdown() {
+            return;
+        }
+        let frame = match rx.recv_timeout(POLL) {
+            Ok(frame) => frame,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        loop {
+            if inner.is_shutdown() {
+                return;
+            }
+            if stream.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let stream_id = inner.track_stream(&s);
+                        if let Ok(read_half) = s.try_clone() {
+                            let inner2 = inner.clone();
+                            let reply2 = reply.clone();
+                            let handle = std::thread::Builder::new()
+                                .name("tcp-peer-reader".into())
+                                .spawn(move || reader_loop(&inner2, read_half, stream_id, reply2))
+                                .expect("spawn tcp reader");
+                            inner.adopt_thread(handle);
+                        }
+                        stream = Some((stream_id, s));
+                    }
+                    Err(_) => {
+                        std::thread::sleep(inner.connect_retry);
+                        continue;
+                    }
+                }
+            }
+            let (stream_id, s) = stream.as_mut().expect("connected above");
+            match write_frame(s, &frame) {
+                Ok(()) => break,
+                Err(_) => {
+                    // Reconnect-on-drop: the frame is retried on a fresh
+                    // connection rather than silently lost; the dead
+                    // connection's descriptor is released now (its
+                    // reader untracks itself when the read side fails).
+                    inner.untrack_stream(*stream_id);
+                    stream = None;
+                }
+            }
+        }
+    }
+}
+
+/// A TCP-backed [`Transport`]: one listener per process, framed
+/// envelopes, per-peer writer threads. See the module docs.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpTransport({})", self.inner.listen_addr)
+    }
+}
+
+impl TcpTransport {
+    /// Binds the listener and starts the accept and peer-writer threads.
+    ///
+    /// # Errors
+    /// I/O errors binding the listen address.
+    pub fn bind(config: TcpConfig) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind(config.listen)?;
+        let listen_addr = listener.local_addr()?;
+        let mut peer_rx = Vec::new();
+        let mut peers = HashMap::new();
+        for (id, addr) in &config.peers {
+            let (tx, rx) = unbounded();
+            peers.insert(*id, tx);
+            peer_rx.push((*addr, rx));
+        }
+        let inner = Arc::new(TcpInner {
+            inboxes: RwLock::new(HashMap::new()),
+            peers,
+            learned: RwLock::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            next_stream: std::sync::atomic::AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            stats: NetStats::default(),
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            listen_addr,
+            max_frame: config.max_frame,
+            connect_retry: config.connect_retry,
+        });
+        {
+            let mut threads = inner.threads.lock();
+            for (addr, rx) in peer_rx {
+                // Replies arriving over this outbound connection go to the
+                // same queue a fresh outbound frame would use — useless for
+                // static peers (they are routed directly), so a dead-end
+                // sink channel serves as the reply route placeholder.
+                let (reply_tx, reply_rx) = unbounded();
+                let inner2 = inner.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("tcp-peer-writer".into())
+                        .spawn(move || {
+                            let _keep_reply_open = reply_rx;
+                            peer_writer_loop(inner2, addr, rx, reply_tx)
+                        })
+                        .expect("spawn tcp writer"),
+                );
+            }
+            let inner2 = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tcp-listener".into())
+                    .spawn(move || accept_loop(&inner2, listener))
+                    .expect("spawn tcp listener"),
+            );
+        }
+        Ok(TcpTransport { inner })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.listen_addr
+    }
+
+    /// Traffic counters (sent / delivered-to-inbox / dropped).
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Registers a node, returning its endpoint.
+    ///
+    /// # Panics
+    /// Panics if the node id is already registered on this transport.
+    pub fn register(&self, id: NodeId) -> TcpEndpoint {
+        let (tx, rx) = unbounded();
+        let prev = self.inner.inboxes.write().insert(id, tx);
+        assert!(prev.is_none(), "node {id} registered twice");
+        TcpEndpoint {
+            id,
+            rx,
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Stops the transport: closes every connection, joins every thread,
+    /// and disconnects all registered inboxes. Peers mid-write observe a
+    /// closed socket, never a hang.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.inner.listen_addr);
+        for (_, stream) in self.inner.streams.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Disconnect receivers so endpoint recv() returns instead of
+        // waiting forever.
+        self.inner.inboxes.write().clear();
+        self.inner.learned.write().clear();
+        let threads = std::mem::take(&mut *self.inner.threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<TcpInner>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if inner.is_shutdown() {
+            return;
+        }
+        let stream_id = inner.track_stream(&stream);
+        let (reply_tx, reply_rx) = unbounded();
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let inner_r = inner.clone();
+        let inner_w = inner.clone();
+        let reply_for_reader = reply_tx.clone();
+        if let Ok(h) = std::thread::Builder::new()
+            .name("tcp-conn-reader".into())
+            .spawn(move || reader_loop(&inner_r, stream, stream_id, reply_for_reader))
+        {
+            inner.adopt_thread(h);
+        }
+        if let Ok(h) = std::thread::Builder::new()
+            .name("tcp-conn-writer".into())
+            .spawn(move || conn_writer_loop(&inner_w, write_half, reply_rx))
+        {
+            inner.adopt_thread(h);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register(&self, id: NodeId) -> DynEndpoint {
+        Box::new(TcpTransport::register(self, id))
+    }
+
+    fn shutdown(&self) {
+        TcpTransport::shutdown(self);
+    }
+}
+
+/// A node's attachment to a [`TcpTransport`].
+pub struct TcpEndpoint {
+    id: NodeId,
+    rx: Receiver<Envelope>,
+    inner: Arc<TcpInner>,
+}
+
+impl std::fmt::Debug for TcpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpEndpoint({})", self.id)
+    }
+}
+
+impl TransportEndpoint for TcpEndpoint {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&self, to: NodeId, msg: Msg) {
+        self.inner.send(Envelope {
+            from: self.id,
+            to,
+            msg,
+        });
+    }
+
+    fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddemos_crypto::votecode::VoteCode;
+    use ddemos_protocol::SerialNo;
+
+    fn vote_msg(n: u64) -> Msg {
+        Msg::Vote {
+            request_id: n,
+            serial: SerialNo(n),
+            vote_code: VoteCode([0; 20]),
+        }
+    }
+
+    fn serial_of(msg: &Msg) -> u64 {
+        match msg {
+            Msg::Vote { serial, .. } => serial.0,
+            _ => panic!("unexpected message"),
+        }
+    }
+
+    fn free_addr() -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], 0))
+    }
+
+    /// Two transports connected both ways, with resolved addresses.
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let a = TcpTransport::bind(TcpConfig::new(free_addr(), Vec::new())).unwrap();
+        let b = TcpTransport::bind(TcpConfig::new(
+            free_addr(),
+            vec![(NodeId::vc(0), a.local_addr())],
+        ))
+        .unwrap();
+        // `a` can't know b's port before b binds; rebind its peer table
+        // by building a fresh transport would lose the port, so connect
+        // one-directionally and let replies use learned routes — except
+        // for tests that need a static route from a's side, which build
+        // their own topology.
+        (a, b)
+    }
+
+    #[test]
+    fn loopback_pair_preserves_send_order() {
+        let (a, b) = pair();
+        let sink = a.register(NodeId::vc(0));
+        let sender = b.register(NodeId::vc(1));
+        for i in 0..100 {
+            sender.send(NodeId::vc(0), vote_msg(i));
+        }
+        for i in 0..100 {
+            let env = sink.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(env.from, NodeId::vc(1));
+            assert_eq!(serial_of(&env.msg), i, "frames reordered");
+        }
+        b.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
+    fn replies_flow_over_learned_routes() {
+        // The voter direction: the client (on `b`) knows the replica's
+        // address; the replica (on `a`) has no route to the client and
+        // must answer over the connection the request arrived on.
+        let (a, b) = pair();
+        let server = a.register(NodeId::vc(0));
+        let client = b.register(NodeId::client(7));
+        client.send(NodeId::vc(0), vote_msg(1));
+        let env = server.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.from, NodeId::client(7));
+        assert_eq!(serial_of(&env.msg), 1);
+        server.send(env.from, vote_msg(2));
+        let env = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.from, NodeId::vc(0));
+        assert_eq!(serial_of(&env.msg), 2);
+        b.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
+    fn same_transport_delivery_is_local() {
+        let net = TcpTransport::bind(TcpConfig::new(free_addr(), Vec::new())).unwrap();
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        a.send(NodeId::vc(1), vote_msg(9));
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId::vc(0));
+        assert_eq!(serial_of(&env.msg), 9);
+        assert_eq!(net.stats().delivered(), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn oversized_incoming_frame_closes_connection_without_panic() {
+        // The receiver accepts at most 64-byte frames.
+        let a_small = {
+            let mut config = TcpConfig::new(free_addr(), Vec::new());
+            config.max_frame = 64;
+            TcpTransport::bind(config).unwrap()
+        };
+        let b = TcpTransport::bind(TcpConfig::new(
+            free_addr(),
+            vec![(NodeId::vc(0), a_small.local_addr())],
+        ))
+        .unwrap();
+        let sink = a_small.register(NodeId::vc(0));
+        let sender = b.register(NodeId::vc(1));
+        // An Announce with many entries encodes far beyond 64 bytes.
+        let entries: Vec<_> = (0..64)
+            .map(|i| ddemos_protocol::messages::AnnounceEntry {
+                serial: SerialNo(i),
+                vote: None,
+            })
+            .collect();
+        sender.send(
+            NodeId::vc(0),
+            Msg::Announce {
+                entries: std::sync::Arc::new(entries),
+            },
+        );
+        assert!(
+            sink.recv_timeout(Duration::from_millis(300)).is_err(),
+            "oversized frame must not be delivered"
+        );
+        b.shutdown();
+        a_small.shutdown();
+    }
+
+    #[test]
+    fn oversized_outgoing_send_is_dropped_and_counted() {
+        let mut config = TcpConfig::new(free_addr(), Vec::new());
+        config.max_frame = 64;
+        let net = TcpTransport::bind(config).unwrap();
+        let sender = net.register(NodeId::vc(0));
+        let entries: Vec<_> = (0..64)
+            .map(|i| ddemos_protocol::messages::AnnounceEntry {
+                serial: SerialNo(i),
+                vote: None,
+            })
+            .collect();
+        sender.send(
+            NodeId::vc(1),
+            Msg::Announce {
+                entries: std::sync::Arc::new(entries),
+            },
+        );
+        assert_eq!(net.stats().dropped(), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_peer_mid_write_does_not_hang() {
+        let a = TcpTransport::bind(TcpConfig::new(free_addr(), Vec::new())).unwrap();
+        let b = TcpTransport::bind(TcpConfig::new(
+            free_addr(),
+            vec![(NodeId::vc(0), a.local_addr())],
+        ))
+        .unwrap();
+        let sink = a.register(NodeId::vc(0));
+        let sender = b.register(NodeId::vc(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let writer = std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                sender.send(NodeId::vc(0), vote_msg(n));
+                n += 1;
+            }
+        });
+        // Let traffic flow, then kill the receiving side mid-stream.
+        let _ = sink.recv_timeout(Duration::from_secs(5)).unwrap();
+        a.shutdown();
+        // The sender keeps writing into a dead peer; it must neither
+        // panic nor block forever.
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::SeqCst);
+        writer.join().expect("sender thread survived peer shutdown");
+        b.shutdown();
+    }
+
+    #[test]
+    fn reconnect_after_peer_restart_delivers_later_frames() {
+        let a1 = TcpTransport::bind(TcpConfig::new(free_addr(), Vec::new())).unwrap();
+        let addr = a1.local_addr();
+        let b =
+            TcpTransport::bind(TcpConfig::new(free_addr(), vec![(NodeId::vc(0), addr)])).unwrap();
+        let sink = a1.register(NodeId::vc(0));
+        let sender = b.register(NodeId::vc(1));
+        sender.send(NodeId::vc(0), vote_msg(1));
+        assert_eq!(
+            serial_of(&sink.recv_timeout(Duration::from_secs(5)).unwrap().msg),
+            1
+        );
+        // Kill the receiver, then bring a new one up on the same port.
+        a1.shutdown();
+        let a2 = TcpTransport::bind(TcpConfig::new(addr, Vec::new())).unwrap();
+        let sink2 = a2.register(NodeId::vc(0));
+        // The writer retries with reconnect-on-drop until the new
+        // listener answers; frames sent after the restart arrive.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = None;
+        let mut n = 100u64;
+        while Instant::now() < deadline {
+            sender.send(NodeId::vc(0), vote_msg(n));
+            n += 1;
+            if let Ok(env) = sink2.recv_timeout(Duration::from_millis(200)) {
+                delivered = Some(serial_of(&env.msg));
+                break;
+            }
+        }
+        assert!(delivered.is_some(), "no frame arrived after restart");
+        b.shutdown();
+        a2.shutdown();
+    }
+}

@@ -1,0 +1,124 @@
+//! The transport boundary under the sans-I/O node cores.
+//!
+//! Protocol logic (the `VcCore`/`BbCore` state machines in `ddemos-vc` /
+//! `ddemos-bb`) never touches a socket or a channel: node *drivers* pump
+//! envelopes between a core and a [`TransportEndpoint`]. This module
+//! defines that boundary:
+//!
+//! * [`Transport`] — a message-oriented network a node can register with
+//!   (`register`/`shutdown`; sending and receiving happen on the endpoint
+//!   it hands back).
+//! * [`TransportEndpoint`] — one node's attachment: identity, `send`,
+//!   blocking/timeout/non-blocking `recv`, the transport's time base, and
+//!   an optional virtual-time actor hook.
+//!
+//! Two implementations ship here: the in-process [`SimNet`]
+//! (latency/fault emulation, optional virtual time — every existing
+//! simulation behavior, unchanged) and [`crate::tcp::TcpTransport`]
+//! (length-prefixed frames over real localhost/LAN sockets, one process
+//! per replica). Drivers written against this trait run over either.
+
+use crate::simnet::{Endpoint, SimNet};
+use crossbeam_channel::{RecvError, RecvTimeoutError};
+use ddemos_protocol::clock::ActorGuard;
+use ddemos_protocol::messages::{Envelope, Msg};
+use ddemos_protocol::NodeId;
+use std::time::Duration;
+
+/// One node's attachment to a transport: an identity plus an inbox.
+///
+/// `recv_timeout` is interpreted in the transport's own time base —
+/// virtual time under a virtual-clock [`SimNet`], wall time otherwise —
+/// as is [`TransportEndpoint::now_ns`], so patience and latency
+/// measurements hold in both.
+pub trait TransportEndpoint: Send {
+    /// This endpoint's node id.
+    fn id(&self) -> NodeId;
+
+    /// Sends a message to `to`, stamping this endpoint's id as the
+    /// source. Sending is best-effort and non-blocking: delivery failures
+    /// surface as the peer never answering, exactly like a lossy network.
+    fn send(&self, to: NodeId, msg: Msg);
+
+    /// Blocking receive.
+    ///
+    /// # Errors
+    /// Returns `Err` when the transport has shut down.
+    fn recv(&self) -> Result<Envelope, RecvError>;
+
+    /// Receive with a timeout in the transport's time base.
+    ///
+    /// # Errors
+    /// `Timeout` when no message arrived, `Disconnected` on shutdown.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Envelope>;
+
+    /// Nanoseconds of transport time since the transport started.
+    fn now_ns(&self) -> u64;
+
+    /// Registers the current thread as a virtual-time actor, when the
+    /// transport is driven by a virtual clock (`None` otherwise). Node
+    /// drivers call this so the clock never advances while they are
+    /// processing.
+    fn actor_guard(&self) -> Option<ActorGuard> {
+        None
+    }
+}
+
+/// A boxed endpoint (what [`Transport::register`] hands out).
+pub type DynEndpoint = Box<dyn TransportEndpoint>;
+
+/// A message-oriented network nodes register with.
+pub trait Transport: Send + Sync {
+    /// Registers a node, returning its endpoint.
+    ///
+    /// # Panics
+    /// Implementations may panic if the id is already registered.
+    fn register(&self, id: NodeId) -> DynEndpoint;
+
+    /// Stops the transport; pending messages are dropped and blocked
+    /// receivers are released.
+    fn shutdown(&self);
+}
+
+impl TransportEndpoint for Endpoint {
+    fn id(&self) -> NodeId {
+        Endpoint::id(self)
+    }
+
+    fn send(&self, to: NodeId, msg: Msg) {
+        Endpoint::send(self, to, msg);
+    }
+
+    fn recv(&self) -> Result<Envelope, RecvError> {
+        Endpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        Endpoint::try_recv(self)
+    }
+
+    fn now_ns(&self) -> u64 {
+        Endpoint::now_ns(self)
+    }
+
+    fn actor_guard(&self) -> Option<ActorGuard> {
+        Endpoint::actor_guard(self)
+    }
+}
+
+impl Transport for SimNet {
+    fn register(&self, id: NodeId) -> DynEndpoint {
+        Box::new(SimNet::register(self, id))
+    }
+
+    fn shutdown(&self) {
+        SimNet::shutdown(self);
+    }
+}

@@ -1,22 +1,38 @@
-//! Canonical wire codecs for the protocol structures the durability layer
-//! persists (WAL records and snapshots in `ddemos-storage`).
+//! Canonical wire codecs for every protocol structure that crosses a
+//! durability or transport boundary.
 //!
-//! The simulated network still passes typed messages in process; these
-//! functions give every *persisted* structure a deterministic byte form
-//! built on [`crate::wire`], so a node's snapshot+WAL replay reconstructs
-//! byte-identical state. Each codec is a `put_*`/`get_*` pair; compound
-//! structures compose the primitive pairs, so a round-trip property test
-//! over the compounds covers the whole family.
+//! Two families share the same primitive pairs:
+//!
+//! * **Persisted structures** (WAL records and snapshots in
+//!   `ddemos-storage`) — so a node's snapshot+WAL replay reconstructs
+//!   byte-identical state.
+//! * **Transport messages** — the full [`Msg`]/[`Envelope`] enum
+//!   ([`put_msg`]/[`get_msg`], [`put_envelope`]/[`get_envelope`]), which
+//!   is what `ddemos-net`'s `TcpTransport` puts on real sockets inside
+//!   length-prefixed, CRC-checksummed frames
+//!   ([`encode_envelope_frame`]/[`decode_envelope_frame`]).
+//!
+//! Each codec is a `put_*`/`get_*` pair; compound structures compose the
+//! primitive pairs, so round-trip property tests over the compounds cover
+//! the whole family. Decoders are total: malformed input yields a
+//! [`WireError`], never a panic — this is the path attacker-controlled
+//! socket bytes take.
 
-use crate::ids::{PartId, SerialNo};
-use crate::messages::UCert;
-use crate::posts::{PartOpeningPost, PartZkPost, TallySharePost, TrusteePost, VoteSet};
-use crate::wire::{Reader, WireError, Writer};
+use crate::ids::{NodeId, NodeKind, PartId, SerialNo};
+use crate::messages::{
+    AnnounceEntry, BbWriteMsg, BbWriteOutcome, ConsensusMsg, ConsensusPayload, Envelope, Msg,
+    RbcMsg, RbcPhase, RejectReason, UCert, VoteOutcome,
+};
+use crate::posts::{
+    FinalizedVoteSet, PartOpeningPost, PartZkPost, TallySharePost, TrusteePost, VoteSet,
+};
+use crate::wire::{crc32, Reader, WireError, Writer};
 use ddemos_crypto::field::Scalar;
 use ddemos_crypto::schnorr::Signature;
 use ddemos_crypto::shamir::Share;
 use ddemos_crypto::votecode::{VoteCode, VoteCodeHash};
 use ddemos_crypto::vss::SignedShare;
+use std::sync::Arc;
 
 /// Sanity bound on decoded vector lengths (a corrupted length prefix must
 /// not trigger a huge allocation before the content check fails).
@@ -325,12 +341,514 @@ pub fn get_trustee_post(r: &mut Reader<'_>) -> Result<TrusteePost, WireError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Transport messages (the full `Msg` / `Envelope` enum)
+// ---------------------------------------------------------------------------
+
+/// Encodes a node identity (role byte + index).
+pub fn put_node_id(w: &mut Writer, id: NodeId) {
+    let kind = match id.kind {
+        NodeKind::Ea => 0u8,
+        NodeKind::Vc => 1,
+        NodeKind::Bb => 2,
+        NodeKind::Trustee => 3,
+        NodeKind::Client => 4,
+    };
+    w.put_u8(kind).put_u32(id.index);
+}
+
+/// Decodes a node identity.
+///
+/// # Errors
+/// [`WireError::BadValue`] for unknown role bytes.
+pub fn get_node_id(r: &mut Reader<'_>) -> Result<NodeId, WireError> {
+    let kind = match r.get_u8()? {
+        0 => NodeKind::Ea,
+        1 => NodeKind::Vc,
+        2 => NodeKind::Bb,
+        3 => NodeKind::Trustee,
+        4 => NodeKind::Client,
+        _ => return Err(WireError::BadValue),
+    };
+    Ok(NodeId {
+        kind,
+        index: r.get_u32()?,
+    })
+}
+
+fn put_reject_reason(w: &mut Writer, reason: RejectReason) {
+    w.put_u8(match reason {
+        RejectReason::OutsideVotingHours => 0,
+        RejectReason::UnknownSerial => 1,
+        RejectReason::InvalidVoteCode => 2,
+        RejectReason::AlreadyVotedDifferentCode => 3,
+    });
+}
+
+fn get_reject_reason(r: &mut Reader<'_>) -> Result<RejectReason, WireError> {
+    Ok(match r.get_u8()? {
+        0 => RejectReason::OutsideVotingHours,
+        1 => RejectReason::UnknownSerial,
+        2 => RejectReason::InvalidVoteCode,
+        3 => RejectReason::AlreadyVotedDifferentCode,
+        _ => return Err(WireError::BadValue),
+    })
+}
+
+/// Encodes a vote outcome (receipt or rejection).
+pub fn put_vote_outcome(w: &mut Writer, outcome: &VoteOutcome) {
+    match outcome {
+        VoteOutcome::Receipt(receipt) => {
+            w.put_u8(0).put_u64(*receipt);
+        }
+        VoteOutcome::Rejected(reason) => {
+            w.put_u8(1);
+            put_reject_reason(w, *reason);
+        }
+    }
+}
+
+/// Decodes a vote outcome.
+///
+/// # Errors
+/// [`WireError::BadValue`] for unknown tags.
+pub fn get_vote_outcome(r: &mut Reader<'_>) -> Result<VoteOutcome, WireError> {
+    Ok(match r.get_u8()? {
+        0 => VoteOutcome::Receipt(r.get_u64()?),
+        1 => VoteOutcome::Rejected(get_reject_reason(r)?),
+        _ => return Err(WireError::BadValue),
+    })
+}
+
+fn put_consensus_payload(w: &mut Writer, p: &ConsensusPayload) {
+    w.put_u32(p.round).put_u8(p.step);
+    w.put_u32(p.values.len() as u32);
+    for v in &p.values {
+        w.put_u8(match v {
+            None => 2,
+            Some(false) => 0,
+            Some(true) => 1,
+        });
+    }
+}
+
+fn get_consensus_payload(r: &mut Reader<'_>) -> Result<ConsensusPayload, WireError> {
+    let round = r.get_u32()?;
+    let step = r.get_u8()?;
+    let n = get_len(r)?;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(match r.get_u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            2 => None,
+            _ => return Err(WireError::BadValue),
+        });
+    }
+    Ok(ConsensusPayload {
+        round,
+        step,
+        values,
+    })
+}
+
+fn put_announce_entry(w: &mut Writer, e: &AnnounceEntry) {
+    w.put_u64(e.serial.0);
+    match &e.vote {
+        Some((code, ucert)) => {
+            w.put_u8(1);
+            put_vote_code(w, code);
+            put_ucert(w, ucert);
+        }
+        None => {
+            w.put_u8(0);
+        }
+    }
+}
+
+fn get_announce_entry(r: &mut Reader<'_>) -> Result<AnnounceEntry, WireError> {
+    let serial = SerialNo(r.get_u64()?);
+    let vote = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let code = get_vote_code(r)?;
+            let ucert = Arc::new(get_ucert(r)?);
+            Some((code, ucert))
+        }
+        _ => return Err(WireError::BadValue),
+    };
+    Ok(AnnounceEntry { serial, vote })
+}
+
+/// Encodes a finalized vote set (the VC → coordinator delivery).
+pub fn put_finalized_vote_set(w: &mut Writer, f: &FinalizedVoteSet) {
+    w.put_u32(f.node_index);
+    put_vote_set(w, &f.vote_set);
+    put_signature(w, &f.signature);
+    put_signed_share(w, &f.msk_share);
+    w.put_u64(f.announce_at_ms).put_u64(f.finalized_at_ms);
+}
+
+/// Decodes a finalized vote set.
+///
+/// # Errors
+/// Propagates primitive decode failures.
+pub fn get_finalized_vote_set(r: &mut Reader<'_>) -> Result<FinalizedVoteSet, WireError> {
+    Ok(FinalizedVoteSet {
+        node_index: r.get_u32()?,
+        vote_set: get_vote_set(r)?,
+        signature: get_signature(r)?,
+        msk_share: get_signed_share(r)?,
+        announce_at_ms: r.get_u64()?,
+        finalized_at_ms: r.get_u64()?,
+    })
+}
+
+const BBW_VOTE_SET: u8 = 1;
+const BBW_MSK_SHARE: u8 = 2;
+const BBW_TRUSTEE_POST: u8 = 3;
+
+fn put_bb_write(w: &mut Writer, write: &BbWriteMsg) {
+    match write {
+        BbWriteMsg::VoteSet { from_vc, set, sig } => {
+            w.put_u8(BBW_VOTE_SET).put_u32(*from_vc);
+            put_vote_set(w, set);
+            put_signature(w, sig);
+        }
+        BbWriteMsg::MskShare { share } => {
+            w.put_u8(BBW_MSK_SHARE);
+            put_signed_share(w, share);
+        }
+        BbWriteMsg::TrusteePost { post, sig } => {
+            w.put_u8(BBW_TRUSTEE_POST);
+            put_trustee_post(w, post);
+            put_signature(w, sig);
+        }
+    }
+}
+
+fn get_bb_write(r: &mut Reader<'_>) -> Result<BbWriteMsg, WireError> {
+    Ok(match r.get_u8()? {
+        BBW_VOTE_SET => BbWriteMsg::VoteSet {
+            from_vc: r.get_u32()?,
+            set: get_vote_set(r)?,
+            sig: get_signature(r)?,
+        },
+        BBW_MSK_SHARE => BbWriteMsg::MskShare {
+            share: get_signed_share(r)?,
+        },
+        BBW_TRUSTEE_POST => BbWriteMsg::TrusteePost {
+            post: Arc::new(get_trustee_post(r)?),
+            sig: get_signature(r)?,
+        },
+        _ => return Err(WireError::BadValue),
+    })
+}
+
+fn put_bb_write_outcome(w: &mut Writer, outcome: BbWriteOutcome) {
+    w.put_u8(match outcome {
+        BbWriteOutcome::Accepted => 0,
+        BbWriteOutcome::BadSignature => 1,
+        BbWriteOutcome::UnknownWriter => 2,
+        BbWriteOutcome::Inconsistent => 3,
+        BbWriteOutcome::WrongPhase => 4,
+    });
+}
+
+fn get_bb_write_outcome(r: &mut Reader<'_>) -> Result<BbWriteOutcome, WireError> {
+    Ok(match r.get_u8()? {
+        0 => BbWriteOutcome::Accepted,
+        1 => BbWriteOutcome::BadSignature,
+        2 => BbWriteOutcome::UnknownWriter,
+        3 => BbWriteOutcome::Inconsistent,
+        4 => BbWriteOutcome::WrongPhase,
+        _ => return Err(WireError::BadValue),
+    })
+}
+
+const MSG_VOTE: u8 = 1;
+const MSG_VOTE_REPLY: u8 = 2;
+const MSG_ENDORSE: u8 = 3;
+const MSG_ENDORSEMENT: u8 = 4;
+const MSG_VOTE_P: u8 = 5;
+const MSG_ANNOUNCE: u8 = 6;
+const MSG_RECOVER_REQUEST: u8 = 7;
+const MSG_RECOVER_RESPONSE: u8 = 8;
+const MSG_CONSENSUS: u8 = 9;
+const MSG_AMNESIA: u8 = 10;
+const MSG_RBC: u8 = 11;
+const MSG_CLOSE_POLLS: u8 = 12;
+const MSG_SHUTDOWN: u8 = 13;
+const MSG_FINALIZED: u8 = 14;
+const MSG_BB_WRITE: u8 = 15;
+const MSG_BB_WRITE_REPLY: u8 = 16;
+const MSG_BB_READ_REQUEST: u8 = 17;
+const MSG_BB_READ_RESPONSE: u8 = 18;
+
+/// Encodes any protocol message (the transport payload codec).
+pub fn put_msg(w: &mut Writer, msg: &Msg) {
+    match msg {
+        Msg::Vote {
+            request_id,
+            serial,
+            vote_code,
+        } => {
+            w.put_u8(MSG_VOTE).put_u64(*request_id).put_u64(serial.0);
+            put_vote_code(w, vote_code);
+        }
+        Msg::VoteReply {
+            request_id,
+            serial,
+            outcome,
+        } => {
+            w.put_u8(MSG_VOTE_REPLY)
+                .put_u64(*request_id)
+                .put_u64(serial.0);
+            put_vote_outcome(w, outcome);
+        }
+        Msg::Endorse { serial, vote_code } => {
+            w.put_u8(MSG_ENDORSE).put_u64(serial.0);
+            put_vote_code(w, vote_code);
+        }
+        Msg::Endorsement {
+            serial,
+            vote_code,
+            signature,
+        } => {
+            w.put_u8(MSG_ENDORSEMENT).put_u64(serial.0);
+            put_vote_code(w, vote_code);
+            put_signature(w, signature);
+        }
+        Msg::VoteP {
+            serial,
+            vote_code,
+            share,
+            ucert,
+        } => {
+            w.put_u8(MSG_VOTE_P).put_u64(serial.0);
+            put_vote_code(w, vote_code);
+            put_signed_share(w, share);
+            put_ucert(w, ucert);
+        }
+        Msg::Announce { entries } => {
+            w.put_u8(MSG_ANNOUNCE).put_u32(entries.len() as u32);
+            for entry in entries.iter() {
+                put_announce_entry(w, entry);
+            }
+        }
+        Msg::RecoverRequest { serial } => {
+            w.put_u8(MSG_RECOVER_REQUEST).put_u64(serial.0);
+        }
+        Msg::RecoverResponse {
+            serial,
+            vote_code,
+            ucert,
+        } => {
+            w.put_u8(MSG_RECOVER_RESPONSE).put_u64(serial.0);
+            put_vote_code(w, vote_code);
+            put_ucert(w, ucert);
+        }
+        Msg::Consensus(cm) => {
+            w.put_u8(MSG_CONSENSUS);
+            put_consensus_payload(w, &cm.payload);
+        }
+        Msg::Amnesia => {
+            w.put_u8(MSG_AMNESIA);
+        }
+        Msg::Rbc(rbc) => {
+            w.put_u8(MSG_RBC);
+            put_node_id(w, rbc.origin);
+            put_consensus_payload(w, &rbc.payload);
+            w.put_u8(match rbc.phase {
+                RbcPhase::Send => 0,
+                RbcPhase::Echo => 1,
+                RbcPhase::Ready => 2,
+            });
+        }
+        Msg::ClosePolls => {
+            w.put_u8(MSG_CLOSE_POLLS);
+        }
+        Msg::Shutdown => {
+            w.put_u8(MSG_SHUTDOWN);
+        }
+        Msg::Finalized(f) => {
+            w.put_u8(MSG_FINALIZED);
+            put_finalized_vote_set(w, f);
+        }
+        Msg::BbWrite { request_id, write } => {
+            w.put_u8(MSG_BB_WRITE).put_u64(*request_id);
+            put_bb_write(w, write);
+        }
+        Msg::BbWriteReply {
+            request_id,
+            outcome,
+        } => {
+            w.put_u8(MSG_BB_WRITE_REPLY).put_u64(*request_id);
+            put_bb_write_outcome(w, *outcome);
+        }
+        Msg::BbReadRequest { request_id } => {
+            w.put_u8(MSG_BB_READ_REQUEST).put_u64(*request_id);
+        }
+        Msg::BbReadResponse {
+            request_id,
+            snapshot,
+        } => {
+            w.put_u8(MSG_BB_READ_RESPONSE).put_u64(*request_id);
+            w.put_bytes(snapshot);
+        }
+    }
+}
+
+/// Decodes any protocol message.
+///
+/// # Errors
+/// [`WireError`] on truncation, bad tags, or non-canonical field values —
+/// never a panic: this is the path attacker-controlled socket bytes take.
+pub fn get_msg(r: &mut Reader<'_>) -> Result<Msg, WireError> {
+    Ok(match r.get_u8()? {
+        MSG_VOTE => Msg::Vote {
+            request_id: r.get_u64()?,
+            serial: SerialNo(r.get_u64()?),
+            vote_code: get_vote_code(r)?,
+        },
+        MSG_VOTE_REPLY => Msg::VoteReply {
+            request_id: r.get_u64()?,
+            serial: SerialNo(r.get_u64()?),
+            outcome: get_vote_outcome(r)?,
+        },
+        MSG_ENDORSE => Msg::Endorse {
+            serial: SerialNo(r.get_u64()?),
+            vote_code: get_vote_code(r)?,
+        },
+        MSG_ENDORSEMENT => Msg::Endorsement {
+            serial: SerialNo(r.get_u64()?),
+            vote_code: get_vote_code(r)?,
+            signature: get_signature(r)?,
+        },
+        MSG_VOTE_P => Msg::VoteP {
+            serial: SerialNo(r.get_u64()?),
+            vote_code: get_vote_code(r)?,
+            share: get_signed_share(r)?,
+            ucert: Arc::new(get_ucert(r)?),
+        },
+        MSG_ANNOUNCE => {
+            let n = get_len(r)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_announce_entry(r)?);
+            }
+            Msg::Announce {
+                entries: Arc::new(entries),
+            }
+        }
+        MSG_RECOVER_REQUEST => Msg::RecoverRequest {
+            serial: SerialNo(r.get_u64()?),
+        },
+        MSG_RECOVER_RESPONSE => Msg::RecoverResponse {
+            serial: SerialNo(r.get_u64()?),
+            vote_code: get_vote_code(r)?,
+            ucert: Arc::new(get_ucert(r)?),
+        },
+        MSG_CONSENSUS => Msg::Consensus(ConsensusMsg {
+            payload: Arc::new(get_consensus_payload(r)?),
+        }),
+        MSG_AMNESIA => Msg::Amnesia,
+        MSG_RBC => {
+            let origin = get_node_id(r)?;
+            let payload = Arc::new(get_consensus_payload(r)?);
+            let phase = match r.get_u8()? {
+                0 => RbcPhase::Send,
+                1 => RbcPhase::Echo,
+                2 => RbcPhase::Ready,
+                _ => return Err(WireError::BadValue),
+            };
+            Msg::Rbc(RbcMsg {
+                origin,
+                payload,
+                phase,
+            })
+        }
+        MSG_CLOSE_POLLS => Msg::ClosePolls,
+        MSG_SHUTDOWN => Msg::Shutdown,
+        MSG_FINALIZED => Msg::Finalized(get_finalized_vote_set(r)?),
+        MSG_BB_WRITE => Msg::BbWrite {
+            request_id: r.get_u64()?,
+            write: get_bb_write(r)?,
+        },
+        MSG_BB_WRITE_REPLY => Msg::BbWriteReply {
+            request_id: r.get_u64()?,
+            outcome: get_bb_write_outcome(r)?,
+        },
+        MSG_BB_READ_REQUEST => Msg::BbReadRequest {
+            request_id: r.get_u64()?,
+        },
+        MSG_BB_READ_RESPONSE => Msg::BbReadResponse {
+            request_id: r.get_u64()?,
+            snapshot: Arc::new(r.get_bytes()?.to_vec()),
+        },
+        _ => return Err(WireError::BadValue),
+    })
+}
+
+/// Encodes an envelope (source + destination + message).
+pub fn put_envelope(w: &mut Writer, env: &Envelope) {
+    put_node_id(w, env.from);
+    put_node_id(w, env.to);
+    put_msg(w, &env.msg);
+}
+
+/// Decodes an envelope.
+///
+/// # Errors
+/// Propagates [`WireError`] from the identity and message codecs.
+pub fn get_envelope(r: &mut Reader<'_>) -> Result<Envelope, WireError> {
+    Ok(Envelope {
+        from: get_node_id(r)?,
+        to: get_node_id(r)?,
+        msg: get_msg(r)?,
+    })
+}
+
+/// Encodes an envelope as a checksummed transport frame payload:
+/// `crc32(body) || body`. This is what goes inside a length-prefixed TCP
+/// frame — the checksum turns any single corrupted byte into a
+/// [`WireError`] instead of a silently different message.
+pub fn encode_envelope_frame(env: &Envelope) -> Vec<u8> {
+    let mut body = Writer::new();
+    put_envelope(&mut body, env);
+    let body = body.into_bytes();
+    let mut w = Writer::new();
+    w.put_u32(crc32(&body)).put_array(&body);
+    w.into_bytes()
+}
+
+/// Decodes a checksummed envelope frame produced by
+/// [`encode_envelope_frame`].
+///
+/// # Errors
+/// [`WireError::BadValue`] on checksum mismatch or trailing garbage;
+/// [`WireError::UnexpectedEnd`] on truncation.
+pub fn decode_envelope_frame(bytes: &[u8]) -> Result<Envelope, WireError> {
+    let mut r = Reader::new(bytes);
+    let expected = r.get_u32()?;
+    let body = &bytes[4..];
+    if crc32(body) != expected {
+        return Err(WireError::BadValue);
+    }
+    let mut r = Reader::new(body);
+    let env = get_envelope(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::BadValue);
+    }
+    Ok(env)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ddemos_crypto::schnorr::SigningKey;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(77)
@@ -442,5 +960,284 @@ mod tests {
             get_vote_set(&mut Reader::new(&bytes)).unwrap_err(),
             WireError::BadLength
         );
+    }
+
+    // ----- full Msg / Envelope codec ------------------------------------
+
+    use crate::messages::{RbcMsg, RbcPhase};
+    use proptest::prelude::*;
+
+    fn sample_ucert(rng: &mut StdRng) -> UCert {
+        UCert {
+            serial: SerialNo(rng.gen()),
+            vote_code: VoteCode([rng.gen(); 20]),
+            sigs: vec![(0, sig(rng)), (2, sig(rng))],
+        }
+    }
+
+    fn sample_payload(rng: &mut StdRng) -> ConsensusPayload {
+        ConsensusPayload {
+            round: rng.gen_range(0..8),
+            step: rng.gen_range(1..4u32) as u8,
+            values: (0..rng.gen_range(0..6u32))
+                .map(|_| match rng.gen_range(0..3u32) {
+                    0 => Some(false),
+                    1 => Some(true),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    fn sample_signed_share(rng: &mut StdRng) -> SignedShare {
+        SignedShare {
+            share: Share {
+                index: rng.gen_range(1..9),
+                value: Scalar::random(rng),
+            },
+            signature: sig(rng),
+        }
+    }
+
+    fn sample_trustee_post(rng: &mut StdRng) -> TrusteePost {
+        TrusteePost {
+            trustee_index: rng.gen_range(0..4),
+            openings: vec![PartOpeningPost {
+                serial: SerialNo(rng.gen()),
+                part: PartId::B,
+                rows: vec![vec![(Scalar::random(rng), Scalar::random(rng))]],
+                opening_sig: sig(rng),
+            }],
+            zk: vec![PartZkPost {
+                serial: SerialNo(rng.gen()),
+                part: PartId::A,
+                rows: vec![vec![[
+                    Scalar::random(rng),
+                    Scalar::random(rng),
+                    Scalar::random(rng),
+                    Scalar::random(rng),
+                ]]],
+                sum_responses: vec![Scalar::random(rng)],
+            }],
+            tally: TallySharePost {
+                per_option: vec![(Scalar::random(rng), Scalar::random(rng))],
+            },
+        }
+    }
+
+    fn sample_vote_set(rng: &mut StdRng) -> VoteSet {
+        let mut set = VoteSet::default();
+        for _ in 0..rng.gen_range(0..4u32) {
+            set.entries
+                .insert(SerialNo(rng.gen_range(0..32)), VoteCode([rng.gen(); 20]));
+        }
+        set
+    }
+
+    /// The number of `Msg` variants [`sample_msg`] can produce (one per
+    /// wire tag — keep in sync with the enum).
+    const MSG_VARIANTS: u32 = 18;
+
+    /// One deterministic sample of each variant family, seeded.
+    fn sample_msg(variant: u32, seed: u64) -> Msg {
+        let rng = &mut StdRng::seed_from_u64(seed ^ u64::from(variant) << 32);
+        match variant {
+            0 => Msg::Vote {
+                request_id: rng.gen(),
+                serial: SerialNo(rng.gen()),
+                vote_code: VoteCode([rng.gen(); 20]),
+            },
+            1 => Msg::VoteReply {
+                request_id: rng.gen(),
+                serial: SerialNo(rng.gen()),
+                outcome: match rng.gen_range(0..5u32) {
+                    0 => VoteOutcome::Receipt(rng.gen()),
+                    1 => VoteOutcome::Rejected(RejectReason::OutsideVotingHours),
+                    2 => VoteOutcome::Rejected(RejectReason::UnknownSerial),
+                    3 => VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
+                    _ => VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                },
+            },
+            2 => Msg::Endorse {
+                serial: SerialNo(rng.gen()),
+                vote_code: VoteCode([rng.gen(); 20]),
+            },
+            3 => Msg::Endorsement {
+                serial: SerialNo(rng.gen()),
+                vote_code: VoteCode([rng.gen(); 20]),
+                signature: sig(rng),
+            },
+            4 => Msg::VoteP {
+                serial: SerialNo(rng.gen()),
+                vote_code: VoteCode([rng.gen(); 20]),
+                share: sample_signed_share(rng),
+                ucert: Arc::new(sample_ucert(rng)),
+            },
+            5 => Msg::Announce {
+                entries: Arc::new(
+                    (0..rng.gen_range(0..4u64))
+                        .map(|s| AnnounceEntry {
+                            serial: SerialNo(s),
+                            vote: if rng.gen() {
+                                Some((VoteCode([rng.gen(); 20]), Arc::new(sample_ucert(rng))))
+                            } else {
+                                None
+                            },
+                        })
+                        .collect(),
+                ),
+            },
+            6 => Msg::RecoverRequest {
+                serial: SerialNo(rng.gen()),
+            },
+            7 => Msg::RecoverResponse {
+                serial: SerialNo(rng.gen()),
+                vote_code: VoteCode([rng.gen(); 20]),
+                ucert: Arc::new(sample_ucert(rng)),
+            },
+            8 => Msg::Consensus(ConsensusMsg {
+                payload: Arc::new(sample_payload(rng)),
+            }),
+            9 => Msg::Amnesia,
+            10 => Msg::Rbc(RbcMsg {
+                origin: NodeId::vc(rng.gen_range(0..7)),
+                payload: Arc::new(sample_payload(rng)),
+                phase: match rng.gen_range(0..3u32) {
+                    0 => RbcPhase::Send,
+                    1 => RbcPhase::Echo,
+                    _ => RbcPhase::Ready,
+                },
+            }),
+            11 => Msg::ClosePolls,
+            12 => Msg::Shutdown,
+            13 => Msg::Finalized(FinalizedVoteSet {
+                node_index: rng.gen_range(0..7),
+                vote_set: sample_vote_set(rng),
+                signature: sig(rng),
+                msk_share: sample_signed_share(rng),
+                announce_at_ms: rng.gen(),
+                finalized_at_ms: rng.gen(),
+            }),
+            14 => Msg::BbWrite {
+                request_id: rng.gen(),
+                write: match rng.gen_range(0..3u32) {
+                    0 => BbWriteMsg::VoteSet {
+                        from_vc: rng.gen_range(0..7),
+                        set: sample_vote_set(rng),
+                        sig: sig(rng),
+                    },
+                    1 => BbWriteMsg::MskShare {
+                        share: sample_signed_share(rng),
+                    },
+                    _ => BbWriteMsg::TrusteePost {
+                        post: Arc::new(sample_trustee_post(rng)),
+                        sig: sig(rng),
+                    },
+                },
+            },
+            15 => Msg::BbWriteReply {
+                request_id: rng.gen(),
+                outcome: match rng.gen_range(0..5u32) {
+                    0 => BbWriteOutcome::Accepted,
+                    1 => BbWriteOutcome::BadSignature,
+                    2 => BbWriteOutcome::UnknownWriter,
+                    3 => BbWriteOutcome::Inconsistent,
+                    _ => BbWriteOutcome::WrongPhase,
+                },
+            },
+            16 => Msg::BbReadRequest {
+                request_id: rng.gen(),
+            },
+            _ => Msg::BbReadResponse {
+                request_id: rng.gen(),
+                snapshot: Arc::new((0..rng.gen_range(0..64u32)).map(|i| i as u8).collect()),
+            },
+        }
+    }
+
+    fn encode_msg(msg: &Msg) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_msg(&mut w, msg);
+        w.into_bytes()
+    }
+
+    fn sample_envelope(variant: u32, seed: u64) -> Envelope {
+        Envelope {
+            from: NodeId::client(variant),
+            to: NodeId::vc(variant % 4),
+            msg: sample_msg(variant, seed),
+        }
+    }
+
+    #[test]
+    fn every_msg_variant_roundtrips() {
+        for variant in 0..MSG_VARIANTS {
+            for seed in 0..3 {
+                let msg = sample_msg(variant, seed);
+                let bytes = encode_msg(&msg);
+                let mut r = Reader::new(&bytes);
+                let decoded = get_msg(&mut r).unwrap_or_else(|e| {
+                    panic!("variant {variant} seed {seed} failed to decode: {e}")
+                });
+                assert_eq!(r.remaining(), 0, "variant {variant} trailing bytes");
+                assert_eq!(
+                    encode_msg(&decoded),
+                    bytes,
+                    "variant {variant} seed {seed} re-encode differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_frame_roundtrips() {
+        for variant in 0..MSG_VARIANTS {
+            let env = sample_envelope(variant, 7);
+            let frame = encode_envelope_frame(&env);
+            let decoded = decode_envelope_frame(&frame).unwrap();
+            assert_eq!(encode_envelope_frame(&decoded), frame);
+        }
+    }
+
+    proptest! {
+        /// Any strict prefix of a message encoding is an error — the
+        /// codec never mistakes a truncated message for a complete one.
+        #[test]
+        fn prop_msg_truncation_always_errors(
+            variant in 0u32..MSG_VARIANTS,
+            seed in any::<u64>(),
+            cut_seed in any::<u64>(),
+        ) {
+            let bytes = encode_msg(&sample_msg(variant, seed));
+            let cut = (cut_seed % bytes.len() as u64) as usize; // < len: strict prefix
+            prop_assert!(get_msg(&mut Reader::new(&bytes[..cut])).is_err());
+        }
+
+        /// Any single corrupted byte in a transport frame is detected by
+        /// the checksum — corruption can never decode into a *different*
+        /// message (and never panics).
+        #[test]
+        fn prop_frame_corruption_always_detected(
+            variant in 0u32..MSG_VARIANTS,
+            seed in any::<u64>(),
+            pos_seed in any::<u64>(),
+            flip in 1u8..=255,
+        ) {
+            let frame = encode_envelope_frame(&sample_envelope(variant, seed));
+            let mut corrupted = frame.clone();
+            let pos = (pos_seed % frame.len() as u64) as usize;
+            corrupted[pos] ^= flip;
+            prop_assert!(decode_envelope_frame(&corrupted).is_err());
+        }
+
+        /// Arbitrary junk never panics the decoders.
+        #[test]
+        fn prop_random_bytes_never_panic(
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let _ = get_msg(&mut Reader::new(&data));
+            let _ = decode_envelope_frame(&data);
+            let _ = get_envelope(&mut Reader::new(&data));
+        }
     }
 }

@@ -5,12 +5,30 @@
 use crate::ids::{ElectionId, NodeId, SerialNo};
 use crate::initdata::endorsement_message;
 use crate::params::ElectionParams;
+use crate::posts::{FinalizedVoteSet, TrusteePost, VoteSet};
 use crate::wire::Writer;
 use ddemos_crypto::schnorr::{Signature, VerifyingKey};
 use ddemos_crypto::sha256::sha256;
 use ddemos_crypto::votecode::VoteCode;
 use ddemos_crypto::vss::SignedShare;
 use std::sync::Arc;
+
+/// A routed message with its source identity.
+///
+/// On the in-process `SimNet` transport the router stamps `from` with the
+/// true sender (a node cannot spoof another's identity, mirroring the
+/// paper's TLS-authenticated channels). On a raw TCP transport `from` is
+/// sender-claimed; production deployments must layer mutual TLS
+/// underneath, exactly as §V's prototype does.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender (authenticated on transports that can).
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: Msg,
+}
 
 /// Why a vote submission was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -168,6 +186,50 @@ pub struct RbcMsg {
     pub phase: RbcPhase,
 }
 
+/// An authenticated write relayed to a Bulletin Board replica over the
+/// network (the direct-call path uses `ddemos_bb::BbNode`'s typed
+/// methods; this is the same vocabulary in envelope form).
+#[derive(Clone, Debug)]
+pub enum BbWriteMsg {
+    /// A VC node's final vote set (counts toward the `fv+1` threshold).
+    VoteSet {
+        /// Submitting VC node index.
+        from_vc: u32,
+        /// The submitted set.
+        set: VoteSet,
+        /// The VC node's signature over the set digest.
+        sig: Signature,
+    },
+    /// A VC node's `msk` share (EA-signed).
+    MskShare {
+        /// The share.
+        share: SignedShare,
+    },
+    /// A trustee's post (openings, ZK final moves, tally shares).
+    TrusteePost {
+        /// The post (shared — the heavy payload).
+        post: Arc<TrusteePost>,
+        /// The trustee's signature over the post digest.
+        sig: Signature,
+    },
+}
+
+/// Outcome of a relayed BB write (mirrors `ddemos_bb::WriteError`, which
+/// cannot be named here without a dependency cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BbWriteOutcome {
+    /// The write verified and was accepted (or was an idempotent repeat).
+    Accepted,
+    /// The writer's signature (or the EA's, on relayed data) is invalid.
+    BadSignature,
+    /// The writer index is unknown.
+    UnknownWriter,
+    /// The submitted data contradicts already-verified state.
+    Inconsistent,
+    /// The node is not yet in the phase this write belongs to.
+    WrongPhase,
+}
+
 /// All messages exchanged on the simulated network.
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -248,6 +310,44 @@ pub enum Msg {
     /// A reliable-broadcast message (RBC driven directly over the
     /// network, e.g. by the fault-injection tests).
     Rbc(RbcMsg),
+    /// Harness control signal: close the polls now (the node behaves as if
+    /// its clock passed `Tend`). Drivers accept it only from Client/EA
+    /// identities — a VC or BB peer cannot end another node's election.
+    ClosePolls,
+    /// Harness control signal: stop the node's driver loop (clean
+    /// multi-process teardown). Same acceptance rule as
+    /// [`Msg::ClosePolls`].
+    Shutdown,
+    /// VC → coordinator: the node's finalized vote set (the envelope form
+    /// of the in-process result channel).
+    Finalized(FinalizedVoteSet),
+    /// Writer → BB replica: an authenticated write.
+    BbWrite {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// The write.
+        write: BbWriteMsg,
+    },
+    /// BB replica → writer: outcome of a [`Msg::BbWrite`].
+    BbWriteReply {
+        /// Correlation id from the request.
+        request_id: u64,
+        /// Verification outcome.
+        outcome: BbWriteOutcome,
+    },
+    /// Reader → BB replica: request the public snapshot.
+    BbReadRequest {
+        /// Client-chosen correlation id.
+        request_id: u64,
+    },
+    /// BB replica → reader: the snapshot, encoded with
+    /// `ddemos_bb`'s canonical snapshot codec (opaque at this layer).
+    BbReadResponse {
+        /// Correlation id from the request.
+        request_id: u64,
+        /// Encoded `BbSnapshot` (shared — responses can be large).
+        snapshot: Arc<Vec<u8>>,
+    },
 }
 
 #[cfg(test)]

@@ -4,7 +4,9 @@
 use crate::ids::{PartId, SerialNo};
 use crate::wire::Writer;
 use ddemos_crypto::field::Scalar;
+use ddemos_crypto::schnorr::Signature;
 use ddemos_crypto::votecode::VoteCode;
+use ddemos_crypto::vss::SignedShare;
 use std::collections::BTreeMap;
 
 /// The final, agreed set of voted `⟨serial, vote-code⟩` tuples.
@@ -34,6 +36,32 @@ impl VoteSet {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+}
+
+/// The signed vote set a VC node submits to the Bulletin Board subsystem
+/// when vote-set consensus completes (§III-E step 6).
+///
+/// Defined here (rather than in `ddemos-vc`) because it crosses the node
+/// boundary twice: VC → harness on the in-process channel, and VC →
+/// coordinator as a [`crate::messages::Msg::Finalized`] envelope on a real
+/// transport.
+#[derive(Clone, Debug)]
+pub struct FinalizedVoteSet {
+    /// The submitting node's index.
+    pub node_index: u32,
+    /// The agreed set of voted ballots.
+    pub vote_set: VoteSet,
+    /// Signature over [`crate::initdata::voteset_message`].
+    pub signature: Signature,
+    /// This node's `msk` share (EA-signed), released to BB nodes at end.
+    pub msk_share: SignedShare,
+    /// Node-clock time (simulation ms) when this node entered the
+    /// ANNOUNCE phase. Stamped inside the simulation so vote-set-consensus
+    /// timing is deterministic under a virtual clock (a driver-side
+    /// wall-clock sample would race with still-running nodes).
+    pub announce_at_ms: u64,
+    /// Node-clock time (simulation ms) when this node finalized.
+    pub finalized_at_ms: u64,
 }
 
 /// A trustee's opening shares for every ciphertext of one ballot part

@@ -28,6 +28,39 @@ impl std::fmt::Display for WireError {
 }
 impl std::error::Error for WireError {}
 
+/// The byte-indexed CRC-32 lookup table (computed at compile time): one
+/// table step per input byte instead of eight bit iterations — this runs
+/// over every frame body on the transport hot path, twice (encode and
+/// decode).
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the integrity check the
+/// transport frame codec puts in front of every envelope, so a flipped
+/// bit on the wire (or in a test's corruption sweep) surfaces as a
+/// [`WireError`] instead of decoding into a different message.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// An append-only canonical encoder.
 #[derive(Clone, Debug, Default)]
 pub struct Writer {
@@ -254,6 +287,14 @@ mod tests {
     fn bad_bool_rejected() {
         let mut r = Reader::new(&[2]);
         assert_eq!(r.get_bool().unwrap_err(), WireError::BadValue);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32/IEEE check vector pins table and polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
     }
 
     #[test]

@@ -1,0 +1,1263 @@
+//! The sans-I/O Vote Collector core.
+//!
+//! [`VcCore`] is the entire per-node protocol of Algorithm 1 plus the
+//! election-end Vote Set Consensus of §III-E as a pure state machine:
+//! `step(input, now_ms) -> Vec<VcOutput>`. It owns no thread, no socket,
+//! no channel, no clock, and no journal — drivers feed it
+//! [`VcInput`]s and execute the [`VcOutput`]s it returns, in order.
+//!
+//! Determinism contract: given the same construction arguments and the
+//! same `(input, now_ms)` sequence, a core produces byte-identical output
+//! sequences (see [`StepTrace`] and `tests/determinism.rs`), whatever
+//! drives it — the in-process thread loop over `SimNet`, the same loop
+//! over `TcpTransport`, or a test harness replaying a recorded trace.
+//!
+//! Output ordering carries the durability contract: a
+//! [`VcOutput::Commit`] always precedes the [`VcOutput::Send`]s whose
+//! contents depend on the journaled state, so a driver that executes
+//! outputs in order preserves the "durable before externally visible"
+//! invariant the recovery tests assert.
+
+use crate::behavior::VcBehavior;
+use crate::durable::{BallotSlot, DurableView, Status, VcRecord};
+use crate::store::BallotStore;
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::sha256::sha256;
+use ddemos_crypto::votecode::VoteCode;
+use ddemos_crypto::vss::{DealerVss, SignedShare};
+use ddemos_protocol::codec;
+use ddemos_protocol::initdata::{endorsement_message, receipt_share_context, VcInit};
+use ddemos_protocol::messages::{
+    AnnounceEntry, ConsensusMsg, Envelope, Msg, RejectReason, UCert, VoteOutcome,
+};
+use ddemos_protocol::posts::{FinalizedVoteSet, VoteSet};
+use ddemos_protocol::wire::{Reader, WireError, Writer};
+use ddemos_protocol::{NodeId, NodeKind, PartId, SerialNo};
+use ddemos_storage::Durable;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ddemos_consensus::BatchConsensus;
+
+/// One input to the core. Time never comes from a clock the core reads —
+/// every step is stamped with the driver's `now_ms` (node-clock
+/// milliseconds, drift included).
+// Deliver carries a full envelope by design: boxing it would cost an
+// allocation per message on the voting hot path to shrink three unit
+// variants.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum VcInput {
+    /// A network envelope arrived.
+    Deliver(Envelope),
+    /// The poll timer fired with no traffic (drives the end-of-voting
+    /// check, exactly like the old loop's `recv_timeout` expiry).
+    Tick,
+    /// Close the polls now (the node behaves as if its clock passed
+    /// `Tend`). Drivers translate both the in-process `close_polls()`
+    /// flag and an authenticated `Msg::ClosePolls` envelope into this.
+    ClosePolls,
+    /// The driver is stopping; the core emits nothing and expects no
+    /// further steps.
+    Shutdown,
+}
+
+const IN_DELIVER: u8 = 1;
+const IN_TICK: u8 = 2;
+const IN_CLOSE_POLLS: u8 = 3;
+const IN_SHUTDOWN: u8 = 4;
+
+impl VcInput {
+    /// Canonical encoding (trace recording / replay).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            VcInput::Deliver(env) => {
+                w.put_u8(IN_DELIVER);
+                codec::put_envelope(&mut w, env);
+            }
+            VcInput::Tick => {
+                w.put_u8(IN_TICK);
+            }
+            VcInput::ClosePolls => {
+                w.put_u8(IN_CLOSE_POLLS);
+            }
+            VcInput::Shutdown => {
+                w.put_u8(IN_SHUTDOWN);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes an input recorded by [`VcInput::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<VcInput, WireError> {
+        let mut r = Reader::new(bytes);
+        Ok(match r.get_u8()? {
+            IN_DELIVER => VcInput::Deliver(codec::get_envelope(&mut r)?),
+            IN_TICK => VcInput::Tick,
+            IN_CLOSE_POLLS => VcInput::ClosePolls,
+            IN_SHUTDOWN => VcInput::Shutdown,
+            _ => return Err(WireError::BadValue),
+        })
+    }
+}
+
+/// One effect a driver must execute. Order matters (see the module docs).
+#[derive(Clone, Debug)]
+pub enum VcOutput {
+    /// Send a message on the node's transport endpoint.
+    Send {
+        /// Destination.
+        to: NodeId,
+        /// Payload.
+        msg: Msg,
+    },
+    /// (Re-)arm the poll timer: the driver's next receive should wait at
+    /// most this long before feeding [`VcInput::Tick`].
+    SetTimer(Duration),
+    /// Append one encoded [`VcRecord`] to the node's journal. Emitted
+    /// only by cores constructed with `durable = true`.
+    Journal(Vec<u8>),
+    /// Force the journal's group commit (and run the snapshot cadence):
+    /// the state appended so far must be durable before the following
+    /// `Send`s become externally visible.
+    Commit,
+    /// Deliver the finalized vote set to the harness (in-process channel
+    /// or a `Msg::Finalized` envelope to the coordinator).
+    Deliver(FinalizedVoteSet),
+    /// The node power-cycled ([`Msg::Amnesia`]): volatile state is
+    /// already gone; the driver must crash-simulate its journal, replay
+    /// it into [`VcCore::durable`], then run
+    /// [`VcCore::post_recovery`] and execute what it returns.
+    Recover,
+}
+
+impl VcOutput {
+    /// Canonical encoding (trace recording).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            VcOutput::Send { to, msg } => {
+                w.put_u8(1);
+                codec::put_node_id(&mut w, *to);
+                codec::put_msg(&mut w, msg);
+            }
+            VcOutput::SetTimer(d) => {
+                w.put_u8(2).put_u64(d.as_nanos() as u64);
+            }
+            VcOutput::Journal(bytes) => {
+                w.put_u8(3).put_bytes(bytes);
+            }
+            VcOutput::Commit => {
+                w.put_u8(4);
+            }
+            VcOutput::Deliver(f) => {
+                w.put_u8(5);
+                codec::put_finalized_vote_set(&mut w, f);
+            }
+            VcOutput::Recover => {
+                w.put_u8(6);
+            }
+        }
+        w.into_bytes()
+    }
+}
+
+/// One recorded step: the encoded input, its time stamp, and the encoded
+/// outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// [`VcInput::encode`] of the step's input.
+    pub input: Vec<u8>,
+    /// The `now_ms` the driver stamped the step with.
+    pub now_ms: u64,
+    /// [`VcOutput::encode`] of each output, in order.
+    pub outputs: Vec<Vec<u8>>,
+}
+
+/// A shared recorder a driver appends every `(input, now_ms, outputs)`
+/// triple to — the byte-level proof that core behavior is a pure function
+/// of the input sequence, independent of the driver.
+#[derive(Clone, Default)]
+pub struct StepTrace {
+    entries: Arc<Mutex<Vec<TraceStep>>>,
+}
+
+impl std::fmt::Debug for StepTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StepTrace({} steps)", self.entries.lock().len())
+    }
+}
+
+impl StepTrace {
+    /// An empty trace.
+    pub fn new() -> StepTrace {
+        StepTrace::default()
+    }
+
+    /// Records one step.
+    pub fn record(&self, input: &VcInput, now_ms: u64, outputs: &[VcOutput]) {
+        self.entries.lock().push(TraceStep {
+            input: input.encode(),
+            now_ms,
+            outputs: outputs.iter().map(VcOutput::encode).collect(),
+        });
+    }
+
+    /// Takes the recorded steps (the trace is left empty).
+    pub fn take(&self) -> Vec<TraceStep> {
+        std::mem::take(&mut self.entries.lock())
+    }
+
+    /// A digest over every recorded byte (order-sensitive).
+    pub fn digest(&self) -> [u8; 32] {
+        let entries = self.entries.lock();
+        let mut w = Writer::tagged("ddemos/vc-step-trace/v1");
+        w.put_u64(entries.len() as u64);
+        for step in entries.iter() {
+            w.put_bytes(&step.input);
+            w.put_u64(step.now_ms);
+            w.put_u32(step.outputs.len() as u32);
+            for out in &step.outputs {
+                w.put_bytes(out);
+            }
+        }
+        w.digest()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Voting,
+    Announce,
+    Consensus,
+    Recover,
+    Done,
+}
+
+/// A [`Durable`] view over a core's journaled state, handed to drivers
+/// for journal recovery ([`VcCore::durable`]).
+pub struct VcDurable<'a>(DurableView<'a>);
+
+impl Durable for VcDurable<'_> {
+    fn encode_snapshot(&self, w: &mut Writer) {
+        self.0.encode_snapshot(w);
+    }
+
+    fn restore_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.0.restore_snapshot(r)
+    }
+
+    fn apply_record(&mut self, record: &[u8]) -> Result<(), WireError> {
+        self.0.apply_record(record)
+    }
+}
+
+/// The sans-I/O Vote Collector state machine. See the module docs.
+pub struct VcCore<S> {
+    init: VcInit,
+    store: S,
+    behavior: VcBehavior,
+    poll: Duration,
+    beacon: u64,
+    /// Whether a journal is attached driver-side: gates the
+    /// [`VcOutput::Journal`]/[`VcOutput::Commit`]/[`VcOutput::Recover`]
+    /// outputs (and their encoding cost) off the hot path for volatile
+    /// nodes.
+    durable: bool,
+    slots: HashMap<SerialNo, BallotSlot>,
+    phase: Phase,
+    votes_handled: u64,
+    announce_at_ms: u64,
+    /// Whether this node has delivered its finalized vote set (journaled,
+    /// so an amnesia recovery cannot deliver a second one).
+    finalized: bool,
+    /// Digests of already-verified UCERTs.
+    verified_ucerts: HashSet<[u8; 32]>,
+    announce_from: HashSet<u32>,
+    /// ANNOUNCE messages that arrived while this node was still in the
+    /// voting phase. Polls close at each node's *own* clock (or when its
+    /// driver delivers ClosePolls — a staggered network message on a real
+    /// transport), so an early peer's single ANNOUNCE multicast must not
+    /// be lost: more than `fv` drops would leave the announce quorum
+    /// unreachable and deadlock vote-set consensus.
+    buffered_announces: Vec<(NodeId, Arc<Vec<AnnounceEntry>>)>,
+    consensus: Option<BatchConsensus>,
+    buffered_consensus: Vec<(u32, ConsensusMsg)>,
+    decision: Option<Vec<bool>>,
+    vc_peers: Vec<NodeId>,
+    /// Polls closed (by `Tend` on the node clock or a ClosePolls input).
+    closed: bool,
+    /// Set while a [`VcOutput::Recover`] is outstanding: suppresses the
+    /// end-of-voting check until [`VcCore::post_recovery`] runs it over
+    /// the recovered state.
+    awaiting_recovery: bool,
+    /// The time stamp of the step being processed.
+    now_ms: u64,
+    outputs: Vec<VcOutput>,
+}
+
+impl<S: BallotStore> VcCore<S> {
+    /// Creates a core. `durable` must reflect whether the driver attaches
+    /// a journal (it gates the journal outputs).
+    pub fn new(
+        init: VcInit,
+        store: S,
+        behavior: VcBehavior,
+        poll: Duration,
+        beacon: u64,
+        durable: bool,
+    ) -> VcCore<S> {
+        let vc_peers: Vec<NodeId> = (0..init.params.num_vc as u32).map(NodeId::vc).collect();
+        VcCore {
+            init,
+            store,
+            behavior,
+            poll,
+            beacon,
+            durable,
+            slots: HashMap::new(),
+            phase: Phase::Voting,
+            votes_handled: 0,
+            announce_at_ms: 0,
+            finalized: false,
+            verified_ucerts: HashSet::new(),
+            announce_from: HashSet::new(),
+            buffered_announces: Vec::new(),
+            consensus: None,
+            buffered_consensus: Vec::new(),
+            decision: None,
+            vc_peers,
+            closed: false,
+            awaiting_recovery: false,
+            now_ms: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// This node's network identity.
+    pub fn id(&self) -> NodeId {
+        NodeId::vc(self.init.node_index)
+    }
+
+    /// Initial outputs: arms the poll timer. Drivers execute these before
+    /// the first step.
+    pub fn start(&mut self) -> Vec<VcOutput> {
+        vec![VcOutput::SetTimer(self.poll)]
+    }
+
+    /// The journaled-state view drivers replay a journal into (node
+    /// start-up and [`VcOutput::Recover`] handling).
+    pub fn durable(&mut self) -> VcDurable<'_> {
+        VcDurable(DurableView {
+            slots: &mut self.slots,
+            verified_ucerts: &mut self.verified_ucerts,
+            finalized: &mut self.finalized,
+        })
+    }
+
+    /// Completes a journal replay: re-enters the `Done` phase if the
+    /// replayed state was finalized, finishes receipts the crash
+    /// interrupted, and re-runs the end-of-voting check over the
+    /// recovered state. Drivers call this after every
+    /// [`VcCore::durable`] replay and execute the returned outputs.
+    pub fn post_recovery(&mut self, now_ms: u64) -> Vec<VcOutput> {
+        self.now_ms = now_ms;
+        self.awaiting_recovery = false;
+        if self.finalized {
+            self.phase = Phase::Done;
+        }
+        self.finish_recovered_receipts();
+        self.check_phase_end();
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Advances the state machine by one input, stamped with the node
+    /// clock's current milliseconds. Returns the effects, in order.
+    pub fn step(&mut self, input: VcInput, now_ms: u64) -> Vec<VcOutput> {
+        self.now_ms = now_ms;
+        match input {
+            VcInput::Deliver(env) => self.dispatch(env),
+            VcInput::Tick => {}
+            VcInput::ClosePolls => self.closed = true,
+            VcInput::Shutdown => {
+                return std::mem::take(&mut self.outputs);
+            }
+        }
+        if !self.awaiting_recovery {
+            self.check_phase_end();
+        }
+        std::mem::take(&mut self.outputs)
+    }
+
+    fn check_phase_end(&mut self) {
+        let ended = self.closed || self.now_ms >= self.init.params.end_ms;
+        if self.phase == Phase::Voting && ended {
+            self.begin_announce();
+        }
+    }
+
+    fn out(&mut self, output: VcOutput) {
+        self.outputs.push(output);
+    }
+
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        self.out(VcOutput::Send { to, msg });
+    }
+
+    fn multicast(&mut self, msg: Msg) {
+        for i in 0..self.vc_peers.len() {
+            let to = self.vc_peers[i];
+            self.out(VcOutput::Send {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.init.params.vc_quorum()
+    }
+
+    fn in_voting_hours(&self) -> bool {
+        !self.closed && self.init.params.in_voting_hours(self.now_ms)
+    }
+
+    // ----- durability ------------------------------------------------------
+
+    /// Emits one journal-append output (no-op for volatile cores — the
+    /// closure defers record construction, so they pay nothing on the
+    /// voting hot path). Durability is deferred to the group commit
+    /// ([`VcCore::persist`]).
+    fn jlog(&mut self, record: impl FnOnce() -> VcRecord) {
+        if self.durable {
+            let bytes = record().encode();
+            self.out(VcOutput::Journal(bytes));
+        }
+    }
+
+    /// Emits the commit barrier: everything journaled so far must be
+    /// durable before the outputs that follow become externally visible.
+    fn persist(&mut self) {
+        if self.durable {
+            self.out(VcOutput::Commit);
+        }
+    }
+
+    /// Completes receipts a crash interrupted: a replayed slot that is
+    /// `Pending` with a quorum of shares reconstructs immediately (the
+    /// live node would have done so before its next message).
+    fn finish_recovered_receipts(&mut self) {
+        let quorum = self.quorum();
+        let serials: Vec<SerialNo> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.status == Status::Pending && s.shares.len() >= quorum)
+            .map(|(serial, _)| *serial)
+            .collect();
+        for serial in serials {
+            // The slot was listed just above; a vanished entry would be a
+            // corrupt replay — skip it rather than abort the replica.
+            let Some(slot) = self.slots.get_mut(&serial) else {
+                continue;
+            };
+            if let Ok(secret) = DealerVss::reconstruct(&slot.shares, quorum) {
+                let receipt = secret.to_u64().unwrap_or(u64::MAX);
+                slot.receipt = Some(receipt);
+                slot.status = Status::Voted;
+                self.jlog(|| VcRecord::Voted { serial, receipt });
+            }
+        }
+        self.persist();
+    }
+
+    /// Power-cycles the node (the `CrashAmnesia` fault): every byte of
+    /// volatile state is dropped. For durable cores the driver then
+    /// crash-simulates the journal and replays it (the emitted
+    /// [`VcOutput::Recover`]); volatile nodes simply come back empty.
+    /// Volatile scratch (waiting clients, collected endorsements,
+    /// consensus buffers) is legitimately gone — voters retry, peers
+    /// re-drive.
+    fn crash_amnesia(&mut self) {
+        self.slots.clear();
+        self.verified_ucerts.clear();
+        self.announce_from.clear();
+        self.buffered_announces.clear();
+        self.consensus = None;
+        self.buffered_consensus.clear();
+        self.decision = None;
+        self.finalized = false;
+        self.phase = Phase::Voting;
+        if self.durable {
+            self.awaiting_recovery = true;
+            self.out(VcOutput::Recover);
+        } else {
+            self.finish_recovered_receipts();
+        }
+        // If the clock already passed `Tend` the end-of-voting check
+        // (post-recovery for durable cores, end of this step otherwise)
+        // re-enters the announce phase.
+    }
+
+    /// A replayed slot that lost a field its status implies is real
+    /// corruption; a live node must refuse the ballot rather than panic.
+    fn reject_corrupt_slot(
+        &mut self,
+        to: NodeId,
+        request_id: u64,
+        serial: SerialNo,
+        missing: &str,
+    ) {
+        eprintln!(
+            "vc-{}: corrupt slot {serial:?}: missing {missing}; refusing ballot",
+            self.init.node_index
+        );
+        self.reply(
+            to,
+            request_id,
+            serial,
+            VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
+        );
+    }
+
+    fn dispatch(&mut self, env: Envelope) {
+        if let Msg::Amnesia = env.msg {
+            // Only the fault injector's self-addressed envelope counts —
+            // a peer cannot remote-reboot this node.
+            if env.from == self.id() {
+                self.crash_amnesia();
+            }
+            return;
+        }
+        if self.behavior.is_crashed_at(self.votes_handled) {
+            return;
+        }
+        match env.msg {
+            Msg::Vote {
+                request_id,
+                serial,
+                vote_code,
+            } => {
+                self.votes_handled += 1;
+                self.on_vote(env.from, request_id, serial, vote_code);
+            }
+            Msg::Endorse { serial, vote_code } => self.on_endorse(env.from, serial, vote_code),
+            Msg::Endorsement {
+                serial,
+                vote_code,
+                signature,
+            } => self.on_endorsement(env.from, serial, vote_code, signature),
+            Msg::VoteP {
+                serial,
+                vote_code,
+                share,
+                ucert,
+            } => self.on_vote_p(env.from, serial, vote_code, share, ucert),
+            Msg::Announce { entries } => self.on_announce(env.from, entries),
+            Msg::RecoverRequest { serial } => self.on_recover_request(env.from, serial),
+            Msg::RecoverResponse {
+                serial,
+                vote_code,
+                ucert,
+            } => self.on_recover_response(serial, vote_code, ucert),
+            Msg::Consensus(cm) => self.on_consensus(env.from, cm),
+            // ClosePolls/Shutdown are driver-level control signals (the
+            // driver authenticates and translates them into typed
+            // inputs); everything else addressed to a VC node is noise.
+            Msg::VoteReply { .. }
+            | Msg::Rbc(_)
+            | Msg::Amnesia
+            | Msg::ClosePolls
+            | Msg::Shutdown
+            | Msg::Finalized(_)
+            | Msg::BbWrite { .. }
+            | Msg::BbWriteReply { .. }
+            | Msg::BbReadRequest { .. }
+            | Msg::BbReadResponse { .. } => {}
+        }
+    }
+
+    // ----- voting phase (Algorithm 1) -------------------------------------
+
+    fn reply(&mut self, to: NodeId, request_id: u64, serial: SerialNo, outcome: VoteOutcome) {
+        self.send(
+            to,
+            Msg::VoteReply {
+                request_id,
+                serial,
+                outcome,
+            },
+        );
+    }
+
+    fn on_vote(&mut self, from: NodeId, request_id: u64, serial: SerialNo, code: VoteCode) {
+        if !self.in_voting_hours() {
+            self.reply(
+                from,
+                request_id,
+                serial,
+                VoteOutcome::Rejected(RejectReason::OutsideVotingHours),
+            );
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else {
+            self.reply(
+                from,
+                request_id,
+                serial,
+                VoteOutcome::Rejected(RejectReason::UnknownSerial),
+            );
+            return;
+        };
+        let slot = self.slots.entry(serial).or_default();
+        match slot.status {
+            Status::Voted => {
+                // A `Voted` slot must carry its code and receipt; a slot
+                // corrupted in recovery refuses the ballot instead of
+                // panicking the node (the typed path a bad replay takes).
+                let Some((used_code, ..)) = slot.used else {
+                    self.reject_corrupt_slot(from, request_id, serial, "used code");
+                    return;
+                };
+                if used_code == code {
+                    let Some(receipt) = slot.receipt else {
+                        self.reject_corrupt_slot(from, request_id, serial, "receipt");
+                        return;
+                    };
+                    self.reply(from, request_id, serial, VoteOutcome::Receipt(receipt));
+                } else {
+                    self.reply(
+                        from,
+                        request_id,
+                        serial,
+                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                    );
+                }
+            }
+            Status::Pending => {
+                // Same typed handling on the recovery-adjacent path: a
+                // `Pending` slot without a code is corrupt, not a panic.
+                let Some((used_code, ..)) = slot.used else {
+                    self.reject_corrupt_slot(from, request_id, serial, "pending code");
+                    return;
+                };
+                if used_code == code {
+                    // Remember the client; reply when the receipt is ready.
+                    slot.waiting.push((from, request_id, code));
+                } else {
+                    self.reply(
+                        from,
+                        request_id,
+                        serial,
+                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                    );
+                }
+            }
+            Status::NotVoted => {
+                if let Some((active, ..)) = slot.used {
+                    // An endorsement round is already in flight for this
+                    // ballot (we are its responder).
+                    if active == code {
+                        slot.waiting.push((from, request_id, code));
+                    } else {
+                        self.reply(
+                            from,
+                            request_id,
+                            serial,
+                            VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                        );
+                    }
+                    return;
+                }
+                let Some((part, row)) = ballot.find_code(&code) else {
+                    self.reply(
+                        from,
+                        request_id,
+                        serial,
+                        VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
+                    );
+                    return;
+                };
+                // Become the responder: collect endorsements.
+                slot.used = Some((code, part, row));
+                slot.waiting.push((from, request_id, code));
+                slot.endorsements.clear();
+                // Our own endorsement (also blocks endorsing other codes).
+                let endorse_self = slot.my_endorsed.is_none();
+                if endorse_self {
+                    slot.my_endorsed = Some(code);
+                }
+                self.jlog(|| VcRecord::Used {
+                    serial,
+                    code,
+                    part,
+                    row: row as u32,
+                });
+                if endorse_self {
+                    let sig = self.init.signing_key.sign(&endorsement_message(
+                        &self.init.params.election_id,
+                        serial,
+                        &sha256(&code.0),
+                    ));
+                    // The slot entry above outlives the jlog call only via
+                    // a fresh lookup; a concurrently corrupted map would
+                    // drop the endorsement rather than abort the replica.
+                    if let Some(slot) = self.slots.get_mut(&serial) {
+                        slot.endorsements.push((self.init.node_index, sig));
+                    }
+                    self.jlog(|| VcRecord::Endorsed { serial, code });
+                }
+                // The endorsed/used state must be durable before peers can
+                // observe it through our ENDORSE multicast.
+                self.persist();
+                self.multicast(Msg::Endorse {
+                    serial,
+                    vote_code: code,
+                });
+                self.check_ucert_complete(serial);
+            }
+        }
+    }
+
+    fn on_endorse(&mut self, from: NodeId, serial: SerialNo, code: VoteCode) {
+        if from.kind != NodeKind::Vc || !self.in_voting_hours() {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
+        if ballot.find_code(&code).is_none() {
+            return;
+        }
+        let equivocal = self.behavior == VcBehavior::EquivocalEndorser;
+        let slot = self.slots.entry(serial).or_default();
+        let may_endorse = match slot.my_endorsed {
+            None => true,
+            Some(prev) => prev == code || equivocal,
+        };
+        if !may_endorse {
+            return;
+        }
+        slot.my_endorsed.get_or_insert(code);
+        self.jlog(|| VcRecord::Endorsed { serial, code });
+        let sig = self.init.signing_key.sign(&endorsement_message(
+            &self.init.params.election_id,
+            serial,
+            &sha256(&code.0),
+        ));
+        // The endorsement must be durable before it leaves the node: a
+        // restarted node must never sign a *different* code for this
+        // ballot (the receipt-uniqueness obligation).
+        self.persist();
+        self.send(
+            from,
+            Msg::Endorsement {
+                serial,
+                vote_code: code,
+                signature: sig,
+            },
+        );
+    }
+
+    fn on_endorsement(&mut self, from: NodeId, serial: SerialNo, code: VoteCode, sig: Signature) {
+        if from.kind != NodeKind::Vc {
+            return;
+        }
+        let sender = from.index;
+        let eid = self.init.params.election_id;
+        let Some(vk) = self.init.vc_keys.get(sender as usize).copied() else {
+            return;
+        };
+        let Some(slot) = self.slots.get_mut(&serial) else {
+            return;
+        };
+        // Only relevant while we are responder for exactly this code.
+        let Some((used_code, ..)) = slot.used else {
+            return;
+        };
+        if used_code != code || slot.status != Status::NotVoted {
+            return;
+        }
+        if slot.endorsements.iter().any(|(i, _)| *i == sender) {
+            return;
+        }
+        if !vk.verify(&endorsement_message(&eid, serial, &sha256(&code.0)), &sig) {
+            return;
+        }
+        slot.endorsements.push((sender, sig));
+        self.check_ucert_complete(serial);
+    }
+
+    /// Forms the UCERT once `Nv−fv` endorsements are in, then discloses our
+    /// receipt share (VOTE_P).
+    fn check_ucert_complete(&mut self, serial: SerialNo) {
+        let quorum = self.quorum();
+        let Some(slot) = self.slots.get_mut(&serial) else {
+            return;
+        };
+        if slot.status != Status::NotVoted || slot.ucert.is_some() {
+            return;
+        }
+        if slot.endorsements.len() < quorum {
+            return;
+        }
+        // A responder slot always carries its code; one that lost it is
+        // corrupt — refuse to certify rather than abort the replica.
+        let Some((code, part, row)) = slot.used else {
+            eprintln!(
+                "vc-{}: corrupt slot {serial:?}: responder without code; dropping UCERT",
+                self.init.node_index
+            );
+            return;
+        };
+        let ucert = Arc::new(UCert {
+            serial,
+            vote_code: code,
+            sigs: slot.endorsements.clone(),
+        });
+        self.verified_ucerts.insert(ucert.key_digest());
+        if let Some(slot) = self.slots.get_mut(&serial) {
+            slot.ucert = Some(ucert.clone());
+            slot.status = Status::Pending;
+        }
+        let ucert_rec = (*ucert).clone();
+        self.jlog(move || VcRecord::Certified {
+            serial,
+            ucert: ucert_rec,
+        });
+        self.jlog(|| VcRecord::Pending { serial });
+        self.disclose_share(serial, code, part, row, ucert);
+    }
+
+    /// Sends our VOTE_P (receipt share) for a ballot, marking it pending.
+    fn disclose_share(
+        &mut self,
+        serial: SerialNo,
+        code: VoteCode,
+        part: PartId,
+        row: usize,
+        ucert: Arc<UCert>,
+    ) {
+        if self.behavior == VcBehavior::WithholdShares {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
+        let mut share = ballot.parts[part.index()][row].receipt_share;
+        if self.behavior == VcBehavior::CorruptShares {
+            share.share.value += ddemos_crypto::field::Scalar::ONE;
+        }
+        {
+            let slot = self.slots.entry(serial).or_default();
+            if slot.my_share_sent {
+                return;
+            }
+            slot.my_share_sent = true;
+        }
+        self.jlog(|| VcRecord::ShareSent { serial });
+        // The UCERT and share-sent marker must be durable before the
+        // share is disclosed to peers.
+        self.persist();
+        self.multicast(Msg::VoteP {
+            serial,
+            vote_code: code,
+            share,
+            ucert,
+        });
+    }
+
+    fn verify_ucert(&mut self, ucert: &UCert) -> bool {
+        let digest = ucert.key_digest();
+        if self.verified_ucerts.contains(&digest) {
+            return true;
+        }
+        if ucert.verify(
+            &self.init.params.election_id,
+            &self.init.params,
+            &self.init.vc_keys,
+        ) {
+            self.verified_ucerts.insert(digest);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_vote_p(
+        &mut self,
+        from: NodeId,
+        serial: SerialNo,
+        code: VoteCode,
+        share: SignedShare,
+        ucert: Arc<UCert>,
+    ) {
+        if from.kind != NodeKind::Vc || !self.in_voting_hours() {
+            return;
+        }
+        if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
+        let Some((part, row)) = ballot.find_code(&code) else {
+            return;
+        };
+        // Verify the EA signature over the disclosed share.
+        let ctx = receipt_share_context(&self.init.params.election_id, serial, part, row);
+        if !DealerVss::verify(&self.init.ea_key, &ctx, &share) {
+            return;
+        }
+        let quorum = self.quorum();
+        let mut became_pending = false;
+        let mut certified_now = false;
+        let mut store_share = false;
+        {
+            let slot = self.slots.entry(serial).or_default();
+            match slot.status {
+                Status::NotVoted => {
+                    slot.status = Status::Pending;
+                    slot.used = Some((code, part, row));
+                    slot.ucert = Some(ucert.clone());
+                    became_pending = true;
+                }
+                Status::Pending | Status::Voted => {
+                    // An active slot must carry its code; a slot corrupted
+                    // in recovery drops the message instead of panicking.
+                    let Some((used_code, ..)) = slot.used else {
+                        eprintln!(
+                            "vc-{}: corrupt slot {serial:?}: active without code; dropping VOTE_P",
+                            self.init.node_index
+                        );
+                        return;
+                    };
+                    if used_code != code {
+                        // A valid UCERT for a different code cannot exist
+                        // alongside ours (quorum intersection); drop.
+                        return;
+                    }
+                    if slot.ucert.is_none() {
+                        slot.ucert = Some(ucert.clone());
+                        certified_now = true;
+                    }
+                }
+            }
+            if !slot
+                .shares
+                .iter()
+                .any(|s| s.share.index == share.share.index)
+            {
+                slot.shares.push(share);
+                store_share = true;
+            }
+        }
+        if became_pending {
+            let ucert_rec = (*ucert).clone();
+            self.jlog(|| VcRecord::Used {
+                serial,
+                code,
+                part,
+                row: row as u32,
+            });
+            self.jlog(move || VcRecord::Certified {
+                serial,
+                ucert: ucert_rec,
+            });
+            self.jlog(|| VcRecord::Pending { serial });
+        } else if certified_now {
+            let ucert_rec = (*ucert).clone();
+            self.jlog(move || VcRecord::Certified {
+                serial,
+                ucert: ucert_rec,
+            });
+        }
+        if store_share {
+            self.jlog(|| VcRecord::ShareStored { serial, share });
+        }
+        if became_pending {
+            self.disclose_share(serial, code, part, row, ucert);
+        }
+        // Reconstruct once enough shares are in. The slot was touched
+        // above; if it vanished the map is corrupt — drop the message.
+        let Some(slot) = self.slots.get_mut(&serial) else {
+            return;
+        };
+        if slot.status != Status::Voted && slot.shares.len() >= quorum {
+            if let Ok(secret) = DealerVss::reconstruct(&slot.shares, quorum) {
+                let receipt = secret.to_u64().unwrap_or(u64::MAX);
+                slot.receipt = Some(receipt);
+                slot.status = Status::Voted;
+                let waiting = std::mem::take(&mut slot.waiting);
+                self.jlog(|| VcRecord::Voted { serial, receipt });
+                // The receipt must be durable before any client sees it:
+                // re-issuing a *different* receipt after a crash is the
+                // exact safety violation durability exists to prevent.
+                self.persist();
+                for (client, request_id, wanted) in waiting {
+                    // Only waiters of the *winning* code get the receipt; a
+                    // racing different-code request lost the uniqueness race.
+                    let outcome = if wanted == code {
+                        VoteOutcome::Receipt(receipt)
+                    } else {
+                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode)
+                    };
+                    self.reply(client, request_id, serial, outcome);
+                }
+            }
+        }
+    }
+
+    // ----- vote-set consensus (§III-E end-of-election) ---------------------
+
+    fn begin_announce(&mut self) {
+        self.phase = Phase::Announce;
+        self.announce_at_ms = self.now_ms;
+        let entries: Vec<AnnounceEntry> = (0..self.store.num_ballots())
+            .map(|s| {
+                let serial = SerialNo(s);
+                let vote = self.slots.get(&serial).and_then(|slot| {
+                    let (code, ..) = slot.used?;
+                    let ucert = slot.ucert.clone()?;
+                    Some((code, ucert))
+                });
+                AnnounceEntry { serial, vote }
+            })
+            .collect();
+        self.multicast(Msg::Announce {
+            entries: Arc::new(entries),
+        });
+        // Serve the dispersals of peers whose polls closed before ours.
+        let buffered = std::mem::take(&mut self.buffered_announces);
+        for (from, entries) in buffered {
+            self.on_announce(from, entries);
+        }
+    }
+
+    fn on_announce(&mut self, from: NodeId, entries: Arc<Vec<AnnounceEntry>>) {
+        if from.kind != NodeKind::Vc {
+            return;
+        }
+        if self.phase == Phase::Voting {
+            // ANNOUNCE is multicast exactly once per peer; a node whose
+            // clock has not reached `Tend` yet must hold it, not drop it
+            // (at most one buffered dispersal per sender).
+            if !self.buffered_announces.iter().any(|(f, _)| *f == from) {
+                self.buffered_announces.push((from, entries));
+            }
+            return;
+        }
+        if !self.announce_from.insert(from.index) {
+            return;
+        }
+        for entry in entries.iter() {
+            let Some((code, ucert)) = &entry.vote else {
+                continue;
+            };
+            self.adopt_code(entry.serial, *code, ucert.clone());
+        }
+        if self.phase == Phase::Announce && self.announce_from.len() >= self.quorum() {
+            self.begin_consensus();
+        }
+    }
+
+    /// Adopts a (code, UCERT) learned from a peer for a ballot we had no
+    /// certified code for.
+    fn adopt_code(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
+        let known = self
+            .slots
+            .get(&serial)
+            .map(|s| s.ucert.is_some())
+            .unwrap_or(false);
+        if known {
+            return;
+        }
+        if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
+            return;
+        }
+        let Some(ballot) = self.store.get(serial) else {
+            return;
+        };
+        let Some((part, row)) = ballot.find_code(&code) else {
+            return;
+        };
+        let slot = self.slots.entry(serial).or_default();
+        slot.used = Some((code, part, row));
+        slot.ucert = Some(ucert.clone());
+        self.jlog(|| VcRecord::Used {
+            serial,
+            code,
+            part,
+            row: row as u32,
+        });
+        let ucert_rec = (*ucert).clone();
+        self.jlog(move || VcRecord::Certified {
+            serial,
+            ucert: ucert_rec,
+        });
+    }
+
+    fn begin_consensus(&mut self) {
+        self.phase = Phase::Consensus;
+        let invert = self.behavior == VcBehavior::ConsensusInverter;
+        let initial: Vec<bool> = (0..self.store.num_ballots())
+            .map(|s| {
+                let known = self
+                    .slots
+                    .get(&SerialNo(s))
+                    .map(|slot| slot.ucert.is_some())
+                    .unwrap_or(false);
+                known != invert
+            })
+            .collect();
+        let (bc, msgs) = BatchConsensus::new(
+            self.init.params.num_vc,
+            self.init.params.vc_faults(),
+            self.init.node_index,
+            initial,
+            self.beacon,
+        );
+        self.consensus = Some(bc);
+        for m in msgs {
+            self.multicast(Msg::Consensus(m));
+        }
+        let buffered = std::mem::take(&mut self.buffered_consensus);
+        for (from, cm) in buffered {
+            self.feed_consensus(from, cm);
+        }
+    }
+
+    fn on_consensus(&mut self, from: NodeId, cm: ConsensusMsg) {
+        if from.kind != NodeKind::Vc {
+            return;
+        }
+        if self.consensus.is_none() {
+            self.buffered_consensus.push((from.index, cm));
+            return;
+        }
+        self.feed_consensus(from.index, cm);
+    }
+
+    fn feed_consensus(&mut self, from: u32, cm: ConsensusMsg) {
+        let Some(bc) = self.consensus.as_mut() else {
+            return;
+        };
+        let outs = bc.handle(from, &cm);
+        for m in outs {
+            self.multicast(Msg::Consensus(m));
+        }
+        if self.decision.is_none() {
+            if let Some(decision) = self.consensus.as_ref().and_then(|b| b.decision()) {
+                self.decision = Some(decision);
+                self.begin_recover();
+            }
+        }
+    }
+
+    fn begin_recover(&mut self) {
+        self.phase = Phase::Recover;
+        // Entering recovery without a decision would be a driver bug; a
+        // replica drops into Done-less limbo rather than panicking.
+        let Some(decision) = self.decision.clone() else {
+            return;
+        };
+        let mut missing = Vec::new();
+        for (i, voted) in decision.iter().enumerate() {
+            if !voted {
+                continue;
+            }
+            let serial = SerialNo(i as u64);
+            let known = self
+                .slots
+                .get(&serial)
+                .map(|s| s.ucert.is_some())
+                .unwrap_or(false);
+            if !known {
+                missing.push(serial);
+            }
+        }
+        for serial in missing {
+            self.multicast(Msg::RecoverRequest { serial });
+        }
+        self.try_finalize();
+    }
+
+    fn on_recover_request(&mut self, from: NodeId, serial: SerialNo) {
+        if from.kind != NodeKind::Vc
+            || self.phase == Phase::Voting
+            || self.behavior == VcBehavior::ConsensusInverter
+        {
+            return;
+        }
+        let Some(slot) = self.slots.get(&serial) else {
+            return;
+        };
+        let (Some((code, ..)), Some(ucert)) = (slot.used, slot.ucert.clone()) else {
+            return;
+        };
+        self.send(
+            from,
+            Msg::RecoverResponse {
+                serial,
+                vote_code: code,
+                ucert,
+            },
+        );
+    }
+
+    fn on_recover_response(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
+        if self.phase != Phase::Recover {
+            return;
+        }
+        self.adopt_code(serial, code, ucert);
+        self.try_finalize();
+    }
+
+    fn try_finalize(&mut self) {
+        if self.phase != Phase::Recover {
+            return;
+        }
+        let Some(decision) = self.decision.as_ref() else {
+            return;
+        };
+        let mut set = VoteSet::default();
+        for (i, voted) in decision.iter().enumerate() {
+            if !voted {
+                continue;
+            }
+            let serial = SerialNo(i as u64);
+            let Some(slot) = self.slots.get(&serial) else {
+                return; // still waiting on RECOVER responses
+            };
+            match slot.used.map(|(c, ..)| c) {
+                Some(code) if slot.ucert.is_some() => {
+                    set.entries.insert(serial, code);
+                }
+                _ => return, // still waiting on RECOVER responses
+            }
+        }
+        let digest = set.digest();
+        let msg =
+            ddemos_protocol::initdata::voteset_message(&self.init.params.election_id, &digest);
+        let signature = self.init.signing_key.sign(&msg);
+        self.finalized = true;
+        self.jlog(|| VcRecord::Finalized);
+        // Durable before delivery: a recovered node must not release a
+        // second finalized set.
+        self.persist();
+        self.out(VcOutput::Deliver(FinalizedVoteSet {
+            node_index: self.init.node_index,
+            vote_set: set,
+            signature,
+            msk_share: self.init.msk_share,
+            announce_at_ms: self.announce_at_ms,
+            finalized_at_ms: self.now_ms,
+        }));
+        self.phase = Phase::Done;
+    }
+}

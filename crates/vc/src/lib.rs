@@ -8,8 +8,11 @@
 //! vote set via batched binary consensus with ANNOUNCE dispersal and
 //! RECOVER back-fill.
 //!
-//! * [`node`] — the per-node protocol engine (Algorithm 1 + vote-set
-//!   consensus), one thread per node.
+//! * [`core`] — the sans-I/O protocol engine ([`VcCore`]): Algorithm 1 +
+//!   vote-set consensus as a pure `step(input, now_ms) -> Vec<output>`
+//!   state machine, with no thread, socket, clock, or journal of its own.
+//! * [`node`] — the thin thread driver pumping a core against any
+//!   `ddemos_net::Transport` endpoint (one thread per node).
 //! * [`store`] — ballot stores: in-memory, PRF-derived (virtual 250M-ballot
 //!   elections), and the index-depth latency model for the disk experiment
 //!   (hierarchy and calibration documented in `DESIGN.md` at the workspace
@@ -19,15 +22,20 @@
 //! Clusters are normally stood up through the `ddemos-harness` facade
 //! (`ElectionBuilder`), which spawns the node threads, wires the stores
 //! via its `StoreKind` option, and drives vote-set consensus to
-//! [`FinalizedVoteSet`]s deterministically.
+//! [`FinalizedVoteSet`]s deterministically — or, for multi-process
+//! deployments, through `ddemos_harness::tcp`, which runs the same driver
+//! over real sockets.
 
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod core;
 mod durable;
 pub mod node;
 pub mod store;
 
 pub use behavior::VcBehavior;
-pub use node::{FinalizedVoteSet, VcHandle, VcNode, VcNodeConfig};
+pub use core::{StepTrace, TraceStep, VcCore, VcDurable, VcInput, VcOutput};
+pub use ddemos_protocol::posts::FinalizedVoteSet;
+pub use node::{DeliverTarget, VcHandle, VcNode, VcNodeConfig};
 pub use store::{BallotStore, FnStore, LatencyStore, MemoryStore, StorageModel, WalStore};

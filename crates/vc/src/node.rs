@@ -1,91 +1,66 @@
-//! The Vote Collector node: the voting protocol of Algorithm 1 and the
-//! election-end Vote Set Consensus of §III-E.
+//! The Vote Collector node *driver*: a thin thread loop that pumps a
+//! [`VcCore`] against a transport endpoint.
 //!
-//! Each node runs on its own thread, consuming authenticated messages from
-//! the simulated network. Nodes validate voter requests independently (no
-//! state machine replication — there is no total order across ballots) and
-//! process different ballots concurrently, exactly as the paper argues is
-//! the key to vote-collection throughput.
+//! All protocol logic lives in the sans-I/O [`crate::core`] module; this
+//! driver owns exactly the I/O the core refuses to: the transport
+//! endpoint, the node clock, the durable journal, the stop/close-polls
+//! flags, and the finalized-vote-set delivery channel. One iteration:
 //!
-//! Lifecycle:
+//! 1. translate the environment into a [`VcInput`] — a received envelope,
+//!    a poll-timer expiry (`Tick`), a latched close-polls flag, or an
+//!    authenticated `Msg::ClosePolls`/`Msg::Shutdown` control envelope;
+//! 2. `core.step(input, clock.now_ms())`;
+//! 3. execute the returned [`VcOutput`]s in order (sends, journal
+//!    appends, group commits, finalized-set delivery, amnesia recovery).
 //!
-//! 1. **Voting phase** (`start ≤ clock < Tend`): VOTE → ENDORSE →
-//!    ENDORSEMENT → UCERT → VOTE_P → receipt reconstruction → reply.
-//! 2. **Vote-set consensus** (clock ≥ `Tend`): batched ANNOUNCE dispersal,
-//!    one batched binary consensus over "is this ballot voted?", and the
-//!    RECOVER sub-protocol for decided-1 ballots with locally unknown
-//!    codes.
-//! 3. **Finalization**: the agreed vote set, signed, handed to the caller
-//!    for submission to every BB node.
+//! Because the driver is this thin, the same core runs unchanged over
+//! the in-process `SimNet` (every existing virtual-time, fault and
+//! durability behavior) and over `TcpTransport` with one replica per OS
+//! process (`ddemos_harness::tcp`).
 
-use crate::behavior::VcBehavior;
-use crate::durable::{BallotSlot, DurableView, Status, VcRecord};
+use crate::core::{StepTrace, VcCore, VcInput, VcOutput};
 use crate::store::BallotStore;
 use crossbeam_channel::Sender;
-use ddemos_consensus::BatchConsensus;
-use ddemos_crypto::schnorr::Signature;
-use ddemos_crypto::sha256::sha256;
-use ddemos_crypto::votecode::VoteCode;
-use ddemos_crypto::vss::{DealerVss, SignedShare};
-use ddemos_net::{Endpoint, Envelope};
+use ddemos_net::{DynEndpoint, TransportEndpoint};
 use ddemos_protocol::clock::NodeClock;
-use ddemos_protocol::initdata::{endorsement_message, receipt_share_context, VcInit};
-use ddemos_protocol::messages::{
-    AnnounceEntry, ConsensusMsg, Msg, RejectReason, UCert, VoteOutcome,
-};
-use ddemos_protocol::posts::VoteSet;
-use ddemos_protocol::{NodeId, NodeKind, PartId, SerialNo};
+use ddemos_protocol::initdata::VcInit;
+use ddemos_protocol::messages::Msg;
+use ddemos_protocol::posts::FinalizedVoteSet;
+use ddemos_protocol::{NodeId, NodeKind};
 use ddemos_storage::DynJournal;
-use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The signed vote set a node submits to the Bulletin Board subsystem.
-#[derive(Clone, Debug)]
-pub struct FinalizedVoteSet {
-    /// The submitting node's index.
-    pub node_index: u32,
-    /// The agreed set of voted ballots.
-    pub vote_set: VoteSet,
-    /// Signature over [`ddemos_protocol::initdata::voteset_message`].
-    pub signature: Signature,
-    /// This node's `msk` share (EA-signed), released to BB nodes at end.
-    pub msk_share: SignedShare,
-    /// Node-clock time (simulation ms) when this node entered the
-    /// ANNOUNCE phase. Stamped inside the simulation so vote-set-consensus
-    /// timing is deterministic under a virtual clock (a driver-side
-    /// wall-clock sample would race with still-running nodes).
-    pub announce_at_ms: u64,
-    /// Node-clock time (simulation ms) when this node finalized.
-    pub finalized_at_ms: u64,
+/// Where the driver delivers the core's finalized vote set.
+pub enum DeliverTarget {
+    /// The in-process harness channel.
+    Channel(Sender<FinalizedVoteSet>),
+    /// Send a [`Msg::Finalized`] envelope to each listed peer (the
+    /// multi-process coordinator).
+    Peers(Vec<NodeId>),
 }
 
 /// Runtime configuration of a node.
 #[derive(Clone, Debug)]
 pub struct VcNodeConfig {
     /// Behaviour profile (honest by default).
-    pub behavior: VcBehavior,
+    pub behavior: crate::behavior::VcBehavior,
     /// Event-loop poll granularity (clock checks between messages).
     pub poll: Duration,
+    /// Optional step-trace recorder (determinism tests).
+    pub trace: Option<StepTrace>,
 }
 
 impl Default for VcNodeConfig {
     fn default() -> Self {
         VcNodeConfig {
-            behavior: VcBehavior::Honest,
+            behavior: crate::behavior::VcBehavior::Honest,
             poll: Duration::from_millis(1),
+            trace: None,
         }
     }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Phase {
-    Voting,
-    Announce,
-    Consensus,
-    Recover,
-    Done,
 }
 
 /// Handle to a spawned VC node.
@@ -119,6 +94,15 @@ impl VcHandle {
     pub fn close_polls(&self) {
         self.force_end.store(true, Ordering::SeqCst);
     }
+
+    /// Waits for the node to exit on its own — a standalone replica
+    /// parks here until its driver receives an authenticated
+    /// `Msg::Shutdown` (or its transport disconnects).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl Drop for VcHandle {
@@ -130,34 +114,155 @@ impl Drop for VcHandle {
     }
 }
 
-/// The vote collector node state.
-pub struct VcNode<S> {
-    init: VcInit,
-    store: S,
-    endpoint: Endpoint,
+/// The driver state: a core plus everything I/O.
+struct VcDriver<S> {
+    core: VcCore<S>,
+    endpoint: DynEndpoint,
     clock: NodeClock,
-    config: VcNodeConfig,
-    beacon: u64,
-    result_tx: Sender<FinalizedVoteSet>,
-    slots: HashMap<SerialNo, BallotSlot>,
-    phase: Phase,
-    votes_handled: u64,
-    announce_at_ms: u64,
-    /// Durable journal (snapshot + WAL); `None` runs the node purely
-    /// in-memory, the pre-durability behaviour.
     journal: Option<DynJournal>,
-    /// Whether this node has delivered its finalized vote set (persisted,
-    /// so an amnesia recovery cannot deliver a second one).
-    finalized: bool,
-    /// Digests of already-verified UCERTs.
-    verified_ucerts: HashSet<[u8; 32]>,
-    announce_from: HashSet<u32>,
-    consensus: Option<BatchConsensus>,
-    buffered_consensus: Vec<(u32, ConsensusMsg)>,
-    decision: Option<Vec<bool>>,
-    vc_peers: Vec<NodeId>,
+    deliver: DeliverTarget,
+    trace: Option<StepTrace>,
     stop: Arc<AtomicBool>,
     force_end: Arc<AtomicBool>,
+    close_forwarded: bool,
+    timeout: Duration,
+}
+
+impl<S: BallotStore> VcDriver<S> {
+    fn run(&mut self) {
+        // Under a virtual clock this pins the node as an actor: virtual
+        // time cannot advance while this thread is processing a message,
+        // which is what makes event order a pure function of the seeds.
+        let _actor = self.endpoint.actor_guard();
+        // A journal that already holds state (the node restarted) is
+        // replayed before any message is served. Runs under the actor
+        // registration so charged disk latencies advance the clock.
+        self.recover();
+        let outs = self.core.start();
+        self.execute(outs);
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                self.step(VcInput::Shutdown);
+                return;
+            }
+            if !self.close_forwarded && self.force_end.load(Ordering::SeqCst) {
+                self.close_forwarded = true;
+                self.step(VcInput::ClosePolls);
+            }
+            let input = match self.endpoint.recv_timeout(self.timeout) {
+                Ok(env) => {
+                    // Control envelopes are a driver concern: authenticate
+                    // (only client/EA identities may steer a replica) and
+                    // translate into typed inputs.
+                    let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
+                    match env.msg {
+                        Msg::ClosePolls if control => VcInput::ClosePolls,
+                        Msg::Shutdown if control => {
+                            self.step(VcInput::Shutdown);
+                            return;
+                        }
+                        _ => VcInput::Deliver(env),
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => VcInput::Tick,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    self.step(VcInput::Shutdown);
+                    return;
+                }
+            };
+            self.step(input);
+        }
+    }
+
+    /// One core step: stamp the time, record the trace, execute outputs.
+    fn step(&mut self, input: VcInput) {
+        let now_ms = self.clock.now_ms();
+        let outs = match &self.trace {
+            Some(trace) => {
+                let outs = self.core.step(input.clone(), now_ms);
+                trace.record(&input, now_ms, &outs);
+                outs
+            }
+            None => self.core.step(input, now_ms),
+        };
+        self.execute(outs);
+    }
+
+    /// Replays the journal into the core (start-up and amnesia recovery).
+    fn recover(&mut self) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        if let Err(e) = journal.recover(&mut self.core.durable()) {
+            // The WAL truncated itself at the offending record, so the
+            // applied prefix and the log agree; continue from the prefix.
+            eprintln!("vc: journal replay stopped early ({e}); recovered the clean prefix");
+        }
+        let now_ms = self.clock.now_ms();
+        let outs = self.core.post_recovery(now_ms);
+        self.execute(outs);
+    }
+
+    /// Executes one batch of outputs, in order. Journal commits run
+    /// inline (durable-before-visible); the snapshot cadence runs once at
+    /// the end of the batch, when the core's state matches every appended
+    /// record.
+    fn execute(&mut self, outputs: Vec<VcOutput>) {
+        let mut committed = false;
+        for output in outputs {
+            match output {
+                VcOutput::Send { to, msg } => self.endpoint.send(to, msg),
+                VcOutput::SetTimer(d) => self.timeout = d,
+                VcOutput::Journal(bytes) => {
+                    if let Some(journal) = self.journal.as_mut() {
+                        if let Err(e) = journal.append(&bytes) {
+                            eprintln!("vc: journal append failed ({e}); continuing volatile");
+                        }
+                    }
+                }
+                VcOutput::Commit => {
+                    if let Some(journal) = self.journal.as_mut() {
+                        if let Err(e) = journal.commit() {
+                            eprintln!("vc: journal commit failed ({e})");
+                        } else {
+                            committed = true;
+                        }
+                    }
+                }
+                VcOutput::Deliver(finalized) => match &self.deliver {
+                    DeliverTarget::Channel(tx) => {
+                        let _ = tx.send(finalized);
+                    }
+                    DeliverTarget::Peers(peers) => {
+                        for peer in peers {
+                            self.endpoint.send(*peer, Msg::Finalized(finalized.clone()));
+                        }
+                    }
+                },
+                VcOutput::Recover => {
+                    if let Some(journal) = self.journal.as_mut() {
+                        if let Err(e) = journal.crash(0) {
+                            eprintln!("vc: journal crash simulation failed ({e})");
+                        }
+                    }
+                    self.recover();
+                }
+            }
+        }
+        if committed {
+            if let Some(journal) = self.journal.as_mut() {
+                if let Err(e) = journal.maybe_compact(&self.core.durable()) {
+                    eprintln!("vc: journal compaction failed ({e})");
+                }
+            }
+        }
+    }
+}
+
+/// The vote collector node: spawn functions producing a [`VcHandle`]
+/// around a [`VcCore`]-driving thread.
+pub struct VcNode<S> {
+    _store: PhantomData<S>,
 }
 
 impl<S: BallotStore + 'static> VcNode<S> {
@@ -166,7 +271,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
     pub fn spawn(
         init: VcInit,
         store: S,
-        endpoint: Endpoint,
+        endpoint: impl TransportEndpoint + 'static,
         clock: NodeClock,
         beacon: u64,
         config: VcNodeConfig,
@@ -187,11 +292,37 @@ impl<S: BallotStore + 'static> VcNode<S> {
     pub fn spawn_durable(
         init: VcInit,
         store: S,
-        endpoint: Endpoint,
+        endpoint: impl TransportEndpoint + 'static,
         clock: NodeClock,
         beacon: u64,
         config: VcNodeConfig,
         result_tx: Sender<FinalizedVoteSet>,
+        journal: Option<DynJournal>,
+    ) -> VcHandle {
+        Self::spawn_with(
+            init,
+            store,
+            Box::new(endpoint),
+            clock,
+            beacon,
+            config,
+            DeliverTarget::Channel(result_tx),
+            journal,
+        )
+    }
+
+    /// The fully general spawn: any transport endpoint, any delivery
+    /// target (multi-process replicas deliver as [`Msg::Finalized`]
+    /// envelopes to the coordinator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with(
+        init: VcInit,
+        store: S,
+        endpoint: DynEndpoint,
+        clock: NodeClock,
+        beacon: u64,
+        config: VcNodeConfig,
+        deliver: DeliverTarget,
         journal: Option<DynJournal>,
     ) -> VcHandle {
         let id = endpoint.id();
@@ -199,34 +330,32 @@ impl<S: BallotStore + 'static> VcNode<S> {
         let stop2 = stop.clone();
         let force_end = Arc::new(AtomicBool::new(false));
         let force_end2 = force_end.clone();
-        let vc_peers: Vec<NodeId> = (0..init.params.num_vc as u32).map(NodeId::vc).collect();
+        let node_index = init.node_index;
+        let poll = config.poll;
         let thread = std::thread::Builder::new()
-            .name(format!("vc-{}", init.node_index))
+            .name(format!("vc-{node_index}"))
             .spawn(move || {
-                let mut node = VcNode {
+                let core = VcCore::new(
                     init,
                     store,
+                    config.behavior,
+                    poll,
+                    beacon,
+                    journal.is_some(),
+                );
+                let mut driver = VcDriver {
+                    core,
                     endpoint,
                     clock,
-                    config,
-                    beacon,
-                    result_tx,
-                    slots: HashMap::new(),
-                    phase: Phase::Voting,
-                    votes_handled: 0,
-                    announce_at_ms: 0,
                     journal,
-                    finalized: false,
-                    verified_ucerts: HashSet::new(),
-                    announce_from: HashSet::new(),
-                    consensus: None,
-                    buffered_consensus: Vec::new(),
-                    decision: None,
-                    vc_peers,
+                    deliver,
+                    trace: config.trace,
                     stop: stop2,
                     force_end: force_end2,
+                    close_forwarded: false,
+                    timeout: poll,
                 };
-                node.run();
+                driver.run();
             })
             .expect("spawn vc node");
         VcHandle {
@@ -235,840 +364,5 @@ impl<S: BallotStore + 'static> VcNode<S> {
             force_end,
             thread: Some(thread),
         }
-    }
-
-    fn run(&mut self) {
-        // Under a virtual clock this pins the node as an actor: virtual
-        // time cannot advance while this thread is processing a message,
-        // which is what makes event order a pure function of the seeds.
-        let _actor = self.endpoint.actor_guard();
-        // A journal that already holds state (the node restarted) is
-        // replayed before any message is served. Runs under the actor
-        // registration so charged disk latencies advance the clock.
-        self.recover_from_journal();
-        loop {
-            if self.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            match self.endpoint.recv_timeout(self.config.poll) {
-                Ok(env) => self.dispatch(env),
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
-            }
-            let ended = self.force_end.load(Ordering::SeqCst)
-                || self.clock.now_ms() >= self.init.params.end_ms;
-            if self.phase == Phase::Voting && ended {
-                self.begin_announce();
-            }
-        }
-    }
-
-    fn quorum(&self) -> usize {
-        self.init.params.vc_quorum()
-    }
-
-    fn multicast(&self, msg: Msg) {
-        self.endpoint.send_many(self.vc_peers.iter(), msg);
-    }
-
-    fn in_voting_hours(&self) -> bool {
-        !self.force_end.load(Ordering::SeqCst)
-            && self.init.params.in_voting_hours(self.clock.now_ms())
-    }
-
-    // ----- durability ------------------------------------------------------
-
-    /// Appends one WAL record (no-op without a journal — the closure
-    /// defers record construction, so non-durable nodes pay nothing on
-    /// the voting hot path). Durability is deferred to the group commit
-    /// / [`VcNode::persist`].
-    fn jlog(journal: &mut Option<DynJournal>, record: impl FnOnce() -> VcRecord) {
-        if let Some(journal) = journal.as_mut() {
-            if let Err(e) = journal.append(&record().encode()) {
-                eprintln!("vc: journal append failed ({e}); continuing volatile");
-            }
-        }
-    }
-
-    /// Forces the journal's group commit and runs the snapshot cadence.
-    /// Called before every externally visible action (a reply, an
-    /// endorsement, a share disclosure) that depends on logged state.
-    fn persist(&mut self) {
-        let Some(journal) = self.journal.as_mut() else {
-            return;
-        };
-        if let Err(e) = journal.commit() {
-            eprintln!("vc: journal commit failed ({e})");
-            return;
-        }
-        let view = DurableView {
-            slots: &mut self.slots,
-            verified_ucerts: &mut self.verified_ucerts,
-            finalized: &mut self.finalized,
-        };
-        if let Err(e) = journal.maybe_compact(&view) {
-            eprintln!("vc: journal compaction failed ({e})");
-        }
-    }
-
-    /// Rebuilds the durable slot state from snapshot + WAL replay (no-op
-    /// without a journal or with an empty one).
-    fn recover_from_journal(&mut self) {
-        let Some(journal) = self.journal.as_mut() else {
-            return;
-        };
-        let mut view = DurableView {
-            slots: &mut self.slots,
-            verified_ucerts: &mut self.verified_ucerts,
-            finalized: &mut self.finalized,
-        };
-        if let Err(e) = journal.recover(&mut view) {
-            // The WAL truncated itself at the offending record, so the
-            // applied prefix and the log agree; continue from the prefix.
-            eprintln!("vc: journal replay stopped early ({e}); recovered the clean prefix");
-        }
-        if self.finalized {
-            self.phase = Phase::Done;
-        }
-        self.finish_recovered_receipts();
-    }
-
-    /// Completes receipts the crash interrupted: a replayed slot that is
-    /// `Pending` with a quorum of shares reconstructs immediately (the
-    /// live node would have done so before its next message).
-    fn finish_recovered_receipts(&mut self) {
-        let quorum = self.quorum();
-        let serials: Vec<SerialNo> = self
-            .slots
-            .iter()
-            .filter(|(_, s)| s.status == Status::Pending && s.shares.len() >= quorum)
-            .map(|(serial, _)| *serial)
-            .collect();
-        for serial in serials {
-            let slot = self.slots.get_mut(&serial).expect("listed slot exists");
-            if let Ok(secret) = DealerVss::reconstruct(&slot.shares, quorum) {
-                let receipt = secret.to_u64().unwrap_or(u64::MAX);
-                slot.receipt = Some(receipt);
-                slot.status = Status::Voted;
-                Self::jlog(&mut self.journal, || VcRecord::Voted { serial, receipt });
-            }
-        }
-        self.persist();
-    }
-
-    /// Power-cycles the node (the `CrashAmnesia` fault): every byte of
-    /// volatile state is dropped, unsynced WAL bytes are lost, and the
-    /// durable projection is rebuilt from snapshot + WAL replay. Volatile
-    /// scratch (waiting clients, collected endorsements, consensus
-    /// buffers) is legitimately gone — voters retry, peers re-drive.
-    fn crash_amnesia(&mut self) {
-        self.slots.clear();
-        self.verified_ucerts.clear();
-        self.announce_from.clear();
-        self.consensus = None;
-        self.buffered_consensus.clear();
-        self.decision = None;
-        self.finalized = false;
-        self.phase = Phase::Voting;
-        if let Some(journal) = self.journal.as_mut() {
-            if let Err(e) = journal.crash(0) {
-                eprintln!("vc: journal crash simulation failed ({e})");
-            }
-        }
-        self.recover_from_journal();
-        // If the clock already passed `Tend` the event loop re-enters the
-        // announce phase on its next iteration.
-    }
-
-    /// A replayed slot that lost a field its status implies is real
-    /// corruption; a live node must refuse the ballot rather than panic.
-    fn reject_corrupt_slot(&self, to: NodeId, request_id: u64, serial: SerialNo, missing: &str) {
-        eprintln!(
-            "vc-{}: corrupt slot {serial:?}: missing {missing}; refusing ballot",
-            self.init.node_index
-        );
-        self.reply(
-            to,
-            request_id,
-            serial,
-            VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
-        );
-    }
-
-    fn dispatch(&mut self, env: Envelope) {
-        if let Msg::Amnesia = env.msg {
-            // Only the fault injector's self-addressed envelope counts —
-            // a peer cannot remote-reboot this node.
-            if env.from == self.endpoint.id() {
-                self.crash_amnesia();
-            }
-            return;
-        }
-        if self.config.behavior.is_crashed_at(self.votes_handled) {
-            return;
-        }
-        match env.msg {
-            Msg::Vote {
-                request_id,
-                serial,
-                vote_code,
-            } => {
-                self.votes_handled += 1;
-                self.on_vote(env.from, request_id, serial, vote_code);
-            }
-            Msg::Endorse { serial, vote_code } => self.on_endorse(env.from, serial, vote_code),
-            Msg::Endorsement {
-                serial,
-                vote_code,
-                signature,
-            } => self.on_endorsement(env.from, serial, vote_code, signature),
-            Msg::VoteP {
-                serial,
-                vote_code,
-                share,
-                ucert,
-            } => self.on_vote_p(env.from, serial, vote_code, share, ucert),
-            Msg::Announce { entries } => self.on_announce(env.from, entries),
-            Msg::RecoverRequest { serial } => self.on_recover_request(env.from, serial),
-            Msg::RecoverResponse {
-                serial,
-                vote_code,
-                ucert,
-            } => self.on_recover_response(serial, vote_code, ucert),
-            Msg::Consensus(cm) => self.on_consensus(env.from, cm),
-            Msg::VoteReply { .. } | Msg::Rbc(_) | Msg::Amnesia => {}
-        }
-    }
-
-    // ----- voting phase (Algorithm 1) -------------------------------------
-
-    fn reply(&self, to: NodeId, request_id: u64, serial: SerialNo, outcome: VoteOutcome) {
-        self.endpoint.send(
-            to,
-            Msg::VoteReply {
-                request_id,
-                serial,
-                outcome,
-            },
-        );
-    }
-
-    fn on_vote(&mut self, from: NodeId, request_id: u64, serial: SerialNo, code: VoteCode) {
-        if !self.in_voting_hours() {
-            self.reply(
-                from,
-                request_id,
-                serial,
-                VoteOutcome::Rejected(RejectReason::OutsideVotingHours),
-            );
-            return;
-        }
-        let Some(ballot) = self.store.get(serial) else {
-            self.reply(
-                from,
-                request_id,
-                serial,
-                VoteOutcome::Rejected(RejectReason::UnknownSerial),
-            );
-            return;
-        };
-        let slot = self.slots.entry(serial).or_default();
-        match slot.status {
-            Status::Voted => {
-                // A `Voted` slot must carry its code and receipt; a slot
-                // corrupted in recovery refuses the ballot instead of
-                // panicking the node (the typed path a bad replay takes).
-                let Some((used_code, ..)) = slot.used else {
-                    self.reject_corrupt_slot(from, request_id, serial, "used code");
-                    return;
-                };
-                if used_code == code {
-                    let Some(receipt) = slot.receipt else {
-                        self.reject_corrupt_slot(from, request_id, serial, "receipt");
-                        return;
-                    };
-                    self.reply(from, request_id, serial, VoteOutcome::Receipt(receipt));
-                } else {
-                    self.reply(
-                        from,
-                        request_id,
-                        serial,
-                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
-                    );
-                }
-            }
-            Status::Pending => {
-                // Same typed handling on the recovery-adjacent path: a
-                // `Pending` slot without a code is corrupt, not a panic.
-                let Some((used_code, ..)) = slot.used else {
-                    self.reject_corrupt_slot(from, request_id, serial, "pending code");
-                    return;
-                };
-                if used_code == code {
-                    // Remember the client; reply when the receipt is ready.
-                    slot.waiting.push((from, request_id, code));
-                } else {
-                    self.reply(
-                        from,
-                        request_id,
-                        serial,
-                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
-                    );
-                }
-            }
-            Status::NotVoted => {
-                if let Some((active, ..)) = slot.used {
-                    // An endorsement round is already in flight for this
-                    // ballot (we are its responder).
-                    if active == code {
-                        slot.waiting.push((from, request_id, code));
-                    } else {
-                        self.reply(
-                            from,
-                            request_id,
-                            serial,
-                            VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
-                        );
-                    }
-                    return;
-                }
-                let Some((part, row)) = ballot.find_code(&code) else {
-                    self.reply(
-                        from,
-                        request_id,
-                        serial,
-                        VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
-                    );
-                    return;
-                };
-                // Become the responder: collect endorsements.
-                slot.used = Some((code, part, row));
-                slot.waiting.push((from, request_id, code));
-                slot.endorsements.clear();
-                Self::jlog(&mut self.journal, || VcRecord::Used {
-                    serial,
-                    code,
-                    part,
-                    row: row as u32,
-                });
-                let slot = self.slots.get_mut(&serial).expect("slot just created");
-                // Our own endorsement (also blocks endorsing other codes).
-                if slot.my_endorsed.is_none() {
-                    slot.my_endorsed = Some(code);
-                    let sig = self.init.signing_key.sign(&endorsement_message(
-                        &self.init.params.election_id,
-                        serial,
-                        &sha256(&code.0),
-                    ));
-                    slot.endorsements.push((self.init.node_index, sig));
-                    Self::jlog(&mut self.journal, || VcRecord::Endorsed { serial, code });
-                }
-                // The endorsed/used state must be durable before peers can
-                // observe it through our ENDORSE multicast.
-                self.persist();
-                self.multicast(Msg::Endorse {
-                    serial,
-                    vote_code: code,
-                });
-                self.check_ucert_complete(serial);
-            }
-        }
-    }
-
-    fn on_endorse(&mut self, from: NodeId, serial: SerialNo, code: VoteCode) {
-        if from.kind != NodeKind::Vc || !self.in_voting_hours() {
-            return;
-        }
-        let Some(ballot) = self.store.get(serial) else {
-            return;
-        };
-        if ballot.find_code(&code).is_none() {
-            return;
-        }
-        let slot = self.slots.entry(serial).or_default();
-        let may_endorse = match slot.my_endorsed {
-            None => true,
-            Some(prev) => prev == code || self.config.behavior == VcBehavior::EquivocalEndorser,
-        };
-        if !may_endorse {
-            return;
-        }
-        slot.my_endorsed.get_or_insert(code);
-        Self::jlog(&mut self.journal, || VcRecord::Endorsed { serial, code });
-        let sig = self.init.signing_key.sign(&endorsement_message(
-            &self.init.params.election_id,
-            serial,
-            &sha256(&code.0),
-        ));
-        // The endorsement must be durable before it leaves the node: a
-        // restarted node must never sign a *different* code for this
-        // ballot (the receipt-uniqueness obligation).
-        self.persist();
-        self.endpoint.send(
-            from,
-            Msg::Endorsement {
-                serial,
-                vote_code: code,
-                signature: sig,
-            },
-        );
-    }
-
-    fn on_endorsement(&mut self, from: NodeId, serial: SerialNo, code: VoteCode, sig: Signature) {
-        if from.kind != NodeKind::Vc {
-            return;
-        }
-        let sender = from.index;
-        let quorum = self.quorum();
-        let eid = self.init.params.election_id;
-        let Some(vk) = self.init.vc_keys.get(sender as usize).copied() else {
-            return;
-        };
-        let Some(slot) = self.slots.get_mut(&serial) else {
-            return;
-        };
-        // Only relevant while we are responder for exactly this code.
-        let Some((used_code, ..)) = slot.used else {
-            return;
-        };
-        if used_code != code || slot.status != Status::NotVoted {
-            return;
-        }
-        if slot.endorsements.iter().any(|(i, _)| *i == sender) {
-            return;
-        }
-        if !vk.verify(&endorsement_message(&eid, serial, &sha256(&code.0)), &sig) {
-            return;
-        }
-        slot.endorsements.push((sender, sig));
-        let _ = quorum;
-        self.check_ucert_complete(serial);
-    }
-
-    /// Forms the UCERT once `Nv−fv` endorsements are in, then discloses our
-    /// receipt share (VOTE_P).
-    fn check_ucert_complete(&mut self, serial: SerialNo) {
-        let quorum = self.quorum();
-        let Some(slot) = self.slots.get_mut(&serial) else {
-            return;
-        };
-        if slot.status != Status::NotVoted || slot.ucert.is_some() {
-            return;
-        }
-        if slot.endorsements.len() < quorum {
-            return;
-        }
-        let (code, part, row) = slot.used.expect("responder has code");
-        let ucert = Arc::new(UCert {
-            serial,
-            vote_code: code,
-            sigs: slot.endorsements.clone(),
-        });
-        self.verified_ucerts.insert(ucert.key_digest());
-        slot.ucert = Some(ucert.clone());
-        slot.status = Status::Pending;
-        Self::jlog(&mut self.journal, || VcRecord::Certified {
-            serial,
-            ucert: (*ucert).clone(),
-        });
-        Self::jlog(&mut self.journal, || VcRecord::Pending { serial });
-        self.disclose_share(serial, code, part, row, ucert);
-    }
-
-    /// Sends our VOTE_P (receipt share) for a ballot, marking it pending.
-    fn disclose_share(
-        &mut self,
-        serial: SerialNo,
-        code: VoteCode,
-        part: PartId,
-        row: usize,
-        ucert: Arc<UCert>,
-    ) {
-        if self.config.behavior == VcBehavior::WithholdShares {
-            return;
-        }
-        let Some(ballot) = self.store.get(serial) else {
-            return;
-        };
-        let mut share = ballot.parts[part.index()][row].receipt_share;
-        if self.config.behavior == VcBehavior::CorruptShares {
-            share.share.value += ddemos_crypto::field::Scalar::ONE;
-        }
-        {
-            let slot = self.slots.entry(serial).or_default();
-            if slot.my_share_sent {
-                return;
-            }
-            slot.my_share_sent = true;
-        }
-        Self::jlog(&mut self.journal, || VcRecord::ShareSent { serial });
-        // The UCERT and share-sent marker must be durable before the
-        // share is disclosed to peers.
-        self.persist();
-        self.multicast(Msg::VoteP {
-            serial,
-            vote_code: code,
-            share,
-            ucert,
-        });
-    }
-
-    fn verify_ucert(&mut self, ucert: &UCert) -> bool {
-        let digest = ucert.key_digest();
-        if self.verified_ucerts.contains(&digest) {
-            return true;
-        }
-        if ucert.verify(
-            &self.init.params.election_id,
-            &self.init.params,
-            &self.init.vc_keys,
-        ) {
-            self.verified_ucerts.insert(digest);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn on_vote_p(
-        &mut self,
-        from: NodeId,
-        serial: SerialNo,
-        code: VoteCode,
-        share: SignedShare,
-        ucert: Arc<UCert>,
-    ) {
-        if from.kind != NodeKind::Vc || !self.in_voting_hours() {
-            return;
-        }
-        if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
-            return;
-        }
-        let Some(ballot) = self.store.get(serial) else {
-            return;
-        };
-        let Some((part, row)) = ballot.find_code(&code) else {
-            return;
-        };
-        // Verify the EA signature over the disclosed share.
-        let ctx = receipt_share_context(&self.init.params.election_id, serial, part, row);
-        if !DealerVss::verify(&self.init.ea_key, &ctx, &share) {
-            return;
-        }
-        let quorum = self.quorum();
-        let mut became_pending = false;
-        {
-            let slot = self.slots.entry(serial).or_default();
-            match slot.status {
-                Status::NotVoted => {
-                    slot.status = Status::Pending;
-                    slot.used = Some((code, part, row));
-                    slot.ucert = Some(ucert.clone());
-                    became_pending = true;
-                    Self::jlog(&mut self.journal, || VcRecord::Used {
-                        serial,
-                        code,
-                        part,
-                        row: row as u32,
-                    });
-                    Self::jlog(&mut self.journal, || VcRecord::Certified {
-                        serial,
-                        ucert: (*ucert).clone(),
-                    });
-                    Self::jlog(&mut self.journal, || VcRecord::Pending { serial });
-                }
-                Status::Pending | Status::Voted => {
-                    // An active slot must carry its code; a slot corrupted
-                    // in recovery drops the message instead of panicking.
-                    let Some((used_code, ..)) = slot.used else {
-                        eprintln!(
-                            "vc-{}: corrupt slot {serial:?}: active without code; dropping VOTE_P",
-                            self.init.node_index
-                        );
-                        return;
-                    };
-                    if used_code != code {
-                        // A valid UCERT for a different code cannot exist
-                        // alongside ours (quorum intersection); drop.
-                        return;
-                    }
-                    if slot.ucert.is_none() {
-                        slot.ucert = Some(ucert.clone());
-                        Self::jlog(&mut self.journal, || VcRecord::Certified {
-                            serial,
-                            ucert: (*ucert).clone(),
-                        });
-                    }
-                }
-            }
-            let slot = self.slots.get_mut(&serial).expect("slot just touched");
-            if !slot
-                .shares
-                .iter()
-                .any(|s| s.share.index == share.share.index)
-            {
-                slot.shares.push(share);
-                Self::jlog(&mut self.journal, || VcRecord::ShareStored {
-                    serial,
-                    share,
-                });
-            }
-        }
-        if became_pending {
-            self.disclose_share(serial, code, part, row, ucert);
-        }
-        // Reconstruct once enough shares are in.
-        let slot = self.slots.get_mut(&serial).expect("slot exists");
-        if slot.status != Status::Voted && slot.shares.len() >= quorum {
-            if let Ok(secret) = DealerVss::reconstruct(&slot.shares, quorum) {
-                let receipt = secret.to_u64().unwrap_or(u64::MAX);
-                slot.receipt = Some(receipt);
-                slot.status = Status::Voted;
-                let waiting = std::mem::take(&mut slot.waiting);
-                Self::jlog(&mut self.journal, || VcRecord::Voted { serial, receipt });
-                // The receipt must be durable before any client sees it:
-                // re-issuing a *different* receipt after a crash is the
-                // exact safety violation durability exists to prevent.
-                self.persist();
-                for (client, request_id, wanted) in waiting {
-                    // Only waiters of the *winning* code get the receipt; a
-                    // racing different-code request lost the uniqueness race.
-                    let outcome = if wanted == code {
-                        VoteOutcome::Receipt(receipt)
-                    } else {
-                        VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode)
-                    };
-                    self.reply(client, request_id, serial, outcome);
-                }
-            }
-        }
-    }
-
-    // ----- vote-set consensus (§III-E end-of-election) ---------------------
-
-    fn begin_announce(&mut self) {
-        self.phase = Phase::Announce;
-        self.announce_at_ms = self.clock.now_ms();
-        let entries: Vec<AnnounceEntry> = (0..self.store.num_ballots())
-            .map(|s| {
-                let serial = SerialNo(s);
-                let vote = self.slots.get(&serial).and_then(|slot| {
-                    let (code, ..) = slot.used?;
-                    let ucert = slot.ucert.clone()?;
-                    Some((code, ucert))
-                });
-                AnnounceEntry { serial, vote }
-            })
-            .collect();
-        self.multicast(Msg::Announce {
-            entries: Arc::new(entries),
-        });
-    }
-
-    fn on_announce(&mut self, from: NodeId, entries: Arc<Vec<AnnounceEntry>>) {
-        if from.kind != NodeKind::Vc || self.phase == Phase::Voting {
-            return;
-        }
-        if !self.announce_from.insert(from.index) {
-            return;
-        }
-        for entry in entries.iter() {
-            let Some((code, ucert)) = &entry.vote else {
-                continue;
-            };
-            self.adopt_code(entry.serial, *code, ucert.clone());
-        }
-        if self.phase == Phase::Announce && self.announce_from.len() >= self.quorum() {
-            self.begin_consensus();
-        }
-    }
-
-    /// Adopts a (code, UCERT) learned from a peer for a ballot we had no
-    /// certified code for.
-    fn adopt_code(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
-        let known = self
-            .slots
-            .get(&serial)
-            .map(|s| s.ucert.is_some())
-            .unwrap_or(false);
-        if known {
-            return;
-        }
-        if ucert.serial != serial || ucert.vote_code != code || !self.verify_ucert(&ucert) {
-            return;
-        }
-        let Some(ballot) = self.store.get(serial) else {
-            return;
-        };
-        let Some((part, row)) = ballot.find_code(&code) else {
-            return;
-        };
-        let slot = self.slots.entry(serial).or_default();
-        slot.used = Some((code, part, row));
-        slot.ucert = Some(ucert.clone());
-        Self::jlog(&mut self.journal, || VcRecord::Used {
-            serial,
-            code,
-            part,
-            row: row as u32,
-        });
-        Self::jlog(&mut self.journal, || VcRecord::Certified {
-            serial,
-            ucert: (*ucert).clone(),
-        });
-    }
-
-    fn begin_consensus(&mut self) {
-        self.phase = Phase::Consensus;
-        let invert = self.config.behavior == VcBehavior::ConsensusInverter;
-        let initial: Vec<bool> = (0..self.store.num_ballots())
-            .map(|s| {
-                let known = self
-                    .slots
-                    .get(&SerialNo(s))
-                    .map(|slot| slot.ucert.is_some())
-                    .unwrap_or(false);
-                known != invert
-            })
-            .collect();
-        let (bc, msgs) = BatchConsensus::new(
-            self.init.params.num_vc,
-            self.init.params.vc_faults(),
-            self.init.node_index,
-            initial,
-            self.beacon,
-        );
-        self.consensus = Some(bc);
-        for m in msgs {
-            self.multicast(Msg::Consensus(m));
-        }
-        let buffered = std::mem::take(&mut self.buffered_consensus);
-        for (from, cm) in buffered {
-            self.feed_consensus(from, cm);
-        }
-    }
-
-    fn on_consensus(&mut self, from: NodeId, cm: ConsensusMsg) {
-        if from.kind != NodeKind::Vc {
-            return;
-        }
-        if self.consensus.is_none() {
-            self.buffered_consensus.push((from.index, cm));
-            return;
-        }
-        self.feed_consensus(from.index, cm);
-    }
-
-    fn feed_consensus(&mut self, from: u32, cm: ConsensusMsg) {
-        let Some(bc) = self.consensus.as_mut() else {
-            return;
-        };
-        let outs = bc.handle(from, &cm);
-        for m in outs {
-            self.multicast(Msg::Consensus(m));
-        }
-        if self.decision.is_none() {
-            if let Some(decision) = self.consensus.as_ref().and_then(|b| b.decision()) {
-                self.decision = Some(decision);
-                self.begin_recover();
-            }
-        }
-    }
-
-    fn begin_recover(&mut self) {
-        self.phase = Phase::Recover;
-        let decision = self.decision.clone().expect("decision set");
-        let mut missing = Vec::new();
-        for (i, voted) in decision.iter().enumerate() {
-            if !voted {
-                continue;
-            }
-            let serial = SerialNo(i as u64);
-            let known = self
-                .slots
-                .get(&serial)
-                .map(|s| s.ucert.is_some())
-                .unwrap_or(false);
-            if !known {
-                missing.push(serial);
-            }
-        }
-        for serial in missing {
-            self.multicast(Msg::RecoverRequest { serial });
-        }
-        self.try_finalize();
-    }
-
-    fn on_recover_request(&mut self, from: NodeId, serial: SerialNo) {
-        if from.kind != NodeKind::Vc
-            || self.phase == Phase::Voting
-            || self.config.behavior == VcBehavior::ConsensusInverter
-        {
-            return;
-        }
-        let Some(slot) = self.slots.get(&serial) else {
-            return;
-        };
-        let (Some((code, ..)), Some(ucert)) = (slot.used, slot.ucert.clone()) else {
-            return;
-        };
-        self.endpoint.send(
-            from,
-            Msg::RecoverResponse {
-                serial,
-                vote_code: code,
-                ucert,
-            },
-        );
-    }
-
-    fn on_recover_response(&mut self, serial: SerialNo, code: VoteCode, ucert: Arc<UCert>) {
-        if self.phase != Phase::Recover {
-            return;
-        }
-        self.adopt_code(serial, code, ucert);
-        self.try_finalize();
-    }
-
-    fn try_finalize(&mut self) {
-        if self.phase != Phase::Recover {
-            return;
-        }
-        let decision = self.decision.as_ref().expect("decided");
-        let mut set = VoteSet::default();
-        for (i, voted) in decision.iter().enumerate() {
-            if !voted {
-                continue;
-            }
-            let serial = SerialNo(i as u64);
-            match self
-                .slots
-                .get(&serial)
-                .and_then(|s| s.used.map(|(c, ..)| c))
-            {
-                Some(code) if self.slots[&serial].ucert.is_some() => {
-                    set.entries.insert(serial, code);
-                }
-                _ => return, // still waiting on RECOVER responses
-            }
-        }
-        let digest = set.digest();
-        let msg =
-            ddemos_protocol::initdata::voteset_message(&self.init.params.election_id, &digest);
-        let signature = self.init.signing_key.sign(&msg);
-        self.finalized = true;
-        Self::jlog(&mut self.journal, || VcRecord::Finalized);
-        // Durable before delivery: a recovered node must not release a
-        // second finalized set.
-        self.persist();
-        let _ = self.result_tx.send(FinalizedVoteSet {
-            node_index: self.init.node_index,
-            vote_set: set,
-            signature,
-            msk_share: self.init.msk_share,
-            announce_at_ms: self.announce_at_ms,
-            finalized_at_ms: self.clock.now_ms(),
-        });
-        self.phase = Phase::Done;
     }
 }

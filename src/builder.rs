@@ -1,9 +1,10 @@
 //! The typed entry point of the facade: [`ElectionBuilder`] and the
 //! [`StoreKind`] ballot-store selector.
 
-use crate::election::{Election, RunState};
+use crate::election::{Election, NetBackend, RunState};
 use crate::schedule::Schedule;
-use ddemos_bb::{BbNode, MajorityReader};
+use crate::tcp::{TcpBackend, TcpCluster};
+use ddemos_bb::{BbApi, BbNode, MajorityReader};
 use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
 use ddemos_net::{NetworkProfile, SimNet};
 use ddemos_protocol::ballot::Ballot;
@@ -16,8 +17,8 @@ use ddemos_storage::{
 };
 use ddemos_trustee::Trustee;
 use ddemos_vc::{
-    FnStore, LatencyStore, MemoryStore, StorageModel, VcBehavior, VcHandle, VcNode, VcNodeConfig,
-    WalStore,
+    FnStore, LatencyStore, MemoryStore, StepTrace, StorageModel, VcBehavior, VcHandle, VcNode,
+    VcNodeConfig, WalStore,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -98,6 +99,30 @@ impl Durability {
     }
 }
 
+/// Which transport carries the election's messages.
+///
+/// [`ElectionBuilder::network`] accepts either variant — or a bare
+/// [`NetworkProfile`], which converts into [`Network::Sim`], so every
+/// pre-existing `.network(NetworkProfile::lan())` call reads unchanged.
+#[derive(Clone, Debug)]
+pub enum Network {
+    /// The in-process simulated network with the given latency/loss
+    /// profile (fault injection, virtual time, deterministic replay).
+    Sim(NetworkProfile),
+    /// A real multi-process deployment over localhost/LAN TCP sockets:
+    /// the builder produces only the *coordinator*; each VC/BB replica
+    /// runs [`crate::tcp::run_vc_replica`] /
+    /// [`crate::tcp::run_bb_replica`] in its own process (see
+    /// `examples/tcp_cluster.rs`).
+    Tcp(TcpCluster),
+}
+
+impl From<NetworkProfile> for Network {
+    fn from(profile: NetworkProfile) -> Network {
+        Network::Sim(profile)
+    }
+}
+
 /// A setup corruption hook registered with
 /// [`ElectionBuilder::corrupt_setup`].
 type SetupCorruption = Box<dyn FnOnce(&mut SetupOutput)>;
@@ -118,6 +143,12 @@ pub enum BuildError {
     /// virtual store) requires [`SetupProfile::VcOnly`]: bulletin-board and
     /// trustee payloads cannot be partially dealt.
     PartialSetupRequiresVcOnly,
+    /// The named builder option only applies to the simulated network;
+    /// [`Network::Tcp`] replicas run in their own processes, outside the
+    /// builder's reach.
+    TcpUnsupported(&'static str),
+    /// Binding or connecting the coordinator's TCP transport failed.
+    Net(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -129,6 +160,10 @@ impl std::fmt::Display for BuildError {
             BuildError::PartialSetupRequiresVcOnly => {
                 write!(f, "partial materialization requires SetupProfile::VcOnly")
             }
+            BuildError::TcpUnsupported(what) => {
+                write!(f, "{what} is not available over Network::Tcp")
+            }
+            BuildError::Net(e) => write!(f, "tcp transport failed: {e}"),
         }
     }
 }
@@ -151,8 +186,9 @@ pub struct ElectionBuilder {
     params: ddemos_protocol::ElectionParams,
     seed: u64,
     profile: SetupProfile,
-    network: NetworkProfile,
+    network: Network,
     store: StoreKind,
+    traces: Vec<StepTrace>,
     behaviors: Vec<VcBehavior>,
     adversaries: Vec<(NodeId, VcBehavior)>,
     drifts_ms: Vec<i64>,
@@ -175,8 +211,9 @@ impl ElectionBuilder {
             params,
             seed: 0,
             profile: SetupProfile::Full,
-            network: NetworkProfile::lan(),
+            network: Network::Sim(NetworkProfile::lan()),
             store: StoreKind::Memory,
+            traces: Vec::new(),
             behaviors: Vec::new(),
             adversaries: Vec::new(),
             drifts_ms: Vec::new(),
@@ -307,10 +344,24 @@ impl ElectionBuilder {
         self
     }
 
-    /// Sets the network latency/loss profile.
+    /// Selects the transport: a simulated-network latency/loss profile
+    /// ([`NetworkProfile`] converts implicitly), or [`Network::Tcp`] for
+    /// a real multi-process deployment over sockets.
     #[must_use]
-    pub fn network(mut self, profile: NetworkProfile) -> Self {
-        self.network = profile;
+    pub fn network(mut self, network: impl Into<Network>) -> Self {
+        self.network = network.into();
+        self
+    }
+
+    /// Attaches step-trace recorders to VC nodes positionally (node 0,
+    /// 1, …): every `(input, now_ms, outputs)` triple of node `i`'s
+    /// sans-I/O core is recorded into `traces[i]`, byte-encoded — the
+    /// instrument `tests/determinism.rs` uses to prove core behavior is
+    /// driver-independent. Shorter vectors leave the remaining nodes
+    /// untraced.
+    #[must_use]
+    pub fn vc_traces(mut self, traces: impl IntoIterator<Item = StepTrace>) -> Self {
+        self.traces = traces.into_iter().collect();
         self
     }
 
@@ -397,6 +448,10 @@ impl ElectionBuilder {
     /// See [`BuildError`].
     pub fn build(self) -> Result<Election, BuildError> {
         self.params.validate()?;
+        if let Network::Tcp(cluster) = &self.network {
+            let cluster = cluster.clone();
+            return self.build_tcp(cluster);
+        }
         let num_vc = self.params.num_vc;
 
         // Merge positional and per-node behaviours / drifts. Over-length
@@ -418,6 +473,9 @@ impl ElectionBuilder {
             return Err(BuildError::BadNode(NodeId::vc(num_vc as u32)));
         }
         drifts.resize(num_vc, 0);
+        if self.traces.len() > num_vc {
+            return Err(BuildError::BadNode(NodeId::vc(num_vc as u32)));
+        }
         for (node, drift) in &self.node_drifts {
             if node.kind != NodeKind::Vc || node.index as usize >= num_vc {
                 return Err(BuildError::BadNode(*node));
@@ -481,6 +539,10 @@ impl ElectionBuilder {
         };
 
         let net_seed = self.seed ^ 0x4E45_5457_4F52_4B21;
+        let net_profile = match &self.network {
+            Network::Sim(profile) => profile.clone(),
+            Network::Tcp(_) => unreachable!("tcp handled above"),
+        };
         let (net, clock, driver) = if self.virtual_time {
             let vclock = VirtualClock::new();
             vclock.set_limit_ns(
@@ -490,18 +552,14 @@ impl ElectionBuilder {
                     .saturating_mul(NS_PER_MS),
             );
             let clock = GlobalClock::new_virtual(vclock.clone());
-            let net = SimNet::new_virtual(self.network.clone(), net_seed, vclock.clone());
+            let net = SimNet::new_virtual(net_profile, net_seed, vclock.clone());
             // Register the building thread as the driver actor *before*
             // any node spawns: virtual time cannot advance until the
             // driver blocks, so the start state is identical run to run.
             let driver = vclock.register_actor();
             (net, clock, Some(driver))
         } else {
-            (
-                SimNet::new(self.network.clone(), net_seed),
-                GlobalClock::new(),
-                None,
-            )
+            (SimNet::new(net_profile, net_seed), GlobalClock::new(), None)
         };
         // Scheduled SetDrift faults write through the registry in both
         // time modes (real-time drift experiments included).
@@ -555,6 +613,7 @@ impl ElectionBuilder {
                 } else {
                     VcNodeConfig::default().poll
                 },
+                trace: self.traces.get(i as usize).cloned(),
             };
             let node_clock = clock.node_clock_keyed(NodeId::vc(i).clock_key(), drifts[i as usize]);
             let beacon = setup.consensus_beacon;
@@ -647,7 +706,11 @@ impl ElectionBuilder {
                 bb.attach_journal(journal).map_err(storage_err)?;
             }
         }
-        let reader = MajorityReader::new(bb_nodes.clone()).with_clock(clock.clone());
+        let bb_apis: Vec<Arc<dyn BbApi>> = bb_nodes
+            .iter()
+            .map(|node| node.clone() as Arc<dyn BbApi>)
+            .collect();
+        let reader = MajorityReader::over(bb_apis.clone()).with_clock(clock.clone());
         let trustees: Vec<Trustee> = setup
             .trustee_inits
             .iter()
@@ -664,9 +727,10 @@ impl ElectionBuilder {
         };
         Ok(Election {
             setup,
-            net,
+            net: NetBackend::Sim(net),
             clock,
             bb_nodes,
+            bb_apis,
             reader,
             trustees,
             vc_handles,
@@ -683,6 +747,107 @@ impl ElectionBuilder {
             bb_amnesia,
             _driver: driver,
             _ea: ea,
+        })
+    }
+
+    /// The [`Network::Tcp`] build path: the coordinator of a
+    /// multi-process cluster. No node is spawned here — VC and BB
+    /// replicas are separate OS processes running
+    /// [`crate::tcp::run_vc_replica`] / [`crate::tcp::run_bb_replica`]
+    /// with the same `(params, seed)`; the builder derives the identical
+    /// setup (ballots for voters, BB init for the auditor, trustee
+    /// inits), binds the coordinator transport, and wires the phase
+    /// handles to remote clients.
+    fn build_tcp(self, cluster: TcpCluster) -> Result<Election, BuildError> {
+        // Options that configure in-process nodes or the simulated
+        // network cannot reach replicas living in other processes.
+        let unsupported: &[(&'static str, bool)] = &[
+            ("virtual time", self.virtual_time),
+            ("fault schedules", !self.schedule.events.is_empty()),
+            (
+                "durability control",
+                !matches!(self.durability, Durability::None),
+            ),
+            (
+                "vc_only / custom setup profiles",
+                self.profile != SetupProfile::Full,
+            ),
+            ("partial materialization", self.materialize_first.is_some()),
+            ("setup corruption", !self.corruptions.is_empty()),
+            (
+                "adversarial behaviors",
+                !self.behaviors.is_empty() || !self.adversaries.is_empty(),
+            ),
+            (
+                "clock drifts",
+                !self.drifts_ms.is_empty() || !self.node_drifts.is_empty(),
+            ),
+            (
+                "non-memory ballot stores",
+                !matches!(self.store, StoreKind::Memory),
+            ),
+            ("step traces", !self.traces.is_empty()),
+        ];
+        if let Some((what, _)) = unsupported.iter().find(|(_, set)| *set) {
+            return Err(BuildError::TcpUnsupported(what));
+        }
+        if cluster.vc_addrs.len() != self.params.num_vc
+            || cluster.bb_addrs.len() != self.params.num_bb
+        {
+            return Err(BuildError::TcpUnsupported(
+                "a cluster sized differently from the election parameters",
+            ));
+        }
+        let pool = match self.threads {
+            Some(n) => Pool::new(n),
+            None => Pool::from_env(),
+        };
+        let setup_started = std::time::Instant::now();
+        let ea = ElectionAuthority::new(self.params.clone(), self.seed);
+        let setup = ea.setup_with(SetupProfile::Full, &pool);
+        let setup_elapsed = setup_started.elapsed();
+        let backend = TcpBackend::connect(cluster).map_err(|e| BuildError::Net(e.to_string()))?;
+        let bb_apis = backend.bb_clients();
+        let reserved_clients = backend.reserved_clients();
+        let reader = MajorityReader::over(bb_apis.clone());
+        let trustees: Vec<Trustee> = setup
+            .trustee_inits
+            .iter()
+            .cloned()
+            .map(|init| Trustee::new(init).with_threads(pool.threads()))
+            .collect();
+        // The in-process result channel stays empty: finalized sets
+        // arrive as Msg::Finalized envelopes on the control endpoint.
+        let (_result_tx, result_rx) = crossbeam_channel::unbounded();
+        let run = RunState {
+            timings: crate::election::PhaseTimings {
+                setup: setup_elapsed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Ok(Election {
+            setup,
+            net: NetBackend::Tcp(backend),
+            clock: GlobalClock::new(),
+            bb_nodes: Vec::new(),
+            bb_apis,
+            reader,
+            trustees,
+            vc_handles: Vec::new(),
+            result_rx,
+            seed: self.seed,
+            store: self.store,
+            profile: self.profile,
+            threads: pool.threads(),
+            close_timeout: self.close_timeout.unwrap_or(Duration::from_secs(120)),
+            next_client: AtomicU32::new(reserved_clients),
+            cast_seq: AtomicU64::new(0),
+            run: Mutex::new(run),
+            close_lock: Mutex::new(()),
+            bb_amnesia: Arc::new(Mutex::new(BTreeSet::new())),
+            _driver: None,
+            _ea: None,
         })
     }
 }

@@ -2,13 +2,14 @@
 
 use crate::builder::StoreKind;
 use crate::report::{ElectionReport, NetReport};
+use crate::tcp::TcpBackend;
 use crate::workload::{Workload, WorkloadStats};
 use crossbeam_channel::Receiver;
 use ddemos::auditor::{AuditReport, Auditor};
 use ddemos::voter::{VoteError, VoteRecord, Voter};
-use ddemos_bb::{BbNode, BbSnapshot, MajorityReader};
+use ddemos_bb::{BbApi, BbNode, BbSnapshot, MajorityReader};
 use ddemos_ea::{ElectionAuthority, SetupOutput};
-use ddemos_net::{Endpoint, SimNet};
+use ddemos_net::{DynEndpoint, NetStats, SimNet, Transport};
 use ddemos_protocol::ballot::AuditInfo;
 use ddemos_protocol::clock::{ActorGuard, GlobalClock};
 use ddemos_protocol::posts::ElectionResult;
@@ -21,6 +22,38 @@ use rand::SeedableRng;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The transport behind a running election: the in-process simulated
+/// network, or the coordinator side of a multi-process TCP cluster.
+pub(crate) enum NetBackend {
+    /// In-process simulation (latency emulation, faults, virtual time).
+    Sim(SimNet),
+    /// Coordinator of remote replicas over TCP sockets.
+    Tcp(TcpBackend),
+}
+
+impl NetBackend {
+    fn stats(&self) -> &NetStats {
+        match self {
+            NetBackend::Sim(net) => net.stats(),
+            NetBackend::Tcp(backend) => backend.transport.stats(),
+        }
+    }
+
+    fn register(&self, id: NodeId) -> DynEndpoint {
+        match self {
+            NetBackend::Sim(net) => Transport::register(net, id),
+            NetBackend::Tcp(backend) => Transport::register(&backend.transport, id),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            NetBackend::Sim(net) => net.shutdown(),
+            NetBackend::Tcp(backend) => backend.shutdown(),
+        }
+    }
+}
 
 /// How long [`Election::close`] waits for a BB majority to hold the
 /// encrypted tally challenge after the VC→BB push.
@@ -105,9 +138,13 @@ pub struct Election {
     /// The EA's setup output (printed ballots retained for voters and
     /// auditors, exactly as the paper distributes them out of band).
     pub setup: SetupOutput,
-    pub(crate) net: SimNet,
+    pub(crate) net: NetBackend,
     pub(crate) clock: GlobalClock,
+    /// Local BB replicas (empty for a TCP coordinator — the replicas
+    /// live in other processes, reachable through [`Election::bb_apis`]).
     pub(crate) bb_nodes: Vec<Arc<BbNode>>,
+    /// Every BB replica as a write/read client, local or remote.
+    pub(crate) bb_apis: Vec<Arc<dyn BbApi>>,
     pub(crate) reader: MajorityReader,
     pub(crate) trustees: Vec<Trustee>,
     pub(crate) vc_handles: Vec<VcHandle>,
@@ -208,14 +245,30 @@ impl Election {
                 let mut pending = std::mem::take(&mut self.run.lock().drained);
                 let deadline = Instant::now() + self.close_timeout;
                 while pending.len() < quorum {
-                    let received = self.suspended(|| {
-                        deadline
-                            .checked_duration_since(Instant::now())
-                            .ok_or(())
-                            .and_then(|left| self.result_rx.recv_timeout(left).map_err(|_| ()))
-                    });
+                    let received = match &self.net {
+                        NetBackend::Sim(_) => self.suspended(|| {
+                            deadline
+                                .checked_duration_since(Instant::now())
+                                .ok_or(())
+                                .and_then(|left| self.result_rx.recv_timeout(left).map_err(|_| ()))
+                        }),
+                        // Remote VC replicas deliver their finalized sets
+                        // as Msg::Finalized envelopes on the control
+                        // endpoint.
+                        NetBackend::Tcp(backend) => {
+                            backend.recv_finalized(deadline).map_err(|_| ())
+                        }
+                    };
                     match received {
-                        Ok(finalized) => pending.push(finalized),
+                        // The in-process channel delivers once per node;
+                        // a real transport can duplicate (reconnect
+                        // re-sends, a restarted volatile replica). The
+                        // quorum must count distinct nodes.
+                        Ok(finalized) => {
+                            if !pending.iter().any(|f| f.node_index == finalized.node_index) {
+                                pending.push(finalized);
+                            }
+                        }
                         Err(()) => {
                             self.run.lock().drained = pending;
                             return Err(ElectionError::VoteSetTimeout);
@@ -302,7 +355,7 @@ impl Election {
                 .produce_post(&snapshot)
                 .map_err(ElectionError::Trustee)?;
             let post = Arc::new(post);
-            for bb in &self.bb_nodes {
+            for bb in &self.bb_apis {
                 let _ = bb.submit_trustee_post(post.clone(), &sig);
             }
         }
@@ -411,8 +464,17 @@ impl Election {
     }
 
     /// The simulated network (fault injection: crash, partition, profile).
+    ///
+    /// # Panics
+    /// Panics for [`crate::Network::Tcp`] elections — real replicas are
+    /// separate processes with no in-process fault hooks.
     pub fn network(&self) -> &SimNet {
-        &self.net
+        match &self.net {
+            NetBackend::Sim(net) => net,
+            NetBackend::Tcp(_) => {
+                panic!("the simulated network is only available for Network::Sim elections")
+            }
+        }
     }
 
     /// The global reference clock.
@@ -477,8 +539,9 @@ impl Election {
         }
     }
 
-    /// Registers a fresh client (voter terminal) endpoint.
-    pub fn client_endpoint(&self) -> Endpoint {
+    /// Registers a fresh client (voter terminal) endpoint on whichever
+    /// transport the election runs over.
+    pub fn client_endpoint(&self) -> DynEndpoint {
         self.net.register(NodeId::client(self.alloc_clients(1)))
     }
 
@@ -493,6 +556,9 @@ impl Election {
     pub fn close_polls(&self) {
         for handle in &self.vc_handles {
             handle.close_polls();
+        }
+        if let NetBackend::Tcp(backend) = &self.net {
+            backend.close_polls();
         }
     }
 
@@ -533,7 +599,7 @@ impl Election {
     pub fn push_to_bb(&self, finalized: &[FinalizedVoteSet]) {
         self.service_bb_amnesia();
         for f in finalized {
-            for bb in &self.bb_nodes {
+            for bb in &self.bb_apis {
                 let _ = bb.submit_vote_set(f.node_index, &f.vote_set, &f.signature);
                 let _ = bb.submit_msk_share(&f.msk_share);
             }
@@ -610,7 +676,7 @@ impl VotingPhase<'_> {
         let t0 = election.clock.now_ns();
         let mut voter = Voter::new(
             ballot,
-            &endpoint,
+            endpoint.as_ref(),
             election.setup.params.num_vc,
             self.patience,
             rng,
@@ -637,9 +703,12 @@ impl VotingPhase<'_> {
     /// themselves — receipt checks happen inline in each client thread.
     pub fn run(&self, workload: &Workload) -> WorkloadStats {
         let election = self.election;
+        let NetBackend::Sim(net) = &election.net else {
+            panic!("bulk workloads require the simulated network (Network::Sim)")
+        };
         let first_client = election.alloc_clients(workload.concurrency as u32);
         let stats = workload.run(
-            &election.net,
+            net,
             &election.setup.params,
             &election.setup.ballots,
             first_client,

@@ -65,9 +65,10 @@ pub mod election;
 pub mod report;
 pub mod scenario;
 pub mod schedule;
+pub mod tcp;
 pub mod workload;
 
-pub use builder::{BuildError, Durability, ElectionBuilder, StoreKind};
+pub use builder::{BuildError, Durability, ElectionBuilder, Network, StoreKind};
 pub use election::{Election, ElectionError, PhaseTimings, VotingPhase};
 pub use report::{ElectionReport, NetReport};
 pub use scenario::{
@@ -82,7 +83,10 @@ pub use ddemos::auditor::{verify_vote_included, AuditReport, Auditor};
 pub use ddemos::liveness::LivenessParams;
 pub use ddemos::voter::{VoteError, VoteRecord, Voter};
 pub use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
-pub use ddemos_net::{NetFault, NetworkProfile};
+pub use ddemos_net::{
+    DynEndpoint, NetFault, NetworkProfile, TcpConfig, TcpTransport, Transport, TransportEndpoint,
+};
 pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
 pub use ddemos_storage::{DiskProfile, FileDisk, SimDisk};
-pub use ddemos_vc::{StorageModel, VcBehavior};
+pub use ddemos_vc::{StepTrace, StorageModel, VcBehavior};
+pub use tcp::{run_bb_replica, run_vc_replica, TcpCluster, COORDINATOR};

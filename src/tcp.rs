@@ -1,0 +1,411 @@
+//! Multi-process elections over TCP sockets.
+//!
+//! The paper's prototype runs every VC and BB replica as its own
+//! networked process (§V). This module is that deployment shape for the
+//! reproduction: a [`TcpCluster`] names the listen address of every
+//! replica plus the election coordinator, [`run_vc_replica`] /
+//! [`run_bb_replica`] are the blocking replica mains (each derives its
+//! own initialization data from the shared `(params, seed)` — EA setup is
+//! deterministic, standing in for the paper's out-of-band dealing), and
+//! `ElectionBuilder::network(Network::Tcp(cluster))` builds an
+//! [`crate::Election`] whose phase handles drive the remote cluster:
+//! voters cast over sockets, `close()` collects `Msg::Finalized`
+//! envelopes and relays the vote sets to every BB replica, `tally()`
+//! and `audit()` run against a majority read of `Msg::BbReadResponse`s.
+//!
+//! The replicas run the *same* sans-I/O cores (`VcCore`, `BbCore`) as the
+//! in-process simulation — only the driver differs — which is what makes
+//! the same-seed TCP and in-process runs produce identical tallies,
+//! receipts, and audit verdicts (`examples/tcp_cluster.rs` asserts
+//! exactly that across OS processes).
+
+use crate::election::ElectionError;
+use ddemos_bb::{codec as bb_codec, BbApi, BbNode, BbSnapshot, WriteError};
+use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::vss::SignedShare;
+use ddemos_ea::{ElectionAuthority, SetupProfile};
+use ddemos_net::tcp::{TcpConfig, TcpTransport};
+use ddemos_net::{DynEndpoint, Transport};
+use ddemos_protocol::clock::GlobalClock;
+use ddemos_protocol::exec::Pool;
+use ddemos_protocol::messages::{BbWriteMsg, Msg};
+use ddemos_protocol::posts::{FinalizedVoteSet, TrusteePost, VoteSet};
+use ddemos_protocol::{ElectionParams, NodeId, NodeKind};
+use ddemos_vc::{DeliverTarget, MemoryStore, VcNode, VcNodeConfig};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The election coordinator's well-known identity (`C0`): the endpoint
+/// VC replicas deliver their [`Msg::Finalized`] sets to, and the source
+/// of the `ClosePolls`/`Shutdown` control envelopes replicas accept.
+pub const COORDINATOR: NodeId = NodeId {
+    kind: NodeKind::Client,
+    index: 0,
+};
+
+/// Per-request timeout of remote BB reads and writes.
+const BB_REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Addresses of every process in a TCP deployment.
+#[derive(Clone, Debug)]
+pub struct TcpCluster {
+    /// VC replica listen addresses, indexed by node.
+    pub vc_addrs: Vec<SocketAddr>,
+    /// BB replica listen addresses, indexed by node.
+    pub bb_addrs: Vec<SocketAddr>,
+    /// The coordinator's listen address (VC replicas connect here to
+    /// deliver finalized vote sets).
+    pub coordinator: SocketAddr,
+}
+
+impl TcpCluster {
+    /// A localhost cluster on consecutive ports starting at `base_port`:
+    /// VC `i` at `base_port + i`, BB `j` after the VCs, the coordinator
+    /// last.
+    pub fn localhost(base_port: u16, num_vc: usize, num_bb: usize) -> TcpCluster {
+        let addr = |offset: u16| SocketAddr::from(([127, 0, 0, 1], base_port + offset));
+        TcpCluster {
+            vc_addrs: (0..num_vc as u16).map(addr).collect(),
+            bb_addrs: (0..num_bb as u16)
+                .map(|j| addr(num_vc as u16 + j))
+                .collect(),
+            coordinator: addr((num_vc + num_bb) as u16),
+        }
+    }
+
+    /// A localhost cluster on OS-assigned free ports: each port is
+    /// probed by binding a throwaway listener. The ports are released
+    /// again before this returns, so a race with another process is
+    /// possible but unlikely — good enough for tests and demos.
+    ///
+    /// # Errors
+    /// I/O errors probing for free ports.
+    pub fn localhost_free(num_vc: usize, num_bb: usize) -> std::io::Result<TcpCluster> {
+        let mut probes = Vec::with_capacity(num_vc + num_bb + 1);
+        let mut addrs = Vec::with_capacity(num_vc + num_bb + 1);
+        for _ in 0..num_vc + num_bb + 1 {
+            let probe = std::net::TcpListener::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
+            addrs.push(probe.local_addr()?);
+            probes.push(probe);
+        }
+        drop(probes);
+        let bb_start = num_vc;
+        Ok(TcpCluster {
+            vc_addrs: addrs[..num_vc].to_vec(),
+            bb_addrs: addrs[bb_start..bb_start + num_bb].to_vec(),
+            coordinator: addrs[num_vc + num_bb],
+        })
+    }
+
+    /// The static peer table of one replica: every *other* replica plus
+    /// the coordinator.
+    pub fn replica_peers(&self, me: NodeId) -> Vec<(NodeId, SocketAddr)> {
+        let mut peers = self.all_replicas();
+        peers.retain(|(id, _)| *id != me);
+        peers.push((COORDINATOR, self.coordinator));
+        peers
+    }
+
+    /// The coordinator's static peer table: every replica.
+    pub fn coordinator_peers(&self) -> Vec<(NodeId, SocketAddr)> {
+        self.all_replicas()
+    }
+
+    fn all_replicas(&self) -> Vec<(NodeId, SocketAddr)> {
+        let mut peers = Vec::with_capacity(self.vc_addrs.len() + self.bb_addrs.len());
+        for (i, addr) in self.vc_addrs.iter().enumerate() {
+            peers.push((NodeId::vc(i as u32), *addr));
+        }
+        for (j, addr) in self.bb_addrs.iter().enumerate() {
+            peers.push((NodeId::bb(j as u32), *addr));
+        }
+        peers
+    }
+}
+
+/// Derives the full deterministic setup every process shares. EA setup is
+/// a pure function of `(params, seed)` and independent of the worker
+/// count, so each process dealing its *own* initialization data is
+/// equivalent to the paper's out-of-band distribution.
+fn derive_setup(params: &ElectionParams, seed: u64) -> ddemos_ea::SetupOutput {
+    let pool = Pool::from_env();
+    ElectionAuthority::new(params.clone(), seed).setup_with(SetupProfile::Full, &pool)
+}
+
+/// Runs one VC replica to completion: derives its initialization data,
+/// binds its listener, serves the full protocol (voting, vote-set
+/// consensus, finalized-set delivery to the coordinator), and returns
+/// when the coordinator sends `Msg::Shutdown`.
+///
+/// # Errors
+/// I/O errors binding the replica's listen address.
+pub fn run_vc_replica(
+    params: &ElectionParams,
+    seed: u64,
+    index: u32,
+    cluster: &TcpCluster,
+) -> std::io::Result<()> {
+    let mut setup = derive_setup(params, seed);
+    let mut init = setup.vc_inits.swap_remove(index as usize);
+    let rows = std::mem::take(&mut init.ballots);
+    let store = MemoryStore::new(rows, params.num_ballots);
+    let me = NodeId::vc(index);
+    let transport = TcpTransport::bind(TcpConfig::new(
+        cluster.vc_addrs[index as usize],
+        cluster.replica_peers(me),
+    ))?;
+    let endpoint: DynEndpoint = Transport::register(&transport, me);
+    let clock = GlobalClock::new();
+    let handle = VcNode::spawn_with(
+        init,
+        store,
+        endpoint,
+        clock.node_clock_keyed(me.clock_key(), 0),
+        setup.consensus_beacon,
+        VcNodeConfig::default(),
+        DeliverTarget::Peers(vec![COORDINATOR]),
+        None,
+    );
+    handle.join();
+    transport.shutdown();
+    Ok(())
+}
+
+/// Runs one BB replica to completion: a request/response loop over
+/// `Msg::BbWrite` / `Msg::BbReadRequest` envelopes against a [`BbNode`],
+/// until the coordinator sends `Msg::Shutdown`.
+///
+/// # Errors
+/// I/O errors binding the replica's listen address.
+pub fn run_bb_replica(
+    params: &ElectionParams,
+    seed: u64,
+    index: u32,
+    cluster: &TcpCluster,
+) -> std::io::Result<()> {
+    let setup = derive_setup(params, seed);
+    let node = BbNode::new(setup.bb_init);
+    let me = NodeId::bb(index);
+    let transport = TcpTransport::bind(TcpConfig::new(
+        cluster.bb_addrs[index as usize],
+        cluster.replica_peers(me),
+    ))?;
+    let endpoint = Transport::register(&transport, me);
+    while let Ok(env) = endpoint.recv() {
+        let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
+        match env.msg {
+            Msg::BbWrite { request_id, write } => {
+                let outcome = node.handle_write(write);
+                endpoint.send(
+                    env.from,
+                    Msg::BbWriteReply {
+                        request_id,
+                        outcome,
+                    },
+                );
+            }
+            Msg::BbReadRequest { request_id } => {
+                let snapshot = Arc::new(bb_codec::encode_snapshot(&node.read()));
+                endpoint.send(
+                    env.from,
+                    Msg::BbReadResponse {
+                        request_id,
+                        snapshot,
+                    },
+                );
+            }
+            Msg::Shutdown if control => break,
+            _ => {}
+        }
+    }
+    transport.shutdown();
+    Ok(())
+}
+
+/// A [`BbApi`] client for one remote BB replica: request/response
+/// envelopes with correlation ids over a dedicated coordinator endpoint.
+/// Timeouts surface as `None` / [`WriteError::Unavailable`] — the
+/// majority reader outvotes an unreachable replica like any divergent
+/// one.
+pub struct RemoteBb {
+    endpoint: Mutex<DynEndpoint>,
+    target: NodeId,
+    timeout: Duration,
+    next_request: AtomicU64,
+}
+
+impl RemoteBb {
+    /// Wraps a dedicated endpoint speaking to `target`.
+    pub fn new(endpoint: DynEndpoint, target: NodeId) -> RemoteBb {
+        RemoteBb {
+            endpoint: Mutex::new(endpoint),
+            target,
+            timeout: BB_REQUEST_TIMEOUT,
+            next_request: AtomicU64::new(1),
+        }
+    }
+
+    /// Sends one request and waits for the reply carrying the same
+    /// correlation id (stale replies from timed-out requests are
+    /// discarded).
+    fn request(&self, make: impl FnOnce(u64) -> Msg) -> Option<Msg> {
+        let request_id = self.next_request.fetch_add(1, Ordering::SeqCst);
+        let endpoint = self.endpoint.lock();
+        endpoint.send(self.target, make(request_id));
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let env = endpoint.recv_timeout(remaining).ok()?;
+            let rid = match &env.msg {
+                Msg::BbWriteReply { request_id, .. } => *request_id,
+                Msg::BbReadResponse { request_id, .. } => *request_id,
+                _ => continue,
+            };
+            if rid == request_id {
+                return Some(env.msg);
+            }
+        }
+    }
+
+    fn write(&self, write: BbWriteMsg) -> Result<(), WriteError> {
+        match self.request(|request_id| Msg::BbWrite { request_id, write }) {
+            Some(Msg::BbWriteReply { outcome, .. }) => ddemos_bb::core::outcome_to_result(outcome),
+            _ => Err(WriteError::Unavailable),
+        }
+    }
+}
+
+impl BbApi for RemoteBb {
+    fn read(&self) -> Option<BbSnapshot> {
+        match self.request(|request_id| Msg::BbReadRequest { request_id }) {
+            Some(Msg::BbReadResponse { snapshot, .. }) => bb_codec::decode_snapshot(&snapshot).ok(),
+            _ => None,
+        }
+    }
+
+    fn submit_vote_set(
+        &self,
+        from_vc: u32,
+        set: &VoteSet,
+        sig: &Signature,
+    ) -> Result<(), WriteError> {
+        self.write(BbWriteMsg::VoteSet {
+            from_vc,
+            set: set.clone(),
+            sig: *sig,
+        })
+    }
+
+    fn submit_msk_share(&self, share: &SignedShare) -> Result<(), WriteError> {
+        self.write(BbWriteMsg::MskShare { share: *share })
+    }
+
+    fn submit_trustee_post(
+        &self,
+        post: Arc<TrusteePost>,
+        sig: &Signature,
+    ) -> Result<(), WriteError> {
+        self.write(BbWriteMsg::TrusteePost { post, sig: *sig })
+    }
+}
+
+/// The coordinator's connection to a remote cluster (held by
+/// [`crate::Election`] in TCP mode).
+pub(crate) struct TcpBackend {
+    pub(crate) transport: TcpTransport,
+    pub(crate) cluster: TcpCluster,
+    /// The `C0` control endpoint: receives [`Msg::Finalized`], sends
+    /// `ClosePolls`/`Shutdown`.
+    pub(crate) control: Mutex<DynEndpoint>,
+    /// Guards [`TcpBackend::shutdown`] (an explicit `Election::shutdown`
+    /// is followed by the `Drop` path).
+    down: std::sync::atomic::AtomicBool,
+}
+
+impl TcpBackend {
+    /// Binds the coordinator transport and registers the control
+    /// endpoint.
+    pub(crate) fn connect(cluster: TcpCluster) -> std::io::Result<TcpBackend> {
+        let transport = TcpTransport::bind(TcpConfig::new(
+            cluster.coordinator,
+            cluster.coordinator_peers(),
+        ))?;
+        let control = Mutex::new(Transport::register(&transport, COORDINATOR));
+        Ok(TcpBackend {
+            transport,
+            cluster,
+            control,
+            down: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// One [`RemoteBb`] client per BB replica, each on its own endpoint
+    /// (client ids `1..=num_bb`).
+    pub(crate) fn bb_clients(&self) -> Vec<Arc<dyn BbApi>> {
+        (0..self.cluster.bb_addrs.len() as u32)
+            .map(|j| {
+                let endpoint = Transport::register(&self.transport, NodeId::client(1 + j));
+                Arc::new(RemoteBb::new(endpoint, NodeId::bb(j))) as Arc<dyn BbApi>
+            })
+            .collect()
+    }
+
+    /// Client ids `0..=num_bb` are reserved (control + BB clients).
+    pub(crate) fn reserved_clients(&self) -> u32 {
+        1 + self.cluster.bb_addrs.len() as u32
+    }
+
+    pub(crate) fn close_polls(&self) {
+        let control = self.control.lock();
+        for i in 0..self.cluster.vc_addrs.len() as u32 {
+            control.send(NodeId::vc(i), Msg::ClosePolls);
+        }
+    }
+
+    /// Drains one finalized vote set from the control endpoint.
+    pub(crate) fn recv_finalized(
+        &self,
+        deadline: Instant,
+    ) -> Result<FinalizedVoteSet, ElectionError> {
+        let control = self.control.lock();
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(ElectionError::VoteSetTimeout)?;
+            let Ok(env) = control.recv_timeout(remaining) else {
+                return Err(ElectionError::VoteSetTimeout);
+            };
+            if let Msg::Finalized(finalized) = env.msg {
+                // The envelope source is only sender-claimed on TCP; the
+                // vote set's own signature is what the BB verifies. Here
+                // the claim merely gates obvious noise.
+                if env.from.kind == NodeKind::Vc {
+                    return Ok(finalized);
+                }
+            }
+        }
+    }
+
+    /// Tells every replica to exit, then stops the transport.
+    pub(crate) fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let control = self.control.lock();
+            for i in 0..self.cluster.vc_addrs.len() as u32 {
+                control.send(NodeId::vc(i), Msg::Shutdown);
+            }
+            for j in 0..self.cluster.bb_addrs.len() as u32 {
+                control.send(NodeId::bb(j), Msg::Shutdown);
+            }
+        }
+        // Give the outbound writer threads a moment to flush the shutdown
+        // frames before the sockets close.
+        std::thread::sleep(Duration::from_millis(100));
+        self.transport.shutdown();
+    }
+}
