@@ -30,7 +30,7 @@ use ddemos_protocol::messages::{BbWriteMsg, BbWriteOutcome};
 use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
 use ddemos_protocol::wire::{Reader, WireError, Writer};
 use ddemos_protocol::{PartId, SerialNo};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Per-row, per-ciphertext `(bit, randomness)` openings of one ballot
@@ -309,11 +309,11 @@ pub fn trustee_post_digest(post: &TrusteePost) -> [u8; 32] {
 /// The sans-I/O Bulletin Board state machine. See the module docs.
 pub struct BbCore {
     init: BbInit,
-    vote_set_submissions: HashMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
-    vote_sets: HashMap<[u8; 32], VoteSet>,
+    vote_set_submissions: BTreeMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
+    vote_sets: BTreeMap<[u8; 32], VoteSet>,
     msk_shares: Vec<SignedShare>,
     msk: Option<[u8; 16]>,
-    trustee_posts: HashMap<u32, Arc<TrusteePost>>,
+    trustee_posts: BTreeMap<u32, Arc<TrusteePost>>,
     /// Every accepted (verified, novel) write in **acceptance order** —
     /// the node's durable history. Snapshots re-encode this list
     /// verbatim, so replay reproduces the exact original write order
@@ -330,11 +330,11 @@ impl BbCore {
     pub fn new(init: BbInit) -> BbCore {
         BbCore {
             init,
-            vote_set_submissions: HashMap::new(),
-            vote_sets: HashMap::new(),
+            vote_set_submissions: BTreeMap::new(),
+            vote_sets: BTreeMap::new(),
             msk_shares: Vec::new(),
             msk: None,
-            trustee_posts: HashMap::new(),
+            trustee_posts: BTreeMap::new(),
             accepted: Vec::new(),
             snapshot: BbSnapshot::default(),
         }
@@ -506,6 +506,9 @@ impl BbCore {
         if self.snapshot.vote_set.is_none() || self.msk.is_none() {
             return (Err(WriteError::WrongPhase), None);
         }
+        if !self.trustee_post_shape_ok(&post) {
+            return (Err(WriteError::Inconsistent), None);
+        }
         // First post per trustee wins: the accepted history must match
         // the retained state exactly, so a resubmission (same or
         // different content) is ignored rather than overwriting a post
@@ -522,6 +525,52 @@ impl BbCore {
         let record = BbRecord::TrusteePost { post, sig: *sig };
         self.accepted.push(record.clone());
         (Ok(()), Some(record))
+    }
+
+    /// Structural admission check for a trustee post: every share vector
+    /// the tally loops later index must match the ballot geometry (rows ×
+    /// ciphertexts) and the option count. The openings are EA-signed so
+    /// their shape is authenticated, but the ZK and tally shares are the
+    /// trustee's own — without this gate a Byzantine trustee could post
+    /// short vectors and panic the replica mid-tally.
+    fn trustee_post_shape_ok(&self, post: &TrusteePost) -> bool {
+        let m = self.init.params.num_options;
+        if post.tally.per_option.len() != m {
+            return false;
+        }
+        for o in &post.openings {
+            let Some(ballot) = self.init.ballots.get(&o.serial) else {
+                return false;
+            };
+            let rows = &ballot.parts[o.part.index()];
+            if o.rows.len() != rows.len() {
+                return false;
+            }
+            if o.rows
+                .iter()
+                .zip(rows)
+                .any(|(share_row, row)| share_row.len() != row.commitment.len())
+            {
+                return false;
+            }
+        }
+        for z in &post.zk {
+            let Some(ballot) = self.init.ballots.get(&z.serial) else {
+                return false;
+            };
+            let rows = &ballot.parts[z.part.index()];
+            if z.rows.len() != rows.len() || z.sum_responses.len() != rows.len() {
+                return false;
+            }
+            if z.rows
+                .iter()
+                .zip(rows)
+                .any(|(share_row, row)| share_row.len() != row.commitment.len())
+            {
+                return false;
+            }
+        }
+        true
     }
 
     /// Called whenever the vote set or msk lands: decrypt codes, compute
@@ -594,8 +643,8 @@ impl BbCore {
 
         // --- unused/unvoted part openings -------------------------------
         // Group opening posts by (serial, part).
-        let mut openings_by_key: HashMap<(SerialNo, PartId), Vec<(u32, &RowOpenings)>> =
-            HashMap::new();
+        let mut openings_by_key: BTreeMap<(SerialNo, PartId), Vec<(u32, &RowOpenings)>> =
+            BTreeMap::new();
         for post in &posts {
             for o in &post.openings {
                 openings_by_key
@@ -661,10 +710,10 @@ impl BbCore {
         }
 
         // --- used-part ZK verification -----------------------------------
-        let mut zk_by_key: HashMap<
+        let mut zk_by_key: BTreeMap<
             (SerialNo, PartId),
             Vec<(u32, &ddemos_protocol::posts::PartZkPost)>,
-        > = HashMap::new();
+        > = BTreeMap::new();
         for post in &posts {
             for z in &post.zk {
                 zk_by_key

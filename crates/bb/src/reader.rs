@@ -19,7 +19,7 @@ use ddemos_crypto::schnorr::Signature;
 use ddemos_crypto::vss::SignedShare;
 use ddemos_protocol::clock::GlobalClock;
 use ddemos_protocol::posts::{ElectionResult, TrusteePost, VoteSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How long [`MajorityReader::read_until`] pauses between retries.
@@ -134,7 +134,7 @@ impl MajorityReader {
     /// one exists (readers retry on transient divergence, per §III-G).
     /// Unreachable replicas count as divergent.
     pub fn read_snapshot(&self) -> Option<BbSnapshot> {
-        let mut counts: HashMap<[u8; 32], (usize, BbSnapshot)> = HashMap::new();
+        let mut counts: BTreeMap<[u8; 32], (usize, BbSnapshot)> = BTreeMap::new();
         for node in &self.nodes {
             let Some(snap) = node.read() else {
                 continue;

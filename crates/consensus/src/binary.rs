@@ -45,7 +45,7 @@
 //! limitation of predictable coins) but can never affect safety.
 
 use ddemos_protocol::messages::{ConsensusMsg, ConsensusPayload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Hard cap on rounds, as a runaway guard (tests never approach it).
@@ -117,7 +117,7 @@ pub struct BatchConsensus {
     estimates: Vec<bool>,
     decided: Vec<Option<bool>>,
     undecided: usize,
-    rounds: HashMap<u32, RoundState>,
+    rounds: BTreeMap<u32, RoundState>,
     beacon: u64,
 }
 
@@ -144,7 +144,7 @@ impl BatchConsensus {
             decided: vec![None; num_slots],
             undecided: num_slots,
             estimates: initial,
-            rounds: HashMap::new(),
+            rounds: BTreeMap::new(),
             beacon,
         };
         let mut out = Vec::new();
@@ -159,11 +159,9 @@ impl BatchConsensus {
 
     /// The decision vector once every slot has decided.
     pub fn decision(&self) -> Option<Vec<bool>> {
-        if self.undecided == 0 {
-            Some(self.decided.iter().map(|d| d.unwrap()).collect())
-        } else {
-            None
-        }
+        // Collecting `Option<bool>` items yields None while any slot is
+        // still undecided — no unwrap needed.
+        self.decided.iter().copied().collect()
     }
 
     /// True once every slot has decided locally.
@@ -228,11 +226,12 @@ impl BatchConsensus {
         // reopen a value the decide-lock argument assumes closed. Relays
         // below are safe at any round: they are grounded in `f+1` senders,
         // at least one honest.
-        self.rounds
-            .entry(round)
-            .or_insert_with(|| RoundState::new(self.estimates.len()));
+        let num_slots = self.estimates.len();
         let bit = 1u64 << from;
-        let state = self.rounds.get_mut(&round).expect("created above");
+        let state = self
+            .rounds
+            .entry(round)
+            .or_insert_with(|| RoundState::new(num_slots));
         match msg.payload.step {
             STEP_BVAL => {
                 let mut relay: Vec<Option<bool>> = vec![None; msg.payload.values.len()];
@@ -328,26 +327,23 @@ impl BatchConsensus {
     fn try_eval(&mut self, out: &mut Vec<ConsensusMsg>) {
         loop {
             let quorum = (self.n - self.f) as u32;
-            let ready = match self.rounds.get(&self.round) {
-                Some(state) => {
-                    state.aux_sent
-                        && state.slots.iter().all(|s| {
-                            let mut valid = 0u32;
-                            for v in 0..2 {
-                                if s.bin_values[v] {
-                                    valid += s.aux_senders[v].count_ones();
-                                }
-                            }
-                            valid >= quorum
-                        })
-                }
-                None => false,
+            let Some(state) = self.rounds.get(&self.round) else {
+                return;
             };
+            let ready = state.aux_sent
+                && state.slots.iter().all(|s| {
+                    let mut valid = 0u32;
+                    for v in 0..2 {
+                        if s.bin_values[v] {
+                            valid += s.aux_senders[v].count_ones();
+                        }
+                    }
+                    valid >= quorum
+                });
             if !ready {
                 return;
             }
             let coin_round = self.round;
-            let state = self.rounds.get(&self.round).expect("checked");
             for slot in 0..self.estimates.len() {
                 let s = &state.slots[slot];
                 let mut v_set = [false; 2];
@@ -415,7 +411,7 @@ mod tests {
         schedule_seed: u64,
     ) -> Vec<Vec<bool>> {
         let honest: Vec<u32> = (0..n as u32).filter(|i| !byzantine.contains(i)).collect();
-        let mut nodes: HashMap<u32, BatchConsensus> = HashMap::new();
+        let mut nodes: BTreeMap<u32, BatchConsensus> = BTreeMap::new();
         let mut queue: Vec<(u32, u32, ConsensusMsg)> = Vec::new();
         for &i in &honest {
             let (bc, msgs) = BatchConsensus::new(n, f, i, inputs[i as usize].clone(), 42);
@@ -562,7 +558,7 @@ mod tests {
             vec![true, true],
         ];
         let decisions = {
-            let mut nodes: HashMap<u32, BatchConsensus> = HashMap::new();
+            let mut nodes: BTreeMap<u32, BatchConsensus> = BTreeMap::new();
             let mut queue: Vec<(u32, u32, ConsensusMsg)> = Vec::new();
             for i in 0..3u32 {
                 let (bc, msgs) = BatchConsensus::new(4, 1, i, inputs[i as usize].clone(), 7);

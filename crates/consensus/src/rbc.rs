@@ -16,7 +16,7 @@
 
 use ddemos_protocol::messages::{ConsensusPayload, RbcMsg, RbcPhase};
 use ddemos_protocol::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 type InstanceKey = (u32, u32, u8); // (origin index, round, step)
@@ -26,9 +26,9 @@ struct Instance {
     echoed: bool,
     readied: bool,
     delivered: bool,
-    echoes: HashMap<[u8; 32], HashSet<u32>>,
-    readies: HashMap<[u8; 32], HashSet<u32>>,
-    payloads: HashMap<[u8; 32], Arc<ConsensusPayload>>,
+    echoes: BTreeMap<[u8; 32], BTreeSet<u32>>,
+    readies: BTreeMap<[u8; 32], BTreeSet<u32>>,
+    payloads: BTreeMap<[u8; 32], Arc<ConsensusPayload>>,
 }
 
 /// A delivered broadcast: the origin's index and its payload.
@@ -45,7 +45,7 @@ pub struct RbcState {
     n: usize,
     f: usize,
     me: u32,
-    instances: HashMap<InstanceKey, Instance>,
+    instances: BTreeMap<InstanceKey, Instance>,
 }
 
 impl RbcState {
@@ -56,7 +56,7 @@ impl RbcState {
             n,
             f,
             me,
-            instances: HashMap::new(),
+            instances: BTreeMap::new(),
         }
     }
 
@@ -138,9 +138,11 @@ impl RbcState {
                 None
             }
             RbcPhase::Ready => {
-                inst.payloads
+                let payload = inst
+                    .payloads
                     .entry(digest)
-                    .or_insert_with(|| msg.payload.clone());
+                    .or_insert_with(|| msg.payload.clone())
+                    .clone();
                 let count = {
                     let set = inst.readies.entry(digest).or_default();
                     set.insert(from);
@@ -156,7 +158,6 @@ impl RbcState {
                 }
                 if count >= deliver_thr && !inst.delivered {
                     inst.delivered = true;
-                    let payload = inst.payloads.get(&digest).cloned().expect("payload stored");
                     return Some(RbcDelivery { origin, payload });
                 }
                 None
@@ -263,7 +264,7 @@ mod tests {
         }
         // With a 4-node cluster, echo threshold is 3; the split 2/1 echoes
         // can produce at most one side reaching it.
-        let digests: std::collections::HashSet<[u8; 32]> =
+        let digests: BTreeSet<[u8; 32]> =
             deliveries.iter().map(|(_, d)| d.payload.digest()).collect();
         assert!(digests.len() <= 1, "conflicting deliveries");
     }

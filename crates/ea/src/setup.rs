@@ -18,7 +18,7 @@ use ddemos_protocol::initdata::{
 use ddemos_protocol::params::ElectionParams;
 use ddemos_protocol::{PartId, SerialNo};
 use rand::{Rng, RngCore};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How much initialization data to materialize.
@@ -395,7 +395,7 @@ impl ElectionAuthority {
                 vc_keys: vc_vks.clone(),
                 ea_key: self.ea_key.verifying_key(),
                 msk_share: msk_shares[i],
-                ballots: HashMap::new(),
+                ballots: BTreeMap::new(),
             })
             .collect();
         SetupOutput {
@@ -409,7 +409,7 @@ impl ElectionAuthority {
                 ea_key: self.ea_key.verifying_key(),
                 vc_keys: vc_vks,
                 trustee_keys: trustee_vks,
-                ballots: Arc::new(HashMap::new()),
+                ballots: Arc::new(BTreeMap::new()),
             },
             trustee_inits: Vec::new(),
             consensus_beacon: self.beacon,
@@ -471,12 +471,11 @@ impl ElectionAuthority {
         let msk_shares = self.msk_shares();
 
         let mut ballots = Vec::with_capacity(bundles.len());
-        let mut vc_ballot_maps: Vec<HashMap<SerialNo, VcBallot>> = (0..nv)
-            .map(|_| HashMap::with_capacity(bundles.len()))
-            .collect();
-        let mut bb_ballots: HashMap<SerialNo, BbBallot> = HashMap::new();
-        let mut trustee_maps: Vec<HashMap<SerialNo, TrusteeBallotShares>> =
-            (0..nt).map(|_| HashMap::new()).collect();
+        let mut vc_ballot_maps: Vec<BTreeMap<SerialNo, VcBallot>> =
+            (0..nv).map(|_| BTreeMap::new()).collect();
+        let mut bb_ballots: BTreeMap<SerialNo, BbBallot> = BTreeMap::new();
+        let mut trustee_maps: Vec<BTreeMap<SerialNo, TrusteeBallotShares>> =
+            (0..nt).map(|_| BTreeMap::new()).collect();
         for bundle in bundles {
             ballots.push(bundle.ballot);
             for (i, vcb) in bundle.vc.into_iter().enumerate() {

@@ -1,0 +1,16 @@
+// Seeded violations: wall-clock reads outside the permitted zones.
+pub fn sample_wall_ms() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+pub fn epoch_secs() -> u64 {
+    match std::time::SystemTime::UNIX_EPOCH.elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

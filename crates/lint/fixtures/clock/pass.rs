@@ -1,0 +1,17 @@
+// Clean counterpart: time arrives as a step input; wall reads only in
+// #[cfg(test)] code (masked by the lexer).
+pub fn deadline_reached(now_ms: u64, deadline_ms: u64) -> bool {
+    now_ms >= deadline_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_time_is_fine_in_tests() {
+        let t = std::time::Instant::now();
+        assert!(deadline_reached(1, 1));
+        let _ = t.elapsed();
+    }
+}

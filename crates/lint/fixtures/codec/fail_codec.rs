@@ -1,0 +1,28 @@
+// The codec never learned about `Msg::Gone`: missing from put/get/sample,
+// and MSG_VARIANTS still says 2.
+use super::Msg;
+
+pub const MSG_VARIANTS: u32 = 2;
+
+pub fn put_msg(msg: &Msg) -> u8 {
+    match msg {
+        Msg::Ping => 1,
+        Msg::Pong => 2,
+        _ => 0,
+    }
+}
+
+pub fn get_msg(tag: u8) -> Option<Msg> {
+    match tag {
+        1 => Some(Msg::Ping),
+        2 => Some(Msg::Pong),
+        _ => None,
+    }
+}
+
+pub fn sample_msg(variant: u32) -> Msg {
+    match variant % MSG_VARIANTS {
+        0 => Msg::Ping,
+        _ => Msg::Pong,
+    }
+}

@@ -1,0 +1,7 @@
+// Seeded violation: `Msg::Gone` has no codec or sweep coverage in
+// fail_codec.rs (which also declares a stale MSG_VARIANTS of 2).
+pub enum Msg {
+    Ping,
+    Pong,
+    Gone,
+}

@@ -1,0 +1,6 @@
+// Minimal message enum: every variant has codec + sweep coverage in
+// pass_codec.rs.
+pub enum Msg {
+    Ping,
+    Pong,
+}

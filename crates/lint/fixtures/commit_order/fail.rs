@@ -1,0 +1,16 @@
+// Seeded violation: a Send escapes between the Journal push and the
+// Commit barrier — a crash in that window shows peers state the replica
+// never durably logged.
+impl Core {
+    fn step_handle_vote(&mut self, msg: Msg) {
+        self.jlog(Record::Used { msg });
+        self.send(self.leader, Msg::Ack);
+        self.persist();
+    }
+
+    fn step_outputs(&mut self, out: &mut Vec<Output>) {
+        out.push(Output::Journal(Record::Voted));
+        out.push(Output::Send { to: 1, msg: Msg::Ack });
+        out.push(Output::Commit);
+    }
+}

@@ -1,0 +1,16 @@
+// Clean counterpart: every Journal is committed before anything visible
+// leaves the core.
+impl Core {
+    fn step_handle_vote(&mut self, msg: Msg) {
+        self.jlog(Record::Used { msg });
+        self.persist();
+        self.send(self.leader, Msg::Ack);
+    }
+
+    fn step_outputs(&mut self, out: &mut Vec<Output>) {
+        out.push(Output::Journal(Record::Voted));
+        out.push(Output::Commit);
+        out.push(Output::Send { to: 1, msg: Msg::Ack });
+        out.push(Output::Deliver { result: () });
+    }
+}

@@ -1,0 +1,14 @@
+// Seeded violation: hash-ordered iteration in a protocol-state crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn order_reaching(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn keys_leak_order(s: &HashSet<u32>) -> Vec<u32> {
+    s.iter().copied().collect()
+}

@@ -1,0 +1,22 @@
+// Clean counterpart: BTree iteration, hash lookups, annotated folds.
+use std::collections::{BTreeMap, HashMap};
+
+// Note: hash-name tracking is per file by identifier, so a BTree map
+// sharing a name with a HashMap elsewhere in the file would be flagged —
+// distinct names keep the heuristic precise.
+pub fn canonical(tree: &BTreeMap<u32, u32>) -> Vec<u32> {
+    tree.keys().copied().collect()
+}
+
+pub fn lookup_only(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+pub fn commutative_fold(m: &HashMap<u32, u32>) -> u64 {
+    let mut total = 0u64;
+    // lint:allow(hash-iter, order-insensitive fold: addition commutes)
+    for v in m.values() {
+        total += u64::from(*v);
+    }
+    total
+}

@@ -1,0 +1,18 @@
+// Seeded violations: panicking constructs on a message-path crate.
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn demand(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,12 @@
+// Clean counterpart: total functions; errors flow to the caller.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn must(x: Option<u32>) -> Result<u32, &'static str> {
+    x.ok_or("missing")
+}
+
+pub fn get(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i).copied()
+}

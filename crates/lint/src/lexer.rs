@@ -1,0 +1,449 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The container has no registry access, so this crate cannot use `syn`;
+//! the rules instead run over a flat token stream that is exact about the
+//! only things that matter for them: what is code versus comment/literal
+//! text, which line each token sits on, which tokens live inside
+//! `#[cfg(test)]`/`#[test]` items, and which lines carry a
+//! `// lint:allow(rule, reason)` annotation.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`foo`, `let`, `HashMap`).
+    Ident(String),
+    /// A single punctuation byte (`.`, `:`, `[`, ...).
+    Punct(char),
+    /// A numeric literal; the raw text is kept so rules can read counts.
+    Num(String),
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`); contents dropped.
+    Str,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// An inline suppression: `// lint:allow(rule, reason)`. The annotation
+/// covers violations on its own line and on the line directly below it,
+/// so it can trail the flagged expression or sit on its own line above.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub rule: String,
+}
+
+/// A fully lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (used in diagnostics and allowlist match).
+    pub path: String,
+    pub toks: Vec<Token>,
+    pub allows: Vec<Allow>,
+    /// `test_mask[i]` is true when token `i` is inside a `#[cfg(test)]`
+    /// or `#[test]`-attributed item.
+    pub test_mask: Vec<bool>,
+    /// Raw source lines, for allowlist substring matching.
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let (toks, allows) = lex(src);
+        let test_mask = test_mask(&toks);
+        SourceFile {
+            path: path.to_string(),
+            toks,
+            allows,
+            test_mask,
+            lines: src.lines().map(|l| l.to_string()).collect(),
+        }
+    }
+
+    /// Whether a `lint:allow(rule, …)` annotation covers `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    /// The raw text of 1-indexed `line` (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// The identifier text of token `i`, if it is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether token `i` is the punctuation `c`.
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens and allow-annotations.
+fn lex(src: &str) -> (Vec<Token>, Vec<Allow>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if let Some(pos) = text.find("lint:allow(") {
+                    let rest = &text[pos + "lint:allow(".len()..];
+                    let end = rest.find([',', ')']).unwrap_or(rest.len());
+                    allows.push(Allow {
+                        line,
+                        rule: rest[..end].trim().to_string(),
+                    });
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tline = line;
+                i = skip_string(b, i, &mut line);
+                toks.push(Token {
+                    kind: Tok::Str,
+                    line: tline,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    let tline = line;
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Token {
+                        kind: Tok::Char,
+                        line: tline,
+                    });
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    toks.push(Token {
+                        kind: Tok::Char,
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    // Lifetime: consume the tick and the identifier.
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_cont(b[i])) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: Tok::Num(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                // Raw / byte string prefixes take priority over identifiers.
+                if let Some(next) = raw_string_start(b, i) {
+                    let tline = line;
+                    i = next(b, i, &mut line);
+                    toks.push(Token {
+                        kind: Tok::Str,
+                        line: tline,
+                    });
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Token {
+                    kind: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, allows)
+}
+
+type StringSkipper = fn(&[u8], usize, &mut u32) -> usize;
+
+/// If position `i` begins a raw or byte string (`r"`, `r#`, `b"`, `br"`,
+/// `br#`), returns the skipper for it.
+fn raw_string_start(b: &[u8], i: usize) -> Option<StringSkipper> {
+    let rest = &b[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"r#\"") || rest.starts_with(b"r##") {
+        return Some(skip_raw_string);
+    }
+    if rest.starts_with(b"br\"") || rest.starts_with(b"br#") {
+        return Some(skip_raw_string);
+    }
+    if rest.starts_with(b"b\"") {
+        return Some(|b, i, line| skip_string(b, i + 1, line));
+    }
+    None
+}
+
+/// Skips a normal (escaped) string starting at the opening quote at `i`;
+/// returns the index just past the closing quote.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string (`r#"…"#`, `br"…"`) starting at the `r`/`b`.
+fn skip_raw_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut i = i;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // the opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Marks token ranges covered by `#[cfg(test)]` / `#[test]` / `#[bench]`
+/// attributed items (the attribute, any stacked attributes after it, and
+/// the item's balanced `{…}` body or trailing `;`).
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if matches!(toks[i].kind, Tok::Punct('#'))
+            && matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('[')))
+        {
+            let attr_end = match skip_balanced(toks, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            if attr_is_test(&toks[i..=attr_end]) {
+                let item_end = item_extent(toks, attr_end + 1).unwrap_or(toks.len() - 1);
+                for m in mask.iter_mut().take(item_end + 1).skip(i) {
+                    *m = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether an attribute token slice (`#[…]`) gates on test/bench builds.
+/// `#[cfg(not(test))]` gates the other way and is NOT treated as test.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in attr {
+        if let Tok::Ident(s) = &t.kind {
+            match s.as_str() {
+                "test" | "bench" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Given the token index just past an attribute, returns the index of the
+/// last token of the annotated item: further attributes are skipped, then
+/// everything through the first balanced `{…}` block or a top-level `;`.
+fn item_extent(toks: &[Token], mut i: usize) -> Option<usize> {
+    // Skip stacked attributes.
+    while i + 1 < toks.len()
+        && matches!(toks[i].kind, Tok::Punct('#'))
+        && matches!(toks[i + 1].kind, Tok::Punct('['))
+    {
+        i = skip_balanced(toks, i + 1, '[', ']')? + 1;
+    }
+    let mut j = i;
+    while j < toks.len() {
+        match &toks[j].kind {
+            Tok::Punct('{') => return skip_balanced(toks, j, '{', '}'),
+            Tok::Punct(';') => return Some(j),
+            _ => j += 1,
+        }
+    }
+    Some(toks.len().saturating_sub(1))
+}
+
+/// With `toks[start]` being the `open` delimiter, returns the index of the
+/// matching `close` delimiter.
+pub fn skip_balanced(toks: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if let Tok::Punct(p) = t.kind {
+            if p == open {
+                depth += 1;
+            } else if p == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_skipped() {
+        let src = r##"
+// HashMap in a comment
+/* HashMap /* nested */ still comment */
+fn f<'a>(x: &'a str) -> char {
+    let _s = "HashMap .iter()";
+    let _r = r#"Instant::now()"#;
+    let _b = b"bytes";
+    'x'
+}
+"##;
+        let sf = SourceFile::parse("t.rs", src);
+        let idents: Vec<&str> = sf
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!idents.contains(&"HashMap"));
+        assert!(!idents.contains(&"Instant"));
+        assert!(idents.contains(&"str"));
+        // The lifetime 'a produced no Char token; 'x' did.
+        assert_eq!(sf.toks.iter().filter(|t| t.kind == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn allow_annotations_are_collected() {
+        let src = "fn f() {\n    // lint:allow(hash-iter, fixed scan order is fine here)\n    x.iter();\n}\n";
+        let sf = SourceFile::parse("t.rs", src);
+        assert!(sf.allowed("hash-iter", 2));
+        assert!(sf.allowed("hash-iter", 3));
+        assert!(!sf.allowed("hash-iter", 4));
+        assert!(!sf.allowed("wall-clock", 3));
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn live2() {}\n";
+        let sf = SourceFile::parse("t.rs", src);
+        for (i, t) in sf.toks.iter().enumerate() {
+            if let Tok::Ident(s) = &t.kind {
+                if s == "b" || s == "tests" {
+                    assert!(sf.test_mask[i], "token {s} should be masked");
+                }
+                if s == "live" || s == "live2" || s == "a" {
+                    assert!(!sf.test_mask[i], "token {s} should not be masked");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n";
+        let sf = SourceFile::parse("t.rs", src);
+        assert!(sf.test_mask.iter().all(|&m| !m));
+    }
+}

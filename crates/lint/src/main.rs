@@ -1,0 +1,43 @@
+//! `ddemos-lint` CLI: scan the workspace, print `file:line` diagnostics,
+//! exit non-zero on any violation. Run from the workspace root (or pass
+//! the root as the first argument), e.g. `cargo run -p ddemos-lint --release`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match ddemos_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "ddemos-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg);
+        if !v.line_text.is_empty() {
+            println!("    {}", v.line_text.trim());
+        }
+    }
+    if report.clean() {
+        println!(
+            "ddemos-lint: {} files scanned, no violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ddemos-lint: {} violation(s) across {} files scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -37,6 +37,8 @@ use ddemos_protocol::codec::{decode_envelope_frame, encode_envelope_frame};
 use ddemos_protocol::messages::{Envelope, Msg};
 use ddemos_protocol::NodeId;
 use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,6 +50,55 @@ use std::time::Instant;
 /// How long writer threads wait between queue polls (bounds shutdown
 /// latency) and listener/reader threads linger after a shutdown signal.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Default first reconnect delay (doubles per consecutive failure).
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(10);
+
+/// Default upper bound on the reconnect delay.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Doubling stops here: `base << 10` already saturates any sane cap, and
+/// capping the exponent keeps the shift well-defined.
+const BACKOFF_MAX_EXP: u32 = 10;
+
+/// Bounded exponential backoff with equal jitter for reconnect attempts:
+/// delay `d_n` is drawn uniformly from `[e_n / 2, e_n]` where
+/// `e_n = min(base * 2^n, cap)`. The jitter decorrelates reconnect storms
+/// (every writer hammering a recovered peer on the same tick) while the
+/// expected delay still ramps exponentially; the RNG is seeded, so a
+/// deployment's retry schedule is reproducible from its config.
+struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Forgets the failure streak (call after a successful connect).
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next delay, advancing the failure streak.
+    fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(BACKOFF_MAX_EXP);
+        self.attempt = self.attempt.saturating_add(1);
+        let envelope = self.base.saturating_mul(1u32 << exp).min(self.cap);
+        let hi = envelope.as_nanos().max(1) as u64;
+        let lo = hi / 2;
+        Duration::from_nanos(self.rng.gen_range(lo..=hi))
+    }
+}
 
 /// Configuration of a [`TcpTransport`].
 #[derive(Clone, Debug)]
@@ -62,19 +113,28 @@ pub struct TcpConfig {
     /// incoming frames close the connection; oversized outgoing sends are
     /// dropped (and counted).
     pub max_frame: u32,
-    /// Delay between reconnection attempts to a down peer.
-    pub connect_retry: Duration,
+    /// First delay between reconnection attempts to a down peer; doubles
+    /// per consecutive failure up to [`TcpConfig::connect_backoff_cap`].
+    pub connect_backoff_base: Duration,
+    /// Upper bound on the reconnect delay.
+    pub connect_backoff_cap: Duration,
+    /// Seed for the reconnect jitter RNG. Each peer writer derives its own
+    /// stream from this, so a given config retries on a reproducible
+    /// schedule.
+    pub backoff_seed: u64,
 }
 
 impl TcpConfig {
-    /// A config with the default frame bound (16 MiB) and retry delay
-    /// (50 ms).
+    /// A config with the default frame bound (16 MiB) and the default
+    /// reconnect backoff (10 ms base, 1 s cap).
     pub fn new(listen: SocketAddr, peers: Vec<(NodeId, SocketAddr)>) -> TcpConfig {
         TcpConfig {
             listen,
             peers,
             max_frame: 16 << 20,
-            connect_retry: Duration::from_millis(50),
+            connect_backoff_base: DEFAULT_BACKOFF_BASE,
+            connect_backoff_cap: DEFAULT_BACKOFF_CAP,
+            backoff_seed: 0,
         }
     }
 }
@@ -99,7 +159,9 @@ struct TcpInner {
     shutdown: AtomicBool,
     listen_addr: SocketAddr,
     max_frame: u32,
-    connect_retry: Duration,
+    connect_backoff_base: Duration,
+    connect_backoff_cap: Duration,
+    backoff_seed: u64,
 }
 
 impl TcpInner {
@@ -274,8 +336,23 @@ fn conn_writer_loop(inner: &Arc<TcpInner>, mut stream: TcpStream, rx: Receiver<V
 /// is down, reconnect (re-sending the in-flight frame) when a write
 /// fails. Each successful connection also gets a reader (replies and
 /// peer-initiated traffic flow back over it).
-fn peer_writer_loop(inner: Arc<TcpInner>, addr: SocketAddr, rx: Receiver<Vec<u8>>, reply: FrameTx) {
+fn peer_writer_loop(
+    inner: Arc<TcpInner>,
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+    reply: FrameTx,
+    writer_index: u64,
+) {
     let mut stream: Option<(u64, TcpStream)> = None;
+    // Per-writer jitter stream: same config seed, distinct peer index —
+    // deterministic per deployment, decorrelated across peers.
+    let mut backoff = Backoff::new(
+        inner.connect_backoff_base,
+        inner.connect_backoff_cap,
+        inner
+            .backoff_seed
+            .wrapping_add(writer_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
     loop {
         if inner.is_shutdown() {
             return;
@@ -303,9 +380,10 @@ fn peer_writer_loop(inner: Arc<TcpInner>, addr: SocketAddr, rx: Receiver<Vec<u8>
                             inner.adopt_thread(handle);
                         }
                         stream = Some((stream_id, s));
+                        backoff.reset();
                     }
                     Err(_) => {
-                        std::thread::sleep(inner.connect_retry);
+                        std::thread::sleep(backoff.next_delay());
                         continue;
                     }
                 }
@@ -366,11 +444,13 @@ impl TcpTransport {
             shutdown: AtomicBool::new(false),
             listen_addr,
             max_frame: config.max_frame,
-            connect_retry: config.connect_retry,
+            connect_backoff_base: config.connect_backoff_base,
+            connect_backoff_cap: config.connect_backoff_cap,
+            backoff_seed: config.backoff_seed,
         });
         {
             let mut threads = inner.threads.lock();
-            for (addr, rx) in peer_rx {
+            for (writer_index, (addr, rx)) in peer_rx.into_iter().enumerate() {
                 // Replies arriving over this outbound connection go to the
                 // same queue a fresh outbound frame would use — useless for
                 // static peers (they are routed directly), so a dead-end
@@ -382,7 +462,7 @@ impl TcpTransport {
                         .name("tcp-peer-writer".into())
                         .spawn(move || {
                             let _keep_reply_open = reply_rx;
-                            peer_writer_loop(inner2, addr, rx, reply_tx)
+                            peer_writer_loop(inner2, addr, rx, reply_tx, writer_index as u64)
                         })
                         .expect("spawn tcp writer"),
                 );
@@ -742,5 +822,43 @@ mod tests {
         assert!(delivered.is_some(), "no frame arrived after restart");
         b.shutdown();
         a2.shutdown();
+    }
+
+    #[test]
+    fn backoff_ramps_within_jittered_envelope_and_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(160);
+        let mut b = Backoff::new(base, cap, 7);
+        for attempt in 0..20u32 {
+            let envelope = base
+                .saturating_mul(1u32 << attempt.min(BACKOFF_MAX_EXP))
+                .min(cap);
+            let d = b.next_delay();
+            assert!(
+                d >= envelope / 2 && d <= envelope,
+                "attempt {attempt}: delay {d:?} outside [{:?}, {envelope:?}]",
+                envelope / 2,
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_resets() {
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP, seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(seq(42), seq(42), "same seed must replay the same delays");
+        assert_ne!(seq(1), seq(2), "distinct seeds should decorrelate");
+
+        let mut b = Backoff::new(DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP, 3);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        b.reset();
+        assert!(
+            b.next_delay() <= DEFAULT_BACKOFF_BASE,
+            "reset must drop back to the base envelope"
+        );
     }
 }

@@ -28,7 +28,7 @@
 //! keeps advancing underneath it.
 
 use std::cell::Cell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
@@ -86,12 +86,12 @@ struct VtState {
     advancing: bool,
     closed: bool,
     next_wait_id: u64,
-    waits: HashMap<u64, WaitEntry>,
+    waits: BTreeMap<u64, WaitEntry>,
     /// Deadline-ordered index of waits that have one:
     /// `(deadline, tiebreak, wait id)`.
     by_deadline: BTreeSet<(u64, u64, u64)>,
     /// Message-notifiable waits: notify key → wait id.
-    by_key: HashMap<u64, u64>,
+    by_key: BTreeMap<u64, u64>,
     source: Option<Weak<dyn EventSource>>,
 }
 
@@ -247,9 +247,9 @@ impl VirtualClock {
                     advancing: false,
                     closed: false,
                     next_wait_id: 0,
-                    waits: HashMap::new(),
+                    waits: BTreeMap::new(),
                     by_deadline: BTreeSet::new(),
-                    by_key: HashMap::new(),
+                    by_key: BTreeMap::new(),
                     source: None,
                 }),
                 cv: Condvar::new(),

@@ -35,7 +35,7 @@ use ddemos_protocol::wire::{Reader, WireError, Writer};
 use ddemos_protocol::{NodeId, NodeKind, PartId, SerialNo};
 use ddemos_storage::Durable;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -270,7 +270,7 @@ pub struct VcCore<S> {
     /// outputs (and their encoding cost) off the hot path for volatile
     /// nodes.
     durable: bool,
-    slots: HashMap<SerialNo, BallotSlot>,
+    slots: BTreeMap<SerialNo, BallotSlot>,
     phase: Phase,
     votes_handled: u64,
     announce_at_ms: u64,
@@ -278,8 +278,8 @@ pub struct VcCore<S> {
     /// so an amnesia recovery cannot deliver a second one).
     finalized: bool,
     /// Digests of already-verified UCERTs.
-    verified_ucerts: HashSet<[u8; 32]>,
-    announce_from: HashSet<u32>,
+    verified_ucerts: BTreeSet<[u8; 32]>,
+    announce_from: BTreeSet<u32>,
     /// ANNOUNCE messages that arrived while this node was still in the
     /// voting phase. Polls close at each node's *own* clock (or when its
     /// driver delivers ClosePolls — a staggered network message on a real
@@ -321,13 +321,13 @@ impl<S: BallotStore> VcCore<S> {
             poll,
             beacon,
             durable,
-            slots: HashMap::new(),
+            slots: BTreeMap::new(),
             phase: Phase::Voting,
             votes_handled: 0,
             announce_at_ms: 0,
             finalized: false,
-            verified_ucerts: HashSet::new(),
-            announce_from: HashSet::new(),
+            verified_ucerts: BTreeSet::new(),
+            announce_from: BTreeSet::new(),
             buffered_announces: Vec::new(),
             consensus: None,
             buffered_consensus: Vec::new(),
@@ -411,8 +411,7 @@ impl<S: BallotStore> VcCore<S> {
     }
 
     fn multicast(&mut self, msg: Msg) {
-        for i in 0..self.vc_peers.len() {
-            let to = self.vc_peers[i];
+        for &to in &self.vc_peers.clone() {
             self.out(VcOutput::Send {
                 to,
                 msg: msg.clone(),

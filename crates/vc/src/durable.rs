@@ -29,7 +29,7 @@ use ddemos_protocol::messages::UCert;
 use ddemos_protocol::wire::{Reader, WireError, Writer};
 use ddemos_protocol::{NodeId, PartId, SerialNo};
 use ddemos_storage::Durable;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Voting status of one ballot slot.
@@ -231,8 +231,8 @@ impl VcRecord {
 /// A [`Durable`] view over the node's slot map (plus the UCERT
 /// verification cache it rebuilds and the finalized marker).
 pub(crate) struct DurableView<'a> {
-    pub(crate) slots: &'a mut HashMap<SerialNo, BallotSlot>,
-    pub(crate) verified_ucerts: &'a mut HashSet<[u8; 32]>,
+    pub(crate) slots: &'a mut BTreeMap<SerialNo, BallotSlot>,
+    pub(crate) verified_ucerts: &'a mut BTreeSet<[u8; 32]>,
     pub(crate) finalized: &'a mut bool,
 }
 
@@ -293,16 +293,13 @@ impl DurableView<'_> {
 impl Durable for DurableView<'_> {
     fn encode_snapshot(&self, w: &mut Writer) {
         w.put_bool(*self.finalized);
-        // Sorted serial order: the snapshot must be canonical however the
-        // HashMap iterates.
-        let mut serials: Vec<SerialNo> = self.slots.keys().copied().collect();
-        serials.sort_unstable();
+        // BTreeMap iterates in serial order, so the snapshot is canonical
+        // by construction — no sort pass needed.
         // Only slots with durable content (an entry created purely by a
         // volatile waiter carries nothing worth persisting, but its
         // defaults encode fine and keep the codec total).
-        w.put_u64(serials.len() as u64);
-        for serial in serials {
-            let slot = &self.slots[&serial];
+        w.put_u64(self.slots.len() as u64);
+        for (serial, slot) in self.slots.iter() {
             w.put_u64(serial.0);
             w.put_u8(slot.status.to_u8());
             match &slot.used {
@@ -405,8 +402,8 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn snapshot_bytes(
-        slots: &mut HashMap<SerialNo, BallotSlot>,
-        ucerts: &mut HashSet<[u8; 32]>,
+        slots: &mut BTreeMap<SerialNo, BallotSlot>,
+        ucerts: &mut BTreeSet<[u8; 32]>,
         finalized: &mut bool,
     ) -> Vec<u8> {
         let view = DurableView {
@@ -489,8 +486,8 @@ mod tests {
             },
         );
 
-        let mut slots = HashMap::new();
-        let mut ucerts = HashSet::new();
+        let mut slots = BTreeMap::new();
+        let mut ucerts = BTreeSet::new();
         let mut finalized = false;
         let records = random_records(11, 120);
         for (i, rec) in records.iter().enumerate() {
@@ -514,8 +511,8 @@ mod tests {
         }
         journal.commit().unwrap();
 
-        let mut r_slots = HashMap::new();
-        let mut r_ucerts = HashSet::new();
+        let mut r_slots = BTreeMap::new();
+        let mut r_ucerts = BTreeSet::new();
         let mut r_finalized = false;
         let mut view = DurableView {
             slots: &mut r_slots,

@@ -16,7 +16,7 @@ use ddemos_protocol::initdata::{VcBallot, VcRow};
 use ddemos_protocol::wire::{Reader, WireError, Writer};
 use ddemos_protocol::SerialNo;
 use ddemos_storage::{decode_frame, Disk as _, DynDisk, StorageError, Wal, WalConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Source of per-ballot VC rows.
@@ -30,13 +30,13 @@ pub trait BallotStore: Send + Sync {
 /// A fully materialized in-memory store.
 #[derive(Debug, Default)]
 pub struct MemoryStore {
-    map: HashMap<SerialNo, VcBallot>,
+    map: BTreeMap<SerialNo, VcBallot>,
     n: u64,
 }
 
 impl MemoryStore {
     /// Builds a store from materialized init data.
-    pub fn new(map: HashMap<SerialNo, VcBallot>, n: u64) -> MemoryStore {
+    pub fn new(map: BTreeMap<SerialNo, VcBallot>, n: u64) -> MemoryStore {
         MemoryStore { map, n }
     }
 }
@@ -121,7 +121,7 @@ fn get_vc_ballot(r: &mut Reader<'_>) -> Result<VcBallot, WireError> {
 /// simulation clock). An in-memory index maps each serial to its frame.
 pub struct WalStore {
     disk: DynDisk,
-    index: HashMap<SerialNo, (u64, u32)>,
+    index: BTreeMap<SerialNo, (u64, u32)>,
     n: u64,
 }
 
@@ -132,18 +132,18 @@ impl WalStore {
     /// # Errors
     /// [`StorageError`] on disk failure.
     pub fn build(
-        rows: &HashMap<SerialNo, VcBallot>,
+        rows: &BTreeMap<SerialNo, VcBallot>,
         n: u64,
         disk: DynDisk,
     ) -> Result<WalStore, StorageError> {
         let mut wal = Wal::new(disk.clone(), WalConfig { group_commit: 256 });
-        let mut index = HashMap::with_capacity(rows.len());
-        let mut serials: Vec<SerialNo> = rows.keys().copied().collect();
-        serials.sort_unstable();
-        for serial in serials {
+        let mut index = BTreeMap::new();
+        // BTreeMap iterates in serial order already — frames land on disk
+        // canonically without a sort pass.
+        for (&serial, ballot) in rows.iter() {
             let mut w = Writer::new();
             w.put_u64(serial.0);
-            put_vc_ballot(&mut w, &rows[&serial]);
+            put_vc_ballot(&mut w, ballot);
             let payload = w.into_bytes();
             let frame_at = wal.append(&payload)?;
             index.insert(
@@ -168,7 +168,7 @@ impl WalStore {
         let len = disk.len();
         let mut buf = vec![0u8; len as usize];
         disk.read_at(0, &mut buf)?;
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         let mut offset = 0usize;
         while let Some((payload, next)) = decode_frame(&buf, offset) {
             let mut r = Reader::new(&buf[payload.clone()]);
@@ -297,7 +297,7 @@ mod tests {
 
     #[test]
     fn memory_store_lookup() {
-        let store = MemoryStore::new(HashMap::new(), 0);
+        let store = MemoryStore::new(BTreeMap::new(), 0);
         assert!(store.get(SerialNo(0)).is_none());
         assert_eq!(store.num_ballots(), 0);
     }
@@ -326,7 +326,7 @@ mod tests {
 
     #[test]
     fn latency_store_charges_time() {
-        let inner = MemoryStore::new(HashMap::new(), 1 << 20);
+        let inner = MemoryStore::new(BTreeMap::new(), 1 << 20);
         let model = StorageModel {
             base: Duration::from_micros(300),
             per_level: Duration::ZERO,
@@ -361,7 +361,7 @@ mod tests {
                 signature: key.sign(&[b]),
             },
         };
-        let mut rows = HashMap::new();
+        let mut rows = BTreeMap::new();
         for s in 0..4u64 {
             rows.insert(
                 SerialNo(s),
@@ -395,7 +395,7 @@ mod tests {
     #[test]
     fn latency_store_charges_virtual_time_without_wall_time() {
         use ddemos_protocol::clock::VirtualClock;
-        let inner = MemoryStore::new(HashMap::new(), 1 << 20);
+        let inner = MemoryStore::new(BTreeMap::new(), 1 << 20);
         let model = StorageModel {
             base: Duration::from_millis(400),
             per_level: Duration::ZERO,

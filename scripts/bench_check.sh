@@ -12,8 +12,9 @@
 #                 shared CI runners are noisy; this catches order-of-
 #                 magnitude regressions, not percent-level drift)
 #
-# Exits non-zero when any benchmark regresses past the tolerance. CI wires
-# this warn-only (`|| true`); run it locally without the guard to gate.
+# Exits non-zero when any benchmark regresses past the tolerance. CI runs
+# this as a hard gate at the default 3.0x tolerance: generous enough for
+# shared-runner noise, tight enough to stop order-of-magnitude slips.
 set -eu
 
 smoke="${1:?usage: bench_check.sh <smoke.jsonl> [baseline.json] [tolerance]}"

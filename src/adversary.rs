@@ -19,14 +19,14 @@
 use ddemos_ea::SetupOutput;
 use ddemos_protocol::{PartId, SerialNo};
 use ddemos_vc::VcBehavior;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Applies the modification attack to `serial`'s `part`: swaps the
 /// encrypted vote codes of rows 0 and 1 so each code points at the other
 /// row's option commitment.
 pub fn modification_attack(setup: &mut SetupOutput, serial: SerialNo, part: PartId) {
-    let mut ballots: HashMap<_, _> = (*setup.bb_init.ballots).clone();
+    let mut ballots: BTreeMap<_, _> = (*setup.bb_init.ballots).clone();
     let ballot = ballots.get_mut(&serial).expect("serial exists");
     let rows = &mut ballot.parts[part.index()];
     assert!(rows.len() >= 2, "need at least two options to swap");

@@ -494,6 +494,7 @@ impl ElectionBuilder {
             Some(n) => Pool::new(n),
             None => Pool::from_env(),
         };
+        // lint:allow(wall-clock, wall-clock setup timing reported to the operator; never reaches a core)
         let setup_started = std::time::Instant::now();
         let ea = ElectionAuthority::new(self.params.clone(), self.seed);
         let mut setup = if partial {
@@ -802,6 +803,7 @@ impl ElectionBuilder {
             Some(n) => Pool::new(n),
             None => Pool::from_env(),
         };
+        // lint:allow(wall-clock, wall-clock setup timing reported to the operator; never reaches a core)
         let setup_started = std::time::Instant::now();
         let ea = ElectionAuthority::new(self.params.clone(), self.seed);
         let setup = ea.setup_with(SetupProfile::Full, &pool);

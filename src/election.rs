@@ -243,11 +243,13 @@ impl Election {
                 // in simulation time, so it runs suspended: virtual time
                 // keeps advancing underneath until the sets arrive.
                 let mut pending = std::mem::take(&mut self.run.lock().drained);
+                // lint:allow(wall-clock, operator-facing close-polls deadline over a real transport)
                 let deadline = Instant::now() + self.close_timeout;
                 while pending.len() < quorum {
                     let received = match &self.net {
                         NetBackend::Sim(_) => self.suspended(|| {
                             deadline
+                                // lint:allow(wall-clock, operator-facing deadline arithmetic; cores still step on now_ms)
                                 .checked_duration_since(Instant::now())
                                 .ok_or(())
                                 .and_then(|left| self.result_rx.recv_timeout(left).map_err(|_| ()))
@@ -574,11 +576,13 @@ impl Election {
         timeout: Duration,
     ) -> Result<Vec<FinalizedVoteSet>, ElectionError> {
         let mut out = Vec::new();
+        // lint:allow(wall-clock, operator-facing vote-set collection deadline over a real transport)
         let deadline = Instant::now() + timeout;
         let result = loop {
             if out.len() >= count {
                 break Ok(());
             }
+            // lint:allow(wall-clock, operator-facing deadline arithmetic; cores still step on now_ms)
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 break Err(ElectionError::VoteSetTimeout);
             };

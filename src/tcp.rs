@@ -255,8 +255,10 @@ impl RemoteBb {
         let request_id = self.next_request.fetch_add(1, Ordering::SeqCst);
         let endpoint = self.endpoint.lock();
         endpoint.send(self.target, make(request_id));
+        // lint:allow(wall-clock, client-side request timeout over a real TCP socket)
         let deadline = Instant::now() + self.timeout;
         loop {
+            // lint:allow(wall-clock, client-side request timeout over a real TCP socket)
             let remaining = deadline.checked_duration_since(Instant::now())?;
             let env = endpoint.recv_timeout(remaining).ok()?;
             let rid = match &env.msg {
@@ -373,6 +375,7 @@ impl TcpBackend {
         let control = self.control.lock();
         loop {
             let remaining = deadline
+                // lint:allow(wall-clock, client-side request timeout over a real TCP socket)
                 .checked_duration_since(Instant::now())
                 .ok_or(ElectionError::VoteSetTimeout)?;
             let Ok(env) = control.recv_timeout(remaining) else {
@@ -405,6 +408,7 @@ impl TcpBackend {
         }
         // Give the outbound writer threads a moment to flush the shutdown
         // frames before the sockets close.
+        // lint:allow(wall-clock, shutdown-path flush grace for writer threads; not protocol time)
         std::thread::sleep(Duration::from_millis(100));
         self.transport.shutdown();
     }

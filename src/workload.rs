@@ -88,6 +88,7 @@ impl Workload {
         let end = self.first_ballot + self.total_votes;
         let latencies_ns = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
         let failures = Arc::new(AtomicU64::new(0));
+        // lint:allow(wall-clock, benchmark wall-latency measurement; never reaches a core)
         let started = Instant::now();
         let started_sim_ns = net.now_ns();
         std::thread::scope(|scope| {
