@@ -55,6 +55,10 @@ pub enum WriteError {
     /// The replica could not be reached (remote replicas only — a local
     /// node never returns this).
     Unavailable,
+    /// The replica's journal device is full: it refuses new writes
+    /// rather than acknowledge them non-durably (read-only degradation;
+    /// reads still serve everything already accepted).
+    ReadOnly,
 }
 
 impl std::fmt::Display for WriteError {
@@ -65,6 +69,7 @@ impl std::fmt::Display for WriteError {
             WriteError::Inconsistent => "data inconsistent with verified state",
             WriteError::WrongPhase => "write arrived in the wrong phase",
             WriteError::Unavailable => "replica unreachable",
+            WriteError::ReadOnly => "replica degraded (journal device full): read-only",
         };
         write!(f, "{msg}")
     }
@@ -81,6 +86,7 @@ pub fn result_to_outcome(result: Result<(), WriteError>) -> BbWriteOutcome {
         // `Unavailable` never originates replica-side; collapse it to
         // the closest wire code defensively.
         Err(WriteError::WrongPhase) | Err(WriteError::Unavailable) => BbWriteOutcome::WrongPhase,
+        Err(WriteError::ReadOnly) => BbWriteOutcome::ReadOnly,
     }
 }
 
@@ -92,6 +98,7 @@ pub fn outcome_to_result(outcome: BbWriteOutcome) -> Result<(), WriteError> {
         BbWriteOutcome::UnknownWriter => Err(WriteError::UnknownWriter),
         BbWriteOutcome::Inconsistent => Err(WriteError::Inconsistent),
         BbWriteOutcome::WrongPhase => Err(WriteError::WrongPhase),
+        BbWriteOutcome::ReadOnly => Err(WriteError::ReadOnly),
     }
 }
 

@@ -26,6 +26,7 @@ use ddemos_protocol::posts::{TrusteePost, VoteSet};
 use ddemos_protocol::wire::{Reader, WireError, Writer};
 use ddemos_storage::{Durable, DynJournal, RecoveryStats, StorageError};
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One Bulletin Board node.
@@ -38,6 +39,16 @@ pub struct BbNode {
     /// logged; [`BbNode::recover_amnesia`] rebuilds the node by replaying
     /// the log through the same verified write path.
     journal: Mutex<Option<DynJournal>>,
+    /// Journal device reported full: the replica is read-only and
+    /// refuses writes with [`WriteError::ReadOnly`] instead of
+    /// acknowledging them non-durably. Reads keep serving everything
+    /// already accepted.
+    degraded: AtomicBool,
+    /// Byzantine divergence trigger: once the replica has accepted a
+    /// finalized vote set, its *reads* deny it ever did (serving a
+    /// pre-finalization snapshot). The read-side `fb+1` majority must
+    /// outvote such a replica.
+    diverge_after_finalized: AtomicBool,
 }
 
 impl BbNode {
@@ -48,6 +59,8 @@ impl BbNode {
             core: RwLock::new(BbCore::new(init.clone())),
             init,
             journal: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+            diverge_after_finalized: AtomicBool::new(false),
         }
     }
 
@@ -74,9 +87,33 @@ impl BbNode {
         &self.init
     }
 
+    /// Whether the replica is in read-only degraded mode (journal
+    /// device full).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Arms the state-triggered Byzantine divergence: after the first
+    /// finalized vote set is accepted, this replica's reads pretend the
+    /// finalization never happened. Until that trigger state is reached
+    /// the replica is indistinguishable from an honest one — the
+    /// adaptive-adversary shape the campaign fuzzer exercises against
+    /// [`crate::MajorityReader`].
+    pub fn set_diverge_after_finalized(&self, diverge: bool) {
+        self.diverge_after_finalized.store(diverge, Ordering::Release);
+    }
+
     /// Public read: the node's current snapshot.
     pub fn read(&self) -> BbSnapshot {
-        self.core.read().snapshot().clone()
+        let snapshot = self.core.read().snapshot().clone();
+        if self.diverge_after_finalized.load(Ordering::Acquire) && snapshot.vote_set.is_some() {
+            // The armed divergence: deny the finalized state, serving
+            // the empty pre-election snapshot. Every diverging reply is
+            // identical, so the lie is as self-consistent as a Byzantine
+            // replica can make it.
+            return BbSnapshot::default();
+        }
+        snapshot
     }
 
     /// Power-cycles the node: all volatile state is dropped (unsynced
@@ -86,6 +123,9 @@ impl BbNode {
     /// journal this is a plain amnesia crash: the node comes back empty,
     /// and the read-side `fb+1` majority carries the subsystem.
     pub fn recover_amnesia(&self) {
+        // A restart re-probes the device: if it is still full, the first
+        // journaled write re-enters degraded mode.
+        self.degraded.store(false, Ordering::Release);
         *self.core.write() = BbCore::new(self.init.clone());
         let mut guard = self.journal.lock();
         if let Some(journal) = guard.as_mut() {
@@ -103,6 +143,9 @@ impl BbNode {
     /// Runs one write through the core and executes its outputs: journal
     /// append + commit (+ snapshot cadence) before the reply is released.
     fn submit(&self, input: BbInput) -> Result<(), WriteError> {
+        if self.degraded.load(Ordering::Acquire) {
+            return Err(WriteError::ReadOnly);
+        }
         let outputs = self.core.write().step(input);
         let mut outcome = Ok(());
         for output in outputs {
@@ -116,6 +159,18 @@ impl BbNode {
                             Ok(())
                         });
                         if let Err(e) = append {
+                            if e.is_disk_full() {
+                                // Nothing was written (the WAL frame
+                                // counter did not advance). Refuse the
+                                // write instead of acknowledging it
+                                // non-durably, and stay read-only: the
+                                // journal on disk is intact for replay.
+                                eprintln!(
+                                    "bb: journal device full; entering read-only degraded mode"
+                                );
+                                self.degraded.store(true, Ordering::Release);
+                                return Err(WriteError::ReadOnly);
+                            }
                             eprintln!("bb: journal write failed ({e}); continuing volatile");
                         }
                     }

@@ -182,6 +182,12 @@ impl<'a, R: Rng> Voter<'a, R> {
                     VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode) => {
                         return Err(VoteError::Rejected(RejectReason::AlreadyVotedDifferentCode));
                     }
+                    VoteOutcome::Rejected(RejectReason::ReplicaDegraded) => {
+                        // A read-only (disk-full) replica is a faulty
+                        // node, not a verdict on the ballot: blacklist it
+                        // and try the next collector, like a timeout.
+                        break;
+                    }
                     VoteOutcome::Rejected(reason) => return Err(VoteError::Rejected(reason)),
                 }
             }

@@ -72,8 +72,30 @@ pub enum NetFault {
     CrashAmnesia(NodeId),
     /// Installs a bidirectional partition between two node groups.
     Partition(Vec<NodeId>, Vec<NodeId>),
-    /// Removes all partitions.
+    /// Installs a **gray partition**: traffic from the first group to the
+    /// second is degraded in that direction only (replies still flow).
+    /// `loss_pct` is the percentage of affected messages dropped:
+    /// `100` is a clean one-way cut, anything in `1..100` is the
+    /// lossy-but-not-dead link real deployments see (a flapping NIC, an
+    /// asymmetric routing brown-out). Lossy drops are drawn from the
+    /// network's seeded RNG, so a schedule replays identically.
+    GrayPartition {
+        /// Senders whose traffic is affected.
+        from: Vec<NodeId>,
+        /// Receivers the affected traffic was headed to.
+        to: Vec<NodeId>,
+        /// Drop percentage in `1..=100` for `from → to` messages.
+        loss_pct: u8,
+    },
+    /// Removes all partitions — bidirectional **and** gray/asymmetric
+    /// (a heal that left a one-way cut behind would be a stuck fault no
+    /// schedule could express its way out of).
     HealPartitions,
+    /// Heals only the cuts between two specific groups: bidirectional
+    /// partitions installed between these groups (either orientation) and
+    /// gray cuts from the first group to the second. Other cuts persist,
+    /// so a campaign can heal one partition while another stays open.
+    HealPartition(Vec<NodeId>, Vec<NodeId>),
     /// Replaces the latency/loss profile (drop / duplicate / reorder
     /// bursts are a `SetProfile` pair: degrade, then restore).
     SetProfile(NetworkProfile),
@@ -126,10 +148,18 @@ enum TimeMode {
 /// journal recovery before its next use.
 pub type AmnesiaHook = Arc<dyn Fn(NodeId) + Send + Sync>;
 
+/// One installed gray cut (see [`NetFault::GrayPartition`]).
+struct GrayCut {
+    from: HashSet<NodeId>,
+    to: HashSet<NodeId>,
+    loss_pct: u8,
+}
+
 struct NetInner {
     inboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
     crashed: RwLock<HashSet<NodeId>>,
     partitions: RwLock<Vec<(HashSet<NodeId>, HashSet<NodeId>)>>,
+    gray: RwLock<Vec<GrayCut>>,
     profile: RwLock<NetworkProfile>,
     queue: Mutex<BinaryHeap<Reverse<Scheduled>>>,
     queue_cv: Condvar,
@@ -164,10 +194,34 @@ impl NetInner {
                 return true;
             }
         }
-        let parts = self.partitions.read();
-        parts.iter().any(|(a, b)| {
-            (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
-        })
+        {
+            let parts = self.partitions.read();
+            if parts.iter().any(|(a, b)| {
+                (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
+            }) {
+                return true;
+            }
+        }
+        // A 100% gray cut is a hard block in its one direction (the
+        // reverse direction deliberately stays open). Lossy cuts are
+        // probabilistic and resolved at send time (`gray_loss_pct`), not
+        // here — `blocked` is also re-checked at delivery time, and a
+        // second coin flip there would double the effective loss.
+        self.gray
+            .read()
+            .iter()
+            .any(|g| g.loss_pct >= 100 && g.from.contains(&from) && g.to.contains(&to))
+    }
+
+    /// The highest lossy (non-total) gray-cut percentage covering
+    /// `from → to`, if any. Total cuts are handled by [`Self::blocked`].
+    fn gray_loss_pct(&self, from: NodeId, to: NodeId) -> Option<u8> {
+        self.gray
+            .read()
+            .iter()
+            .filter(|g| g.loss_pct < 100 && g.from.contains(&from) && g.to.contains(&to))
+            .map(|g| g.loss_pct)
+            .max()
     }
 
     fn deliver(&self, env: Envelope, delay_ns: u64) {
@@ -236,8 +290,24 @@ impl NetInner {
                     .write()
                     .push((a.into_iter().collect(), b.into_iter().collect()));
             }
+            NetFault::GrayPartition { from, to, loss_pct } => {
+                self.gray.write().push(GrayCut {
+                    from: from.into_iter().collect(),
+                    to: to.into_iter().collect(),
+                    loss_pct,
+                });
+            }
             NetFault::HealPartitions => {
                 self.partitions.write().clear();
+                self.gray.write().clear();
+            }
+            NetFault::HealPartition(a, b) => {
+                let a: HashSet<NodeId> = a.into_iter().collect();
+                let b: HashSet<NodeId> = b.into_iter().collect();
+                self.partitions
+                    .write()
+                    .retain(|(x, y)| !((*x == a && *y == b) || (*x == b && *y == a)));
+                self.gray.write().retain(|g| !(g.from == a && g.to == b));
             }
             NetFault::SetProfile(profile) => {
                 *self.profile.write() = profile;
@@ -332,6 +402,7 @@ impl SimNet {
                 inboxes: RwLock::new(HashMap::new()),
                 crashed: RwLock::new(HashSet::new()),
                 partitions: RwLock::new(Vec::new()),
+                gray: RwLock::new(Vec::new()),
                 profile: RwLock::new(profile),
                 queue: Mutex::new(BinaryHeap::new()),
                 queue_cv: Condvar::new(),
@@ -430,9 +501,38 @@ impl SimNet {
         ));
     }
 
-    /// Removes all partitions.
+    /// Installs a gray (asymmetric) partition: `loss_pct` percent of the
+    /// messages from the first group to the second are dropped; the
+    /// reverse direction is untouched. See [`NetFault::GrayPartition`].
+    pub fn gray_partition(
+        &self,
+        from: impl IntoIterator<Item = NodeId>,
+        to: impl IntoIterator<Item = NodeId>,
+        loss_pct: u8,
+    ) {
+        self.inner.apply_fault(NetFault::GrayPartition {
+            from: from.into_iter().collect(),
+            to: to.into_iter().collect(),
+            loss_pct,
+        });
+    }
+
+    /// Removes all partitions, including gray/asymmetric cuts.
     pub fn heal_partitions(&self) {
         self.inner.apply_fault(NetFault::HealPartitions);
+    }
+
+    /// Heals only the cuts between the two given groups (see
+    /// [`NetFault::HealPartition`]); every other cut persists.
+    pub fn heal_partition(
+        &self,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.inner.apply_fault(NetFault::HealPartition(
+            a.into_iter().collect(),
+            b.into_iter().collect(),
+        ));
     }
 
     /// Schedules a fault to fire at `at` of simulation time (since network
@@ -484,9 +584,19 @@ impl SimNet {
             self.inner.stats.record_dropped();
             return;
         }
+        let gray_loss = self.inner.gray_loss_pct(env.from, env.to);
         let (delay, dup) = {
             let profile = self.inner.profile.read();
             let mut rng = self.inner.rng.lock();
+            // Lossy (non-total) gray cut: one seeded coin per send, drawn
+            // here so the draw order — and therefore the whole run — stays
+            // a pure function of the seed.
+            if let Some(pct) = gray_loss {
+                if rng.gen_range(0..100u8) < pct {
+                    self.inner.stats.record_dropped();
+                    return;
+                }
+            }
             if profile.drop_probability > 0.0 && rng.gen_bool(profile.drop_probability) {
                 self.inner.stats.record_dropped();
                 return;
@@ -765,6 +875,95 @@ mod tests {
             2
         );
         net.shutdown();
+    }
+
+    #[test]
+    fn gray_partition_is_one_directional() {
+        let net = SimNet::new(NetworkProfile::instant(), 40);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        net.gray_partition([NodeId::vc(0)], [NodeId::vc(1)], 100);
+        // a → b: cut.
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        // b → a: the reverse direction still flows.
+        b.send(NodeId::vc(0), vote_msg(2));
+        assert_eq!(
+            serial_of(&a.recv_timeout(Duration::from_secs(1)).unwrap().msg),
+            2
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn heal_partitions_clears_gray_state() {
+        let net = SimNet::new(NetworkProfile::instant(), 41);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        net.gray_partition([NodeId::vc(0)], [NodeId::vc(1)], 100);
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.heal_partitions();
+        a.send(NodeId::vc(1), vote_msg(2));
+        assert_eq!(
+            serial_of(&b.recv_timeout(Duration::from_secs(1)).unwrap().msg),
+            2
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn targeted_heal_leaves_other_cuts_in_place() {
+        let net = SimNet::new(NetworkProfile::instant(), 42);
+        let a = net.register(NodeId::vc(0));
+        let b = net.register(NodeId::vc(1));
+        let c = net.register(NodeId::vc(2));
+        net.partition([NodeId::vc(0)], [NodeId::vc(1)]);
+        net.gray_partition([NodeId::vc(0)], [NodeId::vc(2)], 100);
+        net.heal_partition([NodeId::vc(0)], [NodeId::vc(1)]);
+        // The healed symmetric cut flows again…
+        a.send(NodeId::vc(1), vote_msg(1));
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        // …while the untargeted gray cut persists.
+        a.send(NodeId::vc(2), vote_msg(2));
+        assert!(c.recv_timeout(Duration::from_millis(50)).is_err());
+        net.heal_partition([NodeId::vc(0)], [NodeId::vc(2)]);
+        a.send(NodeId::vc(2), vote_msg(3));
+        assert!(c.recv_timeout(Duration::from_secs(1)).is_ok());
+        net.shutdown();
+    }
+
+    #[test]
+    fn lossy_gray_partition_drops_some_but_not_all() {
+        // Property, checked across seeds: at 50% loss a burst of sends
+        // loses some messages and keeps some — the link is degraded, not
+        // dead — and the reverse direction loses nothing.
+        for seed in 50..54u64 {
+            let clock = VirtualClock::new();
+            let net = SimNet::new_virtual(NetworkProfile::instant(), seed, clock);
+            let a = net.register(NodeId::vc(0));
+            let b = net.register(NodeId::vc(1));
+            let _actor = b.actor_guard();
+            net.gray_partition([NodeId::vc(0)], [NodeId::vc(1)], 50);
+            for i in 0..100 {
+                a.send(NodeId::vc(1), vote_msg(i));
+            }
+            let mut got = 0u32;
+            while b.recv_timeout(Duration::from_millis(10)).is_ok() {
+                got += 1;
+            }
+            assert!(got > 0, "seed {seed}: 50% loss must not kill the link");
+            assert!(got < 100, "seed {seed}: 50% loss must drop something");
+            for i in 0..20 {
+                b.send(NodeId::vc(0), vote_msg(i));
+            }
+            let mut reverse = 0u32;
+            while a.recv_timeout(Duration::from_millis(10)).is_ok() {
+                reverse += 1;
+            }
+            assert_eq!(reverse, 20, "seed {seed}: reverse direction untouched");
+            net.shutdown();
+        }
     }
 
     #[test]

@@ -382,6 +382,7 @@ fn put_reject_reason(w: &mut Writer, reason: RejectReason) {
         RejectReason::UnknownSerial => 1,
         RejectReason::InvalidVoteCode => 2,
         RejectReason::AlreadyVotedDifferentCode => 3,
+        RejectReason::ReplicaDegraded => 4,
     });
 }
 
@@ -391,6 +392,7 @@ fn get_reject_reason(r: &mut Reader<'_>) -> Result<RejectReason, WireError> {
         1 => RejectReason::UnknownSerial,
         2 => RejectReason::InvalidVoteCode,
         3 => RejectReason::AlreadyVotedDifferentCode,
+        4 => RejectReason::ReplicaDegraded,
         _ => return Err(WireError::BadValue),
     })
 }
@@ -552,6 +554,7 @@ fn put_bb_write_outcome(w: &mut Writer, outcome: BbWriteOutcome) {
         BbWriteOutcome::UnknownWriter => 2,
         BbWriteOutcome::Inconsistent => 3,
         BbWriteOutcome::WrongPhase => 4,
+        BbWriteOutcome::ReadOnly => 5,
     });
 }
 
@@ -562,6 +565,7 @@ fn get_bb_write_outcome(r: &mut Reader<'_>) -> Result<BbWriteOutcome, WireError>
         2 => BbWriteOutcome::UnknownWriter,
         3 => BbWriteOutcome::Inconsistent,
         4 => BbWriteOutcome::WrongPhase,
+        5 => BbWriteOutcome::ReadOnly,
         _ => return Err(WireError::BadValue),
     })
 }
@@ -1050,12 +1054,13 @@ mod tests {
             1 => Msg::VoteReply {
                 request_id: rng.gen(),
                 serial: SerialNo(rng.gen()),
-                outcome: match rng.gen_range(0..5u32) {
+                outcome: match rng.gen_range(0..6u32) {
                     0 => VoteOutcome::Receipt(rng.gen()),
                     1 => VoteOutcome::Rejected(RejectReason::OutsideVotingHours),
                     2 => VoteOutcome::Rejected(RejectReason::UnknownSerial),
                     3 => VoteOutcome::Rejected(RejectReason::InvalidVoteCode),
-                    _ => VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                    4 => VoteOutcome::Rejected(RejectReason::AlreadyVotedDifferentCode),
+                    _ => VoteOutcome::Rejected(RejectReason::ReplicaDegraded),
                 },
             },
             2 => Msg::Endorse {
@@ -1137,12 +1142,13 @@ mod tests {
             },
             15 => Msg::BbWriteReply {
                 request_id: rng.gen(),
-                outcome: match rng.gen_range(0..5u32) {
+                outcome: match rng.gen_range(0..6u32) {
                     0 => BbWriteOutcome::Accepted,
                     1 => BbWriteOutcome::BadSignature,
                     2 => BbWriteOutcome::UnknownWriter,
                     3 => BbWriteOutcome::Inconsistent,
-                    _ => BbWriteOutcome::WrongPhase,
+                    4 => BbWriteOutcome::WrongPhase,
+                    _ => BbWriteOutcome::ReadOnly,
                 },
             },
             16 => Msg::BbReadRequest {

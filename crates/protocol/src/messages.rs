@@ -41,6 +41,11 @@ pub enum RejectReason {
     InvalidVoteCode,
     /// The ballot was already used with a *different* vote code.
     AlreadyVotedDifferentCode,
+    /// The replica's journal device is full: it is read-only and refuses
+    /// to accept new votes rather than record them non-durably (the voter
+    /// retries against another node; the degraded node counts toward the
+    /// `fv` fault budget).
+    ReplicaDegraded,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -50,6 +55,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::UnknownSerial => "unknown ballot serial",
             RejectReason::InvalidVoteCode => "vote code not on ballot",
             RejectReason::AlreadyVotedDifferentCode => "ballot already voted with another code",
+            RejectReason::ReplicaDegraded => "replica degraded (journal device full): read-only",
         };
         write!(f, "{msg}")
     }
@@ -228,6 +234,9 @@ pub enum BbWriteOutcome {
     Inconsistent,
     /// The node is not yet in the phase this write belongs to.
     WrongPhase,
+    /// The replica's journal device is full: it is read-only and refuses
+    /// new writes rather than acknowledge them non-durably.
+    ReadOnly,
 }
 
 /// All messages exchanged on the simulated network.

@@ -30,6 +30,20 @@ pub enum StorageError {
     Io(std::io::Error),
     /// A stored structure failed to decode (checksum or codec).
     Corrupt(&'static str),
+    /// The device has no room for the append. Replicas must treat this
+    /// as "stop accepting new writes", not as data loss: everything
+    /// already synced is still durable and readable, so the correct
+    /// response is read-only degradation, never dropping the journal.
+    DiskFull,
+}
+
+impl StorageError {
+    /// Whether this error is a full device (the recoverable,
+    /// degrade-to-read-only case) as opposed to I/O failure or
+    /// corruption.
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, StorageError::DiskFull)
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -37,6 +51,7 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
             StorageError::Corrupt(what) => write!(f, "corrupt storage: {what}"),
+            StorageError::DiskFull => write!(f, "disk full"),
         }
     }
 }
@@ -285,12 +300,27 @@ struct SimDiskInner {
     snapshot: Option<Vec<u8>>,
 }
 
+/// A schedulable fault mode for a [`SimDisk`] (the disk-side analogue of
+/// `NetFault`). Campaign runners flip these at virtual times; the flags
+/// are plain state, so the same schedule replays identically.
+#[derive(Default)]
+struct SimDiskFault {
+    /// When set, every `append` fails with [`StorageError::DiskFull`]
+    /// (synced data stays readable — the degradation, not data-loss,
+    /// model of a full device).
+    full: bool,
+    /// When set, overrides the construction-time latency profile (e.g. a
+    /// pathologically slow fsync during a brown-out window).
+    profile: Option<DiskProfile>,
+}
+
 /// Deterministic in-memory disk with clock-charged latencies and
 /// torn-tail crash injection.
 pub struct SimDisk {
     inner: Mutex<SimDiskInner>,
-    clock: GlobalClock,
+    clock: Mutex<GlobalClock>,
     profile: DiskProfile,
+    fault: Mutex<SimDiskFault>,
     syncs: AtomicU64,
     appended: AtomicU64,
 }
@@ -300,11 +330,26 @@ impl SimDisk {
     pub fn new(clock: GlobalClock, profile: DiskProfile) -> SimDisk {
         SimDisk {
             inner: Mutex::new(SimDiskInner::default()),
-            clock,
+            clock: Mutex::new(clock),
             profile,
+            fault: Mutex::new(SimDiskFault::default()),
             syncs: AtomicU64::new(0),
             appended: AtomicU64::new(0),
         }
+    }
+
+    /// Re-points latency charging at a different clock. Campaign runners
+    /// carry a disk (its durable bytes, wear counters, and fault state)
+    /// across sequential elections, each of which owns a fresh virtual
+    /// clock — charging the previous election's stalled clock would
+    /// deadlock the new one.
+    pub fn set_clock(&self, clock: GlobalClock) {
+        *self.clock.lock() = clock;
+    }
+
+    fn charge(&self, d: Duration) {
+        let clock = self.clock.lock().clone();
+        clock.sleep(d);
     }
 
     /// Number of syncs performed (what group commit minimizes).
@@ -321,12 +366,51 @@ impl SimDisk {
     pub fn synced_len(&self) -> u64 {
         self.inner.lock().synced_len as u64
     }
+
+    /// Clears the logical contents — log, sync watermark, snapshot — while
+    /// keeping the wear counters and the fault state. This is the campaign
+    /// election boundary: the next election starts with an empty journal on
+    /// the same physical device, so a still-full device stays full and a
+    /// brown-out window keeps charging until explicitly restored.
+    pub fn reset_contents(&self) {
+        let mut inner = self.inner.lock();
+        inner.log.clear();
+        inner.synced_len = 0;
+        inner.snapshot = None;
+    }
+
+    /// Marks the device full (or clears the condition). While full,
+    /// every [`Disk::append`] returns [`StorageError::DiskFull`]; reads,
+    /// syncs of already-appended data, and snapshots still work.
+    pub fn set_full(&self, full: bool) {
+        self.fault.lock().full = full;
+    }
+
+    /// Whether the device is currently marked full.
+    pub fn is_full(&self) -> bool {
+        self.fault.lock().full
+    }
+
+    /// Overrides the latency profile (pass `None` to restore the
+    /// construction-time profile). Used by fault schedules to model
+    /// slow-fsync windows without rebuilding the disk.
+    pub fn set_fault_profile(&self, profile: Option<DiskProfile>) {
+        self.fault.lock().profile = profile;
+    }
+
+    /// The profile charged right now (fault override, else base).
+    fn effective_profile(&self) -> DiskProfile {
+        self.fault.lock().profile.unwrap_or(self.profile)
+    }
 }
 
 impl Disk for SimDisk {
     fn append(&self, buf: &[u8]) -> Result<u64, StorageError> {
-        self.clock
-            .sleep(DiskProfile::per_kib(self.profile.append_per_kib, buf.len()));
+        let profile = self.effective_profile();
+        if self.fault.lock().full {
+            return Err(StorageError::DiskFull);
+        }
+        self.charge(DiskProfile::per_kib(profile.append_per_kib, buf.len()));
         let mut inner = self.inner.lock();
         let offset = inner.log.len() as u64;
         inner.log.extend_from_slice(buf);
@@ -335,7 +419,7 @@ impl Disk for SimDisk {
     }
 
     fn sync(&self) -> Result<(), StorageError> {
-        self.clock.sleep(self.profile.fsync);
+        self.charge(self.effective_profile().fsync);
         let mut inner = self.inner.lock();
         inner.synced_len = inner.log.len();
         self.syncs.fetch_add(1, Ordering::Relaxed);
@@ -347,8 +431,10 @@ impl Disk for SimDisk {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
-        self.clock
-            .sleep(DiskProfile::per_kib(self.profile.read_per_kib, buf.len()));
+        self.charge(DiskProfile::per_kib(
+            self.effective_profile().read_per_kib,
+            buf.len(),
+        ));
         let inner = self.inner.lock();
         let start = offset as usize;
         let end = start + buf.len();
@@ -367,9 +453,11 @@ impl Disk for SimDisk {
     }
 
     fn write_snapshot(&self, bytes: &[u8]) -> Result<(), StorageError> {
-        self.clock.sleep(
-            DiskProfile::per_kib(self.profile.append_per_kib, bytes.len()) + self.profile.fsync,
-        );
+        let profile = self.effective_profile();
+        if self.fault.lock().full {
+            return Err(StorageError::DiskFull);
+        }
+        self.charge(DiskProfile::per_kib(profile.append_per_kib, bytes.len()) + profile.fsync);
         self.inner.lock().snapshot = Some(bytes.to_vec());
         Ok(())
     }
@@ -377,8 +465,10 @@ impl Disk for SimDisk {
     fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError> {
         let snap = self.inner.lock().snapshot.clone();
         if let Some(snap) = &snap {
-            self.clock
-                .sleep(DiskProfile::per_kib(self.profile.read_per_kib, snap.len()));
+            self.charge(DiskProfile::per_kib(
+                self.effective_profile().read_per_kib,
+                snap.len(),
+            ));
         }
         Ok(snap)
     }
@@ -440,6 +530,48 @@ mod tests {
         assert_eq!(vclock.now_ms(), 10, "two fsyncs at 5 virtual ms each");
         assert!(wall.elapsed() < Duration::from_millis(5));
         assert_eq!(disk.syncs(), 2);
+    }
+
+    #[test]
+    fn simdisk_full_rejects_appends_but_keeps_reads() {
+        let disk = SimDisk::new(GlobalClock::new(), DiskProfile::instant());
+        disk.append(b"durable").unwrap();
+        disk.sync().unwrap();
+        disk.set_full(true);
+        let err = disk.append(b"more").unwrap_err();
+        assert!(err.is_disk_full(), "expected DiskFull, got {err}");
+        assert!(disk.write_snapshot(b"snap").unwrap_err().is_disk_full());
+        // Synced data is still readable and still durable.
+        let mut buf = [0u8; 7];
+        disk.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable");
+        disk.sync().unwrap();
+        assert_eq!(disk.synced_len(), 7);
+        // Clearing the condition restores writes.
+        disk.set_full(false);
+        disk.append(b"more").unwrap();
+        assert_eq!(disk.len(), 11);
+    }
+
+    #[test]
+    fn simdisk_fault_profile_overrides_latency() {
+        use ddemos_protocol::clock::VirtualClock;
+        let vclock = VirtualClock::new();
+        let clock = GlobalClock::new_virtual(vclock.clone());
+        let disk = SimDisk::new(clock, DiskProfile::instant());
+        disk.append(b"x").unwrap();
+        disk.sync().unwrap();
+        assert_eq!(vclock.now_ms(), 0, "instant profile charges nothing");
+        disk.set_fault_profile(Some(DiskProfile {
+            append_per_kib: Duration::ZERO,
+            fsync: Duration::from_millis(40),
+            read_per_kib: Duration::ZERO,
+        }));
+        disk.sync().unwrap();
+        assert_eq!(vclock.now_ms(), 40, "slow-fsync fault window charges");
+        disk.set_fault_profile(None);
+        disk.sync().unwrap();
+        assert_eq!(vclock.now_ms(), 40, "restored profile is instant again");
     }
 
     #[test]

@@ -119,7 +119,9 @@ impl<D: Disk> Journal<D> {
     /// commit window filled).
     ///
     /// # Errors
-    /// [`StorageError::Io`] on disk failure.
+    /// [`StorageError::Io`] on disk failure; [`StorageError::DiskFull`]
+    /// when the device has no room (nothing was written — callers should
+    /// degrade to read-only rather than discard the journal).
     pub fn append(&mut self, record: &[u8]) -> Result<(), StorageError> {
         self.wal.append(record)?;
         self.since_snapshot += 1;

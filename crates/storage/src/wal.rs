@@ -162,7 +162,11 @@ impl<D: Disk> Wal<D> {
     /// commit: the disk is synced once `group_commit` frames accumulate.
     ///
     /// # Errors
-    /// [`StorageError::Io`] on disk failure.
+    /// [`StorageError::Io`] on disk failure, [`StorageError::DiskFull`]
+    /// when the device has no room — in which case nothing was written
+    /// (the frame counter does not advance) and the log's existing
+    /// contents remain intact and replayable: callers should degrade to
+    /// read-only, not discard the journal.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
         let offset = self.disk.append(&encode_frame(payload))?;
         self.frames += 1;
@@ -360,6 +364,28 @@ mod tests {
         let (frames, summary) = collect(&mut fresh);
         assert_eq!(frames, vec![b"good".to_vec(), b"after-repair".to_vec()]);
         assert_eq!(summary.torn_bytes, 0);
+    }
+
+    #[test]
+    fn full_disk_append_is_typed_and_preserves_the_log() {
+        let disk = sim();
+        let mut wal = Wal::new(disk.clone(), WalConfig { group_commit: 1 });
+        wal.append(b"first").unwrap();
+        wal.append(b"second").unwrap();
+        disk.set_full(true);
+        let err = wal.append(b"overflow").unwrap_err();
+        assert!(err.is_disk_full(), "expected DiskFull, got {err}");
+        assert_eq!(wal.frames(), 2, "failed append must not count a frame");
+        // Everything already durable replays exactly; the journal was not
+        // dropped by the failure.
+        let mut fresh = Wal::new(disk.clone(), WalConfig::default());
+        let (frames, summary) = collect(&mut fresh);
+        assert_eq!(frames, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(summary.torn_bytes, 0);
+        // Space reclaimed: appends work again.
+        disk.set_full(false);
+        fresh.append(b"third").unwrap();
+        assert_eq!(fresh.frames(), 3);
     }
 
     #[test]

@@ -39,3 +39,181 @@ impl VcBehavior {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// State-triggered adversaries
+// ---------------------------------------------------------------------------
+
+/// What a [`TriggeredAdversary`]'s predicate gets to look at when an
+/// adversarial action is possible: the protocol state the node has
+/// actually observed, not the global schedule. This is what makes the
+/// adversary *adaptive* — it reacts to the run, like a real attacker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdversaryView {
+    /// Verified endorsement signatures this node has observed so far
+    /// (its own signatures included).
+    pub endorsements_seen: u64,
+    /// The ballot serial the pending action concerns, when there is one.
+    pub serial: Option<u64>,
+}
+
+/// A predicate over observed protocol state (see [`AdversaryView`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Always satisfied (a static adversary expressed in trigger form).
+    Always,
+    /// Satisfied once the node has observed at least this many verified
+    /// endorsement signatures — e.g. `AfterEndorsements(fv)` waits until
+    /// the adversary has *seen* `fv` endorsements before striking.
+    AfterEndorsements(u64),
+    /// Satisfied only for ballot serials in this inclusive range (a
+    /// targeted attack on a block of voters).
+    SerialInRange(u64, u64),
+}
+
+impl Trigger {
+    /// Whether the predicate holds for this observation.
+    pub fn satisfied(&self, view: AdversaryView) -> bool {
+        match *self {
+            Trigger::Always => true,
+            Trigger::AfterEndorsements(n) => view.endorsements_seen >= n,
+            Trigger::SerialInRange(lo, hi) => {
+                view.serial.is_some_and(|s| s >= lo && s <= hi)
+            }
+        }
+    }
+}
+
+/// A state-triggered Byzantine profile: a [`VcBehavior`] action armed by
+/// a [`Trigger`] predicate, with a fire budget.
+///
+/// Unlike the static behaviors above (which misbehave from the first
+/// opportunity), a triggered adversary follows the protocol until its
+/// predicate over *observed* state becomes true, then performs its
+/// action at most `max_fires` times. The core consults it at the same
+/// decision points where the static behaviors act, so a triggered
+/// adversary can do nothing a static one could not — it only chooses
+/// *when*, which is exactly the capability the paper's asynchronous
+/// adversary has (§III-C: the adversary schedules message delivery and
+/// corruption adaptively).
+#[derive(Clone, Debug)]
+pub struct TriggeredAdversary {
+    action: VcBehavior,
+    trigger: Trigger,
+    max_fires: u64,
+    fired: u64,
+}
+
+impl TriggeredAdversary {
+    /// An adversary performing `action` whenever `trigger` is satisfied,
+    /// at most `max_fires` times.
+    pub fn new(action: VcBehavior, trigger: Trigger, max_fires: u64) -> TriggeredAdversary {
+        TriggeredAdversary {
+            action,
+            trigger,
+            max_fires,
+            fired: 0,
+        }
+    }
+
+    /// One-shot equivocation, armed only after the node has observed
+    /// `n` verified endorsements (classically `n = fv`: strike once the
+    /// honest quorum is believably close).
+    pub fn equivocate_after_endorsements(n: u64) -> TriggeredAdversary {
+        TriggeredAdversary::new(
+            VcBehavior::EquivocalEndorser,
+            Trigger::AfterEndorsements(n),
+            1,
+        )
+    }
+
+    /// Withholds receipt shares, but only for ballot serials in
+    /// `lo..=hi` (every other voter is served honestly — the hardest
+    /// kind of misbehavior to notice from aggregate statistics).
+    pub fn withhold_shares_for_serials(lo: u64, hi: u64) -> TriggeredAdversary {
+        TriggeredAdversary::new(
+            VcBehavior::WithholdShares,
+            Trigger::SerialInRange(lo, hi),
+            u64::MAX,
+        )
+    }
+
+    /// Discloses corrupted receipt shares for serials in `lo..=hi`.
+    pub fn corrupt_shares_for_serials(lo: u64, hi: u64) -> TriggeredAdversary {
+        TriggeredAdversary::new(
+            VcBehavior::CorruptShares,
+            Trigger::SerialInRange(lo, hi),
+            u64::MAX,
+        )
+    }
+
+    /// The action this adversary performs when it fires.
+    pub fn action(&self) -> VcBehavior {
+        self.action
+    }
+
+    /// How many times the predicate has fired (latched actions taken).
+    pub fn times_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Checks whether this adversary performs `action` for the given
+    /// observation, **latching** a fire (consuming budget) when it does.
+    /// Call only at the point where the action would actually be taken —
+    /// the fire count is the number of protocol violations committed,
+    /// not the number of times the predicate was merely evaluated.
+    pub fn fires(&mut self, action: VcBehavior, view: AdversaryView) -> bool {
+        if self.action != action || self.fired >= self.max_fires {
+            return false;
+        }
+        if !self.trigger.satisfied(view) {
+            return false;
+        }
+        self.fired += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_equivocation_fires_exactly_once() {
+        let mut adv = TriggeredAdversary::equivocate_after_endorsements(2);
+        let before = AdversaryView {
+            endorsements_seen: 1,
+            serial: None,
+        };
+        let after = AdversaryView {
+            endorsements_seen: 2,
+            serial: None,
+        };
+        // Not armed yet: fewer endorsements observed than the threshold.
+        assert!(!adv.fires(VcBehavior::EquivocalEndorser, before));
+        assert_eq!(adv.times_fired(), 0);
+        // Armed: fires once…
+        assert!(adv.fires(VcBehavior::EquivocalEndorser, after));
+        assert_eq!(adv.times_fired(), 1);
+        // …and exactly once: the budget is spent.
+        assert!(!adv.fires(VcBehavior::EquivocalEndorser, after));
+        assert!(!adv.fires(VcBehavior::EquivocalEndorser, after));
+        assert_eq!(adv.times_fired(), 1);
+    }
+
+    #[test]
+    fn serial_range_trigger_is_targeted() {
+        let mut adv = TriggeredAdversary::withhold_shares_for_serials(5, 7);
+        let hit = |s| AdversaryView {
+            endorsements_seen: 0,
+            serial: Some(s),
+        };
+        assert!(!adv.fires(VcBehavior::WithholdShares, hit(4)));
+        assert!(adv.fires(VcBehavior::WithholdShares, hit(5)));
+        assert!(adv.fires(VcBehavior::WithholdShares, hit(7)));
+        assert!(!adv.fires(VcBehavior::WithholdShares, hit(8)));
+        // A different action never matches this adversary.
+        assert!(!adv.fires(VcBehavior::CorruptShares, hit(6)));
+        assert_eq!(adv.times_fired(), 2);
+    }
+}

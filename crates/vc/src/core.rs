@@ -18,7 +18,7 @@
 //! outputs in order preserves the "durable before externally visible"
 //! invariant the recovery tests assert.
 
-use crate::behavior::VcBehavior;
+use crate::behavior::{AdversaryView, TriggeredAdversary, VcBehavior};
 use crate::durable::{BallotSlot, DurableView, Status, VcRecord};
 use crate::store::BallotStore;
 use ddemos_crypto::schnorr::Signature;
@@ -263,6 +263,15 @@ pub struct VcCore<S> {
     init: VcInit,
     store: S,
     behavior: VcBehavior,
+    /// A state-triggered Byzantine profile layered over `behavior`
+    /// (consulted at the same decision points; see
+    /// [`TriggeredAdversary`]). `None` for honest and statically
+    /// Byzantine nodes.
+    adversary: Option<TriggeredAdversary>,
+    /// Verified endorsement signatures observed so far (own included) —
+    /// the "protocol state seen" that endorsement-count triggers
+    /// predicate over.
+    endorsements_seen: u64,
     poll: Duration,
     beacon: u64,
     /// Whether a journal is attached driver-side: gates the
@@ -299,6 +308,12 @@ pub struct VcCore<S> {
     awaiting_recovery: bool,
     /// The time stamp of the step being processed.
     now_ms: u64,
+    /// Journal device reported full: the node is read-only. It keeps
+    /// serving already-recorded receipts but refuses to take on new
+    /// votes or sign new endorsements — a durable promise it could not
+    /// keep across a restart would break receipt uniqueness. Set by the
+    /// driver when an append returns `StorageError::DiskFull`.
+    degraded: bool,
     outputs: Vec<VcOutput>,
 }
 
@@ -318,6 +333,8 @@ impl<S: BallotStore> VcCore<S> {
             init,
             store,
             behavior,
+            adversary: None,
+            endorsements_seen: 0,
             poll,
             beacon,
             durable,
@@ -336,6 +353,7 @@ impl<S: BallotStore> VcCore<S> {
             closed: false,
             awaiting_recovery: false,
             now_ms: 0,
+            degraded: false,
             outputs: Vec::new(),
         }
     }
@@ -343,6 +361,45 @@ impl<S: BallotStore> VcCore<S> {
     /// This node's network identity.
     pub fn id(&self) -> NodeId {
         NodeId::vc(self.init.node_index)
+    }
+
+    /// Arms a state-triggered adversary on this core. The adversary acts
+    /// at the same decision points as the static [`VcBehavior`]s, gated
+    /// by its predicate over observed state.
+    pub fn set_adversary(&mut self, adversary: TriggeredAdversary) {
+        self.adversary = Some(adversary);
+    }
+
+    /// The armed adversary, if any (tests inspect its fire count).
+    pub fn adversary(&self) -> Option<&TriggeredAdversary> {
+        self.adversary.as_ref()
+    }
+
+    /// Puts the core into read-only degraded mode (journal device full).
+    /// New votes get a typed [`RejectReason::ReplicaDegraded`] refusal
+    /// and no new endorsements are signed; already-recorded receipts are
+    /// still served. Degradation is sticky — a replica only leaves it by
+    /// restarting against a device with room again.
+    pub fn set_degraded(&mut self) {
+        self.degraded = true;
+    }
+
+    /// Whether the core is in read-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Consults the triggered adversary for `action` at a decision point
+    /// concerning `serial`, latching a fire when it acts.
+    fn adversary_fires(&mut self, action: VcBehavior, serial: Option<SerialNo>) -> bool {
+        let view = AdversaryView {
+            endorsements_seen: self.endorsements_seen,
+            serial: serial.map(|s| s.0),
+        };
+        match &mut self.adversary {
+            Some(adv) => adv.fires(action, view),
+            None => false,
+        }
     }
 
     /// Initial outputs: arms the poll timer. Drivers execute these before
@@ -613,6 +670,25 @@ impl<S: BallotStore> VcCore<S> {
             );
             return;
         };
+        if self.degraded {
+            // Read-only: keep serving ballots whose journal state is
+            // already durable (a `Voted` replay of the same code, or a
+            // round already in flight) but refuse to start new work we
+            // could not record.
+            let has_durable_state = self
+                .slots
+                .get(&serial)
+                .is_some_and(|s| s.status != Status::NotVoted || s.used.is_some());
+            if !has_durable_state {
+                self.reply(
+                    from,
+                    request_id,
+                    serial,
+                    VoteOutcome::Rejected(RejectReason::ReplicaDegraded),
+                );
+                return;
+            }
+        }
         let slot = self.slots.entry(serial).or_default();
         match slot.status {
             Status::Voted => {
@@ -709,6 +785,7 @@ impl<S: BallotStore> VcCore<S> {
                     if let Some(slot) = self.slots.get_mut(&serial) {
                         slot.endorsements.push((self.init.node_index, sig));
                     }
+                    self.endorsements_seen += 1;
                     self.jlog(|| VcRecord::Endorsed { serial, code });
                 }
                 // The endorsed/used state must be durable before peers can
@@ -727,13 +804,32 @@ impl<S: BallotStore> VcCore<S> {
         if from.kind != NodeKind::Vc || !self.in_voting_hours() {
             return;
         }
+        // Read-only: a signature we cannot journal is a promise we might
+        // not keep across a restart (re-signing a different code later
+        // would break receipt uniqueness), so a degraded node signs only
+        // codes it already endorsed durably.
+        if self.degraded && self.slots.get(&serial).and_then(|s| s.my_endorsed) != Some(code) {
+            return;
+        }
         let Some(ballot) = self.store.get(serial) else {
             return;
         };
         if ballot.find_code(&code).is_none() {
             return;
         }
-        let equivocal = self.behavior == VcBehavior::EquivocalEndorser;
+        // Equivocation (endorsing a second code for a ballot we already
+        // endorsed): statically Byzantine endorsers always do it; a
+        // triggered adversary does it when its predicate over observed
+        // state fires. The adversary is only consulted when a conflict
+        // actually exists, so its fire count equals violations committed.
+        let prev_endorsed = self.slots.get(&serial).and_then(|s| s.my_endorsed);
+        let equivocal = match prev_endorsed {
+            Some(prev) if prev != code => {
+                self.behavior == VcBehavior::EquivocalEndorser
+                    || self.adversary_fires(VcBehavior::EquivocalEndorser, Some(serial))
+            }
+            _ => false,
+        };
         let slot = self.slots.entry(serial).or_default();
         let may_endorse = match slot.my_endorsed {
             None => true,
@@ -749,6 +845,7 @@ impl<S: BallotStore> VcCore<S> {
             serial,
             &sha256(&code.0),
         ));
+        self.endorsements_seen += 1;
         // The endorsement must be durable before it leaves the node: a
         // restarted node must never sign a *different* code for this
         // ballot (the receipt-uniqueness obligation).
@@ -789,6 +886,7 @@ impl<S: BallotStore> VcCore<S> {
             return;
         }
         slot.endorsements.push((sender, sig));
+        self.endorsements_seen += 1;
         self.check_ucert_complete(serial);
     }
 
@@ -842,14 +940,18 @@ impl<S: BallotStore> VcCore<S> {
         row: usize,
         ucert: Arc<UCert>,
     ) {
-        if self.behavior == VcBehavior::WithholdShares {
+        if self.behavior == VcBehavior::WithholdShares
+            || self.adversary_fires(VcBehavior::WithholdShares, Some(serial))
+        {
             return;
         }
         let Some(ballot) = self.store.get(serial) else {
             return;
         };
         let mut share = ballot.parts[part.index()][row].receipt_share;
-        if self.behavior == VcBehavior::CorruptShares {
+        if self.behavior == VcBehavior::CorruptShares
+            || self.adversary_fires(VcBehavior::CorruptShares, Some(serial))
+        {
             share.share.value += ddemos_crypto::field::Scalar::ONE;
         }
         {
@@ -1103,7 +1205,8 @@ impl<S: BallotStore> VcCore<S> {
 
     fn begin_consensus(&mut self) {
         self.phase = Phase::Consensus;
-        let invert = self.behavior == VcBehavior::ConsensusInverter;
+        let invert = self.behavior == VcBehavior::ConsensusInverter
+            || self.adversary_fires(VcBehavior::ConsensusInverter, None);
         let initial: Vec<bool> = (0..self.store.num_ballots())
             .map(|s| {
                 let known = self
@@ -1187,9 +1290,17 @@ impl<S: BallotStore> VcCore<S> {
     }
 
     fn on_recover_request(&mut self, from: NodeId, serial: SerialNo) {
+        // A triggered inverter that has struck also refuses RECOVER
+        // assistance (the static inverter's second half) — checked by
+        // fire history, not `fires()`, so refusals don't consume budget.
+        let triggered_inverter = self
+            .adversary
+            .as_ref()
+            .is_some_and(|a| a.action() == VcBehavior::ConsensusInverter && a.times_fired() > 0);
         if from.kind != NodeKind::Vc
             || self.phase == Phase::Voting
             || self.behavior == VcBehavior::ConsensusInverter
+            || triggered_inverter
         {
             return;
         }

@@ -34,7 +34,7 @@ mod durable;
 pub mod node;
 pub mod store;
 
-pub use behavior::VcBehavior;
+pub use behavior::{AdversaryView, Trigger, TriggeredAdversary, VcBehavior};
 pub use core::{StepTrace, TraceStep, VcCore, VcDurable, VcInput, VcOutput};
 pub use ddemos_protocol::posts::FinalizedVoteSet;
 pub use node::{DeliverTarget, VcHandle, VcNode, VcNodeConfig};

@@ -51,6 +51,9 @@ pub struct VcNodeConfig {
     pub poll: Duration,
     /// Optional step-trace recorder (determinism tests).
     pub trace: Option<StepTrace>,
+    /// Optional state-triggered Byzantine profile, layered over
+    /// `behavior` (see [`crate::behavior::TriggeredAdversary`]).
+    pub adversary: Option<crate::behavior::TriggeredAdversary>,
 }
 
 impl Default for VcNodeConfig {
@@ -59,6 +62,7 @@ impl Default for VcNodeConfig {
             behavior: crate::behavior::VcBehavior::Honest,
             poll: Duration::from_millis(1),
             trace: None,
+            adversary: None,
         }
     }
 }
@@ -216,6 +220,19 @@ impl<S: BallotStore> VcDriver<S> {
                 VcOutput::Journal(bytes) => {
                     if let Some(journal) = self.journal.as_mut() {
                         if let Err(e) = journal.append(&bytes) {
+                            if e.is_disk_full() {
+                                // Device full: the record was NOT written
+                                // (the WAL frame counter did not advance).
+                                // Degrade to read-only and drop the rest of
+                                // this batch — the Sends after this append
+                                // depend on it being durable, and the
+                                // journal on disk stays intact for replay.
+                                eprintln!(
+                                    "vc: journal device full; entering read-only degraded mode"
+                                );
+                                self.core.set_degraded();
+                                break;
+                            }
                             eprintln!("vc: journal append failed ({e}); continuing volatile");
                         }
                     }
@@ -335,7 +352,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
         let thread = std::thread::Builder::new()
             .name(format!("vc-{node_index}"))
             .spawn(move || {
-                let core = VcCore::new(
+                let mut core = VcCore::new(
                     init,
                     store,
                     config.behavior,
@@ -343,6 +360,9 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     beacon,
                     journal.is_some(),
                 );
+                if let Some(adv) = config.adversary {
+                    core.set_adversary(adv);
+                }
                 let mut driver = VcDriver {
                     core,
                     endpoint,

@@ -8,8 +8,17 @@
 //! # sweep 64 seeds starting at 0, write failure artifacts:
 //! cargo run --release --example scenario_fuzz -- --seeds 64 --start 0
 //!
-//! # hammer the durability/recovery paths only (crash-amnesia class):
-//! cargo run --release --example scenario_fuzz -- --seeds 64 --faults amnesia
+//! # hammer one fault surface (any | amnesia | gray | disk | adaptive):
+//! cargo run --release --example scenario_fuzz -- --seeds 64 --faults gray
+//!
+//! # run seeded campaigns: ≥3 sequential elections per seed over one
+//! # shared disk pool (gray → disk → adaptive rotation):
+//! cargo run --release --example scenario_fuzz -- --campaign --seeds 4
+//!
+//! # coverage-guided mode: maintain a corpus across runs and mutate the
+//! # contributing seeds toward unseen (fault × phase) interleavings:
+//! cargo run --release --example scenario_fuzz -- --seeds 64 \
+//!     --corpus target/coverage-corpus.txt --guided 32
 //!
 //! # replay one failing seed with a double-run determinism check:
 //! cargo run --release --example scenario_fuzz -- --seed 12345 --check-determinism
@@ -18,7 +27,10 @@
 //! Failing seeds write `<out>/seed-<N>.txt` (plan, schedule, violations)
 //! and the process exits non-zero.
 
-use ddemos_harness::{run_scenario_with, FaultMix, ScenarioOptions};
+use ddemos_harness::{
+    campaign_from_seed, guided_coverage_search, run_campaign, run_plan, run_scenario_with, Corpus,
+    CorpusEntry, FaultMix, ScenarioOptions,
+};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -27,6 +39,10 @@ struct Args {
     check_determinism: bool,
     out: PathBuf,
     options: ScenarioOptions,
+    campaign: bool,
+    elections: usize,
+    corpus: Option<PathBuf>,
+    guided: usize,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +53,10 @@ fn parse_args() -> Args {
     let mut check_determinism = false;
     let mut out = PathBuf::from("target/scenario-failures");
     let mut options = ScenarioOptions::default();
+    let mut campaign = false;
+    let mut elections = 3usize;
+    let mut corpus = None;
+    let mut guided = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -49,12 +69,15 @@ fn parse_args() -> Args {
             "--start" => start = value("--start").parse().expect("--start: u64"),
             "--check-determinism" => check_determinism = true,
             "--out" => out = PathBuf::from(value("--out")),
+            "--campaign" => campaign = true,
+            "--elections" => elections = value("--elections").parse().expect("--elections: usize"),
+            "--corpus" => corpus = Some(PathBuf::from(value("--corpus"))),
+            "--guided" => guided = value("--guided").parse().expect("--guided: usize"),
             "--faults" => {
-                options.faults = match value("--faults").as_str() {
-                    "any" => FaultMix::Any,
-                    "amnesia" => FaultMix::Amnesia,
-                    other => panic!("--faults: unknown mix {other} (any | amnesia)"),
-                }
+                let name = value("--faults");
+                options.faults = FaultMix::parse(&name).unwrap_or_else(|| {
+                    panic!("--faults: unknown mix {name} (any | amnesia | gray | disk | adaptive)")
+                });
             }
             other => panic!("unknown argument {other} (see source header for usage)"),
         }
@@ -68,14 +91,104 @@ fn parse_args() -> Args {
         check_determinism,
         out,
         options,
+        campaign,
+        elections,
+        corpus,
+        guided,
     }
+}
+
+fn write_artifact(out: &PathBuf, name: &str, sections: &[(&str, String)]) -> PathBuf {
+    std::fs::create_dir_all(out).expect("create artifact dir");
+    let path = out.join(name);
+    let mut file = std::fs::File::create(&path).expect("create artifact");
+    for (title, body) in sections {
+        writeln!(file, "== {title}\n{body}").unwrap();
+    }
+    path
+}
+
+/// One campaign per seed: ≥3 sequential elections over a shared disk
+/// pool. Returns the number of failing seeds.
+fn run_campaigns(args: &Args) -> usize {
+    let mut failures = 0usize;
+    for &seed in &args.seeds {
+        let plan = campaign_from_seed(seed, args.elections);
+        let outcome = run_campaign(&plan, &args.options);
+        let mut problems = outcome.violations.clone();
+        if args.check_determinism {
+            let replay = run_campaign(&plan, &args.options);
+            if replay.fingerprint != outcome.fingerprint {
+                problems.push("determinism: two runs of this campaign diverged".into());
+            }
+        }
+        let labels: Vec<&str> = plan
+            .elections
+            .iter()
+            .map(|e| e.schedule.label.as_str())
+            .collect();
+        if problems.is_empty() {
+            println!(
+                "campaign {seed:>8}  ok    [{} elections: {}]",
+                plan.elections.len(),
+                labels.join(" → ")
+            );
+            continue;
+        }
+        failures += 1;
+        println!(
+            "campaign {seed:>8}  FAIL  {} violation(s)",
+            problems.len()
+        );
+        let plans: String = plan.elections.iter().map(|e| e.describe()).collect();
+        let path = write_artifact(
+            &args.out,
+            &format!("campaign-{seed}.txt"),
+            &[
+                (
+                    "replay",
+                    format!(
+                        "cargo run --release --example scenario_fuzz -- --campaign \
+                         --seed {seed} --elections {} --check-determinism",
+                        args.elections
+                    ),
+                ),
+                ("violations", problems.join("\n")),
+                ("plans", plans),
+                ("fingerprint", outcome.fingerprint.clone()),
+            ],
+        );
+        println!("         artifact: {}", path.display());
+    }
+    failures
 }
 
 fn main() {
     let args = parse_args();
+    if args.campaign {
+        let failures = run_campaigns(&args);
+        if failures > 0 {
+            eprintln!("{failures}/{} campaigns failed", args.seeds.len());
+            std::process::exit(1);
+        }
+        println!("all {} campaigns passed", args.seeds.len());
+        return;
+    }
+
+    // The coverage corpus persists between nightly runs as a CI artifact;
+    // uniform sweep seeds feed it, and --guided mutates what it holds.
+    let mut corpus = match &args.corpus {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Corpus::from_text(&text).expect("parse corpus"),
+            Err(_) => Corpus::default(),
+        },
+        None => Corpus::default(),
+    };
+
     let mut failures = 0usize;
     for &seed in &args.seeds {
         let outcome = run_scenario_with(seed, &args.options);
+        let fresh = corpus.add_if_new(CorpusEntry::from_seed(seed, args.options.faults));
         let mut problems = outcome.violations.clone();
         if args.check_determinism {
             let replay = run_scenario_with(seed, &args.options);
@@ -84,7 +197,15 @@ fn main() {
             }
         }
         if problems.is_empty() {
-            println!("seed {seed:>8}  ok    [{}]", outcome.plan.schedule.label);
+            let new_cov = if fresh.is_empty() {
+                String::new()
+            } else {
+                format!("  +{} coverage pair(s)", fresh.len())
+            };
+            println!(
+                "seed {seed:>8}  ok    [{}]{new_cov}",
+                outcome.plan.schedule.label
+            );
             continue;
         }
         failures += 1;
@@ -93,24 +214,84 @@ fn main() {
             outcome.plan.schedule.label,
             problems.len()
         );
-        std::fs::create_dir_all(&args.out).expect("create artifact dir");
-        let path = args.out.join(format!("seed-{seed}.txt"));
-        let mut file = std::fs::File::create(&path).expect("create artifact");
-        let faults = match args.options.faults {
-            FaultMix::Any => "any",
-            FaultMix::Amnesia => "amnesia",
-        };
-        writeln!(file, "replay: cargo run --release --example scenario_fuzz -- --seed {seed} --faults {faults} --check-determinism").unwrap();
-        writeln!(file, "\n== violations").unwrap();
-        for v in &problems {
-            writeln!(file, "  {v}").unwrap();
-        }
-        writeln!(file, "\n== plan\n{}", outcome.plan.describe()).unwrap();
-        writeln!(file, "== fingerprint\n{}", outcome.fingerprint).unwrap();
+        let path = write_artifact(
+            &args.out,
+            &format!("seed-{seed}.txt"),
+            &[
+                (
+                    "replay",
+                    format!(
+                        "cargo run --release --example scenario_fuzz -- --seed {seed} \
+                         --faults {} --check-determinism",
+                        args.options.faults.name()
+                    ),
+                ),
+                ("violations", problems.join("\n")),
+                ("plan", outcome.plan.describe()),
+                ("fingerprint", outcome.fingerprint.clone()),
+            ],
+        );
         println!("         artifact: {}", path.display());
     }
+
+    if args.guided > 0 {
+        let before = corpus.entries.len();
+        let discovered = guided_coverage_search(&mut corpus, args.guided);
+        println!(
+            "guided: {} mutant(s) kept, {} new (fault × phase) pair(s):",
+            corpus.entries.len() - before,
+            discovered.len()
+        );
+        for (class, phase) in &discovered {
+            println!("  {class} @ {phase}");
+        }
+        // Every kept mutant runs end-to-end: the safety oracle must stay
+        // green on the interleavings only guided search reaches.
+        for entry in corpus.entries[before..].to_vec() {
+            let plan = entry.plan();
+            let outcome = run_plan(&plan, &args.options, None);
+            if outcome.violations.is_empty() {
+                println!(
+                    "mutant seed {} shift {}ms  ok    [{}]",
+                    entry.seed, entry.shift_ms, plan.schedule.label
+                );
+                continue;
+            }
+            failures += 1;
+            println!(
+                "mutant seed {} shift {}ms  FAIL  {} violation(s)",
+                entry.seed,
+                entry.shift_ms,
+                outcome.violations.len()
+            );
+            let path = write_artifact(
+                &args.out,
+                &format!("mutant-{}-{}.txt", entry.seed, entry.shift_ms),
+                &[
+                    ("violations", outcome.violations.join("\n")),
+                    ("plan", plan.describe()),
+                    ("fingerprint", outcome.fingerprint.clone()),
+                ],
+            );
+            println!("         artifact: {}", path.display());
+        }
+    }
+
+    if let Some(path) = &args.corpus {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create corpus dir");
+        }
+        std::fs::write(path, corpus.to_text()).expect("write corpus");
+        println!(
+            "corpus: {} entries, {} pairs covered → {}",
+            corpus.entries.len(),
+            corpus.covered().len(),
+            path.display()
+        );
+    }
+
     if failures > 0 {
-        eprintln!("{failures}/{} seeds failed", args.seeds.len());
+        eprintln!("{failures}/{} runs failed", args.seeds.len());
         std::process::exit(1);
     }
     println!("all {} seeds passed", args.seeds.len());

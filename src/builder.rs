@@ -17,8 +17,8 @@ use ddemos_storage::{
 };
 use ddemos_trustee::Trustee;
 use ddemos_vc::{
-    FnStore, LatencyStore, MemoryStore, StepTrace, StorageModel, VcBehavior, VcHandle, VcNode,
-    VcNodeConfig, WalStore,
+    FnStore, LatencyStore, MemoryStore, StepTrace, StorageModel, TriggeredAdversary, VcBehavior,
+    VcHandle, VcNode, VcNodeConfig, WalStore,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -191,6 +191,9 @@ pub struct ElectionBuilder {
     traces: Vec<StepTrace>,
     behaviors: Vec<VcBehavior>,
     adversaries: Vec<(NodeId, VcBehavior)>,
+    triggered: Vec<(NodeId, TriggeredAdversary)>,
+    bb_divergent: Vec<u32>,
+    disk_pool: Option<Arc<crate::campaign::DiskPool>>,
     drifts_ms: Vec<i64>,
     node_drifts: Vec<(NodeId, i64)>,
     materialize_first: Option<u64>,
@@ -216,6 +219,9 @@ impl ElectionBuilder {
             traces: Vec::new(),
             behaviors: Vec::new(),
             adversaries: Vec::new(),
+            triggered: Vec::new(),
+            bb_divergent: Vec::new(),
+            disk_pool: None,
             drifts_ms: Vec::new(),
             node_drifts: Vec::new(),
             materialize_first: None,
@@ -395,6 +401,36 @@ impl ElectionBuilder {
         self
     }
 
+    /// Arms a state-triggered Byzantine profile on one VC node: the node
+    /// follows the protocol until the adversary's predicate over
+    /// *observed* state fires (see [`TriggeredAdversary`]). Composes
+    /// with — and is independent of — the static
+    /// [`ElectionBuilder::adversary`] behaviours.
+    #[must_use]
+    pub fn triggered_adversary(mut self, node: NodeId, adversary: TriggeredAdversary) -> Self {
+        self.triggered.push((node, adversary));
+        self
+    }
+
+    /// Makes one BB replica's reads diverge once it has accepted the
+    /// first finalized vote set (the adaptive Byzantine board the
+    /// read-side `fb+1` majority must outvote).
+    #[must_use]
+    pub fn bb_diverges_after_finalized(mut self, bb_index: u32) -> Self {
+        self.bb_divergent.push(bb_index);
+        self
+    }
+
+    /// Journals VC/BB state on disks drawn from (and returned to) a
+    /// shared [`crate::campaign::DiskPool`] instead of fresh
+    /// [`SimDisk`]s — the carried-over durable state of sequential
+    /// campaign elections. Only meaningful with [`Durability::Sim`].
+    #[must_use]
+    pub fn disk_pool(mut self, pool: Arc<crate::campaign::DiskPool>) -> Self {
+        self.disk_pool = Some(pool);
+        self
+    }
+
     /// Sets VC behaviours positionally (node 0, 1, …); shorter vectors are
     /// padded with [`VcBehavior::Honest`], longer ones are rejected at
     /// `build()` with [`BuildError::BadNode`]. Composes with
@@ -467,6 +503,18 @@ impl ElectionBuilder {
                 return Err(BuildError::BadNode(*node));
             }
             behaviors[node.index as usize] = *behavior;
+        }
+        let mut triggered: Vec<Option<TriggeredAdversary>> = vec![None; num_vc];
+        for (node, adversary) in &self.triggered {
+            if node.kind != NodeKind::Vc || node.index as usize >= num_vc {
+                return Err(BuildError::BadNode(*node));
+            }
+            triggered[node.index as usize] = Some(adversary.clone());
+        }
+        for &bb in &self.bb_divergent {
+            if bb as usize >= self.params.num_bb {
+                return Err(BuildError::BadNode(NodeId::bb(bb)));
+            }
         }
         let mut drifts = self.drifts_ms;
         if drifts.len() > num_vc {
@@ -584,13 +632,22 @@ impl ElectionBuilder {
         let storage_err = |e: StorageError| BuildError::Storage(e.to_string());
         let journal_config = self.journal_config;
         let durability = self.durability.clone();
+        let disk_pool = self.disk_pool.clone();
         let make_journal = {
             let clock = clock.clone();
             move |label: String| -> Result<Option<DynJournal>, BuildError> {
                 match &durability {
                     Durability::None => Ok(None),
                     Durability::Sim(profile) => {
-                        let disk: DynDisk = Arc::new(SimDisk::new(clock.clone(), *profile));
+                        // A campaign pool hands back the *same* disk it
+                        // gave the previous election under this label —
+                        // its wear counters and fault state (a still-full
+                        // device!) carry over; only the clock is
+                        // re-pointed at this election.
+                        let disk: DynDisk = match &disk_pool {
+                            Some(pool) => pool.disk(&label, clock.clone(), *profile),
+                            None => Arc::new(SimDisk::new(clock.clone(), *profile)),
+                        };
                         Ok(Some(Journal::new(disk, journal_config)))
                     }
                     Durability::File(dir) => {
@@ -615,6 +672,7 @@ impl ElectionBuilder {
                     VcNodeConfig::default().poll
                 },
                 trace: self.traces.get(i as usize).cloned(),
+                adversary: triggered[i as usize].clone(),
             };
             let node_clock = clock.node_clock_keyed(NodeId::vc(i).clock_key(), drifts[i as usize]);
             let beacon = setup.consensus_beacon;
@@ -701,6 +759,9 @@ impl ElectionBuilder {
         let bb_nodes: Vec<Arc<BbNode>> = (0..setup.params.num_bb)
             .map(|_| Arc::new(BbNode::new(setup.bb_init.clone())))
             .collect();
+        for &bb in &self.bb_divergent {
+            bb_nodes[bb as usize].set_diverge_after_finalized(true);
+        }
         if self.durability.enabled() {
             for (b, bb) in bb_nodes.iter().enumerate() {
                 let journal = make_journal(format!("bb-{b}"))?.expect("durability enabled");
@@ -777,8 +838,12 @@ impl ElectionBuilder {
             ("setup corruption", !self.corruptions.is_empty()),
             (
                 "adversarial behaviors",
-                !self.behaviors.is_empty() || !self.adversaries.is_empty(),
+                !self.behaviors.is_empty()
+                    || !self.adversaries.is_empty()
+                    || !self.triggered.is_empty()
+                    || !self.bb_divergent.is_empty(),
             ),
+            ("campaign disk pools", self.disk_pool.is_some()),
             (
                 "clock drifts",
                 !self.drifts_ms.is_empty() || !self.node_drifts.is_empty(),

@@ -1,0 +1,504 @@
+//! Fault campaigns: sequential elections over carried-over durable
+//! state, and the coverage-guided corpus the fuzzer selects seeds from
+//! (DESIGN.md §9).
+//!
+//! A [`CampaignPlan`] strings ≥ 3 seeded [`ScenarioPlan`]s together.
+//! Each election runs on its own virtual clock, but journals on disks
+//! drawn from one shared [`DiskPool`] — so the *device* state carries
+//! over: wear counters accumulate, and a disk that filled up mid-election
+//! is still full when the next election's replica attaches to it. That is
+//! the campaign's signature failure shape: faults that outlive the run
+//! that caused them.
+//!
+//! The coverage layer fingerprints every plan by the set of
+//! `(fault-class × protocol-phase)` pairs its events land in
+//! ([`plan_coverage`]). A [`Corpus`] keeps the seeds that contributed new
+//! pairs, and [`guided_coverage_search`] mutates those seeds — shifting
+//! their fault times into later protocol phases — preferring mutants that
+//! reach interleavings the corpus has not seen. The uniform generators
+//! clamp fault times to the voting window (heals by `heal_by_ms`), so
+//! e.g. a heal landing *after* `T_end` — mid vote-set consensus — is an
+//! interleaving uniform seeding structurally never produces; the guided
+//! mutation finds it in a handful of rounds.
+
+use crate::dsl::ScenarioPhase;
+use crate::scenario::{run_plan, FaultMix, ScenarioOptions, ScenarioOutcome, ScenarioPlan};
+use ddemos_net::NetFault;
+use ddemos_protocol::clock::GlobalClock;
+use ddemos_storage::{DiskProfile, DynDisk, SimDisk};
+use ddemos_vc::VcBehavior;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The fault-class axis of a coverage pair for a network fault.
+pub fn net_fault_class(fault: &NetFault) -> &'static str {
+    match fault {
+        NetFault::Crash(_) => "crash",
+        NetFault::Recover(_) => "recover",
+        NetFault::CrashAmnesia(_) => "amnesia",
+        NetFault::Partition(..) => "partition",
+        NetFault::GrayPartition { loss_pct, .. } if *loss_pct >= 100 => "gray-cut",
+        NetFault::GrayPartition { .. } => "gray-lossy",
+        NetFault::HealPartitions | NetFault::HealPartition(..) => "heal",
+        NetFault::SetProfile(_) => "profile",
+        NetFault::SetDrift(..) => "drift",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DiskPool
+// ---------------------------------------------------------------------------
+
+/// A pool of named [`SimDisk`]s shared by the sequential elections of a
+/// campaign. The election builder draws journal disks from the pool by
+/// label (`"vc-0"`, `"bb-2"`, …); the same label always returns the
+/// *same* device, with only its latency clock re-pointed at the new
+/// election. Scenario runners also resolve [`crate::dsl::DiskEvent`]
+/// targets here.
+#[derive(Default)]
+pub struct DiskPool {
+    disks: Mutex<BTreeMap<String, Arc<SimDisk>>>,
+}
+
+impl DiskPool {
+    /// An empty pool.
+    pub fn new() -> Arc<DiskPool> {
+        Arc::new(DiskPool::default())
+    }
+
+    /// The disk for `label`, created with `profile` on first use. On
+    /// reuse the latency clock is re-pointed at `clock` (each election
+    /// owns a fresh virtual clock); everything else — durable bytes,
+    /// wear counters, fault state — carries over untouched.
+    pub fn disk(&self, label: &str, clock: GlobalClock, profile: DiskProfile) -> DynDisk {
+        let disk = self
+            .disks
+            .lock()
+            .entry(label.to_string())
+            .or_insert_with(|| Arc::new(SimDisk::new(clock.clone(), profile)))
+            .clone();
+        disk.set_clock(clock);
+        disk
+    }
+
+    /// The disk already registered under `label`, if any.
+    pub fn get(&self, label: &str) -> Option<Arc<SimDisk>> {
+        self.disks.lock().get(label).cloned()
+    }
+
+    /// Marks an election boundary: every disk's logical contents (log,
+    /// snapshot) are cleared so the next election's replicas attach to
+    /// empty journals, while wear counters and fault state persist — a
+    /// device that filled up last election is *still full*.
+    pub fn next_election(&self) {
+        for disk in self.disks.lock().values() {
+            disk.reset_contents();
+        }
+    }
+
+    /// One line per disk for campaign fingerprints: label, total bytes
+    /// appended, sync count, and whether the device is currently full.
+    pub fn wear_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (label, disk) in self.disks.lock().iter() {
+            let _ = writeln!(
+                out,
+                "disk {label}: appended {} syncs {} full {}",
+                disk.appended(),
+                disk.syncs(),
+                disk.is_full()
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage fingerprints and the corpus
+// ---------------------------------------------------------------------------
+
+/// A coverage pair: `(fault-class, protocol-phase-bucket)`.
+pub type CoveragePair = (String, String);
+
+/// The coverage fingerprint of a plan: every `(fault-class × phase)`
+/// pair its schedule and script events land in, plus `armed` entries for
+/// the static and state-triggered Byzantine layers. Derived entirely
+/// from the plan — two runs of the same seed fingerprint identically.
+pub fn plan_coverage(plan: &ScenarioPlan) -> BTreeSet<CoveragePair> {
+    let mut pairs = plan.extras.coverage();
+    for (at, fault) in &plan.schedule.events {
+        pairs.insert((
+            net_fault_class(fault).to_string(),
+            ScenarioPhase::bucket(*at).to_string(),
+        ));
+    }
+    for behavior in &plan.behaviors {
+        if *behavior != VcBehavior::Honest {
+            pairs.insert((format!("byz-{behavior:?}"), "armed".to_string()));
+        }
+    }
+    pairs
+}
+
+/// One corpus entry: a (seed, mix, mutation) triple that reproduces a
+/// plan, plus the coverage pairs that plan reaches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The generating seed.
+    pub seed: u64,
+    /// The fault mix the seed was drawn under.
+    pub mix: FaultMix,
+    /// Time shift (ms) applied to every event — `0` for uniform seeds,
+    /// non-zero for guided mutants. [`CorpusEntry::plan`] reapplies it.
+    pub shift_ms: u64,
+    /// The coverage pairs the plan reaches.
+    pub coverage: BTreeSet<CoveragePair>,
+}
+
+impl CorpusEntry {
+    /// Derives the entry for a plain (unmutated) seed.
+    pub fn from_seed(seed: u64, mix: FaultMix) -> CorpusEntry {
+        let plan = ScenarioPlan::from_seed_with(seed, mix);
+        CorpusEntry {
+            seed,
+            mix,
+            shift_ms: 0,
+            coverage: plan_coverage(&plan),
+        }
+    }
+
+    /// Reconstructs the plan this entry fingerprints (mutation included).
+    pub fn plan(&self) -> ScenarioPlan {
+        let plan = ScenarioPlan::from_seed_with(self.seed, self.mix);
+        if self.shift_ms == 0 {
+            plan
+        } else {
+            mutate_plan(&plan, self.shift_ms)
+        }
+    }
+}
+
+/// Time-shifts every scheduled event of a plan by `shift_ms` — the
+/// guided fuzzer's mutation operator. Shifting moves fault/heal pairs
+/// into later protocol phases (heal during vote-set consensus, crash
+/// after `T_end`) that the clamped uniform generators never emit. A
+/// shifted plan may leave faults unhealed inside the voting window, so
+/// the liveness expectation is dropped; the safety oracle still applies
+/// in full.
+pub fn mutate_plan(plan: &ScenarioPlan, shift_ms: u64) -> ScenarioPlan {
+    let mut plan = plan.clone();
+    for (at, _) in &mut plan.schedule.events {
+        *at += shift_ms;
+    }
+    for (at, _) in &mut plan.extras.events {
+        *at += shift_ms;
+    }
+    plan.liveness_expected = false;
+    plan
+}
+
+/// The seed corpus: entries that each contributed at least one new
+/// coverage pair when added. Persisted as plain text between CI runs
+/// (`--corpus` in `examples/scenario_fuzz.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// Entries in insertion order (later entries built on earlier
+    /// coverage).
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// Every pair any entry reaches.
+    pub fn covered(&self) -> BTreeSet<CoveragePair> {
+        self.entries
+            .iter()
+            .flat_map(|e| e.coverage.iter().cloned())
+            .collect()
+    }
+
+    /// Adds the entry if it reaches at least one pair the corpus has not
+    /// seen; returns the newly covered pairs (empty = not added).
+    pub fn add_if_new(&mut self, entry: CorpusEntry) -> BTreeSet<CoveragePair> {
+        let covered = self.covered();
+        let fresh: BTreeSet<CoveragePair> =
+            entry.coverage.difference(&covered).cloned().collect();
+        if !fresh.is_empty() {
+            self.entries.push(entry);
+        }
+        fresh
+    }
+
+    /// Seeds the corpus from `count` uniform seeds starting at
+    /// `first_seed` (the baseline the guided search improves on).
+    pub fn seed_uniform(&mut self, first_seed: u64, count: u64, mix: FaultMix) {
+        for seed in first_seed..first_seed + count {
+            self.add_if_new(CorpusEntry::from_seed(seed, mix));
+        }
+    }
+
+    /// Serializes to the line format the CI artifact stores:
+    /// `seed=<n> mix=<name> shift=<ms> pairs=<class@phase;...>`.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let pairs: Vec<String> = e
+                .coverage
+                .iter()
+                .map(|(c, p)| format!("{c}@{p}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "seed={} mix={} shift={} pairs={}",
+                e.seed,
+                e.mix.name(),
+                e.shift_ms,
+                pairs.join(";")
+            );
+        }
+        out
+    }
+
+    /// Parses the [`Corpus::to_text`] format (blank lines and `#`
+    /// comments skipped).
+    ///
+    /// # Errors
+    /// A human-readable description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Corpus, String> {
+        let mut corpus = Corpus::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut entry = CorpusEntry {
+                seed: 0,
+                mix: FaultMix::Any,
+                shift_ms: 0,
+                coverage: BTreeSet::new(),
+            };
+            for field in line.split_whitespace() {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: field '{field}' has no '='", lineno + 1))?;
+                match key {
+                    "seed" => {
+                        entry.seed = value
+                            .parse()
+                            .map_err(|e| format!("line {}: bad seed: {e}", lineno + 1))?;
+                    }
+                    "mix" => {
+                        entry.mix = FaultMix::parse(value)
+                            .ok_or_else(|| format!("line {}: unknown mix '{value}'", lineno + 1))?;
+                    }
+                    "shift" => {
+                        entry.shift_ms = value
+                            .parse()
+                            .map_err(|e| format!("line {}: bad shift: {e}", lineno + 1))?;
+                    }
+                    "pairs" => {
+                        for pair in value.split(';').filter(|p| !p.is_empty()) {
+                            let (class, phase) = pair.split_once('@').ok_or_else(|| {
+                                format!("line {}: pair '{pair}' has no '@'", lineno + 1)
+                            })?;
+                            entry.coverage.insert((class.to_string(), phase.to_string()));
+                        }
+                    }
+                    other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
+                }
+            }
+            corpus.entries.push(entry);
+        }
+        Ok(corpus)
+    }
+}
+
+/// Mutation shifts the guided search tries, in order. Each pushes a
+/// plan's clamped fault window (`fault_until_ms = 28_000`, heals by
+/// `32_000`) toward and past `T_end = 40_000`.
+const MUTATION_SHIFTS_MS: [u64; 3] = [8_000, 12_000, 16_000];
+
+/// Coverage-guided seed selection, at the plan level: mutate corpus
+/// seeds by time-shifting their events, keeping mutants that reach
+/// `(fault-class × phase)` pairs the corpus misses. Returns the pairs
+/// discovered (and appends the contributing mutants to the corpus). At
+/// most `max_mutants` mutants are tried; the search is deterministic —
+/// same corpus in, same discoveries out.
+pub fn guided_coverage_search(
+    corpus: &mut Corpus,
+    max_mutants: usize,
+) -> BTreeSet<CoveragePair> {
+    let mut discovered = BTreeSet::new();
+    // Snapshot the starting entries: mutants-of-mutants are possible in
+    // later calls (the appended entries are candidates next time), but
+    // one call does a single pass so it terminates predictably.
+    let candidates: Vec<(u64, FaultMix, u64)> = corpus
+        .entries
+        .iter()
+        .map(|e| (e.seed, e.mix, e.shift_ms))
+        .collect();
+    let mut tried = 0usize;
+    for (seed, mix, base_shift) in candidates {
+        for shift in MUTATION_SHIFTS_MS {
+            if tried >= max_mutants {
+                return discovered;
+            }
+            tried += 1;
+            let total_shift = base_shift + shift;
+            let plan = mutate_plan(&ScenarioPlan::from_seed_with(seed, mix), total_shift);
+            let entry = CorpusEntry {
+                seed,
+                mix,
+                shift_ms: total_shift,
+                coverage: plan_coverage(&plan),
+            };
+            discovered.extend(corpus.add_if_new(entry));
+        }
+    }
+    discovered
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+/// A campaign: ≥ 3 sequential seeded elections sharing one [`DiskPool`].
+#[derive(Clone, Debug)]
+pub struct CampaignPlan {
+    /// The driving seed.
+    pub seed: u64,
+    /// Per-election plans, run in order.
+    pub elections: Vec<ScenarioPlan>,
+}
+
+/// Derives a campaign from a seed: `elections` (at least 3) sequential
+/// plans rotating through the gray-partition, disk-fault, and adaptive
+/// adversary mixes, each with its own derived seed. Every election runs
+/// with durability on the shared pool, so a disk fault in election *k*
+/// is still present when election *k+1* attaches to the same device.
+pub fn campaign_from_seed(seed: u64, elections: usize) -> CampaignPlan {
+    let mixes = [FaultMix::Gray, FaultMix::Disk, FaultMix::Adaptive];
+    let elections = (0..elections.max(3))
+        .map(|i| {
+            let election_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
+            ScenarioPlan::from_seed_with(election_seed, mixes[i % mixes.len()])
+        })
+        .collect();
+    CampaignPlan { seed, elections }
+}
+
+/// The result of one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The plan that ran.
+    pub plan: CampaignPlan,
+    /// Per-election outcomes, in order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Invariant violations across all elections, prefixed with the
+    /// election index.
+    pub violations: Vec<String>,
+    /// Concatenated per-election fingerprints plus the final disk wear
+    /// summary; two runs of the same campaign seed must match exactly.
+    pub fingerprint: String,
+}
+
+impl CampaignOutcome {
+    /// Whether every election's checked invariants held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs a campaign: each election in order on a fresh virtual clock,
+/// journaling on the shared [`DiskPool`] (logical contents reset at
+/// each boundary, device fault state carried over).
+pub fn run_campaign(plan: &CampaignPlan, options: &ScenarioOptions) -> CampaignOutcome {
+    let pool = DiskPool::new();
+    let mut outcomes = Vec::with_capacity(plan.elections.len());
+    let mut violations = Vec::new();
+    let mut fingerprint = format!("campaign seed: {}\n", plan.seed);
+    for (i, election_plan) in plan.elections.iter().enumerate() {
+        if i > 0 {
+            pool.next_election();
+        }
+        let outcome = run_plan(election_plan, options, Some(pool.clone()));
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            fingerprint,
+            "--- election {i} (seed {}, {}) ---",
+            election_plan.seed, election_plan.schedule.label
+        );
+        fingerprint.push_str(&outcome.fingerprint);
+        violations.extend(
+            outcome
+                .violations
+                .iter()
+                .map(|v| format!("election {i}: {v}")),
+        );
+        outcomes.push(outcome);
+    }
+    fingerprint.push_str(&pool.wear_summary());
+    CampaignOutcome {
+        plan: plan.clone(),
+        outcomes,
+        violations,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddemos_storage::Disk as _;
+
+    #[test]
+    fn disk_pool_reuses_devices_and_carries_fault_state() {
+        let pool = DiskPool::new();
+        let clock = GlobalClock::new();
+        let a = pool.disk("vc-0", clock.clone(), DiskProfile::instant());
+        a.append(b"journal").unwrap();
+        a.sync().unwrap();
+        pool.get("vc-0").unwrap().set_full(true);
+        pool.next_election();
+        // Same label → same device: contents reset, fault state kept.
+        let b = pool.disk("vc-0", clock, DiskProfile::instant());
+        assert_eq!(b.len(), 0, "election boundary clears the journal");
+        assert!(
+            b.append(b"x").unwrap_err().is_disk_full(),
+            "a full device stays full across elections"
+        );
+        assert_eq!(pool.get("vc-0").unwrap().appended(), 7, "wear carries");
+    }
+
+    #[test]
+    fn corpus_text_roundtrip() {
+        let mut corpus = Corpus::default();
+        corpus.seed_uniform(0, 8, FaultMix::Any);
+        assert!(!corpus.entries.is_empty());
+        let text = corpus.to_text();
+        let parsed = Corpus::from_text(&text).unwrap();
+        assert_eq!(parsed.entries, corpus.entries);
+        assert_eq!(parsed.covered(), corpus.covered());
+    }
+
+    #[test]
+    fn campaign_plans_rotate_mixes_and_are_deterministic() {
+        let a = campaign_from_seed(7, 3);
+        let b = campaign_from_seed(7, 3);
+        assert_eq!(a.elections.len(), 3);
+        for (x, y) in a.elections.iter().zip(&b.elections) {
+            assert_eq!(x.describe(), y.describe());
+        }
+        // The rotation covers all three campaign mixes.
+        let labels: Vec<&str> = a
+            .elections
+            .iter()
+            .map(|e| e.schedule.label.as_str())
+            .collect();
+        assert!(labels.contains(&"gray-partition"), "labels: {labels:?}");
+    }
+}

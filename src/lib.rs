@@ -61,6 +61,8 @@
 
 pub mod adversary;
 pub mod builder;
+pub mod campaign;
+pub mod dsl;
 pub mod election;
 pub mod report;
 pub mod scenario;
@@ -69,10 +71,18 @@ pub mod tcp;
 pub mod workload;
 
 pub use builder::{BuildError, Durability, ElectionBuilder, Network, StoreKind};
+pub use campaign::{
+    campaign_from_seed, guided_coverage_search, net_fault_class, plan_coverage, run_campaign,
+    CampaignOutcome, CampaignPlan, Corpus, CorpusEntry, DiskPool,
+};
+pub use dsl::{
+    DiskEvent, ScenarioBuilder, ScenarioEvent, ScenarioPhase, ScenarioScript, Tick,
+};
 pub use election::{Election, ElectionError, PhaseTimings, VotingPhase};
 pub use report::{ElectionReport, NetReport};
 pub use scenario::{
-    run_scenario, run_scenario_with, FaultMix, ScenarioOptions, ScenarioOutcome, ScenarioPlan,
+    run_plan, run_scenario, run_scenario_with, FaultMix, ScenarioOptions, ScenarioOutcome,
+    ScenarioPlan,
 };
 pub use schedule::{Schedule, ScheduleParams};
 pub use workload::{Workload, WorkloadStats};
@@ -88,5 +98,5 @@ pub use ddemos_net::{
 };
 pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
 pub use ddemos_storage::{DiskProfile, FileDisk, SimDisk};
-pub use ddemos_vc::{StepTrace, StorageModel, VcBehavior};
+pub use ddemos_vc::{AdversaryView, StepTrace, StorageModel, Trigger, TriggeredAdversary, VcBehavior};
 pub use tcp::{run_bb_replica, run_vc_replica, TcpCluster, COORDINATOR};

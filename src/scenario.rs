@@ -16,28 +16,77 @@
 //! ```text
 //! cargo run --release --example scenario_fuzz -- --seed <N>
 //! ```
+//!
+//! Beyond the network-fault classes of [`Schedule::random`], three mixes
+//! exercise the PR-7 fault surface: `--faults gray` (asymmetric one-way
+//! cuts), `--faults disk` (schedulable full-device and slow-fsync
+//! windows, executed by this runner against the journals), and
+//! `--faults adaptive` (state-triggered Byzantine collectors and
+//! diverging BB replicas). Campaign composition and the coverage-guided
+//! corpus live in [`crate::campaign`].
 
 use crate::builder::{Durability, ElectionBuilder, StoreKind};
+use crate::campaign::DiskPool;
+use crate::dsl::{DiskEvent, ScenarioBuilder, ScenarioEvent, ScenarioScript};
+use crate::election::Election;
 use crate::report::ElectionReport;
 use crate::schedule::{Schedule, ScheduleParams};
 use ddemos::voter::VoteError;
 use ddemos_net::NetworkProfile;
-use ddemos_protocol::ElectionParams;
-use ddemos_vc::VcBehavior;
+use ddemos_protocol::{ElectionParams, NodeId, PartId};
+use ddemos_storage::DiskProfile;
+use ddemos_vc::{TriggeredAdversary, VcBehavior};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which fault classes a scenario sweep draws from.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum FaultMix {
-    /// Every class ([`Schedule::random`]).
+    /// Every network class ([`Schedule::random`]).
     #[default]
     Any,
     /// Only `crash-amnesia` power-cycles ([`Schedule::random_amnesia`]) —
     /// the CI sweep's `--faults amnesia` mode, hammering the durability
     /// and recovery paths.
     Amnesia,
+    /// Asymmetric gray partitions ([`Schedule::random_gray`]): one-way
+    /// cuts and lossy-link brown-outs against the designated target.
+    Gray,
+    /// Schedulable disk faults: a full journal device (typed read-only
+    /// degradation) plus a slow-fsync brown-out, executed by the runner
+    /// at virtual times.
+    Disk,
+    /// State-triggered adversaries: a [`TriggeredAdversary`] collector
+    /// and (half the time) a diverge-after-finalized BB replica.
+    Adaptive,
+}
+
+impl FaultMix {
+    /// The CLI / corpus name of this mix.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMix::Any => "any",
+            FaultMix::Amnesia => "amnesia",
+            FaultMix::Gray => "gray",
+            FaultMix::Disk => "disk",
+            FaultMix::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a [`FaultMix::name`] string.
+    pub fn parse(name: &str) -> Option<FaultMix> {
+        match name {
+            "any" => Some(FaultMix::Any),
+            "amnesia" => Some(FaultMix::Amnesia),
+            "gray" => Some(FaultMix::Gray),
+            "disk" => Some(FaultMix::Disk),
+            "adaptive" => Some(FaultMix::Adaptive),
+            _ => None,
+        }
+    }
 }
 
 /// Options for [`run_scenario_with`].
@@ -90,15 +139,19 @@ pub struct ScenarioPlan {
     pub store: StoreKind,
     /// Per-collector behaviours (at most `f_v` Byzantine).
     pub behaviors: Vec<VcBehavior>,
-    /// The timed fault schedule.
+    /// The timed network-fault schedule.
     pub schedule: Schedule,
+    /// The script layer beyond the network: disk faults, churn, and
+    /// state-triggered adversaries (empty for the pure network mixes).
+    pub extras: ScenarioScript,
     /// `(ballot, option)` casts, in order.
     pub votes: Vec<(usize, usize)>,
     /// Whether the paper guarantees liveness under this plan.
     pub liveness_expected: bool,
     /// Whether the election runs with a durability layer (always, when
-    /// the schedule power-cycles a node: an amnesia crash without a
-    /// journal is outside the fault model the liveness theorem assumes).
+    /// the schedule power-cycles a node or the script faults a disk: an
+    /// amnesia crash without a journal is outside the fault model the
+    /// liveness theorem assumes, and disk faults need disks to exist).
     pub durability: bool,
 }
 
@@ -130,7 +183,11 @@ impl ScenarioPlan {
         // breaks liveness (receipt reconstruction needs N_v − f_v shares).
         let fault_node = rng.gen_range(0..4u32);
         let mut behaviors = vec![VcBehavior::Honest; 4];
-        if rng.gen_bool(0.4) {
+        // The disk and adaptive mixes spend the f_v budget on their own
+        // fault shape (a degraded replica / a triggered adversary), so
+        // only the network mixes draw a static Byzantine behaviour.
+        let network_mix = matches!(faults, FaultMix::Any | FaultMix::Amnesia | FaultMix::Gray);
+        if network_mix && rng.gen_bool(0.4) {
             let byz = [
                 VcBehavior::CorruptShares,
                 VcBehavior::WithholdShares,
@@ -149,23 +206,87 @@ impl ScenarioPlan {
             base_profile: profile.clone(),
             target: Some(ddemos_protocol::NodeId::vc(fault_node)),
         };
+        let mut extras = ScenarioScript::default();
         let schedule = match faults {
             FaultMix::Any => Schedule::random(seed, &schedule_params),
             FaultMix::Amnesia => Schedule::random_amnesia(seed, &schedule_params),
+            FaultMix::Gray => Schedule::random_gray(seed, &schedule_params),
+            FaultMix::Disk => {
+                extras = Self::disk_script(&mut rng, fault_node);
+                let mut schedule = Schedule::default();
+                schedule.label = extras.label.clone();
+                schedule
+            }
+            FaultMix::Adaptive => {
+                extras = Self::adaptive_script(&mut rng, fault_node);
+                let mut schedule = Schedule::default();
+                schedule.label = extras.label.clone();
+                schedule
+            }
         };
         let votes = (0..VOTES).map(|i| (i, rng.gen_range(0..3usize))).collect();
-        let liveness_expected = schedule.liveness_friendly;
-        let durability = schedule.has_amnesia();
+        let liveness_expected = schedule.liveness_friendly && extras.liveness_friendly;
+        let durability = schedule.has_amnesia() || extras.needs_durability();
         ScenarioPlan {
             seed,
             profile,
             store,
             behaviors,
             schedule,
+            extras,
             votes,
             liveness_expected,
             durability,
         }
+    }
+
+    /// The `disk-fault` script: a slow-fsync brown-out on one BB journal
+    /// plus a full-device window on the designated collector's journal,
+    /// with a churn probe mid-run. All within the model: the degraded
+    /// collector is the one budgeted fault (it stays read-only until a
+    /// restart re-probes the device), and the brown-out only charges
+    /// virtual latency.
+    fn disk_script(rng: &mut StdRng, fault_node: u32) -> ScenarioScript {
+        let vc_label = format!("vc-{fault_node}");
+        let bb_label = format!("bb-{}", rng.gen_range(0..4u32));
+        let fsync = Duration::from_millis(rng.gen_range(10..=40u64));
+        let full_at = 4_000 + rng.gen_range(0..16_000u64);
+        ScenarioBuilder::new("disk-fault")
+            .at_ms(3_000, |t| t.slow_fsync(bb_label.clone(), fsync))
+            .at_ms(full_at, |t| t.disk_full(vc_label.clone()))
+            .at_ms(18_500, |t| t.churn())
+            .at_ms(24_000, |t| t.disk_restore(bb_label.clone()))
+            .at_ms(30_000, |t| t.disk_heal(vc_label.clone()))
+            .build()
+    }
+
+    /// The `adaptive-adversary` script: one state-triggered Byzantine
+    /// collector (equivocating once a quorum is believably close, or
+    /// withholding / corrupting shares for a serial range), optionally a
+    /// BB replica whose reads diverge after the first finalized set, and
+    /// sometimes a churn probe. One collector misbehaving plus one BB
+    /// replica lying stays within both budgets (`f_v = 1`, `f_b = 1`).
+    fn adaptive_script(rng: &mut StdRng, fault_node: u32) -> ScenarioScript {
+        let adversary = match rng.gen_range(0..3u32) {
+            0 => TriggeredAdversary::equivocate_after_endorsements(rng.gen_range(1..=3)),
+            1 => {
+                let lo = rng.gen_range(0..VOTES as u64 / 2);
+                TriggeredAdversary::withhold_shares_for_serials(lo, lo + rng.gen_range(1..=2u64))
+            }
+            _ => {
+                let lo = rng.gen_range(0..VOTES as u64 / 2);
+                TriggeredAdversary::corrupt_shares_for_serials(lo, lo + rng.gen_range(1..=2u64))
+            }
+        };
+        let mut builder = ScenarioBuilder::new("adaptive-adversary")
+            .trigger(NodeId::vc(fault_node), adversary);
+        if rng.gen_bool(0.5) {
+            builder = builder.bb_diverges_after_finalized(rng.gen_range(0..4u32));
+        }
+        if rng.gen_bool(0.5) {
+            builder = builder.at_ms(20_000, |t| t.churn());
+        }
+        builder.build()
     }
 
     /// Human-readable plan summary (for failure artifacts).
@@ -187,6 +308,20 @@ impl ScenarioPlan {
         let _ = writeln!(out, "liveness_expected: {}", self.liveness_expected);
         let _ = writeln!(out, "durability: {}", self.durability);
         out.push_str(&self.schedule.describe());
+        if !self.extras.is_empty() {
+            let _ = writeln!(out, "script: {}", self.extras.label);
+            for (at, event) in &self.extras.events {
+                if !matches!(event, ScenarioEvent::Net(_)) {
+                    let _ = writeln!(out, "  t={at:>6}ms  {event:?}");
+                }
+            }
+            for (node, adversary) in &self.extras.adversaries {
+                let _ = writeln!(out, "  trigger {node}: {adversary:?}");
+            }
+            for bb in &self.extras.bb_divergent {
+                let _ = writeln!(out, "  bb-{bb}: diverge-after-finalized");
+            }
+        }
         out
     }
 }
@@ -213,6 +348,122 @@ impl ScenarioOutcome {
     }
 }
 
+/// The mutable churn state the runner threads through event execution:
+/// the latest receipted cast (what a churned connection re-submits) and
+/// the log lines that land in the fingerprint.
+struct ChurnState {
+    latest: Option<(usize, usize, PartId, u64)>,
+    log: Vec<(u64, String)>,
+}
+
+/// Applies one runner-executed script event at its virtual time.
+fn apply_runner_event(
+    election: &Election,
+    pool: &DiskPool,
+    event: &ScenarioEvent,
+    at_ms: u64,
+    patience: Duration,
+    churn: &mut ChurnState,
+    violations: &mut Vec<String>,
+) {
+    match event {
+        ScenarioEvent::Disk(disk_event) => {
+            let Some(disk) = pool.get(disk_event.label()) else {
+                churn.log.push((
+                    at_ms,
+                    format!("disk event on unknown label {}", disk_event.label()),
+                ));
+                return;
+            };
+            match disk_event {
+                DiskEvent::Full(label) => {
+                    disk.set_full(true);
+                    churn.log.push((at_ms, format!("disk {label}: full")));
+                }
+                DiskEvent::Heal(label) => {
+                    disk.set_full(false);
+                    churn.log.push((at_ms, format!("disk {label}: healed")));
+                }
+                DiskEvent::SlowFsync(label, fsync) => {
+                    disk.set_fault_profile(Some(DiskProfile {
+                        fsync: *fsync,
+                        ..DiskProfile::default()
+                    }));
+                    churn.log.push((
+                        at_ms,
+                        format!("disk {label}: slow fsync {}ms", fsync.as_millis()),
+                    ));
+                }
+                DiskEvent::Restore(label) => {
+                    disk.set_fault_profile(None);
+                    churn.log.push((at_ms, format!("disk {label}: restored")));
+                }
+            }
+        }
+        ScenarioEvent::Churn => {
+            let Some((ballot, option, part, receipt)) = churn.latest else {
+                churn.log.push((at_ms, "churn: nothing receipted yet".into()));
+                return;
+            };
+            // A fresh connection (new request ids, new node ordering)
+            // re-submits the receipted cast: the protocol must hand back
+            // the *identical* receipt.
+            let voting = election.voting().patience(patience);
+            match voting.cast_with_part(ballot, option, part) {
+                Ok(record) if record.audit.receipt == receipt => {
+                    churn
+                        .log
+                        .push((at_ms, format!("churn: receipt {receipt:016x} reproduced")));
+                }
+                Ok(record) => {
+                    violations.push(format!(
+                        "safety: churned re-submission of ballot {ballot} receipted \
+                         {:016x} but the original receipt was {receipt:016x}",
+                        record.audit.receipt
+                    ));
+                    churn.log.push((at_ms, "churn: receipt mismatch".into()));
+                }
+                Err(e) => {
+                    // Not a safety violation (no second receipt exists);
+                    // logged so the fingerprint still captures it.
+                    churn.log.push((at_ms, format!("churn: {e}")));
+                }
+            }
+        }
+        // Net events were split into the builder's schedule.
+        ScenarioEvent::Net(_) => {}
+    }
+}
+
+/// Advances virtual time to `target_ms`, firing every pending runner
+/// event whose timestamp is reached along the way.
+#[allow(clippy::too_many_arguments)]
+fn advance_to(
+    election: &Election,
+    pool: &DiskPool,
+    pending: &mut VecDeque<(u64, ScenarioEvent)>,
+    target_ms: u64,
+    patience: Duration,
+    churn: &mut ChurnState,
+    violations: &mut Vec<String>,
+) {
+    while let Some(&(at, _)) = pending.front() {
+        if at > target_ms {
+            break;
+        }
+        let now = election.now_ms();
+        if at > now {
+            election.sleep(Duration::from_millis(at - now));
+        }
+        let (at, event) = pending.pop_front().expect("peeked");
+        apply_runner_event(election, pool, &event, at, patience, churn, violations);
+    }
+    let now = election.now_ms();
+    if target_ms > now {
+        election.sleep(Duration::from_millis(target_ms - now));
+    }
+}
+
 /// Runs the scenario for `seed` on the virtual clock and checks the
 /// invariants (all fault classes). Never panics on invariant failure —
 /// violations are returned so sweeps can collect artifacts.
@@ -222,8 +473,26 @@ pub fn run_scenario(seed: u64) -> ScenarioOutcome {
 
 /// [`run_scenario`] with explicit options (fault mix, thread count).
 pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcome {
-    let plan = ScenarioPlan::from_seed_with(seed, options.faults);
+    run_plan(
+        &ScenarioPlan::from_seed_with(seed, options.faults),
+        options,
+        None,
+    )
+}
+
+/// Runs a fully derived (or mutated) plan. `pool` is the campaign's
+/// shared [`DiskPool`]; passing one forces the durability layer on so
+/// device state carries across the campaign's elections. Without one, a
+/// plan that needs disks gets a private pool.
+pub fn run_plan(
+    plan: &ScenarioPlan,
+    options: &ScenarioOptions,
+    pool: Option<Arc<DiskPool>>,
+) -> ScenarioOutcome {
+    let seed = plan.seed;
     let mut violations = Vec::new();
+    let durability = plan.durability || pool.is_some();
+    let pool = pool.unwrap_or_else(DiskPool::new);
 
     let params = ElectionParams::new(
         &format!("scenario-{seed}"),
@@ -237,21 +506,38 @@ pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcom
         END_MS,
     )
     .expect("scenario params are valid");
+    // The script's network events merge into the builder schedule; disk
+    // and churn events stay with this runner.
+    let mut schedule = plan.schedule.clone();
+    for (at, fault) in plan.extras.net_schedule().events {
+        schedule.push(at, fault);
+    }
     let mut builder = ElectionBuilder::new(params)
         .seed(seed)
         .virtual_time()
         .network(plan.profile.clone())
         .store(plan.store)
         .vc_behaviors(plan.behaviors.clone())
-        .schedule(plan.schedule.clone())
+        .schedule(schedule)
         .close_timeout(CLOSE_TIMEOUT);
-    if plan.durability {
-        builder = builder.durability(Durability::sim());
+    if durability {
+        builder = builder.durability(Durability::sim()).disk_pool(pool.clone());
+    }
+    for (node, adversary) in &plan.extras.adversaries {
+        builder = builder.triggered_adversary(*node, adversary.clone());
+    }
+    for &bb in &plan.extras.bb_divergent {
+        builder = builder.bb_diverges_after_finalized(bb);
     }
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
     }
     let election = builder.build().expect("scenario builds");
+    let mut pending: VecDeque<(u64, ScenarioEvent)> = plan.extras.runner_events().into();
+    let mut churn = ChurnState {
+        latest: None,
+        log: Vec::new(),
+    };
 
     // --- voting phase, paced so scheduled faults interleave -------------
     // Voter patience is the theorem-backed `Twait` for this network
@@ -259,14 +545,25 @@ pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcom
     // emulated latencies, including the fuzzer's jitter bursts.
     let patience =
         ddemos::liveness::LivenessParams::for_network(&plan.profile, T_COMP, DRIFT_BOUND).t_wait(4);
-    let mut cast_results: Vec<Result<(u64, ddemos_protocol::PartId), VoteError>> = Vec::new();
+    let mut cast_results: Vec<Result<(u64, PartId), VoteError>> = Vec::new();
     {
         let voting = election.voting().patience(patience);
         for &(ballot, option) in &plan.votes {
-            election.sleep(Duration::from_millis(CAST_GAP_MS));
+            advance_to(
+                &election,
+                &pool,
+                &mut pending,
+                election.now_ms() + CAST_GAP_MS,
+                patience,
+                &mut churn,
+                &mut violations,
+            );
             let outcome = voting
                 .cast(ballot, option)
                 .map(|r| (r.audit.receipt, r.audit.used_part));
+            if let Ok((receipt, part)) = &outcome {
+                churn.latest = Some((ballot, option, *part, *receipt));
+            }
             cast_results.push(outcome);
         }
     }
@@ -284,8 +581,15 @@ pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcom
     // yield the *same* receipt — the paper's "never issue two different
     // receipts for one ballot" obligation, which `CrashAmnesia` scenarios
     // can only satisfy through the durability layer.
-    let to_recheck = RECHECK_AT_MS.saturating_sub(election.now_ms());
-    election.sleep(Duration::from_millis(to_recheck));
+    advance_to(
+        &election,
+        &pool,
+        &mut pending,
+        RECHECK_AT_MS,
+        patience,
+        &mut churn,
+        &mut violations,
+    );
     let mut recheck_results: Vec<(usize, Result<u64, VoteError>)> = Vec::new();
     {
         let voting = election.voting().patience(patience);
@@ -316,8 +620,31 @@ pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcom
     }
 
     // --- close / tally / audit ------------------------------------------
-    let to_close = CLOSE_AT_MS.saturating_sub(election.now_ms());
-    election.sleep(Duration::from_millis(to_close));
+    advance_to(
+        &election,
+        &pool,
+        &mut pending,
+        CLOSE_AT_MS,
+        patience,
+        &mut churn,
+        &mut violations,
+    );
+    // Events scheduled past the close point (mutated plans shift them
+    // there) fire now: the close drain blocks this thread in virtual
+    // time, so "just before close" is the last moment the runner can
+    // act. The coverage corpus works at plan level, so the pair is
+    // still attributed to its shifted phase.
+    while let Some((at, event)) = pending.pop_front() {
+        apply_runner_event(
+            &election,
+            &pool,
+            &event,
+            at,
+            patience,
+            &mut churn,
+            &mut violations,
+        );
+    }
     let closed = election.close();
     let mut result = None;
     match &closed {
@@ -405,6 +732,9 @@ pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcom
             }
         );
     }
+    for (at, line) in &churn.log {
+        let _ = writeln!(fingerprint, "runner {at}: {line}");
+    }
     for (ballot, r) in &recheck_results {
         let _ = writeln!(
             fingerprint,
@@ -419,7 +749,7 @@ pub fn run_scenario_with(seed: u64, options: &ScenarioOptions) -> ScenarioOutcom
 
     election.shutdown();
     ScenarioOutcome {
-        plan,
+        plan: plan.clone(),
         violations,
         fingerprint,
         report: Some(report),

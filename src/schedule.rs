@@ -8,9 +8,10 @@
 //! seed alone.
 
 use ddemos_net::{NetFault, NetworkProfile};
-use ddemos_protocol::NodeId;
+use ddemos_protocol::{NodeId, NodeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// A timed fault schedule (applied by the builder at network start).
@@ -80,6 +81,98 @@ impl Schedule {
         self.events
             .iter()
             .any(|(_, f)| matches!(f, NetFault::CrashAmnesia(_)))
+    }
+
+    /// The distinct VC nodes whose faults consume the `f_v` budget:
+    /// crash / power-cycle targets, the isolated side of a partition,
+    /// and the cut-off side of a full (100%) gray partition. Drift and
+    /// lossy (<100%) gray cuts do not count — bounded drift is within
+    /// Assumption II, and probabilistic loss degrades a *link*, not a
+    /// node (it voids the liveness guarantee instead, like loss bursts).
+    pub fn vc_budget_targets(&self) -> BTreeSet<NodeId> {
+        let mut targets = BTreeSet::new();
+        for (_, fault) in &self.events {
+            match fault {
+                NetFault::Crash(id) | NetFault::CrashAmnesia(id) if id.kind == NodeKind::Vc => {
+                    targets.insert(*id);
+                }
+                NetFault::Partition(isolated, _) => {
+                    targets.extend(isolated.iter().filter(|n| n.kind == NodeKind::Vc));
+                }
+                NetFault::GrayPartition { from, to, loss_pct } if *loss_pct >= 100 => {
+                    // A full one-way cut makes the *smaller* side the
+                    // faulty one — one deaf node (everyone→victim) and
+                    // one mute node (victim→everyone) are both a single
+                    // fault, not "everyone on the other end".
+                    let side = if from.len() <= to.len() { from } else { to };
+                    targets.extend(side.iter().filter(|n| n.kind == NodeKind::Vc));
+                }
+                _ => {}
+            }
+        }
+        targets
+    }
+
+    /// The distinct BB replicas whose faults consume the `f_b` budget
+    /// (the read-side majority: `N_b ≥ 2f_b + 1`).
+    pub fn bb_budget_targets(&self) -> BTreeSet<NodeId> {
+        let mut targets = BTreeSet::new();
+        for (_, fault) in &self.events {
+            if let NetFault::Crash(id) | NetFault::CrashAmnesia(id) = fault {
+                if id.kind == NodeKind::Bb {
+                    targets.insert(*id);
+                }
+            }
+        }
+        targets
+    }
+
+    /// The single-designated-fault-target budget invariant every
+    /// *generated* schedule upholds (debug builds assert it at the end
+    /// of each generator):
+    ///
+    /// * at most `f_v` distinct VC nodes consume the VC fault budget —
+    ///   and when [`ScheduleParams::target`] designates a node, *every*
+    ///   budget-consuming VC fault hits that node, so a scenario that
+    ///   also makes one collector Byzantine stays at one combined fault
+    ///   (a Byzantine collector that is additionally crashed, isolated,
+    ///   or gray-cut is one fault; a Byzantine collector plus a
+    ///   *different* faulted node would be two — outside the model, and
+    ///   the fuzzer proved it breaks liveness, since receipt
+    ///   reconstruction needs `N_v − f_v` live honest shares);
+    /// * at most `⌊(N_b − 1) / 2⌋ = f_b` distinct BB replicas are
+    ///   faulted, preserving the `f_b + 1` read majority.
+    ///
+    /// Hand-built schedules (the DSL) may deliberately exceed the
+    /// budget to probe outside the model; such scenarios must clear
+    /// [`Schedule::liveness_friendly`] themselves.
+    pub fn assert_fault_budget(&self, params: &ScheduleParams) {
+        let vc_targets = self.vc_budget_targets();
+        debug_assert!(
+            vc_targets.len() <= params.vc_faults,
+            "schedule '{}' faults {} distinct VC nodes, budget f_v = {}: {:?}",
+            self.label,
+            vc_targets.len(),
+            params.vc_faults,
+            vc_targets
+        );
+        if let Some(target) = params.target {
+            debug_assert!(
+                vc_targets.iter().all(|n| *n == target),
+                "schedule '{}' faults {:?} but the designated budget target is {target}",
+                self.label,
+                vc_targets
+            );
+        }
+        let bb_budget = params.num_bb.saturating_sub(1) / 2;
+        debug_assert!(
+            self.bb_budget_targets().len() <= bb_budget,
+            "schedule '{}' faults {} BB replicas, budget f_b = {bb_budget}",
+            self.label,
+            self.bb_budget_targets().len()
+        );
+        // Release builds: the params are still "used".
+        let _ = params;
     }
 
     /// One line per event, for failure artifacts and replay logs.
@@ -212,6 +305,7 @@ impl Schedule {
             _ => Self::amnesia_events(&mut rng, params, &mut schedule),
         }
         schedule.events.sort_by_key(|(t, _)| *t);
+        schedule.assert_fault_budget(params);
         schedule
     }
 
@@ -223,6 +317,49 @@ impl Schedule {
         let mut schedule = Schedule::default();
         Self::amnesia_events(&mut rng, params, &mut schedule);
         schedule.events.sort_by_key(|(t, _)| *t);
+        schedule.assert_fault_budget(params);
+        schedule
+    }
+
+    /// Derives a gray-partition schedule from `seed` (the fuzzer's
+    /// `--faults gray` mode): one *asymmetric* cut against the
+    /// designated fault target. Half the seeds cut one direction
+    /// completely (`loss_pct = 100`, within the fault model: one faulty
+    /// node); the rest degrade the link probabilistically (30–90% loss),
+    /// which — like loss bursts — voids the liveness guarantee.
+    pub fn random_gray(seed: u64, params: &ScheduleParams) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4752_4159_4355_5421);
+        let span = params
+            .fault_until_ms
+            .saturating_sub(params.fault_from_ms)
+            .max(1);
+        let mut schedule = Schedule::default();
+        schedule.label = "gray-partition".into();
+        let victim = params
+            .target
+            .unwrap_or_else(|| NodeId::vc(rng.gen_range(0..params.num_vc as u32)));
+        let rest: Vec<NodeId> = (0..params.num_vc as u32)
+            .map(NodeId::vc)
+            .filter(|n| *n != victim)
+            .collect();
+        let loss_pct = if rng.gen_bool(0.5) {
+            100
+        } else {
+            schedule.liveness_friendly = false;
+            rng.gen_range(30..=90u8)
+        };
+        // Which direction dies: traffic *into* the victim (it goes
+        // deaf), or traffic *out of* it (it goes mute).
+        let (from, to) = if rng.gen_bool(0.5) {
+            (rest.clone(), vec![victim])
+        } else {
+            (vec![victim], rest.clone())
+        };
+        let t1 = params.fault_from_ms + rng.gen_range(0..span);
+        schedule.push(t1, NetFault::GrayPartition { from, to, loss_pct });
+        schedule.push(params.heal_by_ms, NetFault::HealPartitions);
+        schedule.events.sort_by_key(|(t, _)| *t);
+        schedule.assert_fault_budget(params);
         schedule
     }
 
