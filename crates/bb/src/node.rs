@@ -100,7 +100,8 @@ impl BbNode {
     /// adaptive-adversary shape the campaign fuzzer exercises against
     /// [`crate::MajorityReader`].
     pub fn set_diverge_after_finalized(&self, diverge: bool) {
-        self.diverge_after_finalized.store(diverge, Ordering::Release);
+        self.diverge_after_finalized
+            .store(diverge, Ordering::Release);
     }
 
     /// Public read: the node's current snapshot.

@@ -1,0 +1,12 @@
+//! Seeded violations: blocking channel receives inside the event loop.
+
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+fn drain(rx: &Receiver<u32>) -> Option<u32> {
+    rx.recv().ok()
+}
+
+fn wait(rx: &Receiver<u32>) -> Option<u32> {
+    rx.recv_timeout(Duration::from_millis(5)).ok()
+}

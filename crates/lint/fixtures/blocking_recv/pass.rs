@@ -1,0 +1,12 @@
+//! Non-blocking receives and justified exceptions are fine.
+
+use std::sync::mpsc::Receiver;
+
+fn drain(rx: &Receiver<u32>) -> Option<u32> {
+    rx.try_recv().ok()
+}
+
+fn startup(rx: &Receiver<u32>) -> Option<u32> {
+    // lint:allow(blocking-recv, startup handoff before the loop runs)
+    rx.recv().ok()
+}

@@ -22,6 +22,7 @@
 //! | `panic`           | core/message-path crates (vc, bb, consensus, protocol, storage) |
 //! | `codec-exhaustive`| `Msg` enum vs `put_msg`/`get_msg`/`sample_msg` |
 //! | `commit-order`    | `vc/src/core.rs`, `bb/src/core.rs`             |
+//! | `blocking-recv`   | `net/src/evloop.rs` (the readiness loop must never block on a channel) |
 //!
 //! Suppression is always *recorded*: inline
 //! `// lint:allow(rule, reason)` for sites justified where they stand,
@@ -67,12 +68,23 @@ const CLOCK_HOME: &str = "crates/protocol/src/clock.rs";
 /// (`crates/bench`).
 const CLOCK_EXEMPT_CRATES: &[&str] = &["crates/net", "crates/bench"];
 
+/// Files exempt from the wall-clock rule: the load harness measures
+/// real round-trip latency over real sockets — wall-clock reads are its
+/// deliverable, and nothing in it feeds a core's `now_ms`.
+const CLOCK_EXEMPT_FILES: &[&str] = &["src/load.rs"];
+
 /// Files checked by the codec-exhaustiveness rule.
 const MSG_ENUM_FILE: &str = "crates/protocol/src/messages.rs";
 const MSG_CODEC_FILE: &str = "crates/protocol/src/codec.rs";
 
 /// Files checked by the durable-before-visible rule.
 const CORE_FILES: &[&str] = &["crates/vc/src/core.rs", "crates/bb/src/core.rs"];
+
+/// The readiness-driven event loop: one blocking channel receive here
+/// stalls every connection the loop owns, so `.recv`/`.recv_timeout`
+/// are denied (waits go through the poller).
+const EVLOOP_FILE: &str = "crates/net/src/evloop.rs";
+const EVLOOP_DIR: &str = "crates/net/src/evloop/";
 
 /// One allowlist entry: `rule | path | line-substring | reason`.
 /// Matching is by rule, exact workspace-relative path, and a substring of
@@ -188,7 +200,10 @@ pub fn check_file(sf: &SourceFile) -> Vec<Violation> {
     if has_prefix(path, STATE_CRATES) {
         out.extend(rules::check_hash_iter(sf));
     }
-    if path != CLOCK_HOME && !has_prefix(path, CLOCK_EXEMPT_CRATES) {
+    if path != CLOCK_HOME
+        && !has_prefix(path, CLOCK_EXEMPT_CRATES)
+        && !CLOCK_EXEMPT_FILES.contains(&path)
+    {
         out.extend(rules::check_wall_clock(sf));
     }
     if has_prefix(path, PANIC_CRATES) {
@@ -196,6 +211,9 @@ pub fn check_file(sf: &SourceFile) -> Vec<Violation> {
     }
     if CORE_FILES.contains(&path) {
         out.extend(rules::check_commit_order(sf));
+    }
+    if path == EVLOOP_FILE || path.starts_with(EVLOOP_DIR) {
+        out.extend(rules::check_blocking_recv(sf));
     }
     out
 }
@@ -319,6 +337,10 @@ mod tests {
                 .iter()
                 .any(|v| v.rule == rules::RULE_WALL_CLOCK)
         );
+        // The load harness measures real latency: clock-exempt by file.
+        assert!(!check_file(&SourceFile::parse("src/load.rs", clock_src))
+            .iter()
+            .any(|v| v.rule == rules::RULE_WALL_CLOCK));
         assert!(check_file(&SourceFile::parse("src/election.rs", clock_src))
             .iter()
             .any(|v| v.rule == rules::RULE_WALL_CLOCK));

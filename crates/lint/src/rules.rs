@@ -33,6 +33,7 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_CODEC: &str = "codec-exhaustive";
 pub const RULE_COMMIT_ORDER: &str = "commit-order";
+pub const RULE_BLOCKING_RECV: &str = "blocking-recv";
 
 fn violation(sf: &SourceFile, line: u32, rule: &'static str, msg: String) -> Violation {
     Violation {
@@ -544,4 +545,39 @@ fn emit_commit_violation(
         }
         *pending = None; // one diagnostic per journal record is enough
     }
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: the event loop never blocks on a channel.
+// ---------------------------------------------------------------------
+
+/// Flags `.recv(…)` / `.recv_timeout(…)` method calls. Scoped (by the
+/// workspace walker) to the event-loop module: the readiness loop owns
+/// every connection in its process, so one blocking channel receive
+/// there stalls all of them — waits must go through `Poller::wait`.
+pub fn check_blocking_recv(sf: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in sf.toks.iter().enumerate() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        let Some(name) = sf.ident(i) else { continue };
+        if (name == "recv" || name == "recv_timeout") && i >= 1 && sf.punct(i - 1, '.') {
+            let line = tok.line;
+            if !sf.allowed(RULE_BLOCKING_RECV, line) {
+                out.push(violation(
+                    sf,
+                    line,
+                    RULE_BLOCKING_RECV,
+                    format!(
+                        "`.{name}(…)` inside the event-loop module blocks the readiness \
+                         loop and every connection it owns; all waiting must go through \
+                         the poller — move the blocking call behind an endpoint adapter \
+                         or justify with `// lint:allow(blocking-recv, reason)`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
 }

@@ -87,6 +87,18 @@ fn commit_order_fixtures() {
 }
 
 #[test]
+fn blocking_recv_fixtures() {
+    let fail = check_as("blocking_recv/fail.rs", "crates/net/src/evloop.rs");
+    assert_eq!(rules_hit(&fail), vec![rules::RULE_BLOCKING_RECV]);
+    assert_eq!(fail.len(), 2, "recv and recv_timeout should both flag");
+    let pass = check_as("blocking_recv/pass.rs", "crates/net/src/evloop.rs");
+    assert!(pass.is_empty(), "unexpected: {pass:?}");
+    // The blocking transport is allowed to block: the rule is scoped to
+    // the event-loop module, not the whole net crate.
+    assert!(check_as("blocking_recv/fail.rs", "crates/net/src/dialer.rs").is_empty());
+}
+
+#[test]
 fn codec_fixtures() {
     let fns = ["put_msg", "get_msg", "sample_msg"];
     let messages = SourceFile::parse(
@@ -158,6 +170,11 @@ fn binary_fails_on_each_seeded_violation() {
             "commit-order",
             "crates/vc/src/core.rs",
             "commit_order/fail.rs",
+        ),
+        (
+            "blocking-recv",
+            "crates/net/src/evloop.rs",
+            "blocking_recv/fail.rs",
         ),
     ];
     for (rule, rel, fix) in cases {

@@ -12,17 +12,36 @@
 //! * [`TcpTransport`] — real localhost/LAN sockets: length-prefixed
 //!   CRC-checksummed envelope frames, per-peer writer threads with
 //!   reconnect-on-drop, so each replica can run in its own OS process.
+//! * [`evloop::EvLoop`] — the readiness-driven front door: one epoll
+//!   instance multiplexing every connection of a node through the
+//!   [`auth`] authenticated-channel protocol, with connection
+//!   admission, backpressure and typed rejects. No thread per peer.
+//!
+//! The endpoint surface is split in two: the blocking
+//! [`TransportEndpoint`] (historic API, used by clients and tests) and
+//! the non-blocking, poll-based [`EventEndpoint`] the node drivers run
+//! on; adapters convert in both directions.
 
 #![warn(missing_docs)]
 
+pub mod auth;
+pub mod dialer;
+pub mod evloop;
+pub mod evnode;
 pub mod latency;
 pub mod simnet;
 pub mod stats;
+pub mod sys;
 pub mod tcp;
 pub mod transport;
 
+pub use dialer::{AuthTransport, ConnSnapshot};
+pub use evnode::EvNodeEndpoint;
 pub use latency::NetworkProfile;
 pub use simnet::{AmnesiaHook, Endpoint, Envelope, NetFault, SimNet};
 pub use stats::NetStats;
 pub use tcp::{TcpConfig, TcpEndpoint, TcpTransport};
-pub use transport::{DynEndpoint, Transport, TransportEndpoint};
+pub use transport::{
+    BlockingAdapter, DynEndpoint, DynEventEndpoint, EventAdapter, EventEndpoint, Transport,
+    TransportEndpoint, Wait,
+};

@@ -24,6 +24,7 @@
 
 use crate::latency::NetworkProfile;
 use crate::stats::NetStats;
+use crate::transport::Wait;
 use crossbeam_channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
 use ddemos_protocol::clock::{
     ActorGuard, DriftRegistry, EventSource, VirtualClock, WaitOpts, WaitOutcome,
@@ -446,6 +447,7 @@ impl SimNet {
             id,
             rx,
             net: self.clone(),
+            pending: Mutex::new(None),
         }
     }
 
@@ -673,6 +675,10 @@ pub struct Endpoint {
     id: NodeId,
     rx: Receiver<Envelope>,
     net: SimNet,
+    // One-envelope buffer backing the event (poll-based) surface:
+    // `event_wait` parks via `recv_timeout` and stashes what it pulled
+    // here; `event_try_recv` drains it first, preserving order.
+    pending: Mutex<Option<Envelope>>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -789,6 +795,31 @@ impl Endpoint {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope> {
         self.rx.try_recv().ok()
+    }
+
+    /// Event-surface readiness wait (backs
+    /// [`crate::transport::EventEndpoint`]): blocks until an envelope
+    /// is buffered, the timeout elapses (in the network's time base),
+    /// or the network shuts down. After [`Wait::Ready`] the next
+    /// [`Endpoint::event_try_recv`] returns `Some`.
+    pub fn event_wait(&self, timeout: Duration) -> Wait {
+        if self.pending.lock().is_some() {
+            return Wait::Ready;
+        }
+        match self.recv_timeout(timeout) {
+            Ok(env) => {
+                *self.pending.lock() = Some(env);
+                Wait::Ready
+            }
+            Err(RecvTimeoutError::Timeout) => Wait::Timeout,
+            Err(RecvTimeoutError::Disconnected) => Wait::Closed,
+        }
+    }
+
+    /// Event-surface non-blocking receive: drains the [`Endpoint::event_wait`]
+    /// buffer first, then the inbox.
+    pub fn event_try_recv(&self) -> Option<Envelope> {
+        self.pending.lock().take().or_else(|| self.try_recv())
     }
 
     /// The network this endpoint belongs to.

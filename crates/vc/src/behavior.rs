@@ -77,9 +77,7 @@ impl Trigger {
         match *self {
             Trigger::Always => true,
             Trigger::AfterEndorsements(n) => view.endorsements_seen >= n,
-            Trigger::SerialInRange(lo, hi) => {
-                view.serial.is_some_and(|s| s >= lo && s <= hi)
-            }
+            Trigger::SerialInRange(lo, hi) => view.serial.is_some_and(|s| s >= lo && s <= hi),
         }
     }
 }

@@ -21,7 +21,7 @@
 use crate::core::{StepTrace, VcCore, VcInput, VcOutput};
 use crate::store::BallotStore;
 use crossbeam_channel::Sender;
-use ddemos_net::{DynEndpoint, TransportEndpoint};
+use ddemos_net::{DynEndpoint, DynEventEndpoint, EventAdapter, TransportEndpoint, Wait};
 use ddemos_protocol::clock::NodeClock;
 use ddemos_protocol::initdata::VcInit;
 use ddemos_protocol::messages::Msg;
@@ -121,7 +121,7 @@ impl Drop for VcHandle {
 /// The driver state: a core plus everything I/O.
 struct VcDriver<S> {
     core: VcCore<S>,
-    endpoint: DynEndpoint,
+    endpoint: DynEventEndpoint,
     clock: NodeClock,
     journal: Option<DynJournal>,
     deliver: DeliverTarget,
@@ -153,23 +153,33 @@ impl<S: BallotStore> VcDriver<S> {
                 self.close_forwarded = true;
                 self.step(VcInput::ClosePolls);
             }
-            let input = match self.endpoint.recv_timeout(self.timeout) {
-                Ok(env) => {
-                    // Control envelopes are a driver concern: authenticate
-                    // (only client/EA identities may steer a replica) and
-                    // translate into typed inputs.
-                    let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
-                    match env.msg {
-                        Msg::ClosePolls if control => VcInput::ClosePolls,
-                        Msg::Shutdown if control => {
-                            self.step(VcInput::Shutdown);
-                            return;
+            // The driver runs on the poll-based event surface: wait for
+            // readiness in the transport's time base, then drain without
+            // blocking. Over `EventAdapter` this is step-for-step the old
+            // `recv_timeout` loop, so seeded runs are unchanged.
+            let input = match self.endpoint.wait(self.timeout) {
+                Wait::Ready => match self.endpoint.try_recv() {
+                    Some(env) => {
+                        // Control envelopes are a driver concern:
+                        // authenticate (only client/EA identities may
+                        // steer a replica) and translate into typed
+                        // inputs.
+                        let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
+                        match env.msg {
+                            Msg::ClosePolls if control => VcInput::ClosePolls,
+                            Msg::Shutdown if control => {
+                                self.step(VcInput::Shutdown);
+                                return;
+                            }
+                            _ => VcInput::Deliver(env),
                         }
-                        _ => VcInput::Deliver(env),
                     }
-                }
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => VcInput::Tick,
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    // `Ready` guarantees a buffered envelope; a bare
+                    // drain is still safe to treat as a timer poll.
+                    None => VcInput::Tick,
+                },
+                Wait::Timeout => VcInput::Tick,
+                Wait::Closed => {
                     self.step(VcInput::Shutdown);
                     return;
                 }
@@ -328,14 +338,40 @@ impl<S: BallotStore + 'static> VcNode<S> {
         )
     }
 
-    /// The fully general spawn: any transport endpoint, any delivery
-    /// target (multi-process replicas deliver as [`Msg::Finalized`]
-    /// envelopes to the coordinator).
+    /// [`VcNode::spawn_event`] for callers holding a blocking endpoint:
+    /// lifts it through [`EventAdapter`] (an exact translation, virtual
+    /// time included) onto the event surface the driver runs on.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn_with(
         init: VcInit,
         store: S,
         endpoint: DynEndpoint,
+        clock: NodeClock,
+        beacon: u64,
+        config: VcNodeConfig,
+        deliver: DeliverTarget,
+        journal: Option<DynJournal>,
+    ) -> VcHandle {
+        Self::spawn_event(
+            init,
+            store,
+            Box::new(EventAdapter::new(endpoint)),
+            clock,
+            beacon,
+            config,
+            deliver,
+            journal,
+        )
+    }
+
+    /// The fully general spawn: any event endpoint, any delivery
+    /// target (multi-process replicas deliver as [`Msg::Finalized`]
+    /// envelopes to the coordinator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_event(
+        init: VcInit,
+        store: S,
+        endpoint: DynEventEndpoint,
         clock: NodeClock,
         beacon: u64,
         config: VcNodeConfig,

@@ -136,10 +136,7 @@ fn run_campaigns(args: &Args) -> usize {
             continue;
         }
         failures += 1;
-        println!(
-            "campaign {seed:>8}  FAIL  {} violation(s)",
-            problems.len()
-        );
+        println!("campaign {seed:>8}  FAIL  {} violation(s)", problems.len());
         let plans: String = plan.elections.iter().map(|e| e.describe()).collect();
         let path = write_artifact(
             &args.out,
@@ -247,7 +244,7 @@ fn main() {
         }
         // Every kept mutant runs end-to-end: the safety oracle must stay
         // green on the interleavings only guided search reaches.
-        for entry in corpus.entries[before..].to_vec() {
+        for entry in corpus.entries[before..].iter().cloned() {
             let plan = entry.plan();
             let outcome = run_plan(&plan, &args.options, None);
             if outcome.violations.is_empty() {

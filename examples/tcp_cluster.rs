@@ -11,7 +11,7 @@
 //! cargo run --release --example tcp_cluster
 //! ```
 
-use ddemos_harness::tcp::{run_bb_replica, run_vc_replica, TcpCluster};
+use ddemos_harness::tcp::{run_bb_replica, run_vc_replica, TcpCluster, TcpDriver, TcpOptions};
 use ddemos_harness::{ElectionBuilder, ElectionParams, ElectionReport, Network};
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
@@ -48,6 +48,11 @@ fn cluster_to_args(cluster: &TcpCluster) -> Vec<String> {
         ports(&cluster.bb_addrs),
         "--coordinator-port".into(),
         cluster.coordinator.port().to_string(),
+        "--driver".into(),
+        match cluster.options.driver {
+            TcpDriver::Threaded => "threaded".into(),
+            TcpDriver::EventLoop => "evloop".into(),
+        },
     ]
 }
 
@@ -64,6 +69,11 @@ fn cluster_from_args(args: &[String]) -> TcpCluster {
             .map(|p| SocketAddr::from(([127, 0, 0, 1], p.parse().expect("port"))))
             .collect()
     };
+    let options = match value("--driver").as_str() {
+        "threaded" => TcpOptions::default(),
+        "evloop" => TcpOptions::event_loop(),
+        other => panic!("unknown driver {other}"),
+    };
     TcpCluster {
         vc_addrs: addrs(&value("--vc-ports")),
         bb_addrs: addrs(&value("--bb-ports")),
@@ -71,6 +81,7 @@ fn cluster_from_args(args: &[String]) -> TcpCluster {
             [127, 0, 0, 1],
             value("--coordinator-port").parse::<u16>().expect("port"),
         )),
+        options,
     }
 }
 
@@ -143,7 +154,16 @@ fn main() {
     }
 
     let p = params();
-    let cluster = TcpCluster::localhost_free(p.num_vc, p.num_bb).expect("free ports");
+    // `--evloop` runs the whole cluster on the readiness-driven driver
+    // with authenticated channels instead of the threaded transport.
+    let options = if args.iter().any(|a| a == "--evloop") {
+        TcpOptions::event_loop()
+    } else {
+        TcpOptions::default()
+    };
+    let cluster = TcpCluster::localhost_free(p.num_vc, p.num_bb)
+        .expect("free ports")
+        .with_options(options);
     let exe = std::env::current_exe().expect("current exe");
     let mut children = Replicas(Vec::new());
     for (role, count) in [("vc", p.num_vc), ("bb", p.num_bb)] {

@@ -31,4 +31,22 @@ record() {
 record micro BENCH_micro.json
 record setup BENCH_setup.json
 
-echo "== done: BENCH_micro.json BENCH_setup.json"
+# BENCH_load.json — closed-loop vote-casting throughput + latency
+# percentiles over the event-loop driver (examples/load_gen.rs writes
+# bench_check-compatible rows directly). The 1k-connection rows are the
+# CI smoke baseline; set DD_LOAD_FULL=1 to also record the
+# 100k-connection demonstration (several minutes of ramp).
+tmp="$(mktemp)"
+echo "== recording load (1k connections) -> BENCH_load.json"
+cargo run --release --example load_gen -- --conns 1000 --measure 5 --out "$tmp"
+if [ "${DD_LOAD_FULL:-0}" = "1" ]; then
+    tmp_full="$(mktemp)"
+    echo "== recording load (100k connections) -> BENCH_load.json"
+    cargo run --release --example load_gen -- --conns 100000 --measure 30 --warmup 5 --out "$tmp_full"
+    cat "$tmp_full" >> "$tmp"
+    rm -f "$tmp_full"
+fi
+{ printf '[\n'; awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' "$tmp"; printf ']\n'; } > BENCH_load.json
+rm -f "$tmp"
+
+echo "== done: BENCH_micro.json BENCH_setup.json BENCH_load.json"

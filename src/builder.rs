@@ -873,7 +873,8 @@ impl ElectionBuilder {
         let ea = ElectionAuthority::new(self.params.clone(), self.seed);
         let setup = ea.setup_with(SetupProfile::Full, &pool);
         let setup_elapsed = setup_started.elapsed();
-        let backend = TcpBackend::connect(cluster).map_err(|e| BuildError::Net(e.to_string()))?;
+        let backend =
+            TcpBackend::connect(cluster, self.seed).map_err(|e| BuildError::Net(e.to_string()))?;
         let bb_apis = backend.bb_clients();
         let reserved_clients = backend.reserved_clients();
         let reader = MajorityReader::over(bb_apis.clone());

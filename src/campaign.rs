@@ -222,8 +222,7 @@ impl Corpus {
     /// seen; returns the newly covered pairs (empty = not added).
     pub fn add_if_new(&mut self, entry: CorpusEntry) -> BTreeSet<CoveragePair> {
         let covered = self.covered();
-        let fresh: BTreeSet<CoveragePair> =
-            entry.coverage.difference(&covered).cloned().collect();
+        let fresh: BTreeSet<CoveragePair> = entry.coverage.difference(&covered).cloned().collect();
         if !fresh.is_empty() {
             self.entries.push(entry);
         }
@@ -244,11 +243,7 @@ impl Corpus {
         use std::fmt::Write as _;
         let mut out = String::new();
         for e in &self.entries {
-            let pairs: Vec<String> = e
-                .coverage
-                .iter()
-                .map(|(c, p)| format!("{c}@{p}"))
-                .collect();
+            let pairs: Vec<String> = e.coverage.iter().map(|(c, p)| format!("{c}@{p}")).collect();
             let _ = writeln!(
                 out,
                 "seed={} mix={} shift={} pairs={}",
@@ -303,7 +298,9 @@ impl Corpus {
                             let (class, phase) = pair.split_once('@').ok_or_else(|| {
                                 format!("line {}: pair '{pair}' has no '@'", lineno + 1)
                             })?;
-                            entry.coverage.insert((class.to_string(), phase.to_string()));
+                            entry
+                                .coverage
+                                .insert((class.to_string(), phase.to_string()));
                         }
                     }
                     other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
@@ -326,10 +323,7 @@ const MUTATION_SHIFTS_MS: [u64; 3] = [8_000, 12_000, 16_000];
 /// discovered (and appends the contributing mutants to the corpus). At
 /// most `max_mutants` mutants are tried; the search is deterministic —
 /// same corpus in, same discoveries out.
-pub fn guided_coverage_search(
-    corpus: &mut Corpus,
-    max_mutants: usize,
-) -> BTreeSet<CoveragePair> {
+pub fn guided_coverage_search(corpus: &mut Corpus, max_mutants: usize) -> BTreeSet<CoveragePair> {
     let mut discovered = BTreeSet::new();
     // Snapshot the starting entries: mutants-of-mutants are possible in
     // later calls (the appended entries are candidates next time), but

@@ -25,6 +25,10 @@ use std::time::{Duration, Instant};
 
 /// The transport behind a running election: the in-process simulated
 /// network, or the coordinator side of a multi-process TCP cluster.
+///
+/// One instance exists per election, so the size skew between the two
+/// variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum NetBackend {
     /// In-process simulation (latency emulation, faults, virtual time).
     Sim(SimNet),
@@ -43,7 +47,16 @@ impl NetBackend {
     fn register(&self, id: NodeId) -> DynEndpoint {
         match self {
             NetBackend::Sim(net) => Transport::register(net, id),
-            NetBackend::Tcp(backend) => Transport::register(&backend.transport, id),
+            NetBackend::Tcp(backend) => backend.transport.register(id),
+        }
+    }
+
+    /// Connection counters of an authenticated-channel transport
+    /// (`None` on the simulated network and the threaded TCP driver).
+    fn conn_counters(&self) -> Option<ddemos_net::ConnSnapshot> {
+        match self {
+            NetBackend::Sim(_) => None,
+            NetBackend::Tcp(backend) => backend.transport.conn_counters(),
         }
     }
 
@@ -430,6 +443,7 @@ impl Election {
             audit: state.audit_report.clone(),
             timings: state.timings,
             net: NetReport::capture(self.net.stats()),
+            conns: self.net.conn_counters(),
             workload: state.workload.clone(),
             store: self.store,
             threads: self.threads,

@@ -64,6 +64,7 @@ pub mod builder;
 pub mod campaign;
 pub mod dsl;
 pub mod election;
+pub mod load;
 pub mod report;
 pub mod scenario;
 pub mod schedule;
@@ -75,10 +76,9 @@ pub use campaign::{
     campaign_from_seed, guided_coverage_search, net_fault_class, plan_coverage, run_campaign,
     CampaignOutcome, CampaignPlan, Corpus, CorpusEntry, DiskPool,
 };
-pub use dsl::{
-    DiskEvent, ScenarioBuilder, ScenarioEvent, ScenarioPhase, ScenarioScript, Tick,
-};
+pub use dsl::{DiskEvent, ScenarioBuilder, ScenarioEvent, ScenarioPhase, ScenarioScript, Tick};
 pub use election::{Election, ElectionError, PhaseTimings, VotingPhase};
+pub use load::{run_load_shard, shutdown_cluster, LatencyHistogram, ShardConfig, ShardReport};
 pub use report::{ElectionReport, NetReport};
 pub use scenario::{
     run_plan, run_scenario, run_scenario_with, FaultMix, ScenarioOptions, ScenarioOutcome,
@@ -98,5 +98,7 @@ pub use ddemos_net::{
 };
 pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
 pub use ddemos_storage::{DiskProfile, FileDisk, SimDisk};
-pub use ddemos_vc::{AdversaryView, StepTrace, StorageModel, Trigger, TriggeredAdversary, VcBehavior};
+pub use ddemos_vc::{
+    AdversaryView, StepTrace, StorageModel, Trigger, TriggeredAdversary, VcBehavior,
+};
 pub use tcp::{run_bb_replica, run_vc_replica, TcpCluster, COORDINATOR};

@@ -64,6 +64,12 @@ pub struct ElectionReport {
     pub timings: PhaseTimings,
     /// Network traffic totals.
     pub net: NetReport,
+    /// Authenticated-connection counters (dials, handshakes, rejects) —
+    /// `Some` only when the election ran over the event-loop TCP driver.
+    /// Excluded from [`ElectionReport::canonical_text`]: connection
+    /// counts are a property of the transport run, not of the
+    /// seed-determined election artifacts.
+    pub conns: Option<ddemos_net::ConnSnapshot>,
     /// Statistics of the last bulk workload, if one ran.
     pub workload: Option<WorkloadStats>,
     /// Which ballot store backed the VC nodes.

@@ -213,15 +213,17 @@ impl ScenarioPlan {
             FaultMix::Gray => Schedule::random_gray(seed, &schedule_params),
             FaultMix::Disk => {
                 extras = Self::disk_script(&mut rng, fault_node);
-                let mut schedule = Schedule::default();
-                schedule.label = extras.label.clone();
-                schedule
+                Schedule {
+                    label: extras.label.clone(),
+                    ..Default::default()
+                }
             }
             FaultMix::Adaptive => {
                 extras = Self::adaptive_script(&mut rng, fault_node);
-                let mut schedule = Schedule::default();
-                schedule.label = extras.label.clone();
-                schedule
+                Schedule {
+                    label: extras.label.clone(),
+                    ..Default::default()
+                }
             }
         };
         let votes = (0..VOTES).map(|i| (i, rng.gen_range(0..3usize))).collect();
@@ -278,8 +280,8 @@ impl ScenarioPlan {
                 TriggeredAdversary::corrupt_shares_for_serials(lo, lo + rng.gen_range(1..=2u64))
             }
         };
-        let mut builder = ScenarioBuilder::new("adaptive-adversary")
-            .trigger(NodeId::vc(fault_node), adversary);
+        let mut builder =
+            ScenarioBuilder::new("adaptive-adversary").trigger(NodeId::vc(fault_node), adversary);
         if rng.gen_bool(0.5) {
             builder = builder.bb_diverges_after_finalized(rng.gen_range(0..4u32));
         }
@@ -402,7 +404,9 @@ fn apply_runner_event(
         }
         ScenarioEvent::Churn => {
             let Some((ballot, option, part, receipt)) = churn.latest else {
-                churn.log.push((at_ms, "churn: nothing receipted yet".into()));
+                churn
+                    .log
+                    .push((at_ms, "churn: nothing receipted yet".into()));
                 return;
             };
             // A fresh connection (new request ids, new node ordering)
@@ -492,7 +496,7 @@ pub fn run_plan(
     let seed = plan.seed;
     let mut violations = Vec::new();
     let durability = plan.durability || pool.is_some();
-    let pool = pool.unwrap_or_else(DiskPool::new);
+    let pool = pool.unwrap_or_default();
 
     let params = ElectionParams::new(
         &format!("scenario-{seed}"),
@@ -521,7 +525,9 @@ pub fn run_plan(
         .schedule(schedule)
         .close_timeout(CLOSE_TIMEOUT);
     if durability {
-        builder = builder.durability(Durability::sim()).disk_pool(pool.clone());
+        builder = builder
+            .durability(Durability::sim())
+            .disk_pool(pool.clone());
     }
     for (node, adversary) in &plan.extras.adversaries {
         builder = builder.triggered_adversary(*node, adversary.clone());

@@ -333,8 +333,10 @@ impl Schedule {
             .fault_until_ms
             .saturating_sub(params.fault_from_ms)
             .max(1);
-        let mut schedule = Schedule::default();
-        schedule.label = "gray-partition".into();
+        let mut schedule = Schedule {
+            label: "gray-partition".into(),
+            ..Default::default()
+        };
         let victim = params
             .target
             .unwrap_or_else(|| NodeId::vc(rng.gen_range(0..params.num_vc as u32)));

@@ -24,8 +24,13 @@ use ddemos_bb::{codec as bb_codec, BbApi, BbNode, BbSnapshot, WriteError};
 use ddemos_crypto::schnorr::Signature;
 use ddemos_crypto::vss::SignedShare;
 use ddemos_ea::{ElectionAuthority, SetupProfile};
+use ddemos_net::auth::{seeded_secret, AuthConfig};
+use ddemos_net::evloop::EvConfig;
 use ddemos_net::tcp::{TcpConfig, TcpTransport};
-use ddemos_net::{DynEndpoint, Transport};
+use ddemos_net::{
+    AuthTransport, ConnSnapshot, DynEndpoint, EvNodeEndpoint, EventEndpoint, NetStats, Transport,
+    Wait,
+};
 use ddemos_protocol::clock::GlobalClock;
 use ddemos_protocol::exec::Pool;
 use ddemos_protocol::messages::{BbWriteMsg, Msg};
@@ -49,6 +54,66 @@ pub const COORDINATOR: NodeId = NodeId {
 /// Per-request timeout of remote BB reads and writes.
 const BB_REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Which socket driver the deployment runs on. Every process of one
+/// cluster must agree (the wire protocols differ).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TcpDriver {
+    /// The historic thread-per-peer blocking transport
+    /// ([`TcpTransport`]): raw CRC frames, sender-claimed `from`.
+    #[default]
+    Threaded,
+    /// The readiness-driven epoll front door
+    /// ([`ddemos_net::evloop::EvLoop`]): one event loop per replica,
+    /// authenticated channels, admission control and backpressure. No
+    /// thread per peer — this is the driver the load harness pushes to
+    /// six-figure connection counts.
+    EventLoop,
+}
+
+/// Listener, admission and channel-authentication configuration of a
+/// TCP deployment. Carried inside [`TcpCluster`] so every replica
+/// process (which receives the cluster on its command line or re-derives
+/// it from shared state) agrees with the coordinator.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpOptions {
+    /// The socket driver.
+    pub driver: TcpDriver,
+    /// Admission limit per replica (event-loop driver only): inbound
+    /// connections beyond this receive a typed `ServerFull` reject.
+    pub max_conns: usize,
+    /// Per-connection write-queue cap in bytes (event-loop driver
+    /// only); slow consumers over the cap are shed.
+    pub write_cap: usize,
+    /// Maximum envelope frame accepted on an authenticated channel.
+    pub max_frame: u32,
+    /// The 32-byte cluster secret for channel authentication. `None`
+    /// derives it from the election seed ([`seeded_secret`]) — the
+    /// deterministic stand-in for out-of-band key distribution.
+    pub auth_secret: Option<[u8; 32]>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            driver: TcpDriver::default(),
+            max_conns: 16384,
+            write_cap: 1 << 20,
+            max_frame: 16 << 20,
+            auth_secret: None,
+        }
+    }
+}
+
+impl TcpOptions {
+    /// Options for the event-loop driver with default admission limits.
+    pub fn event_loop() -> TcpOptions {
+        TcpOptions {
+            driver: TcpDriver::EventLoop,
+            ..TcpOptions::default()
+        }
+    }
+}
+
 /// Addresses of every process in a TCP deployment.
 #[derive(Clone, Debug)]
 pub struct TcpCluster {
@@ -57,8 +122,13 @@ pub struct TcpCluster {
     /// BB replica listen addresses, indexed by node.
     pub bb_addrs: Vec<SocketAddr>,
     /// The coordinator's listen address (VC replicas connect here to
-    /// deliver finalized vote sets).
+    /// deliver finalized vote sets — threaded driver only; under the
+    /// event-loop driver the coordinator dials out and replicas answer
+    /// over its own authenticated connections).
     pub coordinator: SocketAddr,
+    /// Driver, admission and authentication configuration shared by
+    /// every process.
+    pub options: TcpOptions,
 }
 
 impl TcpCluster {
@@ -73,6 +143,7 @@ impl TcpCluster {
                 .map(|j| addr(num_vc as u16 + j))
                 .collect(),
             coordinator: addr((num_vc + num_bb) as u16),
+            options: TcpOptions::default(),
         }
     }
 
@@ -97,7 +168,37 @@ impl TcpCluster {
             vc_addrs: addrs[..num_vc].to_vec(),
             bb_addrs: addrs[bb_start..bb_start + num_bb].to_vec(),
             coordinator: addrs[num_vc + num_bb],
+            options: TcpOptions::default(),
         })
+    }
+
+    /// Replaces the driver/admission/auth options (builder-style).
+    #[must_use]
+    pub fn with_options(mut self, options: TcpOptions) -> TcpCluster {
+        self.options = options;
+        self
+    }
+
+    /// The channel-authentication config every process derives from the
+    /// shared `(options, seed)`.
+    pub(crate) fn auth_config(&self, seed: u64) -> AuthConfig {
+        AuthConfig {
+            secret: self
+                .options
+                .auth_secret
+                .unwrap_or_else(|| seeded_secret(seed)),
+            max_frame: self.options.max_frame,
+        }
+    }
+
+    /// The event-loop config of one replica.
+    fn ev_config(&self, seed: u64, me: NodeId) -> EvConfig {
+        EvConfig {
+            auth: self.auth_config(seed),
+            max_conns: self.options.max_conns,
+            write_cap: self.options.write_cap,
+            nonce_seed: process_nonce_seed(me),
+        }
     }
 
     /// The static peer table of one replica: every *other* replica plus
@@ -126,11 +227,31 @@ impl TcpCluster {
     }
 }
 
+/// A unique-per-process handshake-nonce seed. Determinism of the
+/// *election* never depends on it (nonces only feed session-key
+/// freshness), and repeating nonces across replica restarts would be
+/// exactly the cross-epoch replay surface the channel closes — so this
+/// mixes in process identity and boot time rather than the election
+/// seed.
+pub(crate) fn process_nonce_seed(me: NodeId) -> [u8; 32] {
+    let mut base = [0u8; 32];
+    base[..4].copy_from_slice(&std::process::id().to_be_bytes());
+    // lint:allow(wall-clock, per-process handshake-nonce uniqueness; never reaches a core)
+    let boot = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    base[4..20].copy_from_slice(&boot.as_nanos().to_be_bytes());
+    ddemos_crypto::hmac::hmac_sha256_parts(
+        &base,
+        &[b"ddemos.tcp.nonce-seed", format!("{me}").as_bytes()],
+    )
+}
+
 /// Derives the full deterministic setup every process shares. EA setup is
 /// a pure function of `(params, seed)` and independent of the worker
 /// count, so each process dealing its *own* initialization data is
 /// equivalent to the paper's out-of-band distribution.
-fn derive_setup(params: &ElectionParams, seed: u64) -> ddemos_ea::SetupOutput {
+pub(crate) fn derive_setup(params: &ElectionParams, seed: u64) -> ddemos_ea::SetupOutput {
     let pool = Pool::from_env();
     ElectionAuthority::new(params.clone(), seed).setup_with(SetupProfile::Full, &pool)
 }
@@ -153,24 +274,53 @@ pub fn run_vc_replica(
     let rows = std::mem::take(&mut init.ballots);
     let store = MemoryStore::new(rows, params.num_ballots);
     let me = NodeId::vc(index);
-    let transport = TcpTransport::bind(TcpConfig::new(
-        cluster.vc_addrs[index as usize],
-        cluster.replica_peers(me),
-    ))?;
-    let endpoint: DynEndpoint = Transport::register(&transport, me);
     let clock = GlobalClock::new();
-    let handle = VcNode::spawn_with(
-        init,
-        store,
-        endpoint,
-        clock.node_clock_keyed(me.clock_key(), 0),
-        setup.consensus_beacon,
-        VcNodeConfig::default(),
-        DeliverTarget::Peers(vec![COORDINATOR]),
-        None,
-    );
-    handle.join();
-    transport.shutdown();
+    match cluster.options.driver {
+        TcpDriver::Threaded => {
+            let transport = TcpTransport::bind(TcpConfig::new(
+                cluster.vc_addrs[index as usize],
+                cluster.replica_peers(me),
+            ))?;
+            let endpoint: DynEndpoint = Transport::register(&transport, me);
+            let handle = VcNode::spawn_with(
+                init,
+                store,
+                endpoint,
+                clock.node_clock_keyed(me.clock_key(), 0),
+                setup.consensus_beacon,
+                VcNodeConfig::default(),
+                DeliverTarget::Peers(vec![COORDINATOR]),
+                None,
+            );
+            handle.join();
+            transport.shutdown();
+        }
+        TcpDriver::EventLoop => {
+            // Dialable peers are the *other replicas* (they have
+            // listeners). The coordinator and the voters have none:
+            // they connect in, and their authenticated channels carry
+            // the finalized sets and receipts back out.
+            let mut peers = cluster.all_replicas();
+            peers.retain(|(id, _)| *id != me);
+            let endpoint = EvNodeEndpoint::bind(
+                me,
+                cluster.vc_addrs[index as usize],
+                peers,
+                cluster.ev_config(seed, me),
+            )?;
+            let handle = VcNode::spawn_event(
+                init,
+                store,
+                Box::new(endpoint),
+                clock.node_clock_keyed(me.clock_key(), 0),
+                setup.consensus_beacon,
+                VcNodeConfig::default(),
+                DeliverTarget::Peers(vec![COORDINATOR]),
+                None,
+            );
+            handle.join();
+        }
+    }
     Ok(())
 }
 
@@ -189,40 +339,69 @@ pub fn run_bb_replica(
     let setup = derive_setup(params, seed);
     let node = BbNode::new(setup.bb_init);
     let me = NodeId::bb(index);
-    let transport = TcpTransport::bind(TcpConfig::new(
-        cluster.bb_addrs[index as usize],
-        cluster.replica_peers(me),
-    ))?;
-    let endpoint = Transport::register(&transport, me);
-    while let Ok(env) = endpoint.recv() {
-        let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
-        match env.msg {
-            Msg::BbWrite { request_id, write } => {
-                let outcome = node.handle_write(write);
-                endpoint.send(
-                    env.from,
-                    Msg::BbWriteReply {
-                        request_id,
-                        outcome,
-                    },
-                );
-            }
-            Msg::BbReadRequest { request_id } => {
-                let snapshot = Arc::new(bb_codec::encode_snapshot(&node.read()));
-                endpoint.send(
-                    env.from,
-                    Msg::BbReadResponse {
-                        request_id,
-                        snapshot,
-                    },
-                );
-            }
-            Msg::Shutdown if control => break,
-            _ => {}
+    match cluster.options.driver {
+        TcpDriver::Threaded => {
+            let transport = TcpTransport::bind(TcpConfig::new(
+                cluster.bb_addrs[index as usize],
+                cluster.replica_peers(me),
+            ))?;
+            serve_bb(&node, &Transport::register_event(&transport, me));
+            transport.shutdown();
+        }
+        TcpDriver::EventLoop => {
+            // A BB replica never dials anyone: every client (the
+            // coordinator's RemoteBb clients, auditors) connects in.
+            let endpoint = EvNodeEndpoint::bind(
+                me,
+                cluster.bb_addrs[index as usize],
+                Vec::new(),
+                cluster.ev_config(seed, me),
+            )?;
+            serve_bb(&node, &endpoint);
         }
     }
-    transport.shutdown();
     Ok(())
+}
+
+/// The BB replica serve loop, on the poll-based event surface: wait for
+/// readiness, then drain the inbox without blocking mid-batch. Runs
+/// identically over the threaded transport's adapter and over an owned
+/// event loop.
+fn serve_bb(node: &BbNode, endpoint: &dyn EventEndpoint) {
+    'serve: loop {
+        match endpoint.wait(Duration::from_secs(3600)) {
+            Wait::Closed => break 'serve,
+            Wait::Timeout => continue 'serve,
+            Wait::Ready => {}
+        }
+        while let Some(env) = endpoint.try_recv() {
+            let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
+            match env.msg {
+                Msg::BbWrite { request_id, write } => {
+                    let outcome = node.handle_write(write);
+                    endpoint.send(
+                        env.from,
+                        Msg::BbWriteReply {
+                            request_id,
+                            outcome,
+                        },
+                    );
+                }
+                Msg::BbReadRequest { request_id } => {
+                    let snapshot = Arc::new(bb_codec::encode_snapshot(&node.read()));
+                    endpoint.send(
+                        env.from,
+                        Msg::BbReadResponse {
+                            request_id,
+                            snapshot,
+                        },
+                    );
+                }
+                Msg::Shutdown if control => break 'serve,
+                _ => {}
+            }
+        }
+    }
 }
 
 /// A [`BbApi`] client for one remote BB replica: request/response
@@ -314,10 +493,51 @@ impl BbApi for RemoteBb {
     }
 }
 
+/// The coordinator's transport, per [`TcpDriver`].
+pub(crate) enum CoordTransport {
+    /// Thread-per-peer raw transport (binds the coordinator listener).
+    Threaded(TcpTransport),
+    /// Authenticated dial-out channels to evloop-fronted replicas (no
+    /// listener; replicas answer over the coordinator's connections).
+    Ev(AuthTransport),
+}
+
+impl CoordTransport {
+    pub(crate) fn register(&self, id: NodeId) -> DynEndpoint {
+        match self {
+            CoordTransport::Threaded(t) => Transport::register(t, id),
+            CoordTransport::Ev(t) => Transport::register(t, id),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &NetStats {
+        match self {
+            CoordTransport::Threaded(t) => t.stats(),
+            CoordTransport::Ev(t) => t.stats(),
+        }
+    }
+
+    /// Connection counters (event-loop driver only: the threaded
+    /// transport has no handshake to count).
+    pub(crate) fn conn_counters(&self) -> Option<ConnSnapshot> {
+        match self {
+            CoordTransport::Threaded(_) => None,
+            CoordTransport::Ev(t) => Some(t.conn_counters()),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            CoordTransport::Threaded(t) => t.shutdown(),
+            CoordTransport::Ev(t) => Transport::shutdown(t),
+        }
+    }
+}
+
 /// The coordinator's connection to a remote cluster (held by
 /// [`crate::Election`] in TCP mode).
 pub(crate) struct TcpBackend {
-    pub(crate) transport: TcpTransport,
+    pub(crate) transport: CoordTransport,
     pub(crate) cluster: TcpCluster,
     /// The `C0` control endpoint: receives [`Msg::Finalized`], sends
     /// `ClosePolls`/`Shutdown`.
@@ -328,14 +548,21 @@ pub(crate) struct TcpBackend {
 }
 
 impl TcpBackend {
-    /// Binds the coordinator transport and registers the control
-    /// endpoint.
-    pub(crate) fn connect(cluster: TcpCluster) -> std::io::Result<TcpBackend> {
-        let transport = TcpTransport::bind(TcpConfig::new(
-            cluster.coordinator,
-            cluster.coordinator_peers(),
-        ))?;
-        let control = Mutex::new(Transport::register(&transport, COORDINATOR));
+    /// Binds (threaded) or prepares (event-loop) the coordinator
+    /// transport and registers the control endpoint.
+    pub(crate) fn connect(cluster: TcpCluster, seed: u64) -> std::io::Result<TcpBackend> {
+        let transport = match cluster.options.driver {
+            TcpDriver::Threaded => CoordTransport::Threaded(TcpTransport::bind(TcpConfig::new(
+                cluster.coordinator,
+                cluster.coordinator_peers(),
+            ))?),
+            TcpDriver::EventLoop => CoordTransport::Ev(AuthTransport::new(
+                cluster.coordinator_peers(),
+                cluster.auth_config(seed),
+                process_nonce_seed(COORDINATOR),
+            )),
+        };
+        let control = Mutex::new(transport.register(COORDINATOR));
         Ok(TcpBackend {
             transport,
             cluster,
@@ -349,7 +576,7 @@ impl TcpBackend {
     pub(crate) fn bb_clients(&self) -> Vec<Arc<dyn BbApi>> {
         (0..self.cluster.bb_addrs.len() as u32)
             .map(|j| {
-                let endpoint = Transport::register(&self.transport, NodeId::client(1 + j));
+                let endpoint = self.transport.register(NodeId::client(1 + j));
                 Arc::new(RemoteBb::new(endpoint, NodeId::bb(j))) as Arc<dyn BbApi>
             })
             .collect()
@@ -382,9 +609,12 @@ impl TcpBackend {
                 return Err(ElectionError::VoteSetTimeout);
             };
             if let Msg::Finalized(finalized) = env.msg {
-                // The envelope source is only sender-claimed on TCP; the
-                // vote set's own signature is what the BB verifies. Here
-                // the claim merely gates obvious noise.
+                // Under the threaded driver the envelope source is only
+                // sender-claimed and this check merely gates obvious
+                // noise (the vote set's own signature is what the BB
+                // verifies). Under the event-loop driver `from` is
+                // channel-derived, so this is a real authentication
+                // gate.
                 if env.from.kind == NodeKind::Vc {
                     return Ok(finalized);
                 }

@@ -31,8 +31,12 @@ pub struct WorkloadStats {
     pub duration: Duration,
     /// Mean end-to-end latency per successful vote.
     pub mean_latency: Duration,
+    /// Median latency.
+    pub p50_latency: Duration,
     /// 95th-percentile latency.
     pub p95_latency: Duration,
+    /// 99th-percentile latency.
+    pub p99_latency: Duration,
 }
 
 impl WorkloadStats {
@@ -160,17 +164,21 @@ impl Workload {
         } else {
             Duration::from_nanos(lat.iter().sum::<u64>() / votes_cast)
         };
-        let p95 = if lat.is_empty() {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(lat[(lat.len() * 95 / 100).min(lat.len() - 1)])
+        let pct = |p: usize| {
+            if lat.is_empty() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(lat[(lat.len() * p / 100).min(lat.len() - 1)])
+            }
         };
         WorkloadStats {
             votes_cast,
             failures: failures.load(Ordering::Relaxed),
             duration,
             mean_latency: mean,
-            p95_latency: p95,
+            p50_latency: pct(50),
+            p95_latency: pct(95),
+            p99_latency: pct(99),
         }
     }
 }
