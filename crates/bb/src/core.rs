@@ -182,6 +182,17 @@ pub enum BbInput {
     },
 }
 
+impl BbInput {
+    /// A static label naming the input variant (metrics coordinates).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BbInput::VoteSet { .. } => "VoteSet",
+            BbInput::MskShare { .. } => "MskShare",
+            BbInput::TrusteePost { .. } => "TrusteePost",
+        }
+    }
+}
+
 impl From<BbWriteMsg> for BbInput {
     fn from(write: BbWriteMsg) -> BbInput {
         match write {

@@ -20,6 +20,7 @@
 use crate::core::{BbCore, BbInput, BbOutput, BbRecord, BbSnapshot, WriteError};
 use ddemos_crypto::schnorr::Signature;
 use ddemos_crypto::vss::SignedShare;
+use ddemos_obs::Recorder;
 use ddemos_protocol::initdata::BbInit;
 use ddemos_protocol::messages::{BbWriteMsg, BbWriteOutcome};
 use ddemos_protocol::posts::{TrusteePost, VoteSet};
@@ -49,6 +50,9 @@ pub struct BbNode {
     /// pre-finalization snapshot). The read-side `fb+1` majority must
     /// outvote such a replica.
     diverge_after_finalized: AtomicBool,
+    /// Metrics recorder (disabled by default): per-write-kind step
+    /// latency and counts, journal timing included.
+    recorder: Mutex<Recorder>,
 }
 
 impl BbNode {
@@ -61,7 +65,14 @@ impl BbNode {
             journal: Mutex::new(None),
             degraded: AtomicBool::new(false),
             diverge_after_finalized: AtomicBool::new(false),
+            recorder: Mutex::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a metrics recorder; every accepted or rejected write is
+    /// charged to `bb.step_ns` under its input kind.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.recorder.lock() = recorder;
     }
 
     /// Attaches a durable journal: every accepted write is logged and
@@ -147,6 +158,9 @@ impl BbNode {
         if self.degraded.load(Ordering::Acquire) {
             return Err(WriteError::ReadOnly);
         }
+        let recorder = self.recorder.lock().clone();
+        let kind = input.kind();
+        let start = recorder.now_ns();
         let outputs = self.core.write().step(input);
         let mut outcome = Ok(());
         for output in outputs {
@@ -182,6 +196,8 @@ impl BbNode {
                 BbOutput::Reply(result) => outcome = result,
             }
         }
+        recorder.add("bb.step_writes", kind, 1);
+        recorder.observe_since("bb.step_ns", kind, start);
         outcome
     }
 

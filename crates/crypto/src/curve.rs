@@ -280,6 +280,8 @@ impl Point {
     /// Panics if the slices have different lengths.
     pub fn msm(scalars: &[Scalar], points: &[Point]) -> Point {
         assert_eq!(scalars.len(), points.len(), "msm: mismatched lengths");
+        // Profiling hook: one atomic load when off (the default).
+        let _t = ddemos_obs::scoped_ns("crypto.msm_ns", "msm");
         // Drop terms that contribute nothing (also keeps buckets dense).
         let pairs: Vec<(&Scalar, &Point)> = scalars
             .iter()

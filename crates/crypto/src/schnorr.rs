@@ -107,6 +107,8 @@ impl SigningKey {
 impl VerifyingKey {
     /// Verifies a signature over `message`.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        // Profiling hook: one atomic load when off (the default).
+        let _t = ddemos_obs::scoped_ns("crypto.verify_ns", "schnorr");
         if self.0.is_identity() {
             return false;
         }

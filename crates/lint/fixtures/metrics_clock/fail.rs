@@ -1,0 +1,10 @@
+// Seeded violations: wall-clock readings fed into recorder metrics.
+pub fn encode_frame(recorder: &Recorder, begin: std::time::Instant, frame: &[u8]) {
+    write_frame(frame);
+    recorder.observe("net.frame_encode_ns", "", begin.elapsed().as_nanos() as u64);
+}
+
+pub fn commit_batch(recorder: &Recorder) {
+    fsync();
+    recorder.observe_since("storage.fsync_ns", "", epoch_ns(std::time::SystemTime::now()));
+}

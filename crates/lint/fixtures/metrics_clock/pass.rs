@@ -1,0 +1,8 @@
+// Clean counterpart: durations come from the recorder's own time
+// source, so a virtual-domain recorder charges modelled time.
+pub fn commit_batch(recorder: &Recorder, pending: u64) {
+    let start = recorder.now_ns();
+    fsync();
+    recorder.observe("storage.wal_batch", "", pending);
+    recorder.observe_since("storage.fsync_ns", "", start);
+}

@@ -18,7 +18,8 @@
 //! | rule              | scope                                          |
 //! |-------------------|------------------------------------------------|
 //! | `hash-iter`       | protocol-state crates (vc, bb, consensus, protocol, storage, ea, trustee) |
-//! | `wall-clock`      | everything except `protocol/src/clock.rs` and the transport/bench crates |
+//! | `wall-clock`      | everything except `protocol/src/clock.rs` and the transport/bench/metrics crates |
+//! | `metrics-clock`   | everything except `crates/obs` (no `Instant`/`elapsed` readings fed into recorder metrics) |
 //! | `panic`           | core/message-path crates (vc, bb, consensus, protocol, storage) |
 //! | `codec-exhaustive`| `Msg` enum vs `put_msg`/`get_msg`/`sample_msg` |
 //! | `commit-order`    | `vc/src/core.rs`, `bb/src/core.rs`             |
@@ -65,8 +66,14 @@ const CLOCK_HOME: &str = "crates/protocol/src/clock.rs";
 
 /// Crates exempt from the wall-clock rule wholesale: transports talk to
 /// real sockets (`crates/net`), benches measure real time
-/// (`crates/bench`).
-const CLOCK_EXEMPT_CRATES: &[&str] = &["crates/net", "crates/bench"];
+/// (`crates/bench`), and the metrics crate implements the wall-clock
+/// profiling time source (`WallSource`) everything else must go through.
+const CLOCK_EXEMPT_CRATES: &[&str] = &["crates/net", "crates/bench", "crates/obs"];
+
+/// The metrics crate is exempt from the metrics-clock rule: it defines
+/// the recorder and its wall time source, so it is the one place a raw
+/// `Instant` may legitimately meet an `observe` call.
+const METRICS_HOME_CRATE: &[&str] = &["crates/obs"];
 
 /// Files exempt from the wall-clock rule: the load harness measures
 /// real round-trip latency over real sockets — wall-clock reads are its
@@ -206,6 +213,9 @@ pub fn check_file(sf: &SourceFile) -> Vec<Violation> {
     {
         out.extend(rules::check_wall_clock(sf));
     }
+    if !has_prefix(path, METRICS_HOME_CRATE) {
+        out.extend(rules::check_metrics_clock(sf));
+    }
     if has_prefix(path, PANIC_CRATES) {
         out.extend(rules::check_panic(sf));
     }
@@ -344,6 +354,18 @@ mod tests {
         assert!(check_file(&SourceFile::parse("src/election.rs", clock_src))
             .iter()
             .any(|v| v.rule == rules::RULE_WALL_CLOCK));
+
+        // Wall readings into a recorder flag everywhere but the metrics
+        // crate itself (which implements the wall source).
+        let obs_src = r#"fn f(r: &Recorder, t: Instant) { r.observe("x", "", t.elapsed().as_nanos() as u64); }"#;
+        assert!(check_file(&SourceFile::parse("src/election.rs", obs_src))
+            .iter()
+            .any(|v| v.rule == rules::RULE_METRICS_CLOCK));
+        assert!(
+            !check_file(&SourceFile::parse("crates/obs/src/recorder.rs", obs_src))
+                .iter()
+                .any(|v| v.rule == rules::RULE_METRICS_CLOCK)
+        );
 
         let panic_src = "fn f(x: Option<u32>) { x.unwrap(); }";
         assert!(

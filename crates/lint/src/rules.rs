@@ -30,6 +30,7 @@ impl std::fmt::Display for Violation {
 
 pub const RULE_HASH_ITER: &str = "hash-iter";
 pub const RULE_WALL_CLOCK: &str = "wall-clock";
+pub const RULE_METRICS_CLOCK: &str = "metrics-clock";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_CODEC: &str = "codec-exhaustive";
 pub const RULE_COMMIT_ORDER: &str = "commit-order";
@@ -237,6 +238,63 @@ pub fn check_wall_clock(sf: &SourceFile) -> Vec<Violation> {
                          `// lint:allow(wall-clock, reason)`"
                     ),
                 ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 2b: metrics clock hygiene.
+// ---------------------------------------------------------------------
+
+/// Identifiers that mark a wall-clock reading inside a recorder call.
+const METRICS_WALL_TOKENS: &[&str] = &["Instant", "SystemTime", "elapsed"];
+
+/// Flags `.observe(…)` / `.observe_since(…)` calls whose arguments carry
+/// a wall-clock reading (`Instant`, `SystemTime`, `.elapsed()`). Metric
+/// durations must come from the recorder's own time source
+/// ([`Recorder::now_ns`] start stamps or `scoped_ns` guards): a recorder
+/// attached to the virtual clock charges modelled time, and one raw
+/// `Instant` delta fed into it silently breaks the seed-deterministic
+/// snapshot the fingerprint sweep asserts on.
+pub fn check_metrics_clock(sf: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = &sf.toks;
+    for i in 0..toks.len() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        let Some(m) = sf.ident(i) else { continue };
+        if (m != "observe" && m != "observe_since")
+            || i == 0
+            || !sf.punct(i - 1, '.')
+            || !sf.punct(i + 1, '(')
+        {
+            continue;
+        }
+        let Some(end) = skip_balanced(toks, i + 1, '(', ')') else {
+            continue;
+        };
+        for j in (i + 2)..end {
+            let Some(id) = sf.ident(j) else { continue };
+            if METRICS_WALL_TOKENS.contains(&id) {
+                let line = toks[i].line;
+                if !sf.allowed(RULE_METRICS_CLOCK, line) {
+                    out.push(violation(
+                        sf,
+                        line,
+                        RULE_METRICS_CLOCK,
+                        format!(
+                            "`.{m}(…{id}…)` feeds a wall-clock reading into a recorder; metric \
+                             durations must come from the recorder's own time source \
+                             (`Recorder::now_ns` / `observe_since` / `scoped_ns`) so \
+                             virtual-domain snapshots replay byte-identically — or justify with \
+                             `// lint:allow(metrics-clock, reason)`"
+                        ),
+                    ));
+                }
+                break;
             }
         }
     }

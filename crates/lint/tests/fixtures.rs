@@ -60,6 +60,22 @@ fn clock_fixtures() {
 }
 
 #[test]
+fn metrics_clock_fixtures() {
+    // The net crate is wall-clock exempt (real sockets), which is
+    // exactly why the narrower metrics rule must still apply there.
+    let fail = check_as("metrics_clock/fail.rs", "crates/net/src/fixture.rs");
+    assert_eq!(rules_hit(&fail), vec![rules::RULE_METRICS_CLOCK]);
+    assert!(
+        fail.len() >= 2,
+        "observe and observe_since should both flag"
+    );
+    let pass = check_as("metrics_clock/pass.rs", "crates/net/src/fixture.rs");
+    assert!(pass.is_empty(), "unexpected: {pass:?}");
+    // The metrics crate implements the wall source: exempt.
+    assert!(check_as("metrics_clock/fail.rs", "crates/obs/src/fixture.rs").is_empty());
+}
+
+#[test]
 fn panic_fixtures() {
     let fail = check_as("panic/fail.rs", "crates/bb/src/fixture.rs");
     assert_eq!(rules_hit(&fail), vec![rules::RULE_PANIC]);
@@ -166,6 +182,11 @@ fn binary_fails_on_each_seeded_violation() {
         ("hash-iter", "crates/vc/src/seeded.rs", "hash_iter/fail.rs"),
         ("wall-clock", "crates/vc/src/seeded.rs", "clock/fail.rs"),
         ("panic", "crates/bb/src/seeded.rs", "panic/fail.rs"),
+        (
+            "metrics-clock",
+            "crates/net/src/seeded.rs",
+            "metrics_clock/fail.rs",
+        ),
         (
             "commit-order",
             "crates/vc/src/core.rs",

@@ -51,6 +51,7 @@ pub struct ConnCounters {
     authenticated: AtomicU64,
     auth_failed: AtomicU64,
     rejected: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// A point-in-time copy of [`ConnCounters`].
@@ -64,6 +65,9 @@ pub struct ConnSnapshot {
     pub auth_failed: u64,
     /// Typed rejects received from peers on established channels.
     pub rejected: u64,
+    /// Connect retries spent waiting for a replica to bind (per-peer
+    /// backoff iterations before the connect succeeded or timed out).
+    pub retries: u64,
 }
 
 impl ConnCounters {
@@ -73,6 +77,7 @@ impl ConnCounters {
             authenticated: self.authenticated.load(Ordering::Relaxed),
             auth_failed: self.auth_failed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -207,7 +212,10 @@ impl AuthEndpoint {
                 Err(e) if Instant::now() >= deadline || self.down.load(Ordering::SeqCst) => {
                     return Err(e);
                 }
-                Err(_) => std::thread::sleep(DIAL_RETRY),
+                Err(_) => {
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(DIAL_RETRY);
+                }
             }
         };
         let _ = stream.set_nodelay(true);

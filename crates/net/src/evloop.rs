@@ -32,6 +32,7 @@ use crate::auth::{
 };
 use crate::sys::{PollEvent, Poller};
 use ddemos_crypto::hmac::Prf;
+use ddemos_obs::Recorder;
 use ddemos_protocol::messages::Envelope;
 use ddemos_protocol::NodeId;
 use std::io::{self, Read, Write};
@@ -277,6 +278,7 @@ pub struct EvLoop {
     poll_buf: Vec<PollEvent>,
     chan_events: Vec<ChanEvent>,
     deferred: Vec<EvEvent>,
+    recorder: Recorder,
 }
 
 /// What [`EvLoop::flush_conn`] observed.
@@ -309,7 +311,14 @@ impl EvLoop {
             poll_buf: Vec::new(),
             chan_events: Vec::new(),
             deferred: Vec::new(),
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attaches a metrics recorder; the loop times frame encode/decode
+    /// against it. Disabled by default (zero-cost branches).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Binds a nonblocking listener; returns the bound address
@@ -405,7 +414,13 @@ impl EvLoop {
             let Some(conn) = slot(&mut self.conns, &self.gens, id) else {
                 return Err(EvSendError::Gone);
             };
-            if conn.closing || conn.chan.send_envelope(env).is_err() {
+            if conn.closing {
+                return Err(EvSendError::Gone);
+            }
+            let t = self.recorder.now_ns();
+            let sent = conn.chan.send_envelope(env);
+            self.recorder.observe_since("net.frame_encode_ns", "", t);
+            if sent.is_err() {
                 return Err(EvSendError::Gone);
             }
             conn.chan.out_pending() > write_cap
@@ -609,8 +624,10 @@ impl EvLoop {
             };
             self.stats.bytes_in += n as u64;
             self.chan_events.clear();
+            let t = self.recorder.now_ns();
             conn.chan
                 .on_bytes(&self.scratch[..n], &mut self.chan_events);
+            self.recorder.observe_since("net.frame_decode_ns", "", t);
             let mut down: Option<DownReason> = None;
             let mut chan_events = std::mem::take(&mut self.chan_events);
             for ev in chan_events.drain(..) {

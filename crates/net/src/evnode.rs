@@ -88,6 +88,12 @@ impl EvNodeEndpoint {
     pub fn ev_stats(&self) -> EvStats {
         self.inner.lock().lp.stats()
     }
+
+    /// Attaches a metrics recorder to the owned loop (frame
+    /// encode/decode timing).
+    pub fn set_recorder(&self, recorder: ddemos_obs::Recorder) {
+        self.inner.lock().lp.set_recorder(recorder);
+    }
 }
 
 impl Inner {
@@ -192,6 +198,10 @@ impl EventEndpoint for EvNodeEndpoint {
         // per-connection backlogs are bounded by the write cap and not
         // surfaced here.
         0
+    }
+
+    fn read_pending(&self) -> usize {
+        self.inner.lock().inbox.len()
     }
 
     fn now_ns(&self) -> u64 {

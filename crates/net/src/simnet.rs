@@ -822,6 +822,13 @@ impl Endpoint {
         self.pending.lock().take().or_else(|| self.try_recv())
     }
 
+    /// Envelopes currently buffered inbound (event-wait stash + inbox).
+    /// Races with concurrent senders by nature; consumers treat it as an
+    /// unstable observability signal, never as protocol input.
+    pub fn read_pending(&self) -> usize {
+        usize::from(self.pending.lock().is_some()) + self.rx.len()
+    }
+
     /// The network this endpoint belongs to.
     pub fn network(&self) -> &SimNet {
         &self.net

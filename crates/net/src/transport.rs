@@ -174,6 +174,14 @@ pub trait EventEndpoint: Send {
         0
     }
 
+    /// Envelopes buffered in the inbound direction, i.e. the queue depth
+    /// a driver is about to drain. Implementations without visibility
+    /// return `0`. The figure races with concurrent senders by nature —
+    /// metrics built on it must be marked unstable.
+    fn read_pending(&self) -> usize {
+        0
+    }
+
     /// Nanoseconds of transport time since the transport started.
     fn now_ns(&self) -> u64;
 
@@ -207,6 +215,10 @@ impl<E: EventEndpoint + ?Sized> EventEndpoint for Box<E> {
 
     fn write_pending(&self) -> usize {
         (**self).write_pending()
+    }
+
+    fn read_pending(&self) -> usize {
+        (**self).read_pending()
     }
 
     fn now_ns(&self) -> u64 {
@@ -428,6 +440,10 @@ impl EventEndpoint for Endpoint {
 
     fn wait(&self, timeout: Duration) -> Wait {
         Endpoint::event_wait(self, timeout)
+    }
+
+    fn read_pending(&self) -> usize {
+        Endpoint::read_pending(self)
     }
 
     fn now_ns(&self) -> u64 {

@@ -1,0 +1,230 @@
+//! The log-linear histogram.
+//!
+//! Promoted from the load harness (`src/load.rs`) so every subsystem —
+//! load shards, the per-node [`Recorder`](crate::Recorder), the profile
+//! table — shares one implementation with one error bound.
+
+/// Log-linear histogram: 16 sub-buckets per power-of-two octave
+/// (≤ 6.25 % relative error), exact-mergeable because merging is
+/// per-bucket addition.
+///
+/// Method names say `ns` because latencies are the overwhelmingly common
+/// payload, but the bucketing is unit-agnostic: callers may record any
+/// `u64` (queue depths, batch occupancies) and read the same quantiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Values 0..15 get their own bucket; above that, each octave splits
+/// into 16 sub-buckets keyed by the 4 bits after the leading 1.
+const BUCKETS: usize = 61 * 16;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= 4
+    let sub = (v >> (msb - 4)) & 0xf;
+    ((msb - 3) * 16 + sub) as usize
+}
+
+/// Lower bound of a bucket (the value reported for percentiles).
+fn bucket_floor(index: usize) -> u64 {
+    if index < 16 {
+        return index as u64;
+    }
+    let octave = (index / 16) as u64;
+    let sub = (index % 16) as u64;
+    (16 + sub) << (octave - 1)
+}
+
+impl Histogram {
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Mean of the recorded samples, 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Smallest recorded sample, 0 when empty.
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket lower bound; ≤
+    /// 6.25 % below the true sample). 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs (the wire form used
+    /// between shard workers and the aggregating parent).
+    pub fn sparse(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its [`Histogram::sparse`] form.
+    pub fn from_sparse(pairs: &[(usize, u64)], total_ns: u64, min_ns: u64, max_ns: u64) -> Self {
+        let mut h = Histogram::default();
+        for &(i, n) in pairs {
+            if i < BUCKETS {
+                h.buckets[i] += n;
+                h.count += n;
+            }
+        }
+        h.total_ns = total_ns;
+        h.min_ns = if h.count == 0 { u64::MAX } else { min_ns };
+        h.max_ns = max_ns;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(floor <= v, "floor {floor} above sample {v}");
+            // ≤ 6.25 % relative error for values above the linear range.
+            if v >= 16 {
+                assert!(
+                    (v - floor) as f64 / v as f64 <= 0.0625,
+                    "bucket error too large for {v}: floor {floor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_close() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let got = h.quantile_ns(q);
+            assert!(got <= expect, "q{q}: {got} > {expect}");
+            assert!(
+                (expect - got) as f64 / expect as f64 <= 0.0625,
+                "q{q}: {got} too far below {expect}"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min_ns(), 1);
+        assert_eq!(h.max_ns(), 10_000);
+    }
+
+    #[test]
+    fn merge_matches_single() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in 1..=1000u64 {
+            whole.record(v * 37);
+            if v % 2 == 0 {
+                a.record(v * 37);
+            } else {
+                b.record(v * 37);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn sparse_round_trips() {
+        let mut h = Histogram::default();
+        for v in [3u64, 3, 17, 40_000, 1 << 30] {
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(&h.sparse(), h.total_ns(), h.min_ns(), h.max_ns());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert!(h.sparse().is_empty());
+    }
+}

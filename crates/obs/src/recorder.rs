@@ -1,0 +1,312 @@
+//! The per-node recorder and the process-global profiling hook.
+
+use crate::snapshot::{MetricsSnapshot, TimeDomain};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Where a recorder reads time from.
+///
+/// This crate is a dependency leaf (crypto and storage sit below the
+/// protocol crate that owns `GlobalClock`), so the clock arrives as a
+/// trait object: the harness adapts `GlobalClock` behind this trait and
+/// hands one source per recorder. Virtual elections therefore profile in
+/// virtual time and stay seed-replayable.
+pub trait TimeSource: Send + Sync {
+    /// Nanoseconds on this source's monotonic scale.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real monotonic time, measured from construction.
+pub struct WallSource {
+    origin: Instant,
+}
+
+impl WallSource {
+    /// A source reading 0 now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> WallSource {
+        WallSource {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl TimeSource for WallSource {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+struct Inner {
+    domain: TimeDomain,
+    time: Box<dyn TimeSource>,
+    state: Mutex<State>,
+}
+
+struct State {
+    phase: String,
+    snap: MetricsSnapshot,
+}
+
+fn lock(inner: &Inner) -> MutexGuard<'_, State> {
+    // A panicking recorder thread must not wedge metrics for everyone
+    // else; the state is plain counters, always consistent.
+    inner.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A cheap, cloneable metrics handle.
+///
+/// A disabled recorder ([`Recorder::disabled`], also the `Default`) is a
+/// `None` and every operation is a branch on it — instrumentation can
+/// stay unconditionally in place on hot paths. An enabled recorder
+/// aggregates straight into a [`MetricsSnapshot`] behind one mutex;
+/// clones share that state, so a node, its journal, and its endpoint can
+/// all feed the same snapshot.
+///
+/// The *phase* is a recorder-local label stamped onto every subsequent
+/// sample. For determinism it must only ever be set from the owning
+/// node's own event order (e.g. when the node processes `ClosePolls`),
+/// never from another thread.
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Arc<Inner>>);
+
+impl Recorder {
+    /// The no-op recorder.
+    pub fn disabled() -> Recorder {
+        Recorder(None)
+    }
+
+    /// A recorder reading time from `time`, tagged with `domain`.
+    pub fn new(domain: TimeDomain, time: Box<dyn TimeSource>) -> Recorder {
+        Recorder(Some(Arc::new(Inner {
+            domain,
+            time,
+            state: Mutex::new(State {
+                phase: String::new(),
+                snap: MetricsSnapshot::new(domain),
+            }),
+        })))
+    }
+
+    /// A wall-clock recorder (profiling runs).
+    pub fn wall() -> Recorder {
+        Recorder::new(TimeDomain::Wall, Box::new(WallSource::new()))
+    }
+
+    /// Whether samples are being kept.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The recorder's clock domain (`None` when disabled).
+    pub fn domain(&self) -> Option<TimeDomain> {
+        self.0.as_ref().map(|i| i.domain)
+    }
+
+    /// Reads the recorder's time source; 0 when disabled. This is the
+    /// only sanctioned way to take timestamps for
+    /// [`observe_since`](Recorder::observe_since) — the `metrics-clock`
+    /// lint rejects feeding `Instant` readings into a recorder.
+    pub fn now_ns(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.time.now_ns())
+    }
+
+    /// Sets the phase label stamped on subsequent samples.
+    pub fn set_phase(&self, phase: &str) {
+        if let Some(inner) = &self.0 {
+            let mut st = lock(inner);
+            if st.phase != phase {
+                st.phase.clear();
+                st.phase.push_str(phase);
+            }
+        }
+    }
+
+    /// Adds `n` to the counter `name` under the current phase.
+    pub fn add(&self, name: &str, label: &str, n: u64) {
+        if let Some(inner) = &self.0 {
+            let mut st = lock(inner);
+            let phase = std::mem::take(&mut st.phase);
+            st.snap.add(name, &phase, label, n);
+            st.phase = phase;
+        }
+    }
+
+    /// Records a gauge sample (high-water mark) under the current phase.
+    pub fn gauge(&self, name: &str, label: &str, v: u64) {
+        if let Some(inner) = &self.0 {
+            let mut st = lock(inner);
+            let phase = std::mem::take(&mut st.phase);
+            st.snap.gauge(name, &phase, label, v);
+            st.phase = phase;
+        }
+    }
+
+    /// Records a histogram sample under the current phase.
+    pub fn observe(&self, name: &str, label: &str, v: u64) {
+        if let Some(inner) = &self.0 {
+            let mut st = lock(inner);
+            let phase = std::mem::take(&mut st.phase);
+            st.snap.observe(name, &phase, label, v);
+            st.phase = phase;
+        }
+    }
+
+    /// Records `now_ns() - start_ns` into the histogram `name`, where
+    /// `start_ns` came from [`Recorder::now_ns`] on this same recorder.
+    pub fn observe_since(&self, name: &str, label: &str, start_ns: u64) {
+        if let Some(inner) = &self.0 {
+            let elapsed = inner.time.now_ns().saturating_sub(start_ns);
+            let mut st = lock(inner);
+            let phase = std::mem::take(&mut st.phase);
+            st.snap.observe(name, &phase, label, elapsed);
+            st.phase = phase;
+        }
+    }
+
+    /// Clones the snapshot accumulated so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.0
+            .as_ref()
+            .map(|i| lock(i).snap.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Recorder(disabled)"),
+            Some(i) => write!(f, "Recorder({})", i.domain.name()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-global hook (crypto scoped timers)
+// ---------------------------------------------------------------------
+
+/// Fast gate: `false` means [`scoped_ns`] is one relaxed atomic load.
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// Installs `rec` as the process-global profiling recorder. Leaf crates
+/// (crypto) that cannot thread a per-node handle through their pure APIs
+/// time their entry points against this hook; it is off by default and
+/// only a profiling run turns it on.
+pub fn install_global(rec: Recorder) {
+    let enabled = rec.enabled();
+    if let Ok(mut g) = GLOBAL.lock() {
+        *g = enabled.then_some(rec);
+    }
+    GLOBAL_ENABLED.store(enabled, Ordering::Release);
+}
+
+/// Removes the global recorder; [`scoped_ns`] returns to its no-op path.
+pub fn clear_global() {
+    GLOBAL_ENABLED.store(false, Ordering::Release);
+    if let Ok(mut g) = GLOBAL.lock() {
+        *g = None;
+    }
+}
+
+/// Times a scope against the global recorder. `None` (the common case —
+/// profiling off) costs one atomic load.
+pub fn scoped_ns(name: &'static str, label: &'static str) -> Option<ScopedTimer> {
+    if !GLOBAL_ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    let rec = GLOBAL.lock().ok()?.clone()?;
+    let start = rec.now_ns();
+    Some(ScopedTimer {
+        rec,
+        name,
+        label,
+        start,
+    })
+}
+
+/// Records its lifetime into a histogram on drop.
+pub struct ScopedTimer {
+    rec: Recorder,
+    name: &'static str,
+    label: &'static str,
+    start: u64,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.rec.observe_since(self.name, self.label, self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedSource(u64);
+    impl TimeSource for FixedSource {
+        fn now_ns(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.enabled());
+        assert_eq!(r.now_ns(), 0);
+        r.add("x", "", 1);
+        r.observe("y", "", 2);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn phase_labels_stamp_samples() {
+        let r = Recorder::new(TimeDomain::Virtual, Box::new(FixedSource(42)));
+        r.observe("step_ns", "Vote", 10);
+        r.set_phase("consensus");
+        r.observe("step_ns", "Announce", 20);
+        let s = r.snapshot();
+        assert!(s.hists.contains_key("step_ns||Vote"));
+        assert!(s.hists.contains_key("step_ns|consensus|Announce"));
+    }
+
+    #[test]
+    fn observe_since_uses_the_source() {
+        let r = Recorder::new(TimeDomain::Virtual, Box::new(FixedSource(100)));
+        // Frozen source: elapsed is exactly 0 — the virtual-time
+        // in-step contract.
+        let t = r.now_ns();
+        assert_eq!(t, 100);
+        r.observe_since("d", "", t);
+        assert_eq!(r.snapshot().hists["d||"].max_ns(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::new(TimeDomain::Virtual, Box::new(FixedSource(0)));
+        let r2 = r.clone();
+        r.add("n", "", 1);
+        r2.add("n", "", 2);
+        assert_eq!(r.snapshot().counter("n", None, None), 3);
+    }
+
+    #[test]
+    fn global_hook_round_trips() {
+        assert!(scoped_ns("a", "b").is_none());
+        let r = Recorder::wall();
+        install_global(r.clone());
+        {
+            let _t = scoped_ns("crypto.verify_ns", "schnorr");
+        }
+        clear_global();
+        assert!(scoped_ns("a", "b").is_none());
+        assert_eq!(
+            r.snapshot().hists["crypto.verify_ns||schnorr"].count(),
+            1,
+            "scoped timer must have recorded exactly once"
+        );
+    }
+}

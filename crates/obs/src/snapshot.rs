@@ -1,0 +1,454 @@
+//! Mergeable, canonically ordered metric snapshots.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which clock the snapshot's timing figures were read from.
+///
+/// [`Virtual`](TimeDomain::Virtual) snapshots come from discrete-event
+/// elections: every `now_ns` read is a deterministic function of the
+/// seed, so the whole snapshot is seed-replayable and may join a run's
+/// canonical fingerprint. [`Wall`](TimeDomain::Wall) snapshots carry real
+/// `Instant`-derived durations (and scheduling-dependent counts such as
+/// timer ticks), so the fingerprint excludes them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeDomain {
+    /// Deterministic discrete-event time.
+    Virtual,
+    /// Real monotonic time.
+    Wall,
+}
+
+impl TimeDomain {
+    /// Short lower-case name used in the canonical text and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeDomain::Virtual => "virtual",
+            TimeDomain::Wall => "wall",
+        }
+    }
+}
+
+/// A monotonically increasing count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A sampled level; merging keeps the maximum observed value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge(u64);
+
+impl Gauge {
+    /// Records a sample, keeping the high-water mark.
+    pub fn observe(&mut self, v: u64) {
+        self.0 = self.0.max(v);
+    }
+
+    /// High-water mark.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Builds the canonical map key. The three coordinates of a metric —
+/// name, phase, label — are joined with `|`, which never appears inside
+/// a coordinate, so the flat key is unambiguous and `BTreeMap` ordering
+/// is canonical.
+pub fn metric_key(name: &str, phase: &str, label: &str) -> String {
+    format!("{name}|{phase}|{label}")
+}
+
+/// Inverse of [`metric_key`]: splits a flat key back into
+/// `(name, phase, label)`. Missing coordinates come back empty.
+pub fn split_key(key: &str) -> (&str, &str, &str) {
+    let mut it = key.splitn(3, '|');
+    let name = it.next().unwrap_or("");
+    let phase = it.next().unwrap_or("");
+    let label = it.next().unwrap_or("");
+    (name, phase, label)
+}
+
+/// Metric names carrying this prefix are *unstable*: their values depend
+/// on wall-clock thread interleaving even under virtual time (e.g. the
+/// channel depth seen at dequeue). They are reported in JSON and the
+/// profile table but never join the canonical text.
+pub const UNSTABLE_PREFIX: char = '~';
+
+fn is_unstable(key: &str) -> bool {
+    key.starts_with(UNSTABLE_PREFIX)
+}
+
+/// One node's (or a whole election's) metrics, frozen.
+///
+/// Snapshots merge exactly: counters add, gauges keep the maximum, and
+/// histograms add per bucket, so aggregating per-node snapshots in any
+/// grouping yields the same totals. All maps are `BTreeMap`s keyed by
+/// [`metric_key`], so iteration order — and therefore
+/// [`canonical_text`](MetricsSnapshot::canonical_text) and
+/// [`to_json`](MetricsSnapshot::to_json) — is canonical.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Clock domain the timing figures were read from.
+    pub domain: TimeDomain,
+    /// Monotonic counts.
+    pub counters: BTreeMap<String, Counter>,
+    /// High-water marks.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Distributions.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot::new(TimeDomain::Virtual)
+    }
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot in `domain`.
+    pub fn new(domain: TimeDomain) -> MetricsSnapshot {
+        MetricsSnapshot {
+            domain,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Adds `n` to the counter at (`name`, `phase`, `label`).
+    pub fn add(&mut self, name: &str, phase: &str, label: &str, n: u64) {
+        self.counters
+            .entry(metric_key(name, phase, label))
+            .or_default()
+            .add(n);
+    }
+
+    /// Records a gauge sample at (`name`, `phase`, `label`).
+    pub fn gauge(&mut self, name: &str, phase: &str, label: &str, v: u64) {
+        self.gauges
+            .entry(metric_key(name, phase, label))
+            .or_default()
+            .observe(v);
+    }
+
+    /// Records a histogram sample at (`name`, `phase`, `label`).
+    pub fn observe(&mut self, name: &str, phase: &str, label: &str, v: u64) {
+        self.hists
+            .entry(metric_key(name, phase, label))
+            .or_default()
+            .record(v);
+    }
+
+    /// Reads a counter back by its coordinates (0 when absent), summed
+    /// over phases and labels when they are given as `None`.
+    pub fn counter(&self, name: &str, phase: Option<&str>, label: Option<&str>) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| {
+                let (n, p, l) = split_key(k);
+                n == name && phase.is_none_or(|w| w == p) && label.is_none_or(|w| w == l)
+            })
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Merges `other` into `self`. Mixing domains taints the result to
+    /// [`TimeDomain::Wall`] so a nondeterministic contribution can never
+    /// hide inside a "virtual" fingerprint.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if other.domain == TimeDomain::Wall {
+            self.domain = TimeDomain::Wall;
+        }
+        for (k, c) in &other.counters {
+            self.counters.entry(k.clone()).or_default().add(c.get());
+        }
+        for (k, g) in &other.gauges {
+            self.gauges.entry(k.clone()).or_default().observe(g.get());
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The full canonical text: one line per stable metric, in key
+    /// order. Unstable (`~`-prefixed) metrics are skipped.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "metrics domain={}", self.domain.name());
+        for (k, c) in &self.counters {
+            if !is_unstable(k) {
+                let _ = writeln!(out, "c {k} = {}", c.get());
+            }
+        }
+        for (k, g) in &self.gauges {
+            if !is_unstable(k) {
+                let _ = writeln!(out, "g {k} = {}", g.get());
+            }
+        }
+        for (k, h) in &self.hists {
+            if is_unstable(k) {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "h {k} count={} total={} min={} max={} [",
+                h.count(),
+                h.total_ns(),
+                h.min_ns(),
+                h.max_ns()
+            );
+            for (i, (bucket, n)) in h.sparse().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{bucket}:{n}");
+            }
+            out.push_str("]\n");
+        }
+        out
+    }
+
+    /// What this snapshot contributes to a run's replay fingerprint.
+    ///
+    /// Virtual-domain snapshots are deterministic end to end and join in
+    /// full. Wall-domain snapshots contribute only a marker line: their
+    /// durations are real time and even their counts (timer ticks,
+    /// retries) are scheduling-dependent, so none of it may participate
+    /// in byte-identical replay checks.
+    pub fn fingerprint(&self) -> String {
+        match self.domain {
+            TimeDomain::Virtual => self.canonical_text(),
+            TimeDomain::Wall => "metrics domain=wall (excluded from fingerprint)\n".to_string(),
+        }
+    }
+
+    /// Hand-rolled JSON (no serde in the workspace). Keys are emitted in
+    /// canonical order; unstable metrics are included.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"domain\":\"{}\"", self.domain.name());
+        out.push_str(",\"counters\":{");
+        for (i, (k, c)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{}", c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{}", g.get());
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{k}\":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+                 \"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"buckets\":[",
+                h.count(),
+                h.total_ns(),
+                h.min_ns(),
+                h.max_ns(),
+                h.mean_ns(),
+                h.quantile_ns(0.5),
+                h.quantile_ns(0.95),
+                h.quantile_ns(0.99),
+            );
+            for (j, (bucket, n)) in h.sparse().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bucket},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human profile rendering: per-phase totals, the per-phase ×
+    /// per-message matrix for `matrix_name` (e.g. `vc.step_ns`), and the
+    /// top-`k` distributions by total recorded time.
+    pub fn profile_table(&self, matrix_name: &str, k: usize) -> String {
+        let mut out = String::new();
+
+        // Per-phase totals over every histogram that carries a phase.
+        let mut phases: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for (key, h) in &self.hists {
+            let (_, phase, _) = split_key(key);
+            if !phase.is_empty() {
+                let e = phases.entry(phase).or_default();
+                e.0 += h.count();
+                e.1 = e.1.saturating_add(h.total_ns());
+            }
+        }
+        out.push_str("per-phase totals\n");
+        out.push_str("  phase        samples      total\n");
+        let mut rows: Vec<_> = phases.into_iter().collect();
+        rows.sort_by_key(|(_, (_, t))| std::cmp::Reverse(*t));
+        for (phase, (n, t)) in rows {
+            let _ = writeln!(out, "  {:<12} {:>8}   {:>9}", phase, n, fmt_ns(t));
+        }
+
+        // Phase × message matrix for the step-latency family.
+        let mut matrix: Vec<(&str, &str, &Histogram)> = self
+            .hists
+            .iter()
+            .filter_map(|(key, h)| {
+                let (name, phase, label) = split_key(key);
+                (name == matrix_name).then_some((phase, label, h))
+            })
+            .collect();
+        matrix.sort_by_key(|(_, _, h)| std::cmp::Reverse(h.total_ns()));
+        let _ = writeln!(out, "\n{matrix_name} by phase × message");
+        out.push_str("  phase        message           count      total       mean        p95\n");
+        for (phase, label, h) in matrix {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<16} {:>6}   {:>8}   {:>8}   {:>8}",
+                phase,
+                label,
+                h.count(),
+                fmt_ns(h.total_ns()),
+                fmt_ns(h.mean_ns()),
+                fmt_ns(h.quantile_ns(0.95)),
+            );
+        }
+
+        // Top-k across every distribution.
+        let mut top: Vec<(&String, &Histogram)> = self.hists.iter().collect();
+        top.sort_by_key(|(_, h)| std::cmp::Reverse(h.total_ns()));
+        let _ = writeln!(out, "\ntop {k} by total time");
+        out.push_str("  metric                                      count      total       mean        p99\n");
+        for (key, h) in top.into_iter().take(k) {
+            let _ = writeln!(
+                out,
+                "  {:<42} {:>6}   {:>8}   {:>8}   {:>8}",
+                key,
+                h.count(),
+                fmt_ns(h.total_ns()),
+                fmt_ns(h.mean_ns()),
+                fmt_ns(h.quantile_ns(0.99)),
+            );
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            for (key, c) in &self.counters {
+                let _ = writeln!(out, "  {:<42} {:>10}", key, c.get());
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges (high-water)\n");
+            for (key, g) in &self.gauges {
+                let _ = writeln!(out, "  {:<42} {:>10}", key, g.get());
+            }
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds with a unit chosen for 3-4 significant digits.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new(TimeDomain::Virtual);
+        s.add("vc.step_outputs", "vote", "Vote", 3);
+        s.gauge("storage.wal_frames", "", "", 7);
+        s.observe("vc.step_ns", "vote", "Vote", 1200);
+        s.observe("vc.step_ns", "vote", "Vote", 900);
+        s.observe("~vc.queue_depth", "vote", "", 4);
+        s
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("vc.step_outputs", None, None), 6);
+        assert_eq!(a.gauges[&metric_key("storage.wal_frames", "", "")].get(), 7);
+        let h = &a.hists[&metric_key("vc.step_ns", "vote", "Vote")];
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total_ns(), 2 * 2100);
+    }
+
+    #[test]
+    fn unstable_metrics_stay_out_of_canonical_text() {
+        let s = sample();
+        let text = s.canonical_text();
+        assert!(text.contains("vc.step_ns|vote|Vote"));
+        assert!(!text.contains("queue_depth"), "unstable key leaked: {text}");
+        // …but they do show up in the JSON export.
+        assert!(s.to_json().contains("queue_depth"));
+    }
+
+    #[test]
+    fn wall_domain_is_excluded_from_fingerprint() {
+        let mut s = sample();
+        assert_eq!(s.fingerprint(), s.canonical_text());
+        s.domain = TimeDomain::Wall;
+        assert!(!s.fingerprint().contains("vc.step_ns"));
+        // Merging a wall snapshot taints a virtual one.
+        let mut v = sample();
+        v.merge(&s);
+        assert_eq!(v.domain, TimeDomain::Wall);
+    }
+
+    #[test]
+    fn canonical_text_is_key_ordered_and_stable() {
+        let a = sample().canonical_text();
+        let mut s = MetricsSnapshot::new(TimeDomain::Virtual);
+        // Insert in a different order; BTreeMap canonicalizes.
+        s.observe("vc.step_ns", "vote", "Vote", 900);
+        s.observe("~vc.queue_depth", "vote", "", 4);
+        s.observe("vc.step_ns", "vote", "Vote", 1200);
+        s.gauge("storage.wal_frames", "", "", 7);
+        s.add("vc.step_outputs", "vote", "Vote", 3);
+        assert_eq!(a, s.canonical_text());
+    }
+
+    #[test]
+    fn profile_table_mentions_phases_and_matrix() {
+        let table = sample().profile_table("vc.step_ns", 5);
+        assert!(table.contains("per-phase totals"));
+        assert!(table.contains("vc.step_ns by phase × message"));
+        assert!(table.contains("Vote"));
+    }
+}

@@ -359,6 +359,34 @@ pub enum Msg {
     },
 }
 
+impl Msg {
+    /// The variant's static name — the per-message label used by metrics
+    /// and profiling. Exhaustive on purpose: adding a variant without a
+    /// label is a compile error.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Vote { .. } => "Vote",
+            Msg::VoteReply { .. } => "VoteReply",
+            Msg::Endorse { .. } => "Endorse",
+            Msg::Endorsement { .. } => "Endorsement",
+            Msg::VoteP { .. } => "VoteP",
+            Msg::Announce { .. } => "Announce",
+            Msg::RecoverRequest { .. } => "RecoverRequest",
+            Msg::RecoverResponse { .. } => "RecoverResponse",
+            Msg::Consensus(_) => "Consensus",
+            Msg::Amnesia => "Amnesia",
+            Msg::Rbc(_) => "Rbc",
+            Msg::ClosePolls => "ClosePolls",
+            Msg::Shutdown => "Shutdown",
+            Msg::Finalized(_) => "Finalized",
+            Msg::BbWrite { .. } => "BbWrite",
+            Msg::BbWriteReply { .. } => "BbWriteReply",
+            Msg::BbReadRequest { .. } => "BbReadRequest",
+            Msg::BbReadResponse { .. } => "BbReadResponse",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,12 @@ impl<D: Disk> Journal<D> {
         self.wal.disk()
     }
 
+    /// Attaches a metrics recorder to the underlying WAL (batch
+    /// occupancy, fsync latency, bytes appended).
+    pub fn set_recorder(&mut self, recorder: ddemos_obs::Recorder) {
+        self.wal.set_recorder(recorder);
+    }
+
     /// Restores `machine` from snapshot + WAL replay, repairing any torn
     /// tail. The machine must be freshly initialized.
     ///

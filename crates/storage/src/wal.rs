@@ -21,6 +21,7 @@
 //! receipt).
 
 use crate::disk::{Disk, StorageError};
+use ddemos_obs::Recorder;
 
 /// Per-frame magic ("DWAL").
 const MAGIC: u32 = 0x4457_414C;
@@ -134,6 +135,7 @@ pub struct Wal<D: Disk> {
     /// Appended-but-unsynced frames (the group-commit window).
     pending: usize,
     frames: u64,
+    recorder: Recorder,
 }
 
 impl<D: Disk> Wal<D> {
@@ -145,7 +147,16 @@ impl<D: Disk> Wal<D> {
             config,
             pending: 0,
             frames: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a metrics recorder: bytes appended, group-commit batch
+    /// occupancy at each sync, and fsync latency (charged in the
+    /// recorder's own time domain — virtual under a `SimDisk` on a
+    /// virtual clock, so the figures stay deterministic).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The underlying disk.
@@ -168,9 +179,12 @@ impl<D: Disk> Wal<D> {
     /// contents remain intact and replayable: callers should degrade to
     /// read-only, not discard the journal.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
-        let offset = self.disk.append(&encode_frame(payload))?;
+        let frame = encode_frame(payload);
+        let offset = self.disk.append(&frame)?;
         self.frames += 1;
         self.pending += 1;
+        self.recorder
+            .add("storage.wal_append_bytes", "", frame.len() as u64);
         if self.pending >= self.config.group_commit.max(1) {
             self.commit()?;
         }
@@ -186,7 +200,11 @@ impl<D: Disk> Wal<D> {
         if self.pending == 0 {
             return Ok(());
         }
+        self.recorder
+            .observe("storage.wal_batch", "", self.pending as u64);
+        let t = self.recorder.now_ns();
         self.disk.sync()?;
+        self.recorder.observe_since("storage.fsync_ns", "", t);
         self.pending = 0;
         Ok(())
     }

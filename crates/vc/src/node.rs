@@ -22,6 +22,7 @@ use crate::core::{StepTrace, VcCore, VcInput, VcOutput};
 use crate::store::BallotStore;
 use crossbeam_channel::Sender;
 use ddemos_net::{DynEndpoint, DynEventEndpoint, EventAdapter, TransportEndpoint, Wait};
+use ddemos_obs::Recorder;
 use ddemos_protocol::clock::NodeClock;
 use ddemos_protocol::initdata::VcInit;
 use ddemos_protocol::messages::Msg;
@@ -54,6 +55,12 @@ pub struct VcNodeConfig {
     /// Optional state-triggered Byzantine profile, layered over
     /// `behavior` (see [`crate::behavior::TriggeredAdversary`]).
     pub adversary: Option<crate::behavior::TriggeredAdversary>,
+    /// Metrics recorder (disabled by default). The driver feeds it
+    /// per-message step latency, outputs-per-step, and the inbound queue
+    /// depth at dequeue; its phase label follows the node's own event
+    /// order (`vote` → `consensus` on `ClosePolls` → `push` on
+    /// finalization), which keeps attribution deterministic.
+    pub recorder: Recorder,
 }
 
 impl Default for VcNodeConfig {
@@ -63,6 +70,7 @@ impl Default for VcNodeConfig {
             poll: Duration::from_millis(1),
             trace: None,
             adversary: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -126,10 +134,21 @@ struct VcDriver<S> {
     journal: Option<DynJournal>,
     deliver: DeliverTarget,
     trace: Option<StepTrace>,
+    recorder: Recorder,
     stop: Arc<AtomicBool>,
     force_end: Arc<AtomicBool>,
     close_forwarded: bool,
     timeout: Duration,
+}
+
+/// The metrics label of one driver input.
+fn input_label(input: &VcInput) -> &'static str {
+    match input {
+        VcInput::Deliver(env) => env.msg.kind(),
+        VcInput::Tick => "Tick",
+        VcInput::ClosePolls => "ClosePolls",
+        VcInput::Shutdown => "Shutdown",
+    }
 }
 
 impl<S: BallotStore> VcDriver<S> {
@@ -138,6 +157,7 @@ impl<S: BallotStore> VcDriver<S> {
         // time cannot advance while this thread is processing a message,
         // which is what makes event order a pure function of the seeds.
         let _actor = self.endpoint.actor_guard();
+        self.recorder.set_phase("vote");
         // A journal that already holds state (the node restarted) is
         // replayed before any message is served. Runs under the actor
         // registration so charged disk latencies advance the clock.
@@ -160,6 +180,14 @@ impl<S: BallotStore> VcDriver<S> {
             let input = match self.endpoint.wait(self.timeout) {
                 Wait::Ready => match self.endpoint.try_recv() {
                     Some(env) => {
+                        // Queue depth left behind at dequeue. Unstable
+                        // (`~`): it races with concurrent senders, so it
+                        // never joins the determinism fingerprint.
+                        self.recorder.observe(
+                            "~vc.queue_depth",
+                            "",
+                            self.endpoint.read_pending() as u64,
+                        );
                         // Control envelopes are a driver concern:
                         // authenticate (only client/EA identities may
                         // steer a replica) and translate into typed
@@ -189,7 +217,25 @@ impl<S: BallotStore> VcDriver<S> {
     }
 
     /// One core step: stamp the time, record the trace, execute outputs.
+    ///
+    /// The whole handle — core step plus output execution, journal sync
+    /// included — is charged to `vc.step_ns` under the input's message
+    /// kind, so the profile attributes durable-commit latency to the
+    /// message that forced it. Only `Deliver` inputs record under the
+    /// stable names: delivered envelopes are virtual-time events with a
+    /// seed-determined order, while `Tick`/`ClosePolls`/`Shutdown` are
+    /// injected by the driver loop (idle timeouts, the harness
+    /// `force_end` flag, the stop flag), whose count and interleaving
+    /// depend on wall-clock scheduling even under virtual time — those
+    /// go to `~`-prefixed unstable names, excluded from the fingerprint.
     fn step(&mut self, input: VcInput) {
+        let label = input_label(&input);
+        let (outputs_name, step_name) = if matches!(input, VcInput::Deliver(_)) {
+            ("vc.step_outputs", "vc.step_ns")
+        } else {
+            ("~vc.step_outputs", "~vc.step_ns")
+        };
+        let start = self.recorder.now_ns();
         let now_ms = self.clock.now_ms();
         let outs = match &self.trace {
             Some(trace) => {
@@ -199,7 +245,9 @@ impl<S: BallotStore> VcDriver<S> {
             }
             None => self.core.step(input, now_ms),
         };
+        self.recorder.add(outputs_name, label, outs.len() as u64);
         self.execute(outs);
+        self.recorder.observe_since(step_name, label, start);
     }
 
     /// Replays the journal into the core (start-up and amnesia recovery).
@@ -225,7 +273,17 @@ impl<S: BallotStore> VcDriver<S> {
         let mut committed = false;
         for output in outputs {
             match output {
-                VcOutput::Send { to, msg } => self.endpoint.send(to, msg),
+                VcOutput::Send { to, msg } => {
+                    // The node's own ANNOUNCE starts vote-set consensus.
+                    // Flipping the phase here — on a core output — keeps
+                    // the transition a pure function of this node's event
+                    // order, unlike the `ClosePolls` input, which may or
+                    // may not arrive before the node self-closes at Tend.
+                    if matches!(msg, Msg::Announce { .. }) {
+                        self.recorder.set_phase("consensus");
+                    }
+                    self.endpoint.send(to, msg)
+                }
                 VcOutput::SetTimer(d) => self.timeout = d,
                 VcOutput::Journal(bytes) => {
                     if let Some(journal) = self.journal.as_mut() {
@@ -256,16 +314,20 @@ impl<S: BallotStore> VcDriver<S> {
                         }
                     }
                 }
-                VcOutput::Deliver(finalized) => match &self.deliver {
-                    DeliverTarget::Channel(tx) => {
-                        let _ = tx.send(finalized);
-                    }
-                    DeliverTarget::Peers(peers) => {
-                        for peer in peers {
-                            self.endpoint.send(*peer, Msg::Finalized(finalized.clone()));
+                VcOutput::Deliver(finalized) => {
+                    // Finalization: this node enters the push phase.
+                    self.recorder.set_phase("push");
+                    match &self.deliver {
+                        DeliverTarget::Channel(tx) => {
+                            let _ = tx.send(finalized);
+                        }
+                        DeliverTarget::Peers(peers) => {
+                            for peer in peers {
+                                self.endpoint.send(*peer, Msg::Finalized(finalized.clone()));
+                            }
                         }
                     }
-                },
+                }
                 VcOutput::Recover => {
                     if let Some(journal) = self.journal.as_mut() {
                         if let Err(e) = journal.crash(0) {
@@ -406,6 +468,7 @@ impl<S: BallotStore + 'static> VcNode<S> {
                     journal,
                     deliver,
                     trace: config.trace,
+                    recorder: config.recorder,
                     stop: stop2,
                     force_end: force_end2,
                     close_forwarded: false,

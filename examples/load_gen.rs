@@ -254,6 +254,21 @@ fn main() {
         p99 as f64 / 1e6,
         hist.count()
     );
+    // Shard reports carry their client event-loop counters; the merged
+    // view catches transport-level pathologies (sheds, replays, frame
+    // errors) that a clean latency histogram would otherwise hide.
+    let sum = |f: fn(&ddemos_net::evloop::EvStats) -> u64| -> u64 {
+        reports.iter().map(|r| f(&r.stats)).sum()
+    };
+    println!(
+        "load_gen: evloop {} dials, {}/{} frames in/out, {} shed, {} replays, {} malformed",
+        sum(|s| s.dials),
+        sum(|s| s.frames_in),
+        sum(|s| s.frames_out),
+        sum(|s| s.shed_slow),
+        sum(|s| s.replays),
+        sum(|s| s.malformed),
+    );
 
     // bench_check-compatible rows: one throughput row (ns per
     // acknowledged vote) and one per latency percentile, keyed by the

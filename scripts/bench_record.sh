@@ -49,4 +49,11 @@ fi
 { printf '[\n'; awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' "$tmp"; printf ']\n'; } > BENCH_load.json
 rm -f "$tmp"
 
-echo "== done: BENCH_micro.json BENCH_setup.json BENCH_load.json"
+# BENCH_profile.json — the wall-clock election profile: end-to-end time
+# for the 1k-ballot virtual election plus the top per-phase/per-message
+# step and crypto distributions (examples/profile.rs --json writes
+# bench_check-compatible rows, already wrapped as an array).
+echo "== recording profile (1k ballots) -> BENCH_profile.json"
+cargo run --release --example profile -- --ballots 1000 --json BENCH_profile.json
+
+echo "== done: BENCH_micro.json BENCH_setup.json BENCH_load.json BENCH_profile.json"

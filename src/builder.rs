@@ -7,6 +7,7 @@ use crate::tcp::{TcpBackend, TcpCluster};
 use ddemos_bb::{BbApi, BbNode, MajorityReader};
 use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
 use ddemos_net::{NetworkProfile, SimNet};
+use ddemos_obs::{Recorder, TimeDomain, TimeSource};
 use ddemos_protocol::ballot::Ballot;
 use ddemos_protocol::clock::{GlobalClock, VirtualClock, NS_PER_MS};
 use ddemos_protocol::exec::Pool;
@@ -127,6 +128,17 @@ impl From<NetworkProfile> for Network {
 /// [`ElectionBuilder::corrupt_setup`].
 type SetupCorruption = Box<dyn FnOnce(&mut SetupOutput)>;
 
+/// [`TimeSource`] adapter over the election's [`GlobalClock`], so
+/// recorders charge time on whatever clock the election runs on —
+/// virtual elections profile in deterministic virtual nanoseconds.
+struct ClockSource(GlobalClock);
+
+impl TimeSource for ClockSource {
+    fn now_ns(&self) -> u64 {
+        self.0.now_ns()
+    }
+}
+
 /// Errors constructing an [`Election`] from a builder.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BuildError {
@@ -204,6 +216,8 @@ pub struct ElectionBuilder {
     close_timeout: Option<Duration>,
     durability: Durability,
     journal_config: JournalConfig,
+    metrics: bool,
+    profiling: bool,
 }
 
 impl ElectionBuilder {
@@ -232,7 +246,35 @@ impl ElectionBuilder {
             close_timeout: None,
             durability: Durability::None,
             journal_config: JournalConfig::default(),
+            metrics: true,
+            profiling: false,
         }
+    }
+
+    /// Enables or disables metrics collection (default: enabled). Every
+    /// node gets a [`Recorder`] charging time on the election's clock:
+    /// virtual-time elections produce a deterministic, seed-replayable
+    /// [`ddemos_obs::MetricsSnapshot`] that joins the report's canonical
+    /// text; wall-clock elections tag the snapshot
+    /// [`TimeDomain::Wall`] and it stays out of the fingerprint.
+    #[must_use]
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Wall-clock profiling mode: node recorders read real monotonic
+    /// time (regardless of [`ElectionBuilder::virtual_time`]) and the
+    /// process-global crypto hook is installed, so Schnorr verification
+    /// and MSM scopes are timed too. The resulting snapshot is
+    /// [`TimeDomain::Wall`]-tagged — useful for finding hot code, never
+    /// for determinism checks. Render it with
+    /// [`ddemos_obs::MetricsSnapshot::profile_table`] (see
+    /// `examples/profile.rs`).
+    #[must_use]
+    pub fn profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
+        self
     }
 
     /// Backs every VC node's ballot slots and every BB node's accepted
@@ -629,6 +671,37 @@ impl ElectionBuilder {
         for (at_ms, fault) in &self.schedule.events {
             net.schedule_fault(Duration::from_millis(*at_ms), fault.clone());
         }
+        // Per-node metrics recorders, created in node order (vc-0…,
+        // bb-0…, then the profiling hook); report() merges their
+        // snapshots in this same fixed order. Default metrics charge
+        // time on the election clock — deterministic virtual nanoseconds
+        // under virtual_time(). Profiling overrides the source with real
+        // monotonic time and additionally installs the process-global
+        // crypto hook.
+        let metrics_domain = if self.virtual_time {
+            TimeDomain::Virtual
+        } else {
+            TimeDomain::Wall
+        };
+        let new_recorder = || {
+            if self.profiling {
+                Recorder::wall()
+            } else if self.metrics {
+                Recorder::new(metrics_domain, Box::new(ClockSource(clock.clone())))
+            } else {
+                Recorder::disabled()
+            }
+        };
+        let vc_recorders: Vec<Recorder> = (0..num_vc).map(|_| new_recorder()).collect();
+        let bb_recorders: Vec<Recorder> = (0..self.params.num_bb).map(|_| new_recorder()).collect();
+        let global_recorder = if self.profiling {
+            let hook = Recorder::wall();
+            ddemos_obs::install_global(hook.clone());
+            Some(hook)
+        } else {
+            None
+        };
+
         let storage_err = |e: StorageError| BuildError::Storage(e.to_string());
         let journal_config = self.journal_config;
         let durability = self.durability.clone();
@@ -673,6 +746,7 @@ impl ElectionBuilder {
                 },
                 trace: self.traces.get(i as usize).cloned(),
                 adversary: triggered[i as usize].clone(),
+                recorder: vc_recorders[i as usize].clone(),
             };
             let node_clock = clock.node_clock_keyed(NodeId::vc(i).clock_key(), drifts[i as usize]);
             let beacon = setup.consensus_beacon;
@@ -680,7 +754,10 @@ impl ElectionBuilder {
             // The rows move into the node's store; the retained init copies
             // stay empty (each node is handed its data exactly once).
             let rows = std::mem::take(&mut init.ballots);
-            let journal = make_journal(format!("vc-{i}"))?;
+            let mut journal = make_journal(format!("vc-{i}"))?;
+            if let Some(j) = journal.as_mut() {
+                j.set_recorder(vc_recorders[i as usize].clone());
+            }
             let handle = match self.store {
                 StoreKind::Memory => VcNode::spawn_durable(
                     init.clone(),
@@ -762,9 +839,13 @@ impl ElectionBuilder {
         for &bb in &self.bb_divergent {
             bb_nodes[bb as usize].set_diverge_after_finalized(true);
         }
+        for (b, bb) in bb_nodes.iter().enumerate() {
+            bb.set_recorder(bb_recorders[b].clone());
+        }
         if self.durability.enabled() {
             for (b, bb) in bb_nodes.iter().enumerate() {
-                let journal = make_journal(format!("bb-{b}"))?.expect("durability enabled");
+                let mut journal = make_journal(format!("bb-{b}"))?.expect("durability enabled");
+                journal.set_recorder(bb_recorders[b].clone());
                 bb.attach_journal(journal).map_err(storage_err)?;
             }
         }
@@ -807,6 +888,13 @@ impl ElectionBuilder {
             run: Mutex::new(run),
             close_lock: Mutex::new(()),
             bb_amnesia,
+            recorders: vc_recorders
+                .into_iter()
+                .chain(bb_recorders)
+                .chain(global_recorder)
+                .collect(),
+            metrics_domain,
+            profiling: self.profiling,
             _driver: driver,
             _ea: ea,
         })
@@ -844,6 +932,9 @@ impl ElectionBuilder {
                     || !self.bb_divergent.is_empty(),
             ),
             ("campaign disk pools", self.disk_pool.is_some()),
+            // Replica-side recorders live in other processes; only the
+            // transport's connection counters reach the coordinator.
+            ("wall-clock profiling", self.profiling),
             (
                 "clock drifts",
                 !self.drifts_ms.is_empty() || !self.node_drifts.is_empty(),
@@ -914,6 +1005,9 @@ impl ElectionBuilder {
             run: Mutex::new(run),
             close_lock: Mutex::new(()),
             bb_amnesia: Arc::new(Mutex::new(BTreeSet::new())),
+            recorders: Vec::new(),
+            metrics_domain: TimeDomain::Wall,
+            profiling: false,
             _driver: None,
             _ea: None,
         })

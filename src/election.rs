@@ -10,6 +10,7 @@ use ddemos::voter::{VoteError, VoteRecord, Voter};
 use ddemos_bb::{BbApi, BbNode, BbSnapshot, MajorityReader};
 use ddemos_ea::{ElectionAuthority, SetupOutput};
 use ddemos_net::{DynEndpoint, NetStats, SimNet, Transport};
+use ddemos_obs::{MetricsSnapshot, Recorder, TimeDomain};
 use ddemos_protocol::ballot::AuditInfo;
 use ddemos_protocol::clock::{ActorGuard, GlobalClock};
 use ddemos_protocol::posts::ElectionResult;
@@ -178,6 +179,16 @@ pub struct Election {
     /// network inbox, so the network hook records them here); serviced —
     /// state reset + journal replay — before the next BB interaction.
     pub(crate) bb_amnesia: Arc<parking_lot::Mutex<std::collections::BTreeSet<u32>>>,
+    /// Per-node metrics recorders in fixed merge order (vc-0…, bb-0…,
+    /// then the profiling hook if installed). Empty when metrics are off
+    /// or the nodes live in other processes (TCP coordinator).
+    pub(crate) recorders: Vec<Recorder>,
+    /// Domain the merged report snapshot starts in (virtual elections
+    /// stay [`TimeDomain::Virtual`] unless a wall recorder taints them).
+    pub(crate) metrics_domain: TimeDomain,
+    /// Whether this election installed the process-global profiling
+    /// hook (cleared again on drop).
+    pub(crate) profiling: bool,
     /// Virtual-time driver registration of the building thread (`None`
     /// for real-time elections). Held so virtual time freezes while the
     /// driver is doing work between waits.
@@ -197,6 +208,9 @@ impl Drop for Election {
             handle.request_stop();
         }
         self.net.shutdown();
+        if self.profiling {
+            ddemos_obs::clear_global();
+        }
     }
 }
 
@@ -443,11 +457,33 @@ impl Election {
             audit: state.audit_report.clone(),
             timings: state.timings,
             net: NetReport::capture(self.net.stats()),
-            conns: self.net.conn_counters(),
+            metrics: self.metrics_snapshot(),
             workload: state.workload.clone(),
             store: self.store,
             threads: self.threads,
         }
+    }
+
+    /// Merges every node recorder (fixed vc-0…, bb-0…, hook order) and
+    /// folds the transport's connection counters in as `net.conn.*`.
+    /// The merge is exact — counters add, histograms add per bucket — so
+    /// the result is independent of how the per-node snapshots group.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut metrics = MetricsSnapshot::new(self.metrics_domain);
+        for recorder in &self.recorders {
+            metrics.merge(&recorder.snapshot());
+        }
+        if let Some(conns) = self.net.conn_counters() {
+            // Written unconditionally, zeros included: the presence of
+            // the keys is what marks "this election ran over the
+            // event-loop TCP driver" (see `ElectionReport::conns`).
+            metrics.add("net.conn.dials", "", "", conns.dials);
+            metrics.add("net.conn.authenticated", "", "", conns.authenticated);
+            metrics.add("net.conn.auth_failed", "", "", conns.auth_failed);
+            metrics.add("net.conn.rejected", "", "", conns.rejected);
+            metrics.add("net.conn.retries", "", "", conns.retries);
+        }
+        metrics
     }
 
     /// The worker count of the parallel runtime (EA setup, trustee share

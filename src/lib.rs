@@ -16,7 +16,9 @@
 //! * [`Election::tally`] — trustee posts and result publication;
 //! * [`Election::audit`] — public plus delegated verification;
 //! * [`Election::report`] — one [`ElectionReport`] with tally, receipts,
-//!   audit verdict, per-phase timings, and network statistics.
+//!   audit verdict, per-phase timings, network statistics, and a merged
+//!   [`MetricsSnapshot`] (deterministic under virtual time; see the
+//!   "Profiling and metrics" section of the README).
 //!
 //! ## Quickstart
 //!
@@ -96,6 +98,7 @@ pub use ddemos_ea::{ElectionAuthority, SetupOutput, SetupProfile};
 pub use ddemos_net::{
     DynEndpoint, NetFault, NetworkProfile, TcpConfig, TcpTransport, Transport, TransportEndpoint,
 };
+pub use ddemos_obs::{Histogram, MetricsSnapshot, Recorder, TimeDomain};
 pub use ddemos_protocol::{ElectionParams, NodeId, PartId, SerialNo};
 pub use ddemos_storage::{DiskProfile, FileDisk, SimDisk};
 pub use ddemos_vc::{

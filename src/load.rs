@@ -71,139 +71,10 @@ impl ShardConfig {
 
 /// Log-linear latency histogram: 16 sub-buckets per power-of-two octave
 /// (≤ 6.25 % relative error), exact-mergeable across shards because
-/// merging is per-bucket addition.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    total_ns: u64,
-    min_ns: u64,
-    max_ns: u64,
-}
-
-/// Values 0..15 get their own bucket; above that, each octave splits
-/// into 16 sub-buckets keyed by the 4 bits after the leading 1.
-const BUCKETS: usize = 61 * 16;
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            total_ns: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
-        }
-    }
-}
-
-fn bucket_index(v: u64) -> usize {
-    if v < 16 {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros() as u64; // >= 4
-    let sub = (v >> (msb - 4)) & 0xf;
-    ((msb - 3) * 16 + sub) as usize
-}
-
-/// Lower bound of a bucket (the value reported for percentiles).
-fn bucket_floor(index: usize) -> u64 {
-    if index < 16 {
-        return index as u64;
-    }
-    let octave = (index / 16) as u64;
-    let sub = (index % 16) as u64;
-    (16 + sub) << (octave - 1)
-}
-
-impl LatencyHistogram {
-    /// Records one sample (nanoseconds).
-    pub fn record(&mut self, ns: u64) {
-        self.buckets[bucket_index(ns)] += 1;
-        self.count += 1;
-        self.total_ns = self.total_ns.saturating_add(ns);
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of the recorded samples, 0 when empty.
-    pub fn mean_ns(&self) -> u64 {
-        self.total_ns.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// Smallest recorded sample, 0 when empty.
-    pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    /// Largest recorded sample.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// The value at quantile `q` in `[0, 1]` (bucket lower bound; ≤
-    /// 6.25 % below the true sample). 0 when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_floor(i);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Adds another histogram's samples into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.total_ns = self.total_ns.saturating_add(other.total_ns);
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Non-empty buckets as `(index, count)` pairs (the wire form used
-    /// between shard workers and the aggregating parent).
-    pub fn sparse(&self) -> Vec<(usize, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| (i, n))
-            .collect()
-    }
-
-    /// Rebuilds a histogram from its [`LatencyHistogram::sparse`] form.
-    pub fn from_sparse(pairs: &[(usize, u64)], total_ns: u64, min_ns: u64, max_ns: u64) -> Self {
-        let mut h = LatencyHistogram::default();
-        for &(i, n) in pairs {
-            if i < BUCKETS {
-                h.buckets[i] += n;
-                h.count += n;
-            }
-        }
-        h.total_ns = total_ns;
-        h.min_ns = if h.count == 0 { u64::MAX } else { min_ns };
-        h.max_ns = max_ns;
-        h
-    }
-}
+/// merging is per-bucket addition. Promoted into `ddemos-obs` (it is
+/// the histogram behind every [`ddemos_obs::MetricsSnapshot`]); this
+/// alias keeps the load harness's historical name working.
+pub use ddemos_obs::Histogram as LatencyHistogram;
 
 /// What one shard measured.
 #[derive(Clone, Debug)]
@@ -252,9 +123,9 @@ impl ShardReport {
             self.casts,
             self.errors,
             self.elapsed.as_nanos(),
-            self.hist.total_ns,
+            self.hist.total_ns(),
             self.hist.min_ns(),
-            self.hist.max_ns,
+            self.hist.max_ns(),
         );
         for (k, (i, n)) in self.hist.sparse().iter().enumerate() {
             if k > 0 {
@@ -262,7 +133,14 @@ impl ShardReport {
             }
             let _ = write!(s, "[{i},{n}]");
         }
-        s.push_str("]}");
+        s.push_str("],\"stats\":{");
+        for (k, (name, v)) in ev_stats_fields(&self.stats).into_iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{v}");
+        }
+        s.push_str("}}");
         s
     }
 
@@ -295,6 +173,12 @@ impl ShardReport {
             field("min_ns")?,
             field("max_ns")?,
         );
+        // Event-loop counters ride along since the metrics refactor;
+        // lines from older shard binaries simply parse as zeros.
+        let mut stats = EvStats::default();
+        for (name, v) in ev_stats_fields_mut(&mut stats) {
+            *v = field(name).unwrap_or(0);
+        }
         Some(ShardReport {
             shard: field("shard")? as usize,
             conns: field("conns")? as usize,
@@ -303,9 +187,51 @@ impl ShardReport {
             errors: field("errors")?,
             elapsed: Duration::from_nanos(field("elapsed_ns")?),
             hist,
-            stats: EvStats::default(),
+            stats,
         })
     }
+}
+
+/// The [`EvStats`] counters as `(name, value)` pairs, in wire order.
+fn ev_stats_fields(s: &EvStats) -> [(&'static str, u64); 15] {
+    [
+        ("accepted", s.accepted),
+        ("rejected_full", s.rejected_full),
+        ("authenticated", s.authenticated),
+        ("auth_failed", s.auth_failed),
+        ("ev_dials", s.dials),
+        ("frames_in", s.frames_in),
+        ("frames_out", s.frames_out),
+        ("bytes_in", s.bytes_in),
+        ("bytes_out", s.bytes_out),
+        ("oversized", s.oversized),
+        ("shed_slow", s.shed_slow),
+        ("replays", s.replays),
+        ("malformed", s.malformed),
+        ("from_overridden", s.from_overridden),
+        ("ev_closed", s.closed),
+    ]
+}
+
+/// Mutable view matching [`ev_stats_fields`] (the parse side).
+fn ev_stats_fields_mut(s: &mut EvStats) -> [(&'static str, &mut u64); 15] {
+    [
+        ("accepted", &mut s.accepted),
+        ("rejected_full", &mut s.rejected_full),
+        ("authenticated", &mut s.authenticated),
+        ("auth_failed", &mut s.auth_failed),
+        ("ev_dials", &mut s.dials),
+        ("frames_in", &mut s.frames_in),
+        ("frames_out", &mut s.frames_out),
+        ("bytes_in", &mut s.bytes_in),
+        ("bytes_out", &mut s.bytes_out),
+        ("oversized", &mut s.oversized),
+        ("shed_slow", &mut s.shed_slow),
+        ("replays", &mut s.replays),
+        ("malformed", &mut s.malformed),
+        ("from_overridden", &mut s.from_overridden),
+        ("ev_closed", &mut s.closed),
+    ]
 }
 
 /// Per-connection closed-loop state.
@@ -637,57 +563,25 @@ pub fn shutdown_cluster(seed: u64, cluster: &TcpCluster) -> io::Result<()> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn histogram_quantiles_are_close() {
-        let mut h = LatencyHistogram::default();
-        for v in 1..=10_000u64 {
-            h.record(v * 1000); // 1µs .. 10ms
-        }
-        let p50 = h.quantile_ns(0.50);
-        let p99 = h.quantile_ns(0.99);
-        // Bucket floors sit within 6.25% below the true value.
-        assert!((4_687_500..=5_000_000).contains(&p50), "p50={p50}");
-        assert!((9_281_250..=9_900_000).contains(&p99), "p99={p99}");
-        assert_eq!(h.count(), 10_000);
-        assert_eq!(h.min_ns(), 1000);
-        assert_eq!(h.max_ns(), 10_000_000);
-    }
-
-    #[test]
-    fn histogram_merge_matches_single() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        let mut whole = LatencyHistogram::default();
-        for v in 0..1000u64 {
-            whole.record(v * 37);
-            if v % 2 == 0 {
-                a.record(v * 37);
-            } else {
-                b.record(v * 37);
-            }
-        }
-        a.merge(&b);
-        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
-            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q), "q={q}");
-        }
-        assert_eq!(a.mean_ns(), whole.mean_ns());
-    }
-
-    #[test]
-    fn bucket_floor_inverts_index() {
-        for v in [0, 1, 15, 16, 17, 31, 32, 100, 1023, 1 << 20, u64::MAX / 2] {
-            let floor = bucket_floor(bucket_index(v));
-            assert!(floor <= v, "floor({v}) = {floor}");
-            // ≤ 6.25% error beyond the linear region.
-            assert!(v - floor <= v / 16, "v={v} floor={floor}");
-        }
-    }
+    // The histogram's own quantile/merge/bucket tests moved with the
+    // implementation to `crates/obs`; what stays here is the shard wire
+    // format built on top of it.
 
     #[test]
     fn shard_report_json_round_trips() {
         let mut hist = LatencyHistogram::default();
         hist.record(1_000_000);
         hist.record(2_000_000);
+        let stats = EvStats {
+            dials: 100,
+            authenticated: 99,
+            frames_in: 1234,
+            frames_out: 1240,
+            bytes_in: 98_765,
+            bytes_out: 87_654,
+            shed_slow: 2,
+            ..EvStats::default()
+        };
         let report = ShardReport {
             shard: 3,
             conns: 100,
@@ -696,7 +590,7 @@ mod tests {
             errors: 1,
             elapsed: Duration::from_secs(10),
             hist,
-            stats: EvStats::default(),
+            stats,
         };
         let parsed = ShardReport::from_json(&report.to_json()).expect("parses");
         assert_eq!(parsed.shard, 3);
@@ -708,5 +602,23 @@ mod tests {
         assert_eq!(parsed.hist.count(), 2);
         assert_eq!(parsed.hist.mean_ns(), report.hist.mean_ns());
         assert_eq!(parsed.hist.quantile_ns(0.5), report.hist.quantile_ns(0.5));
+        assert_eq!(parsed.stats.dials, 100);
+        assert_eq!(parsed.stats.authenticated, 99);
+        assert_eq!(parsed.stats.frames_in, 1234);
+        assert_eq!(parsed.stats.bytes_out, 87_654);
+        assert_eq!(parsed.stats.shed_slow, 2);
+        assert_eq!(parsed.stats.closed, 0);
+    }
+
+    #[test]
+    fn shard_report_without_stats_parses_as_zeros() {
+        // A line from a pre-metrics shard binary: no "stats" object.
+        let line = "{\"shard\":0,\"conns\":4,\"conns_up\":4,\"casts\":10,\"errors\":0,\
+                    \"elapsed_ns\":1000000000,\"total_ns\":5000,\"min_ns\":100,\
+                    \"max_ns\":4000,\"hist\":[[5,10]]}";
+        let parsed = ShardReport::from_json(line).expect("parses");
+        assert_eq!(parsed.casts, 10);
+        assert_eq!(parsed.stats.dials, 0);
+        assert_eq!(parsed.stats.frames_in, 0);
     }
 }

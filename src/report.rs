@@ -5,6 +5,7 @@ use crate::election::PhaseTimings;
 use crate::workload::WorkloadStats;
 use ddemos::auditor::AuditReport;
 use ddemos_net::NetStats;
+use ddemos_obs::MetricsSnapshot;
 use ddemos_protocol::posts::ElectionResult;
 use ddemos_protocol::SerialNo;
 
@@ -64,12 +65,16 @@ pub struct ElectionReport {
     pub timings: PhaseTimings,
     /// Network traffic totals.
     pub net: NetReport,
-    /// Authenticated-connection counters (dials, handshakes, rejects) —
-    /// `Some` only when the election ran over the event-loop TCP driver.
-    /// Excluded from [`ElectionReport::canonical_text`]: connection
-    /// counts are a property of the transport run, not of the
-    /// seed-determined election artifacts.
-    pub conns: Option<ddemos_net::ConnSnapshot>,
+    /// The election's merged telemetry: per-node recorder snapshots
+    /// (step latency, WAL batching, frame codec timing) plus transport
+    /// counters, folded in deterministic node order. Virtual-time
+    /// elections produce a seed-replayable snapshot that joins
+    /// [`ElectionReport::canonical_text`]; wall-clock and profiling runs
+    /// are tagged [`ddemos_obs::TimeDomain::Wall`] and contribute only a
+    /// marker line. The authenticated-connection counters that used to
+    /// live in a dedicated `conns` field are folded in under
+    /// `net.conn.*` (see [`ElectionReport::conns`]).
+    pub metrics: MetricsSnapshot,
     /// Statistics of the last bulk workload, if one ran.
     pub workload: Option<WorkloadStats>,
     /// Which ballot store backed the VC nodes.
@@ -89,6 +94,30 @@ impl ElectionReport {
     /// Whether the audit ran and found no failures.
     pub fn verified(&self) -> bool {
         self.audit.as_ref().is_some_and(AuditReport::ok)
+    }
+
+    /// Authenticated-connection counters, reconstructed from the
+    /// `net.conn.*` entries of [`ElectionReport::metrics`] — `Some` only
+    /// when the election ran over the event-loop TCP driver.
+    #[deprecated(note = "read the `net.conn.*` counters of `metrics` instead")]
+    pub fn conns(&self) -> Option<ddemos_net::ConnSnapshot> {
+        let counter = |name: &str| self.metrics.counter(name, None, None);
+        // The fold writes every key, zero or not, so presence of the
+        // first one distinguishes "no TCP transport" from "no dials".
+        if !self
+            .metrics
+            .counters
+            .contains_key(&ddemos_obs::metric_key("net.conn.dials", "", ""))
+        {
+            return None;
+        }
+        Some(ddemos_net::ConnSnapshot {
+            dials: counter("net.conn.dials"),
+            authenticated: counter("net.conn.authenticated"),
+            auth_failed: counter("net.conn.auth_failed"),
+            rejected: counter("net.conn.rejected"),
+            retries: counter("net.conn.retries"),
+        })
     }
 
     /// A canonical, line-oriented dump of every seed-determined artifact:
@@ -146,6 +175,10 @@ impl ElectionReport {
             n.consensus_msgs,
         );
         let _ = writeln!(out, "net_delay_ns: {}", n.delay_ns_total);
+        // Virtual-domain telemetry is a pure function of the seed and
+        // joins in full; wall-domain snapshots contribute only their
+        // marker line (see `MetricsSnapshot::fingerprint`).
+        out.push_str(&self.metrics.fingerprint());
         out
     }
 }

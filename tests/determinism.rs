@@ -74,6 +74,53 @@ fn full_election_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn metrics_snapshot_is_identical_across_runs_and_thread_counts() {
+    // The telemetry snapshot is part of the deterministic artifact set:
+    // under virtual time, the same seed must yield a byte-identical
+    // `MetricsSnapshot` canonical text — across repeat runs AND across
+    // worker-thread counts (metrics are recorded per node and merged in
+    // node-id order, never in completion order). Driver-loop inputs
+    // (idle ticks, the close/stop flags) are wall-scheduling dependent
+    // and therefore live under `~`-prefixed unstable names, which the
+    // canonical text excludes.
+    let votes = [0usize, 1, 0, 0];
+    let run = |threads: usize| {
+        let election = ElectionBuilder::new(params())
+            .seed(11)
+            .threads(threads)
+            .virtual_time()
+            .build()
+            .unwrap();
+        let voting = election.voting();
+        for (ballot, &option) in votes.iter().enumerate() {
+            voting.cast(ballot, option).unwrap();
+        }
+        let report = election.finish().unwrap();
+        election.shutdown();
+        report.metrics
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(8);
+    assert_eq!(a.domain, ddemos_harness::TimeDomain::Virtual);
+    let text = a.canonical_text();
+    assert!(
+        text.contains("vc.step_ns|vote|Vote"),
+        "snapshot missing the vote-phase step family:\n{text}"
+    );
+    assert!(
+        text.contains("bb.step_ns"),
+        "snapshot missing BB step metrics:\n{text}"
+    );
+    assert!(
+        !text.contains('~'),
+        "unstable metrics leaked into the canonical text:\n{text}"
+    );
+    assert_eq!(text, b.canonical_text(), "same-seed replay diverged");
+    assert_eq!(text, c.canonical_text(), "snapshot depends on thread count");
+}
+
+#[test]
 fn scenario_seed_replays_byte_identically() {
     // Covers a clean seed and (if present in range) a faulty one; the
     // fingerprint includes tally, every receipt, virtual phase timings,
