@@ -17,7 +17,8 @@
 
 use ddemos_crypto::elgamal::{self, Ciphertext};
 use ddemos_crypto::field::Scalar;
-use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::mverify::{MsgVerifier, DEFAULT_CACHE_CAPACITY};
+use ddemos_crypto::schnorr::{Signature, VerifyingKey};
 use ddemos_crypto::shamir::{self, Share};
 use ddemos_crypto::votecode::{self, VoteCode};
 use ddemos_crypto::vss::{DealerVss, SignedShare};
@@ -327,6 +328,11 @@ pub fn trustee_post_digest(post: &TrusteePost) -> [u8; 32] {
 /// The sans-I/O Bulletin Board state machine. See the module docs.
 pub struct BbCore {
     init: BbInit,
+    /// Batch-first signature verification front end: prepared tables for
+    /// the static writer keys (VC/trustee/EA) plus the bounded
+    /// verified-envelope memo. Volatile — it only memoizes results, so
+    /// journal replay reproduces the same accept/reject outcomes.
+    mverify: MsgVerifier,
     vote_set_submissions: BTreeMap<[u8; 32], Vec<u32>>, // digest -> vc nodes
     vote_sets: BTreeMap<[u8; 32], VoteSet>,
     msk_shares: Vec<SignedShare>,
@@ -346,8 +352,17 @@ impl BbCore {
     /// Creates a core from its initialization data (which it publishes
     /// immediately, per §III-D).
     pub fn new(init: BbInit) -> BbCore {
+        let mut mverify = MsgVerifier::new(DEFAULT_CACHE_CAPACITY);
+        for vk in &init.vc_keys {
+            mverify.prepare(vk);
+        }
+        for vk in &init.trustee_keys {
+            mverify.prepare(vk);
+        }
+        mverify.prepare(&init.ea_key);
         BbCore {
             init,
+            mverify,
             vote_set_submissions: BTreeMap::new(),
             vote_sets: BTreeMap::new(),
             msk_shares: Vec::new(),
@@ -421,11 +436,12 @@ impl BbCore {
         set: &VoteSet,
         sig: &Signature,
     ) -> (Result<(), WriteError>, Option<BbRecord>) {
-        let Some(vk) = self.init.vc_keys.get(from_vc as usize) else {
+        let Some(vk) = self.init.vc_keys.get(from_vc as usize).copied() else {
             return (Err(WriteError::UnknownWriter), None);
         };
         let digest = set.digest();
-        if !vk.verify(
+        if !self.mverify.check(
+            &vk,
             &voteset_message(&self.init.params.election_id, &digest),
             sig,
         ) {
@@ -456,7 +472,8 @@ impl BbCore {
 
     fn on_msk_share(&mut self, share: &SignedShare) -> (Result<(), WriteError>, Option<BbRecord>) {
         let ctx = msk_share_context(&self.init.params.election_id);
-        if !DealerVss::verify(&self.init.ea_key, &ctx, share) {
+        let ea_key = self.init.ea_key;
+        if !self.mverify.check_share(&ea_key, &ctx, share) {
             return (Err(WriteError::BadSignature), None);
         }
         if self.msk.is_some() {
@@ -502,13 +519,21 @@ impl BbCore {
         post: Arc<TrusteePost>,
         sig: &Signature,
     ) -> (Result<(), WriteError>, Option<BbRecord>) {
-        let Some(vk) = self.init.trustee_keys.get(post.trustee_index as usize) else {
+        let Some(vk) = self
+            .init
+            .trustee_keys
+            .get(post.trustee_index as usize)
+            .copied()
+        else {
             return (Err(WriteError::UnknownWriter), None);
         };
-        if !vk.verify(&trustee_post_digest(&post), sig) {
-            return (Err(WriteError::BadSignature), None);
-        }
-        // Verify the EA signatures on every opening bundle up front.
+        // One batch over the whole post: the trustee's signature on the
+        // post digest plus the EA signatures on every opening bundle.
+        // Any invalid entry rejects the write, exactly like the old
+        // signature-at-a-time loop — it just costs one MSM.
+        let mut items: Vec<(VerifyingKey, Vec<u8>, Signature)> =
+            Vec::with_capacity(1 + post.openings.len());
+        items.push((vk, trustee_post_digest(&post).to_vec(), *sig));
         for opening in &post.openings {
             let msg = opening_bundle_message(
                 &self.init.params.election_id,
@@ -517,9 +542,10 @@ impl BbCore {
                 post.trustee_index,
                 &opening.rows,
             );
-            if !self.init.ea_key.verify(&msg, &opening.opening_sig) {
-                return (Err(WriteError::BadSignature), None);
-            }
+            items.push((self.init.ea_key, msg, opening.opening_sig));
+        }
+        if self.mverify.check_batch(&items).iter().any(|ok| !ok) {
+            return (Err(WriteError::BadSignature), None);
         }
         if self.snapshot.vote_set.is_none() || self.msk.is_none() {
             return (Err(WriteError::WrongPhase), None);
@@ -672,6 +698,10 @@ impl BbCore {
             }
         }
         let mut new_openings: Vec<((SerialNo, u8), RowOpenings)> = Vec::new();
+        let mut opening_items: Vec<(Ciphertext, Scalar, Scalar)> = Vec::new();
+        // Half-open item range per `new_openings` entry, for the per-part
+        // fallback below.
+        let mut opening_spans: Vec<(usize, usize)> = Vec::new();
         for ((serial, part), shares) in &openings_by_key {
             if shares.len() < ht {
                 continue;
@@ -680,6 +710,7 @@ impl BbCore {
                 continue;
             };
             let rows = &ballot.parts[part.index()];
+            let start = opening_items.len();
             let mut opened_rows: RowOpenings = Vec::with_capacity(rows.len());
             let mut all_ok = true;
             for (row_idx, row) in rows.iter().enumerate() {
@@ -708,10 +739,7 @@ impl BbCore {
                         all_ok = false;
                         break;
                     };
-                    if !elgamal::verify_opening(&self.init.elgamal_pk, ct, &bit, &rand) {
-                        all_ok = false;
-                        break;
-                    }
+                    opening_items.push((*ct, bit, rand));
                     opened_cts.push((bit, rand));
                 }
                 if !all_ok {
@@ -720,8 +748,24 @@ impl BbCore {
                 opened_rows.push(opened_cts);
             }
             if all_ok {
+                opening_spans.push((start, opening_items.len()));
                 new_openings.push(((*serial, part.index() as u8), opened_rows));
+            } else {
+                opening_items.truncate(start);
             }
+        }
+        // Every candidate opening across every part in one MSM. On failure,
+        // fall back per part: a part publishes iff all of its openings
+        // verify — the same outcome the per-ciphertext loop produced.
+        if !elgamal::batch_verify_openings(&self.init.elgamal_pk, &opening_items) {
+            let mut keep = Vec::new();
+            for (entry, (start, end)) in new_openings.into_iter().zip(&opening_spans) {
+                let span = opening_items.get(*start..*end).unwrap_or(&[]);
+                if elgamal::batch_verify_openings(&self.init.elgamal_pk, span) {
+                    keep.push(entry);
+                }
+            }
+            new_openings = keep;
         }
         for (key, rows) in new_openings {
             self.snapshot.openings.insert(key, rows);
@@ -741,6 +785,8 @@ impl BbCore {
             }
         }
         let mut new_zk: Vec<((SerialNo, u8), RowZkResponses)> = Vec::new();
+        let mut zk_instances: Vec<zkp::CpInstance> = Vec::new();
+        let mut zk_spans: Vec<(usize, usize)> = Vec::new();
         for ((serial, part), posts_for_part) in &zk_by_key {
             if posts_for_part.len() < ht {
                 continue;
@@ -749,6 +795,7 @@ impl BbCore {
                 continue;
             };
             let rows = &ballot.parts[part.index()];
+            let start = zk_instances.len();
             let mut ok = true;
             let mut verified_rows: Vec<(Vec<zkp::OrResponse>, Scalar)> = Vec::new();
             'rows: for (row_idx, row) in rows.iter().enumerate() {
@@ -778,16 +825,16 @@ impl BbCore {
                         c1: comps[2],
                         z1: comps[3],
                     };
-                    if !zkp::or_verify(
-                        &self.init.elgamal_pk,
-                        ct,
-                        &row.or_first[ct_idx],
-                        &resp,
-                        &challenge,
-                    ) {
+                    // `or_instances` performs the c0+c1 = c split check the
+                    // scalar `or_verify` started with; the group equations
+                    // join the batch below.
+                    let Some(pair) =
+                        zkp::or_instances(ct, &row.or_first[ct_idx], &resp, &challenge)
+                    else {
                         ok = false;
                         break 'rows;
-                    }
+                    };
+                    zk_instances.extend(pair);
                     row_responses.push(resp);
                 }
                 let sum_shares: Vec<Share> = posts_for_part
@@ -802,21 +849,33 @@ impl BbCore {
                     ok = false;
                     break;
                 };
-                if !zkp::sum_verify(
-                    &self.init.elgamal_pk,
+                zk_instances.push(zkp::sum_instance(
                     &row.commitment,
                     &row.sum_first,
                     &challenge,
                     &z,
-                ) {
-                    ok = false;
-                    break;
-                }
+                ));
                 verified_rows.push((row_responses, z));
             }
             if ok {
+                zk_spans.push((start, zk_instances.len()));
                 new_zk.push(((*serial, part.index() as u8), verified_rows));
+            } else {
+                zk_instances.truncate(start);
             }
+        }
+        // All OR-proof branches and sum proofs of every used part in one
+        // MSM; per-part fallback attributes failures, so a part publishes
+        // iff all of its proofs verify — as the per-proof loop did.
+        if !zkp::cp_verify_batch(&self.init.elgamal_pk, &zk_instances) {
+            let mut keep = Vec::new();
+            for (entry, (start, end)) in new_zk.into_iter().zip(&zk_spans) {
+                let span = zk_instances.get(*start..*end).unwrap_or(&[]);
+                if zkp::cp_verify_batch(&self.init.elgamal_pk, span) {
+                    keep.push(entry);
+                }
+            }
+            new_zk = keep;
         }
         for (key, rows) in new_zk {
             self.snapshot.zk_responses.insert(key, rows);
@@ -847,6 +906,67 @@ impl BbCore {
             posts.iter().map(|p| (p.trustee_index, &p.tally)).collect();
         let mut tally = Vec::with_capacity(m);
         let mut opening = Vec::with_capacity(m);
+        // Fast path: the honest case reconstructs every option total from
+        // the first trustee subset — verify all `m` candidate openings in
+        // one MSM, and only fall back to the per-subset search (which
+        // isolates a bad share) if that batch fails. The subset search
+        // tries the same first subset first, so a passing batch selects
+        // exactly the openings the search would have.
+        let first_subset: Option<Vec<(Scalar, Scalar)>> = (|| {
+            if tally_posts.len() < ht {
+                return None;
+            }
+            let mut cand = Vec::with_capacity(m);
+            let mut items = Vec::with_capacity(m);
+            for (j, sum_ct) in sums.iter().enumerate() {
+                let m_shares: Vec<Share> = tally_posts
+                    .iter()
+                    .take(ht)
+                    .map(|(t, p)| Share {
+                        index: t + 1,
+                        value: p.per_option[j].0,
+                    })
+                    .collect();
+                let r_shares: Vec<Share> = tally_posts
+                    .iter()
+                    .take(ht)
+                    .map(|(t, p)| Share {
+                        index: t + 1,
+                        value: p.per_option[j].1,
+                    })
+                    .collect();
+                let (Ok(msg), Ok(rand)) = (
+                    shamir::reconstruct(&m_shares, ht),
+                    shamir::reconstruct(&r_shares, ht),
+                ) else {
+                    return None;
+                };
+                items.push((*sum_ct, msg, rand));
+                cand.push((msg, rand));
+            }
+            if elgamal::batch_verify_openings(&self.init.elgamal_pk, &items) {
+                Some(cand)
+            } else {
+                None
+            }
+        })();
+        if let Some(cand) = first_subset {
+            for (msg, rand) in cand {
+                match msg.to_u64() {
+                    Some(v) => {
+                        tally.push(v);
+                        opening.push((msg, rand));
+                    }
+                    None => return, // need more trustee posts
+                }
+            }
+            self.snapshot.tally_opening = Some(opening);
+            self.snapshot.result = Some(ElectionResult {
+                tally,
+                ballots_counted: counted,
+            });
+            return;
+        }
         for (j, sum_ct) in sums.iter().enumerate() {
             let mut found = None;
             for subset in subsets_of(&tally_posts, ht) {

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ddemos_crypto::curve::{FixedBase, Point};
 use ddemos_crypto::elgamal;
 use ddemos_crypto::field::{Fp, Scalar};
-use ddemos_crypto::schnorr::SigningKey;
+use ddemos_crypto::schnorr::{Signature, SigningKey};
 use ddemos_crypto::sha256::sha256;
 use ddemos_crypto::shamir;
 use ddemos_crypto::zkp;
@@ -118,6 +118,30 @@ fn bench_schnorr(c: &mut Criterion) {
         b.iter(|| {
             sk.verifying_key()
                 .verify(b"endorsement", std::hint::black_box(&sig))
+        })
+    });
+    // Batch verification: 64 signatures from 8 signers (the quorum-
+    // duplication shape the replicas see) in one MSM vs 64 scalar checks.
+    let signers: Vec<SigningKey> = (0..8).map(|_| SigningKey::generate(&mut rng)).collect();
+    let msgs: Vec<Vec<u8>> = (0..64u64)
+        .map(|i| format!("endorsement/{i}").into_bytes())
+        .collect();
+    let entries: Vec<(ddemos_crypto::schnorr::VerifyingKey, &[u8], Signature)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let sk = &signers[i % signers.len()];
+            (sk.verifying_key(), m.as_slice(), sk.sign(m))
+        })
+        .collect();
+    c.bench_function("kernel/schnorr_verify_batch 64", |b| {
+        b.iter(|| ddemos_crypto::schnorr::verify_batch(std::hint::black_box(&entries)))
+    });
+    c.bench_function("kernel/schnorr_verify_scalar 64", |b| {
+        b.iter(|| {
+            std::hint::black_box(&entries)
+                .iter()
+                .all(|(vk, m, s)| vk.verify(m, s))
         })
     });
 }

@@ -340,6 +340,24 @@ impl Point {
         Point::msm(&scalars, &points)
     }
 
+    /// Batch [`Point::to_bytes`]: one Montgomery-trick inversion shared
+    /// across the whole slice instead of one per point — this is what
+    /// makes hashing many projective points (batch-verification
+    /// transcripts) cheap.
+    pub fn batch_to_bytes(points: &[Point]) -> Vec<[u8; 33]> {
+        Point::batch_to_affine(points)
+            .into_iter()
+            .map(|affine| {
+                let mut out = [0u8; 33];
+                if let Some((x, y)) = affine {
+                    out[0] = 0x02 | (y.to_bytes()[31] & 1);
+                    out[1..].copy_from_slice(&x.to_bytes());
+                }
+                out
+            })
+            .collect()
+    }
+
     /// Serializes to 33 bytes: `0x00 ‖ 0…` for the identity, else SEC1
     /// compressed (`0x02/0x03 ‖ x`).
     pub fn to_bytes(&self) -> [u8; 33] {

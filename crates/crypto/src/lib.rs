@@ -39,6 +39,7 @@ pub mod curve;
 pub mod elgamal;
 pub mod field;
 pub mod hmac;
+pub mod mverify;
 pub mod pedersen;
 pub mod schnorr;
 pub mod sha256;

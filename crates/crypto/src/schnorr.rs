@@ -4,15 +4,63 @@
 //! components … without relying on external PKI support" (§III-D). These
 //! keys sign ENDORSEMENT messages (from which UCERTs are assembled), receipt
 //! shares dealt by the EA, vote-set submissions to the BB, and trustee posts.
+//!
+//! Verification comes in three shapes, fastest first:
+//!
+//! * [`verify_batch`] — random-linear-combination batch verification:
+//!   `n` signatures collapse into one multi-scalar multiplication, with
+//!   per-entry Fiat–Shamir weights derived by hashing the batch
+//!   transcript (no RNG, so virtual-time replays stay byte-identical).
+//!   On failure it bisects to attribute the invalid entries.
+//! * [`PreparedVerifier`] — a per-peer fixed-base comb table for the
+//!   public key, built once at startup: the `e·PK` term becomes table
+//!   lookups instead of a generic double-and-add ladder.
+//! * [`VerifyingKey::verify`] — the plain one-shot path (setup, audit,
+//!   tests), carrying the `crypto.verify_ns` profiling hook.
 
-use crate::curve::Point;
+use crate::curve::{FixedBase, Point};
 use crate::field::Scalar;
 use crate::hmac::hmac_sha256_parts;
-use crate::sha256::sha256_parts;
+use crate::sha256::{sha256, sha256_parts};
+use std::collections::BTreeMap;
 
-/// A Schnorr verification (public) key.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct VerifyingKey(pub Point);
+/// A Schnorr verification (public) key, carrying its compressed
+/// encoding.
+///
+/// The encoding is computed once at construction: serializing a
+/// projective point costs a field inversion, and every challenge hash,
+/// cache digest, and table lookup wants these same 33 bytes — keys are
+/// long-lived and hashed constantly, so the copy pays for itself on the
+/// first verification.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyingKey {
+    point: Point,
+    enc: [u8; 33],
+}
+
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The encoding is canonical (compressed SEC1 / all-zero identity).
+        self.enc == other.enc
+    }
+}
+
+impl Eq for VerifyingKey {}
+
+impl std::hash::Hash for VerifyingKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.enc.hash(state);
+    }
+}
+
+impl VerifyingKey {
+    pub(crate) fn from_point(point: Point) -> VerifyingKey {
+        VerifyingKey {
+            point,
+            enc: point.to_bytes(),
+        }
+    }
+}
 
 /// A Schnorr signing (private) key.
 #[derive(Clone, Copy)]
@@ -27,34 +75,87 @@ impl std::fmt::Debug for SigningKey {
     }
 }
 
-/// A Schnorr signature `(R, s)` with `s·G = R + e·PK`, `e = H(R‖PK‖m)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Signature {
-    /// Commitment `R = k·G`.
-    pub r: Point,
-    /// Response `s = k + e·sk`.
-    pub s: Scalar,
+/// The commitment `R`, either decompressed or still in wire form.
+///
+/// Decoding a signature no longer pays the square root: the wire bytes
+/// are kept verbatim (after a structural prefix check) and the point is
+/// recovered only when a verification actually needs it — which the
+/// batch/cache layers usually avoid entirely.
+#[derive(Clone, Copy, Debug)]
+enum RRepr {
+    Point(Point),
+    Compressed([u8; 33]),
 }
+
+/// A Schnorr signature `(R, s)` with `s·G = R + e·PK`, `e = H(R‖PK‖m)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Signature {
+    /// Commitment `R = k·G`, lazily decompressed.
+    r: RRepr,
+    /// Response `s = k + e·sk`.
+    s: Scalar,
+}
+
+impl PartialEq for Signature {
+    fn eq(&self, other: &Signature) -> bool {
+        self.r_bytes() == other.r_bytes() && self.s == other.s
+    }
+}
+
+impl Eq for Signature {}
 
 impl Signature {
     /// Serializes as 65 bytes (`R ‖ s`).
     pub fn to_bytes(&self) -> [u8; 65] {
         let mut out = [0u8; 65];
-        out[..33].copy_from_slice(&self.r.to_bytes());
+        out[..33].copy_from_slice(&self.r_bytes());
         out[33..].copy_from_slice(&self.s.to_bytes());
         out
     }
 
     /// Parses the 65-byte encoding.
+    ///
+    /// Only the structural shape of `R` is checked here (a valid SEC1
+    /// prefix byte); whether the x-coordinate is actually on the curve
+    /// is decided at first verification, where a bad point simply fails
+    /// like any other forgery.
     pub fn from_bytes(bytes: &[u8; 65]) -> Option<Signature> {
         let mut rb = [0u8; 33];
         rb.copy_from_slice(&bytes[..33]);
+        match rb[0] {
+            0x02 | 0x03 => {}
+            0x00 if rb[1..].iter().all(|&b| b == 0) => {} // identity encoding
+            _ => return None,
+        }
         let mut sb = [0u8; 32];
         sb.copy_from_slice(&bytes[33..]);
         Some(Signature {
-            r: Point::from_bytes(&rb)?,
+            r: RRepr::Compressed(rb),
             s: Scalar::from_bytes(&sb)?,
         })
+    }
+
+    /// The 33-byte compressed encoding of `R` (free in both reprs).
+    pub fn r_bytes(&self) -> [u8; 33] {
+        match self.r {
+            RRepr::Point(p) => p.to_bytes(),
+            RRepr::Compressed(b) => b,
+        }
+    }
+
+    /// The commitment point, decompressing on first use; `None` when the
+    /// wire bytes do not name a curve point (such a signature can never
+    /// verify).
+    pub fn r_point(&self) -> Option<Point> {
+        match self.r {
+            RRepr::Point(p) => Some(p),
+            RRepr::Compressed(b) => Point::from_bytes(&b),
+        }
+    }
+
+    /// The response scalar `s`.
+    pub fn s(&self) -> Scalar {
+        self.s
     }
 }
 
@@ -77,7 +178,7 @@ impl SigningKey {
         assert!(!sk.is_zero(), "secret key must be nonzero");
         SigningKey {
             sk,
-            vk: VerifyingKey(Point::mul_generator(&sk)),
+            vk: VerifyingKey::from_point(Point::mul_generator(&sk)),
         }
     }
 
@@ -96,9 +197,9 @@ impl SigningKey {
         ));
         let k = if k.is_zero() { Scalar::ONE } else { k };
         let r = Point::mul_generator(&k);
-        let e = challenge(&r, &self.vk, message);
+        let e = challenge(&r.to_bytes(), &self.vk, message);
         Signature {
-            r,
+            r: RRepr::Point(r),
             s: k + e * self.sk,
         }
     }
@@ -109,37 +210,243 @@ impl VerifyingKey {
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
         // Profiling hook: one atomic load when off (the default).
         let _t = ddemos_obs::scoped_ns("crypto.verify_ns", "schnorr");
-        if self.0.is_identity() {
+        self.verify_inner(message, sig)
+    }
+
+    /// The hook-free verification core shared by the batch fallback and
+    /// the cache layer (so batched paths never inflate the one-at-a-time
+    /// `crypto.verify_ns` sample count).
+    pub(crate) fn verify_inner(&self, message: &[u8], sig: &Signature) -> bool {
+        if self.point.is_identity() {
             return false;
         }
-        let e = challenge(&sig.r, self, message);
-        // s·G − e·PK == R, via one Shamir double-scalar multiplication.
-        Point::double_mul(&sig.s, &Point::generator(), &-e, &self.0) == sig.r
+        let e = challenge(&sig.r_bytes(), self, message);
+        // s·G − e·PK == R, via one Shamir double-scalar multiplication;
+        // comparing compressed bytes sidesteps decompressing a lazy R.
+        Point::double_mul(&sig.s, &Point::generator(), &-e, &self.point).to_bytes() == sig.r_bytes()
     }
 
-    /// Serializes as 33 bytes.
+    /// Serializes as 33 bytes (a copy of the cached canonical encoding).
     pub fn to_bytes(&self) -> [u8; 33] {
-        self.0.to_bytes()
+        self.enc
     }
 
-    /// Parses a 33-byte encoding.
+    /// Parses a 33-byte encoding. The parse only accepts canonical
+    /// encodings, so the input bytes double as the cached serialization.
     pub fn from_bytes(bytes: &[u8; 33]) -> Option<VerifyingKey> {
-        Point::from_bytes(bytes).map(VerifyingKey)
+        Point::from_bytes(bytes).map(|point| VerifyingKey { point, enc: *bytes })
     }
 }
 
-fn challenge(r: &Point, vk: &VerifyingKey, message: &[u8]) -> Scalar {
+fn challenge(r_bytes: &[u8; 33], vk: &VerifyingKey, message: &[u8]) -> Scalar {
+    challenge_parts(r_bytes, &vk.enc, message)
+}
+
+/// [`challenge`] over pre-encoded bytes, so batch callers that already
+/// normalized their points pay no extra per-item inversion.
+fn challenge_parts(r_bytes: &[u8; 33], vk_bytes: &[u8; 33], message: &[u8]) -> Scalar {
     Scalar::from_bytes_reduce(&sha256_parts(&[
         b"ddemos/schnorr/v1",
-        &r.to_bytes(),
-        &vk.0.to_bytes(),
+        r_bytes,
+        vk_bytes,
         message,
     ]))
+}
+
+// ---------------------------------------------------------------------
+// Per-peer prepared verification
+// ---------------------------------------------------------------------
+
+/// A verification key with a precomputed fixed-base comb table, built
+/// once per peer at startup: `e·PK` becomes table lookups, and together
+/// with the generator comb the whole check is add-only.
+pub struct PreparedVerifier {
+    vk: VerifyingKey,
+    table: FixedBase,
+}
+
+impl PreparedVerifier {
+    /// Builds the comb table (~1k group operations, amortized over every
+    /// later verification against this peer).
+    pub fn new(vk: &VerifyingKey) -> PreparedVerifier {
+        PreparedVerifier {
+            vk: *vk,
+            table: FixedBase::new(&vk.point),
+        }
+    }
+
+    /// The key this table serves.
+    pub fn key(&self) -> &VerifyingKey {
+        &self.vk
+    }
+
+    /// Verifies one signature using the table (hook-free; the callers
+    /// are the batched message paths).
+    pub fn check(&self, message: &[u8], sig: &Signature) -> bool {
+        if self.vk.point.is_identity() {
+            return false;
+        }
+        let e = challenge(&sig.r_bytes(), &self.vk, message);
+        let lhs = Point::mul_generator(&sig.s).add(&self.table.mul(&e).negate());
+        lhs.to_bytes() == sig.r_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch verification
+// ---------------------------------------------------------------------
+
+/// One batch entry: `(key, message, signature)`.
+pub type BatchEntry<'a> = (VerifyingKey, &'a [u8], Signature);
+
+/// An entry whose structural pre-checks passed, with its decompressed
+/// commitment, challenge, and compressed encodings precomputed once
+/// (the encodings via one shared batch normalization — a projective
+/// `to_bytes` costs a field inversion, which would dominate the MSM).
+struct PreparedEntry<'a> {
+    index: usize,
+    vk: VerifyingKey,
+    msg: &'a [u8],
+    sig: Signature,
+    r: Point,
+    e: Scalar,
+    vk_bytes: [u8; 33],
+    r_bytes: [u8; 33],
+}
+
+/// Verifies `n` signatures as one multi-scalar multiplication.
+///
+/// Sound by the standard random-linear-combination argument: for weights
+/// `ρᵢ` the batch accepts iff `Σ ρᵢ·(sᵢ·G − Rᵢ − eᵢ·PKᵢ) = 0`, which for
+/// any invalid entry holds only with negligible probability over the
+/// choice of weights. The weights are Fiat–Shamir: hashed from the batch
+/// transcript itself (keys, commitments, responses, message digests), so
+/// a forger cannot pick a signature after seeing its weight — and the
+/// whole computation is a pure function of the inputs, keeping
+/// virtual-time replays byte-identical.
+///
+/// Terms are grouped before the MSM: one generator term (`Σ ρᵢsᵢ`), one
+/// term per *distinct* public key (`−Σ ρᵢeᵢ`), one term per commitment
+/// (`−ρᵢ`) — a batch of `n` endorsements from `k` peers costs an MSM of
+/// `n + k + 1` points instead of `n` double-muls.
+///
+/// # Errors
+/// On batch failure, bisects (re-deriving weights per sub-batch) down to
+/// individual checks and returns the sorted indices of every invalid
+/// entry, so a single forged signature is still attributed to its
+/// sender.
+pub fn verify_batch(entries: &[BatchEntry<'_>]) -> Result<(), Vec<usize>> {
+    let _t = ddemos_obs::scoped_ns("crypto.verify_batch_ns", "schnorr");
+    let mut invalid = Vec::new();
+    let mut good = Vec::with_capacity(entries.len());
+    let mut to_encode = Vec::with_capacity(entries.len() * 2);
+    for (index, (vk, msg, sig)) in entries.iter().enumerate() {
+        // Structural failures are attributable without any group math.
+        match sig.r_point() {
+            Some(r) if !vk.point.is_identity() => {
+                to_encode.push(r);
+                good.push(PreparedEntry {
+                    index,
+                    vk: *vk,
+                    msg,
+                    sig: *sig,
+                    r,
+                    e: Scalar::ZERO, // filled below, after encoding
+                    vk_bytes: [0u8; 33],
+                    r_bytes: [0u8; 33],
+                });
+            }
+            _ => invalid.push(index),
+        }
+    }
+    // One shared normalization covers every commitment encoding the
+    // transcript hashes need (key encodings are cached on the key).
+    let encoded = Point::batch_to_bytes(&to_encode);
+    for (entry, r_bytes) in good.iter_mut().zip(encoded) {
+        entry.r_bytes = r_bytes;
+        entry.vk_bytes = entry.vk.to_bytes();
+        entry.e = challenge_parts(&entry.r_bytes, &entry.vk_bytes, entry.msg);
+    }
+    if !batch_holds(&good) {
+        bisect(&good, &mut invalid);
+    }
+    if invalid.is_empty() {
+        Ok(())
+    } else {
+        invalid.sort_unstable();
+        Err(invalid)
+    }
+}
+
+/// Whether the random-linear-combination check accepts this sub-batch.
+fn batch_holds(entries: &[PreparedEntry<'_>]) -> bool {
+    match entries.len() {
+        0 => return true,
+        1 => {
+            let e = &entries[0];
+            return Point::double_mul(&e.sig.s, &Point::generator(), &-e.e, &e.vk.point) == e.r;
+        }
+        _ => {}
+    }
+    // Seed = H(domain ‖ per-entry transcript digests).
+    let digests: Vec<[u8; 32]> = entries
+        .iter()
+        .map(|e| sha256_parts(&[&e.vk_bytes, &e.r_bytes, &e.sig.s.to_bytes(), &sha256(e.msg)]))
+        .collect();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(digests.len() + 1);
+    parts.push(b"ddemos/batch-schnorr/v1");
+    parts.extend(digests.iter().map(|d| d.as_slice()));
+    let seed = sha256_parts(&parts);
+
+    let mut g_coeff = Scalar::ZERO;
+    // Group the `−ρᵢeᵢ` coefficients per distinct key (BTree keyed by
+    // encoding: deterministic order for the MSM input).
+    let mut per_key: BTreeMap<[u8; 33], (Point, Scalar)> = BTreeMap::new();
+    let mut scalars = Vec::with_capacity(entries.len());
+    let mut points = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let rho = crate::elgamal::batch_weight(&seed, i, 0);
+        g_coeff += rho * entry.sig.s;
+        let slot = per_key
+            .entry(entry.vk_bytes)
+            .or_insert((entry.vk.point, Scalar::ZERO));
+        slot.1 += rho * entry.e;
+        scalars.push(-rho);
+        points.push(entry.r);
+    }
+    scalars.push(g_coeff);
+    points.push(Point::generator());
+    for (pk, coeff) in per_key.values() {
+        scalars.push(-*coeff);
+        points.push(*pk);
+    }
+    Point::msm(&scalars, &points).is_identity()
+}
+
+/// Attributes failures: splits a rejected batch in half, re-checks each
+/// half (fresh Fiat–Shamir weights per sub-batch), and recurses into
+/// rejected halves down to single entries.
+fn bisect(entries: &[PreparedEntry<'_>], invalid: &mut Vec<usize>) {
+    if entries.len() <= 1 {
+        if let [entry] = entries {
+            if !batch_holds(entries) {
+                invalid.push(entry.index);
+            }
+        }
+        return;
+    }
+    let (lo, hi) = entries.split_at(entries.len() / 2);
+    for half in [lo, hi] {
+        if !batch_holds(half) {
+            bisect(half, invalid);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -169,16 +476,31 @@ mod tests {
         assert_ne!(key.sign(b"m"), key.sign(b"n"));
     }
 
+    /// Bit-flips the serialized signature (response low byte, then the
+    /// commitment x-coordinate) — both re-parse structurally but must
+    /// fail verification.
     #[test]
     fn tampered_signature_rejects() {
         let mut rng = StdRng::seed_from_u64(4);
         let key = SigningKey::generate(&mut rng);
-        let mut sig = key.sign(b"msg");
-        sig.s += Scalar::ONE;
-        assert!(!key.verifying_key().verify(b"msg", &sig));
-        let mut sig2 = key.sign(b"msg");
-        sig2.r += Point::generator();
-        assert!(!key.verifying_key().verify(b"msg", &sig2));
+        let sig = key.sign(b"msg");
+        let mut bytes = sig.to_bytes();
+        bytes[64] ^= 1; // s
+        let forged = Signature::from_bytes(&bytes).expect("still canonical");
+        assert!(!key.verifying_key().verify(b"msg", &forged));
+        let mut bytes = sig.to_bytes();
+        bytes[20] ^= 1; // R x-coordinate
+        let forged = Signature::from_bytes(&bytes).expect("structurally valid");
+        assert!(!key.verifying_key().verify(b"msg", &forged));
+    }
+
+    #[test]
+    fn bad_r_prefix_rejected_at_parse() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let key = SigningKey::generate(&mut rng);
+        let mut bytes = key.sign(b"msg").to_bytes();
+        bytes[0] = 0x05;
+        assert!(Signature::from_bytes(&bytes).is_none());
     }
 
     #[test]
@@ -188,15 +510,145 @@ mod tests {
         let sig = key.sign(b"roundtrip");
         let back = Signature::from_bytes(&sig.to_bytes()).unwrap();
         assert_eq!(back, sig);
+        assert_eq!(back.r_point(), sig.r_point());
         let vk = VerifyingKey::from_bytes(&key.verifying_key().to_bytes()).unwrap();
         assert_eq!(vk, key.verifying_key());
     }
 
     #[test]
     fn identity_key_rejected() {
-        let vk = VerifyingKey(Point::IDENTITY);
+        let vk = VerifyingKey::from_point(Point::IDENTITY);
         let mut rng = StdRng::seed_from_u64(6);
         let sig = SigningKey::generate(&mut rng).sign(b"x");
         assert!(!vk.verify(b"x", &sig));
+    }
+
+    #[test]
+    fn prepared_verifier_matches_plain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let key = SigningKey::generate(&mut rng);
+        let prepared = PreparedVerifier::new(&key.verifying_key());
+        let sig = key.sign(b"table");
+        assert!(prepared.check(b"table", &sig));
+        assert!(!prepared.check(b"tablf", &sig));
+        let other = SigningKey::generate(&mut rng).sign(b"table");
+        assert!(!prepared.check(b"table", &other));
+    }
+
+    #[test]
+    fn batch_accepts_valid_mixed_keys() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let keys: Vec<SigningKey> = (0..4).map(|_| SigningKey::generate(&mut rng)).collect();
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 24]).collect();
+        let entries: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let key = &keys[i % keys.len()];
+                (key.verifying_key(), m.as_slice(), key.sign(m))
+            })
+            .collect();
+        assert_eq!(verify_batch(&entries), Ok(()));
+        assert_eq!(verify_batch(&entries[..1]), Ok(()));
+        assert_eq!(verify_batch(&[]), Ok(()));
+    }
+
+    #[test]
+    fn batch_attributes_every_forgery() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let keys: Vec<SigningKey> = (0..3).map(|_| SigningKey::generate(&mut rng)).collect();
+        let msgs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 16]).collect();
+        let mut entries: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let key = &keys[i % keys.len()];
+                (key.verifying_key(), m.as_slice(), key.sign(m))
+            })
+            .collect();
+        // Forge entries 2 and 7: swap in signatures over other messages.
+        entries[2].2 = keys[2 % keys.len()].sign(b"not msg 2");
+        entries[7].2 = keys[7 % keys.len()].sign(b"not msg 7");
+        assert_eq!(verify_batch(&entries), Err(vec![2, 7]));
+    }
+
+    #[test]
+    fn batch_attributes_structural_failures() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let key = SigningKey::generate(&mut rng);
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        let mut entries: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .map(|m| (key.verifying_key(), m.as_slice(), key.sign(m)))
+            .collect();
+        // An identity key and an R that decompresses to nothing.
+        entries[0].0 = VerifyingKey::from_point(Point::IDENTITY);
+        let mut bytes = entries[3].2.to_bytes();
+        bytes[20] ^= 1;
+        entries[3].2 = Signature::from_bytes(&bytes).expect("structurally valid");
+        let err = verify_batch(&entries).unwrap_err();
+        assert!(err.contains(&0) && err.contains(&3), "got {err:?}");
+        assert!(!err.contains(&1) && !err.contains(&2), "got {err:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Batch-vs-individual equivalence, accepting side: a batch of
+        /// honestly signed entries (any size, any signer mix) accepts,
+        /// matching what the scalar loop would conclude.
+        #[test]
+        fn prop_batch_accepts_what_scalar_accepts(
+            seed in any::<u64>(),
+            n in 1usize..24,
+            signers in 1usize..5,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let keys: Vec<SigningKey> =
+                (0..signers).map(|_| SigningKey::generate(&mut rng)).collect();
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 8 + i % 5]).collect();
+            let entries: Vec<BatchEntry<'_>> = msgs
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let key = &keys[i % keys.len()];
+                    (key.verifying_key(), m.as_slice(), key.sign(m))
+                })
+                .collect();
+            for (vk, m, sig) in &entries {
+                prop_assert!(vk.verify(m, sig));
+            }
+            prop_assert_eq!(verify_batch(&entries), Ok(()));
+        }
+
+        /// Batch-vs-individual equivalence, rejecting side: any single
+        /// forged signature in an otherwise valid batch is detected and
+        /// attributed to exactly its index.
+        #[test]
+        fn prop_single_forgery_is_attributed(
+            seed in any::<u64>(),
+            n in 2usize..24,
+            bad in any::<usize>(),
+        ) {
+            let bad = bad % n;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let keys: Vec<SigningKey> =
+                (0..3).map(|_| SigningKey::generate(&mut rng)).collect();
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 12]).collect();
+            let mut entries: Vec<BatchEntry<'_>> = msgs
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let key = &keys[i % keys.len()];
+                    (key.verifying_key(), m.as_slice(), key.sign(m))
+                })
+                .collect();
+            // Forge: a signature over a different message than the entry's.
+            entries[bad].2 = keys[bad % keys.len()].sign(b"some other message");
+            for (i, (vk, m, sig)) in entries.iter().enumerate() {
+                prop_assert_eq!(vk.verify(m, sig), i != bad);
+            }
+            prop_assert_eq!(verify_batch(&entries), Err(vec![bad]));
+        }
     }
 }

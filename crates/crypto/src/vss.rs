@@ -231,7 +231,9 @@ pub struct SignedShare {
 pub struct DealerVss;
 
 impl DealerVss {
-    fn share_message(context: &[u8], share: &Share) -> Vec<u8> {
+    /// The signed byte string for one share (crate-visible so the
+    /// batch/cache verification layer can rebuild it).
+    pub(crate) fn share_message(context: &[u8], share: &Share) -> Vec<u8> {
         let mut msg = Vec::with_capacity(context.len() + 4 + 32 + 16);
         msg.extend_from_slice(b"ddemos/dealer-vss/v1");
         msg.extend_from_slice(&(context.len() as u32).to_be_bytes());

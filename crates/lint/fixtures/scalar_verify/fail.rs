@@ -1,0 +1,13 @@
+//! Seeded violations: one-at-a-time signature verification on a
+//! replica message path.
+
+use ddemos_crypto::schnorr::{Signature, VerifyingKey};
+use ddemos_crypto::vss::DealerVss;
+
+fn check_sig(vk: &VerifyingKey, msg: &[u8], sig: &Signature) -> bool {
+    vk.verify(msg, sig)
+}
+
+fn check_share(dealer: &VerifyingKey, ctx: &[u8], share: &SignedShare) -> bool {
+    DealerVss::verify(dealer, ctx, share)
+}

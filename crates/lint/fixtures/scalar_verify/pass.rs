@@ -1,0 +1,21 @@
+//! Batched / cached verification and justified exceptions are fine.
+
+use ddemos_crypto::mverify::MsgVerifier;
+use ddemos_crypto::schnorr::{self, Signature, VerifyingKey};
+
+fn check_sig(mv: &mut MsgVerifier, vk: &VerifyingKey, msg: &[u8], sig: &Signature) -> bool {
+    mv.check(vk, msg, sig)
+}
+
+fn check_many(mv: &mut MsgVerifier, items: &[(VerifyingKey, Vec<u8>, Signature)]) -> Vec<bool> {
+    mv.check_batch(items)
+}
+
+fn check_batch_direct(items: &[schnorr::BatchEntry<'_>]) -> bool {
+    schnorr::verify_batch(items).is_ok()
+}
+
+fn audit_sig(vk: &VerifyingKey, msg: &[u8], sig: &Signature) -> bool {
+    // lint:allow(scalar-verify, one-shot audit check outside the replica hot path)
+    vk.verify(msg, sig)
+}

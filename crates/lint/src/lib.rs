@@ -24,6 +24,7 @@
 //! | `codec-exhaustive`| `Msg` enum vs `put_msg`/`get_msg`/`sample_msg` |
 //! | `commit-order`    | `vc/src/core.rs`, `bb/src/core.rs`             |
 //! | `blocking-recv`   | `net/src/evloop.rs` (the readiness loop must never block on a channel) |
+//! | `scalar-verify`   | `crates/vc`, `crates/bb` (message paths verify through the batch/cache layer, never one signature at a time) |
 //!
 //! Suppression is always *recorded*: inline
 //! `// lint:allow(rule, reason)` for sites justified where they stand,
@@ -92,6 +93,12 @@ const CORE_FILES: &[&str] = &["crates/vc/src/core.rs", "crates/bb/src/core.rs"];
 /// are denied (waits go through the poller).
 const EVLOOP_FILE: &str = "crates/net/src/evloop.rs";
 const EVLOOP_DIR: &str = "crates/net/src/evloop/";
+
+/// Replica message-path crates where one-at-a-time `verify` calls are
+/// denied: every signature check must route through the batch/cache
+/// layer (`ddemos_crypto::mverify`), or the hot path silently falls back
+/// to one group ladder per signature.
+const VERIFY_SCOPE_CRATES: &[&str] = &["crates/vc", "crates/bb"];
 
 /// One allowlist entry: `rule | path | line-substring | reason`.
 /// Matching is by rule, exact workspace-relative path, and a substring of
@@ -224,6 +231,9 @@ pub fn check_file(sf: &SourceFile) -> Vec<Violation> {
     }
     if path == EVLOOP_FILE || path.starts_with(EVLOOP_DIR) {
         out.extend(rules::check_blocking_recv(sf));
+    }
+    if has_prefix(path, VERIFY_SCOPE_CRATES) {
+        out.extend(rules::check_scalar_verify(sf));
     }
     out
 }
@@ -379,5 +389,20 @@ mod tests {
                 .iter()
                 .any(|v| v.rule == rules::RULE_PANIC)
         );
+
+        // Scalar verification flags on replica message paths only; the
+        // crypto crate itself (and setup/audit crates) stay exempt.
+        let verify_src = "fn f(vk: &VerifyingKey, m: &[u8], s: &Signature) { vk.verify(m, s); }";
+        assert!(
+            check_file(&SourceFile::parse("crates/vc/src/core.rs", verify_src))
+                .iter()
+                .any(|v| v.rule == rules::RULE_SCALAR_VERIFY)
+        );
+        assert!(!check_file(&SourceFile::parse(
+            "crates/crypto/src/schnorr.rs",
+            verify_src
+        ))
+        .iter()
+        .any(|v| v.rule == rules::RULE_SCALAR_VERIFY));
     }
 }

@@ -35,6 +35,7 @@ pub const RULE_PANIC: &str = "panic";
 pub const RULE_CODEC: &str = "codec-exhaustive";
 pub const RULE_COMMIT_ORDER: &str = "commit-order";
 pub const RULE_BLOCKING_RECV: &str = "blocking-recv";
+pub const RULE_SCALAR_VERIFY: &str = "scalar-verify";
 
 fn violation(sf: &SourceFile, line: u32, rule: &'static str, msg: String) -> Violation {
     Violation {
@@ -635,6 +636,52 @@ pub fn check_blocking_recv(sf: &SourceFile) -> Vec<Violation> {
                     ),
                 ));
             }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: replica message paths verify signatures batch-first.
+// ---------------------------------------------------------------------
+
+/// Flags one-at-a-time signature verification — `.verify(…)` /
+/// `::verify(…)` calls — on the VC/BB message-path crates. Those paths
+/// must go through `ddemos_crypto::mverify::MsgVerifier` (cache + per-peer
+/// tables + one-MSM batches); a scalar `verify` there silently reverts a
+/// replica's hot path to one group ladder per signature. Setup and audit
+/// paths justify themselves with `// lint:allow(scalar-verify, reason)`.
+pub fn check_scalar_verify(sf: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in sf.toks.iter().enumerate() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        let Some(name) = sf.ident(i) else { continue };
+        // `x.verify(…)` or `Type::verify(…)` — the exact `verify` ident in
+        // call position. Batch entry points (`verify_batch`,
+        // `cp_verify_batch`, `batch_verify_openings`, `or_verify`, …) are
+        // different identifiers and pass.
+        if name != "verify" || !sf.punct(i + 1, '(') {
+            continue;
+        }
+        let method = i >= 1 && sf.punct(i - 1, '.');
+        let assoc = i >= 2 && sf.punct(i - 1, ':') && sf.punct(i - 2, ':');
+        if !(method || assoc) {
+            continue;
+        }
+        let line = tok.line;
+        if !sf.allowed(RULE_SCALAR_VERIFY, line) {
+            out.push(violation(
+                sf,
+                line,
+                RULE_SCALAR_VERIFY,
+                "scalar signature verification on a replica message path; route it \
+                 through `mverify::MsgVerifier` (check/check_share/check_batch) so it \
+                 hits the verified cache and the one-MSM batch, or justify a setup/audit \
+                 call with `// lint:allow(scalar-verify, reason)`"
+                    .to_string(),
+            ));
         }
     }
     out

@@ -115,6 +115,22 @@ fn blocking_recv_fixtures() {
 }
 
 #[test]
+fn scalar_verify_fixtures() {
+    let fail = check_as("scalar_verify/fail.rs", "crates/vc/src/fixture.rs");
+    assert_eq!(rules_hit(&fail), vec![rules::RULE_SCALAR_VERIFY]);
+    assert_eq!(
+        fail.len(),
+        2,
+        "method-call and path-call verify should both flag: {fail:?}"
+    );
+    let pass = check_as("scalar_verify/pass.rs", "crates/bb/src/fixture.rs");
+    assert!(pass.is_empty(), "unexpected: {pass:?}");
+    // Setup, audit, and transport crates stay free to verify one by one.
+    assert!(check_as("scalar_verify/fail.rs", "crates/ea/src/fixture.rs").is_empty());
+    assert!(check_as("scalar_verify/fail.rs", "crates/crypto/src/fixture.rs").is_empty());
+}
+
+#[test]
 fn codec_fixtures() {
     let fns = ["put_msg", "get_msg", "sample_msg"];
     let messages = SourceFile::parse(
@@ -196,6 +212,11 @@ fn binary_fails_on_each_seeded_violation() {
             "blocking-recv",
             "crates/net/src/evloop.rs",
             "blocking_recv/fail.rs",
+        ),
+        (
+            "scalar-verify",
+            "crates/bb/src/seeded.rs",
+            "scalar_verify/fail.rs",
         ),
     ];
     for (rule, rel, fix) in cases {

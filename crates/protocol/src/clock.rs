@@ -93,6 +93,14 @@ struct VtState {
     /// Message-notifiable waits: notify key → wait id.
     by_key: BTreeMap<u64, u64>,
     source: Option<Weak<dyn EventSource>>,
+    /// Threads blocked in [`VirtualClock::run_dry`]. While non-zero the
+    /// advancer *brakes*: with the event source dry it parks (setting
+    /// `drain_ready`) instead of firing idle timers, so a drain ends at
+    /// the last delivery rather than free-running the poll-tick grid.
+    drain_waiters: usize,
+    /// Advancer → drain-waiter handoff: no deliverable event remains and
+    /// every actor is parked. Only meaningful while `drain_waiters > 0`.
+    drain_ready: bool,
 }
 
 struct VtCore {
@@ -251,6 +259,8 @@ impl VirtualClock {
                     by_deadline: BTreeSet::new(),
                     by_key: BTreeMap::new(),
                     source: None,
+                    drain_waiters: 0,
+                    drain_ready: false,
                 }),
                 cv: Condvar::new(),
             }),
@@ -380,6 +390,61 @@ impl VirtualClock {
         let result = f();
         self.lock_state().runners += 1;
         result
+    }
+
+    /// Runs the simulation dry: suspends the calling actor and blocks (in
+    /// real time, bounded by `timeout`) until every in-flight event has
+    /// been delivered and processed and every actor is parked in a clock
+    /// wait.
+    ///
+    /// [`VirtualClock::quiesce`] alone stops at a step boundary, but
+    /// *which* boundary depends on wall scheduling — straggler nodes
+    /// would be cut off mid-cascade at a nondeterministic event index.
+    /// Draining first gives a seed-deterministic endpoint.
+    ///
+    /// The advancer cooperates: while a drain waiter is registered it
+    /// *brakes* once the event source is dry — parking and raising
+    /// `drain_ready` instead of firing idle timers. (A parked actor that
+    /// becomes the advancer holds the state lock through the park →
+    /// advance transition, so a `runners == 0` poll from outside can
+    /// never observe the idle instant; and without the brake, recurring
+    /// poll-tick deadlines would free-run virtual time for as long as
+    /// the drain waiter watches.) Timers still pending at the handoff
+    /// are idle polls by construction: anything a delivery could wake is
+    /// delivered first, since events win ties with deadlines. No-op for
+    /// non-actors and closed clocks.
+    pub fn run_dry(&self, timeout: Duration) {
+        if !self.current_thread_is_actor() {
+            return;
+        }
+        {
+            let mut state = self.lock_state();
+            state.drain_waiters += 1;
+            state.drain_ready = false;
+        }
+        // A parked advancer evaluated the brake condition before this
+        // drain existed; wake it to re-evaluate.
+        self.core.cv.notify_all();
+        self.suspend(|| {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.lock_state();
+            while !state.drain_ready && !state.closed {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let (next, _) = self
+                    .core
+                    .cv
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = next;
+            }
+        });
+        let mut state = self.lock_state();
+        state.drain_waiters -= 1;
+        if state.drain_waiters == 0 {
+            state.drain_ready = false;
+        }
     }
 
     /// Blocks (in real time, bounded by `timeout`) until every *other*
@@ -531,6 +596,21 @@ impl VirtualClock {
                 let t_event = source.as_ref().and_then(|s| s.next_due_ns());
                 let t_wait = state.by_deadline.iter().next().copied();
                 let limit = self.core.limit_ns.load(Ordering::Relaxed);
+                // Drain brake (see `run_dry`): no deliverable event and a
+                // drain waiter watching — hand off instead of firing idle
+                // timers, then park like any advancer with nothing to do.
+                if state.drain_waiters > 0 && t_event.is_none_or(|te| te > limit) {
+                    if !state.drain_ready {
+                        state.drain_ready = true;
+                        self.core.cv.notify_all();
+                    }
+                    state = self
+                        .core
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    continue;
+                }
                 match (t_event, t_wait) {
                     (Some(te), tw) if te <= limit && tw.is_none_or(|(dl, _, _)| te <= dl) => {
                         let source = source.expect("event due implies source");

@@ -70,8 +70,15 @@ pub fn put_signature(w: &mut Writer, sig: &Signature) {
 
 /// Decodes a Schnorr signature.
 ///
+/// Decoding is structural only: the commitment point stays compressed
+/// (its square root deferred to first verification, where the verified
+/// cache makes it free on re-delivery), so decode stays off the crypto
+/// hot path. An off-curve `R` with a well-formed prefix therefore
+/// surfaces as a verification failure, not a codec error.
+///
 /// # Errors
-/// [`WireError::BadValue`] for off-curve or non-canonical encodings.
+/// [`WireError::BadValue`] for malformed prefixes or non-canonical
+/// scalars.
 pub fn get_signature(r: &mut Reader<'_>) -> Result<Signature, WireError> {
     Signature::from_bytes(&r.get_array::<65>()?).ok_or(WireError::BadValue)
 }

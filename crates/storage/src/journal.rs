@@ -41,6 +41,13 @@ pub struct JournalConfig {
     /// Snapshot cadence: compact after this many records since the last
     /// snapshot. `None` disables automatic compaction.
     pub compact_every: Option<u64>,
+    /// Adaptive commit barriers: lets a driver *defer* a commit barrier
+    /// when nothing externally visible follows it in the same output
+    /// batch — the deferred frames stay in the group-commit window and
+    /// become durable on the next visible-guarded commit (or when the
+    /// window fills). "Durable before visible" is preserved exactly;
+    /// only invisible-batch fsyncs are elided. Off by default.
+    pub adaptive_commit: bool,
 }
 
 impl Default for JournalConfig {
@@ -48,6 +55,7 @@ impl Default for JournalConfig {
         JournalConfig {
             group_commit: 32,
             compact_every: Some(4096),
+            adaptive_commit: false,
         }
     }
 }
@@ -149,6 +157,12 @@ impl<D: Disk> Journal<D> {
         self.since_snapshot
     }
 
+    /// Whether the driver may defer commit barriers that no externally
+    /// visible output depends on (see [`JournalConfig::adaptive_commit`]).
+    pub fn adaptive_commit(&self) -> bool {
+        self.config.adaptive_commit
+    }
+
     /// Writes a fresh snapshot of `machine` and resets the log.
     ///
     /// # Errors
@@ -235,6 +249,7 @@ mod tests {
             JournalConfig {
                 group_commit: 4,
                 compact_every,
+                adaptive_commit: false,
             },
         )
     }

@@ -21,7 +21,8 @@
 use crate::behavior::{AdversaryView, TriggeredAdversary, VcBehavior};
 use crate::durable::{BallotSlot, DurableView, Status, VcRecord};
 use crate::store::BallotStore;
-use ddemos_crypto::schnorr::Signature;
+use ddemos_crypto::mverify::{MsgVerifier, DEFAULT_CACHE_CAPACITY};
+use ddemos_crypto::schnorr::{Signature, VerifyingKey};
 use ddemos_crypto::sha256::sha256;
 use ddemos_crypto::votecode::VoteCode;
 use ddemos_crypto::vss::{DealerVss, SignedShare};
@@ -288,6 +289,11 @@ pub struct VcCore<S> {
     finalized: bool,
     /// Digests of already-verified UCERTs.
     verified_ucerts: BTreeSet<[u8; 32]>,
+    /// Batch-first signature verification front end: prepared tables for
+    /// the static peer keys plus the bounded verified-envelope memo.
+    /// Volatile (rebuilt empty on recovery) — it only memoizes results,
+    /// so replaying the same inputs reproduces the same outcomes.
+    mverify: MsgVerifier,
     announce_from: BTreeSet<u32>,
     /// ANNOUNCE messages that arrived while this node was still in the
     /// voting phase. Polls close at each node's *own* clock (or when its
@@ -329,6 +335,11 @@ impl<S: BallotStore> VcCore<S> {
         durable: bool,
     ) -> VcCore<S> {
         let vc_peers: Vec<NodeId> = (0..init.params.num_vc as u32).map(NodeId::vc).collect();
+        let mut mverify = MsgVerifier::new(DEFAULT_CACHE_CAPACITY);
+        for vk in &init.vc_keys {
+            mverify.prepare(vk);
+        }
+        mverify.prepare(&init.ea_key);
         VcCore {
             init,
             store,
@@ -344,6 +355,7 @@ impl<S: BallotStore> VcCore<S> {
             announce_at_ms: 0,
             finalized: false,
             verified_ucerts: BTreeSet::new(),
+            mverify,
             announce_from: BTreeSet::new(),
             buffered_announces: Vec::new(),
             consensus: None,
@@ -408,6 +420,16 @@ impl<S: BallotStore> VcCore<S> {
         vec![VcOutput::SetTimer(self.poll)]
     }
 
+    /// Whether this node has released its finalized vote set. A done
+    /// node keeps serving straggler peers (late consensus echoes,
+    /// RECOVER dispersals), but its own protocol outcome is sealed;
+    /// drivers use this to keep post-finalization traffic — whose extent
+    /// depends on when the process shuts down — out of the deterministic
+    /// metrics fingerprint.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
     /// The journaled-state view drivers replay a journal into (node
     /// start-up and [`VcOutput::Recover`] handling).
     pub fn durable(&mut self) -> VcDurable<'_> {
@@ -450,6 +472,66 @@ impl<S: BallotStore> VcCore<S> {
             self.check_phase_end();
         }
         std::mem::take(&mut self.outputs)
+    }
+
+    /// Warms the verified-signature memo for a burst of queued inputs:
+    /// extracts every signature the subsequent `step`s would otherwise
+    /// verify one at a time (ENDORSEMENT signatures, VOTE_P UCERT
+    /// signatures, VOTE_P receipt shares) and verifies them in one MSM.
+    ///
+    /// Purely an optimization — it emits no outputs and mutates nothing
+    /// but the memo, and a signature only enters the memo by verifying,
+    /// so `step` outcomes are byte-identical with or without this call
+    /// (invalid signatures just fail again, attributed, inside the step).
+    pub fn preverify(&mut self, inputs: &[VcInput]) {
+        let eid = self.init.params.election_id;
+        let mut items: Vec<(VerifyingKey, Vec<u8>, Signature)> = Vec::new();
+        for input in inputs {
+            let VcInput::Deliver(env) = input else {
+                continue;
+            };
+            if env.from.kind != NodeKind::Vc {
+                continue;
+            }
+            match &env.msg {
+                Msg::Endorsement {
+                    serial,
+                    vote_code,
+                    signature,
+                } => {
+                    if let Some(vk) = self.init.vc_keys.get(env.from.index as usize) {
+                        items.push((
+                            *vk,
+                            endorsement_message(&eid, *serial, &sha256(&vote_code.0)),
+                            *signature,
+                        ));
+                    }
+                }
+                Msg::VoteP {
+                    serial,
+                    vote_code,
+                    share,
+                    ucert,
+                } => {
+                    let msg = endorsement_message(&eid, ucert.serial, &sha256(&ucert.vote_code.0));
+                    for (idx, sig) in &ucert.sigs {
+                        if let Some(vk) = self.init.vc_keys.get(*idx as usize) {
+                            items.push((*vk, msg.clone(), *sig));
+                        }
+                    }
+                    if let Some(ballot) = self.store.get(*serial) {
+                        if let Some((part, row)) = ballot.find_code(vote_code) {
+                            let ctx = receipt_share_context(&eid, *serial, part, row);
+                            items.push(MsgVerifier::share_item(&self.init.ea_key, &ctx, share));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !items.is_empty() {
+            self.mverify.check_batch(&items);
+        }
     }
 
     fn check_phase_end(&mut self) {
@@ -869,22 +951,31 @@ impl<S: BallotStore> VcCore<S> {
         let Some(vk) = self.init.vc_keys.get(sender as usize).copied() else {
             return;
         };
+        {
+            let Some(slot) = self.slots.get(&serial) else {
+                return;
+            };
+            // Only relevant while we are responder for exactly this code.
+            let Some((used_code, ..)) = slot.used else {
+                return;
+            };
+            if used_code != code || slot.status != Status::NotVoted {
+                return;
+            }
+            if slot.endorsements.iter().any(|(i, _)| *i == sender) {
+                return;
+            }
+        }
+        if !self.mverify.check(
+            &vk,
+            &endorsement_message(&eid, serial, &sha256(&code.0)),
+            &sig,
+        ) {
+            return;
+        }
         let Some(slot) = self.slots.get_mut(&serial) else {
             return;
         };
-        // Only relevant while we are responder for exactly this code.
-        let Some((used_code, ..)) = slot.used else {
-            return;
-        };
-        if used_code != code || slot.status != Status::NotVoted {
-            return;
-        }
-        if slot.endorsements.iter().any(|(i, _)| *i == sender) {
-            return;
-        }
-        if !vk.verify(&endorsement_message(&eid, serial, &sha256(&code.0)), &sig) {
-            return;
-        }
         slot.endorsements.push((sender, sig));
         self.endorsements_seen += 1;
         self.check_ucert_complete(serial);
@@ -978,11 +1069,34 @@ impl<S: BallotStore> VcCore<S> {
         if self.verified_ucerts.contains(&digest) {
             return true;
         }
-        if ucert.verify(
+        // Batched mirror of `UCert::verify`: verify every signature from
+        // a known VC node in one MSM, then count distinct node indices
+        // with at least one valid signature. Outcome-equivalent to the
+        // scalar short-circuit loop — it reaches quorum iff that loop
+        // does — but pays one MSM instead of `Nv−fv` ladders.
+        let msg = endorsement_message(
             &self.init.params.election_id,
-            &self.init.params,
-            &self.init.vc_keys,
-        ) {
+            ucert.serial,
+            &sha256(&ucert.vote_code.0),
+        );
+        let mut idxs: Vec<usize> = Vec::with_capacity(ucert.sigs.len());
+        let mut items: Vec<(VerifyingKey, Vec<u8>, Signature)> =
+            Vec::with_capacity(ucert.sigs.len());
+        for (idx, sig) in &ucert.sigs {
+            let idx = *idx as usize;
+            if let Some(vk) = self.init.vc_keys.get(idx) {
+                idxs.push(idx);
+                items.push((*vk, msg.clone(), *sig));
+            }
+        }
+        let verdicts = self.mverify.check_batch(&items);
+        let valid: BTreeSet<usize> = idxs
+            .iter()
+            .zip(&verdicts)
+            .filter(|(_, &ok)| ok)
+            .map(|(&i, _)| i)
+            .collect();
+        if valid.len() >= self.quorum() {
             self.verified_ucerts.insert(digest);
             true
         } else {
@@ -1012,7 +1126,7 @@ impl<S: BallotStore> VcCore<S> {
         };
         // Verify the EA signature over the disclosed share.
         let ctx = receipt_share_context(&self.init.params.election_id, serial, part, row);
-        if !DealerVss::verify(&self.init.ea_key, &ctx, &share) {
+        if !self.mverify.check_share(&self.init.ea_key, &ctx, &share) {
             return;
         }
         let quorum = self.quorum();

@@ -483,6 +483,7 @@ mod tests {
             JournalConfig {
                 group_commit: 4,
                 compact_every: None,
+                adaptive_commit: false,
             },
         );
 

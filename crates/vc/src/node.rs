@@ -141,6 +141,10 @@ struct VcDriver<S> {
     timeout: Duration,
 }
 
+/// Upper bound on envelopes drained per readiness wake: keeps the
+/// stop/close-polls flags responsive under a flooding peer.
+const MAX_BURST: usize = 256;
+
 /// The metrics label of one driver input.
 fn input_label(input: &VcInput) -> &'static str {
     match input {
@@ -166,7 +170,7 @@ impl<S: BallotStore> VcDriver<S> {
         self.execute(outs);
         loop {
             if self.stop.load(Ordering::SeqCst) {
-                self.step(VcInput::Shutdown);
+                self.shutdown();
                 return;
             }
             if !self.close_forwarded && self.force_end.load(Ordering::SeqCst) {
@@ -175,11 +179,19 @@ impl<S: BallotStore> VcDriver<S> {
             }
             // The driver runs on the poll-based event surface: wait for
             // readiness in the transport's time base, then drain without
-            // blocking. Over `EventAdapter` this is step-for-step the old
-            // `recv_timeout` loop, so seeded runs are unchanged.
-            let input = match self.endpoint.wait(self.timeout) {
-                Wait::Ready => match self.endpoint.try_recv() {
-                    Some(env) => {
+            // blocking. One readiness wake drains the whole buffered
+            // burst: under a virtual clock deliveries are clock-paced and
+            // the burst degenerates to one envelope (seeded runs are
+            // step-for-step the old `recv_timeout` loop), while a real
+            // transport under load hands the core a queue it can
+            // batch-verify ahead of the steps.
+            let inputs = match self.endpoint.wait(self.timeout) {
+                Wait::Ready => {
+                    let mut inputs = Vec::new();
+                    while inputs.len() < MAX_BURST {
+                        let Some(env) = self.endpoint.try_recv() else {
+                            break;
+                        };
                         // Queue depth left behind at dequeue. Unstable
                         // (`~`): it races with concurrent senders, so it
                         // never joins the determinism fingerprint.
@@ -193,26 +205,52 @@ impl<S: BallotStore> VcDriver<S> {
                         // steer a replica) and translate into typed
                         // inputs.
                         let control = matches!(env.from.kind, NodeKind::Client | NodeKind::Ea);
-                        match env.msg {
+                        inputs.push(match env.msg {
                             Msg::ClosePolls if control => VcInput::ClosePolls,
-                            Msg::Shutdown if control => {
-                                self.step(VcInput::Shutdown);
-                                return;
-                            }
+                            Msg::Shutdown if control => VcInput::Shutdown,
                             _ => VcInput::Deliver(env),
+                        });
+                        if matches!(inputs.last(), Some(VcInput::Shutdown)) {
+                            break;
                         }
                     }
-                    // `Ready` guarantees a buffered envelope; a bare
-                    // drain is still safe to treat as a timer poll.
-                    None => VcInput::Tick,
-                },
-                Wait::Timeout => VcInput::Tick,
+                    if inputs.is_empty() {
+                        // `Ready` guarantees a buffered envelope; a bare
+                        // drain is still safe to treat as a timer poll.
+                        inputs.push(VcInput::Tick);
+                    }
+                    inputs
+                }
+                Wait::Timeout => vec![VcInput::Tick],
                 Wait::Closed => {
-                    self.step(VcInput::Shutdown);
+                    self.shutdown();
                     return;
                 }
             };
-            self.step(input);
+            // Warm the verified-signature memo for the whole burst in one
+            // MSM before stepping (a no-op for bursts without signatures).
+            if inputs.len() > 1 {
+                self.core.preverify(&inputs);
+            }
+            for input in inputs {
+                if matches!(input, VcInput::Shutdown) {
+                    self.shutdown();
+                    return;
+                }
+                self.step(input);
+            }
+        }
+    }
+
+    /// Final step: tells the core, then flushes any commit barriers the
+    /// adaptive-commit mode deferred (nothing visible depended on them,
+    /// but an orderly exit should not discard durable work).
+    fn shutdown(&mut self) {
+        self.step(VcInput::Shutdown);
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.commit() {
+                eprintln!("vc: final journal commit failed ({e})");
+            }
         }
     }
 
@@ -230,7 +268,13 @@ impl<S: BallotStore> VcDriver<S> {
     /// go to `~`-prefixed unstable names, excluded from the fingerprint.
     fn step(&mut self, input: VcInput) {
         let label = input_label(&input);
-        let (outputs_name, step_name) = if matches!(input, VcInput::Deliver(_)) {
+        // Deliveries to a finalized node are also unstable: a done node
+        // is only answering stragglers, and how many late echoes it
+        // drains before the stop flag lands depends on wall scheduling.
+        // Its own outcome-bearing steps (everything up to and including
+        // the finalizing delivery) stay under the stable names.
+        let stable = matches!(input, VcInput::Deliver(_)) && !self.core.is_done();
+        let (outputs_name, step_name) = if stable {
             ("vc.step_outputs", "vc.step_ns")
         } else {
             ("~vc.step_outputs", "~vc.step_ns")
@@ -271,7 +315,27 @@ impl<S: BallotStore> VcDriver<S> {
     /// record.
     fn execute(&mut self, outputs: Vec<VcOutput>) {
         let mut committed = false;
-        for output in outputs {
+        // Adaptive commit: a barrier with no externally visible output
+        // (send/delivery) after it in this batch guards nothing yet — its
+        // frames may ride the group-commit window until the next visible-
+        // guarded commit (or until the window fills inside `append`).
+        // "Durable before visible" is untouched: every visible output is
+        // still preceded, in-batch, by a commit that runs inline.
+        let adaptive = self
+            .journal
+            .as_ref()
+            .is_some_and(|journal| journal.adaptive_commit());
+        let mut visible_after = vec![false; outputs.len()];
+        if adaptive {
+            let mut seen_visible = false;
+            for (slot, output) in visible_after.iter_mut().zip(&outputs).rev() {
+                *slot = seen_visible;
+                if matches!(output, VcOutput::Send { .. } | VcOutput::Deliver(_)) {
+                    seen_visible = true;
+                }
+            }
+        }
+        for (output, visible_later) in outputs.into_iter().zip(visible_after) {
             match output {
                 VcOutput::Send { to, msg } => {
                     // The node's own ANNOUNCE starts vote-set consensus.
@@ -306,6 +370,11 @@ impl<S: BallotStore> VcDriver<S> {
                     }
                 }
                 VcOutput::Commit => {
+                    if adaptive && !visible_later {
+                        // Deferred: nothing visible in this batch depends
+                        // on these frames being synced yet.
+                        continue;
+                    }
                     if let Some(journal) = self.journal.as_mut() {
                         if let Err(e) = journal.commit() {
                             eprintln!("vc: journal commit failed ({e})");

@@ -55,6 +55,7 @@ fn run(seed: u64, ballots: usize, metrics: bool, profiling: bool) -> (ElectionRe
         .seed(seed)
         .virtual_time()
         .durability(Durability::sim()) // SimDisk journals: WAL metrics, modelled fsync charges
+        .adaptive_commit(true) // defer fsyncs no visible output depends on
         .metrics(metrics)
         .profiling(profiling)
         .build()

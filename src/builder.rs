@@ -294,10 +294,26 @@ impl ElectionBuilder {
     /// (`None` disables compaction).
     #[must_use]
     pub fn durability_tuning(mut self, group_commit: usize, compact_every: Option<u64>) -> Self {
+        let adaptive_commit = self.journal_config.adaptive_commit;
         self.journal_config = JournalConfig {
             group_commit,
             compact_every,
+            adaptive_commit,
         };
+        self
+    }
+
+    /// Adaptive group-commit windows: VC drivers defer the fsync of a
+    /// commit barrier when nothing externally visible (no send, no
+    /// delivery) follows it in the same step — the deferred frames ride
+    /// the group-commit window and become durable with the next
+    /// visible-guarded commit. "Durable before visible" holds exactly as
+    /// before; only fsyncs that guarded nothing are elided (in the vote
+    /// phase, mostly the non-responder receipt-reconstruction steps).
+    /// Off by default.
+    #[must_use]
+    pub fn adaptive_commit(mut self, enabled: bool) -> Self {
+        self.journal_config.adaptive_commit = enabled;
         self
     }
 

@@ -443,11 +443,16 @@ impl Election {
     /// far: result, receipts, audit outcome, per-phase timings, and
     /// network/workload statistics.
     pub fn report(&self) -> ElectionReport {
-        // Under a virtual clock, wait for every node to park before
-        // snapshotting the network counters: a node resumed alongside the
-        // driver may still be mid-step, and its sends must land in the
-        // snapshot deterministically.
+        // Under a virtual clock, run the simulation dry — every
+        // in-flight envelope delivered and processed, every node parked —
+        // before freezing anything. Quiescing alone stops at a step
+        // boundary, but which one depends on how far the free-running
+        // clock got before this thread re-registered (a wall-clock race):
+        // the straggler nodes beyond the close quorum would be cut off
+        // mid-cascade at a nondeterministic event index, and the stable
+        // step metrics would count a varying number of their deliveries.
         if let Some(vclock) = self.clock.virtual_clock() {
+            vclock.run_dry(Duration::from_secs(5));
             vclock.quiesce(Duration::from_secs(5));
         }
         let state = self.run.lock();
@@ -602,15 +607,39 @@ impl Election {
         self.next_client.fetch_add(count, Ordering::SeqCst)
     }
 
-    /// Closes the polls on every VC node immediately (as if every clock
-    /// passed `Tend`) without waiting for consensus — [`Election::close`]
-    /// is the usual entry point.
+    /// Closes the polls on every VC node (as if every clock passed
+    /// `Tend`) without waiting for consensus — [`Election::close`] is the
+    /// usual entry point.
+    ///
+    /// Over the simulated transport the close rides the network as an
+    /// authenticated `Msg::ClosePolls` control envelope, sent to every
+    /// node from a single pinned virtual instant. The alternative — the
+    /// `force_end` flag each driver polls — is a wall-clock signal: which
+    /// idle tick observes it varies with scheduler timing, staggering the
+    /// node closes nondeterministically and letting the announce-phase
+    /// straggler traffic (and so the canonical metrics snapshot) differ
+    /// between same-seed runs. As envelopes the closes are virtual-time
+    /// events with seeded latencies: the whole close cascade becomes a
+    /// pure function of the seed. The flag stays in use for TCP clusters
+    /// (already a wall-clock world) and as the driver-level fallback.
     pub fn close_polls(&self) {
-        for handle in &self.vc_handles {
-            handle.close_polls();
-        }
-        if let NetBackend::Tcp(backend) = &self.net {
-            backend.close_polls();
+        match &self.net {
+            NetBackend::Sim(_) => {
+                let endpoint = self.net.register(NodeId::client(self.alloc_clients(1)));
+                // Pin the virtual clock so every close is stamped with
+                // the same send time; arrival order is then decided by
+                // the seeded per-link latencies alone.
+                let _actor = endpoint.actor_guard();
+                for handle in &self.vc_handles {
+                    endpoint.send(handle.id, ddemos_protocol::messages::Msg::ClosePolls);
+                }
+            }
+            NetBackend::Tcp(backend) => {
+                for handle in &self.vc_handles {
+                    handle.close_polls();
+                }
+                backend.close_polls();
+            }
         }
     }
 

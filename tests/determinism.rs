@@ -14,7 +14,15 @@ use ddemos_harness::{
 };
 
 fn params() -> ElectionParams {
-    ElectionParams::new("determinism", 6, 2, 4, 3, 3, 2, 0, 60_000).unwrap()
+    // The voting window is deliberately enormous: these tests end the
+    // election with `finish()` (an explicit close delivered as a
+    // virtual-time control envelope), and under a virtual clock the
+    // idle poll-tick grid free-runs at wall speed — a reachable `Tend`
+    // would race the explicit close against per-node self-close,
+    // staggering the announce cascade nondeterministically. Scenario
+    // tests that want self-close instead pace to `Tend` with virtual
+    // sleeps, which is deterministic.
+    ElectionParams::new("determinism", 6, 2, 4, 3, 3, 2, 0, 600_000_000).unwrap()
 }
 
 #[test]
@@ -118,6 +126,57 @@ fn metrics_snapshot_is_identical_across_runs_and_thread_counts() {
     );
     assert_eq!(text, b.canonical_text(), "same-seed replay diverged");
     assert_eq!(text, c.canonical_text(), "snapshot depends on thread count");
+}
+
+#[test]
+fn batched_verification_and_adaptive_commit_replay_byte_identically() {
+    // The batch-first verification pipeline (burst-drained driver inputs,
+    // `MsgVerifier` cache warm-up, one-MSM batch checks) and the
+    // adaptive group-commit window are pure functions of the input
+    // sequence: with both enabled and SimDisk journals on, the same seed
+    // must still produce byte-identical artifacts — tally, receipts, and
+    // the canonical metrics snapshot — across repeat runs AND worker
+    // thread counts. (The evloop TCP driver takes real multi-envelope
+    // bursts through the same batch path; `tests/evloop_e2e.rs` pins its
+    // artifacts to the in-process run's.)
+    let votes = [0usize, 1, 0, 0];
+    let run = |threads: usize| {
+        let election = ElectionBuilder::new(params())
+            .seed(23)
+            .threads(threads)
+            .virtual_time()
+            .durability(ddemos_harness::Durability::sim())
+            .adaptive_commit(true)
+            .build()
+            .unwrap();
+        let voting = election.voting();
+        for (ballot, &option) in votes.iter().enumerate() {
+            voting.cast(ballot, option).unwrap();
+        }
+        let report = election.finish().unwrap();
+        assert!(report.verified(), "audit failed at threads({threads})");
+        let artifacts = (
+            report.tally().unwrap().to_vec(),
+            report.receipts.clone(),
+            report.metrics.canonical_text(),
+        );
+        election.shutdown();
+        artifacts
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(8);
+    assert_eq!(a.0, vec![3, 1]);
+    assert!(
+        a.2.contains("storage.fsync_ns"),
+        "sim journals should charge fsyncs:\n{}",
+        a.2
+    );
+    assert_eq!(a, b, "same-seed replay diverged with batching enabled");
+    assert_eq!(
+        a, c,
+        "artifacts depend on thread count with batching enabled"
+    );
 }
 
 #[test]
